@@ -1,0 +1,136 @@
+// E8 (timing view) — wall-clock throughput of the primitives, the AEAD
+// instantiations and the cell codecs across plaintext sizes. Absolute ns/op
+// are hardware-specific; the paper-relevant shape is the *relative* cost:
+// EAX ~ 2x OCB per byte, CCFB in between, and the per-entry constant for
+// short attributes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aead/factory.h"
+#include "crypto/aes.h"
+#include "crypto/hash.h"
+#include "crypto/mac.h"
+#include "crypto/modes.h"
+#include "db/mu.h"
+#include "schemes/aead_cell.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+void BM_AesBlock(benchmark::State& state) {
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes->EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_Sha256(benchmark::State& state) {
+  DeterministicRng rng(1);
+  const Bytes data = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Bytes digest = ComputeHash(HashAlgorithm::kSha256, data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Cmac(benchmark::State& state) {
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const Cmac cmac(*aes);
+  DeterministicRng rng(1);
+  const Bytes data = rng.RandomBytes(state.range(0));
+  for (auto _ : state) {
+    Bytes tag = cmac.Compute(data);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Cmac)->Arg(64)->Arg(1024);
+
+template <AeadAlgorithm alg>
+void BM_AeadSeal(benchmark::State& state) {
+  const size_t key_len =
+      (alg == AeadAlgorithm::kSiv || alg == AeadAlgorithm::kEtm) ? 32 : 16;
+  auto aead = CreateAead(alg, Bytes(key_len, 0x42)).value();
+  DeterministicRng rng(1);
+  const Bytes pt = rng.RandomBytes(state.range(0));
+  const Bytes ad = rng.RandomBytes(20);
+  const Bytes nonce = rng.RandomBytes(aead->nonce_size());
+  for (auto _ : state) {
+    auto sealed = aead->Seal(nonce, pt, ad);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kEax>)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kOcbPmac>)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kCcfb>)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kGcm>)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kEtm>)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_AeadSeal<AeadAlgorithm::kSiv>)->Arg(16)->Arg(128)->Arg(1024);
+
+template <AeadAlgorithm alg>
+void BM_AeadOpen(benchmark::State& state) {
+  const size_t key_len =
+      (alg == AeadAlgorithm::kSiv || alg == AeadAlgorithm::kEtm) ? 32 : 16;
+  auto aead = CreateAead(alg, Bytes(key_len, 0x42)).value();
+  DeterministicRng rng(1);
+  const Bytes pt = rng.RandomBytes(state.range(0));
+  const Bytes ad = rng.RandomBytes(20);
+  const Bytes nonce = rng.RandomBytes(aead->nonce_size());
+  const auto sealed = aead->Seal(nonce, pt, ad).value();
+  for (auto _ : state) {
+    auto opened = aead->Open(nonce, sealed.ciphertext, sealed.tag, ad);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen<AeadAlgorithm::kEax>)->Arg(128);
+BENCHMARK(BM_AeadOpen<AeadAlgorithm::kOcbPmac>)->Arg(128);
+BENCHMARK(BM_AeadOpen<AeadAlgorithm::kCcfb>)->Arg(128);
+
+void BM_AppendSchemeEncode(benchmark::State& state) {
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const DeterministicEncryptor enc(*aes,
+                                   DeterministicEncryptor::Mode::kCbcZeroIv);
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+  AppendSchemeCellCodec codec(enc, mu);
+  DeterministicRng rng(1);
+  const Bytes value = rng.RandomBytes(state.range(0));
+  uint64_t row = 0;
+  for (auto _ : state) {
+    auto stored = codec.Encode(value, {1, row++, 0});
+    benchmark::DoNotOptimize(stored);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AppendSchemeEncode)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_AeadCellEncode(benchmark::State& state) {
+  auto aead = CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x42)).value();
+  DeterministicRng rng(1);
+  AeadCellCodec codec(*aead, rng);
+  const Bytes value = rng.RandomBytes(state.range(0));
+  uint64_t row = 0;
+  for (auto _ : state) {
+    auto stored = codec.Encode(value, {1, row++, 0});
+    benchmark::DoNotOptimize(stored);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadCellEncode)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace sdbenc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E3 — §3.1 existential forgery against the Append-Scheme's authentication.
+// For each scheme and value size, attempts the CBC-splice forgery (modify a
+// ciphertext block preceding the checksum region) and reports whether the
+// result is accepted by the scheme's decode-and-verify. The paper's shape:
+// the Append-Scheme accepts the forgery for any value spanning enough
+// blocks; every AEAD instantiation rejects it.
+
+#include <cstdio>
+#include <string>
+
+#include "aead/factory.h"
+#include "attacks/append_forgery.h"
+#include "crypto/aes.h"
+#include "db/mu.h"
+#include "schemes/aead_cell.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+constexpr size_t kSizes[] = {16, 48, 64, 128, 512, 4096};
+
+void Row(const char* scheme, const bool accepted[], size_t n) {
+  std::printf("%-24s", scheme);
+  for (size_t i = 0; i < n; ++i) {
+    std::printf(" %-9s", accepted[i] ? "FORGED" : "rejected");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+  std::printf("== E3: CBC-splice existential forgery (paper Sect. 3.1) ==\n");
+  std::printf("cell value sizes (octets):\n%-24s", "");
+  for (size_t s : kSizes) std::printf(" %-9zu", s);
+  std::printf("\n");
+
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+  const size_t n = sizeof(kSizes) / sizeof(kSizes[0]);
+
+  // Append-Scheme under both deterministic modes.
+  for (auto mode : {DeterministicEncryptor::Mode::kCbcZeroIv,
+                    DeterministicEncryptor::Mode::kEcb}) {
+    const DeterministicEncryptor enc(*aes, mode);
+    AppendSchemeCellCodec codec(enc, mu);
+    bool accepted[sizeof(kSizes) / sizeof(kSizes[0])] = {};
+    for (size_t i = 0; i < n; ++i) {
+      const Bytes value(kSizes[i], 'D');
+      const CellAddress addr{1, i, 0};
+      const Bytes stored = codec.Encode(value, addr).value();
+      auto forgery = ForgeAppendSchemeCiphertext(stored, 16, 16);
+      if (!forgery.ok()) continue;  // value too short to splice
+      auto decoded = codec.Decode(forgery->forged, addr);
+      accepted[i] = decoded.ok() && !(*decoded == value);
+    }
+    Row(mode == DeterministicEncryptor::Mode::kCbcZeroIv
+            ? "append + CBC-zeroIV"
+            : "append + ECB",
+        accepted, n);
+  }
+
+  // AEAD fix: splice the same way (flip the first ciphertext byte after the
+  // nonce, keep the tail) and try to open.
+  for (AeadAlgorithm alg :
+       {AeadAlgorithm::kEax, AeadAlgorithm::kOcbPmac, AeadAlgorithm::kCcfb,
+        AeadAlgorithm::kEtm, AeadAlgorithm::kGcm, AeadAlgorithm::kSiv}) {
+    auto aead =
+        CreateAead(alg, Bytes(alg == AeadAlgorithm::kSiv ||
+                                      alg == AeadAlgorithm::kEtm
+                                  ? 32
+                                  : 16,
+                              0x42))
+            .value();
+    DeterministicRng rng(3);
+    AeadCellCodec codec(*aead, rng);
+    bool accepted[sizeof(kSizes) / sizeof(kSizes[0])] = {};
+    for (size_t i = 0; i < n; ++i) {
+      const Bytes value(kSizes[i], 'D');
+      const CellAddress addr{1, i, 0};
+      Bytes stored = codec.Encode(value, addr).value();
+      stored[aead->nonce_size()] ^= 0x01;
+      accepted[i] = codec.Decode(stored, addr).ok();
+    }
+    const std::string name =
+        std::string("aead fix [") + AeadAlgorithmName(alg) + "]";
+    Row(name.c_str(), accepted, n);
+  }
+
+  std::printf("\npaper shape: the Append-Scheme accepts the splice whenever\n"
+              "V spans >= 2 blocks beyond the protected trailer; all AEAD\n"
+              "instantiations reject every modification.\n");
+  return 0;
+}

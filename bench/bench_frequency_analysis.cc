@@ -1,0 +1,106 @@
+// Frequency analysis over deterministic cell encryption (follow-on to the
+// paper's pattern-matching leak): the adversary buckets ciphertexts by
+// their leading-blocks fingerprint, ranks buckets by size, and aligns the
+// ranks with a public value distribution. Reports recovery accuracy per
+// scheme and per skew.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "attacks/frequency_analysis.h"
+#include "crypto/aes.h"
+#include "db/mu.h"
+#include "schemes/aead_cell.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+struct Corpus {
+  std::vector<Bytes> values;
+  std::vector<size_t> true_rank;
+};
+
+/// Zipf(s)-distributed attribute over `distinct` values; every value spans
+/// >= 2 blocks so the fingerprint is well defined.
+Corpus BuildCorpus(size_t n, size_t distinct, double skew) {
+  Corpus corpus;
+  DeterministicRng rng(99);
+  std::vector<double> cumulative;
+  double total = 0;
+  for (size_t r = 0; r < distinct; ++r) {
+    double w = 1.0;
+    for (double x = 0; x < skew; x += 1.0) w /= static_cast<double>(r + 1);
+    total += w;
+    cumulative.push_back(total);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double u =
+        total * static_cast<double>(rng.UniformUint64(1 << 20)) / (1 << 20);
+    size_t rank = 0;
+    while (rank + 1 < distinct && cumulative[rank] < u) ++rank;
+    corpus.values.push_back(BytesFromString(
+        "attribute-value-rank-" + std::to_string(rank) +
+        "-padded-to-span-at-least-two-cipher-blocks"));
+    corpus.true_rank.push_back(rank);
+  }
+  return corpus;
+}
+
+double MeasureAccuracy(CellCodec& codec, const Corpus& corpus) {
+  std::vector<Bytes> cts;
+  for (size_t i = 0; i < corpus.values.size(); ++i) {
+    cts.push_back(codec.Encode(corpus.values[i], {1, i, 0}).value());
+  }
+  return RunFrequencyAttack(cts, corpus.true_rank, 16, 2).accuracy;
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const DeterministicEncryptor enc(*aes,
+                                   DeterministicEncryptor::Mode::kCbcZeroIv);
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+
+  std::printf("== frequency analysis: fraction of cells decrypted by rank "
+              "alignment (5000 cells, 12 distinct values) ==\n");
+  std::printf("%-24s %-10s %-10s %-10s\n", "scheme", "zipf s=1", "zipf s=2",
+              "uniform");
+  for (int scheme = 0; scheme < 3; ++scheme) {
+    double acc[3];
+    for (int d = 0; d < 3; ++d) {
+      const double skew = d == 0 ? 1.0 : d == 1 ? 2.0 : 0.0;
+      const Corpus corpus = BuildCorpus(5000, 12, skew);
+      if (scheme == 0) {
+        AppendSchemeCellCodec codec(enc, mu);
+        acc[d] = MeasureAccuracy(codec, corpus);
+      } else if (scheme == 1) {
+        auto aead = CreateAead(AeadAlgorithm::kSiv, Bytes(32, 0x42)).value();
+        DeterministicRng rng(1);
+        AeadCellCodec codec(*aead, rng);
+        acc[d] = MeasureAccuracy(codec, corpus);
+      } else {
+        auto aead = CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x42)).value();
+        DeterministicRng rng(1);
+        AeadCellCodec codec(*aead, rng);
+        acc[d] = MeasureAccuracy(codec, corpus);
+      }
+    }
+    const char* name = scheme == 0   ? "append + CBC-zeroIV"
+                       : scheme == 1 ? "aead fix [siv]"
+                                     : "aead fix [eax]";
+    std::printf("%-24s %-10.2f %-10.2f %-10.2f\n", name, acc[0], acc[1],
+                acc[2]);
+  }
+  std::printf("\nshape: the deterministic scheme concedes most of a skewed\n"
+              "column; SIV (deterministic AEAD, address in AD) and the\n"
+              "probabilistic AEADs concede nothing across distinct cells.\n");
+  return 0;
+}

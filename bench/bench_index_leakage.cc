@@ -1,0 +1,122 @@
+// E4/E5 — §3.2/§3.3 index-vs-table linkage. Builds a table column of long
+// string attributes encrypted with the Append-Scheme, then a full encrypted
+// B+-tree over that column under each index scheme, dumps the stored index
+// entries (the adversary's view), and correlates them with the cell
+// ciphertexts by shared prefix. Reports the fraction of cells an adversary
+// links — and therefore totally orders, since the index structure is public.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "attacks/index_linkage.h"
+#include "btree/bplus_tree.h"
+#include "crypto/aes.h"
+#include "crypto/mac.h"
+#include "db/mu.h"
+#include "schemes/aead_index.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "schemes/elovici_index.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+std::vector<Bytes> BuildColumn(size_t n) {
+  std::vector<Bytes> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(BytesFromString(
+        "customer/" + std::to_string(100000 + i) +
+        "/full-legal-name-and-postal-address-spanning-several-blocks"));
+  }
+  return values;
+}
+
+struct LeakRow {
+  std::string scheme;
+  LinkageReport report;
+};
+
+void Print(const LeakRow& row) {
+  std::printf("%-28s %-10zu %-12zu %-12zu %6.1f%%\n", row.scheme.c_str(),
+              row.report.index_entries, row.report.linked_pairs,
+              row.report.linked_cells,
+              100.0 * row.report.linked_cell_fraction);
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+  const size_t kRows = 2048;
+  const std::vector<Bytes> values = BuildColumn(kRows);
+
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const DeterministicEncryptor enc(*aes,
+                                   DeterministicEncryptor::Mode::kCbcZeroIv);
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+
+  // The table side: Append-Scheme cells (the paper's §3.2 assumption).
+  AppendSchemeCellCodec cell_codec(enc, mu);
+  std::vector<Bytes> cells;
+  for (size_t i = 0; i < kRows; ++i) {
+    cells.push_back(cell_codec.Encode(values[i], {1, i, 0}).value());
+  }
+
+  std::printf("== E4/E5: index<->table linkage, %zu rows "
+              "(paper Sect. 3.2 / 3.3) ==\n",
+              kRows);
+  std::printf("%-28s %-10s %-12s %-12s %s\n", "index scheme", "entries",
+              "linked-pairs", "linked-cells", "fraction");
+
+  auto build_and_probe = [&](IndexEntryCodec* codec, bool is_2005,
+                             const std::string& name) {
+    BPlusTree tree(codec, 500, 1, 0, 16);
+    for (size_t i = 0; i < kRows; ++i) {
+      const Status status = tree.Insert(values[i], i);
+      if (!status.ok()) {
+        std::printf("insert failed: %s\n", status.ToString().c_str());
+        return;
+      }
+    }
+    std::vector<Bytes> entry_bytes;
+    for (const auto& entry : tree.DumpStoredEntries()) {
+      entry_bytes.push_back(entry.stored);
+    }
+    const std::vector<Bytes> payloads =
+        is_2005 ? ExtractIndex2005Payloads(entry_bytes) : entry_bytes;
+    LeakRow row{name, CorrelateIndexWithTable(payloads, cells, 16, 2)};
+    Print(row);
+  };
+
+  {
+    Index2004Codec codec(enc);
+    build_and_probe(&codec, false, "index-2004 (eq. 4/5)");
+  }
+  {
+    Cmac same_key_mac(*aes);
+    DeterministicRng rng(5);
+    Index2005Codec codec(enc, same_key_mac, rng);
+    build_and_probe(&codec, true, "index-2005 (eq. 7)");
+  }
+  {
+    auto aead = CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x43)).value();
+    DeterministicRng rng(6);
+    AeadIndexCodec codec(*aead, rng);
+    build_and_probe(&codec, false, "aead fix (eq. 25) [eax]");
+  }
+  {
+    auto aead = CreateAead(AeadAlgorithm::kOcbPmac, Bytes(16, 0x44)).value();
+    DeterministicRng rng(7);
+    AeadIndexCodec codec(*aead, rng);
+    build_and_probe(&codec, false, "aead fix (eq. 25) [ocb]");
+  }
+
+  std::printf("\npaper shape: both Elovici-style index schemes link ~100%% of"
+              "\ncells (the 2005 random suffix does not help — it is appended"
+              "\nafter the value); the AEAD fix links none.\n");
+  return 0;
+}

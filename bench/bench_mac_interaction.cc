@@ -1,0 +1,107 @@
+// E6 — §3.3 encryption/MAC interaction. For the improved index scheme of
+// [12] instantiated with CBC-zero-IV encryption and OMAC, attempts the
+// chain-resynchronisation forgery for a sweep of value sizes, under (a) the
+// same key for E and MAC — the paper's pathological but spec-compliant
+// reading — and (b) independent keys, and (c) the AEAD fix. Reports forgery
+// acceptance rates.
+
+#include <cstdio>
+#include <string>
+
+#include "aead/factory.h"
+#include "attacks/mac_interaction.h"
+#include "crypto/aes.h"
+#include "crypto/mac.h"
+#include "schemes/aead_index.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_index.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+IndexEntryContext MakeContext(uint64_t entry_ref) {
+  IndexEntryContext ctx;
+  ctx.index_table_id = 500;
+  ctx.indexed_table_id = 1;
+  ctx.indexed_column = 0;
+  ctx.entry_ref = entry_ref;
+  ctx.is_leaf = true;
+  ctx.ref_i = EncodeUint64Be(7);
+  return ctx;
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+  const size_t kBlockCounts[] = {2, 3, 4, 8, 16, 32, 64};
+  const size_t kTrialsPerSize = 50;
+
+  std::printf("== E6: same-key CBC/OMAC forgery on the improved index "
+              "scheme (paper Sect. 3.3) ==\n");
+  std::printf("value size s (blocks):   ");
+  for (size_t s : kBlockCounts) std::printf(" %-6zu", s);
+  std::printf("\n");
+
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  auto other_aes = Aes::Create(Bytes(16, 0x43)).value();
+  const DeterministicEncryptor enc(*aes,
+                                   DeterministicEncryptor::Mode::kCbcZeroIv);
+
+  auto run = [&](const MessageAuthenticator& mac, const char* label) {
+    DeterministicRng rng(11);
+    Index2005Codec codec(enc, mac, rng);
+    std::printf("%-24s ", label);
+    for (size_t s : kBlockCounts) {
+      size_t accepted = 0;
+      for (size_t t = 0; t < kTrialsPerSize; ++t) {
+        const Bytes v(16 * s, static_cast<uint8_t>('A' + t % 26));
+        const IndexEntryContext ctx = MakeContext(1000 + t);
+        const Bytes stored = codec.Encode({v, t}, ctx).value();
+        auto forged = ForgeIndex2005Entry(stored, 16, v.size());
+        if (!forged.ok()) continue;
+        auto decoded = codec.Decode(forged->forged, ctx);
+        if (decoded.ok() && !(decoded->key == v)) ++accepted;
+      }
+      std::printf(" %3zu/%-2zu", accepted, kTrialsPerSize);
+    }
+    std::printf("\n");
+  };
+
+  {
+    const Cmac same_key_mac(*aes);
+    run(same_key_mac, "OMAC, same key");
+  }
+  {
+    const Cmac separate_mac(*other_aes);
+    run(separate_mac, "OMAC, separate key");
+  }
+
+  // AEAD fix: flip the analogous ciphertext byte.
+  {
+    auto aead = CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x44)).value();
+    DeterministicRng rng(12);
+    AeadIndexCodec codec(*aead, rng);
+    std::printf("%-24s ", "aead fix [eax]");
+    for (size_t s : kBlockCounts) {
+      size_t accepted = 0;
+      for (size_t t = 0; t < kTrialsPerSize; ++t) {
+        const Bytes v(16 * s, static_cast<uint8_t>('A' + t % 26));
+        const IndexEntryContext ctx = MakeContext(2000 + t);
+        Bytes stored = codec.Encode({v, t}, ctx).value();
+        stored[aead->nonce_size() + 16] ^= 0x01;
+        if (codec.Decode(stored, ctx).ok()) ++accepted;
+      }
+      std::printf(" %3zu/%-2zu", accepted, kTrialsPerSize);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper shape: with the same key the forgery verifies for\n"
+              "every s >= 2 (the paper presents s > 2; modifying C_1 works\n"
+              "for s = 2 as well); independent keys and the AEAD fix reject\n"
+              "all attempts.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E2 — §3.1/§3.3 pattern matching. Builds a realistic corpus of cells whose
+// values share prefixes (names/emails with common stems), encrypts them
+// under every cell scheme, and counts the ciphertext-prefix pairs an
+// adversary recovers without the key. The paper's claim: any deterministic
+// instantiation (CBC zero-IV, ECB) leaks every shared plaintext prefix of
+// >= 1 block; the AEAD fix leaks none.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "attacks/pattern_match.h"
+#include "crypto/aes.h"
+#include "db/mu.h"
+#include "schemes/aead_cell.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+// Corpus: 2000 long string attributes in 40 "families" sharing a >= 2-block
+// prefix, plus unrelated fillers.
+std::vector<Bytes> BuildValues(size_t n) {
+  std::vector<Bytes> values;
+  DeterministicRng rng(42);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t family = i % 50;
+    if (family < 40) {
+      std::string v = "department-of-" + std::string(1, 'a' + family % 26) +
+                      std::string(24, 'x') + "/employee-record-" +
+                      std::to_string(i) + "/full-description-padding";
+      values.push_back(BytesFromString(v));
+    } else {
+      values.push_back(rng.RandomBytes(80));  // unrelated filler
+    }
+  }
+  return values;
+}
+
+size_t TruePrefixPairs(const std::vector<Bytes>& values, size_t min_blocks) {
+  return FindCommonPrefixes(values, 16, min_blocks).size();
+}
+
+void Report(const char* scheme, size_t true_pairs, size_t found_pairs) {
+  const double recovery =
+      true_pairs == 0 ? 0.0
+                      : 100.0 * static_cast<double>(found_pairs) /
+                            static_cast<double>(true_pairs);
+  std::printf("%-28s %-12zu %-12zu %6.1f%%\n", scheme, true_pairs,
+              found_pairs, recovery);
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+  const size_t kN = 2000;
+  const size_t kMinBlocks = 2;
+  const std::vector<Bytes> values = BuildValues(kN);
+  const size_t true_pairs = TruePrefixPairs(values, kMinBlocks);
+
+  std::printf("== E2: ciphertext pattern matching, %zu cells, >= %zu shared "
+              "blocks (paper Sect. 3.1) ==\n",
+              kN, kMinBlocks);
+  std::printf("%-28s %-12s %-12s %s\n", "scheme", "plain-pairs",
+              "cipher-pairs", "recovered");
+
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+
+  {
+    const DeterministicEncryptor enc(*aes,
+                                     DeterministicEncryptor::Mode::kCbcZeroIv);
+    AppendSchemeCellCodec codec(enc, mu);
+    std::vector<Bytes> cts;
+    for (size_t i = 0; i < values.size(); ++i) {
+      cts.push_back(codec.Encode(values[i], {1, i, 0}).value());
+    }
+    Report("append + CBC-zeroIV", true_pairs,
+           FindCommonPrefixes(cts, 16, kMinBlocks).size());
+  }
+  {
+    const DeterministicEncryptor enc(*aes,
+                                     DeterministicEncryptor::Mode::kEcb);
+    AppendSchemeCellCodec codec(enc, mu);
+    std::vector<Bytes> cts;
+    for (size_t i = 0; i < values.size(); ++i) {
+      cts.push_back(codec.Encode(values[i], {1, i, 0}).value());
+    }
+    Report("append + ECB", true_pairs,
+           FindCommonPrefixes(cts, 16, kMinBlocks).size());
+  }
+  for (AeadAlgorithm alg : {AeadAlgorithm::kEax, AeadAlgorithm::kOcbPmac,
+                            AeadAlgorithm::kCcfb, AeadAlgorithm::kGcm}) {
+    auto aead = CreateAead(alg, Bytes(16, 0x42)).value();
+    DeterministicRng rng(7);
+    AeadCellCodec codec(*aead, rng);
+    std::vector<Bytes> cts;
+    for (size_t i = 0; i < values.size(); ++i) {
+      cts.push_back(codec.Encode(values[i], {1, i, 0}).value());
+    }
+    std::string name = std::string("aead fix [") + AeadAlgorithmName(alg) + "]";
+    Report(name.c_str(), true_pairs,
+           FindCommonPrefixes(cts, 16, kMinBlocks).size());
+  }
+  std::printf("\npaper shape: deterministic schemes recover ~100%% of shared-"
+              "prefix pairs;\nthe AEAD fix recovers none.\n");
+  return 0;
+}

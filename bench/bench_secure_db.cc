@@ -1,0 +1,137 @@
+// E9 (ablation) — end-to-end cost of the fixed system: SecureDatabase
+// insert/point/range performance across AEAD instantiations, B+-tree
+// fan-out, and encrypted-vs-plaintext index, plus the index-maintenance
+// re-encryption counts that structure-binding entails (paper Remark 1 and
+// §4 cost analysis, extended to the full system).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "btree/bplus_tree.h"
+#include "core/secure_database.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+Schema BenchSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"payload", ValueType::kString, true}});
+}
+
+std::unique_ptr<SecureDatabase> BuildDb(AeadAlgorithm alg, size_t rows,
+                                        size_t order) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
+  SecureTableOptions options;
+  options.aead = alg;
+  options.indexed_columns = {"id"};
+  options.index_order = order;
+  (void)db->CreateTable("t", BenchSchema(), options);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)db->Insert("t", {Value::Int(static_cast<int64_t>(i * 7 % rows)),
+                           Value::Str("payload-" + std::to_string(i))});
+  }
+  return db;
+}
+
+template <AeadAlgorithm alg>
+void BM_Insert(benchmark::State& state) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
+  SecureTableOptions options;
+  options.aead = alg;
+  options.indexed_columns = {"id"};
+  (void)db->CreateTable("t", BenchSchema(), options);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto row = db->Insert("t", {Value::Int(i++ % 1000),
+                                Value::Str("payload-xxxxxxxx")});
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert<AeadAlgorithm::kEax>);
+BENCHMARK(BM_Insert<AeadAlgorithm::kOcbPmac>);
+BENCHMARK(BM_Insert<AeadAlgorithm::kCcfb>);
+BENCHMARK(BM_Insert<AeadAlgorithm::kGcm>);
+
+template <AeadAlgorithm alg>
+void BM_PointQuery(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  auto db = BuildDb(alg, rows, 16);
+  DeterministicRng rng(3);
+  for (auto _ : state) {
+    auto result = db->SelectEquals(
+        "t", "id", Value::Int(static_cast<int64_t>(rng.UniformUint64(rows))));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointQuery<AeadAlgorithm::kEax>)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_PointQuery<AeadAlgorithm::kOcbPmac>)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_PointQuery<AeadAlgorithm::kCcfb>)->Arg(1000)->Arg(10000);
+
+void BM_RangeQuery(benchmark::State& state) {
+  auto db = BuildDb(AeadAlgorithm::kEax, 10000, 16);
+  DeterministicRng rng(4);
+  const int64_t width = state.range(0);
+  for (auto _ : state) {
+    const int64_t lo = static_cast<int64_t>(rng.UniformUint64(10000 - width));
+    auto result =
+        db->SelectRange("t", "id", Value::Int(lo), Value::Int(lo + width));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeQuery)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ScanFallbackQuery(benchmark::State& state) {
+  // The same point query without an index: full decrypting scan.
+  auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
+  SecureTableOptions options;  // no indexes
+  (void)db->CreateTable("t", BenchSchema(), options);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < rows; ++i) {
+    (void)db->Insert("t", {Value::Int(static_cast<int64_t>(i)),
+                           Value::Str("payload-" + std::to_string(i))});
+  }
+  DeterministicRng rng(5);
+  for (auto _ : state) {
+    auto result = db->SelectEquals(
+        "t", "id", Value::Int(static_cast<int64_t>(rng.UniformUint64(rows))));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanFallbackQuery)->Arg(1000)->Arg(10000);
+
+void BM_IndexOrderSweep(benchmark::State& state) {
+  // Fan-out ablation (paper Remark 1 discusses d-ary trees): bigger nodes
+  // mean fewer levels but more decrypt work per node visit.
+  const size_t order = static_cast<size_t>(state.range(0));
+  auto db = BuildDb(AeadAlgorithm::kEax, 5000, order);
+  DeterministicRng rng(6);
+  for (auto _ : state) {
+    auto result = db->SelectEquals(
+        "t", "id", Value::Int(static_cast<int64_t>(rng.UniformUint64(5000))));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexOrderSweep)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_VerifyIntegrity(benchmark::State& state) {
+  auto db = BuildDb(AeadAlgorithm::kEax, static_cast<size_t>(state.range(0)),
+                    16);
+  for (auto _ : state) {
+    auto status = db->VerifyIntegrity();
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VerifyIntegrity)->Arg(1000);
+
+}  // namespace
+}  // namespace sdbenc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// attack_demo — the paper's §3, live. Walks through all five
+// counter-examples against the Elovici et al. schemes exactly as the paper
+// presents them, printing what the adversary sees and does at each step,
+// then shows the same adversarial moves bouncing off the §4 AEAD fix.
+//
+// Everything the "adversary" does below uses only public information and
+// ciphertexts — no secret key ever crosses into the attack code paths.
+
+#include <cstdio>
+
+#include "aead/factory.h"
+#include "attacks/append_forgery.h"
+#include "attacks/index_linkage.h"
+#include "attacks/mac_interaction.h"
+#include "attacks/pattern_match.h"
+#include "attacks/xor_substitution.h"
+#include "crypto/aes.h"
+#include "crypto/mac.h"
+#include "db/domain.h"
+#include "db/mu.h"
+#include "schemes/aead_cell.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "schemes/elovici_index.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+using namespace sdbenc;
+
+namespace {
+
+void Banner(const char* title) { std::printf("\n=== %s ===\n", title); }
+
+IndexEntryContext DemoContext(uint64_t entry_ref) {
+  IndexEntryContext ctx;
+  ctx.index_table_id = 900;
+  ctx.indexed_table_id = 1;
+  ctx.indexed_column = 0;
+  ctx.entry_ref = entry_ref;
+  ctx.is_leaf = true;
+  ctx.ref_i = EncodeUint64Be(0);
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  const DeterministicEncryptor enc(*aes,
+                                   DeterministicEncryptor::Mode::kCbcZeroIv);
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+
+  Banner("1. Pattern matching on the Append-Scheme (paper 3.1)");
+  {
+    AppendSchemeCellCodec codec(enc, mu);
+    const Bytes alice =
+        BytesFromString("diagnosis: chronic condition X; patient notes A");
+    const Bytes bob =
+        BytesFromString("diagnosis: chronic condition X; patient notes B");
+    const Bytes ct_a = codec.Encode(alice, {1, 1, 0}).value();
+    const Bytes ct_b = codec.Encode(bob, {1, 2, 0}).value();
+    std::printf("cell(1,1) ct: %s...\n",
+                HexEncode(BytesView(ct_a).substr(0, 32)).c_str());
+    std::printf("cell(1,2) ct: %s...\n",
+                HexEncode(BytesView(ct_b).substr(0, 32)).c_str());
+    std::printf("shared ciphertext prefix: %zu blocks "
+                "-> adversary learns both patients share a diagnosis\n",
+                CommonPrefixBlocks(ct_a, ct_b, 16));
+  }
+
+  Banner("2. Existential forgery on the Append-Scheme (paper 3.1)");
+  {
+    AppendSchemeCellCodec codec(enc, mu);
+    const Bytes value(96, 'M');  // a 6-block attribute
+    const CellAddress addr{1, 5, 0};
+    const Bytes stored = codec.Encode(value, addr).value();
+    const auto forgery = ForgeAppendSchemeCiphertext(stored, 16, 16).value();
+    const auto decoded = codec.Decode(forgery.forged, addr);
+    std::printf("adversary flips one ciphertext byte in block %zu\n",
+                forgery.modified_block);
+    std::printf("scheme verdict on forged cell: %s\n",
+                decoded.ok() ? "ACCEPTED (authentication broken)"
+                             : "rejected");
+    if (decoded.ok()) {
+      std::printf("plaintext changed: %s\n",
+                  *decoded == value ? "no" : "yes (blocks 1-2 garbled)");
+    }
+  }
+
+  Banner("3. Substitution attack on the XOR-Scheme (paper 3.1)");
+  {
+    const AsciiDomain ascii;
+    XorSchemeCellCodec codec(enc, mu, ascii);
+    std::printf("offline search over mu for partial collisions "
+                "(high bit of every octet)...\n");
+    const auto result = RunPartialCollisionExperiment(mu, 1, 2, 1024);
+    std::printf("1024 trial addresses -> %zu colliding pairs "
+                "(paper found 6, expectation 8)\n",
+                result.collisions);
+    if (!result.pairs.empty()) {
+      const auto& pair = result.pairs.front();
+      const Bytes v = BytesFromString("ACCT BALANCE 991");
+      const Bytes stored = codec.Encode(v, pair.a).value();
+      const auto moved = codec.Decode(stored, pair.b);
+      std::printf("moving ciphertext %s -> %s: %s\n",
+                  pair.a.ToString().c_str(), pair.b.ToString().c_str(),
+                  moved.ok() ? "ACCEPTED at the wrong cell" : "rejected");
+    }
+  }
+
+  Banner("4. Index linkage despite the 2005 'improvement' (paper 3.3)");
+  {
+    AppendSchemeCellCodec cell_codec(enc, mu);
+    Cmac mac(*aes);
+    DeterministicRng rng(5);
+    Index2005Codec index_codec(enc, mac, rng);
+    std::vector<Bytes> cells, entries;
+    for (int i = 0; i < 16; ++i) {
+      const Bytes v = BytesFromString(
+          "supplier-contract-" + std::to_string(4000 + i) +
+          "-with-sufficiently-long-descriptive-text");
+      cells.push_back(cell_codec.Encode(v, {1, (uint64_t)i, 0}).value());
+      entries.push_back(
+          index_codec.Encode({v, (uint64_t)i}, DemoContext(i + 1)).value());
+    }
+    const auto report = CorrelateIndexWithTable(
+        ExtractIndex2005Payloads(entries), cells, 16, 2);
+    std::printf("index entries linked to table cells: %zu/%zu (%.0f%%)\n",
+                report.linked_cells, report.table_cells,
+                100.0 * report.linked_cell_fraction);
+    std::printf("(the random suffix of eq. 6 is appended AFTER the value, "
+                "so the leading blocks still match)\n");
+  }
+
+  Banner("5. Same-key CBC/OMAC forgery on the improved scheme (paper 3.3)");
+  {
+    Cmac same_key_mac(*aes);  // the pathological instantiation: same key!
+    DeterministicRng rng(9);
+    Index2005Codec codec(enc, same_key_mac, rng);
+    const Bytes v(64, 'S');  // 4-block value
+    const IndexEntryContext ctx = DemoContext(42);
+    const Bytes stored = codec.Encode({v, 7}, ctx).value();
+    const auto forged = ForgeIndex2005Entry(stored, 16, v.size()).value();
+    const auto decoded = codec.Decode(forged.forged, ctx);
+    std::printf("adversary modifies ciphertext block %zu of E~(V||a)\n",
+                forged.modified_block);
+    std::printf("OMAC verdict on forged entry: %s\n",
+                decoded.ok() ? "TAG STILL VERIFIES (MAC bypassed)"
+                             : "rejected");
+    if (decoded.ok()) {
+      std::printf("decrypted V changed: %s\n",
+                  decoded->key == v ? "no" : "yes — undetected modification");
+    }
+  }
+
+  Banner("6. The fix: every move above bounces off the AEAD schemes");
+  {
+    auto aead = CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x42)).value();
+    DeterministicRng rng(2);
+    AeadCellCodec codec(*aead, rng);
+    const Bytes v =
+        BytesFromString("diagnosis: chronic condition X; patient notes A");
+    const Bytes ct1 = codec.Encode(v, {1, 1, 0}).value();
+    const Bytes ct2 = codec.Encode(v, {1, 2, 0}).value();
+    std::printf("equal plaintexts, fresh nonces -> shared prefix blocks: "
+                "%zu\n",
+                CommonPrefixBlocks(ct1, ct2, 16));
+    Bytes spliced = ct1;
+    spliced[aead->nonce_size()] ^= 0x01;
+    std::printf("splice forgery: %s\n",
+                codec.Decode(spliced, {1, 1, 0}).ok() ? "accepted (?!)"
+                                                      : "rejected");
+    std::printf("relocation to (1,2,0): %s\n",
+                codec.Decode(ct1, {1, 2, 0}).ok() ? "accepted (?!)"
+                                                  : "rejected");
+  }
+
+  std::printf("\nAll of the paper's Sect. 3 results reproduced; the Sect. 4 "
+              "fix resists each attack.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// offline_attack — the paper's §1 threat made concrete: "anyone with
+// physical access to the machine or storage system holding the actual data
+// can copy or modify it." A legacy database encrypted with the Elovici
+// Append-Scheme is serialized to disk; a completely separate "attacker
+// phase" then reads the *file* — no keys, no live server — and extracts
+// structure with the §3 toolbox. The same file written by the AEAD engine
+// gives the attacker nothing.
+
+#include <cstdio>
+#include <string>
+
+#include "attacks/frequency_analysis.h"
+#include "attacks/pattern_match.h"
+#include "core/secure_database.h"
+#include "crypto/aes.h"
+#include "db/mu.h"
+#include "db/serialize.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_cell.h"
+#include "util/file.h"
+#include "util/rng.h"
+
+using namespace sdbenc;
+
+namespace {
+
+const char* kDiagnoses[] = {
+    "diagnosis: type 2 diabetes mellitus without complications",
+    "diagnosis: essential (primary) hypertension, ongoing",
+    "diagnosis: asthma, mild intermittent, well controlled",
+};
+
+// Zipf-ish: diagnosis 0 is far more common than 2.
+size_t PickDiagnosis(DeterministicRng& rng) {
+  const uint64_t u = rng.UniformUint64(100);
+  return u < 60 ? 0 : u < 90 ? 1 : 2;
+}
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/") + name;
+}
+
+}  // namespace
+
+int main() {
+  DeterministicRng rng(2006);
+
+  // ---------- victim phase 1: a legacy Append-Scheme database ----------
+  {
+    Database storage;
+    Schema schema({{"patient", ValueType::kString, false},
+                   {"diagnosis", ValueType::kString, true}});
+    Table* table = storage.CreateTable("records", schema).value();
+
+    auto aes = Aes::Create(Bytes(16, 0x42)).value();  // the victim's key
+    const DeterministicEncryptor enc(*aes,
+                                     DeterministicEncryptor::Mode::kCbcZeroIv);
+    const MuFunction mu(HashAlgorithm::kSha1, 16);
+    AppendSchemeCellCodec codec(enc, mu);
+    for (uint64_t i = 0; i < 500; ++i) {
+      const Bytes value =
+          BytesFromString(kDiagnoses[PickDiagnosis(rng)]);
+      const Bytes stored =
+          codec.Encode(value, {table->id(), i, 1}).value();
+      (void)table->AppendRow(
+          {Value::Str("patient-" + std::to_string(i)).Serialize(), stored});
+    }
+    (void)WriteFileAtomic(TempPath("legacy.sdb"),
+                          SerializeDatabase(storage));
+  }  // the victim's key never leaves this scope
+
+  // ---------- attacker phase: only the copied file ----------
+  std::printf("== attacker reads the copied storage file (no key) ==\n");
+  {
+    const Bytes image = ReadFile(TempPath("legacy.sdb")).value();
+    auto storage = DeserializeDatabase(image).value();
+    const Table* table = (*storage).GetTable("records").value();
+    std::vector<Bytes> cells;
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      const BytesView cell = *table->cell(r, 1);
+      cells.emplace_back(cell.begin(), cell.end());
+    }
+    // Equality classes via ciphertext fingerprints.
+    const auto groups = GroupByFingerprint(cells, 16, 2);
+    std::printf("legacy file: %zu cells fall into %zu equality classes:\n",
+                cells.size(), groups.size());
+    for (size_t g = 0; g < groups.size() && g < 5; ++g) {
+      std::printf("  class %zu: %zu patients share one diagnosis\n", g,
+                  groups[g].size());
+    }
+    std::printf("-> with any public prevalence table the attacker now maps\n"
+                "   the largest class to the most common diagnosis, etc.\n");
+  }
+
+  // ---------- the same scenario under the AEAD engine ----------
+  std::printf("\n== same records written by the fixed engine ==\n");
+  {
+    auto db = SecureDatabase::Open(Bytes(32, 0x24), 7).value();
+    Schema schema({{"patient", ValueType::kString, false},
+                   {"diagnosis", ValueType::kString, true}});
+    SecureTableOptions options;
+    (void)db->CreateTable("records", schema, options);
+    DeterministicRng rng2(2006);
+    for (uint64_t i = 0; i < 500; ++i) {
+      (void)db->Insert("records",
+                       {Value::Str("patient-" + std::to_string(i)),
+                        Value::Str(kDiagnoses[PickDiagnosis(rng2)])});
+    }
+    (void)db->SaveToFile(TempPath("fixed.sdb"));
+
+    const Bytes image = ReadFile(TempPath("fixed.sdb")).value();
+    // The engine's file embeds a storage image; attack the cell bytes.
+    auto parsed = [&image]() {
+      BinaryReader reader(image);
+      Bytes storage_image = reader.GetBytes().value();
+      return DeserializeDatabase(storage_image).value();
+    }();
+    const Table* table = (*parsed).GetTable("records").value();
+    std::vector<Bytes> cells;
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      const BytesView cell = *table->cell(r, 1);
+      cells.emplace_back(cell.begin(), cell.end());
+    }
+    const auto groups = GroupByFingerprint(cells, 16, 2);
+    std::printf("fixed file: %zu cells fall into %zu equality classes\n",
+                cells.size(), groups.size());
+    std::printf("-> every cell is its own class: the file leaks sizes only.\n");
+    std::remove(TempPath("legacy.sdb").c_str());
+    std::remove(TempPath("fixed.sdb").c_str());
+    return groups.size() == cells.size() ? 0 : 1;
+  }
+}

@@ -1,0 +1,74 @@
+// Quickstart: the fixed database-and-index encryption system in ~60 lines.
+//
+// Creates a SecureDatabase (the paper's §4 AEAD construction end-to-end),
+// inserts some rows, runs an index-backed point query and a range query,
+// then demonstrates that storage-level tampering is detected.
+
+#include <cstdio>
+
+#include "core/secure_database.h"
+
+using namespace sdbenc;
+
+int main() {
+  // 1. Open an engine with a master key (per-table/per-index subkeys are
+  //    derived internally). Production callers should pass 32 random octets
+  //    and omit the seed; the fixed seed here makes the demo reproducible.
+  SystemRng entropy;
+  const Bytes master_key = entropy.RandomBytes(32);
+  auto db = SecureDatabase::Open(master_key).value();
+
+  // 2. Create a table. Encrypted columns are protected with AEAD cells
+  //    bound to their (table, row, column) address; 'dept' stays in clear
+  //    to show the scheme is structure-preserving and column-selective.
+  Schema schema({{"id", ValueType::kInt64, /*encrypted=*/true},
+                 {"name", ValueType::kString, /*encrypted=*/true},
+                 {"salary", ValueType::kInt64, /*encrypted=*/true},
+                 {"dept", ValueType::kString, /*encrypted=*/false}});
+  SecureTableOptions options;
+  options.aead = AeadAlgorithm::kEax;          // or kOcbPmac / kCcfb / kGcm
+  options.indexed_columns = {"name", "salary"};  // encrypted B+-tree indexes
+  Status s = db->CreateTable("employees", schema, options);
+  if (!s.ok()) {
+    std::printf("create table failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Insert rows; the engine maintains every index.
+  const char* names[] = {"ada", "grace", "edsger", "barbara", "donald"};
+  for (int i = 0; i < 50; ++i) {
+    auto row = db->Insert("employees",
+                          {Value::Int(i), Value::Str(names[i % 5]),
+                           Value::Int(60000 + 1000 * (i % 13)),
+                           Value::Str(i % 2 ? "research" : "platform")});
+    if (!row.ok()) {
+      std::printf("insert failed: %s\n", row.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 4. Point query through the encrypted name index.
+  auto by_name = db->SelectEquals("employees", "name", Value::Str("grace"));
+  std::printf("employees named grace: %zu\n", by_name->size());
+
+  // 5. Range query through the encrypted salary index.
+  auto by_salary = db->SelectRange("employees", "salary", Value::Int(65000),
+                                   Value::Int(68000));
+  std::printf("employees earning 65k..68k: %zu\n", by_salary->size());
+  for (const auto& row : *by_salary) {
+    std::printf("  id=%-3lld name=%-8s salary=%lld\n",
+                static_cast<long long>(row[0].AsInt()),
+                row[1].AsString().c_str(),
+                static_cast<long long>(row[2].AsInt()));
+    if (row[0].AsInt() > 6) break;  // keep the demo short
+  }
+
+  // 6. Integrity: flip one bit in the raw storage (what a rogue storage
+  //    admin could do) and watch the engine notice.
+  Table* raw = db->storage().GetTable("employees").value();
+  (*raw->mutable_cell(7, 2).value())[3] ^= 0x01;
+  const Status integrity = db->VerifyIntegrity();
+  std::printf("after tampering with stored cell (7,salary): %s\n",
+              integrity.ToString().c_str());
+  return integrity.ok() ? 1 : 0;  // tampering MUST be detected
+}

@@ -1,0 +1,102 @@
+// threat_model_tour — walks the paper's §2.1 threat model with live objects:
+// a partially-trusted DBMS server (holds session keys, executes queries), an
+// untrusted storage layer (sees only what Table stores), and a storage-level
+// adversary who can read and rewrite everything below the server. For each
+// adversarial capability the tour shows what the paper's broken schemes
+// would have conceded and what the AEAD fix concedes (nothing but sizes and
+// access patterns).
+
+#include <cstdio>
+#include <set>
+
+#include "core/secure_database.h"
+#include "util/hex.h"
+
+using namespace sdbenc;
+
+namespace {
+
+void Section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+}  // namespace
+
+int main() {
+  // The "secure session": the client hands the key to the DBMS server —
+  // here, constructing the engine. When the object dies, the session ends.
+  auto db = SecureDatabase::Open(Bytes(32, 0xA5), /*rng_seed=*/2026).value();
+
+  Schema schema({{"patient", ValueType::kString, true},
+                 {"icd_code", ValueType::kString, true}});
+  SecureTableOptions options;
+  options.aead = AeadAlgorithm::kOcbPmac;
+  options.indexed_columns = {"icd_code"};
+  (void)db->CreateTable("records", schema, options);
+
+  const char* codes[] = {"E11.9", "I10", "E11.9", "J45", "I10", "E11.9"};
+  for (int i = 0; i < 6; ++i) {
+    (void)db->Insert("records", {Value::Str("patient-" + std::to_string(i)),
+                                 Value::Str(codes[i])});
+  }
+
+  Section("capability 1: the server (with session key) answers queries");
+  auto diabetics = db->SelectEquals("records", "icd_code",
+                                    Value::Str("E11.9"));
+  std::printf("server resolves icd_code = E11.9 via the encrypted index: "
+              "%zu records\n",
+              diabetics->size());
+  std::printf("no non-matching row was decrypted and returned to the "
+              "client (paper Sect. 2.1: \"No data is returned that does not "
+              "belong to the answer\").\n");
+
+  Section("capability 2: storage adversary reads everything");
+  Table* raw = db->storage().GetTable("records").value();
+  std::printf("raw cell (0,icd_code): %s\n",
+              HexEncode(*raw->cell(0, 1)).c_str());
+  std::printf("raw cell (2,icd_code): %s\n",
+              HexEncode(*raw->cell(2, 1)).c_str());
+  std::printf("rows 0 and 2 hold the SAME code, yet the ciphertexts are "
+              "unrelated (fresh nonces)\n");
+  std::printf("-> under the deterministic Elovici schemes these two cells "
+              "would be byte-identical,\n   giving the adversary the "
+              "equality (and, via the index, the ordering) for free.\n");
+
+  Section("capability 3: storage adversary rewrites cells");
+  {
+    // Replace patient-3's code with patient-0's ciphertext (substitution).
+    const Bytes donor(raw->cell(0, 1)->begin(), raw->cell(0, 1)->end());
+    Bytes* victim = raw->mutable_cell(3, 1).value();
+    const Bytes saved = *victim;
+    *victim = donor;
+    auto read = db->GetRow("records", 3);
+    std::printf("substituted ciphertext across rows: read -> %s\n",
+                read.ok() ? "ACCEPTED (broken!)"
+                          : read.status().ToString().c_str());
+    *victim = saved;
+  }
+  {
+    // Bit-flip inside an index entry (index integrity, paper Sect. 3.2).
+    auto state = db->GetTableState("records").value();
+    BPlusTree& tree = state->indexes[0].index->tree();
+    auto dump = tree.DumpStoredEntries();
+    Bytes* entry = tree.MutableStoredEntry(dump.front().entry_ref);
+    const Bytes saved = *entry;
+    (*entry)[entry->size() / 2] ^= 0x10;
+    auto probe = db->SelectEquals("records", "icd_code", Value::Str("I10"));
+    std::printf("tampered index entry: query -> %s\n",
+                probe.ok() ? "ACCEPTED (broken!)"
+                           : probe.status().ToString().c_str());
+    *entry = saved;
+  }
+
+  Section("capability 4: what still leaks (honest accounting)");
+  std::printf("ciphertext lengths: cell sizes reveal value sizes (pad "
+              "upstream if that matters);\n");
+  std::printf("index structure: the B+-tree shape and entry count are "
+              "plaintext by design (structure preservation);\n");
+  std::printf("access patterns: which nodes a query touches is visible to "
+              "the server — ORAM is out of scope, as in the paper.\n");
+
+  std::printf("\nintegrity after the tour: %s\n",
+              db->VerifyIntegrity().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef SDBENC_AEAD_AEAD_H_
+#define SDBENC_AEAD_AEAD_H_
+
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Authenticated encryption with associated data, exactly the paper's §4
+/// formalism:
+///
+///   AEAD-Enc : K × N × M × H → C × T        (eq. 21)
+///   AEAD-Dec : K × N × C × T × H → M ∪ {invalid}   (eq. 22)
+///
+/// Neither the nonce nor the associated data is part of the ciphertext; the
+/// caller stores the nonce and tag alongside C and reconstructs H (for the
+/// fixed schemes, H is the cell address / index references, so it is never
+/// stored at all — its integrity rides on the tag).
+///
+/// Implementations must provide IND$-CPA privacy and INT-CTXT authenticity
+/// under a nonce-respecting adversary; `Open` returns
+/// StatusCode::kAuthenticationFailed as the single indistinguishable
+/// "invalid" outcome for wrong key, wrong associated data, or tampered
+/// nonce/ciphertext/tag.
+class Aead {
+ public:
+  virtual ~Aead() = default;
+
+  /// Required nonce length in octets (0 for deterministic SIV).
+  virtual size_t nonce_size() const = 0;
+
+  /// Authentication-tag length in octets.
+  virtual size_t tag_size() const = 0;
+
+  /// Per-message storage overhead in octets: nonce + tag (paper §4,
+  /// "Storage Overhead"). 32 for EAX/OCB with 128-bit nonce and tag, 16 for
+  /// CCFB (96-bit nonce + 32-bit tag share one block).
+  virtual size_t overhead() const { return nonce_size() + tag_size(); }
+
+  virtual std::string name() const = 0;
+
+  struct Sealed {
+    Bytes ciphertext;  // same length as the plaintext for all schemes here
+    Bytes tag;
+  };
+
+  /// AEAD-Enc. `nonce.size()` must equal nonce_size(); the same (key, nonce)
+  /// pair must never be reused for two different messages.
+  virtual StatusOr<Sealed> Seal(BytesView nonce, BytesView plaintext,
+                                BytesView associated_data) const = 0;
+
+  /// AEAD-Dec. Returns the plaintext, or kAuthenticationFailed ("invalid").
+  virtual StatusOr<Bytes> Open(BytesView nonce, BytesView ciphertext,
+                               BytesView tag,
+                               BytesView associated_data) const = 0;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_AEAD_H_

@@ -1,0 +1,114 @@
+#include "aead/ccfb.h"
+
+#include <cstring>
+#include <utility>
+
+#include "crypto/padding.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+StatusOr<std::unique_ptr<CcfbAead>> CcfbAead::Create(
+    std::unique_ptr<BlockCipher> cipher) {
+  if (cipher == nullptr) return InvalidArgumentError("cipher is null");
+  if (cipher->block_size() != 16) {
+    return InvalidArgumentError("CCFB requires a 128-bit block cipher");
+  }
+  return std::unique_ptr<CcfbAead>(new CcfbAead(std::move(cipher)));
+}
+
+CcfbAead::CcfbAead(std::unique_ptr<BlockCipher> cipher)
+    : cipher_(std::move(cipher)) {}
+
+CcfbAead::ChainResult CcfbAead::Run(BytesView nonce, BytesView in,
+                                    bool encrypt,
+                                    BytesView associated_data) const {
+  // Counter domains: 0 = init, 0x80000000+i = associated data,
+  // 1..m = message, 0xffffffff / 0xfffffffe = finalisation with a
+  // full / partial last chunk (domain separation instead of a length block).
+  Bytes v(16);
+  Bytes block(16);
+  std::memcpy(block.data(), nonce.data(), kChunk);
+  PutUint32Be(block.data() + kChunk, 0);
+  cipher_->EncryptBlock(block.data(), v.data());
+
+  uint32_t ad_counter = 0x80000000u;
+  const size_t ad_chunks =
+      associated_data.empty() ? 0 : (associated_data.size() + kChunk - 1) / kChunk;
+  for (size_t i = 0; i < ad_chunks; ++i) {
+    const BytesView chunk = associated_data.substr(i * kChunk, kChunk);
+    Bytes padded = (chunk.size() == kChunk)
+                       ? Bytes(chunk.begin(), chunk.end())
+                       : OneZeroPad(chunk, kChunk);
+    for (size_t j = 0; j < kChunk; ++j) block[j] = padded[j] ^ v[j];
+    PutUint32Be(block.data() + kChunk, ++ad_counter);
+    cipher_->EncryptBlock(block.data(), v.data());
+  }
+
+  ChainResult result;
+  result.output.assign(in.size(), 0);
+  Bytes sigma(kChunk, 0);
+  const size_t m = in.empty() ? 0 : (in.size() + kChunk - 1) / kChunk;
+  bool last_full = true;
+  for (size_t i = 0; i < m; ++i) {
+    const size_t off = i * kChunk;
+    const size_t len = std::min(kChunk, in.size() - off);
+    // Keystream chunk is msb_96(V); the ciphertext (zero-padded) feeds back.
+    for (size_t j = 0; j < len; ++j) {
+      result.output[off + j] = in[off + j] ^ v[j];
+    }
+    const uint8_t* cipher_chunk =
+        encrypt ? result.output.data() + off : in.data() + off;
+    const uint8_t* plain_chunk =
+        encrypt ? in.data() + off : result.output.data() + off;
+    // Accumulate the plaintext checksum (10*-padded for a partial chunk).
+    if (len == kChunk) {
+      for (size_t j = 0; j < kChunk; ++j) sigma[j] ^= plain_chunk[j];
+    } else {
+      const Bytes padded = OneZeroPad(BytesView(plain_chunk, len), kChunk);
+      XorInto(sigma, padded);
+      last_full = false;
+    }
+    std::memset(block.data(), 0, 16);
+    std::memcpy(block.data(), cipher_chunk, len);
+    PutUint32Be(block.data() + kChunk, static_cast<uint32_t>(i + 1));
+    cipher_->EncryptBlock(block.data(), v.data());
+  }
+  if (in.empty()) {
+    // The empty message authenticates as a partial (10*-padded) chunk.
+    const Bytes padded = OneZeroPad(BytesView(), kChunk);
+    XorInto(sigma, padded);
+    last_full = false;
+  }
+
+  for (size_t j = 0; j < kChunk; ++j) block[j] = sigma[j] ^ v[j];
+  PutUint32Be(block.data() + kChunk, last_full ? 0xffffffffu : 0xfffffffeu);
+  Bytes final_block(16);
+  cipher_->EncryptBlock(block.data(), final_block.data());
+  result.tag.assign(final_block.begin(), final_block.begin() + 4);
+  return result;
+}
+
+StatusOr<Aead::Sealed> CcfbAead::Seal(BytesView nonce, BytesView plaintext,
+                                      BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("CCFB nonce must be 12 octets");
+  }
+  ChainResult r = Run(nonce, plaintext, /*encrypt=*/true, associated_data);
+  return Sealed{std::move(r.output), std::move(r.tag)};
+}
+
+StatusOr<Bytes> CcfbAead::Open(BytesView nonce, BytesView ciphertext,
+                               BytesView tag,
+                               BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("CCFB nonce must be 12 octets");
+  }
+  ChainResult r = Run(nonce, ciphertext, /*encrypt=*/false, associated_data);
+  if (!ConstantTimeEquals(r.tag, tag)) {
+    return AuthenticationFailedError("CCFB tag mismatch");
+  }
+  return std::move(r.output);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,60 @@
+#include "aead/eax.h"
+
+#include <utility>
+
+#include "crypto/modes.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+StatusOr<std::unique_ptr<EaxAead>> EaxAead::Create(
+    std::unique_ptr<BlockCipher> cipher) {
+  if (cipher == nullptr) return InvalidArgumentError("cipher is null");
+  return std::unique_ptr<EaxAead>(new EaxAead(std::move(cipher)));
+}
+
+EaxAead::EaxAead(std::unique_ptr<BlockCipher> cipher)
+    : cipher_(std::move(cipher)), omac_(std::make_unique<Cmac>(*cipher_)) {}
+
+Bytes EaxAead::TweakedOmac(uint8_t tweak, BytesView data) const {
+  Bytes input(cipher_->block_size(), 0);
+  input.back() = tweak;
+  Append(input, data);
+  return omac_->Compute(input);
+}
+
+StatusOr<Aead::Sealed> EaxAead::Seal(BytesView nonce, BytesView plaintext,
+                                     BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("EAX nonce must be 16 octets");
+  }
+  const Bytes n = TweakedOmac(0, nonce);
+  const Bytes h = TweakedOmac(1, associated_data);
+  SDBENC_ASSIGN_OR_RETURN(Bytes ciphertext, CtrCrypt(*cipher_, n, plaintext));
+  const Bytes c = TweakedOmac(2, ciphertext);
+
+  Bytes tag(cipher_->block_size());
+  for (size_t i = 0; i < tag.size(); ++i) tag[i] = n[i] ^ h[i] ^ c[i];
+  return Sealed{std::move(ciphertext), std::move(tag)};
+}
+
+StatusOr<Bytes> EaxAead::Open(BytesView nonce, BytesView ciphertext,
+                              BytesView tag,
+                              BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("EAX nonce must be 16 octets");
+  }
+  const Bytes n = TweakedOmac(0, nonce);
+  const Bytes h = TweakedOmac(1, associated_data);
+  const Bytes c = TweakedOmac(2, ciphertext);
+  Bytes expected(cipher_->block_size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = n[i] ^ h[i] ^ c[i];
+  }
+  if (!ConstantTimeEquals(expected, tag)) {
+    return AuthenticationFailedError("EAX tag mismatch");
+  }
+  return CtrCrypt(*cipher_, n, ciphertext);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,49 @@
+#ifndef SDBENC_AEAD_EAX_H_
+#define SDBENC_AEAD_EAX_H_
+
+#include <memory>
+
+#include "aead/aead.h"
+#include "crypto/block_cipher.h"
+#include "crypto/mac.h"
+
+namespace sdbenc {
+
+/// EAX mode (Bellare, Rogaway, Wagner, FSE 2004 — the paper's [1]):
+/// two-pass AEAD built from CTR encryption and OMAC with domain separation,
+///
+///   N' = OMAC^0_K(N),  H' = OMAC^1_K(H),  C = CTR^{N'}_K(M),
+///   C' = OMAC^2_K(C),  Tag = N' ^ C' ^ H'.
+///
+/// Accepts any nonce length (16 octets canonical here). Block-cipher cost for
+/// n message and m header blocks: 2n + m + const, matching the paper's
+/// `2n + m + 1` accounting (§4, Performance Overhead).
+class EaxAead : public Aead {
+ public:
+  /// Takes ownership of `cipher` (any block size; AES canonical).
+  static StatusOr<std::unique_ptr<EaxAead>> Create(
+      std::unique_ptr<BlockCipher> cipher);
+
+  size_t nonce_size() const override { return 16; }
+  size_t tag_size() const override { return cipher_->block_size(); }
+  std::string name() const override { return "EAX(" + cipher_->name() + ")"; }
+
+  StatusOr<Sealed> Seal(BytesView nonce, BytesView plaintext,
+                        BytesView associated_data) const override;
+  StatusOr<Bytes> Open(BytesView nonce, BytesView ciphertext, BytesView tag,
+                       BytesView associated_data) const override;
+
+ private:
+  explicit EaxAead(std::unique_ptr<BlockCipher> cipher);
+
+  /// OMAC^t(M) = OMAC([t]_n || M): the block-encoded tweak prefix gives the
+  /// three domains (0 = nonce, 1 = header, 2 = ciphertext).
+  Bytes TweakedOmac(uint8_t tweak, BytesView data) const;
+
+  std::unique_ptr<BlockCipher> cipher_;
+  std::unique_ptr<Cmac> omac_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_EAX_H_

@@ -1,0 +1,68 @@
+#include "aead/etm.h"
+
+#include <utility>
+
+#include "crypto/aes.h"
+#include "crypto/modes.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+StatusOr<std::unique_ptr<EtmAead>> EtmAead::Create(BytesView master_key) {
+  if (master_key.size() < 16) {
+    return InvalidArgumentError("EtM master key must be >= 16 octets");
+  }
+  // HKDF-style expansion: independent subkeys from one master secret, so the
+  // encryption and MAC components cannot interact (contrast paper §3.3).
+  const Bytes enc_label = BytesFromString("sdbenc-etm-enc");
+  const Bytes mac_label = BytesFromString("sdbenc-etm-mac");
+  Bytes enc_key = HmacCompute(HashAlgorithm::kSha256, master_key, enc_label);
+  enc_key.resize(16);
+  Bytes mac_key = HmacCompute(HashAlgorithm::kSha256, master_key, mac_label);
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(enc_key));
+  return std::unique_ptr<EtmAead>(
+      new EtmAead(std::move(aes), std::move(mac_key)));
+}
+
+EtmAead::EtmAead(std::unique_ptr<BlockCipher> enc_cipher, Bytes mac_key)
+    : enc_cipher_(std::move(enc_cipher)), mac_key_(std::move(mac_key)) {}
+
+Bytes EtmAead::MacInput(BytesView nonce, BytesView associated_data,
+                        BytesView ciphertext) const {
+  // Unambiguous encoding: nonce (fixed length) || len64(H) || H || C.
+  Bytes input(nonce.begin(), nonce.end());
+  Append(input, EncodeUint64Be(associated_data.size()));
+  Append(input, associated_data);
+  Append(input, ciphertext);
+  return input;
+}
+
+StatusOr<Aead::Sealed> EtmAead::Seal(BytesView nonce, BytesView plaintext,
+                                     BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("EtM nonce must be 16 octets");
+  }
+  SDBENC_ASSIGN_OR_RETURN(Bytes ciphertext,
+                          CtrCrypt(*enc_cipher_, nonce, plaintext));
+  Bytes tag = HmacCompute(HashAlgorithm::kSha256, mac_key_,
+                          MacInput(nonce, associated_data, ciphertext));
+  tag.resize(tag_size());
+  return Sealed{std::move(ciphertext), std::move(tag)};
+}
+
+StatusOr<Bytes> EtmAead::Open(BytesView nonce, BytesView ciphertext,
+                              BytesView tag,
+                              BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("EtM nonce must be 16 octets");
+  }
+  Bytes expected = HmacCompute(HashAlgorithm::kSha256, mac_key_,
+                               MacInput(nonce, associated_data, ciphertext));
+  expected.resize(tag_size());
+  if (!ConstantTimeEquals(expected, tag)) {
+    return AuthenticationFailedError("EtM tag mismatch");
+  }
+  return CtrCrypt(*enc_cipher_, nonce, ciphertext);
+}
+
+}  // namespace sdbenc

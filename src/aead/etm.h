@@ -1,0 +1,49 @@
+#ifndef SDBENC_AEAD_ETM_H_
+#define SDBENC_AEAD_ETM_H_
+
+#include <memory>
+
+#include "aead/aead.h"
+#include "crypto/block_cipher.h"
+#include "crypto/hash.h"
+
+namespace sdbenc {
+
+/// Generic Encrypt-then-MAC AEAD: AES-CTR under an encryption subkey, then
+/// HMAC-SHA-256 over (nonce || len(H) || H || C) under an independent MAC
+/// subkey, tag truncated to 16 octets.
+///
+/// This is the conservative generic composition Krawczyk proved secure (the
+/// analysed paper's [6]) — included as the baseline the paper contrasts the
+/// dedicated AEAD modes against, and as the live refutation of the broken
+/// encrypt-AND-mac layout of the improved index scheme (paper §3.3): the
+/// subkeys are *derived to be independent*, and the MAC covers the
+/// ciphertext, so the CBC/CBC-MAC interaction attack has no footing.
+class EtmAead : public Aead {
+ public:
+  /// Derives independent subkeys from `master_key` (any length >= 16) via
+  /// HMAC-based extraction, then builds AES-128-CTR + HMAC-SHA-256.
+  static StatusOr<std::unique_ptr<EtmAead>> Create(BytesView master_key);
+
+  size_t nonce_size() const override { return 16; }
+  size_t tag_size() const override { return 16; }
+  std::string name() const override { return "EtM(AES-128-CTR,HMAC-SHA256)"; }
+
+  StatusOr<Sealed> Seal(BytesView nonce, BytesView plaintext,
+                        BytesView associated_data) const override;
+  StatusOr<Bytes> Open(BytesView nonce, BytesView ciphertext, BytesView tag,
+                       BytesView associated_data) const override;
+
+ private:
+  EtmAead(std::unique_ptr<BlockCipher> enc_cipher, Bytes mac_key);
+
+  Bytes MacInput(BytesView nonce, BytesView associated_data,
+                 BytesView ciphertext) const;
+
+  std::unique_ptr<BlockCipher> enc_cipher_;
+  Bytes mac_key_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_ETM_H_

@@ -1,0 +1,83 @@
+#include "aead/factory.h"
+
+#include <utility>
+
+#include "aead/ccfb.h"
+#include "aead/eax.h"
+#include "aead/etm.h"
+#include "aead/gcm.h"
+#include "aead/ocb.h"
+#include "aead/siv.h"
+#include "crypto/aes.h"
+
+namespace sdbenc {
+
+StatusOr<AeadAlgorithm> ParseAeadAlgorithm(const std::string& name) {
+  if (name == "eax") return AeadAlgorithm::kEax;
+  if (name == "ocb") return AeadAlgorithm::kOcbPmac;
+  if (name == "ccfb") return AeadAlgorithm::kCcfb;
+  if (name == "etm") return AeadAlgorithm::kEtm;
+  if (name == "gcm") return AeadAlgorithm::kGcm;
+  if (name == "siv") return AeadAlgorithm::kSiv;
+  return InvalidArgumentError("unknown AEAD algorithm: " + name);
+}
+
+const char* AeadAlgorithmName(AeadAlgorithm alg) {
+  switch (alg) {
+    case AeadAlgorithm::kEax:
+      return "eax";
+    case AeadAlgorithm::kOcbPmac:
+      return "ocb";
+    case AeadAlgorithm::kCcfb:
+      return "ccfb";
+    case AeadAlgorithm::kEtm:
+      return "etm";
+    case AeadAlgorithm::kGcm:
+      return "gcm";
+    case AeadAlgorithm::kSiv:
+      return "siv";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<Aead>> CreateAead(AeadAlgorithm alg, BytesView key) {
+  switch (alg) {
+    case AeadAlgorithm::kEax: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<EaxAead> aead,
+                              EaxAead::Create(std::move(aes)));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+    case AeadAlgorithm::kOcbPmac: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<OcbAead> aead,
+                              OcbAead::Create(std::move(aes)));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+    case AeadAlgorithm::kCcfb: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<CcfbAead> aead,
+                              CcfbAead::Create(std::move(aes)));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+    case AeadAlgorithm::kEtm: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<EtmAead> aead,
+                              EtmAead::Create(key));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+    case AeadAlgorithm::kGcm: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<GcmAead> aead,
+                              GcmAead::Create(std::move(aes)));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+    case AeadAlgorithm::kSiv: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<SivAead> aead,
+                              SivAead::Create(key));
+      return std::unique_ptr<Aead>(std::move(aead));
+    }
+  }
+  return InvalidArgumentError("unknown AEAD algorithm");
+}
+
+}  // namespace sdbenc

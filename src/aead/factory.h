@@ -1,0 +1,34 @@
+#ifndef SDBENC_AEAD_FACTORY_H_
+#define SDBENC_AEAD_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "aead/aead.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// The interchangeable AEAD instantiations of the paper's §4 fix.
+enum class AeadAlgorithm {
+  kEax,      // two-pass, 2n+m+1 cipher calls, 32-octet overhead
+  kOcbPmac,  // one-pass, n+m+5 cipher calls, 32-octet overhead
+  kCcfb,     // feedback mode, 16-octet overhead (96-bit nonce, 32-bit tag)
+  kEtm,      // generic CTR + HMAC-SHA-256 composition (baseline)
+  kGcm,      // CTR + GHASH (post-paper; included for cross-validation)
+  kSiv,      // deterministic, misuse-resistant (extension)
+};
+
+/// Parses "eax" / "ocb" / "ccfb" / "etm" / "gcm" / "siv".
+StatusOr<AeadAlgorithm> ParseAeadAlgorithm(const std::string& name);
+
+const char* AeadAlgorithmName(AeadAlgorithm alg);
+
+/// Builds the requested AEAD over AES. `key` must be 16/24/32 octets
+/// (exactly 32 for SIV, >= 16 for EtM).
+StatusOr<std::unique_ptr<Aead>> CreateAead(AeadAlgorithm alg, BytesView key);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_FACTORY_H_

@@ -1,0 +1,119 @@
+#include "aead/gcm.h"
+
+#include <cstring>
+#include <utility>
+
+#include "crypto/modes.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+namespace {
+
+/// GF(2^128) multiplication in the GCM bit-reflected convention: bit 0 of
+/// byte 0 is the coefficient of x^0 and the reduction polynomial is
+/// 1 + x + x^2 + x^7 + x^128 (constant 0xe1 in the leading octet).
+void GcmMultiply(const uint8_t x[16], const uint8_t y[16], uint8_t out[16]) {
+  uint8_t z[16] = {0};
+  uint8_t v[16];
+  std::memcpy(v, y, 16);
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);  // MSB-first within each octet
+    if ((x[byte] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    // v = v * x (right shift in the reflected representation).
+    const uint8_t lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j) {
+      v[j] = static_cast<uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  std::memcpy(out, z, 16);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<GcmAead>> GcmAead::Create(
+    std::unique_ptr<BlockCipher> cipher) {
+  if (cipher == nullptr) return InvalidArgumentError("cipher is null");
+  if (cipher->block_size() != 16) {
+    return InvalidArgumentError("GCM requires a 128-bit block cipher");
+  }
+  return std::unique_ptr<GcmAead>(new GcmAead(std::move(cipher)));
+}
+
+GcmAead::GcmAead(std::unique_ptr<BlockCipher> cipher)
+    : cipher_(std::move(cipher)) {
+  h_.assign(16, 0);
+  cipher_->EncryptBlock(h_.data(), h_.data());
+}
+
+Bytes GcmAead::Ghash(BytesView associated_data, BytesView ciphertext) const {
+  uint8_t y[16] = {0};
+  auto absorb = [&](BytesView data) {
+    for (size_t off = 0; off < data.size(); off += 16) {
+      uint8_t block[16] = {0};
+      const size_t n = std::min<size_t>(16, data.size() - off);
+      std::memcpy(block, data.data() + off, n);
+      for (int j = 0; j < 16; ++j) y[j] ^= block[j];
+      GcmMultiply(y, h_.data(), y);
+    }
+  };
+  absorb(associated_data);
+  absorb(ciphertext);
+  uint8_t lens[16];
+  PutUint64Be(lens, static_cast<uint64_t>(associated_data.size()) * 8);
+  PutUint64Be(lens + 8, static_cast<uint64_t>(ciphertext.size()) * 8);
+  for (int j = 0; j < 16; ++j) y[j] ^= lens[j];
+  GcmMultiply(y, h_.data(), y);
+  return Bytes(y, y + 16);
+}
+
+Bytes GcmAead::ComputeTag(BytesView j0, BytesView associated_data,
+                          BytesView ciphertext) const {
+  Bytes s = Ghash(associated_data, ciphertext);
+  Bytes ekj0(16);
+  cipher_->EncryptBlock(j0.data(), ekj0.data());
+  XorInto(s, ekj0);
+  return s;
+}
+
+StatusOr<Aead::Sealed> GcmAead::Seal(BytesView nonce, BytesView plaintext,
+                                     BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("GCM nonce must be 12 octets");
+  }
+  // J0 = IV || 0^31 || 1; encryption counter starts at inc32(J0).
+  Bytes j0(16, 0);
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  Bytes counter = j0;
+  counter[15] = 2;
+  SDBENC_ASSIGN_OR_RETURN(Bytes ciphertext,
+                          CtrCrypt(*cipher_, counter, plaintext));
+  Bytes tag = ComputeTag(j0, associated_data, ciphertext);
+  return Sealed{std::move(ciphertext), std::move(tag)};
+}
+
+StatusOr<Bytes> GcmAead::Open(BytesView nonce, BytesView ciphertext,
+                              BytesView tag,
+                              BytesView associated_data) const {
+  if (nonce.size() != nonce_size()) {
+    return InvalidArgumentError("GCM nonce must be 12 octets");
+  }
+  Bytes j0(16, 0);
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  const Bytes expected = ComputeTag(j0, associated_data, ciphertext);
+  if (!ConstantTimeEquals(expected, tag)) {
+    return AuthenticationFailedError("GCM tag mismatch");
+  }
+  Bytes counter = j0;
+  counter[15] = 2;
+  return CtrCrypt(*cipher_, counter, ciphertext);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,36 @@
+#include "aead/nonce.h"
+
+namespace sdbenc {
+
+CounterNonceSequence::CounterNonceSequence(size_t nonce_size, Rng& rng,
+                                           size_t counter_octets) {
+  counter_octets_ = counter_octets > nonce_size ? nonce_size : counter_octets;
+  if (counter_octets_ > 8) counter_octets_ = 8;
+  prefix_ = rng.RandomBytes(nonce_size - counter_octets_);
+  limit_ = counter_octets_ >= 8
+               ? ~uint64_t{0}
+               : ((uint64_t{1} << (8 * counter_octets_)) - 1);
+}
+
+StatusOr<Bytes> CounterNonceSequence::Next() {
+  if (exhausted_) {
+    return FailedPreconditionError("nonce space exhausted; rekey");
+  }
+  Bytes nonce = prefix_;
+  const size_t off = nonce.size();
+  nonce.resize(off + counter_octets_);
+  uint64_t v = counter_;
+  for (size_t i = counter_octets_; i-- > 0;) {
+    nonce[off + i] = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+  if (counter_ == limit_) {
+    exhausted_ = true;  // this was the last nonce; never wrap
+  } else {
+    ++counter_;
+  }
+  ++issued_;
+  return nonce;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,43 @@
+#ifndef SDBENC_AEAD_NONCE_H_
+#define SDBENC_AEAD_NONCE_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Nonce discipline for the AEAD schemes: the §4 fix is only as strong as
+/// "a unique nonce N is generated" per encryption. Random nonces are fine
+/// until the birthday bound; this counter-based sequence gives *guaranteed*
+/// uniqueness within a session — a random prefix (so parallel sessions never
+/// collide) followed by a big-endian counter, failing hard on exhaustion
+/// instead of wrapping.
+class CounterNonceSequence {
+ public:
+  /// `nonce_size` >= 8 recommended; smaller sizes shrink the counter space.
+  /// With nonce_size >= counter_octets the layout is
+  /// random[nonce_size - counter_octets] || counter[counter_octets].
+  CounterNonceSequence(size_t nonce_size, Rng& rng,
+                       size_t counter_octets = 8);
+
+  /// Returns the next unique nonce, or FailedPrecondition once the counter
+  /// space is exhausted (never silently reuses).
+  StatusOr<Bytes> Next();
+
+  uint64_t issued() const { return issued_; }
+
+ private:
+  Bytes prefix_;
+  size_t counter_octets_;
+  uint64_t counter_ = 0;
+  uint64_t limit_;
+  uint64_t issued_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_NONCE_H_

@@ -1,0 +1,54 @@
+#ifndef SDBENC_AEAD_OCB_H_
+#define SDBENC_AEAD_OCB_H_
+
+#include <memory>
+
+#include "aead/aead.h"
+#include "crypto/block_cipher.h"
+#include "crypto/mac.h"
+
+namespace sdbenc {
+
+/// OCB with PMAC-authenticated associated data — the "OCB⊕PMAC" composition
+/// of Rogaway's CCS 2002 AEAD paper (the analysed paper's [10]): one-pass
+/// OCB1 encryption of the message, PMAC over the header, final tag
+///
+///   Tag = OCB1-FullTag(N, M) ^ PMAC_K(H)        (H empty -> plain OCB1).
+///
+/// Block-cipher cost for n message and m header blocks is n + m + const,
+/// matching the paper's `n + m + 5` accounting (§4). The nonce must be
+/// exactly one block.
+class OcbAead : public Aead {
+ public:
+  static StatusOr<std::unique_ptr<OcbAead>> Create(
+      std::unique_ptr<BlockCipher> cipher);
+
+  size_t nonce_size() const override { return cipher_->block_size(); }
+  size_t tag_size() const override { return cipher_->block_size(); }
+  std::string name() const override {
+    return "OCB+PMAC(" + cipher_->name() + ")";
+  }
+
+  StatusOr<Sealed> Seal(BytesView nonce, BytesView plaintext,
+                        BytesView associated_data) const override;
+  StatusOr<Bytes> Open(BytesView nonce, BytesView ciphertext, BytesView tag,
+                       BytesView associated_data) const override;
+
+ private:
+  explicit OcbAead(std::unique_ptr<BlockCipher> cipher);
+
+  /// Core OCB1 pass. In encrypt mode `in` is the plaintext and `out`
+  /// receives the ciphertext; in decrypt mode the reverse. `full_tag`
+  /// receives the untruncated tag E_K(Checksum ^ Z_m).
+  void Ocb1Pass(BytesView nonce, BytesView in, bool encrypt, Bytes* out,
+                Bytes* full_tag) const;
+
+  std::unique_ptr<BlockCipher> cipher_;
+  std::unique_ptr<Pmac> pmac_;
+  Bytes l_;      // L = E_K(0^n)
+  Bytes l_inv_;  // L * x^{-1}
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_OCB_H_

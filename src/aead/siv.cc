@@ -1,0 +1,88 @@
+#include "aead/siv.h"
+
+#include <utility>
+
+#include "crypto/aes.h"
+#include "crypto/gf.h"
+#include "crypto/modes.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+StatusOr<std::unique_ptr<SivAead>> SivAead::Create(BytesView key) {
+  if (key.size() != 32) {
+    return InvalidArgumentError("AES-SIV key must be 32 octets");
+  }
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> mac_aes,
+                          Aes::Create(key.substr(0, 16)));
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> ctr_aes,
+                          Aes::Create(key.substr(16, 16)));
+  return std::unique_ptr<SivAead>(
+      new SivAead(std::move(mac_aes), std::move(ctr_aes)));
+}
+
+SivAead::SivAead(std::unique_ptr<BlockCipher> mac_cipher,
+                 std::unique_ptr<BlockCipher> ctr_cipher)
+    : mac_cipher_(std::move(mac_cipher)),
+      ctr_cipher_(std::move(ctr_cipher)),
+      cmac_(std::make_unique<Cmac>(*mac_cipher_)) {}
+
+Bytes SivAead::S2v(BytesView associated_data, BytesView plaintext) const {
+  // S2V with the two-component vector (AD, plaintext), RFC 5297 §2.4.
+  const Bytes zero(16, 0);
+  Bytes d = cmac_->Compute(zero);
+  d = GfDouble(d);
+  XorInto(d, cmac_->Compute(associated_data));
+  if (plaintext.size() >= 16) {
+    // T = plaintext with D xor-ed into its final 16 octets ("xorend").
+    Bytes t(plaintext.begin(), plaintext.end());
+    const size_t off = t.size() - 16;
+    for (size_t i = 0; i < 16; ++i) t[off + i] ^= d[i];
+    return cmac_->Compute(t);
+  }
+  Bytes dbl = GfDouble(d);
+  // pad(plaintext) = plaintext || 0x80 || 0^*.
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.push_back(0x80);
+  padded.resize(16, 0);
+  XorInto(dbl, padded);
+  return cmac_->Compute(dbl);
+}
+
+StatusOr<Aead::Sealed> SivAead::Seal(BytesView nonce, BytesView plaintext,
+                                     BytesView associated_data) const {
+  if (!nonce.empty()) {
+    return InvalidArgumentError("AES-SIV is deterministic; pass no nonce");
+  }
+  const Bytes v = S2v(associated_data, plaintext);
+  // CTR counter = V with the two reserved bits cleared (RFC 5297 §2.6).
+  Bytes counter = v;
+  counter[8] &= 0x7f;
+  counter[12] &= 0x7f;
+  SDBENC_ASSIGN_OR_RETURN(Bytes ciphertext,
+                          CtrCrypt(*ctr_cipher_, counter, plaintext));
+  return Sealed{std::move(ciphertext), v};
+}
+
+StatusOr<Bytes> SivAead::Open(BytesView nonce, BytesView ciphertext,
+                              BytesView tag,
+                              BytesView associated_data) const {
+  if (!nonce.empty()) {
+    return InvalidArgumentError("AES-SIV is deterministic; pass no nonce");
+  }
+  if (tag.size() != 16) {
+    return AuthenticationFailedError("AES-SIV tag must be 16 octets");
+  }
+  Bytes counter(tag.begin(), tag.end());
+  counter[8] &= 0x7f;
+  counter[12] &= 0x7f;
+  SDBENC_ASSIGN_OR_RETURN(Bytes plaintext,
+                          CtrCrypt(*ctr_cipher_, counter, ciphertext));
+  const Bytes expected = S2v(associated_data, plaintext);
+  if (!ConstantTimeEquals(expected, tag)) {
+    return AuthenticationFailedError("AES-SIV tag mismatch");
+  }
+  return plaintext;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,37 @@
+#include "attacks/append_forgery.h"
+
+namespace sdbenc {
+
+size_t ProtectedTrailerBlocks(size_t block_size, size_t mu_len) {
+  // Worst case the padding adds a whole block; the checksum spans
+  // ceil((mu_len + block_size) / block_size) trailing blocks, and the block
+  // immediately before them must also stay intact (its corruption would
+  // propagate into the first checksum block).
+  const size_t checksum_blocks =
+      (mu_len + block_size + block_size - 1) / block_size;
+  return checksum_blocks + 1;
+}
+
+StatusOr<SpliceForgery> ForgeAppendSchemeCiphertext(BytesView stored,
+                                                    size_t block_size,
+                                                    size_t mu_len,
+                                                    uint8_t delta) {
+  if (delta == 0) return InvalidArgumentError("delta must be non-zero");
+  if (stored.size() % block_size != 0) {
+    return InvalidArgumentError("ciphertext not block aligned");
+  }
+  const size_t total_blocks = stored.size() / block_size;
+  const size_t protect = ProtectedTrailerBlocks(block_size, mu_len);
+  if (total_blocks <= protect) {
+    return FailedPreconditionError(
+        "value too short: no modifiable block before the checksum region");
+  }
+  // Modify the first block (any block index < total - protect works).
+  SpliceForgery forgery;
+  forgery.forged.assign(stored.begin(), stored.end());
+  forgery.modified_block = 0;
+  forgery.forged[0] ^= delta;
+  return forgery;
+}
+
+}  // namespace sdbenc

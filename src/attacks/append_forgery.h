@@ -1,0 +1,44 @@
+#ifndef SDBENC_ATTACKS_APPEND_FORGERY_H_
+#define SDBENC_ATTACKS_APPEND_FORGERY_H_
+
+#include <cstddef>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Existential forgery against the Append-Scheme's authentication
+/// (paper §3.1, eqs. 14–17). The plaintext layout is
+///
+///   P = P_1 ... P_s  P_{s+1} ... P_{s+u}
+///       \--- V ---/  \-- µ(t,r,c) + padding --/
+///
+/// CBC decryption propagates a ciphertext change in block i only into
+/// plaintext blocks i and i+1. So flipping any bits in C_i for i <= s-1
+/// leaves every checksum block — and the padding — untouched: the modified
+/// ciphertext decrypts to a *different* V at the *same* address and is
+/// accepted as valid. The attacker needs no key; only the public output
+/// width of µ.
+struct SpliceForgery {
+  Bytes forged;           // the ciphertext to write back to the cell
+  size_t modified_block;  // 0-based index of the altered ciphertext block
+};
+
+/// `stored` is an Append-Scheme ciphertext, `mu_len` the public checksum
+/// width. `delta` is XOR-ed into one byte of the chosen block (default: the
+/// first block, paper's C_1...C_{s-1} range). Fails if V is too short for
+/// any block to be safely modifiable.
+StatusOr<SpliceForgery> ForgeAppendSchemeCiphertext(BytesView stored,
+                                                    size_t block_size,
+                                                    size_t mu_len,
+                                                    uint8_t delta = 0x01);
+
+/// Number of trailing blocks the attacker must preserve: everything that
+/// could contain µ or padding bits, plus the one block whose corruption
+/// would bleed into them.
+size_t ProtectedTrailerBlocks(size_t block_size, size_t mu_len);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_APPEND_FORGERY_H_

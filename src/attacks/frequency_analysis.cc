@@ -1,0 +1,61 @@
+#include "attacks/frequency_analysis.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace sdbenc {
+
+std::vector<std::vector<size_t>> GroupByFingerprint(
+    const std::vector<Bytes>& ciphertexts, size_t block_size,
+    size_t fingerprint_blocks) {
+  const size_t fp_len = block_size * fingerprint_blocks;
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < ciphertexts.size(); ++i) {
+    if (ciphertexts[i].size() < fp_len) {
+      groups.push_back({i});  // too short to fingerprint: singleton
+      continue;
+    }
+    std::string fp(ciphertexts[i].begin(), ciphertexts[i].begin() + fp_len);
+    buckets[std::move(fp)].push_back(i);
+  }
+  for (auto& [fp, members] : buckets) {
+    groups.push_back(std::move(members));
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();  // deterministic tie-break
+            });
+  return groups;
+}
+
+FrequencyAttackResult RunFrequencyAttack(
+    const std::vector<Bytes>& ciphertexts,
+    const std::vector<size_t>& true_rank, size_t block_size,
+    size_t fingerprint_blocks) {
+  FrequencyAttackResult result;
+  const auto groups =
+      GroupByFingerprint(ciphertexts, block_size, fingerprint_blocks);
+  result.distinct_groups = groups.size();
+  result.guessed_rank.assign(ciphertexts.size(), SIZE_MAX);
+  for (size_t rank = 0; rank < groups.size(); ++rank) {
+    for (size_t i : groups[rank]) {
+      result.guessed_rank[i] = rank;
+    }
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < ciphertexts.size(); ++i) {
+    if (i < true_rank.size() && result.guessed_rank[i] == true_rank[i]) {
+      ++correct;
+    }
+  }
+  result.accuracy = ciphertexts.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(ciphertexts.size());
+  return result;
+}
+
+}  // namespace sdbenc

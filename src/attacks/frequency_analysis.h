@@ -1,0 +1,50 @@
+#ifndef SDBENC_ATTACKS_FREQUENCY_ANALYSIS_H_
+#define SDBENC_ATTACKS_FREQUENCY_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Frequency analysis on deterministic, structure-preserving cell
+/// encryption — the classical follow-on to the paper's pattern-matching
+/// observation. Under the Append-Scheme, two cells holding the same value V
+/// share all of V's full ciphertext blocks (only the µ/padding tail
+/// differs), so the leading blocks are a deterministic *fingerprint* of V.
+/// An adversary who knows the attribute's value distribution (e.g. a public
+/// census of first names) buckets cells by fingerprint, ranks buckets by
+/// size, and aligns ranks with the known distribution — decrypting the most
+/// common values of the column without touching a key.
+///
+/// The AEAD fix randomises every ciphertext, so all fingerprints are unique
+/// and the histogram is flat; deterministic SIV leaks only exact-duplicate
+/// (value, address) pairs — with distinct addresses, nothing.
+
+/// Groups ciphertexts by their first `fingerprint_blocks` blocks; returns
+/// the groups as index lists, largest first. Ciphertexts shorter than the
+/// fingerprint each form a singleton group.
+std::vector<std::vector<size_t>> GroupByFingerprint(
+    const std::vector<Bytes>& ciphertexts, size_t block_size,
+    size_t fingerprint_blocks);
+
+struct FrequencyAttackResult {
+  /// guessed_rank[i] = the frequency rank the attack assigns ciphertext i
+  /// (0 = most common plaintext), or SIZE_MAX for singleton noise.
+  std::vector<size_t> guessed_rank;
+  /// Fraction of ciphertexts whose guessed rank equals `true_rank`.
+  double accuracy = 0.0;
+  size_t distinct_groups = 0;
+};
+
+/// Runs the rank-alignment attack. `true_rank[i]` is the frequency rank of
+/// ciphertext i's actual plaintext in the adversary's known distribution.
+FrequencyAttackResult RunFrequencyAttack(
+    const std::vector<Bytes>& ciphertexts,
+    const std::vector<size_t>& true_rank, size_t block_size,
+    size_t fingerprint_blocks);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_FREQUENCY_ANALYSIS_H_

@@ -1,0 +1,43 @@
+#include "attacks/index_linkage.h"
+
+#include <set>
+
+namespace sdbenc {
+
+LinkageReport CorrelateIndexWithTable(
+    const std::vector<Bytes>& index_payloads,
+    const std::vector<Bytes>& cell_ciphertexts, size_t block_size,
+    size_t min_blocks) {
+  LinkageReport report;
+  report.index_entries = index_payloads.size();
+  report.table_cells = cell_ciphertexts.size();
+
+  const std::vector<PrefixMatch> matches = FindCrossPrefixes(
+      index_payloads, cell_ciphertexts, block_size, min_blocks);
+  report.linked_pairs = matches.size();
+
+  std::set<size_t> cells;
+  for (const PrefixMatch& m : matches) cells.insert(m.second);
+  report.linked_cells = cells.size();
+  report.linked_cell_fraction =
+      cell_ciphertexts.empty()
+          ? 0.0
+          : static_cast<double>(cells.size()) /
+                static_cast<double>(cell_ciphertexts.size());
+  return report;
+}
+
+std::vector<Bytes> ExtractIndex2005Payloads(
+    const std::vector<Bytes>& stored_entries) {
+  std::vector<Bytes> payloads;
+  payloads.reserve(stored_entries.size());
+  for (const Bytes& stored : stored_entries) {
+    if (stored.size() < 4) continue;
+    const size_t len = GetUint32Be(stored.data());
+    if (stored.size() < 4 + len) continue;
+    payloads.emplace_back(stored.begin() + 4, stored.begin() + 4 + len);
+  }
+  return payloads;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,42 @@
+#ifndef SDBENC_ATTACKS_INDEX_LINKAGE_H_
+#define SDBENC_ATTACKS_INDEX_LINKAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "attacks/pattern_match.h"
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Index-vs-table linkage leakage (paper §3.2 and §3.3): the index entry
+/// for value V encrypts V || <suffix> and the table cell encrypts
+/// V || µ(t,r,c) — both under the same deterministic E — so their
+/// ciphertexts share V's full-block prefix. Matching prefixes across the two
+/// corpora links encrypted index entries to encrypted cells, from which an
+/// adversary reads off ordering relations between table rows (the index is
+/// sorted) — "linkage leakage" the improved scheme of [12] explicitly set
+/// out to prevent, and (per §3.3) does not.
+struct LinkageReport {
+  size_t index_entries = 0;
+  size_t table_cells = 0;
+  size_t linked_pairs = 0;     // (entry, cell) pairs with a shared prefix
+  size_t linked_cells = 0;     // distinct cells linked to >= 1 entry
+  double linked_cell_fraction = 0.0;
+};
+
+/// `index_payloads` must be the raw E_k(...) parts of the stored entries
+/// (for the 2005 layout: the Ẽ component, i.e. stored[4 .. 4+len)).
+LinkageReport CorrelateIndexWithTable(
+    const std::vector<Bytes>& index_payloads,
+    const std::vector<Bytes>& cell_ciphertexts, size_t block_size,
+    size_t min_blocks);
+
+/// Extracts the Ẽ component from stored entries in the Index2005 layout
+/// be32(|Ẽ|) || Ẽ || E'(Ref_T) || tag.
+std::vector<Bytes> ExtractIndex2005Payloads(
+    const std::vector<Bytes>& stored_entries);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_INDEX_LINKAGE_H_

@@ -1,0 +1,33 @@
+#include "attacks/mac_interaction.h"
+
+namespace sdbenc {
+
+StatusOr<MacForgery> ForgeIndex2005Entry(BytesView stored, size_t block_size,
+                                         size_t value_len, uint8_t delta) {
+  if (delta == 0) return InvalidArgumentError("delta must be non-zero");
+  if (value_len == 0 || value_len % block_size != 0) {
+    return FailedPreconditionError(
+        "attack needs |V| to be a whole number of blocks");
+  }
+  const size_t s = value_len / block_size;  // V occupies blocks 1..s
+  if (s < 2) {
+    return FailedPreconditionError(
+        "attack needs V to span at least two blocks (corruption of block j "
+        "bleeds into j+1, which must still be a V block)");
+  }
+  if (stored.size() < 4) return InvalidArgumentError("entry truncated");
+  const size_t e_tilde_len = GetUint32Be(stored.data());
+  if (stored.size() < 4 + e_tilde_len || e_tilde_len < value_len) {
+    return InvalidArgumentError("entry layout inconsistent with value_len");
+  }
+
+  // Modify block j = s-1 (paper's presentation); j = 1 when s == 2.
+  const size_t j = (s >= 3) ? (s - 1) : 1;
+  MacForgery forgery;
+  forgery.forged.assign(stored.begin(), stored.end());
+  forgery.modified_block = j;
+  forgery.forged[4 + (j - 1) * block_size] ^= delta;
+  return forgery;
+}
+
+}  // namespace sdbenc

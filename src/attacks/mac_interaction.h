@@ -1,0 +1,43 @@
+#ifndef SDBENC_ATTACKS_MAC_INTERACTION_H_
+#define SDBENC_ATTACKS_MAC_INTERACTION_H_
+
+#include <cstddef>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// The §3.3 encryption/MAC interaction forgery against the improved index
+/// scheme of [12], instantiated with CBC-zero-IV encryption and OMAC under
+/// the *same key*.
+///
+/// Because OMAC's CBC chain over the MAC input V || Ref_I || Ref_T || Ref_S
+/// uses the same E_K and the same zero start as the Ẽ encryption of
+/// V || a, the intermediate MAC values over V's blocks are *exactly* the
+/// ciphertext blocks C_1..C_s. Replacing C_j (1 <= j <= s-1) with any X
+/// changes the decrypted blocks P'_j = D(X) ^ C_{j-1} and
+/// P'_{j+1} = P_{j+1} ^ C_j ^ X — but the recomputed MAC chain emits
+/// Y_j = E(P'_j ^ C_{j-1}) = X and Y_{j+1} = E(P'_{j+1} ^ X) = C_{j+1}:
+/// the chain resynchronises and the stored tag still verifies, even though
+/// V changed. The random suffix a, the padding, Ref_T and the tag are all in
+/// untouched blocks.
+///
+/// Preconditions (the paper's "s > 2" setting): |V| is a whole number of
+/// blocks and spans >= 2 blocks, so some block j with j+1 <= s exists.
+struct MacForgery {
+  Bytes forged;           // stored entry to write back
+  size_t modified_block;  // 1-based block index j within Ẽ(V || a)
+};
+
+/// `stored` is an Index2005Codec stored entry; `value_len` the (public or
+/// guessed) length of V in octets, which must be a positive multiple of
+/// block_size. `delta` is XOR-ed into the first byte of block j = s-1 (or
+/// j = 1 when s == 2).
+StatusOr<MacForgery> ForgeIndex2005Entry(BytesView stored, size_t block_size,
+                                         size_t value_len,
+                                         uint8_t delta = 0x01);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_MAC_INTERACTION_H_

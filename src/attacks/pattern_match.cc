@@ -1,0 +1,80 @@
+#include "attacks/pattern_match.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace sdbenc {
+
+size_t CommonPrefixBlocks(BytesView a, BytesView b, size_t block_size) {
+  const size_t max_blocks = std::min(a.size(), b.size()) / block_size;
+  size_t blocks = 0;
+  for (; blocks < max_blocks; ++blocks) {
+    const size_t off = blocks * block_size;
+    bool equal = true;
+    for (size_t i = 0; i < block_size; ++i) {
+      if (a[off + i] != b[off + i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (!equal) break;
+  }
+  return blocks;
+}
+
+namespace {
+
+/// Bucket by first `min_blocks` blocks so the pair scan is near-linear for
+/// realistic corpora instead of quadratic.
+std::unordered_map<std::string, std::vector<size_t>> BucketByPrefix(
+    const std::vector<Bytes>& corpus, size_t prefix_len) {
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].size() < prefix_len) continue;
+    std::string prefix(corpus[i].begin(), corpus[i].begin() + prefix_len);
+    buckets[std::move(prefix)].push_back(i);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+std::vector<PrefixMatch> FindCommonPrefixes(const std::vector<Bytes>& corpus,
+                                            size_t block_size,
+                                            size_t min_blocks) {
+  std::vector<PrefixMatch> matches;
+  const size_t prefix_len = block_size * min_blocks;
+  for (const auto& [prefix, members] : BucketByPrefix(corpus, prefix_len)) {
+    for (size_t x = 0; x < members.size(); ++x) {
+      for (size_t y = x + 1; y < members.size(); ++y) {
+        const size_t i = members[x];
+        const size_t j = members[y];
+        matches.push_back(PrefixMatch{
+            i, j, CommonPrefixBlocks(corpus[i], corpus[j], block_size)});
+      }
+    }
+  }
+  return matches;
+}
+
+std::vector<PrefixMatch> FindCrossPrefixes(const std::vector<Bytes>& a,
+                                           const std::vector<Bytes>& b,
+                                           size_t block_size,
+                                           size_t min_blocks) {
+  std::vector<PrefixMatch> matches;
+  const size_t prefix_len = block_size * min_blocks;
+  const auto buckets_b = BucketByPrefix(b, prefix_len);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() < prefix_len) continue;
+    std::string prefix(a[i].begin(), a[i].begin() + prefix_len);
+    auto it = buckets_b.find(prefix);
+    if (it == buckets_b.end()) continue;
+    for (size_t j : it->second) {
+      matches.push_back(
+          PrefixMatch{i, j, CommonPrefixBlocks(a[i], b[j], block_size)});
+    }
+  }
+  return matches;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,40 @@
+#ifndef SDBENC_ATTACKS_PATTERN_MATCH_H_
+#define SDBENC_ATTACKS_PATTERN_MATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Ciphertext-only pattern matching (paper §3.1/§3.2/§3.3): under the
+/// deterministic E the analysed schemes require, plaintexts sharing a prefix
+/// of >= 1 block produce ciphertexts sharing the same prefix. The adversary
+/// needs no key — only the stored bytes — to learn equality classes and
+/// prefix relations among cells, and correlations between index and table.
+
+/// Number of whole leading blocks on which `a` and `b` agree.
+size_t CommonPrefixBlocks(BytesView a, BytesView b, size_t block_size);
+
+struct PrefixMatch {
+  size_t first;          // position in the first corpus
+  size_t second;         // position in the second (== first corpus if self)
+  size_t common_blocks;  // length of the shared ciphertext prefix in blocks
+};
+
+/// All pairs within one corpus sharing >= min_blocks leading blocks.
+std::vector<PrefixMatch> FindCommonPrefixes(const std::vector<Bytes>& corpus,
+                                            size_t block_size,
+                                            size_t min_blocks);
+
+/// All cross pairs (a[i], b[j]) sharing >= min_blocks leading blocks — the
+/// index-vs-table linkage primitive of §3.2.
+std::vector<PrefixMatch> FindCrossPrefixes(const std::vector<Bytes>& a,
+                                           const std::vector<Bytes>& b,
+                                           size_t block_size,
+                                           size_t min_blocks);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_PATTERN_MATCH_H_

@@ -1,0 +1,64 @@
+#include "attacks/xor_substitution.h"
+
+#include <unordered_map>
+
+namespace sdbenc {
+
+bool HighBitsMatch(BytesView x, BytesView y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (((x[i] ^ y[i]) & 0x80) != 0) return false;
+  }
+  return true;
+}
+
+uint64_t HighBitSignature(BytesView digest) {
+  uint64_t sig = 0;
+  for (size_t i = 0; i < digest.size() && i < 64; ++i) {
+    sig = (sig << 1) | (digest[i] >> 7);
+  }
+  return sig;
+}
+
+CollisionExperimentResult RunPartialCollisionExperiment(
+    const MuFunction& mu, uint64_t table_id, uint32_t column,
+    size_t n_addresses, uint64_t start_row) {
+  CollisionExperimentResult result;
+  result.trials = n_addresses;
+
+  std::unordered_map<uint64_t, std::vector<uint64_t>> buckets;
+  for (size_t i = 0; i < n_addresses; ++i) {
+    const CellAddress addr{table_id, start_row + i, column};
+    const uint64_t sig = HighBitSignature(mu.Compute(addr));
+    auto& bucket = buckets[sig];
+    for (uint64_t other_row : bucket) {
+      result.pairs.push_back(CollisionPair{
+          CellAddress{table_id, other_row, column}, addr});
+    }
+    bucket.push_back(addr.row);
+  }
+  result.collisions = result.pairs.size();
+  const double pairs =
+      0.5 * static_cast<double>(n_addresses) *
+      static_cast<double>(n_addresses - 1);
+  double p = 1.0;
+  for (size_t i = 0; i < mu.output_size(); ++i) p /= 2.0;
+  result.expected = pairs * p;
+  return result;
+}
+
+StatusOr<CellAddress> FindPartialSecondPreimage(const MuFunction& mu,
+                                                const CellAddress& target,
+                                                uint64_t max_trials) {
+  const Bytes target_mu = mu.Compute(target);
+  for (uint64_t i = 1; i <= max_trials; ++i) {
+    CellAddress candidate = target;
+    candidate.row = target.row + i;
+    if (HighBitsMatch(mu.Compute(candidate), target_mu)) {
+      return candidate;
+    }
+  }
+  return NotFoundError("no partial second preimage within trial budget");
+}
+
+}  // namespace sdbenc

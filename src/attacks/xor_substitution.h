@@ -1,0 +1,60 @@
+#ifndef SDBENC_ATTACKS_XOR_SUBSTITUTION_H_
+#define SDBENC_ATTACKS_XOR_SUBSTITUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/cell_address.h"
+#include "db/mu.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// The substitution attack on the XOR-Scheme (paper §3.1, "Substitution
+/// Attack on the XOR-Scheme"): with b-octet ASCII attributes, a ciphertext
+/// moved from address A to address B decrypts to valid-looking ASCII iff
+/// µ(A) ^ µ(B) has the high bit of every octet clear — a b-bit condition on
+/// the *public* function µ, searchable entirely offline.
+///
+/// The paper's concrete experiment: blocksize 16 octets, µ = SHA-1 truncated
+/// to 128 bits, 1024 trial addresses (same t and c, running r) — 6 partial
+/// collisions found (≈ C(1024,2)·2^-16 ≈ 8 expected).
+
+/// True iff x and y agree on the high (MSB) bit of every octet.
+bool HighBitsMatch(BytesView x, BytesView y);
+
+struct CollisionPair {
+  CellAddress a;
+  CellAddress b;
+};
+
+struct CollisionExperimentResult {
+  size_t trials = 0;       // number of addresses examined
+  size_t collisions = 0;   // partial-collision pairs found
+  double expected = 0.0;   // C(trials,2) * 2^-b
+  std::vector<CollisionPair> pairs;
+};
+
+/// Reproduces the experiment: addresses (table_id, start_row + i, column)
+/// for i in [0, n_addresses); counts pairs whose µ values agree on all high
+/// bits. Runs in O(n) with a signature hash map.
+CollisionExperimentResult RunPartialCollisionExperiment(
+    const MuFunction& mu, uint64_t table_id, uint32_t column,
+    size_t n_addresses, uint64_t start_row = 0);
+
+/// Offline partial-second-preimage search (paper: "After about 2^b trials
+/// such a partial-second-preimage ... can be expected"): finds a different
+/// row r' whose µ matches `target`'s µ on every high bit, trying rows
+/// target.row+1, target.row+2, ... Fails after max_trials.
+StatusOr<CellAddress> FindPartialSecondPreimage(const MuFunction& mu,
+                                                const CellAddress& target,
+                                                uint64_t max_trials);
+
+/// The high-bit signature of a µ output packed into a uint64 (µ widths up to
+/// 64 octets). Exposed for tests.
+uint64_t HighBitSignature(BytesView digest);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_XOR_SUBSTITUTION_H_

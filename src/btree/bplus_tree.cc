@@ -1,0 +1,636 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdbenc {
+
+namespace {
+
+int CompareBytes(BytesView a, BytesView b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+/// Probe in composite (key, row) order. row_mode -1/+1 stands for a row
+/// strictly below / above every real row, which makes duplicate keys easy to
+/// handle: Find descends with (-inf) and stops past (+inf).
+struct Probe {
+  BytesView key;
+  uint64_t row = 0;
+  int row_mode = 0;  // -1: -inf, 0: exact, +1: +inf
+};
+
+/// <0 if entry < probe, 0 if equal, >0 if entry > probe.
+int CompareEntryToProbe(const IndexEntryPlain& e, const Probe& p) {
+  const int c = CompareBytes(e.key, p.key);
+  if (c != 0) return c;
+  if (p.row_mode < 0) return 1;
+  if (p.row_mode > 0) return -1;
+  if (e.table_row != p.row) return e.table_row < p.row ? -1 : 1;
+  return 0;
+}
+
+/// Inner entries store the composite (key || be64(row)) in their key field
+/// and 0 in table_row. This keeps separator ordering exact under codecs
+/// that do not persist table_row for inner entries (eq. 4 of [3] encrypts
+/// only V || r_I there).
+IndexEntryPlain MakeSeparatorEntry(const Bytes& key, uint64_t row) {
+  IndexEntryPlain sep;
+  sep.key = Concat(key, EncodeUint64Be(row));
+  sep.table_row = 0;
+  return sep;
+}
+
+/// Splits a separator's composite key back into (key, row).
+void SeparatorParts(const IndexEntryPlain& sep, Bytes* key, uint64_t* row) {
+  *key = Bytes(sep.key.begin(), sep.key.end() - 8);
+  *row = DecodeUint64Be(BytesView(sep.key).substr(sep.key.size() - 8));
+}
+
+int CompareSeparatorToProbe(const IndexEntryPlain& sep, const Probe& p) {
+  Bytes key;
+  uint64_t row;
+  SeparatorParts(sep, &key, &row);
+  IndexEntryPlain as_entry;
+  as_entry.key = std::move(key);
+  as_entry.table_row = row;
+  return CompareEntryToProbe(as_entry, p);
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(IndexEntryCodec* codec, uint64_t index_table_id,
+                     uint64_t indexed_table_id, uint32_t indexed_column,
+                     size_t order)
+    : codec_(codec),
+      index_table_id_(index_table_id),
+      indexed_table_id_(indexed_table_id),
+      indexed_column_(indexed_column),
+      order_(order < 2 ? 2 : order) {
+  nodes_.push_back(Node{});  // root starts as an empty leaf
+  root_ = 0;
+}
+
+IndexEntryContext BPlusTree::MakeContext(int node_id, size_t slot) const {
+  const Node& node = nodes_[node_id];
+  IndexEntryContext ctx;
+  ctx.index_table_id = index_table_id_;
+  ctx.indexed_table_id = indexed_table_id_;
+  ctx.indexed_column = indexed_column_;
+  ctx.entry_ref = node.refs[slot];
+  ctx.is_leaf = node.leaf;
+  if (node.leaf) {
+    // Ref_I of a leaf entry: the right-sibling reference.
+    ctx.ref_i = EncodeUint64Be(
+        node.next < 0 ? 0 : static_cast<uint64_t>(node.next) + 1);
+  } else {
+    // Ref_I of an inner entry: left child / right child.
+    ctx.ref_i = EncodeUint64Be(static_cast<uint64_t>(node.children[slot]) + 1);
+    Append(ctx.ref_i, EncodeUint64Be(
+                          static_cast<uint64_t>(node.children[slot + 1]) + 1));
+  }
+  return ctx;
+}
+
+StatusOr<IndexEntryPlain> BPlusTree::DecodeEntry(int node_id,
+                                                 size_t slot) const {
+  ++decode_calls_;
+  return codec_->Decode(nodes_[node_id].stored[slot],
+                        MakeContext(node_id, slot));
+}
+
+BPlusTree::RefISnapshot BPlusTree::SnapshotRefI(int node_id) const {
+  RefISnapshot snapshot;
+  const Node& node = nodes_[node_id];
+  for (size_t slot = 0; slot < node.refs.size(); ++slot) {
+    snapshot[node.refs[slot]] = MakeContext(node_id, slot).ref_i;
+  }
+  return snapshot;
+}
+
+Status BPlusTree::WriteBack(int node_id,
+                            const std::vector<IndexEntryPlain>& plains,
+                            const RefISnapshot& old_refi) {
+  for (size_t slot = 0; slot < plains.size(); ++slot) {
+    Node& node = nodes_[node_id];
+    const bool placeholder = node.stored[slot].empty();
+    bool needs_encode = placeholder;
+    if (!needs_encode && codec_->binds_structure()) {
+      const IndexEntryContext ctx = MakeContext(node_id, slot);
+      auto it = old_refi.find(node.refs[slot]);
+      needs_encode = (it == old_refi.end()) || !(BytesView(it->second) ==
+                                                 BytesView(ctx.ref_i));
+    }
+    if (needs_encode) {
+      ++encode_calls_;
+      SDBENC_ASSIGN_OR_RETURN(
+          Bytes stored, codec_->Encode(plains[slot], MakeContext(node_id,
+                                                                 slot)));
+      nodes_[node_id].stored[slot] = std::move(stored);
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
+                                                      BytesView key,
+                                                      uint64_t table_row) {
+  const Probe exact{key, table_row, 0};
+
+  // Snapshot contexts, then decode the node once; mutation below works on
+  // plaintext and WriteBack re-encodes only what changed.
+  RefISnapshot snapshot = SnapshotRefI(node_id);
+  std::vector<IndexEntryPlain> plains;
+  plains.reserve(nodes_[node_id].stored.size() + 1);
+  for (size_t i = 0; i < nodes_[node_id].stored.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+    plains.push_back(std::move(e));
+  }
+
+  if (!nodes_[node_id].leaf) {
+    // Find the child covering (key, row): first separator > probe.
+    size_t idx = 0;
+    while (idx < plains.size() &&
+           CompareSeparatorToProbe(plains[idx], exact) <= 0) {
+      ++idx;
+    }
+    const int child = nodes_[node_id].children[idx];
+    SDBENC_ASSIGN_OR_RETURN(SplitResult child_split,
+                            InsertRec(child, key, table_row));
+    if (!child_split.split) return SplitResult{};
+
+    // Insert the promoted separator and the new right child.
+    plains.insert(plains.begin() + idx,
+                  MakeSeparatorEntry(child_split.separator,
+                                     child_split.separator_row));
+    {
+      Node& node = nodes_[node_id];
+      node.refs.insert(node.refs.begin() + idx, next_entry_ref_++);
+      node.stored.insert(node.stored.begin() + idx, Bytes());
+      node.children.insert(node.children.begin() + idx + 1,
+                           child_split.new_node);
+    }
+    if (plains.size() <= order_) {
+      SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
+      return SplitResult{};
+    }
+
+    // Split the inner node: the middle separator is promoted (removed).
+    const size_t mid = plains.size() / 2;
+    SplitResult result;
+    result.split = true;
+    SeparatorParts(plains[mid], &result.separator, &result.separator_row);
+
+    const int right_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    Node& left = nodes_[node_id];
+    Node& right = nodes_[right_id];
+    right.leaf = false;
+    right.refs.assign(left.refs.begin() + mid + 1, left.refs.end());
+    right.stored.assign(left.stored.begin() + mid + 1, left.stored.end());
+    right.children.assign(left.children.begin() + mid + 1,
+                          left.children.end());
+    std::vector<IndexEntryPlain> right_plains(plains.begin() + mid + 1,
+                                              plains.end());
+    left.refs.resize(mid);
+    left.stored.resize(mid);
+    left.children.resize(mid + 1);
+    plains.resize(mid);
+    SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
+    SDBENC_RETURN_IF_ERROR(WriteBack(right_id, right_plains, snapshot));
+    result.new_node = right_id;
+    return result;
+  }
+
+  // Leaf: insert in composite order.
+  size_t pos = 0;
+  while (pos < plains.size() && CompareEntryToProbe(plains[pos], exact) <= 0) {
+    ++pos;
+  }
+  IndexEntryPlain fresh;
+  fresh.key.assign(key.begin(), key.end());
+  fresh.table_row = table_row;
+  plains.insert(plains.begin() + pos, std::move(fresh));
+  {
+    Node& node = nodes_[node_id];
+    node.refs.insert(node.refs.begin() + pos, next_entry_ref_++);
+    node.stored.insert(node.stored.begin() + pos, Bytes());
+  }
+  ++num_entries_;
+
+  if (plains.size() <= order_) {
+    SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
+    return SplitResult{};
+  }
+
+  // Split the leaf: the upper half moves to a new right sibling; the
+  // separator is a copy of the right node's first composite key. The left
+  // node's sibling pointer changes, so structure-binding codecs re-encrypt
+  // both halves — exactly the maintenance cost the paper's schemes imply.
+  const size_t mid = plains.size() / 2;
+  const int right_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  Node& left = nodes_[node_id];
+  Node& right = nodes_[right_id];
+  right.leaf = true;
+  right.next = left.next;
+  left.next = right_id;
+  right.refs.assign(left.refs.begin() + mid, left.refs.end());
+  right.stored.assign(left.stored.begin() + mid, left.stored.end());
+  std::vector<IndexEntryPlain> right_plains(plains.begin() + mid,
+                                            plains.end());
+  left.refs.resize(mid);
+  left.stored.resize(mid);
+  plains.resize(mid);
+
+  SplitResult result;
+  result.split = true;
+  result.separator = right_plains.front().key;
+  result.separator_row = right_plains.front().table_row;
+  result.new_node = right_id;
+  SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
+  SDBENC_RETURN_IF_ERROR(WriteBack(right_id, right_plains, snapshot));
+  return result;
+}
+
+Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
+  if (num_entries_ != 0 || nodes_.size() != 1) {
+    return FailedPreconditionError("BulkLoad requires an empty tree");
+  }
+  if (pairs.empty()) return OkStatus();
+
+  std::sort(pairs.begin(), pairs.end(),
+            [](const std::pair<Bytes, uint64_t>& a,
+               const std::pair<Bytes, uint64_t>& b) {
+              const int c = CompareBytes(a.first, b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+
+  // Plaintext entries per node, written back (encoded) once the structure
+  // is final. Parallel to nodes_.
+  std::vector<std::vector<IndexEntryPlain>> plains_by_node;
+  nodes_.clear();
+
+  // ---- leaf level ----
+  struct LevelNode {
+    int id;
+    Bytes min_key;      // composite minimum of the subtree
+    uint64_t min_row;
+  };
+  std::vector<LevelNode> level;
+  const size_t per_leaf = order_;
+  for (size_t off = 0; off < pairs.size(); off += per_leaf) {
+    const size_t n = std::min(per_leaf, pairs.size() - off);
+    Node node;
+    node.leaf = true;
+    std::vector<IndexEntryPlain> plains;
+    for (size_t i = 0; i < n; ++i) {
+      IndexEntryPlain plain;
+      plain.key = std::move(pairs[off + i].first);
+      plain.table_row = pairs[off + i].second;
+      node.refs.push_back(next_entry_ref_++);
+      node.stored.push_back(Bytes());
+      plains.push_back(std::move(plain));
+    }
+    const int id = static_cast<int>(nodes_.size());
+    if (!level.empty()) nodes_[level.back().id].next = id;
+    level.push_back(LevelNode{id, plains.front().key,
+                              plains.front().table_row});
+    nodes_.push_back(std::move(node));
+    plains_by_node.push_back(std::move(plains));
+  }
+  num_entries_ = pairs.size();
+
+  // ---- inner levels ----
+  while (level.size() > 1) {
+    std::vector<LevelNode> parent_level;
+    const size_t per_inner = order_ + 1;  // children per inner node
+    for (size_t off = 0; off < level.size(); off += per_inner) {
+      size_t n = std::min(per_inner, level.size() - off);
+      // Avoid a trailing single-child inner node: borrow one from the
+      // previous group.
+      if (n == 1 && !parent_level.empty()) {
+        Node& prev = nodes_[parent_level.back().id];
+        const int moved = prev.children.back();
+        prev.children.pop_back();
+        prev.refs.pop_back();
+        prev.stored.pop_back();
+        std::vector<IndexEntryPlain>& prev_plains =
+            plains_by_node[parent_level.back().id];
+        IndexEntryPlain sep = std::move(prev_plains.back());
+        prev_plains.pop_back();
+        Node node;
+        node.leaf = false;
+        node.children = {moved, level[off].id};
+        node.refs = {next_entry_ref_++};
+        node.stored = {Bytes()};
+        Bytes sep_key;
+        uint64_t sep_row;
+        SeparatorParts(sep, &sep_key, &sep_row);
+        std::vector<IndexEntryPlain> plains{
+            MakeSeparatorEntry(level[off].min_key, level[off].min_row)};
+        const int id = static_cast<int>(nodes_.size());
+        // The new node's minimum is the moved child's minimum = the
+        // separator we took from the previous parent.
+        parent_level.push_back(LevelNode{id, sep_key, sep_row});
+        nodes_.push_back(std::move(node));
+        plains_by_node.push_back(std::move(plains));
+        continue;
+      }
+      Node node;
+      node.leaf = false;
+      std::vector<IndexEntryPlain> plains;
+      for (size_t i = 0; i < n; ++i) {
+        node.children.push_back(level[off + i].id);
+        if (i > 0) {
+          node.refs.push_back(next_entry_ref_++);
+          node.stored.push_back(Bytes());
+          plains.push_back(MakeSeparatorEntry(level[off + i].min_key,
+                                              level[off + i].min_row));
+        }
+      }
+      const int id = static_cast<int>(nodes_.size());
+      parent_level.push_back(
+          LevelNode{id, level[off].min_key, level[off].min_row});
+      nodes_.push_back(std::move(node));
+      plains_by_node.push_back(std::move(plains));
+    }
+    level = std::move(parent_level);
+  }
+  root_ = level.front().id;
+
+  // ---- encode everything exactly once ----
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    SDBENC_RETURN_IF_ERROR(WriteBack(static_cast<int>(id),
+                                     plains_by_node[id], RefISnapshot{}));
+  }
+  return OkStatus();
+}
+
+Status BPlusTree::Insert(BytesView key, uint64_t table_row) {
+  SDBENC_ASSIGN_OR_RETURN(SplitResult split, InsertRec(root_, key, table_row));
+  if (!split.split) return OkStatus();
+
+  // Grow a new root.
+  const int new_root = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  Node& root = nodes_[new_root];
+  root.leaf = false;
+  root.children = {root_, split.new_node};
+  root.refs = {next_entry_ref_++};
+  root.stored = {Bytes()};
+  std::vector<IndexEntryPlain> plains{
+      MakeSeparatorEntry(split.separator, split.separator_row)};
+  root_ = new_root;
+  return WriteBack(new_root, plains, RefISnapshot{});
+}
+
+StatusOr<std::vector<uint64_t>> BPlusTree::Find(BytesView key) const {
+  Bytes key_copy(key.begin(), key.end());
+  SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> rows,
+                          Range(key_copy, key_copy));
+  return rows;
+}
+
+StatusOr<std::vector<uint64_t>> BPlusTree::Range(BytesView lo,
+                                                 BytesView hi) const {
+  const Bytes lo_copy(lo.begin(), lo.end());
+  const Bytes hi_copy(hi.begin(), hi.end());
+  return RangeBounded(&lo_copy, &hi_copy);
+}
+
+StatusOr<std::vector<uint64_t>> BPlusTree::RangeBounded(
+    const Bytes* lo, const Bytes* hi) const {
+  std::vector<uint64_t> rows;
+
+  // Descend to the leftmost leaf that could contain `lo` (or the leftmost
+  // leaf overall when unbounded below).
+  int node_id = root_;
+  while (!nodes_[node_id].leaf) {
+    const Node& node = nodes_[node_id];
+    size_t idx = 0;
+    if (lo != nullptr) {
+      const Probe lo_probe{BytesView(*lo), 0, -1};
+      for (; idx < node.stored.size(); ++idx) {
+        SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep,
+                                DecodeEntry(node_id, idx));
+        if (CompareSeparatorToProbe(sep, lo_probe) > 0) break;
+      }
+    }
+    node_id = node.children[idx];
+  }
+
+  // Walk the sibling chain collecting matching rows.
+  while (node_id >= 0) {
+    const Node& node = nodes_[node_id];
+    for (size_t i = 0; i < node.stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+      if (lo != nullptr) {
+        const Probe lo_probe{BytesView(*lo), 0, -1};
+        if (CompareEntryToProbe(e, lo_probe) < 0) continue;
+      }
+      if (hi != nullptr) {
+        const Probe hi_probe{BytesView(*hi), 0, +1};
+        if (CompareEntryToProbe(e, hi_probe) > 0) return rows;
+      }
+      rows.push_back(e.table_row);
+    }
+    node_id = node.next;
+  }
+  return rows;
+}
+
+Status BPlusTree::Remove(BytesView key, uint64_t table_row) {
+  const Probe exact{key, table_row, 0};
+
+  int node_id = root_;
+  while (!nodes_[node_id].leaf) {
+    const Node& node = nodes_[node_id];
+    size_t idx = 0;
+    for (; idx < node.stored.size(); ++idx) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep, DecodeEntry(node_id, idx));
+      if (CompareSeparatorToProbe(sep, exact) > 0) break;
+    }
+    node_id = node.children[idx];
+  }
+  while (node_id >= 0) {
+    Node& node = nodes_[node_id];
+    for (size_t i = 0; i < node.stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+      const int cmp = CompareEntryToProbe(e, exact);
+      if (cmp > 0) return NotFoundError("index entry not found");
+      if (cmp == 0) {
+        node.stored.erase(node.stored.begin() + i);
+        node.refs.erase(node.refs.begin() + i);
+        --num_entries_;
+        return OkStatus();
+      }
+    }
+    node_id = node.next;
+  }
+  return NotFoundError("index entry not found");
+}
+
+size_t BPlusTree::num_nodes() const { return nodes_.size(); }
+
+size_t BPlusTree::height() const {
+  size_t h = 1;
+  int node_id = root_;
+  while (!nodes_[node_id].leaf) {
+    node_id = nodes_[node_id].children.front();
+    ++h;
+  }
+  return h;
+}
+
+Status BPlusTree::CheckNode(int node_id, const Bytes* lo, const Bytes* hi,
+                            size_t depth, size_t leaf_depth) const {
+  const Node& node = nodes_[node_id];
+  if (node.stored.size() != node.refs.size()) {
+    return InternalError("stored/ref count mismatch");
+  }
+  std::vector<IndexEntryPlain> plains;
+  for (size_t i = 0; i < node.stored.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+    plains.push_back(std::move(e));
+  }
+  // Recover the plain key of each entry (inner entries hold the composite
+  // key || row; leaves hold the key directly).
+  std::vector<Bytes> keys(plains.size());
+  for (size_t i = 0; i < plains.size(); ++i) {
+    if (node.leaf) {
+      keys[i] = plains[i].key;
+    } else {
+      uint64_t row;
+      SeparatorParts(plains[i], &keys[i], &row);
+    }
+  }
+  // Entries sorted by key within the node.
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (CompareBytes(keys[i], keys[i - 1]) < 0) {
+      return InternalError("entries out of order in node " +
+                           std::to_string(node_id));
+    }
+  }
+  // Bounds from the parent separators (key component only; duplicates may
+  // legitimately touch the bounds on either side).
+  if (lo != nullptr && !keys.empty()) {
+    if (CompareBytes(keys.front(), *lo) < 0) {
+      return InternalError("entry below parent separator");
+    }
+  }
+  if (hi != nullptr && !keys.empty()) {
+    if (CompareBytes(keys.back(), *hi) > 0) {
+      return InternalError("entry above parent separator");
+    }
+  }
+  if (node.leaf) {
+    if (depth != leaf_depth) {
+      return InternalError("leaves at different depths");
+    }
+    return OkStatus();
+  }
+  if (node.children.size() != plains.size() + 1) {
+    return InternalError("inner node child count mismatch");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const Bytes* child_lo = (i == 0) ? lo : &keys[i - 1];
+    const Bytes* child_hi = (i == keys.size()) ? hi : &keys[i];
+    SDBENC_RETURN_IF_ERROR(CheckNode(node.children[i], child_lo, child_hi,
+                                     depth + 1, leaf_depth));
+  }
+  return OkStatus();
+}
+
+Status BPlusTree::CheckStructure() const {
+  // Determine leaf depth from the leftmost path, then verify globally.
+  size_t leaf_depth = 1;
+  int node_id = root_;
+  while (!nodes_[node_id].leaf) {
+    node_id = nodes_[node_id].children.front();
+    ++leaf_depth;
+  }
+  SDBENC_RETURN_IF_ERROR(CheckNode(root_, nullptr, nullptr, 1, leaf_depth));
+
+  // Sibling chain covers all entries in globally sorted order.
+  Bytes prev_key;
+  uint64_t prev_row = 0;
+  bool have_prev = false;
+  size_t seen = 0;
+  while (node_id >= 0) {
+    const Node& node = nodes_[node_id];
+    for (size_t i = 0; i < node.stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+      if (have_prev) {
+        const Probe prev{prev_key, prev_row, 0};
+        if (CompareEntryToProbe(e, prev) < 0) {
+          return InternalError("sibling chain out of order");
+        }
+      }
+      prev_key = e.key;
+      prev_row = e.table_row;
+      have_prev = true;
+      ++seen;
+    }
+    node_id = node.next;
+  }
+  if (seen != num_entries_) {
+    return InternalError("sibling chain entry count mismatch");
+  }
+  return OkStatus();
+}
+
+std::vector<BPlusTree::StoredEntry> BPlusTree::DumpStoredEntries() const {
+  std::vector<StoredEntry> out;
+  for (const Node& node : nodes_) {
+    for (size_t i = 0; i < node.stored.size(); ++i) {
+      out.push_back(StoredEntry{node.refs[i], node.leaf, node.stored[i]});
+    }
+  }
+  return out;
+}
+
+Bytes* BPlusTree::MutableStoredEntry(uint64_t entry_ref) {
+  for (Node& node : nodes_) {
+    for (size_t i = 0; i < node.refs.size(); ++i) {
+      if (node.refs[i] == entry_ref) return &node.stored[i];
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<BPlusTree::WalkNode> BPlusTree::GetWalkNode(int node_id) const {
+  if (node_id < 0 || static_cast<size_t>(node_id) >= nodes_.size()) {
+    return OutOfRangeError("no node " + std::to_string(node_id));
+  }
+  const Node& node = nodes_[node_id];
+  WalkNode walk;
+  walk.leaf = node.leaf;
+  walk.stored = node.stored;
+  for (size_t i = 0; i < node.stored.size(); ++i) {
+    walk.contexts.push_back(MakeContext(node_id, i));
+  }
+  if (!node.leaf) walk.children = node.children;
+  walk.next = node.next;
+  return walk;
+}
+
+StatusOr<IndexEntryContext> BPlusTree::ContextOf(uint64_t entry_ref) const {
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    for (size_t i = 0; i < node.refs.size(); ++i) {
+      if (node.refs[i] == entry_ref) {
+        return MakeContext(static_cast<int>(n), i);
+      }
+    }
+  }
+  return NotFoundError("no entry with ref " + std::to_string(entry_ref));
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,161 @@
+#ifndef SDBENC_BTREE_BPLUS_TREE_H_
+#define SDBENC_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/entry_codec.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// B+-tree index in the table representation the analysed paper describes
+/// (§2.3): the *structural* part — node layout, child pointers, leaf sibling
+/// chain — is plaintext, and only the key entries pass through the pluggable
+/// IndexEntryCodec. With PlainIndexEntryCodec this is an ordinary B+-tree;
+/// with an encrypting codec it is exactly the encrypted index of [3]/[12]/
+/// the AEAD fix, searchable by anyone holding the session key while the
+/// stored entries are opaque to the storage layer.
+///
+/// Keys are opaque octet strings compared lexicographically (use
+/// Value::SerializeComparable to index typed values). Duplicate keys are
+/// supported; (key, table_row) pairs identify leaf entries.
+///
+/// Deletion removes the entry from its leaf without rebalancing (a standard
+/// lazy strategy: the tree stays correct, merely possibly sparse). All
+/// structural changes re-encode affected entries when the codec
+/// binds_structure(), because their authenticated Ref_I changed; the
+/// encode/decode counters expose that maintenance cost to the benches.
+class BPlusTree {
+ public:
+  /// `codec` must outlive the tree. `order` is the maximum number of entries
+  /// per node (>= 2); nodes split at order+1.
+  BPlusTree(IndexEntryCodec* codec, uint64_t index_table_id,
+            uint64_t indexed_table_id, uint32_t indexed_column,
+            size_t order = 8);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts a (key, table_row) pair.
+  Status Insert(BytesView key, uint64_t table_row);
+
+  /// Builds the whole tree bottom-up from (key, table_row) pairs in one
+  /// pass. Requires an empty tree; the input is sorted internally. Every
+  /// entry is encrypted exactly once — no split-triggered re-encryptions —
+  /// which makes this the cheap path for initial loads under
+  /// structure-binding codecs (the benches quantify the saving).
+  Status BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs);
+
+  /// Returns the table rows of all entries with exactly this key.
+  StatusOr<std::vector<uint64_t>> Find(BytesView key) const;
+
+  /// Returns table rows for lo <= key <= hi, in key order.
+  StatusOr<std::vector<uint64_t>> Range(BytesView lo, BytesView hi) const;
+
+  /// Range with optional bounds: nullptr means unbounded on that side.
+  /// RangeBounded(nullptr, nullptr) scans every entry in key order.
+  StatusOr<std::vector<uint64_t>> RangeBounded(const Bytes* lo,
+                                               const Bytes* hi) const;
+
+  /// Removes one entry matching (key, table_row). NotFound if absent.
+  Status Remove(BytesView key, uint64_t table_row);
+
+  size_t num_entries() const { return num_entries_; }
+  size_t num_nodes() const;
+  size_t height() const;
+  uint64_t encode_calls() const { return encode_calls_; }
+  uint64_t decode_calls() const { return decode_calls_; }
+
+  /// Verifies every structural invariant (key order within nodes, separator
+  /// bounds, uniform leaf depth, sibling-chain order) by decoding all
+  /// entries. Property tests run this after random workloads; it also
+  /// surfaces any entry whose authentication fails.
+  Status CheckStructure() const;
+
+  /// Adversary's view: every stored entry with its position metadata, for
+  /// the attack modules (which see the index table but hold no key).
+  struct StoredEntry {
+    uint64_t entry_ref;
+    bool is_leaf;
+    Bytes stored;
+  };
+  std::vector<StoredEntry> DumpStoredEntries() const;
+
+  /// Adversary's write access to a stored entry (by entry_ref). Returns
+  /// nullptr if no such entry.
+  Bytes* MutableStoredEntry(uint64_t entry_ref);
+
+  /// Rebuilds the IndexEntryContext for the entry with this ref, as Decode
+  /// would see it; used by attack modules that need the public context.
+  StatusOr<IndexEntryContext> ContextOf(uint64_t entry_ref) const;
+
+  /// One node as shipped to a key-holding client in the Remark-1 protocol
+  /// (paper §2.1): encrypted entries plus the public per-entry contexts and
+  /// the plaintext structure. The server can produce this without any key.
+  struct WalkNode {
+    bool leaf = true;
+    std::vector<Bytes> stored;
+    std::vector<IndexEntryContext> contexts;
+    std::vector<int> children;  // empty for leaves
+    int next = -1;              // leaf sibling, -1 at the end
+  };
+
+  int root_id() const { return root_; }
+
+  /// Serialises node `node_id` for the blind-navigation protocol.
+  StatusOr<WalkNode> GetWalkNode(int node_id) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Bytes> stored;        // encoded entries (sorted by key)
+    std::vector<uint64_t> refs;       // entry_ref (r_I) per entry
+    std::vector<int> children;        // inner: stored.size() + 1 children
+    int next = -1;                    // leaf: right sibling
+  };
+
+  struct SplitResult {
+    bool split = false;
+    Bytes separator;            // plaintext key promoted to the parent
+    uint64_t separator_row = 0; // row component of the composite separator
+    int new_node = -1;
+  };
+
+  /// Map entry_ref -> serialized Ref_I at snapshot time; lets WriteBack skip
+  /// re-encryption of entries whose authenticated context is unchanged.
+  using RefISnapshot = std::unordered_map<uint64_t, Bytes>;
+
+  IndexEntryContext MakeContext(int node_id, size_t slot) const;
+  StatusOr<IndexEntryPlain> DecodeEntry(int node_id, size_t slot) const;
+  RefISnapshot SnapshotRefI(int node_id) const;
+
+  /// Re-encodes `plains` into nodes_[node_id].stored. A slot is freshly
+  /// encoded if its stored bytes are a placeholder (new entry), or if the
+  /// codec binds structure and the entry's Ref_I differs from the snapshot.
+  Status WriteBack(int node_id, const std::vector<IndexEntryPlain>& plains,
+                   const RefISnapshot& old_refi);
+
+  StatusOr<SplitResult> InsertRec(int node_id, BytesView key,
+                                  uint64_t table_row);
+  Status CheckNode(int node_id, const Bytes* lo, const Bytes* hi,
+                   size_t depth, size_t leaf_depth) const;
+
+  IndexEntryCodec* codec_;
+  uint64_t index_table_id_;
+  uint64_t indexed_table_id_;
+  uint32_t indexed_column_;
+  size_t order_;
+  std::vector<Node> nodes_;
+  int root_;
+  size_t num_entries_ = 0;
+  uint64_t next_entry_ref_ = 1;
+  mutable uint64_t encode_calls_ = 0;
+  mutable uint64_t decode_calls_ = 0;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,33 @@
+#include "btree/entry_codec.h"
+
+namespace sdbenc {
+
+Bytes IndexEntryContext::EncodeRefS() const {
+  Bytes out(28);
+  PutUint64Be(out.data(), index_table_id);
+  PutUint64Be(out.data() + 8, indexed_table_id);
+  PutUint32Be(out.data() + 16, indexed_column);
+  PutUint64Be(out.data() + 20, entry_ref);
+  return out;
+}
+
+StatusOr<Bytes> PlainIndexEntryCodec::Encode(const IndexEntryPlain& plain,
+                                             const IndexEntryContext&) {
+  Bytes out = EncodeUint64Be(plain.table_row);
+  Append(out, plain.key);
+  return out;
+}
+
+StatusOr<IndexEntryPlain> PlainIndexEntryCodec::Decode(
+    BytesView stored, const IndexEntryContext&) const {
+  if (stored.size() < 8) {
+    return InvalidArgumentError("plain index entry too short");
+  }
+  IndexEntryPlain plain;
+  plain.table_row = DecodeUint64Be(stored);
+  const BytesView key = stored.substr(8);
+  plain.key.assign(key.begin(), key.end());
+  return plain;
+}
+
+}  // namespace sdbenc

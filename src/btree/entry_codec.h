@@ -1,0 +1,81 @@
+#ifndef SDBENC_BTREE_ENTRY_CODEC_H_
+#define SDBENC_BTREE_ENTRY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Decrypted content of one index entry: the (order-preserving encoded)
+/// attribute value V, and — for leaf entries — the indexed table row it came
+/// from (the paper's Ref_T).
+struct IndexEntryPlain {
+  Bytes key;
+  uint64_t table_row = 0;
+};
+
+/// The references of the improved scheme ([12], described in the analysed
+/// paper's §2.4), reconstructed by the tree for every entry it touches:
+///
+///   Ref_T — reference into the indexed table (in IndexEntryPlain)
+///   Ref_I — index-internal references (children / sibling), plaintext
+///   Ref_S — self reference: (t_I, t, c, r_I)
+///
+/// t_I, t and c are fixed per index; r_I is the entry's row in the index
+/// table (stable per entry here). Ref_I changes when the tree restructures,
+/// so codecs that bind Ref_I force re-encryption on splits — a real cost the
+/// benches measure.
+struct IndexEntryContext {
+  uint64_t index_table_id = 0;   // t_I
+  uint64_t indexed_table_id = 0; // t
+  uint32_t indexed_column = 0;   // c
+  uint64_t entry_ref = 0;        // r_I
+  bool is_leaf = true;
+  Bytes ref_i;                   // serialized structural references
+
+  /// Canonical encoding of Ref_S = (t_I, t, c, r_I).
+  Bytes EncodeRefS() const;
+};
+
+/// Translates between plaintext index entries and their stored form. The
+/// plaintext index uses the identity-ish PlainIndexEntryCodec; the schemes
+/// of [3], [12] and the AEAD fix each provide their own implementation in
+/// src/schemes/.
+///
+/// Encode is non-const because probabilistic codecs draw nonces/randomness.
+class IndexEntryCodec {
+ public:
+  virtual ~IndexEntryCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual StatusOr<Bytes> Encode(const IndexEntryPlain& plain,
+                                 const IndexEntryContext& context) = 0;
+
+  /// Decodes and — where the scheme supports it — authenticates the entry
+  /// against `context`. Tampering surfaces as kAuthenticationFailed.
+  virtual StatusOr<IndexEntryPlain> Decode(
+      BytesView stored, const IndexEntryContext& context) const = 0;
+
+  /// True if Encode output depends on the structural references, i.e. the
+  /// tree must re-encode entries whose Ref_I changed.
+  virtual bool binds_structure() const { return false; }
+};
+
+/// No-crypto baseline: stored = be64(table_row) || key.
+class PlainIndexEntryCodec : public IndexEntryCodec {
+ public:
+  std::string name() const override { return "plain"; }
+
+  StatusOr<Bytes> Encode(const IndexEntryPlain& plain,
+                         const IndexEntryContext& context) override;
+  StatusOr<IndexEntryPlain> Decode(
+      BytesView stored, const IndexEntryContext& context) const override;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_BTREE_ENTRY_CODEC_H_

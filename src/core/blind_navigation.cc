@@ -1,0 +1,93 @@
+#include "core/blind_navigation.h"
+
+namespace sdbenc {
+
+namespace {
+
+int CompareBytes(BytesView a, BytesView b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+/// Inner entries carry the composite key || be64(row); the decision only
+/// needs the key component (we always descend to the leftmost candidate).
+Bytes SeparatorKey(const IndexEntryPlain& sep) {
+  return Bytes(sep.key.begin(), sep.key.end() - 8);
+}
+
+}  // namespace
+
+StatusOr<size_t> BlindIndexClient::ChooseChild(
+    const BPlusTree::WalkNode& node, BytesView key) const {
+  size_t idx = 0;
+  for (; idx < node.stored.size(); ++idx) {
+    SDBENC_ASSIGN_OR_RETURN(
+        IndexEntryPlain sep,
+        codec_->Decode(node.stored[idx], node.contexts[idx]));
+    // Descend left of the first separator whose key component is >= key,
+    // i.e. toward the leftmost leaf that could contain `key`.
+    if (CompareBytes(SeparatorKey(sep), key) >= 0) break;
+  }
+  return idx;
+}
+
+Status BlindIndexClient::CollectLeaf(const BPlusTree::WalkNode& node,
+                                     BytesView lo, BytesView hi,
+                                     std::vector<uint64_t>* rows,
+                                     bool* past_end) const {
+  *past_end = false;
+  for (size_t i = 0; i < node.stored.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(
+        IndexEntryPlain entry,
+        codec_->Decode(node.stored[i], node.contexts[i]));
+    if (CompareBytes(entry.key, lo) < 0) continue;
+    if (CompareBytes(entry.key, hi) > 0) {
+      *past_end = true;
+      return OkStatus();
+    }
+    rows->push_back(entry.table_row);
+  }
+  return OkStatus();
+}
+
+StatusOr<BPlusTree::WalkNode> BlindQuerySession::Fetch(int node_id) {
+  SDBENC_ASSIGN_OR_RETURN(BPlusTree::WalkNode node,
+                          server_.FetchNode(node_id));
+  ++stats_.rounds;
+  for (const Bytes& entry : node.stored) {
+    stats_.octets_to_client += entry.size();
+  }
+  return node;
+}
+
+StatusOr<std::vector<uint64_t>> BlindQuerySession::Find(BytesView key) {
+  return Range(key, key);
+}
+
+StatusOr<std::vector<uint64_t>> BlindQuerySession::Range(BytesView lo,
+                                                         BytesView hi) {
+  std::vector<uint64_t> rows;
+  int node_id = server_.root();
+  SDBENC_ASSIGN_OR_RETURN(BPlusTree::WalkNode node, Fetch(node_id));
+  while (!node.leaf) {
+    SDBENC_ASSIGN_OR_RETURN(size_t child_idx,
+                            client_.ChooseChild(node, lo));
+    node_id = node.children[child_idx];
+    SDBENC_ASSIGN_OR_RETURN(node, Fetch(node_id));
+  }
+  // Walk the leaf chain; each sibling hop is one more round.
+  while (true) {
+    bool past_end = false;
+    SDBENC_RETURN_IF_ERROR(
+        client_.CollectLeaf(node, lo, hi, &rows, &past_end));
+    if (past_end || node.next < 0) break;
+    SDBENC_ASSIGN_OR_RETURN(node, Fetch(node.next));
+  }
+  return rows;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,96 @@
+#ifndef SDBENC_CORE_BLIND_NAVIGATION_H_
+#define SDBENC_CORE_BLIND_NAVIGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// The alternative deployment of the paper's Remark 1: the DBMS server is
+/// NOT given the session key. Instead, when searching the index, "the node
+/// data is retrieved on the server and sent to the client. The client
+/// decrypts the index data and returns a decision (left/right in the case
+/// of a binary tree) to the server, until the leaf level of the index tree
+/// is reached" — at the cost of "logarithmic many additional communication
+/// rounds". With a d-ary B+-tree the client returns a child *index* rather
+/// than a bit, and fewer rounds are needed ("such a scheme might be
+/// worthwhile if the index uses d-nary B+-trees with d >> 2").
+///
+/// BlindIndexServer exposes only what untrusted code can compute (node
+/// structure + encrypted entries); BlindIndexClient holds the codec (and
+/// therefore the key) and makes all decisions. BlindQuerySession wires the
+/// two together and meters the protocol: rounds and octets shipped.
+
+/// Key-less server side: hands out encrypted nodes by id.
+class BlindIndexServer {
+ public:
+  /// `tree` must outlive the server.
+  explicit BlindIndexServer(const BPlusTree& tree) : tree_(tree) {}
+
+  int root() const { return tree_.root_id(); }
+
+  /// Ships one node to the client (counted by the session).
+  StatusOr<BPlusTree::WalkNode> FetchNode(int node_id) const {
+    return tree_.GetWalkNode(node_id);
+  }
+
+ private:
+  const BPlusTree& tree_;
+};
+
+/// Key-holding client side: decrypts shipped nodes and decides.
+class BlindIndexClient {
+ public:
+  /// `codec` (carrying the key) must outlive the client.
+  explicit BlindIndexClient(const IndexEntryCodec* codec) : codec_(codec) {}
+
+  /// Inner-node decision: index of the child to descend for the leftmost
+  /// occurrence of `key`.
+  StatusOr<size_t> ChooseChild(const BPlusTree::WalkNode& node,
+                               BytesView key) const;
+
+  /// Leaf handling: appends rows whose entry key is in [lo, hi] to `rows`;
+  /// sets *past_end when an entry beyond `hi` was seen (stop the walk).
+  Status CollectLeaf(const BPlusTree::WalkNode& node, BytesView lo,
+                     BytesView hi, std::vector<uint64_t>* rows,
+                     bool* past_end) const;
+
+ private:
+  const IndexEntryCodec* codec_;
+};
+
+/// Orchestrates one query under the Remark-1 protocol, metering the cost.
+class BlindQuerySession {
+ public:
+  struct Stats {
+    size_t rounds = 0;            // client<->server round trips
+    size_t octets_to_client = 0;  // encrypted entry bytes shipped
+  };
+
+  BlindQuerySession(const BlindIndexServer& server,
+                    const BlindIndexClient& client)
+      : server_(server), client_(client) {}
+
+  /// Point lookup without the server ever holding the key.
+  StatusOr<std::vector<uint64_t>> Find(BytesView key);
+
+  /// Inclusive range query.
+  StatusOr<std::vector<uint64_t>> Range(BytesView lo, BytesView hi);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  StatusOr<BPlusTree::WalkNode> Fetch(int node_id);
+
+  const BlindIndexServer& server_;
+  const BlindIndexClient& client_;
+  Stats stats_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CORE_BLIND_NAVIGATION_H_

@@ -1,0 +1,76 @@
+#ifndef SDBENC_CORE_ENCRYPTED_INDEX_H_
+#define SDBENC_CORE_ENCRYPTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "db/value.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Typed facade over the B+-tree: maps column Values to order-preserving
+/// keys and back. The entry codec (and with it, the index encryption scheme)
+/// is fixed at construction.
+class EncryptedIndex {
+ public:
+  /// `codec` must outlive the index.
+  EncryptedIndex(IndexEntryCodec* codec, uint64_t index_table_id,
+                 uint64_t indexed_table_id, uint32_t indexed_column,
+                 size_t order = 8)
+      : column_(indexed_column),
+        tree_(codec, index_table_id, indexed_table_id, indexed_column,
+              order) {}
+
+  uint32_t column() const { return column_; }
+  BPlusTree& tree() { return tree_; }
+  const BPlusTree& tree() const { return tree_; }
+
+  Status Add(const Value& value, uint64_t table_row) {
+    return tree_.Insert(value.SerializeComparable(), table_row);
+  }
+
+  /// One-shot bottom-up build (empty index only); each entry encrypted once.
+  Status BulkLoad(const std::vector<std::pair<Value, uint64_t>>& pairs) {
+    std::vector<std::pair<Bytes, uint64_t>> encoded;
+    encoded.reserve(pairs.size());
+    for (const auto& [value, row] : pairs) {
+      encoded.emplace_back(value.SerializeComparable(), row);
+    }
+    return tree_.BulkLoad(std::move(encoded));
+  }
+
+  Status Remove(const Value& value, uint64_t table_row) {
+    return tree_.Remove(value.SerializeComparable(), table_row);
+  }
+
+  StatusOr<std::vector<uint64_t>> Lookup(const Value& value) const {
+    return tree_.Find(value.SerializeComparable());
+  }
+
+  /// Inclusive range [lo, hi] in value order.
+  StatusOr<std::vector<uint64_t>> Range(const Value& lo,
+                                        const Value& hi) const {
+    return tree_.Range(lo.SerializeComparable(), hi.SerializeComparable());
+  }
+
+  /// Range with optional bounds (nullptr = unbounded on that side); used by
+  /// the query planner for one-sided predicates like `salary >= 100000`.
+  StatusOr<std::vector<uint64_t>> RangeBounded(const Value* lo,
+                                               const Value* hi) const {
+    Bytes lo_key, hi_key;
+    if (lo != nullptr) lo_key = lo->SerializeComparable();
+    if (hi != nullptr) hi_key = hi->SerializeComparable();
+    return tree_.RangeBounded(lo != nullptr ? &lo_key : nullptr,
+                              hi != nullptr ? &hi_key : nullptr);
+  }
+
+ private:
+  uint32_t column_;
+  BPlusTree tree_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CORE_ENCRYPTED_INDEX_H_

@@ -1,0 +1,86 @@
+#include "core/encrypted_table.h"
+
+namespace sdbenc {
+
+StatusOr<CellCodec*> EncryptedTable::CodecFor(uint32_t column) const {
+  if (column >= codecs_.size() || codecs_[column] == nullptr) {
+    return FailedPreconditionError(
+        "no codec (key) available for column " + std::to_string(column));
+  }
+  return codecs_[column];
+}
+
+StatusOr<Bytes> EncryptedTable::EncodeCell(const Value& value, uint64_t row,
+                                           uint32_t column) {
+  const Bytes serialized = value.Serialize();
+  if (!table_->schema().column(column).encrypted) {
+    return serialized;
+  }
+  SDBENC_ASSIGN_OR_RETURN(CellCodec * codec, CodecFor(column));
+  return codec->Encode(serialized, table_->AddressOf(row, column));
+}
+
+StatusOr<uint64_t> EncryptedTable::InsertRow(const std::vector<Value>& values) {
+  SDBENC_RETURN_IF_ERROR(table_->schema().ValidateRow(values));
+  // The row number is part of every encrypted cell's authenticated address,
+  // so it must be fixed before encoding: rows are append-only and the next
+  // row number is num_rows().
+  const uint64_t row = table_->num_rows();
+  std::vector<Bytes> cells;
+  cells.reserve(values.size());
+  for (uint32_t c = 0; c < values.size(); ++c) {
+    SDBENC_ASSIGN_OR_RETURN(Bytes cell, EncodeCell(values[c], row, c));
+    cells.push_back(std::move(cell));
+  }
+  return table_->AppendRow(std::move(cells));
+}
+
+StatusOr<Value> EncryptedTable::GetCell(uint64_t row, uint32_t column) const {
+  SDBENC_ASSIGN_OR_RETURN(BytesView stored, table_->cell(row, column));
+  if (!table_->schema().column(column).encrypted) {
+    return Value::Deserialize(stored);
+  }
+  SDBENC_ASSIGN_OR_RETURN(CellCodec * codec, CodecFor(column));
+  SDBENC_ASSIGN_OR_RETURN(
+      Bytes serialized, codec->Decode(stored, table_->AddressOf(row, column)));
+  return Value::Deserialize(serialized);
+}
+
+StatusOr<std::vector<Value>> EncryptedTable::GetRow(uint64_t row) const {
+  std::vector<Value> values;
+  values.reserve(table_->num_columns());
+  for (uint32_t c = 0; c < table_->num_columns(); ++c) {
+    SDBENC_ASSIGN_OR_RETURN(Value v, GetCell(row, c));
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+Status EncryptedTable::UpdateCell(uint64_t row, uint32_t column,
+                                  const Value& value) {
+  if (!value.is_null() &&
+      value.type() != table_->schema().column(column).type) {
+    return InvalidArgumentError("value type does not match column type");
+  }
+  SDBENC_ASSIGN_OR_RETURN(Bytes encoded, EncodeCell(value, row, column));
+  SDBENC_ASSIGN_OR_RETURN(Bytes * cell, table_->mutable_cell(row, column));
+  *cell = std::move(encoded);
+  return OkStatus();
+}
+
+Status EncryptedTable::VerifyAll() const {
+  for (uint64_t r = 0; r < table_->num_rows(); ++r) {
+    if (table_->IsDeleted(r)) continue;
+    for (uint32_t c = 0; c < table_->num_columns(); ++c) {
+      StatusOr<Value> v = GetCell(r, c);
+      if (!v.ok()) {
+        return Status(v.status().code(),
+                      "cell " + table_->AddressOf(r, c).ToString() + ": " +
+                          v.status().message());
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace sdbenc

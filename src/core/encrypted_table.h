@@ -1,0 +1,63 @@
+#ifndef SDBENC_CORE_ENCRYPTED_TABLE_H_
+#define SDBENC_CORE_ENCRYPTED_TABLE_H_
+
+#include <vector>
+
+#include "db/table.h"
+#include "db/value.h"
+#include "schemes/cell_codec.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Structure-preserving encrypted view over a raw Table: columns marked
+/// `encrypted` in the schema pass through their column's codec (cells bound
+/// to their (t, r, c) address), clear columns are stored as serialized
+/// plaintext. This is the paper's database encryption layer with the codecs
+/// as the pluggable scheme — Elovici's for the attack demonstrations, AEAD
+/// for the fix. Per-column codecs (and therefore per-column keys) are what
+/// make cryptographic column-granular access control possible (see
+/// core/restricted_reader.h).
+class EncryptedTable {
+ public:
+  /// `table` and every codec must outlive this object. `codecs` holds one
+  /// entry per column; entries for unencrypted columns may be nullptr.
+  EncryptedTable(Table* table, std::vector<CellCodec*> codecs)
+      : table_(table), codecs_(std::move(codecs)) {}
+
+  /// Convenience: one codec shared by all encrypted columns.
+  EncryptedTable(Table* table, CellCodec* codec)
+      : table_(table),
+        codecs_(table->schema().num_columns(), codec) {}
+
+  const Table& table() const { return *table_; }
+  Table* mutable_table() { return table_; }
+
+  /// Validates against the schema, encodes each cell, appends the row.
+  StatusOr<uint64_t> InsertRow(const std::vector<Value>& values);
+
+  /// Decodes one cell, authenticating its position where the codec can.
+  StatusOr<Value> GetCell(uint64_t row, uint32_t column) const;
+
+  /// Decodes a whole row.
+  StatusOr<std::vector<Value>> GetRow(uint64_t row) const;
+
+  /// Re-encodes one cell in place (fresh nonce under probabilistic codecs).
+  Status UpdateCell(uint64_t row, uint32_t column, const Value& value);
+
+  /// Decodes every cell of every live row; the first authentication failure
+  /// aborts the sweep with its position in the message.
+  Status VerifyAll() const;
+
+ private:
+  StatusOr<Bytes> EncodeCell(const Value& value, uint64_t row,
+                             uint32_t column);
+  StatusOr<CellCodec*> CodecFor(uint32_t column) const;
+
+  Table* table_;
+  std::vector<CellCodec*> codecs_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CORE_ENCRYPTED_TABLE_H_

@@ -1,0 +1,147 @@
+#include "core/restricted_reader.h"
+
+#include "db/serialize.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+Bytes KeyGrant::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& entry : entries) {
+    writer.PutString(entry.table);
+    writer.PutU64(entry.table_id);
+    writer.PutU32(entry.column);
+    writer.PutString(entry.column_name);
+    writer.PutString(AeadAlgorithmName(entry.aead));
+    writer.PutU8(entry.is_index_key ? 1 : 0);
+    writer.PutBytes(entry.key);
+  }
+  return writer.Take();
+}
+
+StatusOr<KeyGrant> KeyGrant::Deserialize(BytesView data) {
+  BinaryReader reader(data);
+  KeyGrant grant;
+  SDBENC_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    Entry entry;
+    SDBENC_ASSIGN_OR_RETURN(entry.table, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(entry.table_id, reader.GetU64());
+    SDBENC_ASSIGN_OR_RETURN(entry.column, reader.GetU32());
+    SDBENC_ASSIGN_OR_RETURN(entry.column_name, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(std::string alg_name, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(entry.aead, ParseAeadAlgorithm(alg_name));
+    SDBENC_ASSIGN_OR_RETURN(uint8_t is_index, reader.GetU8());
+    entry.is_index_key = is_index != 0;
+    SDBENC_ASSIGN_OR_RETURN(entry.key, reader.GetBytes());
+    grant.entries.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing garbage in key grant");
+  }
+  return grant;
+}
+
+void KeyGrant::Wipe() {
+  for (Entry& entry : entries) SecureWipe(entry.key);
+  entries.clear();
+}
+
+StatusOr<GrantedIndexCodec> GrantedIndexCodec::FromGrant(
+    const KeyGrant::Entry& entry) {
+  if (!entry.is_index_key) {
+    return InvalidArgumentError("entry holds a cell key, not an index key");
+  }
+  GrantedIndexCodec granted;
+  if (entry.aead == AeadAlgorithm::kSiv || entry.aead == AeadAlgorithm::kEtm) {
+    SDBENC_ASSIGN_OR_RETURN(granted.aead, CreateAead(entry.aead, entry.key));
+  } else {
+    SDBENC_ASSIGN_OR_RETURN(
+        granted.aead,
+        CreateAead(entry.aead, BytesView(entry.key.data(), 16)));
+  }
+  granted.rng = std::make_unique<SystemRng>();
+  granted.codec =
+      std::make_unique<AeadIndexCodec>(*granted.aead, *granted.rng);
+  return granted;
+}
+
+StatusOr<std::unique_ptr<RestrictedReader>> RestrictedReader::Open(
+    const Database* storage, const KeyGrant& grant) {
+  if (storage == nullptr) return InvalidArgumentError("storage is null");
+  auto reader = std::unique_ptr<RestrictedReader>(
+      new RestrictedReader(storage));
+  for (const KeyGrant::Entry& entry : grant.entries) {
+    if (entry.is_index_key) continue;  // index keys are for blind navigation
+    ColumnKey key;
+    key.table_id = entry.table_id;
+    key.column = entry.column;
+    // Rebuild the same AEAD the engine derived for this column.
+    if (entry.aead == AeadAlgorithm::kSiv || entry.aead == AeadAlgorithm::kEtm) {
+      SDBENC_ASSIGN_OR_RETURN(key.aead, CreateAead(entry.aead, entry.key));
+    } else {
+      SDBENC_ASSIGN_OR_RETURN(
+          key.aead,
+          CreateAead(entry.aead, BytesView(entry.key.data(), 16)));
+    }
+    key.codec = std::make_unique<AeadCellCodec>(*key.aead, *reader->rng_);
+    reader->keys_.push_back(std::move(key));
+  }
+  return reader;
+}
+
+StatusOr<const RestrictedReader::ColumnKey*> RestrictedReader::KeyFor(
+    uint64_t table_id, uint32_t column) const {
+  for (const ColumnKey& key : keys_) {
+    if (key.table_id == table_id && key.column == column) return &key;
+  }
+  return FailedPreconditionError(
+      "not granted: no key for column " + std::to_string(column) +
+      " of table " + std::to_string(table_id));
+}
+
+StatusOr<Value> RestrictedReader::GetCell(const std::string& table,
+                                          uint64_t row,
+                                          uint32_t column) const {
+  SDBENC_ASSIGN_OR_RETURN(const Table* raw, storage_->GetTable(table));
+  if (column >= raw->schema().num_columns()) {
+    return OutOfRangeError("column out of range");
+  }
+  SDBENC_ASSIGN_OR_RETURN(BytesView stored, raw->cell(row, column));
+  if (!raw->schema().column(column).encrypted) {
+    return Value::Deserialize(stored);  // clear columns need no grant
+  }
+  SDBENC_ASSIGN_OR_RETURN(const ColumnKey* key, KeyFor(raw->id(), column));
+  SDBENC_ASSIGN_OR_RETURN(Bytes serialized,
+                          key->codec->Decode(stored,
+                                             raw->AddressOf(row, column)));
+  return Value::Deserialize(serialized);
+}
+
+StatusOr<std::vector<uint64_t>> RestrictedReader::FindRows(
+    const std::string& table, const std::string& column,
+    const Value& value) const {
+  SDBENC_ASSIGN_OR_RETURN(const Table* raw, storage_->GetTable(table));
+  SDBENC_ASSIGN_OR_RETURN(size_t col, raw->schema().FindColumn(column));
+  std::vector<uint64_t> rows;
+  for (uint64_t row = 0; row < raw->num_rows(); ++row) {
+    if (raw->IsDeleted(row)) continue;
+    SDBENC_ASSIGN_OR_RETURN(Value v,
+                            GetCell(table, row, static_cast<uint32_t>(col)));
+    if (v == value) rows.push_back(row);
+  }
+  return rows;
+}
+
+bool RestrictedReader::CanRead(const std::string& table,
+                               const std::string& column) const {
+  const auto raw = storage_->GetTable(table);
+  if (!raw.ok()) return false;
+  const auto col = (*raw)->schema().FindColumn(column);
+  if (!col.ok()) return false;
+  if (!(*raw)->schema().column(*col).encrypted) return true;
+  return KeyFor((*raw)->id(), static_cast<uint32_t>(*col)).ok();
+}
+
+}  // namespace sdbenc

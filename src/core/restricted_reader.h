@@ -1,0 +1,105 @@
+#ifndef SDBENC_CORE_RESTRICTED_READER_H_
+#define SDBENC_CORE_RESTRICTED_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "db/database.h"
+#include "schemes/aead_cell.h"
+#include "schemes/aead_index.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Cryptographically-enforced discretionary access control — the idea the
+/// paper attributes to [12] (§2.1: "methods to implement discretionary
+/// access control"), realised the only way an *encryption* scheme can:
+/// access is granted by handing out keys, not by checking policy bits a
+/// storage adversary could flip.
+///
+/// The engine derives one key per (table, column); the owner exports a
+/// KeyGrant bundle containing exactly the column keys a principal may read.
+/// A RestrictedReader opened with that bundle over the (untrusted) storage
+/// can decrypt precisely the granted columns — for everything else it holds
+/// no key, so "permission denied" is a mathematical fact, not a policy
+/// decision. Revocation = RotateMasterKey: every outstanding bundle goes
+/// stale at once.
+struct KeyGrant {
+  struct Entry {
+    std::string table;
+    uint64_t table_id = 0;
+    uint32_t column = 0;
+    std::string column_name;
+    AeadAlgorithm aead = AeadAlgorithm::kEax;
+    bool is_index_key = false;  // cell-column key vs. index-entry key
+    Bytes key;  // the derived 32-octet subkey
+  };
+  std::vector<Entry> entries;
+
+  /// Length-prefixed binary encoding (for handing to the principal over a
+  /// secure channel — the bundle IS key material).
+  Bytes Serialize() const;
+  static StatusOr<KeyGrant> Deserialize(BytesView data);
+
+  /// Best-effort zeroisation of the contained keys.
+  void Wipe();
+};
+
+/// Client-side crypto stack for one granted *index* key: lets the principal
+/// run the Remark-1 blind-navigation protocol (core/blind_navigation.h)
+/// against the engine's encrypted B+-tree — the engine ships nodes, the
+/// principal decrypts and steers, and nobody else ever sees plaintext.
+struct GrantedIndexCodec {
+  std::unique_ptr<Aead> aead;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<AeadIndexCodec> codec;
+
+  /// Builds from an index-key grant entry; fails on a cell-key entry.
+  static StatusOr<GrantedIndexCodec> FromGrant(const KeyGrant::Entry& entry);
+};
+
+/// Read-only, column-scoped view over raw storage using only granted keys.
+class RestrictedReader {
+ public:
+  /// `storage` must outlive the reader. The grant is copied (and may be
+  /// wiped by the caller afterwards).
+  static StatusOr<std::unique_ptr<RestrictedReader>> Open(
+      const Database* storage, const KeyGrant& grant);
+
+  /// Decrypts one cell. Fails with kFailedPrecondition if the column was
+  /// not granted (no key), kAuthenticationFailed on tampering.
+  StatusOr<Value> GetCell(const std::string& table, uint64_t row,
+                          uint32_t column) const;
+
+  /// Scan query over a granted column: rows where column == value.
+  StatusOr<std::vector<uint64_t>> FindRows(const std::string& table,
+                                           const std::string& column,
+                                           const Value& value) const;
+
+  /// True if the reader holds a key for (table, column).
+  bool CanRead(const std::string& table, const std::string& column) const;
+
+ private:
+  struct ColumnKey {
+    uint64_t table_id;
+    uint32_t column;
+    std::unique_ptr<Aead> aead;
+    std::unique_ptr<AeadCellCodec> codec;
+  };
+
+  RestrictedReader(const Database* storage)
+      : storage_(storage), rng_(std::make_unique<SystemRng>()) {}
+
+  StatusOr<const ColumnKey*> KeyFor(uint64_t table_id, uint32_t column) const;
+
+  const Database* storage_;
+  std::unique_ptr<Rng> rng_;  // codecs need one even though we never Encode
+  std::vector<ColumnKey> keys_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CORE_RESTRICTED_READER_H_

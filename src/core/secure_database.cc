@@ -1,0 +1,488 @@
+#include "core/secure_database.h"
+
+#include <utility>
+
+#include "crypto/hash.h"
+#include "crypto/hkdf.h"
+#include "db/serialize.h"
+#include "util/constant_time.h"
+#include "util/file.h"
+
+namespace sdbenc {
+
+SecureDatabase::SecureDatabase(Bytes master_key,
+                               std::optional<uint64_t> rng_seed)
+    : master_key_(std::move(master_key)),
+      storage_holder_(std::make_unique<Database>()) {
+  if (rng_seed.has_value()) {
+    rng_ = std::make_unique<DeterministicRng>(*rng_seed);
+  } else {
+    rng_ = std::make_unique<SystemRng>();
+  }
+}
+
+StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::Open(
+    BytesView master_key, std::optional<uint64_t> rng_seed) {
+  if (master_key.size() < 16) {
+    return InvalidArgumentError("master key must be >= 16 octets");
+  }
+  return std::unique_ptr<SecureDatabase>(new SecureDatabase(
+      Bytes(master_key.begin(), master_key.end()), rng_seed));
+}
+
+Status SecureDatabase::CheckOpen() const {
+  if (closed_) {
+    return FailedPreconditionError("session closed; keys were wiped");
+  }
+  return OkStatus();
+}
+
+Bytes SecureDatabase::DeriveKey(const std::string& label) const {
+  // HKDF (RFC 5869) with the label as info; 32 octets so every AEAD
+  // (including two-key SIV) can be keyed. Independent labels give
+  // cryptographically independent subkeys — exactly the separation whose
+  // absence the paper's Sect. 3.3 attack exploits.
+  auto okm = Hkdf(HashAlgorithm::kSha256, master_key_,
+                  BytesFromString("sdbenc-subkey-v1"), BytesFromString(label),
+                  32);
+  return std::move(okm).value();  // length is static and valid
+}
+
+namespace {
+
+StatusOr<std::unique_ptr<Aead>> MakeAead(AeadAlgorithm alg,
+                                         const Bytes& key32) {
+  // SIV wants the full 32 octets; the AES-based modes take the first 16.
+  if (alg == AeadAlgorithm::kSiv || alg == AeadAlgorithm::kEtm) {
+    return CreateAead(alg, key32);
+  }
+  return CreateAead(alg, BytesView(key32.data(), 16));
+}
+
+}  // namespace
+
+Status SecureDatabase::BuildTableState(
+    const std::string& name, AeadAlgorithm alg, size_t index_order,
+    const std::vector<std::string>& indexed_columns, bool populate_indexes) {
+  SDBENC_ASSIGN_OR_RETURN(Table * table, storage_holder_->GetTable(name));
+
+  auto state = std::make_unique<TableState>();
+  state->name = name;
+  state->aead_alg = alg;
+  state->index_order = index_order;
+  // One independently keyed AEAD per encrypted column.
+  std::vector<CellCodec*> codecs(table->schema().num_columns(), nullptr);
+  for (uint32_t c = 0; c < table->schema().num_columns(); ++c) {
+    if (!table->schema().column(c).encrypted) {
+      state->column_aeads.push_back(nullptr);
+      state->column_codecs.push_back(nullptr);
+      continue;
+    }
+    SDBENC_ASSIGN_OR_RETURN(
+        std::unique_ptr<Aead> aead,
+        MakeAead(alg, DeriveKey("cell/" + name + "/" +
+                                table->schema().column(c).name)));
+    state->column_aeads.push_back(std::move(aead));
+    state->column_codecs.push_back(std::make_unique<AeadCellCodec>(
+        *state->column_aeads.back(), *rng_));
+    codecs[c] = state->column_codecs.back().get();
+  }
+  state->encrypted_table =
+      std::make_unique<EncryptedTable>(table, std::move(codecs));
+
+  for (const std::string& column_name : indexed_columns) {
+    SDBENC_ASSIGN_OR_RETURN(size_t column,
+                            table->schema().FindColumn(column_name));
+    TableState::IndexState index_state;
+    index_state.column = static_cast<uint32_t>(column);
+    index_state.column_name = column_name;
+    SDBENC_ASSIGN_OR_RETURN(
+        index_state.aead,
+        MakeAead(alg, DeriveKey("index/" + name + "/" + column_name)));
+    index_state.codec =
+        std::make_unique<AeadIndexCodec>(*index_state.aead, *rng_);
+    index_state.index = std::make_unique<EncryptedIndex>(
+        index_state.codec.get(), next_index_table_id_++, table->id(),
+        static_cast<uint32_t>(column), index_order);
+    if (populate_indexes) {
+      for (uint64_t row = 0; row < table->num_rows(); ++row) {
+        if (table->IsDeleted(row)) continue;
+        SDBENC_ASSIGN_OR_RETURN(
+            Value value, state->encrypted_table->GetCell(
+                             row, static_cast<uint32_t>(column)));
+        SDBENC_RETURN_IF_ERROR(index_state.index->Add(value, row));
+      }
+    }
+    state->indexes.push_back(std::move(index_state));
+  }
+
+  tables_.push_back(std::move(state));
+  return OkStatus();
+}
+
+Status SecureDatabase::CreateTable(const std::string& name, Schema schema,
+                                   SecureTableOptions options) {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  // Validate the indexed columns against the schema before any state lands.
+  for (const std::string& column_name : options.indexed_columns) {
+    SDBENC_ASSIGN_OR_RETURN(size_t column, schema.FindColumn(column_name));
+    (void)column;
+  }
+  SDBENC_ASSIGN_OR_RETURN(Table * table,
+                          storage_holder_->CreateTable(name,
+                                                       std::move(schema)));
+  (void)table;
+  return BuildTableState(name, options.aead, options.index_order,
+                         options.indexed_columns,
+                         /*populate_indexes=*/false);
+}
+
+StatusOr<SecureDatabase::TableState*> SecureDatabase::FindState(
+    const std::string& table) {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  for (auto& state : tables_) {
+    if (state->name == table) return state.get();
+  }
+  return NotFoundError("no table named '" + table + "'");
+}
+
+StatusOr<const SecureDatabase::TableState*> SecureDatabase::FindState(
+    const std::string& table) const {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  for (const auto& state : tables_) {
+    if (state->name == table) return state.get();
+  }
+  return NotFoundError("no table named '" + table + "'");
+}
+
+StatusOr<const SecureDatabase::TableState*> SecureDatabase::GetTableState(
+    const std::string& table) const {
+  return FindState(table);
+}
+
+StatusOr<uint64_t> SecureDatabase::Insert(const std::string& table,
+                                          const std::vector<Value>& values) {
+  SDBENC_ASSIGN_OR_RETURN(TableState * state, FindState(table));
+  SDBENC_ASSIGN_OR_RETURN(uint64_t row,
+                          state->encrypted_table->InsertRow(values));
+  for (auto& index_state : state->indexes) {
+    SDBENC_RETURN_IF_ERROR(
+        index_state.index->Add(values[index_state.column], row));
+  }
+  return row;
+}
+
+Status SecureDatabase::BulkInsert(
+    const std::string& table, const std::vector<std::vector<Value>>& rows) {
+  SDBENC_ASSIGN_OR_RETURN(TableState * state, FindState(table));
+  if (state->encrypted_table->table().num_rows() != 0) {
+    return FailedPreconditionError("BulkInsert requires an empty table");
+  }
+  for (const auto& values : rows) {
+    SDBENC_ASSIGN_OR_RETURN(uint64_t row,
+                            state->encrypted_table->InsertRow(values));
+    (void)row;
+  }
+  for (auto& index_state : state->indexes) {
+    std::vector<std::pair<Value, uint64_t>> pairs;
+    pairs.reserve(rows.size());
+    for (uint64_t row = 0; row < rows.size(); ++row) {
+      pairs.emplace_back(rows[row][index_state.column], row);
+    }
+    SDBENC_RETURN_IF_ERROR(index_state.index->BulkLoad(pairs));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
+    const TableState& state, const std::vector<uint64_t>& rows) const {
+  std::vector<std::vector<Value>> out;
+  out.reserve(rows.size());
+  for (uint64_t row : rows) {
+    if (state.encrypted_table->table().IsDeleted(row)) continue;
+    SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            state.encrypted_table->GetRow(row));
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<Value>>> SecureDatabase::ScanWhere(
+    const TableState& state, uint32_t column, const Value& lo,
+    const Value& hi) const {
+  std::vector<std::vector<Value>> out;
+  const Table& table = state.encrypted_table->table();
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    if (table.IsDeleted(row)) continue;
+    SDBENC_ASSIGN_OR_RETURN(Value v,
+                            state.encrypted_table->GetCell(row, column));
+    if (Value::Compare(v, lo) < 0 || Value::Compare(v, hi) > 0) continue;
+    SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            state.encrypted_table->GetRow(row));
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<Value>>> SecureDatabase::SelectEquals(
+    const std::string& table, const std::string& column,
+    const Value& value) const {
+  return SelectRange(table, column, value, value);
+}
+
+StatusOr<std::vector<std::vector<Value>>> SecureDatabase::SelectRange(
+    const std::string& table, const std::string& column, const Value& lo,
+    const Value& hi) const {
+  SDBENC_ASSIGN_OR_RETURN(const TableState* state, FindState(table));
+  SDBENC_ASSIGN_OR_RETURN(
+      size_t col,
+      state->encrypted_table->table().schema().FindColumn(column));
+  for (const auto& index_state : state->indexes) {
+    if (index_state.column == col) {
+      SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> rows,
+                              index_state.index->Range(lo, hi));
+      return CollectRows(*state, rows);
+    }
+  }
+  return ScanWhere(*state, static_cast<uint32_t>(col), lo, hi);
+}
+
+StatusOr<std::vector<Value>> SecureDatabase::GetRow(const std::string& table,
+                                                    uint64_t row) const {
+  SDBENC_ASSIGN_OR_RETURN(const TableState* state, FindState(table));
+  if (state->encrypted_table->table().IsDeleted(row)) {
+    return NotFoundError("row is deleted");
+  }
+  return state->encrypted_table->GetRow(row);
+}
+
+Status SecureDatabase::Update(const std::string& table, uint64_t row,
+                              const std::string& column, const Value& value) {
+  SDBENC_ASSIGN_OR_RETURN(TableState * state, FindState(table));
+  SDBENC_ASSIGN_OR_RETURN(
+      size_t col,
+      state->encrypted_table->table().schema().FindColumn(column));
+  // Maintain the index: the old entry must leave before the new one lands.
+  for (auto& index_state : state->indexes) {
+    if (index_state.column != col) continue;
+    SDBENC_ASSIGN_OR_RETURN(
+        Value old_value,
+        state->encrypted_table->GetCell(row, static_cast<uint32_t>(col)));
+    SDBENC_RETURN_IF_ERROR(index_state.index->Remove(old_value, row));
+    SDBENC_RETURN_IF_ERROR(state->encrypted_table->UpdateCell(
+        row, static_cast<uint32_t>(col), value));
+    return index_state.index->Add(value, row);
+  }
+  return state->encrypted_table->UpdateCell(row, static_cast<uint32_t>(col),
+                                            value);
+}
+
+Status SecureDatabase::Delete(const std::string& table, uint64_t row) {
+  SDBENC_ASSIGN_OR_RETURN(TableState * state, FindState(table));
+  Table* raw = state->encrypted_table->mutable_table();
+  if (row >= raw->num_rows()) return OutOfRangeError("row out of range");
+  if (raw->IsDeleted(row)) return NotFoundError("row already deleted");
+  for (auto& index_state : state->indexes) {
+    SDBENC_ASSIGN_OR_RETURN(Value v, state->encrypted_table->GetCell(
+                                         row, index_state.column));
+    SDBENC_RETURN_IF_ERROR(index_state.index->Remove(v, row));
+  }
+  return raw->DeleteRow(row);
+}
+
+Status SecureDatabase::VerifyIntegrity() const {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  for (const auto& state : tables_) {
+    SDBENC_RETURN_IF_ERROR(state->encrypted_table->VerifyAll());
+    for (const auto& index_state : state->indexes) {
+      SDBENC_RETURN_IF_ERROR(index_state.index->tree().CheckStructure());
+    }
+  }
+  return OkStatus();
+}
+
+bool SecureDatabase::HasIndex(const std::string& table,
+                              const std::string& column) const {
+  StatusOr<const TableState*> state = FindState(table);
+  if (!state.ok()) return false;
+  StatusOr<size_t> col =
+      (*state)->encrypted_table->table().schema().FindColumn(column);
+  if (!col.ok()) return false;
+  for (const auto& index_state : (*state)->indexes) {
+    if (index_state.column == *col) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- persistence
+
+Status SecureDatabase::SaveToFile(const std::string& path) const {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  BinaryWriter writer;
+  writer.PutBytes(SerializeDatabase(*storage_holder_));
+  writer.PutU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& state : tables_) {
+    writer.PutString(state->name);
+    writer.PutString(AeadAlgorithmName(state->aead_alg));
+    writer.PutU32(static_cast<uint32_t>(state->index_order));
+    writer.PutU32(static_cast<uint32_t>(state->indexes.size()));
+    for (const auto& index_state : state->indexes) {
+      writer.PutString(index_state.column_name);
+    }
+  }
+  return WriteFileAtomic(path, writer.data());
+}
+
+StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenFromFile(
+    BytesView master_key, const std::string& path,
+    std::optional<uint64_t> rng_seed) {
+  SDBENC_ASSIGN_OR_RETURN(Bytes image, ReadFile(path));
+  BinaryReader reader(image);
+  SDBENC_ASSIGN_OR_RETURN(Bytes storage_image, reader.GetBytes());
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Database> storage,
+                          DeserializeDatabase(storage_image));
+
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<SecureDatabase> db,
+                          Open(master_key, rng_seed));
+  db->storage_holder_ = std::move(storage);
+
+  SDBENC_ASSIGN_OR_RETURN(uint32_t n_tables, reader.GetU32());
+  for (uint32_t t = 0; t < n_tables; ++t) {
+    SDBENC_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(std::string alg_name, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(AeadAlgorithm alg, ParseAeadAlgorithm(alg_name));
+    SDBENC_ASSIGN_OR_RETURN(uint32_t order, reader.GetU32());
+    SDBENC_ASSIGN_OR_RETURN(uint32_t n_indexes, reader.GetU32());
+    std::vector<std::string> indexed;
+    for (uint32_t i = 0; i < n_indexes; ++i) {
+      SDBENC_ASSIGN_OR_RETURN(std::string column, reader.GetString());
+      indexed.push_back(std::move(column));
+    }
+    // Rebuilding the indexes decrypts every indexed cell: a wrong master
+    // key or a tampered image dies right here with an auth failure.
+    SDBENC_RETURN_IF_ERROR(db->BuildTableState(name, alg, order, indexed,
+                                               /*populate_indexes=*/true));
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing garbage in database file");
+  }
+  return db;
+}
+
+Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  if (new_master_key.size() < 16) {
+    return InvalidArgumentError("master key must be >= 16 octets");
+  }
+  // Snapshot the table configurations, then decrypt every live cell under
+  // the old keys and re-encrypt under the new ones.
+  struct Config {
+    std::string name;
+    AeadAlgorithm alg;
+    size_t order;
+    std::vector<std::string> indexed;
+  };
+  std::vector<Config> configs;
+  for (const auto& state : tables_) {
+    Config config{state->name, state->aead_alg, state->index_order, {}};
+    for (const auto& index_state : state->indexes) {
+      config.indexed.push_back(index_state.column_name);
+    }
+    configs.push_back(std::move(config));
+  }
+
+  const Bytes old_key = master_key_;
+  for (const Config& config : configs) {
+    SDBENC_ASSIGN_OR_RETURN(TableState * old_state, FindState(config.name));
+    Table* raw = old_state->encrypted_table->mutable_table();
+    for (uint32_t col = 0; col < raw->num_columns(); ++col) {
+      if (!raw->schema().column(col).encrypted) continue;
+      // Build the new codec for this column under the new master key.
+      master_key_.assign(new_master_key.begin(), new_master_key.end());
+      SDBENC_ASSIGN_OR_RETURN(
+          std::unique_ptr<Aead> new_aead,
+          MakeAead(config.alg, DeriveKey("cell/" + config.name + "/" +
+                                         raw->schema().column(col).name)));
+      AeadCellCodec new_codec(*new_aead, *rng_);
+      master_key_ = old_key;
+
+      AeadCellCodec* old_codec = old_state->column_codecs[col].get();
+      for (uint64_t row = 0; row < raw->num_rows(); ++row) {
+        if (raw->IsDeleted(row)) continue;
+        SDBENC_ASSIGN_OR_RETURN(BytesView stored, raw->cell(row, col));
+        const CellAddress addr = raw->AddressOf(row, col);
+        SDBENC_ASSIGN_OR_RETURN(Bytes plaintext,
+                                old_codec->Decode(stored, addr));
+        SDBENC_ASSIGN_OR_RETURN(Bytes reencrypted,
+                                new_codec.Encode(plaintext, addr));
+        SDBENC_ASSIGN_OR_RETURN(Bytes * cell, raw->mutable_cell(row, col));
+        *cell = std::move(reencrypted);
+        SecureWipe(plaintext);
+      }
+    }
+  }
+
+  // Swap in the new key, drop every old state and rebuild (indexes are
+  // repopulated by decrypting the freshly rotated cells).
+  master_key_.assign(new_master_key.begin(), new_master_key.end());
+  tables_.clear();
+  for (const Config& config : configs) {
+    SDBENC_RETURN_IF_ERROR(BuildTableState(config.name, config.alg,
+                                           config.order, config.indexed,
+                                           /*populate_indexes=*/true));
+  }
+  return OkStatus();
+}
+
+StatusOr<KeyGrant> SecureDatabase::GrantRead(
+    const std::string& table, const std::vector<std::string>& columns) const {
+  SDBENC_ASSIGN_OR_RETURN(const TableState* state, FindState(table));
+  const Table& raw = state->encrypted_table->table();
+  KeyGrant grant;
+  for (const std::string& column_name : columns) {
+    SDBENC_ASSIGN_OR_RETURN(size_t col, raw.schema().FindColumn(column_name));
+    if (!raw.schema().column(col).encrypted) {
+      return InvalidArgumentError("column '" + column_name +
+                                  "' is stored in clear; no key to grant");
+    }
+    KeyGrant::Entry entry;
+    entry.table = table;
+    entry.table_id = raw.id();
+    entry.column = static_cast<uint32_t>(col);
+    entry.column_name = column_name;
+    entry.aead = state->aead_alg;
+    entry.key = DeriveKey("cell/" + table + "/" + column_name);
+    grant.entries.push_back(std::move(entry));
+  }
+  return grant;
+}
+
+StatusOr<KeyGrant> SecureDatabase::GrantIndex(const std::string& table,
+                                              const std::string& column) const {
+  SDBENC_ASSIGN_OR_RETURN(const TableState* state, FindState(table));
+  const Table& raw = state->encrypted_table->table();
+  SDBENC_ASSIGN_OR_RETURN(size_t col, raw.schema().FindColumn(column));
+  for (const auto& index_state : state->indexes) {
+    if (index_state.column != col) continue;
+    KeyGrant grant;
+    KeyGrant::Entry entry;
+    entry.table = table;
+    entry.table_id = raw.id();
+    entry.column = static_cast<uint32_t>(col);
+    entry.column_name = column;
+    entry.aead = state->aead_alg;
+    entry.is_index_key = true;
+    entry.key = DeriveKey("index/" + table + "/" + column);
+    grant.entries.push_back(std::move(entry));
+    return grant;
+  }
+  return NotFoundError("no index on column '" + column + "'");
+}
+
+void SecureDatabase::CloseSession() {
+  SecureWipe(master_key_);
+  tables_.clear();  // drops every derived-key object
+  closed_ = true;
+}
+
+}  // namespace sdbenc

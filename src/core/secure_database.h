@@ -1,0 +1,189 @@
+#ifndef SDBENC_CORE_SECURE_DATABASE_H_
+#define SDBENC_CORE_SECURE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "core/encrypted_index.h"
+#include "core/restricted_reader.h"
+#include "core/encrypted_table.h"
+#include "db/database.h"
+#include "schemes/aead_cell.h"
+#include "schemes/aead_index.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Per-table configuration of the fixed scheme.
+struct SecureTableOptions {
+  /// AEAD instantiation for both cell and index encryption.
+  AeadAlgorithm aead = AeadAlgorithm::kEax;
+  /// Columns to build encrypted B+-tree indexes over.
+  std::vector<std::string> indexed_columns;
+  /// B+-tree fan-out (max entries per node).
+  size_t index_order = 8;
+};
+
+/// The complete fixed system of the paper's §4 as one engine: per-cell AEAD
+/// encryption with authenticated (t, r, c) addresses, plus encrypted
+/// B+-tree indexes whose entries authenticate (Ref_S, Ref_I) and carry
+/// (V, Ref_T) inside the ciphertext. This is what a partially-trusted DBMS
+/// server runs during a session (paper §2.1): it holds the session keys,
+/// executes point and range queries through the encrypted indexes, and
+/// returns only rows that belong to the answer; the storage below it sees
+/// ciphertext only, and any storage-level tampering surfaces as
+/// kAuthenticationFailed on the next touch (or in VerifyIntegrity).
+class SecureDatabase {
+ public:
+  /// Creates an engine with session key material derived from `master_key`
+  /// (>= 16 octets). `rng_seed` seeds the nonce generator: pass a fixed seed
+  /// for reproducible tests/benches, or std::nullopt for OS entropy.
+  static StatusOr<std::unique_ptr<SecureDatabase>> Open(
+      BytesView master_key, std::optional<uint64_t> rng_seed = std::nullopt);
+
+  /// Creates a table plus its encrypted indexes.
+  Status CreateTable(const std::string& name, Schema schema,
+                     SecureTableOptions options);
+
+  /// Inserts a row, maintaining every index of the table.
+  StatusOr<uint64_t> Insert(const std::string& table,
+                            const std::vector<Value>& values);
+
+  /// Initial load fast path: appends all rows, then builds each index
+  /// bottom-up with exactly one encryption per entry (no split-triggered
+  /// re-encryptions). Only valid while the table is empty.
+  Status BulkInsert(const std::string& table,
+                    const std::vector<std::vector<Value>>& rows);
+
+  /// Point query; uses the column's encrypted index when one exists,
+  /// otherwise falls back to a full decrypting scan.
+  StatusOr<std::vector<std::vector<Value>>> SelectEquals(
+      const std::string& table, const std::string& column,
+      const Value& value) const;
+
+  /// Inclusive range query, index-backed where possible.
+  StatusOr<std::vector<std::vector<Value>>> SelectRange(
+      const std::string& table, const std::string& column, const Value& lo,
+      const Value& hi) const;
+
+  /// Reads one full row.
+  StatusOr<std::vector<Value>> GetRow(const std::string& table,
+                                      uint64_t row) const;
+
+  /// Updates one cell, maintaining the column's index if present.
+  Status Update(const std::string& table, uint64_t row,
+                const std::string& column, const Value& value);
+
+  /// Tombstones a row and removes its index entries.
+  Status Delete(const std::string& table, uint64_t row);
+
+  /// Decrypt-verifies every live cell of every table and the structure of
+  /// every index. Any storage tampering fails here.
+  Status VerifyIntegrity() const;
+
+  /// Serializes the raw storage plus engine metadata (AEAD choice, index
+  /// definitions) to `path`. Only ciphertext and public structure touch the
+  /// disk; the master key is never written.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reopens a saved engine: re-derives every subkey from `master_key` and
+  /// rebuilds all indexes by decrypting the stored cells — which doubles as
+  /// a full integrity verification of the loaded image. A wrong master key
+  /// or a tampered image fails here.
+  static StatusOr<std::unique_ptr<SecureDatabase>> OpenFromFile(
+      BytesView master_key, const std::string& path,
+      std::optional<uint64_t> rng_seed = std::nullopt);
+
+  /// Key rotation: decrypts and re-encrypts every cell and index entry
+  /// under subkeys derived from `new_master_key`, in place. On success the
+  /// old key no longer opens anything.
+  Status RotateMasterKey(BytesView new_master_key);
+
+  /// Ends the session (paper §2.1: keys are "securely removed at the end"):
+  /// wipes the master key and drops every derived key. All subsequent
+  /// operations fail with FAILED_PRECONDITION.
+  void CloseSession();
+
+  /// Exports the column subkeys for (table, columns) as a grant bundle —
+  /// cryptographic discretionary access control: a RestrictedReader opened
+  /// with the bundle can decrypt exactly these columns of the raw storage
+  /// and nothing else. Revoke by rotating the master key.
+  StatusOr<KeyGrant> GrantRead(
+      const std::string& table,
+      const std::vector<std::string>& columns) const;
+
+  /// Exports the *index* subkey of (table, column): the principal can then
+  /// run the Remark-1 blind-navigation protocol over that encrypted index
+  /// (GrantedIndexCodec + BlindIndexClient) without the engine decrypting
+  /// anything on their behalf.
+  StatusOr<KeyGrant> GrantIndex(const std::string& table,
+                                const std::string& column) const;
+
+  /// True if the column has an index (used by examples to explain plans).
+  bool HasIndex(const std::string& table, const std::string& column) const;
+
+  /// Direct access to the storage substrate — what the adversary sees and
+  /// may rewrite in tamper tests.
+  Database& storage() { return *storage_holder_; }
+
+  /// The per-table engine internals, exposed for benches.
+  struct TableState {
+    std::string name;
+    AeadAlgorithm aead_alg = AeadAlgorithm::kEax;
+    size_t index_order = 8;
+    /// One AEAD + codec per column (nullptr for clear columns): per-column
+    /// keys make column-granular key grants possible (restricted_reader.h).
+    std::vector<std::unique_ptr<Aead>> column_aeads;
+    std::vector<std::unique_ptr<AeadCellCodec>> column_codecs;
+    std::unique_ptr<EncryptedTable> encrypted_table;
+    struct IndexState {
+      uint32_t column;
+      std::string column_name;
+      std::unique_ptr<Aead> aead;
+      std::unique_ptr<AeadIndexCodec> codec;
+      std::unique_ptr<EncryptedIndex> index;
+    };
+    std::vector<IndexState> indexes;
+  };
+  StatusOr<const TableState*> GetTableState(const std::string& table) const;
+
+ private:
+  explicit SecureDatabase(Bytes master_key, std::optional<uint64_t> rng_seed);
+
+  /// Independent subkey for (table, purpose) pairs via HMAC extraction.
+  Bytes DeriveKey(const std::string& label) const;
+
+  StatusOr<TableState*> FindState(const std::string& table);
+  StatusOr<const TableState*> FindState(const std::string& table) const;
+
+  /// Scan fallback for unindexed predicates.
+  StatusOr<std::vector<std::vector<Value>>> ScanWhere(
+      const TableState& state, uint32_t column, const Value& lo,
+      const Value& hi) const;
+
+  StatusOr<std::vector<std::vector<Value>>> CollectRows(
+      const TableState& state, const std::vector<uint64_t>& rows) const;
+
+  /// (Re)creates the crypto stack + index objects of one table and fills
+  /// the indexes from the stored cells. Used by OpenFromFile and rotation.
+  Status BuildTableState(const std::string& name, AeadAlgorithm alg,
+                         size_t index_order,
+                         const std::vector<std::string>& indexed_columns,
+                         bool populate_indexes);
+
+  Status CheckOpen() const;
+
+  Bytes master_key_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<Database> storage_holder_;
+  std::vector<std::unique_ptr<TableState>> tables_;
+  uint64_t next_index_table_id_ = 1000000;  // disjoint from data table ids
+  bool closed_ = false;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CORE_SECURE_DATABASE_H_

@@ -1,0 +1,209 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace sdbenc {
+
+namespace {
+
+// ---- GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
+
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = (a & 0x80) != 0;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+uint8_t Xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+struct SboxTables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Build the multiplicative-inverse table via the generator 3 (0x03),
+    // which generates the multiplicative group of GF(2^8): with
+    // g[i] = 3^i, the inverse of 3^i is 3^(255-i).
+    uint8_t exp_table[256];
+    uint8_t log_table[256] = {0};
+    uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_table[i] = x;
+      log_table[x] = static_cast<uint8_t>(i);
+      x = static_cast<uint8_t>(GfMul(x, 0x03));
+    }
+    exp_table[255] = exp_table[0];
+    for (int v = 0; v < 256; ++v) {
+      uint8_t inv = 0;
+      if (v != 0) inv = exp_table[255 - log_table[v]];
+      // FIPS-197 affine transform: b' = b ^ rotl(b,1..4) ^ 0x63.
+      uint8_t b = inv;
+      uint8_t s = static_cast<uint8_t>(
+          b ^ ((b << 1) | (b >> 7)) ^ ((b << 2) | (b >> 6)) ^
+          ((b << 3) | (b >> 5)) ^ ((b << 4) | (b >> 4)) ^ 0x63);
+      sbox[v] = s;
+      inv_sbox[s] = static_cast<uint8_t>(v);
+    }
+  }
+};
+
+const SboxTables& Tables() {
+  static const SboxTables* tables = new SboxTables();
+  return *tables;
+}
+
+void SubBytes(uint8_t state[16]) {
+  const SboxTables& t = Tables();
+  for (int i = 0; i < 16; ++i) state[i] = t.sbox[state[i]];
+}
+
+void InvSubBytes(uint8_t state[16]) {
+  const SboxTables& t = Tables();
+  for (int i = 0; i < 16; ++i) state[i] = t.inv_sbox[state[i]];
+}
+
+// The state is kept in the FIPS column-major layout: byte index = 4*col+row
+// matches the natural input ordering, and ShiftRows acts on indices
+// {row, row+4, row+8, row+12}.
+void ShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift left by 1.
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left by 2.
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  // Row 3: shift left by 3 (= right by 1).
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void InvShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift right by 1.
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  // Row 2: shift by 2.
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  // Row 3: shift right by 3 (= left by 1).
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void MixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+    col[0] = static_cast<uint8_t>(a0 ^ all ^ Xtime(static_cast<uint8_t>(a0 ^ a1)));
+    col[1] = static_cast<uint8_t>(a1 ^ all ^ Xtime(static_cast<uint8_t>(a1 ^ a2)));
+    col[2] = static_cast<uint8_t>(a2 ^ all ^ Xtime(static_cast<uint8_t>(a2 ^ a3)));
+    col[3] = static_cast<uint8_t>(a3 ^ all ^ Xtime(static_cast<uint8_t>(a3 ^ a0)));
+  }
+}
+
+void InvMixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<uint8_t>(GfMul(a0, 0x0e) ^ GfMul(a1, 0x0b) ^
+                                  GfMul(a2, 0x0d) ^ GfMul(a3, 0x09));
+    col[1] = static_cast<uint8_t>(GfMul(a0, 0x09) ^ GfMul(a1, 0x0e) ^
+                                  GfMul(a2, 0x0b) ^ GfMul(a3, 0x0d));
+    col[2] = static_cast<uint8_t>(GfMul(a0, 0x0d) ^ GfMul(a1, 0x09) ^
+                                  GfMul(a2, 0x0e) ^ GfMul(a3, 0x0b));
+    col[3] = static_cast<uint8_t>(GfMul(a0, 0x0b) ^ GfMul(a1, 0x0d) ^
+                                  GfMul(a2, 0x09) ^ GfMul(a3, 0x0e));
+  }
+}
+
+void AddRoundKey(uint8_t s[16], const uint8_t rk[16]) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Aes>> Aes::Create(BytesView key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32) {
+    return InvalidArgumentError("AES key must be 16, 24 or 32 octets");
+  }
+  return std::unique_ptr<Aes>(new Aes(key));
+}
+
+Aes::Aes(BytesView key) {
+  const SboxTables& t = Tables();
+  const int nk = static_cast<int>(key.size() / 4);  // words in key
+  rounds_ = nk + 6;
+  key_bits_ = key.size() * 8;
+
+  // Key expansion over words w[0 .. 4*(rounds+1)).
+  const int total_words = 4 * (rounds_ + 1);
+  uint8_t w[60][4];
+  for (int i = 0; i < nk; ++i) {
+    std::memcpy(w[i], key.data() + 4 * i, 4);
+  }
+  uint8_t rcon = 0x01;
+  for (int i = nk; i < total_words; ++i) {
+    uint8_t temp[4];
+    std::memcpy(temp, w[i - 1], 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      const uint8_t first = temp[0];
+      temp[0] = t.sbox[temp[1]];
+      temp[1] = t.sbox[temp[2]];
+      temp[2] = t.sbox[temp[3]];
+      temp[3] = t.sbox[first];
+      temp[0] ^= rcon;
+      rcon = Xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      for (int j = 0; j < 4; ++j) temp[j] = t.sbox[temp[j]];
+    }
+    for (int j = 0; j < 4; ++j) w[i][j] = static_cast<uint8_t>(w[i - nk][j] ^ temp[j]);
+  }
+  for (int r = 0; r <= rounds_; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      std::memcpy(round_keys_[r] + 4 * c, w[4 * r + c], 4);
+    }
+  }
+}
+
+std::string Aes::name() const { return "AES-" + std::to_string(key_bits_); }
+
+void Aes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, round_keys_[0]);
+  for (int r = 1; r < rounds_; ++r) {
+    SubBytes(s);
+    ShiftRows(s);
+    MixColumns(s);
+    AddRoundKey(s, round_keys_[r]);
+  }
+  SubBytes(s);
+  ShiftRows(s);
+  AddRoundKey(s, round_keys_[rounds_]);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, round_keys_[rounds_]);
+  for (int r = rounds_ - 1; r >= 1; --r) {
+    InvShiftRows(s);
+    InvSubBytes(s);
+    AddRoundKey(s, round_keys_[r]);
+    InvMixColumns(s);
+  }
+  InvShiftRows(s);
+  InvSubBytes(s);
+  AddRoundKey(s, round_keys_[0]);
+  std::memcpy(out, s, 16);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,41 @@
+#ifndef SDBENC_CRYPTO_AES_H_
+#define SDBENC_CRYPTO_AES_H_
+
+#include <memory>
+#include <string>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// AES (FIPS 197) with 128-, 192- or 256-bit keys; 128-bit blocks.
+/// Pure byte-oriented software implementation: the S-box is derived from the
+/// GF(2^8) inversion + affine map definition at first use, so there is no
+/// hand-transcribed table to get wrong; correctness is pinned by the FIPS-197
+/// appendix known-answer vectors in the test suite.
+class Aes : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Creates an AES instance. `key` must be 16, 24 or 32 octets.
+  static StatusOr<std::unique_ptr<Aes>> Create(BytesView key);
+
+  size_t block_size() const override { return kBlockSize; }
+  std::string name() const override;
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  explicit Aes(BytesView key);
+
+  int rounds_;                 // 10, 12 or 14
+  size_t key_bits_;            // 128, 192 or 256
+  uint8_t round_keys_[15][16]; // expanded key schedule, one block per round
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_AES_H_

@@ -1,0 +1,35 @@
+#ifndef SDBENC_CRYPTO_BLOCK_CIPHER_H_
+#define SDBENC_CRYPTO_BLOCK_CIPHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Abstract n-bit block cipher (the paper's `ENC_k` / `DEC_k`): a keyed
+/// permutation over blocks of `block_size()` octets. Implementations are
+/// immutable after construction and safe to share across const callers.
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  /// Block size in octets (16 for AES, 8 for DES).
+  virtual size_t block_size() const = 0;
+
+  /// Human-readable algorithm name, e.g. "AES-128".
+  virtual std::string name() const = 0;
+
+  /// Encrypts one block: `out[0..block_size)` = ENC_k(`in[0..block_size)`).
+  /// `in` and `out` may alias.
+  virtual void EncryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+
+  /// Decrypts one block. `in` and `out` may alias.
+  virtual void DecryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_BLOCK_CIPHER_H_

@@ -1,0 +1,59 @@
+#ifndef SDBENC_CRYPTO_DES_H_
+#define SDBENC_CRYPTO_DES_H_
+
+#include <memory>
+#include <string>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// DES (FIPS 46-3): 64-bit blocks, 56-bit effective key given as 8 octets
+/// (parity bits ignored). Provided because the paper names DES alongside AES
+/// as an example instantiation of the schemes' deterministic encryption
+/// function; it is obsolete and must not be used for new data.
+class Des : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 8;
+
+  /// Creates a DES instance; `key` must be exactly 8 octets.
+  static StatusOr<std::unique_ptr<Des>> Create(BytesView key);
+
+  size_t block_size() const override { return kBlockSize; }
+  std::string name() const override { return "DES"; }
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  friend class TripleDes;
+  explicit Des(BytesView key);
+
+  uint64_t subkeys_[16];  // 48-bit round keys in the low bits
+};
+
+/// Triple-DES in EDE configuration with 2 keys (16 octets, K1-K2-K1) or
+/// 3 keys (24 octets).
+class TripleDes : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 8;
+
+  static StatusOr<std::unique_ptr<TripleDes>> Create(BytesView key);
+
+  size_t block_size() const override { return kBlockSize; }
+  std::string name() const override { return "3DES"; }
+
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  TripleDes(BytesView k1, BytesView k2, BytesView k3);
+
+  Des d1_, d2_, d3_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_DES_H_

@@ -1,0 +1,35 @@
+#include "crypto/gf.h"
+
+namespace sdbenc {
+
+Bytes GfDouble(BytesView block) {
+  Bytes out(block.size());
+  uint8_t carry = 0;
+  for (size_t i = block.size(); i-- > 0;) {
+    out[i] = static_cast<uint8_t>((block[i] << 1) | carry);
+    carry = block[i] >> 7;
+  }
+  if (carry) {
+    // Reduction constant for the field polynomial.
+    out.back() ^= (block.size() == 16) ? 0x87 : 0x1b;
+  }
+  return out;
+}
+
+Bytes GfHalve(BytesView block) {
+  Bytes out(block.size());
+  uint8_t carry = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    out[i] = static_cast<uint8_t>((block[i] >> 1) | (carry << 7));
+    carry = block[i] & 1;
+  }
+  if (carry) {
+    // x^{-1} = x^{n-1} + (R >> 1 folded): for n=128 the constant is
+    // 0x80...43, for n=64 it is 0x80...0d (derived from the same polys).
+    out.front() ^= 0x80;
+    out.back() ^= (block.size() == 16) ? 0x43 : 0x0d;
+  }
+  return out;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,22 @@
+#ifndef SDBENC_CRYPTO_GF_H_
+#define SDBENC_CRYPTO_GF_H_
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Doubling ("multiply by x") in GF(2^128) / GF(2^64) with the standard
+/// lexicographically-first primitive polynomials used by CMAC, PMAC and OCB:
+/// x^128 + x^7 + x^2 + x + 1 (reduction constant 0x87) for 16-octet blocks,
+/// x^64 + x^4 + x^3 + x + 1 (0x1b) for 8-octet blocks. The block is treated
+/// as a big-endian polynomial: the MSB of the first octet is the
+/// highest-degree coefficient.
+Bytes GfDouble(BytesView block);
+
+/// Halving ("multiply by x^{-1}"), the inverse of GfDouble. Used for the
+/// PMAC/OCB final-block offset L·x^{-1}.
+Bytes GfHalve(BytesView block);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_GF_H_

@@ -1,0 +1,265 @@
+#include "crypto/hash.h"
+
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+namespace {
+
+uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+uint32_t Rotr32(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+/// Common Merkle-Damgård scaffolding for the 64-octet-block SHA family.
+class MdHashBase : public HashFunction {
+ public:
+  size_t hash_block_size() const override { return 64; }
+
+  void Reset() override {
+    total_len_ = 0;
+    buffer_len_ = 0;
+    InitState();
+  }
+
+  void Update(BytesView data) override {
+    total_len_ += data.size();
+    size_t off = 0;
+    if (buffer_len_ > 0) {
+      const size_t take = std::min<size_t>(64 - buffer_len_, data.size());
+      std::memcpy(buffer_ + buffer_len_, data.data(), take);
+      buffer_len_ += take;
+      off = take;
+      if (buffer_len_ == 64) {
+        Compress(buffer_);
+        buffer_len_ = 0;
+      }
+    }
+    while (off + 64 <= data.size()) {
+      Compress(data.data() + off);
+      off += 64;
+    }
+    if (off < data.size()) {
+      std::memcpy(buffer_, data.data() + off, data.size() - off);
+      buffer_len_ = data.size() - off;
+    }
+  }
+
+  Bytes Finish() override {
+    // MD-strengthening: 0x80, zeros, 64-bit big-endian bit length.
+    const uint64_t bit_len = total_len_ * 8;
+    uint8_t pad[72] = {0x80};
+    const size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                              : (120 - buffer_len_);
+    Update(BytesView(pad, pad_len));
+    uint8_t len_be[8];
+    PutUint64Be(len_be, bit_len);
+    Update(BytesView(len_be, 8));
+    return ExtractDigest();
+  }
+
+ protected:
+  virtual void InitState() = 0;
+  virtual void Compress(const uint8_t block[64]) = 0;
+  virtual Bytes ExtractDigest() = 0;
+
+ private:
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+class Sha1Impl final : public MdHashBase {
+ public:
+  Sha1Impl() { Reset(); }
+
+  size_t digest_size() const override { return 20; }
+  std::string name() const override { return "SHA-1"; }
+
+ protected:
+  void InitState() override {
+    h_[0] = 0x67452301;
+    h_[1] = 0xefcdab89;
+    h_[2] = 0x98badcfe;
+    h_[3] = 0x10325476;
+    h_[4] = 0xc3d2e1f0;
+  }
+
+  void Compress(const uint8_t block[64]) override {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) w[i] = GetUint32Be(block + 4 * i);
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdc;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6;
+      }
+      const uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+  }
+
+  Bytes ExtractDigest() override {
+    Bytes out(20);
+    for (int i = 0; i < 5; ++i) PutUint32Be(out.data() + 4 * i, h_[i]);
+    return out;
+  }
+
+ private:
+  uint32_t h_[5];
+};
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+class Sha256Impl final : public MdHashBase {
+ public:
+  Sha256Impl() { Reset(); }
+
+  size_t digest_size() const override { return 32; }
+  std::string name() const override { return "SHA-256"; }
+
+ protected:
+  void InitState() override {
+    h_[0] = 0x6a09e667;
+    h_[1] = 0xbb67ae85;
+    h_[2] = 0x3c6ef372;
+    h_[3] = 0xa54ff53a;
+    h_[4] = 0x510e527f;
+    h_[5] = 0x9b05688c;
+    h_[6] = 0x1f83d9ab;
+    h_[7] = 0x5be0cd19;
+  }
+
+  void Compress(const uint8_t block[64]) override {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = GetUint32Be(block + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+      const uint32_t s0 = Rotr32(a, 2) ^ Rotr32(a, 13) ^ Rotr32(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+  }
+
+  Bytes ExtractDigest() override {
+    Bytes out(32);
+    for (int i = 0; i < 8; ++i) PutUint32Be(out.data() + 4 * i, h_[i]);
+    return out;
+  }
+
+ private:
+  uint32_t h_[8];
+};
+
+}  // namespace
+
+std::unique_ptr<HashFunction> CreateHash(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return std::make_unique<Sha1Impl>();
+    case HashAlgorithm::kSha256:
+      return std::make_unique<Sha256Impl>();
+  }
+  return nullptr;
+}
+
+Bytes ComputeHash(HashAlgorithm alg, BytesView data) {
+  std::unique_ptr<HashFunction> h = CreateHash(alg);
+  h->Update(data);
+  return h->Finish();
+}
+
+size_t DigestSize(HashAlgorithm alg) {
+  return alg == HashAlgorithm::kSha1 ? 20 : 32;
+}
+
+Bytes HmacCompute(HashAlgorithm alg, BytesView key, BytesView data) {
+  std::unique_ptr<HashFunction> h = CreateHash(alg);
+  const size_t block = h->hash_block_size();
+
+  Bytes k(key.begin(), key.end());
+  if (k.size() > block) {
+    h->Reset();
+    h->Update(ToView(k));
+    k = h->Finish();
+  }
+  k.resize(block, 0);
+
+  Bytes ipad(block), opad(block);
+  for (size_t i = 0; i < block; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  h->Reset();
+  h->Update(ToView(ipad));
+  h->Update(data);
+  const Bytes inner = h->Finish();
+
+  h->Reset();
+  h->Update(ToView(opad));
+  h->Update(ToView(inner));
+  return h->Finish();
+}
+
+}  // namespace sdbenc

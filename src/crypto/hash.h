@@ -1,0 +1,47 @@
+#ifndef SDBENC_CRYPTO_HASH_H_
+#define SDBENC_CRYPTO_HASH_H_
+
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+enum class HashAlgorithm {
+  kSha1,    // FIPS 180-1; used by the paper's substitution experiment for µ
+  kSha256,  // FIPS 180-2; the library default for new uses of µ
+};
+
+/// Streaming cryptographic hash. A fresh instance (or one after Reset()) is
+/// ready for Update()/Finish(); Finish() finalizes and leaves the object in
+/// an undefined state until the next Reset().
+class HashFunction {
+ public:
+  virtual ~HashFunction() = default;
+
+  virtual size_t digest_size() const = 0;
+  /// Input block size in octets (64 for SHA-1/SHA-256); HMAC needs this.
+  virtual size_t hash_block_size() const = 0;
+  virtual std::string name() const = 0;
+
+  virtual void Reset() = 0;
+  virtual void Update(BytesView data) = 0;
+  virtual Bytes Finish() = 0;
+};
+
+/// Factory for the supported algorithms.
+std::unique_ptr<HashFunction> CreateHash(HashAlgorithm alg);
+
+/// One-shot convenience: returns Hash(data).
+Bytes ComputeHash(HashAlgorithm alg, BytesView data);
+
+/// Digest size without instantiating: 20 for SHA-1, 32 for SHA-256.
+size_t DigestSize(HashAlgorithm alg);
+
+/// HMAC (RFC 2104) over the given hash algorithm; any key length.
+Bytes HmacCompute(HashAlgorithm alg, BytesView key, BytesView data);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_HASH_H_

@@ -1,0 +1,40 @@
+#include "crypto/hkdf.h"
+
+namespace sdbenc {
+
+Bytes HkdfExtract(HashAlgorithm alg, BytesView salt, BytesView ikm) {
+  if (salt.empty()) {
+    const Bytes zero_salt(DigestSize(alg), 0);
+    return HmacCompute(alg, zero_salt, ikm);
+  }
+  return HmacCompute(alg, salt, ikm);
+}
+
+StatusOr<Bytes> HkdfExpand(HashAlgorithm alg, BytesView prk, BytesView info,
+                           size_t length) {
+  const size_t digest = DigestSize(alg);
+  if (length > 255 * digest) {
+    return InvalidArgumentError("HKDF output length too large");
+  }
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;  // T(0) is empty
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes input = t;
+    Append(input, info);
+    input.push_back(counter++);
+    t = HmacCompute(alg, prk, input);
+    const size_t take = std::min(digest, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + take);
+  }
+  return okm;
+}
+
+StatusOr<Bytes> Hkdf(HashAlgorithm alg, BytesView ikm, BytesView salt,
+                     BytesView info, size_t length) {
+  const Bytes prk = HkdfExtract(alg, salt, ikm);
+  return HkdfExpand(alg, prk, info, length);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,30 @@
+#ifndef SDBENC_CRYPTO_HKDF_H_
+#define SDBENC_CRYPTO_HKDF_H_
+
+#include "crypto/hash.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// HKDF (RFC 5869): extract-then-expand key derivation. The SecureDatabase
+/// engine derives all table/index subkeys from the session master key with
+/// this, giving provable independence between subkeys — the property whose
+/// absence (one key shared between encryption and MAC) the paper's §3.3
+/// attack exploits.
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm). Empty salt uses a zero-filled key.
+Bytes HkdfExtract(HashAlgorithm alg, BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` octets from PRK with context `info`.
+/// length must be <= 255 * digest size.
+StatusOr<Bytes> HkdfExpand(HashAlgorithm alg, BytesView prk, BytesView info,
+                           size_t length);
+
+/// One-shot extract+expand.
+StatusOr<Bytes> Hkdf(HashAlgorithm alg, BytesView ikm, BytesView salt,
+                     BytesView info, size_t length);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_HKDF_H_

@@ -1,0 +1,156 @@
+#include "crypto/mac.h"
+
+#include <cstring>
+
+#include "crypto/gf.h"
+#include "crypto/padding.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+bool MessageAuthenticator::Verify(BytesView message, BytesView tag) const {
+  const Bytes expected = Compute(message);
+  return ConstantTimeEquals(ToView(expected), tag);
+}
+
+// ---------------------------------------------------------------- RawCbcMac
+
+RawCbcMac::RawCbcMac(const BlockCipher& cipher, bool zero_pad)
+    : cipher_(cipher), zero_pad_(zero_pad) {}
+
+size_t RawCbcMac::tag_size() const { return cipher_.block_size(); }
+
+Bytes RawCbcMac::Compute(BytesView message) const {
+  const size_t bs = cipher_.block_size();
+  Bytes padded(message.begin(), message.end());
+  if (padded.size() % bs != 0) {
+    // Callers that pass unaligned data without zero_pad get aligned anyway;
+    // RawCbcMac is a deliberately fragile research artefact, not an API for
+    // production use.
+    (void)zero_pad_;
+    padded.resize(((padded.size() + bs - 1) / bs) * bs, 0);
+  }
+  Bytes chain(bs, 0);
+  Bytes block(bs);
+  for (size_t off = 0; off < padded.size(); off += bs) {
+    for (size_t i = 0; i < bs; ++i) block[i] = padded[off + i] ^ chain[i];
+    cipher_.EncryptBlock(block.data(), chain.data());
+  }
+  return chain;
+}
+
+// --------------------------------------------------------------------- Cmac
+
+Cmac::Cmac(const BlockCipher& cipher) : cipher_(cipher) {
+  const size_t bs = cipher_.block_size();
+  Bytes l(bs, 0);
+  cipher_.EncryptBlock(l.data(), l.data());
+  subkey1_ = GfDouble(ToView(l));
+  subkey2_ = GfDouble(ToView(subkey1_));
+}
+
+size_t Cmac::tag_size() const { return cipher_.block_size(); }
+
+Bytes Cmac::Compute(BytesView message) const {
+  const size_t bs = cipher_.block_size();
+  // Number of blocks; the empty message is treated as one (partial) block.
+  const size_t m = message.empty() ? 1 : (message.size() + bs - 1) / bs;
+  Bytes chain(bs, 0);
+  Bytes block(bs);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    const uint8_t* p = message.data() + i * bs;
+    for (size_t j = 0; j < bs; ++j) block[j] = p[j] ^ chain[j];
+    cipher_.EncryptBlock(block.data(), chain.data());
+  }
+  // Final block: mask with K1 (complete) or pad 10* and mask with K2.
+  const size_t tail_off = (m - 1) * bs;
+  const size_t tail_len = message.size() - tail_off;
+  Bytes last;
+  const Bytes* subkey;
+  if (!message.empty() && tail_len == bs) {
+    last.assign(message.begin() + tail_off, message.end());
+    subkey = &subkey1_;
+  } else {
+    last = OneZeroPad(message.substr(tail_off), bs);
+    subkey = &subkey2_;
+  }
+  for (size_t j = 0; j < bs; ++j) block[j] = last[j] ^ (*subkey)[j] ^ chain[j];
+  cipher_.EncryptBlock(block.data(), chain.data());
+  return chain;
+}
+
+// --------------------------------------------------------------------- Pmac
+
+Pmac::Pmac(const BlockCipher& cipher) : cipher_(cipher) {
+  const size_t bs = cipher_.block_size();
+  l_.assign(bs, 0);
+  cipher_.EncryptBlock(l_.data(), l_.data());
+  l_inv_ = GfHalve(ToView(l_));
+}
+
+size_t Pmac::tag_size() const { return cipher_.block_size(); }
+
+namespace {
+
+int NumTrailingZeros(size_t i) {
+  int n = 0;
+  while ((i & 1) == 0) {
+    ++n;
+    i >>= 1;
+  }
+  return n;
+}
+
+}  // namespace
+
+Bytes Pmac::Compute(BytesView message) const {
+  const size_t bs = cipher_.block_size();
+  const size_t m = message.empty() ? 1 : (message.size() + bs - 1) / bs;
+
+  // Precompute L(i) = x^i * L lazily along the Gray-code offset walk.
+  std::vector<Bytes> l_table;
+  l_table.push_back(l_);
+  Bytes offset(bs, 0);
+  Bytes sigma(bs, 0);
+  Bytes block(bs);
+  for (size_t i = 1; i < m; ++i) {
+    const int ntz = NumTrailingZeros(i);
+    while (static_cast<size_t>(ntz) >= l_table.size()) {
+      l_table.push_back(GfDouble(ToView(l_table.back())));
+    }
+    XorInto(offset, ToView(l_table[ntz]));
+    const uint8_t* p = message.data() + (i - 1) * bs;
+    for (size_t j = 0; j < bs; ++j) block[j] = p[j] ^ offset[j];
+    cipher_.EncryptBlock(block.data(), block.data());
+    XorInto(sigma, ToView(block));
+  }
+
+  const size_t tail_off = (m - 1) * bs;
+  const size_t tail_len = message.size() - tail_off;
+  if (!message.empty() && tail_len == bs) {
+    for (size_t j = 0; j < bs; ++j) {
+      sigma[j] ^= message[tail_off + j] ^ l_inv_[j];
+    }
+  } else {
+    const Bytes padded = OneZeroPad(message.substr(tail_off), bs);
+    XorInto(sigma, ToView(padded));
+  }
+  Bytes tag(bs);
+  cipher_.EncryptBlock(sigma.data(), tag.data());
+  return tag;
+}
+
+// -------------------------------------------------------- HmacAuthenticator
+
+HmacAuthenticator::HmacAuthenticator(HashAlgorithm alg, Bytes key)
+    : alg_(alg), key_(std::move(key)) {}
+
+std::string HmacAuthenticator::name() const {
+  return alg_ == HashAlgorithm::kSha1 ? "HMAC-SHA1" : "HMAC-SHA256";
+}
+
+Bytes HmacAuthenticator::Compute(BytesView message) const {
+  return HmacCompute(alg_, ToView(key_), message);
+}
+
+}  // namespace sdbenc

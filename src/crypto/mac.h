@@ -1,0 +1,101 @@
+#ifndef SDBENC_CRYPTO_MAC_H_
+#define SDBENC_CRYPTO_MAC_H_
+
+#include <memory>
+#include <string>
+
+#include "crypto/block_cipher.h"
+#include "crypto/hash.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Deterministic message-authentication code. Verify() compares in constant
+/// time.
+class MessageAuthenticator {
+ public:
+  virtual ~MessageAuthenticator() = default;
+
+  virtual size_t tag_size() const = 0;
+  virtual std::string name() const = 0;
+  virtual Bytes Compute(BytesView message) const = 0;
+
+  /// Constant-time tag verification.
+  bool Verify(BytesView message, BytesView tag) const;
+};
+
+/// Textbook CBC-MAC with zero IV and *no* domain separation: tag = last CBC
+/// ciphertext block. Secure only for fixed-length block-aligned messages;
+/// included because the paper's §3.3 key-reuse attack is rooted in the CBC
+/// structure this exposes. Input must be block-aligned unless
+/// `zero_pad = true`, in which case it is padded with zero octets (which is
+/// itself insecure for variable-length use — deliberately so).
+class RawCbcMac : public MessageAuthenticator {
+ public:
+  /// `cipher` must outlive this object.
+  explicit RawCbcMac(const BlockCipher& cipher, bool zero_pad = true);
+
+  size_t tag_size() const override;
+  std::string name() const override { return "CBC-MAC"; }
+  Bytes Compute(BytesView message) const override;
+
+ private:
+  const BlockCipher& cipher_;
+  bool zero_pad_;
+};
+
+/// OMAC1 / CMAC (Iwata–Kurosawa; NIST SP 800-38B, RFC 4493): CBC-MAC made
+/// secure for variable-length inputs by masking the final block with one of
+/// two derived subkeys. This is the paper's example of a MAC that is secure
+/// on its own yet interacts fatally with same-key CBC encryption (§3.3).
+class Cmac : public MessageAuthenticator {
+ public:
+  /// `cipher` must outlive this object.
+  explicit Cmac(const BlockCipher& cipher);
+
+  size_t tag_size() const override;
+  std::string name() const override { return "OMAC"; }
+  Bytes Compute(BytesView message) const override;
+
+ private:
+  const BlockCipher& cipher_;
+  Bytes subkey1_;  // for full final blocks
+  Bytes subkey2_;  // for partial final blocks
+};
+
+/// PMAC (Rogaway): fully parallelisable blockcipher MAC; the associated-data
+/// authenticator in the OCB+PMAC AEAD composition the paper recommends.
+/// Cost: ceil(|M|/n) + 1 block-cipher calls (+1 reusable L = E_K(0)).
+class Pmac : public MessageAuthenticator {
+ public:
+  /// `cipher` must outlive this object.
+  explicit Pmac(const BlockCipher& cipher);
+
+  size_t tag_size() const override;
+  std::string name() const override { return "PMAC"; }
+  Bytes Compute(BytesView message) const override;
+
+ private:
+  const BlockCipher& cipher_;
+  Bytes l_;          // L = E_K(0^n)
+  Bytes l_inv_;      // L * x^{-1}
+};
+
+/// HMAC as a MessageAuthenticator (used by the Encrypt-then-MAC AEAD).
+class HmacAuthenticator : public MessageAuthenticator {
+ public:
+  HmacAuthenticator(HashAlgorithm alg, Bytes key);
+
+  size_t tag_size() const override { return DigestSize(alg_); }
+  std::string name() const override;
+  Bytes Compute(BytesView message) const override;
+
+ private:
+  HashAlgorithm alg_;
+  Bytes key_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_MAC_H_

@@ -1,0 +1,158 @@
+#include "crypto/modes.h"
+
+#include <cstring>
+
+namespace sdbenc {
+
+namespace {
+
+Status CheckBlockAligned(const BlockCipher& cipher, BytesView data) {
+  if (data.size() % cipher.block_size() != 0) {
+    return InvalidArgumentError("input length not a multiple of block size");
+  }
+  return OkStatus();
+}
+
+Status CheckIv(const BlockCipher& cipher, BytesView iv) {
+  if (iv.size() != cipher.block_size()) {
+    return InvalidArgumentError("IV length must equal the block size");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void IncrementCounterBe(Bytes& counter) {
+  for (size_t i = counter.size(); i-- > 0;) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+StatusOr<Bytes> EcbEncrypt(const BlockCipher& cipher, BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockAligned(cipher, data));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.EncryptBlock(data.data() + off, out.data() + off);
+  }
+  return out;
+}
+
+StatusOr<Bytes> EcbDecrypt(const BlockCipher& cipher, BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockAligned(cipher, data));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.DecryptBlock(data.data() + off, out.data() + off);
+  }
+  return out;
+}
+
+StatusOr<Bytes> CbcEncrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  SDBENC_RETURN_IF_ERROR(CheckBlockAligned(cipher, data));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  Bytes chain(iv.begin(), iv.end());
+  Bytes block(bs);
+  for (size_t off = 0; off < data.size(); off += bs) {
+    for (size_t i = 0; i < bs; ++i) block[i] = data[off + i] ^ chain[i];
+    cipher.EncryptBlock(block.data(), out.data() + off);
+    std::memcpy(chain.data(), out.data() + off, bs);
+  }
+  return out;
+}
+
+StatusOr<Bytes> CbcDecrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  SDBENC_RETURN_IF_ERROR(CheckBlockAligned(cipher, data));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  Bytes chain(iv.begin(), iv.end());
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.DecryptBlock(data.data() + off, out.data() + off);
+    for (size_t i = 0; i < bs; ++i) out[off + i] ^= chain[i];
+    chain.assign(data.begin() + off, data.begin() + off + bs);
+  }
+  return out;
+}
+
+StatusOr<Bytes> DeterministicCbcEncrypt(const BlockCipher& cipher,
+                                        BytesView data) {
+  const Bytes zero_iv(cipher.block_size(), 0);
+  return CbcEncrypt(cipher, ToView(zero_iv), data);
+}
+
+StatusOr<Bytes> DeterministicCbcDecrypt(const BlockCipher& cipher,
+                                        BytesView data) {
+  const Bytes zero_iv(cipher.block_size(), 0);
+  return CbcDecrypt(cipher, ToView(zero_iv), data);
+}
+
+StatusOr<Bytes> CtrCrypt(const BlockCipher& cipher, BytesView initial_counter,
+                         BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, initial_counter));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.begin(), data.end());
+  Bytes counter(initial_counter.begin(), initial_counter.end());
+  Bytes keystream(bs);
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.EncryptBlock(counter.data(), keystream.data());
+    const size_t n = std::min(bs, data.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    IncrementCounterBe(counter);
+  }
+  return out;
+}
+
+StatusOr<Bytes> OfbCrypt(const BlockCipher& cipher, BytesView iv,
+                         BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.begin(), data.end());
+  Bytes feedback(iv.begin(), iv.end());
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.EncryptBlock(feedback.data(), feedback.data());
+    const size_t n = std::min(bs, data.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] ^= feedback[i];
+  }
+  return out;
+}
+
+StatusOr<Bytes> CfbEncrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  Bytes feedback(iv.begin(), iv.end());
+  Bytes keystream(bs);
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.EncryptBlock(feedback.data(), keystream.data());
+    const size_t n = std::min(bs, data.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // Full-block CFB feedback; for a final partial block no further
+    // feedback is needed.
+    if (n == bs) std::memcpy(feedback.data(), out.data() + off, bs);
+  }
+  return out;
+}
+
+StatusOr<Bytes> CfbDecrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  const size_t bs = cipher.block_size();
+  Bytes out(data.size());
+  Bytes feedback(iv.begin(), iv.end());
+  Bytes keystream(bs);
+  for (size_t off = 0; off < data.size(); off += bs) {
+    cipher.EncryptBlock(feedback.data(), keystream.data());
+    const size_t n = std::min(bs, data.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    if (n == bs) feedback.assign(data.begin() + off, data.begin() + off + bs);
+  }
+  return out;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,58 @@
+#ifndef SDBENC_CRYPTO_MODES_H_
+#define SDBENC_CRYPTO_MODES_H_
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Block-cipher modes of operation (NIST SP 800-38A — the paper's [2]).
+/// ECB/CBC operate on whole blocks: callers pad first (see Pkcs7Pad). The
+/// streaming modes (CTR, OFB, CFB) accept any input length.
+///
+/// CBC with a fixed zero IV is exactly the "fully deterministic" ciphertext
+/// the analysed schemes require (paper eq. 3) and is what every attack in
+/// §3 exploits; the `DeterministicCbc*` helpers spell that instantiation out
+/// so call sites are explicit about the danger.
+
+/// ECB encryption. `data.size()` must be a multiple of the block size.
+StatusOr<Bytes> EcbEncrypt(const BlockCipher& cipher, BytesView data);
+StatusOr<Bytes> EcbDecrypt(const BlockCipher& cipher, BytesView data);
+
+/// CBC encryption with explicit IV (`iv.size()` == block size); input must be
+/// block-aligned. C_1 = E(P_1 xor IV), C_i = E(P_i xor C_{i-1}).
+StatusOr<Bytes> CbcEncrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data);
+StatusOr<Bytes> CbcDecrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data);
+
+/// CBC with the all-zero IV: the deterministic instantiation of the paper's
+/// E_k used throughout §3 to build the counter-examples.
+StatusOr<Bytes> DeterministicCbcEncrypt(const BlockCipher& cipher,
+                                        BytesView data);
+StatusOr<Bytes> DeterministicCbcDecrypt(const BlockCipher& cipher,
+                                        BytesView data);
+
+/// CTR mode keystream XOR; encryption and decryption are identical. The
+/// counter block is `initial_counter` (block-sized), incremented as one
+/// big-endian integer per block.
+StatusOr<Bytes> CtrCrypt(const BlockCipher& cipher, BytesView initial_counter,
+                         BytesView data);
+
+/// OFB mode; encryption and decryption are identical.
+StatusOr<Bytes> OfbCrypt(const BlockCipher& cipher, BytesView iv,
+                         BytesView data);
+
+/// Full-block CFB mode.
+StatusOr<Bytes> CfbEncrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data);
+StatusOr<Bytes> CfbDecrypt(const BlockCipher& cipher, BytesView iv,
+                           BytesView data);
+
+/// Increments a block-sized big-endian counter in place (with wraparound).
+void IncrementCounterBe(Bytes& counter);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_MODES_H_

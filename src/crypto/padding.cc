@@ -1,0 +1,33 @@
+#include "crypto/padding.h"
+
+namespace sdbenc {
+
+Bytes Pkcs7Pad(BytesView data, size_t block_size) {
+  const size_t pad = block_size - (data.size() % block_size);
+  Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<uint8_t>(pad));
+  return out;
+}
+
+StatusOr<Bytes> Pkcs7Unpad(BytesView data, size_t block_size) {
+  if (data.empty() || data.size() % block_size != 0) {
+    return InvalidArgumentError("padded data length not a multiple of block");
+  }
+  const uint8_t pad = data.back();
+  if (pad == 0 || pad > block_size || pad > data.size()) {
+    return InvalidArgumentError("corrupt PKCS#7 padding");
+  }
+  for (size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) return InvalidArgumentError("corrupt PKCS#7 padding");
+  }
+  return Bytes(data.begin(), data.end() - pad);
+}
+
+Bytes OneZeroPad(BytesView data, size_t block_size) {
+  Bytes out(data.begin(), data.end());
+  out.push_back(0x80);
+  out.resize(block_size, 0);
+  return out;
+}
+
+}  // namespace sdbenc

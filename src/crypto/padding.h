@@ -1,0 +1,25 @@
+#ifndef SDBENC_CRYPTO_PADDING_H_
+#define SDBENC_CRYPTO_PADDING_H_
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// PKCS#5/#7 padding (the paper's reference padding scheme, [11]): appends
+/// `k` copies of the octet `k`, 1 <= k <= block_size, so the padded length is
+/// a non-zero multiple of the block size. Always adds at least one octet.
+Bytes Pkcs7Pad(BytesView data, size_t block_size);
+
+/// Removes PKCS#5/#7 padding; fails with InvalidArgument if the padding
+/// structure is malformed (wrong length, bad pad octets).
+StatusOr<Bytes> Pkcs7Unpad(BytesView data, size_t block_size);
+
+/// 10* padding used internally by PMAC/OMAC for partial final blocks:
+/// appends 0x80 then zeroes up to the block size. Only valid when
+/// data.size() < block_size.
+Bytes OneZeroPad(BytesView data, size_t block_size);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_PADDING_H_

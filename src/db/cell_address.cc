@@ -1,0 +1,24 @@
+#include "db/cell_address.h"
+
+namespace sdbenc {
+
+Bytes CellAddress::Encode() const {
+  Bytes out(20);
+  PutUint64Be(out.data(), table_id);
+  PutUint64Be(out.data() + 8, row);
+  PutUint32Be(out.data() + 16, column);
+  return out;
+}
+
+std::string CellAddress::ToString() const {
+  std::string out = "(";
+  out += std::to_string(table_id);
+  out += ",";
+  out += std::to_string(row);
+  out += ",";
+  out += std::to_string(column);
+  out += ")";
+  return out;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,33 @@
+#ifndef SDBENC_DB_CELL_ADDRESS_H_
+#define SDBENC_DB_CELL_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// The paper's cell address triple (t, r, c): table id, row, column. This is
+/// the position information every scheme binds the cell contents to — by
+/// checksum in the Elovici schemes (via µ), by associated data in the fixed
+/// AEAD schemes.
+struct CellAddress {
+  uint64_t table_id = 0;
+  uint64_t row = 0;
+  uint32_t column = 0;
+
+  /// Canonical unambiguous encoding t || r || c (8+8+4 big-endian octets);
+  /// used both as the µ preimage and as AEAD associated data.
+  Bytes Encode() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const CellAddress& a, const CellAddress& b) {
+    return a.table_id == b.table_id && a.row == b.row && a.column == b.column;
+  }
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_CELL_ADDRESS_H_

@@ -1,0 +1,218 @@
+#include "db/csv.h"
+
+#include <charconv>
+
+#include "util/hex.h"
+
+namespace sdbenc {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+/// Renders one value as a CSV field. NULL is the empty unquoted field; an
+/// empty string is rendered quoted ("") to stay distinguishable.
+std::string FieldFor(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt());
+    case ValueType::kFloat64: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return value.AsString().empty() ? "\"\""
+                                      : QuoteField(value.AsString());
+    case ValueType::kBytes:
+      // An empty blob must stay distinguishable from NULL: quote it.
+      return value.AsBytes().empty() ? "\"\"" : HexEncode(value.AsBytes());
+  }
+  return "";
+}
+
+StatusOr<Value> ValueFor(const std::string& field, bool was_quoted,
+                         ValueType type) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return InvalidArgumentError("column of type NULL cannot hold data");
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      const auto result =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (result.ec != std::errc() ||
+          result.ptr != field.data() + field.size()) {
+        return InvalidArgumentError("bad INT64 field: '" + field + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kFloat64: {
+      double v = 0;
+      const auto result =
+          std::from_chars(field.data(), field.data() + field.size(), v);
+      if (result.ec != std::errc() ||
+          result.ptr != field.data() + field.size()) {
+        return InvalidArgumentError("bad FLOAT64 field: '" + field + "'");
+      }
+      return Value::Real(v);
+    }
+    case ValueType::kString:
+      return Value::Str(field);
+    case ValueType::kBytes: {
+      SDBENC_ASSIGN_OR_RETURN(Bytes bytes, HexDecode(field));
+      return Value::Blob(std::move(bytes));
+    }
+  }
+  return InvalidArgumentError("unknown column type");
+}
+
+/// Splits text into records, honouring newlines inside quoted fields.
+std::vector<std::string> SplitRecords(const std::string& text) {
+  std::vector<std::string> records;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes && (c == '\n' || c == '\r')) {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      records.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) records.push_back(std::move(current));
+  return records;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> SplitCsvRecord(
+    const std::string& line, std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  std::vector<bool> was_quoted;
+  std::string current;
+  bool in_quotes = false;
+  bool field_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return InvalidArgumentError("quote inside unquoted field");
+      }
+      in_quotes = true;
+      field_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      was_quoted.push_back(field_quoted);
+      current.clear();
+      field_quoted = false;
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (in_quotes) return InvalidArgumentError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  was_quoted.push_back(field_quoted);
+  if (quoted != nullptr) *quoted = std::move(was_quoted);
+  return fields;
+}
+
+StatusOr<std::string> WriteCsv(const Schema& schema,
+                               const std::vector<std::vector<Value>>& rows) {
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    out += QuoteField(schema.column(c).name);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows) {
+    SDBENC_RETURN_IF_ERROR(schema.ValidateRow(row));
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out += FieldFor(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::vector<Value>>> ParseCsv(const Schema& schema,
+                                                   const std::string& text) {
+  const std::vector<std::string> records = SplitRecords(text);
+  if (records.empty()) return InvalidArgumentError("CSV has no header");
+
+  // Map header names to schema column indices.
+  SDBENC_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                          SplitCsvRecord(records[0]));
+  std::vector<size_t> mapping;
+  for (const std::string& name : header) {
+    SDBENC_ASSIGN_OR_RETURN(size_t col, schema.FindColumn(name));
+    for (size_t seen : mapping) {
+      if (seen == col) {
+        return InvalidArgumentError("duplicate CSV column '" + name + "'");
+      }
+    }
+    mapping.push_back(col);
+  }
+
+  std::vector<std::vector<Value>> rows;
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].empty()) continue;  // tolerate blank lines
+    std::vector<bool> quoted;
+    SDBENC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                            SplitCsvRecord(records[r], &quoted));
+    if (fields.size() != mapping.size()) {
+      return InvalidArgumentError(
+          "record " + std::to_string(r) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(mapping.size()));
+    }
+    std::vector<Value> row(schema.num_columns());  // unmapped columns: NULL
+    for (size_t f = 0; f < fields.size(); ++f) {
+      const size_t col = mapping[f];
+      SDBENC_ASSIGN_OR_RETURN(
+          row[col],
+          ValueFor(fields[f], quoted[f], schema.column(col).type));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,42 @@
+#ifndef SDBENC_DB_CSV_H_
+#define SDBENC_DB_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// RFC 4180-style CSV for bulk import/export: fields separated by commas,
+/// records by newlines; a field containing commas, quotes, CR or LF is
+/// wrapped in double quotes with `""` escaping embedded quotes. The first
+/// record is always a header naming the columns.
+///
+/// Typed parsing: each field is converted per the target schema column —
+/// INT64/FLOAT64 parsed numerically (whole-field, no trailing junk), STRING
+/// taken verbatim, BYTES hex-decoded, and the empty unquoted field reads as
+/// NULL for any type. Export inverts the same conventions, so
+/// ParseCsv(WriteCsv(rows)) round-trips exactly.
+
+/// Renders rows (validated against `schema`) as CSV with a header.
+StatusOr<std::string> WriteCsv(const Schema& schema,
+                               const std::vector<std::vector<Value>>& rows);
+
+/// Parses CSV text against `schema`. The header must name a permutation or
+/// subset of the schema columns (missing columns read as NULL); fields are
+/// mapped by header name, not position.
+StatusOr<std::vector<std::vector<Value>>> ParseCsv(const Schema& schema,
+                                                   const std::string& text);
+
+/// Low-level record splitter exposed for tests: one CSV line (no trailing
+/// newline) into raw fields, honouring quoting. `quoted[i]` reports whether
+/// field i was quoted (distinguishes NULL from the empty string).
+StatusOr<std::vector<std::string>> SplitCsvRecord(
+    const std::string& line, std::vector<bool>* quoted = nullptr);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_CSV_H_

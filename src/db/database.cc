@@ -1,0 +1,55 @@
+#include "db/database.h"
+
+namespace sdbenc {
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       Schema schema) {
+  for (const auto& t : tables_) {
+    if (t->name() == name) {
+      return AlreadyExistsError("table '" + name + "' already exists");
+    }
+  }
+  tables_.push_back(
+      std::make_unique<Table>(next_table_id_++, name, std::move(schema)));
+  return tables_.back().get();
+}
+
+StatusOr<Table*> Database::RestoreTable(uint64_t id, const std::string& name,
+                                        Schema schema) {
+  if (id == 0) return InvalidArgumentError("table id must be non-zero");
+  for (const auto& t : tables_) {
+    if (t->name() == name) {
+      return AlreadyExistsError("table '" + name + "' already exists");
+    }
+    if (t->id() == id) {
+      return AlreadyExistsError("table id " + std::to_string(id) +
+                                " already exists");
+    }
+  }
+  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  if (id >= next_table_id_) next_table_id_ = id + 1;
+  return tables_.back().get();
+}
+
+StatusOr<Table*> Database::GetTable(const std::string& name) {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return NotFoundError("no table named '" + name + "'");
+}
+
+StatusOr<const Table*> Database::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return static_cast<const Table*>(t.get());
+  }
+  return NotFoundError("no table named '" + name + "'");
+}
+
+StatusOr<Table*> Database::GetTableById(uint64_t id) {
+  for (const auto& t : tables_) {
+    if (t->id() == id) return t.get();
+  }
+  return NotFoundError("no table with id " + std::to_string(id));
+}
+
+}  // namespace sdbenc

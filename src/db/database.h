@@ -1,0 +1,45 @@
+#ifndef SDBENC_DB_DATABASE_H_
+#define SDBENC_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Catalog of tables (the storage side; no crypto). Table ids are assigned
+/// monotonically and never reused — they feed the authenticated cell
+/// addresses.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; fails if the name exists.
+  StatusOr<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Recreates a table under a specific id (deserialization only). Fails if
+  /// the name or id is already taken; keeps future ids disjoint.
+  StatusOr<Table*> RestoreTable(uint64_t id, const std::string& name,
+                                Schema schema);
+
+  StatusOr<Table*> GetTable(const std::string& name);
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+  StatusOr<Table*> GetTableById(uint64_t id);
+
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  uint64_t next_table_id_ = 1;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_DATABASE_H_

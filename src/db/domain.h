@@ -1,0 +1,65 @@
+#ifndef SDBENC_DB_DOMAIN_H_
+#define SDBENC_DB_DOMAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Plaintext-domain predicate: the only integrity mechanism the XOR-Scheme
+/// has. A decryption is "accepted as valid" iff the recovered octets lie in
+/// the column's allowed domain (paper §3.1: redundancy in the allowed type
+/// of data). The substitution attack works precisely because this check is a
+/// few-bit condition an offline collision search can satisfy.
+class ValueDomain {
+ public:
+  virtual ~ValueDomain() = default;
+  virtual std::string name() const = 0;
+  virtual bool Contains(BytesView plaintext) const = 0;
+};
+
+/// The paper's running example: every octet is 7-bit ASCII (0 <= x <= 127),
+/// i.e. a 1-bit-per-octet redundancy condition — b bits total for a b-octet
+/// attribute.
+class AsciiDomain : public ValueDomain {
+ public:
+  std::string name() const override { return "ascii"; }
+  bool Contains(BytesView plaintext) const override {
+    for (uint8_t b : plaintext) {
+      if (b > 127) return false;
+    }
+    return true;
+  }
+};
+
+/// Printable-ASCII domain (0x20..0x7e): ~1.94 bits of redundancy per octet;
+/// used by tests to show how the attack cost scales with domain tightness.
+class PrintableAsciiDomain : public ValueDomain {
+ public:
+  std::string name() const override { return "printable-ascii"; }
+  bool Contains(BytesView plaintext) const override {
+    for (uint8_t b : plaintext) {
+      if (b < 0x20 || b > 0x7e) return false;
+    }
+    return true;
+  }
+};
+
+/// Decimal-digit domain: high redundancy, the hardest target for the
+/// substitution search.
+class DigitsDomain : public ValueDomain {
+ public:
+  std::string name() const override { return "digits"; }
+  bool Contains(BytesView plaintext) const override {
+    for (uint8_t b : plaintext) {
+      if (b < '0' || b > '9') return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_DOMAIN_H_

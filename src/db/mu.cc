@@ -1,0 +1,14 @@
+#include "db/mu.h"
+
+namespace sdbenc {
+
+Bytes MuFunction::Compute(const CellAddress& address) const {
+  Bytes digest = ComputeHash(algorithm_, address.Encode());
+  if (digest.size() > output_size_) digest.resize(output_size_);
+  // If a shorter hash were configured than the requested width, zero-extend;
+  // the paper's instantiations never need this (SHA-1 -> 16 octets).
+  digest.resize(output_size_, 0);
+  return digest;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,39 @@
+#ifndef SDBENC_DB_MU_H_
+#define SDBENC_DB_MU_H_
+
+#include <cstddef>
+
+#include "crypto/hash.h"
+#include "db/cell_address.h"
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// The address-conversion function µ of the Elovici scheme, instantiated as
+/// the original paper suggests (and as §3.1's substitution experiment uses):
+///
+///   µ(t, r, c) = h(t || r || c), truncated to `output_size` octets
+///
+/// with h a cryptographic hash. The analysed paper's experiment takes h =
+/// SHA-1 truncated to the first 128 bits (the AES block size). µ is public:
+/// collision resistance is all it can offer, and §3.1 shows that is not
+/// enough for the XOR-Scheme, because only a *partial* collision (the high
+/// bit of each octet) is needed to relocate ASCII data undetected.
+class MuFunction {
+ public:
+  MuFunction(HashAlgorithm algorithm, size_t output_size)
+      : algorithm_(algorithm), output_size_(output_size) {}
+
+  size_t output_size() const { return output_size_; }
+  HashAlgorithm algorithm() const { return algorithm_; }
+
+  Bytes Compute(const CellAddress& address) const;
+
+ private:
+  HashAlgorithm algorithm_;
+  size_t output_size_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_MU_H_

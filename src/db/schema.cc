@@ -1,0 +1,30 @@
+#include "db/schema.h"
+
+namespace sdbenc {
+
+StatusOr<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return NotFoundError("no column named '" + name + "'");
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return InvalidArgumentError(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      return InvalidArgumentError(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeName(columns_[i].type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,46 @@
+#ifndef SDBENC_DB_SCHEMA_H_
+#define SDBENC_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Column definition. `encrypted` marks columns whose cells are protected by
+/// the configured cell codec; the schemes of [3]/[12] and the AEAD fix are
+/// all per-cell and structure-preserving, so clear and encrypted columns mix
+/// freely in one table (a design goal the paper inherits from [3]).
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool encrypted = true;
+};
+
+/// Ordered column list of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the index of the named column.
+  StatusOr<size_t> FindColumn(const std::string& name) const;
+
+  /// Checks that `row` matches the schema (arity and types; NULL always
+  /// allowed).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_SCHEMA_H_

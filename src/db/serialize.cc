@@ -1,0 +1,170 @@
+#include "db/serialize.h"
+
+#include "crypto/hash.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+namespace {
+
+constexpr char kMagic[] = "SDBENC01";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kDigestLen = 32;
+
+}  // namespace
+
+// ------------------------------------------------------------ BinaryWriter
+
+void BinaryWriter::PutU32(uint32_t v) {
+  const size_t off = out_.size();
+  out_.resize(off + 4);
+  PutUint32Be(out_.data() + off, v);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  const size_t off = out_.size();
+  out_.resize(off + 8);
+  PutUint64Be(out_.data() + off, v);
+}
+
+void BinaryWriter::PutBytes(BytesView data) {
+  PutU64(data.size());
+  Append(out_, data);
+}
+
+void BinaryWriter::PutString(const std::string& s) {
+  PutBytes(BytesFromString(s));
+}
+
+// ------------------------------------------------------------ BinaryReader
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > data_.size()) {
+    return InvalidArgumentError("truncated storage image");
+  }
+  return OkStatus();
+}
+
+StatusOr<uint8_t> BinaryReader::GetU8() {
+  SDBENC_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+StatusOr<uint32_t> BinaryReader::GetU32() {
+  SDBENC_RETURN_IF_ERROR(Need(4));
+  const uint32_t v = GetUint32Be(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> BinaryReader::GetU64() {
+  SDBENC_RETURN_IF_ERROR(Need(8));
+  const uint64_t v = GetUint64Be(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<Bytes> BinaryReader::GetBytes() {
+  SDBENC_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+  if (len > data_.size() - pos_) {
+    return InvalidArgumentError("truncated storage image (bytes field)");
+  }
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+StatusOr<std::string> BinaryReader::GetString() {
+  SDBENC_ASSIGN_OR_RETURN(Bytes raw, GetBytes());
+  return StringFromBytes(raw);
+}
+
+// ---------------------------------------------------------------- Database
+
+Bytes SerializeDatabase(const Database& db) {
+  BinaryWriter payload;
+  payload.PutU32(static_cast<uint32_t>(db.num_tables()));
+  for (const auto& table : db.tables()) {
+    payload.PutU64(table->id());
+    payload.PutString(table->name());
+    payload.PutU32(static_cast<uint32_t>(table->schema().num_columns()));
+    for (const ColumnDef& col : table->schema().columns()) {
+      payload.PutString(col.name);
+      payload.PutU8(static_cast<uint8_t>(col.type));
+      payload.PutU8(col.encrypted ? 1 : 0);
+    }
+    payload.PutU64(table->num_rows());
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      payload.PutU8(table->IsDeleted(r) ? 1 : 0);
+      for (uint32_t c = 0; c < table->num_columns(); ++c) {
+        payload.PutBytes(*table->cell(r, c));
+      }
+    }
+  }
+
+  Bytes image = BytesFromString(kMagic);
+  Append(image, ComputeHash(HashAlgorithm::kSha256, payload.data()));
+  Append(image, payload.data());
+  return image;
+}
+
+StatusOr<std::unique_ptr<Database>> DeserializeDatabase(BytesView image) {
+  if (image.size() < kMagicLen + kDigestLen) {
+    return InvalidArgumentError("storage image too short");
+  }
+  if (!(image.substr(0, kMagicLen) == BytesFromString(kMagic))) {
+    return InvalidArgumentError("bad storage image magic");
+  }
+  const BytesView digest = image.substr(kMagicLen, kDigestLen);
+  const BytesView payload = image.substr(kMagicLen + kDigestLen);
+  const Bytes expected = ComputeHash(HashAlgorithm::kSha256, payload);
+  if (!ConstantTimeEquals(digest, expected)) {
+    return InvalidArgumentError("storage image digest mismatch");
+  }
+
+  auto db = std::make_unique<Database>();
+  BinaryReader reader(payload);
+  SDBENC_ASSIGN_OR_RETURN(uint32_t n_tables, reader.GetU32());
+  for (uint32_t t = 0; t < n_tables; ++t) {
+    SDBENC_ASSIGN_OR_RETURN(uint64_t id, reader.GetU64());
+    SDBENC_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+    SDBENC_ASSIGN_OR_RETURN(uint32_t n_cols, reader.GetU32());
+    std::vector<ColumnDef> columns;
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      ColumnDef col;
+      SDBENC_ASSIGN_OR_RETURN(col.name, reader.GetString());
+      SDBENC_ASSIGN_OR_RETURN(uint8_t type, reader.GetU8());
+      if (type > static_cast<uint8_t>(ValueType::kFloat64)) {
+        return InvalidArgumentError("bad column type in storage image");
+      }
+      col.type = static_cast<ValueType>(type);
+      SDBENC_ASSIGN_OR_RETURN(uint8_t encrypted, reader.GetU8());
+      col.encrypted = encrypted != 0;
+      columns.push_back(std::move(col));
+    }
+    SDBENC_ASSIGN_OR_RETURN(Table * table,
+                            db->RestoreTable(id, name,
+                                             Schema(std::move(columns))));
+    SDBENC_ASSIGN_OR_RETURN(uint64_t n_rows, reader.GetU64());
+    for (uint64_t r = 0; r < n_rows; ++r) {
+      SDBENC_ASSIGN_OR_RETURN(uint8_t deleted, reader.GetU8());
+      std::vector<Bytes> cells;
+      cells.reserve(n_cols);
+      for (uint32_t c = 0; c < n_cols; ++c) {
+        SDBENC_ASSIGN_OR_RETURN(Bytes cell, reader.GetBytes());
+        cells.push_back(std::move(cell));
+      }
+      SDBENC_ASSIGN_OR_RETURN(uint64_t row,
+                              table->AppendRow(std::move(cells)));
+      if (deleted != 0) {
+        SDBENC_RETURN_IF_ERROR(table->DeleteRow(row));
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing garbage in storage image");
+  }
+  return db;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,64 @@
+#ifndef SDBENC_DB_SERIALIZE_H_
+#define SDBENC_DB_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Bounds-checked binary writer for the storage image (all integers
+/// big-endian, byte strings length-prefixed).
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(BytesView data);         // u64 length prefix + raw bytes
+  void PutString(const std::string& s);  // same encoding
+
+  const Bytes& data() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked reader; every getter fails cleanly on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<Bytes> GetBytes();
+  StatusOr<std::string> GetString();
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes the whole storage catalog — schemas, raw (possibly encrypted)
+/// cells, tombstones — into a self-describing image:
+///
+///   "SDBENC01" || sha256(payload) || payload
+///
+/// The digest detects accidental corruption of the image; *adversarial*
+/// integrity still rests on the per-cell AEAD tags inside the payload, so a
+/// storage adversary recomputing the digest gains nothing.
+Bytes SerializeDatabase(const Database& db);
+
+/// Inverse of SerializeDatabase; verifies magic and digest.
+StatusOr<std::unique_ptr<Database>> DeserializeDatabase(BytesView image);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_SERIALIZE_H_

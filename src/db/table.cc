@@ -1,0 +1,47 @@
+#include "db/table.h"
+
+namespace sdbenc {
+
+StatusOr<uint64_t> Table::AppendRow(std::vector<Bytes> cells) {
+  if (cells.size() != schema_.num_columns()) {
+    return InvalidArgumentError("cell count does not match schema");
+  }
+  rows_.push_back(std::move(cells));
+  deleted_.push_back(false);
+  return static_cast<uint64_t>(rows_.size() - 1);
+}
+
+Status Table::CheckBounds(uint64_t row, uint32_t column) const {
+  if (row >= rows_.size()) {
+    return OutOfRangeError("row " + std::to_string(row) + " out of range");
+  }
+  if (column >= schema_.num_columns()) {
+    return OutOfRangeError("column " + std::to_string(column) +
+                           " out of range");
+  }
+  return OkStatus();
+}
+
+StatusOr<BytesView> Table::cell(uint64_t row, uint32_t column) const {
+  SDBENC_RETURN_IF_ERROR(CheckBounds(row, column));
+  return BytesView(rows_[row][column]);
+}
+
+StatusOr<Bytes*> Table::mutable_cell(uint64_t row, uint32_t column) {
+  SDBENC_RETURN_IF_ERROR(CheckBounds(row, column));
+  return &rows_[row][column];
+}
+
+Status Table::DeleteRow(uint64_t row) {
+  if (row >= rows_.size()) {
+    return OutOfRangeError("row " + std::to_string(row) + " out of range");
+  }
+  deleted_[row] = true;
+  return OkStatus();
+}
+
+bool Table::IsDeleted(uint64_t row) const {
+  return row < deleted_.size() && deleted_[row];
+}
+
+}  // namespace sdbenc

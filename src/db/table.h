@@ -1,0 +1,67 @@
+#ifndef SDBENC_DB_TABLE_H_
+#define SDBENC_DB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/cell_address.h"
+#include "db/schema.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Raw cell storage — the model of the *untrusted* storage layer in the
+/// paper's threat model (§2.1). Each cell holds an opaque octet string: the
+/// serialized plaintext value for clear columns, or whatever the configured
+/// cell codec produced for encrypted columns. The table knows nothing about
+/// keys or codecs; an adversary with storage access sees exactly this
+/// object's contents and may rewrite them at will (which the attack modules
+/// do, via mutable_cell).
+class Table {
+ public:
+  Table(uint64_t id, std::string name, Schema schema)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row of stored cells; returns the new row number. The cell
+  /// count must match the schema arity.
+  StatusOr<uint64_t> AppendRow(std::vector<Bytes> cells);
+
+  /// Read access to the stored (possibly encrypted) cell bytes.
+  StatusOr<BytesView> cell(uint64_t row, uint32_t column) const;
+
+  /// Write access — legitimate updates and adversarial tampering both go
+  /// through here, as both are just writes to untrusted storage.
+  StatusOr<Bytes*> mutable_cell(uint64_t row, uint32_t column);
+
+  /// The address triple for a cell of this table.
+  CellAddress AddressOf(uint64_t row, uint32_t column) const {
+    return CellAddress{id_, row, column};
+  }
+
+  /// Marks a row deleted (tombstone). Rows are never renumbered: cell
+  /// addresses are part of the ciphertexts' authenticated positions, so
+  /// compaction would require re-encryption.
+  Status DeleteRow(uint64_t row);
+  bool IsDeleted(uint64_t row) const;
+
+ private:
+  Status CheckBounds(uint64_t row, uint32_t column) const;
+
+  uint64_t id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Bytes>> rows_;
+  std::vector<bool> deleted_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_TABLE_H_

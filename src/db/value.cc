@@ -1,0 +1,165 @@
+#include "db/value.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace sdbenc {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBytes:
+      return "BYTES";
+    case ValueType::kFloat64:
+      return "FLOAT64";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kString;
+    case 3:
+      return ValueType::kBytes;
+    case 4:
+      return ValueType::kFloat64;
+    default:
+      return ValueType::kNull;
+  }
+}
+
+Bytes Value::Serialize() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      Append(out, EncodeUint64Be(static_cast<uint64_t>(AsInt())));
+      break;
+    case ValueType::kString: {
+      const std::string& s = AsString();
+      Append(out, BytesFromString(s));
+      break;
+    }
+    case ValueType::kBytes:
+      Append(out, AsBytes());
+      break;
+    case ValueType::kFloat64:
+      Append(out, EncodeUint64Be(std::bit_cast<uint64_t>(AsDouble())));
+      break;
+  }
+  return out;
+}
+
+StatusOr<Value> Value::Deserialize(BytesView data) {
+  if (data.empty()) return InvalidArgumentError("empty value encoding");
+  const auto type = static_cast<ValueType>(data[0]);
+  const BytesView payload = data.substr(1);
+  switch (type) {
+    case ValueType::kNull:
+      if (!payload.empty()) {
+        return InvalidArgumentError("NULL value with payload");
+      }
+      return Value::Null();
+    case ValueType::kInt64:
+      if (payload.size() != 8) {
+        return InvalidArgumentError("INT64 value needs 8 payload octets");
+      }
+      return Value::Int(static_cast<int64_t>(DecodeUint64Be(payload)));
+    case ValueType::kString:
+      return Value::Str(StringFromBytes(payload));
+    case ValueType::kBytes:
+      return Value::Blob(Bytes(payload.begin(), payload.end()));
+    case ValueType::kFloat64:
+      if (payload.size() != 8) {
+        return InvalidArgumentError("FLOAT64 value needs 8 payload octets");
+      }
+      return Value::Real(std::bit_cast<double>(DecodeUint64Be(payload)));
+  }
+  return InvalidArgumentError("unknown value type tag");
+}
+
+Bytes Value::SerializeComparable() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64: {
+      // Offset-binary: flip the sign bit so that the big-endian byte order
+      // sorts negative < positive.
+      const uint64_t biased =
+          static_cast<uint64_t>(AsInt()) ^ 0x8000000000000000ULL;
+      Append(out, EncodeUint64Be(biased));
+      break;
+    }
+    case ValueType::kString:
+      Append(out, BytesFromString(AsString()));
+      break;
+    case ValueType::kBytes:
+      Append(out, AsBytes());
+      break;
+    case ValueType::kFloat64: {
+      // IEEE-754 order-preserving transform: flip all bits of negative
+      // values, flip only the sign bit of non-negative ones.
+      uint64_t bits = std::bit_cast<uint64_t>(AsDouble());
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits ^= 0x8000000000000000ULL;
+      }
+      Append(out, EncodeUint64Be(bits));
+      break;
+    }
+  }
+  return out;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kBytes: {
+      std::string out = "x'";
+      static const char* kDigits = "0123456789abcdef";
+      for (uint8_t b : AsBytes()) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0xf]);
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kFloat64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  const Bytes ea = a.SerializeComparable();
+  const Bytes eb = b.SerializeComparable();
+  const size_t n = std::min(ea.size(), eb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ea[i] != eb[i]) return ea[i] < eb[i] ? -1 : 1;
+  }
+  if (ea.size() == eb.size()) return 0;
+  return ea.size() < eb.size() ? -1 : 1;
+}
+
+}  // namespace sdbenc

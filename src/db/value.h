@@ -1,0 +1,80 @@
+#ifndef SDBENC_DB_VALUE_H_
+#define SDBENC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kString = 2,
+  kBytes = 3,
+  kFloat64 = 4,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A typed attribute value held in a table cell. Values serialize to a
+/// self-describing octet string (type tag + payload) for storage/encryption,
+/// and to an *order-preserving* octet string for index keys, so that
+/// lexicographic comparison of encoded keys matches value order.
+///
+/// Float64 ordering follows IEEE-754 totalOrder-style bit manipulation:
+/// -inf < negatives < -0 < +0 < positives < +inf; NaNs sort above +inf
+/// (negative-sign NaNs below -inf) and are best avoided as index keys.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Blob(Bytes v) { return Value(std::move(v)); }
+  static Value Real(double v) { return Value(v); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors abort on type mismatch; check type() first.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Bytes& AsBytes() const { return std::get<Bytes>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+
+  /// Self-describing serialization: 1-octet type tag || payload.
+  Bytes Serialize() const;
+  static StatusOr<Value> Deserialize(BytesView data);
+
+  /// Order-preserving encoding for index keys: the lexicographic order of
+  /// encodings equals (type, value) order. Int64 uses offset-binary
+  /// big-endian; strings/bytes are raw (prefix order).
+  Bytes SerializeComparable() const;
+
+  /// Human-readable rendering for examples and debugging.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+  /// Three-way comparison consistent with SerializeComparable ordering.
+  static int Compare(const Value& a, const Value& b);
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(Bytes v) : data_(std::move(v)) {}
+  explicit Value(double v) : data_(v) {}
+
+  std::variant<std::monostate, int64_t, std::string, Bytes, double> data_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_VALUE_H_

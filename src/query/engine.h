@@ -1,0 +1,91 @@
+#ifndef SDBENC_QUERY_ENGINE_H_
+#define SDBENC_QUERY_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/secure_database.h"
+#include "query/expr.h"
+#include "query/planner.h"
+
+namespace sdbenc {
+
+/// Aggregate function over a column (or over rows, for COUNT(*)).
+struct Aggregate {
+  enum class Fn { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+  Fn fn = Fn::kCountStar;
+  std::string column;  // empty for COUNT(*)
+
+  std::string ToString() const;
+};
+
+/// A SELECT over one table: projection (plain columns OR aggregates — SQL
+/// without GROUP BY forbids mixing), optional predicate, ordering, limit.
+struct SelectStatement {
+  std::string table;
+  std::vector<std::string> columns;   // empty + no aggregates = all columns
+  std::vector<Aggregate> aggregates;  // non-empty = aggregate query
+  ExprPtr where;                      // null = no predicate
+  std::string order_by;               // empty = unordered
+  bool order_desc = false;
+  std::optional<uint64_t> limit;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<Value> values;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::string column;
+  Value value;
+  ExprPtr where;  // null = every live row
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // null = every live row
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  std::string plan;  // human-readable access path, for EXPLAIN-style output
+  uint64_t affected = 0;  // rows touched by INSERT/UPDATE/DELETE
+};
+
+/// Executes typed statements against a SecureDatabase, planning predicates
+/// onto the encrypted indexes where possible (see PlanAccess) and falling
+/// back to decrypting scans otherwise. All decryption happens inside the
+/// engine — results are plaintext Values, errors are Status (tampering
+/// surfaces as kAuthenticationFailed mid-query).
+class QueryEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit QueryEngine(SecureDatabase* db) : db_(db) {}
+
+  StatusOr<QueryResult> Execute(const SelectStatement& statement) const;
+  StatusOr<QueryResult> Execute(const InsertStatement& statement) const;
+  StatusOr<QueryResult> Execute(const UpdateStatement& statement) const;
+  StatusOr<QueryResult> Execute(const DeleteStatement& statement) const;
+
+  /// Returns the plan that Execute would use, without running it.
+  StatusOr<std::string> Explain(const SelectStatement& statement) const;
+
+ private:
+  /// Row numbers of live rows matching the plan (index range or scan),
+  /// with the residual predicate applied.
+  StatusOr<std::vector<uint64_t>> MatchingRows(
+      const SecureDatabase::TableState& state, const AccessPlan& plan) const;
+
+  StatusOr<AccessPlan> PlanFor(const SecureDatabase::TableState& state,
+                               const ExprPtr& where) const;
+
+  SecureDatabase* db_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_QUERY_ENGINE_H_

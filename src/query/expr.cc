@@ -1,0 +1,163 @@
+#include "query/expr.h"
+
+namespace sdbenc {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kColumn));
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kLiteral));
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kCompare));
+  e->compare_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kAnd));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kOr));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kNot));
+  e->left_ = std::move(operand);
+  return e;
+}
+
+StatusOr<Value> Expr::EvaluateScalar(const Schema& schema,
+                                     const std::vector<Value>& row) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      SDBENC_ASSIGN_OR_RETURN(size_t col, schema.FindColumn(column_name_));
+      if (col >= row.size()) return InternalError("row shorter than schema");
+      return row[col];
+    }
+    case Kind::kLiteral:
+      return literal_;
+    default:
+      return InvalidArgumentError(
+          "boolean expression used where a value was expected");
+  }
+}
+
+StatusOr<bool> Expr::Evaluate(const Schema& schema,
+                              const std::vector<Value>& row) const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      SDBENC_ASSIGN_OR_RETURN(Value lhs, left_->EvaluateScalar(schema, row));
+      SDBENC_ASSIGN_OR_RETURN(Value rhs, right_->EvaluateScalar(schema, row));
+      // NULL compares unequal to everything, including NULL.
+      if (lhs.is_null() || rhs.is_null()) return false;
+      const int cmp = Value::Compare(lhs, rhs);
+      switch (compare_op_) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+      }
+      return InternalError("bad compare op");
+    }
+    case Kind::kAnd: {
+      SDBENC_ASSIGN_OR_RETURN(bool l, left_->Evaluate(schema, row));
+      if (!l) return false;
+      return right_->Evaluate(schema, row);
+    }
+    case Kind::kOr: {
+      SDBENC_ASSIGN_OR_RETURN(bool l, left_->Evaluate(schema, row));
+      if (l) return true;
+      return right_->Evaluate(schema, row);
+    }
+    case Kind::kNot: {
+      SDBENC_ASSIGN_OR_RETURN(bool v, left_->Evaluate(schema, row));
+      return !v;
+    }
+    case Kind::kColumn:
+    case Kind::kLiteral:
+      return InvalidArgumentError(
+          "scalar expression used where a predicate was expected: " +
+          ToString());
+  }
+  return InternalError("bad expression kind");
+}
+
+Status Expr::Validate(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      SDBENC_ASSIGN_OR_RETURN(size_t col, schema.FindColumn(column_name_));
+      (void)col;
+      return OkStatus();
+    }
+    case Kind::kLiteral:
+      return OkStatus();
+    case Kind::kNot:
+      return left_->Validate(schema);
+    default:
+      SDBENC_RETURN_IF_ERROR(left_->Validate(schema));
+      return right_->Validate(schema);
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return column_name_;
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kCompare:
+      return "(" + left_->ToString() + " " + CompareOpName(compare_op_) +
+             " " + right_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,83 @@
+#ifndef SDBENC_QUERY_EXPR_H_
+#define SDBENC_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Boolean predicate AST over one row: column/literal comparisons combined
+/// with AND / OR / NOT. Expressions are immutable after construction and
+/// shared via shared_ptr so the planner can pull sub-trees apart without
+/// copies.
+///
+/// NULL semantics are deliberately simple (and documented): any comparison
+/// involving NULL is false, and NOT(false) is true — i.e. two-valued logic
+/// with NULL comparing unequal to everything including itself.
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+class Expr {
+ public:
+  enum class Kind { kColumn, kLiteral, kCompare, kAnd, kOr, kNot };
+
+  // ---- factories ----
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value value);
+  /// Comparison between a column and a literal (either side).
+  static ExprPtr Compare(CompareOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr And(ExprPtr left, ExprPtr right);
+  static ExprPtr Or(ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr operand);
+
+  Kind kind() const { return kind_; }
+
+  // kColumn
+  const std::string& column_name() const { return column_name_; }
+  // kLiteral
+  const Value& literal() const { return literal_; }
+  // kCompare
+  CompareOp compare_op() const { return compare_op_; }
+  // kCompare / kAnd / kOr: left()/right(); kNot: left() only.
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  /// Resolves column names against `schema` and evaluates the predicate on
+  /// `row`. Fails on unknown columns or non-boolean structure (e.g. a bare
+  /// column used as a predicate).
+  StatusOr<bool> Evaluate(const Schema& schema,
+                          const std::vector<Value>& row) const;
+
+  /// Checks that every referenced column exists; cheaper than a first
+  /// evaluation for validating statements up front.
+  Status Validate(const Schema& schema) const;
+
+  /// Renders as e.g. `(salary >= 100000 AND dept = 'eng')`.
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  StatusOr<Value> EvaluateScalar(const Schema& schema,
+                                 const std::vector<Value>& row) const;
+
+  Kind kind_;
+  std::string column_name_;
+  Value literal_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_QUERY_EXPR_H_

@@ -1,0 +1,178 @@
+#include "query/planner.h"
+
+#include <map>
+#include <vector>
+
+namespace sdbenc {
+
+namespace {
+
+/// A single `col op literal` comparison found in the AND chain.
+struct Sarg {
+  std::string column;
+  CompareOp op;
+  Value value;
+};
+
+/// Flattens the top-level AND chain into conjuncts.
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kAnd) {
+    CollectConjuncts(e->left(), out);
+    CollectConjuncts(e->right(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Recognises `col op literal` / `literal op col` (flipping the operator).
+std::optional<Sarg> AsSarg(const ExprPtr& e) {
+  if (e->kind() != Expr::Kind::kCompare) return std::nullopt;
+  const ExprPtr& l = e->left();
+  const ExprPtr& r = e->right();
+  if (l->kind() == Expr::Kind::kColumn &&
+      r->kind() == Expr::Kind::kLiteral) {
+    return Sarg{l->column_name(), e->compare_op(), r->literal()};
+  }
+  if (l->kind() == Expr::Kind::kLiteral &&
+      r->kind() == Expr::Kind::kColumn) {
+    CompareOp flipped = e->compare_op();
+    switch (e->compare_op()) {
+      case CompareOp::kLt:
+        flipped = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        flipped = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        flipped = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        flipped = CompareOp::kLe;
+        break;
+      default:
+        break;  // = and != are symmetric
+    }
+    return Sarg{r->column_name(), flipped, l->literal()};
+  }
+  return std::nullopt;
+}
+
+/// Intersects a new bound into the range. Returns false if the sarg is not
+/// range-expressible (!=).
+bool Tighten(ColumnRange& range, const Sarg& sarg) {
+  switch (sarg.op) {
+    case CompareOp::kEq:
+      if (!range.lo || Value::Compare(sarg.value, *range.lo) > 0) {
+        range.lo = sarg.value;
+      }
+      if (!range.hi || Value::Compare(sarg.value, *range.hi) < 0) {
+        range.hi = sarg.value;
+      }
+      return true;
+    case CompareOp::kLe:
+    case CompareOp::kLt:
+      // Inclusive index ranges: a strict bound keeps the value and leaves
+      // the exact exclusion to the residual predicate.
+      if (!range.hi || Value::Compare(sarg.value, *range.hi) < 0) {
+        range.hi = sarg.value;
+      }
+      return true;
+    case CompareOp::kGe:
+    case CompareOp::kGt:
+      if (!range.lo || Value::Compare(sarg.value, *range.lo) > 0) {
+        range.lo = sarg.value;
+      }
+      return true;
+    case CompareOp::kNe:
+      return false;
+  }
+  return false;
+}
+
+/// True if this conjunct is fully served by the inclusive index range (so
+/// it can be dropped from the residual): only non-strict single-column
+/// comparisons on the chosen column qualify.
+bool ServedByRange(const Sarg& sarg, const ColumnRange& range) {
+  if (sarg.column != range.column) return false;
+  switch (sarg.op) {
+    case CompareOp::kEq:
+      return range.is_point;
+    case CompareOp::kLe:
+    case CompareOp::kGe:
+      return true;  // inclusive bounds match exactly
+    default:
+      return false;  // strict bounds / != stay residual
+  }
+}
+
+}  // namespace
+
+std::string AccessPlan::ToString() const {
+  if (kind == Kind::kFullScan) {
+    return residual ? "scan + filter " + residual->ToString() : "scan";
+  }
+  std::string out = "index-range(" + range.column;
+  if (range.is_point) {
+    out += " = " + range.lo->ToString();
+  } else {
+    if (range.lo) out += " >= " + range.lo->ToString();
+    if (range.hi) out += std::string(range.lo ? "," : "") + " <= " +
+                         range.hi->ToString();
+  }
+  out += ")";
+  if (residual) out += " + filter " + residual->ToString();
+  return out;
+}
+
+AccessPlan PlanAccess(
+    const ExprPtr& predicate,
+    const std::function<bool(const std::string&)>& has_index) {
+  AccessPlan plan;
+  plan.residual = predicate;
+  if (predicate == nullptr) return plan;
+
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(predicate, &conjuncts);
+
+  // Intersect bounds per indexed column.
+  std::map<std::string, ColumnRange> ranges;
+  for (const ExprPtr& conjunct : conjuncts) {
+    const auto sarg = AsSarg(conjunct);
+    if (!sarg || !has_index(sarg->column)) continue;
+    auto [it, inserted] = ranges.try_emplace(sarg->column);
+    if (inserted) it->second.column = sarg->column;
+    if (!Tighten(it->second, *sarg)) continue;
+  }
+
+  // Pick the best: a point lookup beats any range; otherwise prefer a
+  // two-sided range, then any bounded range.
+  const ColumnRange* best = nullptr;
+  int best_score = -1;
+  for (auto& [column, range] : ranges) {
+    if (!range.bounded()) continue;
+    range.is_point = range.lo && range.hi &&
+                     Value::Compare(*range.lo, *range.hi) == 0;
+    const int score = range.is_point ? 3 : (range.lo && range.hi) ? 2 : 1;
+    if (score > best_score) {
+      best_score = score;
+      best = &range;
+    }
+  }
+  if (best == nullptr) return plan;  // full scan
+
+  plan.kind = AccessPlan::Kind::kIndexRange;
+  plan.range = *best;
+
+  // Rebuild the residual from the conjuncts the range does not fully serve.
+  ExprPtr residual;
+  for (const ExprPtr& conjunct : conjuncts) {
+    const auto sarg = AsSarg(conjunct);
+    if (sarg && ServedByRange(*sarg, plan.range)) continue;
+    residual = residual ? Expr::And(residual, conjunct) : conjunct;
+  }
+  plan.residual = residual;
+  return plan;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,48 @@
+#ifndef SDBENC_QUERY_PLANNER_H_
+#define SDBENC_QUERY_PLANNER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "query/expr.h"
+
+namespace sdbenc {
+
+/// One-sided or two-sided bound extracted from a predicate for a single
+/// column: the sargable part the encrypted index can serve.
+struct ColumnRange {
+  std::string column;
+  std::optional<Value> lo;  // inclusive
+  std::optional<Value> hi;  // inclusive
+  /// True when the range came from an equality (lo == hi).
+  bool is_point = false;
+
+  bool bounded() const { return lo.has_value() || hi.has_value(); }
+};
+
+/// The access path chosen for a statement.
+struct AccessPlan {
+  enum class Kind { kIndexRange, kFullScan };
+  Kind kind = Kind::kFullScan;
+  ColumnRange range;   // meaningful for kIndexRange
+  ExprPtr residual;    // remaining predicate to apply per row (may be null)
+  std::string ToString() const;
+};
+
+/// Plans a predicate against the available indexes: walks the top-level AND
+/// chain, extracts per-column comparisons `col op literal`, intersects
+/// bounds per column, and picks an indexed column (points beat ranges,
+/// earlier indexes break ties). Everything not consumed by the chosen range
+/// stays in `residual`.
+///
+/// Conservative by construction: OR / NOT / cross-column comparisons are
+/// never pushed into the index — they stay residual and force a scan unless
+/// some AND-ed sibling is sargable. `!=` is treated as non-sargable.
+AccessPlan PlanAccess(
+    const ExprPtr& predicate,
+    const std::function<bool(const std::string&)>& has_index);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_QUERY_PLANNER_H_

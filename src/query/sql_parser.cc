@@ -1,0 +1,501 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace sdbenc {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // includes keywords; matched case-insensitively
+  kInteger,
+  kFloat,
+  kString,
+  kOperator,  // = != <> < <= > >=
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier spelling / operator / string contents
+  int64_t number = 0;
+  double real = 0.0;
+  size_t position = 0;
+};
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      const size_t start = pos_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ident.push_back(input_[pos_++]);
+        }
+        tokens.push_back({TokenKind::kIdentifier, ident, 0, 0.0, start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+        std::string digits;
+        if (c == '-') digits.push_back(input_[pos_++]);
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          digits.push_back(input_[pos_++]);
+        }
+        // Float literal: a '.' followed by at least one digit.
+        if (pos_ + 1 < input_.size() && input_[pos_] == '.' &&
+            std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+          digits.push_back(input_[pos_++]);
+          while (pos_ < input_.size() &&
+                 std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+            digits.push_back(input_[pos_++]);
+          }
+          Token token{TokenKind::kFloat, digits, 0, 0.0, start};
+          const auto result =
+              std::from_chars(digits.data(), digits.data() + digits.size(),
+                              token.real);
+          if (result.ec != std::errc()) {
+            return InvalidArgumentError("bad float literal at " +
+                                        std::to_string(start));
+          }
+          tokens.push_back(std::move(token));
+          continue;
+        }
+        Token token{TokenKind::kInteger, digits, 0, 0.0, start};
+        // Manual conversion: no exceptions in this codebase.
+        const bool negative = digits[0] == '-';
+        uint64_t acc = 0;
+        const uint64_t limit =
+            negative ? (uint64_t{1} << 63) : (uint64_t{1} << 63) - 1;
+        for (size_t i = negative ? 1 : 0; i < digits.size(); ++i) {
+          const uint64_t digit = static_cast<uint64_t>(digits[i] - '0');
+          if (acc > (limit - digit) / 10) {
+            return InvalidArgumentError("integer literal out of range at " +
+                                        std::to_string(start));
+          }
+          acc = acc * 10 + digit;
+        }
+        token.number = negative ? -static_cast<int64_t>(acc)
+                                : static_cast<int64_t>(acc);
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        std::string contents;
+        bool closed = false;
+        while (pos_ < input_.size()) {
+          if (input_[pos_] == '\'') {
+            if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+              contents.push_back('\'');  // '' escape
+              pos_ += 2;
+              continue;
+            }
+            ++pos_;
+            closed = true;
+            break;
+          }
+          contents.push_back(input_[pos_++]);
+        }
+        if (!closed) {
+          return InvalidArgumentError("unterminated string literal at " +
+                                      std::to_string(start));
+        }
+        tokens.push_back({TokenKind::kString, contents, 0, 0.0, start});
+        continue;
+      }
+      switch (c) {
+        case ',':
+          tokens.push_back({TokenKind::kComma, ",", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "(", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, ")", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case '*':
+          tokens.push_back({TokenKind::kStar, "*", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case ';':
+          tokens.push_back({TokenKind::kSemicolon, ";", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case '=':
+          tokens.push_back({TokenKind::kOperator, "=", 0, 0.0, start});
+          ++pos_;
+          continue;
+        case '!':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            tokens.push_back({TokenKind::kOperator, "!=", 0, 0.0, start});
+            pos_ += 2;
+            continue;
+          }
+          return InvalidArgumentError("unexpected '!' at " +
+                                      std::to_string(start));
+        case '<':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            tokens.push_back({TokenKind::kOperator, "<=", 0, 0.0, start});
+            pos_ += 2;
+          } else if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+            tokens.push_back({TokenKind::kOperator, "!=", 0, 0.0, start});
+            pos_ += 2;
+          } else {
+            tokens.push_back({TokenKind::kOperator, "<", 0, 0.0, start});
+            ++pos_;
+          }
+          continue;
+        case '>':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            tokens.push_back({TokenKind::kOperator, ">=", 0, 0.0, start});
+            pos_ += 2;
+          } else {
+            tokens.push_back({TokenKind::kOperator, ">", 0, 0.0, start});
+            ++pos_;
+          }
+          continue;
+        default:
+          return InvalidArgumentError(std::string("unexpected character '") +
+                                      c + "' at " + std::to_string(start));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, 0.0, input_.size()});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedStatement> ParseStatement() {
+    ParsedStatement statement;
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      statement.kind = ParsedStatement::Kind::kExplain;
+      SDBENC_ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (PeekKeyword("SELECT")) {
+      statement.kind = ParsedStatement::Kind::kSelect;
+      SDBENC_ASSIGN_OR_RETURN(statement.select, ParseSelect());
+    } else if (PeekKeyword("INSERT")) {
+      statement.kind = ParsedStatement::Kind::kInsert;
+      SDBENC_ASSIGN_OR_RETURN(statement.insert, ParseInsert());
+    } else if (PeekKeyword("UPDATE")) {
+      statement.kind = ParsedStatement::Kind::kUpdate;
+      SDBENC_ASSIGN_OR_RETURN(statement.update, ParseUpdate());
+    } else if (PeekKeyword("DELETE")) {
+      statement.kind = ParsedStatement::Kind::kDelete;
+      SDBENC_ASSIGN_OR_RETURN(statement.del, ParseDelete());
+    } else {
+      return Error("expected SELECT, INSERT, UPDATE, DELETE or EXPLAIN");
+    }
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return Peek().kind == TokenKind::kIdentifier &&
+           ToUpper(Peek().text) == keyword;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!PeekKeyword(keyword)) return Error("expected " + keyword);
+    Advance();
+    return OkStatus();
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) return Error("expected " + what);
+    Advance();
+    return OkStatus();
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(message + " at position " +
+                                std::to_string(Peek().position));
+  }
+
+  StatusOr<std::string> ParseIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  StatusOr<Value> ParseLiteral() {
+    if (Peek().kind == TokenKind::kInteger) {
+      return Value::Int(Advance().number);
+    }
+    if (Peek().kind == TokenKind::kFloat) {
+      return Value::Real(Advance().real);
+    }
+    if (Peek().kind == TokenKind::kString) {
+      return Value::Str(Advance().text);
+    }
+    if (PeekKeyword("NULL")) {
+      Advance();
+      return Value::Null();
+    }
+    return Error("expected literal");
+  }
+
+  /// An aggregate keyword followed by '(' marks an aggregate item.
+  bool PeekAggregate() const {
+    if (Peek().kind != TokenKind::kIdentifier) return false;
+    const std::string kw = ToUpper(Peek().text);
+    if (kw != "COUNT" && kw != "SUM" && kw != "AVG" && kw != "MIN" &&
+        kw != "MAX") {
+      return false;
+    }
+    return tokens_[index_ + 1].kind == TokenKind::kLParen;
+  }
+
+  StatusOr<Aggregate> ParseAggregate() {
+    const std::string kw = ToUpper(Advance().text);
+    SDBENC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    Aggregate agg;
+    if (kw == "COUNT" && Peek().kind == TokenKind::kStar) {
+      Advance();
+      agg.fn = Aggregate::Fn::kCountStar;
+    } else {
+      SDBENC_ASSIGN_OR_RETURN(agg.column, ParseIdentifier());
+      if (kw == "COUNT") {
+        agg.fn = Aggregate::Fn::kCount;
+      } else if (kw == "SUM") {
+        agg.fn = Aggregate::Fn::kSum;
+      } else if (kw == "AVG") {
+        agg.fn = Aggregate::Fn::kAvg;
+      } else if (kw == "MIN") {
+        agg.fn = Aggregate::Fn::kMin;
+      } else {
+        agg.fn = Aggregate::Fn::kMax;
+      }
+    }
+    SDBENC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return agg;
+  }
+
+  Status ParseSelectItem(SelectStatement* select) {
+    if (PeekAggregate()) {
+      SDBENC_ASSIGN_OR_RETURN(Aggregate agg, ParseAggregate());
+      select->aggregates.push_back(std::move(agg));
+      return OkStatus();
+    }
+    SDBENC_ASSIGN_OR_RETURN(std::string column, ParseIdentifier());
+    select->columns.push_back(std::move(column));
+    return OkStatus();
+  }
+
+  StatusOr<SelectStatement> ParseSelect() {
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement select;
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+    } else {
+      SDBENC_RETURN_IF_ERROR(ParseSelectItem(&select));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        SDBENC_RETURN_IF_ERROR(ParseSelectItem(&select));
+      }
+    }
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SDBENC_ASSIGN_OR_RETURN(select.table, ParseIdentifier());
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(select.where, ParseOr());
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      SDBENC_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      SDBENC_ASSIGN_OR_RETURN(select.order_by, ParseIdentifier());
+      if (PeekKeyword("ASC")) {
+        Advance();
+      } else if (PeekKeyword("DESC")) {
+        Advance();
+        select.order_desc = true;
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInteger || Peek().number < 0) {
+        return Error("expected non-negative LIMIT count");
+      }
+      select.limit = static_cast<uint64_t>(Advance().number);
+    }
+    return select;
+  }
+
+  StatusOr<InsertStatement> ParseInsert() {
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement insert;
+    SDBENC_ASSIGN_OR_RETURN(insert.table, ParseIdentifier());
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    SDBENC_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    SDBENC_ASSIGN_OR_RETURN(Value first, ParseLiteral());
+    insert.values.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(Value next, ParseLiteral());
+      insert.values.push_back(std::move(next));
+    }
+    SDBENC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return insert;
+  }
+
+  StatusOr<UpdateStatement> ParseUpdate() {
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStatement update;
+    SDBENC_ASSIGN_OR_RETURN(update.table, ParseIdentifier());
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    SDBENC_ASSIGN_OR_RETURN(update.column, ParseIdentifier());
+    if (Peek().kind != TokenKind::kOperator || Peek().text != "=") {
+      return Error("expected '='");
+    }
+    Advance();
+    SDBENC_ASSIGN_OR_RETURN(update.value, ParseLiteral());
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(update.where, ParseOr());
+    }
+    return update;
+  }
+
+  StatusOr<DeleteStatement> ParseDelete() {
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    SDBENC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement del;
+    SDBENC_ASSIGN_OR_RETURN(del.table, ParseIdentifier());
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(del.where, ParseOr());
+    }
+    return del;
+  }
+
+  // predicate := and (OR and)*
+  StatusOr<ExprPtr> ParseOr() {
+    SDBENC_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    SDBENC_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Not(std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      SDBENC_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      SDBENC_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    // comparison: operand op operand
+    SDBENC_ASSIGN_OR_RETURN(ExprPtr left, ParseOperand());
+    if (Peek().kind != TokenKind::kOperator) {
+      return Error("expected comparison operator");
+    }
+    const std::string op_text = Advance().text;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Error("unknown operator " + op_text);
+    }
+    SDBENC_ASSIGN_OR_RETURN(ExprPtr right, ParseOperand());
+    return Expr::Compare(op, std::move(left), std::move(right));
+  }
+
+  StatusOr<ExprPtr> ParseOperand() {
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("NULL")) {
+      return Expr::Column(Advance().text);
+    }
+    SDBENC_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    return Expr::Literal(std::move(literal));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ParsedStatement> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  SDBENC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sdbenc

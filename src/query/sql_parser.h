@@ -1,0 +1,40 @@
+#ifndef SDBENC_QUERY_SQL_PARSER_H_
+#define SDBENC_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "query/engine.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// A parsed statement, tagged by kind. Exactly one of the payload members
+/// is meaningful (`select` doubles for EXPLAIN).
+struct ParsedStatement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kExplain };
+  Kind kind = Kind::kSelect;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+};
+
+/// Recursive-descent parser for the SQL subset the engine executes:
+///
+///   SELECT * | col [, col]* FROM table [WHERE predicate]
+///   INSERT INTO table VALUES ( literal [, literal]* )
+///   UPDATE table SET col = literal [WHERE predicate]
+///   DELETE FROM table [WHERE predicate]
+///   EXPLAIN SELECT ...
+///
+///   predicate: comparisons (= != <> < <= > >=) between columns and
+///   literals, combined with AND / OR / NOT and parentheses. Literals:
+///   integers, 'single-quoted strings' ('' escapes a quote), NULL.
+///
+/// Keywords are case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+/// A trailing semicolon is allowed. Errors carry the offending position.
+StatusOr<ParsedStatement> ParseSql(const std::string& sql);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_QUERY_SQL_PARSER_H_

@@ -1,0 +1,30 @@
+#include "schemes/aead_cell.h"
+
+namespace sdbenc {
+
+StatusOr<Bytes> AeadCellCodec::Encode(BytesView value,
+                                      const CellAddress& address) {
+  const Bytes nonce = rng_.RandomBytes(aead_.nonce_size());
+  SDBENC_ASSIGN_OR_RETURN(Aead::Sealed sealed,
+                          aead_.Seal(nonce, value, address.Encode()));
+  Bytes stored = nonce;
+  Append(stored, sealed.ciphertext);
+  Append(stored, sealed.tag);
+  return stored;
+}
+
+StatusOr<Bytes> AeadCellCodec::Decode(BytesView stored,
+                                      const CellAddress& address) const {
+  const size_t n = aead_.nonce_size();
+  const size_t t = aead_.tag_size();
+  if (stored.size() < n + t) {
+    return AuthenticationFailedError("stored cell too short for " +
+                                     aead_.name());
+  }
+  const BytesView nonce = stored.substr(0, n);
+  const BytesView ciphertext = stored.substr(n, stored.size() - n - t);
+  const BytesView tag = stored.substr(stored.size() - t);
+  return aead_.Open(nonce, ciphertext, tag, address.Encode());
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,47 @@
+#ifndef SDBENC_SCHEMES_AEAD_CELL_H_
+#define SDBENC_SCHEMES_AEAD_CELL_H_
+
+#include <string>
+
+#include "aead/aead.h"
+#include "schemes/cell_codec.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+/// The fixed database encryption scheme (analysed paper §4, eqs. 23–24):
+///
+///   store (N, C, T) with (C, T) = AEAD-Enc_k(N, V, Ref_T)
+///
+/// The cell address Ref_T = (t, r, c) is the *associated data* — never
+/// stored, always reconstructed from the cell's position and authenticated
+/// by the tag. A fresh nonce is drawn per encryption, so equal plaintexts
+/// yield independent ciphertexts: no pattern matching, no correlation, and
+/// any modification, substitution or relocation fails AEAD-Dec with
+/// "invalid" (kAuthenticationFailed).
+///
+/// Stored layout: N || C || T (lengths fixed by the AEAD parameters and the
+/// value width; C has the plaintext's length for every supported AEAD).
+class AeadCellCodec : public CellCodec {
+ public:
+  /// `aead` and `rng` must outlive the codec. With a deterministic AEAD
+  /// (SIV, nonce_size() == 0) the rng is unused and the codec — uniquely
+  /// among the secure ones — reports deterministic() == true.
+  AeadCellCodec(const Aead& aead, Rng& rng) : aead_(aead), rng_(rng) {}
+
+  std::string name() const override { return "aead[" + aead_.name() + "]"; }
+  bool deterministic() const override { return aead_.nonce_size() == 0; }
+  size_t overhead() const override { return aead_.overhead(); }
+
+  StatusOr<Bytes> Encode(BytesView value, const CellAddress& address) override;
+  StatusOr<Bytes> Decode(BytesView stored,
+                         const CellAddress& address) const override;
+
+ private:
+  const Aead& aead_;
+  Rng& rng_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_AEAD_CELL_H_

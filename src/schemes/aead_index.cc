@@ -1,0 +1,50 @@
+#include "schemes/aead_index.h"
+
+namespace sdbenc {
+
+Bytes AeadIndexCodec::AssociatedData(const IndexEntryContext& context) {
+  // (Ref_S, Ref_I), with a leaf/inner marker for good measure: an inner
+  // entry must not verify as a leaf entry even with equal references.
+  Bytes ad = context.EncodeRefS();
+  ad.push_back(context.is_leaf ? 1 : 0);
+  Append(ad, context.ref_i);
+  return ad;
+}
+
+StatusOr<Bytes> AeadIndexCodec::Encode(const IndexEntryPlain& plain,
+                                       const IndexEntryContext& context) {
+  const Bytes nonce = rng_.RandomBytes(aead_.nonce_size());
+  // Plaintext (V, Ref_T): be64(Ref_T) || V, fixed-width field first so the
+  // split-off at decode time is unambiguous for any V.
+  Bytes message = EncodeUint64Be(plain.table_row);
+  Append(message, plain.key);
+  SDBENC_ASSIGN_OR_RETURN(Aead::Sealed sealed,
+                          aead_.Seal(nonce, message,
+                                     AssociatedData(context)));
+  Bytes stored = nonce;
+  Append(stored, sealed.ciphertext);
+  Append(stored, sealed.tag);
+  return stored;
+}
+
+StatusOr<IndexEntryPlain> AeadIndexCodec::Decode(
+    BytesView stored, const IndexEntryContext& context) const {
+  const size_t n = aead_.nonce_size();
+  const size_t t = aead_.tag_size();
+  if (stored.size() < n + t + 8) {
+    return AuthenticationFailedError("stored index entry too short for " +
+                                     aead_.name());
+  }
+  const BytesView nonce = stored.substr(0, n);
+  const BytesView ciphertext = stored.substr(n, stored.size() - n - t);
+  const BytesView tag = stored.substr(stored.size() - t);
+  SDBENC_ASSIGN_OR_RETURN(
+      Bytes message,
+      aead_.Open(nonce, ciphertext, tag, AssociatedData(context)));
+  IndexEntryPlain plain;
+  plain.table_row = DecodeUint64Be(message);
+  plain.key.assign(message.begin() + 8, message.end());
+  return plain;
+}
+
+}  // namespace sdbenc

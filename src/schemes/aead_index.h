@@ -1,0 +1,50 @@
+#ifndef SDBENC_SCHEMES_AEAD_INDEX_H_
+#define SDBENC_SCHEMES_AEAD_INDEX_H_
+
+#include <string>
+
+#include "aead/aead.h"
+#include "btree/entry_codec.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+/// The fixed index encryption scheme (analysed paper §4, eqs. 25–26):
+///
+///   store ( Ref_I, (N, C, T) ) with
+///   (C, T) = AEAD-Enc_k( N, (V, Ref_T), (Ref_S, Ref_I) )
+///
+/// The attribute value and its table reference are encrypted together; the
+/// self reference Ref_S = (t_I, t, c, r_I) and the plaintext structural
+/// references Ref_I ride in the associated data, binding the entry to its
+/// place in *this* index and to the current tree structure. Relocation,
+/// substitution, structure tampering and stale-entry replay all surface as
+/// "invalid".
+///
+/// Stored layout (Ref_I itself lives in the plaintext node structure):
+/// N || C || T with C = AEAD ciphertext of V || be64(Ref_T).
+class AeadIndexCodec : public IndexEntryCodec {
+ public:
+  /// `aead` and `rng` must outlive the codec.
+  AeadIndexCodec(const Aead& aead, Rng& rng) : aead_(aead), rng_(rng) {}
+
+  std::string name() const override {
+    return "aead-index[" + aead_.name() + "]";
+  }
+  bool binds_structure() const override { return true; }
+
+  StatusOr<Bytes> Encode(const IndexEntryPlain& plain,
+                         const IndexEntryContext& context) override;
+  StatusOr<IndexEntryPlain> Decode(
+      BytesView stored, const IndexEntryContext& context) const override;
+
+ private:
+  static Bytes AssociatedData(const IndexEntryContext& context);
+
+  const Aead& aead_;
+  Rng& rng_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_AEAD_INDEX_H_

@@ -1,0 +1,59 @@
+#ifndef SDBENC_SCHEMES_CELL_CODEC_H_
+#define SDBENC_SCHEMES_CELL_CODEC_H_
+
+#include <string>
+
+#include "db/cell_address.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Translates between a cell's plaintext value (already serialized octets)
+/// and its stored form, binding the cell address per the scheme under test.
+/// Encode is non-const because probabilistic codecs draw nonces.
+///
+/// Decode must authenticate position: a ciphertext moved to a different
+/// address, or modified in place, must fail with kAuthenticationFailed —
+/// that is the "data and position authentication" goal of [3] that §3 of the
+/// analysed paper shows the original schemes miss.
+class CellCodec {
+ public:
+  virtual ~CellCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if equal plaintexts at different addresses may produce related
+  /// ciphertexts (deterministic schemes); the pattern-matching benches use
+  /// this to label scheme families.
+  virtual bool deterministic() const = 0;
+
+  /// Storage overhead in octets over the serialized plaintext (may be an
+  /// upper bound for padded schemes).
+  virtual size_t overhead() const = 0;
+
+  virtual StatusOr<Bytes> Encode(BytesView value,
+                                 const CellAddress& address) = 0;
+
+  virtual StatusOr<Bytes> Decode(BytesView stored,
+                                 const CellAddress& address) const = 0;
+};
+
+/// Identity codec for unencrypted columns.
+class PlaintextCellCodec : public CellCodec {
+ public:
+  std::string name() const override { return "plaintext"; }
+  bool deterministic() const override { return true; }
+  size_t overhead() const override { return 0; }
+
+  StatusOr<Bytes> Encode(BytesView value, const CellAddress&) override {
+    return Bytes(value.begin(), value.end());
+  }
+  StatusOr<Bytes> Decode(BytesView stored, const CellAddress&) const override {
+    return Bytes(stored.begin(), stored.end());
+  }
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_CELL_CODEC_H_

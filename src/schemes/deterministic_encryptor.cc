@@ -1,0 +1,49 @@
+#include "schemes/deterministic_encryptor.h"
+
+#include "crypto/modes.h"
+#include "crypto/padding.h"
+
+namespace sdbenc {
+
+std::string DeterministicEncryptor::name() const {
+  return (mode_ == Mode::kCbcZeroIv ? "CBC-zeroIV(" : "ECB(") +
+         cipher_.name() + ")";
+}
+
+StatusOr<Bytes> DeterministicEncryptor::Encrypt(BytesView plaintext) const {
+  const Bytes padded = Pkcs7Pad(plaintext, cipher_.block_size());
+  if (mode_ == Mode::kCbcZeroIv) {
+    return DeterministicCbcEncrypt(cipher_, padded);
+  }
+  return EcbEncrypt(cipher_, padded);
+}
+
+StatusOr<Bytes> DeterministicEncryptor::Decrypt(BytesView ciphertext) const {
+  StatusOr<Bytes> padded = (mode_ == Mode::kCbcZeroIv)
+                               ? DeterministicCbcDecrypt(cipher_, ciphertext)
+                               : EcbDecrypt(cipher_, ciphertext);
+  if (!padded.ok()) return padded.status();
+  return Pkcs7Unpad(padded.value(), cipher_.block_size());
+}
+
+StatusOr<Bytes> DeterministicEncryptor::EncryptBlockRaw(
+    BytesView block) const {
+  if (block.size() != cipher_.block_size()) {
+    return InvalidArgumentError("raw block must be exactly one block");
+  }
+  Bytes out(block.size());
+  cipher_.EncryptBlock(block.data(), out.data());
+  return out;
+}
+
+StatusOr<Bytes> DeterministicEncryptor::DecryptBlockRaw(
+    BytesView block) const {
+  if (block.size() != cipher_.block_size()) {
+    return InvalidArgumentError("raw block must be exactly one block");
+  }
+  Bytes out(block.size());
+  cipher_.DecryptBlock(block.data(), out.data());
+  return out;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,53 @@
+#ifndef SDBENC_SCHEMES_DETERMINISTIC_ENCRYPTOR_H_
+#define SDBENC_SCHEMES_DETERMINISTIC_ENCRYPTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// The paper's "fully deterministic encryption function" E_k (eq. 3),
+/// instantiated exactly as §3 does for the counter-examples: a standard
+/// block cipher in CBC mode with a constant all-zero IV (or, worse, ECB),
+/// with PKCS#5 padding. Determinism is *required* by the schemes of [3]/[12]
+/// so that equality comparisons work on ciphertexts — and it is what every
+/// attack in §3 exploits. This class exists to be attacked; never use it to
+/// protect data.
+class DeterministicEncryptor {
+ public:
+  enum class Mode {
+    kCbcZeroIv,  // the paper's primary counter-example instantiation
+    kEcb,        // "would be even worse" (§3)
+  };
+
+  /// `cipher` must outlive this object.
+  DeterministicEncryptor(const BlockCipher& cipher, Mode mode)
+      : cipher_(cipher), mode_(mode) {}
+
+  const BlockCipher& cipher() const { return cipher_; }
+  size_t block_size() const { return cipher_.block_size(); }
+  Mode mode() const { return mode_; }
+  std::string name() const;
+
+  /// PKCS#5-pads and encrypts; output length is the padded length.
+  StatusOr<Bytes> Encrypt(BytesView plaintext) const;
+
+  /// Decrypts and removes padding.
+  StatusOr<Bytes> Decrypt(BytesView ciphertext) const;
+
+  /// Raw single-block encryption (the XOR-Scheme operates on one block).
+  StatusOr<Bytes> EncryptBlockRaw(BytesView block) const;
+  StatusOr<Bytes> DecryptBlockRaw(BytesView block) const;
+
+ private:
+  const BlockCipher& cipher_;
+  Mode mode_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_DETERMINISTIC_ENCRYPTOR_H_

@@ -1,0 +1,81 @@
+#include "schemes/elovici_cell.h"
+
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+XorSchemeCellCodec::XorSchemeCellCodec(const DeterministicEncryptor& encryptor,
+                                       const MuFunction& mu,
+                                       const ValueDomain& domain)
+    : encryptor_(encryptor), mu_(mu), domain_(domain) {}
+
+StatusOr<Bytes> XorSchemeCellCodec::Encode(BytesView value,
+                                           const CellAddress& address) {
+  const size_t bs = encryptor_.block_size();
+  if (value.size() > bs) {
+    return InvalidArgumentError(
+        "xor-scheme handles single-block values only");
+  }
+  if (mu_.output_size() != bs) {
+    return InvalidArgumentError("µ width must equal the cipher block size");
+  }
+  if (!domain_.Contains(value)) {
+    return InvalidArgumentError("value outside the column domain '" +
+                                domain_.name() + "'");
+  }
+  // V ^ µ with V implicitly zero-extended to the block (paper notation).
+  Bytes block = Xor(value, mu_.Compute(address));
+  return encryptor_.EncryptBlockRaw(block);
+}
+
+StatusOr<Bytes> XorSchemeCellCodec::Decode(BytesView stored,
+                                           const CellAddress& address) const {
+  if (stored.size() != encryptor_.block_size()) {
+    return InvalidArgumentError("xor-scheme ciphertext must be one block");
+  }
+  SDBENC_ASSIGN_OR_RETURN(Bytes block, encryptor_.DecryptBlockRaw(stored));
+  XorInto(block, mu_.Compute(address));
+  // The only integrity check the scheme offers: domain membership.
+  if (!domain_.Contains(block)) {
+    return AuthenticationFailedError(
+        "xor-scheme plaintext outside domain '" + domain_.name() + "'");
+  }
+  return block;
+}
+
+AppendSchemeCellCodec::AppendSchemeCellCodec(
+    const DeterministicEncryptor& encryptor, const MuFunction& mu)
+    : encryptor_(encryptor), mu_(mu) {}
+
+size_t AppendSchemeCellCodec::overhead() const {
+  // Checksum plus worst-case PKCS#5 padding.
+  return mu_.output_size() + encryptor_.block_size();
+}
+
+StatusOr<Bytes> AppendSchemeCellCodec::Encode(BytesView value,
+                                              const CellAddress& address) {
+  const Bytes plaintext = Concat(value, mu_.Compute(address));
+  return encryptor_.Encrypt(plaintext);
+}
+
+StatusOr<Bytes> AppendSchemeCellCodec::Decode(
+    BytesView stored, const CellAddress& address) const {
+  StatusOr<Bytes> plaintext = encryptor_.Decrypt(stored);
+  if (!plaintext.ok()) {
+    // Padding failure is indistinguishable from tampering to the caller.
+    return AuthenticationFailedError("append-scheme padding corrupt");
+  }
+  const Bytes& p = plaintext.value();
+  const size_t mu_len = mu_.output_size();
+  if (p.size() < mu_len) {
+    return AuthenticationFailedError("append-scheme plaintext too short");
+  }
+  const Bytes expected = mu_.Compute(address);
+  const BytesView checksum = BytesView(p).substr(p.size() - mu_len);
+  if (!ConstantTimeEquals(checksum, expected)) {
+    return AuthenticationFailedError("append-scheme address checksum mismatch");
+  }
+  return Bytes(p.begin(), p.end() - static_cast<long>(mu_len));
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,73 @@
+#ifndef SDBENC_SCHEMES_ELOVICI_CELL_H_
+#define SDBENC_SCHEMES_ELOVICI_CELL_H_
+
+#include <memory>
+#include <string>
+
+#include "db/domain.h"
+#include "db/mu.h"
+#include "schemes/cell_codec.h"
+#include "schemes/deterministic_encryptor.h"
+
+namespace sdbenc {
+
+/// The XOR-Scheme of [3] (analysed paper eq. 1):
+///
+///   C = E_k( V ^ µ(t, r, c) )
+///
+/// for single-block, fixed-width values whose type carries enough redundancy
+/// (e.g. b ASCII characters). Decode recovers V = D_k(C) ^ µ(t,r,c) and
+/// "accepts as valid" iff V lies in the column's plaintext domain — the only
+/// integrity the scheme has, and the one §3.1's substitution attack defeats
+/// with an offline partial-collision search over µ.
+class XorSchemeCellCodec : public CellCodec {
+ public:
+  /// `encryptor`, `mu` and `domain` must outlive the codec. µ's output width
+  /// must equal the cipher block size.
+  XorSchemeCellCodec(const DeterministicEncryptor& encryptor,
+                     const MuFunction& mu, const ValueDomain& domain);
+
+  std::string name() const override { return "xor-scheme"; }
+  bool deterministic() const override { return true; }
+  size_t overhead() const override { return 0; }
+
+  StatusOr<Bytes> Encode(BytesView value, const CellAddress& address) override;
+  StatusOr<Bytes> Decode(BytesView stored,
+                         const CellAddress& address) const override;
+
+ private:
+  const DeterministicEncryptor& encryptor_;
+  const MuFunction& mu_;
+  const ValueDomain& domain_;
+};
+
+/// The Append-Scheme of [3] (analysed paper eq. 2):
+///
+///   C = E_k( V || µ(t, r, c) )
+///
+/// used when the data type lacks redundancy. Decode strips and verifies the
+/// address checksum. §3.1 shows this leaks common plaintext prefixes (under
+/// the deterministic E the scheme requires) and admits CBC-splice
+/// existential forgeries that leave the checksum blocks intact.
+class AppendSchemeCellCodec : public CellCodec {
+ public:
+  /// `encryptor` and `mu` must outlive the codec.
+  AppendSchemeCellCodec(const DeterministicEncryptor& encryptor,
+                        const MuFunction& mu);
+
+  std::string name() const override { return "append-scheme"; }
+  bool deterministic() const override { return true; }
+  size_t overhead() const override;
+
+  StatusOr<Bytes> Encode(BytesView value, const CellAddress& address) override;
+  StatusOr<Bytes> Decode(BytesView stored,
+                         const CellAddress& address) const override;
+
+ private:
+  const DeterministicEncryptor& encryptor_;
+  const MuFunction& mu_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_ELOVICI_CELL_H_

@@ -1,0 +1,121 @@
+#include "schemes/elovici_index.h"
+
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+// ------------------------------------------------------------ Index2004
+
+StatusOr<Bytes> Index2004Codec::Encode(const IndexEntryPlain& plain,
+                                       const IndexEntryContext& context) {
+  // inner: V || r_I ; leaf: V || r || r_I (all trailing fields 8 octets).
+  Bytes plaintext = plain.key;
+  if (context.is_leaf) {
+    Append(plaintext, EncodeUint64Be(plain.table_row));
+  }
+  Append(plaintext, EncodeUint64Be(context.entry_ref));
+  return encryptor_.Encrypt(plaintext);
+}
+
+StatusOr<IndexEntryPlain> Index2004Codec::Decode(
+    BytesView stored, const IndexEntryContext& context) const {
+  StatusOr<Bytes> decrypted = encryptor_.Decrypt(stored);
+  if (!decrypted.ok()) {
+    return AuthenticationFailedError("index-2004 padding corrupt");
+  }
+  const Bytes& p = decrypted.value();
+  const size_t trailer = context.is_leaf ? 16 : 8;
+  if (p.size() < trailer) {
+    return AuthenticationFailedError("index-2004 entry too short");
+  }
+  const uint64_t r_i = DecodeUint64Be(BytesView(p).substr(p.size() - 8));
+  if (r_i != context.entry_ref) {
+    // The embedded self-reference is the scheme's only integrity anchor.
+    return AuthenticationFailedError("index-2004 self-reference mismatch");
+  }
+  IndexEntryPlain plain;
+  if (context.is_leaf) {
+    plain.table_row = DecodeUint64Be(BytesView(p).substr(p.size() - 16, 8));
+  }
+  plain.key.assign(p.begin(), p.end() - static_cast<long>(trailer));
+  return plain;
+}
+
+// ------------------------------------------------------------ Index2005
+
+Bytes Index2005Codec::MacInput(BytesView value, uint64_t table_row,
+                               const IndexEntryContext& context) {
+  // V || Ref_I || Ref_T || Ref_S, exactly eq. 7's preimage. V comes first,
+  // which is what lets the §3.3 attack line the MAC's CBC chain up with the
+  // Ẽ ciphertext blocks.
+  Bytes input(value.begin(), value.end());
+  Append(input, context.ref_i);
+  Append(input, EncodeUint64Be(table_row));
+  Append(input, context.EncodeRefS());
+  return input;
+}
+
+StatusOr<Bytes> Index2005Codec::Encode(const IndexEntryPlain& plain,
+                                       const IndexEntryContext& context) {
+  // Ẽ_k(V) = E_k(V || a), a fresh random suffix per encryption (eq. 6).
+  const Bytes a = rng_.RandomBytes(kRandomSuffixLen);
+  SDBENC_ASSIGN_OR_RETURN(Bytes e_tilde,
+                          encryptor_.Encrypt(Concat(plain.key, a)));
+  // E'_k(Ref_T): "ordinary" deterministic encryption of the table reference.
+  SDBENC_ASSIGN_OR_RETURN(
+      Bytes e_ref_t, encryptor_.Encrypt(EncodeUint64Be(plain.table_row)));
+  const Bytes tag =
+      mac_.Compute(MacInput(plain.key, plain.table_row, context));
+
+  Bytes stored(4);
+  PutUint32Be(stored.data(), static_cast<uint32_t>(e_tilde.size()));
+  Append(stored, e_tilde);
+  Append(stored, e_ref_t);
+  Append(stored, tag);
+  return stored;
+}
+
+StatusOr<IndexEntryPlain> Index2005Codec::Decode(
+    BytesView stored, const IndexEntryContext& context) const {
+  // E'(Ref_T) is the PKCS#5-padded encryption of 8 octets.
+  const size_t bs = encryptor_.block_size();
+  const size_t ref_t_len = ((8 / bs) + 1) * bs;
+  const size_t tag_len = mac_.tag_size();
+  if (stored.size() < 4) {
+    return AuthenticationFailedError("index-2005 entry truncated");
+  }
+  const size_t e_tilde_len = GetUint32Be(stored.data());
+  if (stored.size() != 4 + e_tilde_len + ref_t_len + tag_len) {
+    return AuthenticationFailedError("index-2005 entry length mismatch");
+  }
+  const BytesView e_tilde = stored.substr(4, e_tilde_len);
+  const BytesView e_ref_t = stored.substr(4 + e_tilde_len, ref_t_len);
+  const BytesView tag = stored.substr(4 + e_tilde_len + ref_t_len);
+
+  StatusOr<Bytes> v_and_a = encryptor_.Decrypt(e_tilde);
+  if (!v_and_a.ok()) {
+    return AuthenticationFailedError("index-2005 Ẽ padding corrupt");
+  }
+  if (v_and_a.value().size() < kRandomSuffixLen) {
+    return AuthenticationFailedError("index-2005 Ẽ plaintext too short");
+  }
+  // "The removal of the random bits of a" (paper §3.3).
+  Bytes value(v_and_a.value().begin(),
+              v_and_a.value().end() - kRandomSuffixLen);
+
+  StatusOr<Bytes> ref_t_plain = encryptor_.Decrypt(e_ref_t);
+  if (!ref_t_plain.ok() || ref_t_plain.value().size() != 8) {
+    return AuthenticationFailedError("index-2005 Ref_T corrupt");
+  }
+  const uint64_t table_row = DecodeUint64Be(ref_t_plain.value());
+
+  if (!mac_.Verify(MacInput(value, table_row, context), tag)) {
+    return AuthenticationFailedError("index-2005 MAC mismatch");
+  }
+  IndexEntryPlain plain;
+  plain.key = std::move(value);
+  plain.table_row = table_row;
+  return plain;
+}
+
+}  // namespace sdbenc

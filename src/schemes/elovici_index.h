@@ -1,0 +1,91 @@
+#ifndef SDBENC_SCHEMES_ELOVICI_INDEX_H_
+#define SDBENC_SCHEMES_ELOVICI_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "btree/entry_codec.h"
+#include "crypto/mac.h"
+#include "schemes/deterministic_encryptor.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+/// The 2004 index encryption scheme of [3] (analysed paper §2.3, eqs. 4–5):
+/// only the key entries of the B+-tree-as-table are encrypted, structure is
+/// plaintext, and the entry's own row r_I is folded into the plaintext as
+/// the integrity anchor:
+///
+///   inner:  E_k( V || r_I )
+///   leaf:   E_k( (V, r) || r_I )
+///
+/// with the deterministic E the scheme requires. §3.2 shows this leaks
+/// index<->table prefix correlations and admits partial substitutions.
+class Index2004Codec : public IndexEntryCodec {
+ public:
+  /// `encryptor` must outlive the codec.
+  explicit Index2004Codec(const DeterministicEncryptor& encryptor)
+      : encryptor_(encryptor) {}
+
+  std::string name() const override { return "index-2004"; }
+  bool binds_structure() const override { return false; }  // only r_I
+
+  StatusOr<Bytes> Encode(const IndexEntryPlain& plain,
+                         const IndexEntryContext& context) override;
+  StatusOr<IndexEntryPlain> Decode(
+      BytesView stored, const IndexEntryContext& context) const override;
+
+ private:
+  const DeterministicEncryptor& encryptor_;
+};
+
+/// The improved 2005 index encryption scheme of [12] (analysed paper §2.4,
+/// eq. 7): per entry
+///
+///   ( Ẽ_k(V), Ref_I, E'_k(Ref_T), MAC_k(V || Ref_I || Ref_T || Ref_S) )
+///
+/// where Ẽ_k(x) = E_k(x || a) with a fixed-size random suffix (eq. 6), E' is
+/// "ordinary" (deterministic) encryption, and — in the paper's pathological
+/// but specification-compliant instantiation — the MAC is OMAC *under the
+/// same key* as the CBC-zero-IV encryption. §3.3 breaks both halves: the
+/// appended randomness does not stop prefix pattern matching, and the
+/// same-key CBC/OMAC interaction admits tag-preserving ciphertext
+/// modifications. Ref_I stays plaintext in the tree; it is covered by the
+/// MAC, so binds_structure() is true.
+///
+/// Stored layout: be32(|Ẽ|) || Ẽ(V) || E'(Ref_T) || MAC-tag.
+class Index2005Codec : public IndexEntryCodec {
+ public:
+  static constexpr size_t kRandomSuffixLen = 8;  // |a| = 64 bits < one block
+
+  /// `encryptor` (for Ẽ and E'), `mac` and `rng` must outlive the codec.
+  /// Passing a MAC keyed with the *same* key as the encryptor reproduces the
+  /// vulnerable instantiation; an independently keyed MAC gives the
+  /// "separate keys" variant (which still pattern-leaks, but resists the
+  /// §3.3 forgery).
+  Index2005Codec(const DeterministicEncryptor& encryptor,
+                 const MessageAuthenticator& mac, Rng& rng)
+      : encryptor_(encryptor), mac_(mac), rng_(rng) {}
+
+  std::string name() const override { return "index-2005"; }
+  bool binds_structure() const override { return true; }
+
+  StatusOr<Bytes> Encode(const IndexEntryPlain& plain,
+                         const IndexEntryContext& context) override;
+  StatusOr<IndexEntryPlain> Decode(
+      BytesView stored, const IndexEntryContext& context) const override;
+
+  /// The exact MAC preimage of eq. 7, exposed so tests and the §3.3 attack
+  /// can reason about block alignment.
+  static Bytes MacInput(BytesView value, uint64_t table_row,
+                        const IndexEntryContext& context);
+
+ private:
+  const DeterministicEncryptor& encryptor_;
+  const MessageAuthenticator& mac_;
+  Rng& rng_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_SCHEMES_ELOVICI_INDEX_H_

@@ -1,0 +1,89 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+
+namespace sdbenc {
+
+Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes Concat(BytesView a, BytesView b, BytesView c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+Bytes Concat(BytesView a, BytesView b, BytesView c, BytesView d) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size() + d.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  out.insert(out.end(), d.begin(), d.end());
+  return out;
+}
+
+void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes Xor(BytesView a, BytesView b) {
+  // Paper notation: shorter string extended by implicitly appending 0-bits.
+  Bytes out(std::max(a.size(), b.size()), 0);
+  std::copy(a.begin(), a.end(), out.begin());
+  for (size_t i = 0; i < b.size(); ++i) out[i] ^= b[i];
+  return out;
+}
+
+void XorInto(Bytes& a, BytesView b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) a[i] ^= b[i];
+}
+
+Bytes EncodeUint64Be(uint64_t v) {
+  Bytes out(8);
+  PutUint64Be(out.data(), v);
+  return out;
+}
+
+uint64_t DecodeUint64Be(BytesView b) { return GetUint64Be(b.data()); }
+
+void PutUint32Be(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v >> 24);
+  out[1] = static_cast<uint8_t>(v >> 16);
+  out[2] = static_cast<uint8_t>(v >> 8);
+  out[3] = static_cast<uint8_t>(v);
+}
+
+uint32_t GetUint32Be(const uint8_t* in) {
+  return (static_cast<uint32_t>(in[0]) << 24) |
+         (static_cast<uint32_t>(in[1]) << 16) |
+         (static_cast<uint32_t>(in[2]) << 8) | static_cast<uint32_t>(in[3]);
+}
+
+void PutUint64Be(uint8_t* out, uint64_t v) {
+  PutUint32Be(out, static_cast<uint32_t>(v >> 32));
+  PutUint32Be(out + 4, static_cast<uint32_t>(v));
+}
+
+uint64_t GetUint64Be(const uint8_t* in) {
+  return (static_cast<uint64_t>(GetUint32Be(in)) << 32) | GetUint32Be(in + 4);
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,97 @@
+#ifndef SDBENC_UTIL_BYTES_H_
+#define SDBENC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <climits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdbenc {
+
+/// The library's universal octet-string type. All plaintexts, ciphertexts,
+/// keys, nonces and serialized cells are `Bytes`.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view over a byte range, used for read-only parameters.
+/// Implicitly constructible from `Bytes` so call sites stay clean; the
+/// referenced storage must outlive the view.
+class BytesView {
+ public:
+  constexpr BytesView() : data_(nullptr), size_(0) {}
+  constexpr BytesView(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  BytesView(const Bytes& b)  // NOLINT(google-explicit-constructor)
+      : data_(b.data()), size_(b.size()) {}
+
+  constexpr const uint8_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr uint8_t operator[](size_t i) const { return data_[i]; }
+  constexpr const uint8_t* begin() const { return data_; }
+  constexpr const uint8_t* end() const { return data_ + size_; }
+  constexpr uint8_t front() const { return data_[0]; }
+  constexpr uint8_t back() const { return data_[size_ - 1]; }
+
+  /// Sub-view starting at `pos` of at most `len` bytes; `pos` must be
+  /// <= size().
+  constexpr BytesView substr(size_t pos, size_t len = SIZE_MAX) const {
+    const size_t avail = size_ - pos;
+    return BytesView(data_ + pos, len < avail ? len : avail);
+  }
+
+  friend bool operator==(BytesView a, BytesView b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Legacy spelling kept for symmetry with older call sites; BytesView now
+/// converts implicitly from Bytes.
+inline BytesView ToView(const Bytes& b) { return BytesView(b); }
+
+/// Converts a std::string (treated as raw octets) to Bytes.
+Bytes BytesFromString(std::string_view s);
+
+/// Converts Bytes back to a std::string of raw octets.
+std::string StringFromBytes(BytesView b);
+
+/// Returns `a || b` (concatenation).
+Bytes Concat(BytesView a, BytesView b);
+Bytes Concat(BytesView a, BytesView b, BytesView c);
+Bytes Concat(BytesView a, BytesView b, BytesView c, BytesView d);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, BytesView src);
+
+/// XOR of two equal-prefix byte strings, paper §2 "Notation": if the lengths
+/// differ, the shorter operand is implicitly padded with 0-bits, so the
+/// result has the length of the longer operand.
+Bytes Xor(BytesView a, BytesView b);
+
+/// In-place XOR of `b` into `a` over the first min(a.size, b.size) bytes.
+void XorInto(Bytes& a, BytesView b);
+
+/// Big-endian encoding of a 64-bit integer into exactly 8 octets.
+Bytes EncodeUint64Be(uint64_t v);
+
+/// Big-endian decoding of exactly 8 octets. Requires b.size() >= 8.
+uint64_t DecodeUint64Be(BytesView b);
+
+/// Big-endian 32-bit helpers.
+void PutUint32Be(uint8_t* out, uint32_t v);
+uint32_t GetUint32Be(const uint8_t* in);
+void PutUint64Be(uint8_t* out, uint64_t v);
+uint64_t GetUint64Be(const uint8_t* in);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_BYTES_H_

@@ -1,0 +1,24 @@
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+bool ConstantTimeEquals(BytesView a, BytesView b) {
+  // Fold the length difference into the accumulator instead of returning
+  // early, then compare over the longer length against a zero pad.
+  uint8_t acc = static_cast<uint8_t>((a.size() == b.size()) ? 0 : 1);
+  const size_t n = a.size() < b.size() ? b.size() : a.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t x = i < a.size() ? a[i] : 0;
+    const uint8_t y = i < b.size() ? b[i] : 0;
+    acc |= static_cast<uint8_t>(x ^ y);
+  }
+  return acc == 0;
+}
+
+void SecureWipe(Bytes& b) {
+  volatile uint8_t* p = b.data();
+  for (size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,21 @@
+#ifndef SDBENC_UTIL_CONSTANT_TIME_H_
+#define SDBENC_UTIL_CONSTANT_TIME_H_
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Timing-safe equality comparison of two byte strings. Always inspects every
+/// byte of both inputs; returns false on length mismatch. Use this — never
+/// operator== — for authentication-tag and checksum verification, so that a
+/// verification oracle does not leak the position of the first mismatch.
+bool ConstantTimeEquals(BytesView a, BytesView b);
+
+/// Best-effort zeroisation of key material that should not linger in memory
+/// (paper threat model: keys are handed to the server for the session and
+/// "securely removed at the end").
+void SecureWipe(Bytes& b);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_CONSTANT_TIME_H_

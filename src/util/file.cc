@@ -1,0 +1,44 @@
+#include "util/file.h"
+
+#include <cstdio>
+
+namespace sdbenc {
+
+StatusOr<Bytes> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFoundError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return InternalError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(static_cast<size_t>(size));
+  const size_t read =
+      size == 0 ? 0 : std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) return InternalError("short read on " + path);
+  return data;
+}
+
+Status WriteFileAtomic(const std::string& path, BytesView data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return InternalError("cannot create " + tmp);
+  const size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != data.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return InternalError("short write on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename " + tmp + " to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,20 @@
+#ifndef SDBENC_UTIL_FILE_H_
+#define SDBENC_UTIL_FILE_H_
+
+#include <string>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Reads a whole file into memory.
+StatusOr<Bytes> ReadFile(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing file. Uses a temp-file +
+/// rename so a crash mid-write never leaves a half-written database image.
+Status WriteFileAtomic(const std::string& path, BytesView data);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_FILE_H_

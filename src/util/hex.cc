@@ -1,0 +1,56 @@
+#include "util/hex.h"
+
+#include <cstdlib>
+
+namespace sdbenc {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(BytesView b) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+StatusOr<Bytes> HexDecode(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (c == ' ' || c == '\t' || c == '\n') continue;
+    int d = HexDigit(c);
+    if (d < 0) {
+      return InvalidArgumentError("non-hex character in input");
+    }
+    if (hi < 0) {
+      hi = d;
+    } else {
+      out.push_back(static_cast<uint8_t>((hi << 4) | d));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return InvalidArgumentError("odd number of hex digits");
+  return out;
+}
+
+Bytes MustHexDecode(std::string_view hex) {
+  StatusOr<Bytes> out = HexDecode(hex);
+  if (!out.ok()) std::abort();
+  return std::move(out).value();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,25 @@
+#ifndef SDBENC_UTIL_HEX_H_
+#define SDBENC_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Lower-case hex encoding of `b` ("deadbeef").
+std::string HexEncode(BytesView b);
+
+/// Decodes a hex string (case-insensitive, optional interior spaces, as used
+/// in NIST/RFC test-vector listings). Fails on odd digit count or non-hex
+/// characters.
+StatusOr<Bytes> HexDecode(std::string_view hex);
+
+/// Test helper: decodes or aborts. Only for use with literal known-good hex.
+Bytes MustHexDecode(std::string_view hex);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_HEX_H_

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace sdbenc {
+
+Bytes Rng::RandomBytes(size_t len) {
+  Bytes out(len);
+  if (len > 0) Fill(out.data(), len);
+  return out;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = bound * ((~uint64_t{0}) / bound);
+  uint64_t v;
+  do {
+    uint8_t raw[8];
+    Fill(raw, 8);
+    std::memcpy(&v, raw, 8);
+  } while (v >= limit);
+  return v % bound;
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+DeterministicRng::DeterministicRng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t DeterministicRng::Next() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void DeterministicRng::Fill(uint8_t* out, size_t len) {
+  while (len >= 8) {
+    uint64_t v = Next();
+    std::memcpy(out, &v, 8);
+    out += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t v = Next();
+    std::memcpy(out, &v, len);
+  }
+}
+
+SystemRng::SystemRng() : fd_(open("/dev/urandom", O_RDONLY)) {
+  fallback_state_ = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+SystemRng::~SystemRng() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void SystemRng::Fill(uint8_t* out, size_t len) {
+  size_t done = 0;
+  while (fd_ >= 0 && done < len) {
+    ssize_t n = read(fd_, out + done, len - done);
+    if (n <= 0) break;
+    done += static_cast<size_t>(n);
+  }
+  if (done < len) {
+    // Degraded fallback; keeps the library functional in sandboxes without
+    // /dev/urandom. Not cryptographically strong.
+    while (done < len) {
+      out[done++] = static_cast<uint8_t>(SplitMix64(fallback_state_));
+    }
+  }
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,61 @@
+#ifndef SDBENC_UTIL_RNG_H_
+#define SDBENC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Random-byte source used for keys, nonces and the non-deterministic
+/// encryption suffix `a` of the improved index scheme (paper eq. 6).
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out[0..len)` with random octets.
+  virtual void Fill(uint8_t* out, size_t len) = 0;
+
+  /// Returns `len` random octets.
+  Bytes RandomBytes(size_t len);
+
+  /// Returns a uniformly distributed value in [0, bound). bound must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+};
+
+/// Deterministic, seedable RNG (xoshiro256**). Used everywhere in tests and
+/// benches so that experiments are exactly reproducible; NOT suitable as a
+/// cryptographic generator for production keys.
+class DeterministicRng : public Rng {
+ public:
+  explicit DeterministicRng(uint64_t seed);
+
+  void Fill(uint8_t* out, size_t len) override;
+
+  /// Returns the next raw 64-bit output of the generator.
+  uint64_t Next();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// OS-entropy-backed RNG (reads /dev/urandom; falls back to a
+/// DeterministicRng seeded from the clock if unavailable).
+class SystemRng : public Rng {
+ public:
+  SystemRng();
+  ~SystemRng() override;
+
+  SystemRng(const SystemRng&) = delete;
+  SystemRng& operator=(const SystemRng&) = delete;
+
+  void Fill(uint8_t* out, size_t len) override;
+
+ private:
+  int fd_;
+  uint64_t fallback_state_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_RNG_H_

@@ -1,0 +1,86 @@
+#ifndef SDBENC_UTIL_STATUS_H_
+#define SDBENC_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sdbenc {
+
+/// Canonical error codes, modelled on the subset of absl::StatusCode this
+/// library needs. `kAuthenticationFailed` is the dedicated code raised when
+/// an AEAD tag or an address checksum does not verify: callers of the secure
+/// schemes must treat it as evidence of tampering, not as a soft error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kAuthenticationFailed,
+};
+
+/// Returns the canonical name of `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier used throughout the library instead of
+/// exceptions (the database-domain style guides for this project forbid
+/// them). A `Status` is either OK or holds a code plus a human-readable
+/// message describing what failed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as e.g. `INVALID_ARGUMENT: key must be 16 bytes`.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status AuthenticationFailedError(std::string message);
+
+}  // namespace sdbenc
+
+/// Evaluates `expr` (a `Status` expression) and returns it from the enclosing
+/// function if it is not OK.
+#define SDBENC_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::sdbenc::Status _sdbenc_status = (expr);          \
+    if (!_sdbenc_status.ok()) return _sdbenc_status;   \
+  } while (false)
+
+#endif  // SDBENC_UTIL_STATUS_H_

@@ -1,0 +1,73 @@
+#ifndef SDBENC_UTIL_STATUSOR_H_
+#define SDBENC_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace sdbenc {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing `value()` on an error-state object aborts;
+/// callers must check `ok()` first (or use SDBENC_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and aborts.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) std::abort();
+  }
+
+  /// Constructs from a value; the resulting object is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sdbenc
+
+#define SDBENC_STATUS_CONCAT_INNER_(x, y) x##y
+#define SDBENC_STATUS_CONCAT_(x, y) SDBENC_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates `expr` (a `StatusOr<T>` expression); on error returns the status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define SDBENC_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto SDBENC_STATUS_CONCAT_(_sdbenc_sor_, __LINE__) = (expr);    \
+  if (!SDBENC_STATUS_CONCAT_(_sdbenc_sor_, __LINE__).ok())        \
+    return SDBENC_STATUS_CONCAT_(_sdbenc_sor_, __LINE__).status();\
+  lhs = std::move(SDBENC_STATUS_CONCAT_(_sdbenc_sor_, __LINE__)).value()
+
+#endif  // SDBENC_UTIL_STATUSOR_H_

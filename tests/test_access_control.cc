@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "core/blind_navigation.h"
+#include "core/restricted_reader.h"
+#include "core/secure_database.h"
+
+namespace sdbenc {
+namespace {
+
+Schema PayrollSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true},
+                 {"salary", ValueType::kInt64, true},
+                 {"team", ValueType::kString, false}});
+}
+
+class AccessControlTest : public ::testing::Test {
+ protected:
+  AccessControlTest() {
+    db_ = std::move(SecureDatabase::Open(Bytes(32, 0x3c), 808).value());
+    SecureTableOptions options;
+    options.indexed_columns = {"id"};
+    EXPECT_TRUE(db_->CreateTable("payroll", PayrollSchema(), options).ok());
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(db_->Insert("payroll",
+                              {Value::Int(i),
+                               Value::Str("emp" + std::to_string(i)),
+                               Value::Int(50000 + i * 1000),
+                               Value::Str(i % 2 ? "a" : "b")})
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<SecureDatabase> db_;
+};
+
+TEST_F(AccessControlTest, GrantedColumnsAreReadable) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  ASSERT_TRUE(grant.ok());
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant);
+  ASSERT_TRUE(reader.ok());
+
+  auto name = (*reader)->GetCell("payroll", 5, 1);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, Value::Str("emp5"));
+  EXPECT_TRUE((*reader)->CanRead("payroll", "name"));
+}
+
+TEST_F(AccessControlTest, UngrantedColumnsAreCryptographicallyClosed) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant).value();
+
+  // salary is a different column with an independent key: the reader holds
+  // no key for it, so the failure is by construction, not by policy check.
+  auto salary = reader->GetCell("payroll", 5, 2);
+  EXPECT_FALSE(salary.ok());
+  EXPECT_EQ(salary.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(reader->CanRead("payroll", "salary"));
+  // id too.
+  EXPECT_FALSE(reader->GetCell("payroll", 5, 0).ok());
+}
+
+TEST_F(AccessControlTest, ClearColumnsNeedNoGrant) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant).value();
+  auto team = reader->GetCell("payroll", 4, 3);
+  ASSERT_TRUE(team.ok());
+  EXPECT_EQ(*team, Value::Str("b"));
+  EXPECT_TRUE(reader->CanRead("payroll", "team"));
+}
+
+TEST_F(AccessControlTest, ScanQueriesWorkOnGrantedColumns) {
+  auto grant = db_->GrantRead("payroll", {"salary"});
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant).value();
+  auto rows = reader->FindRows("payroll", "salary", Value::Int(57000));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], 7u);
+  // Scans over ungranted columns fail (no key for the filter column).
+  EXPECT_FALSE(reader->FindRows("payroll", "name", Value::Str("emp7")).ok());
+}
+
+TEST_F(AccessControlTest, GrantSerializationRoundTrips) {
+  auto grant = db_->GrantRead("payroll", {"name", "salary"});
+  ASSERT_TRUE(grant.ok());
+  const Bytes wire = grant->Serialize();
+  auto restored = KeyGrant::Deserialize(wire);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->entries.size(), 2u);
+  auto reader = RestrictedReader::Open(&db_->storage(), *restored).value();
+  EXPECT_TRUE(reader->GetCell("payroll", 1, 1).ok());
+  EXPECT_TRUE(reader->GetCell("payroll", 1, 2).ok());
+
+  // Corrupt bundles are rejected cleanly.
+  Bytes bad = wire;
+  bad.resize(bad.size() / 2);
+  EXPECT_FALSE(KeyGrant::Deserialize(bad).ok());
+}
+
+TEST_F(AccessControlTest, GrantErrors) {
+  EXPECT_FALSE(db_->GrantRead("missing", {"name"}).ok());
+  EXPECT_FALSE(db_->GrantRead("payroll", {"ghost"}).ok());
+  // Clear columns have no key to grant.
+  EXPECT_FALSE(db_->GrantRead("payroll", {"team"}).ok());
+}
+
+TEST_F(AccessControlTest, ReaderDetectsTampering) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant).value();
+  Table* raw = db_->storage().GetTable("payroll").value();
+  (*raw->mutable_cell(3, 1).value())[2] ^= 0x01;
+  auto cell = reader->GetCell("payroll", 3, 1);
+  EXPECT_FALSE(cell.ok());
+  EXPECT_EQ(cell.status().code(), StatusCode::kAuthenticationFailed);
+}
+
+TEST_F(AccessControlTest, RotationRevokesOutstandingGrants) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  ASSERT_TRUE(db_->RotateMasterKey(Bytes(32, 0x7e)).ok());
+  // The old bundle's keys no longer open the rotated ciphertexts.
+  auto reader = RestrictedReader::Open(&db_->storage(), *grant).value();
+  auto cell = reader->GetCell("payroll", 5, 1);
+  EXPECT_FALSE(cell.ok());
+  EXPECT_EQ(cell.status().code(), StatusCode::kAuthenticationFailed);
+  // A fresh grant under the new key works.
+  auto fresh = db_->GrantRead("payroll", {"name"});
+  auto reader2 = RestrictedReader::Open(&db_->storage(), *fresh).value();
+  EXPECT_TRUE(reader2->GetCell("payroll", 5, 1).ok());
+}
+
+TEST_F(AccessControlTest, IndexGrantEnablesBlindNavigation) {
+  // The owner grants only the id-index key; the principal runs the
+  // Remark-1 protocol against the engine's tree and resolves point queries
+  // themselves — the engine never decrypts for them.
+  auto grant = db_->GrantIndex("payroll", "id");
+  ASSERT_TRUE(grant.ok());
+  ASSERT_EQ(grant->entries.size(), 1u);
+  EXPECT_TRUE(grant->entries[0].is_index_key);
+
+  // Bundle survives the wire.
+  auto restored = KeyGrant::Deserialize(grant->Serialize());
+  ASSERT_TRUE(restored.ok());
+  auto client_stack = GrantedIndexCodec::FromGrant(restored->entries[0]);
+  ASSERT_TRUE(client_stack.ok());
+
+  const auto* state = db_->GetTableState("payroll").value();
+  BlindIndexServer server(state->indexes[0].index->tree());
+  BlindIndexClient client(client_stack->codec.get());
+  BlindQuerySession session(server, client);
+  auto rows = session.Find(Value::Int(13).SerializeComparable());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], 13u);
+  EXPECT_GE(session.stats().rounds, 2u);
+
+  // A cell-key grant cannot stand in for an index key, and vice versa.
+  auto cell_grant = db_->GrantRead("payroll", {"id"});
+  EXPECT_FALSE(GrantedIndexCodec::FromGrant(cell_grant->entries[0]).ok());
+
+  // A wrong index key decodes nothing.
+  KeyGrant forged = *grant;
+  forged.entries[0].key[0] ^= 1;
+  auto bad_stack = GrantedIndexCodec::FromGrant(forged.entries[0]).value();
+  BlindIndexClient bad_client(bad_stack.codec.get());
+  BlindQuerySession bad_session(server, bad_client);
+  auto denied = bad_session.Find(Value::Int(13).SerializeComparable());
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kAuthenticationFailed);
+
+  // GrantIndex on an unindexed column is refused.
+  EXPECT_FALSE(db_->GrantIndex("payroll", "salary").ok());
+}
+
+TEST_F(AccessControlTest, WipeClearsKeys) {
+  auto grant = db_->GrantRead("payroll", {"name"});
+  ASSERT_FALSE(grant->entries.empty());
+  grant->Wipe();
+  EXPECT_TRUE(grant->entries.empty());
+}
+
+TEST_F(AccessControlTest, GrantDoesNotLeakOtherColumnsViaSameKey) {
+  // Regression guard for the per-column key refactor: the name key must
+  // not decrypt salary cells even when presented as if it could.
+  auto name_grant = db_->GrantRead("payroll", {"name"});
+  KeyGrant forged = *name_grant;
+  forged.entries[0].column = 2;           // claim it is the salary key
+  forged.entries[0].column_name = "salary";
+  auto reader = RestrictedReader::Open(&db_->storage(), forged).value();
+  auto salary = reader->GetCell("payroll", 5, 2);
+  EXPECT_FALSE(salary.ok());
+  EXPECT_EQ(salary.status().code(), StatusCode::kAuthenticationFailed);
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+Bytes EncryptOne(const BlockCipher& c, const Bytes& pt) {
+  Bytes ct(c.block_size());
+  c.EncryptBlock(pt.data(), ct.data());
+  return ct;
+}
+
+Bytes DecryptOne(const BlockCipher& c, const Bytes& ct) {
+  Bytes pt(c.block_size());
+  c.DecryptBlock(ct.data(), pt.data());
+  return pt;
+}
+
+// FIPS-197 Appendix C known-answer vectors.
+TEST(AesTest, Fips197Aes128) {
+  auto aes = Aes::Create(MustHexDecode("000102030405060708090a0b0c0d0e0f"));
+  ASSERT_TRUE(aes.ok());
+  const Bytes pt = MustHexDecode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(HexEncode(EncryptOne(**aes, pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(DecryptOne(**aes, EncryptOne(**aes, pt)), pt);
+}
+
+TEST(AesTest, Fips197Aes192) {
+  auto aes = Aes::Create(
+      MustHexDecode("000102030405060708090a0b0c0d0e0f1011121314151617"));
+  ASSERT_TRUE(aes.ok());
+  const Bytes pt = MustHexDecode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(HexEncode(EncryptOne(**aes, pt)),
+            "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  auto aes = Aes::Create(MustHexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  ASSERT_TRUE(aes.ok());
+  const Bytes pt = MustHexDecode("00112233445566778899aabbccddeeff");
+  EXPECT_EQ(HexEncode(EncryptOne(**aes, pt)),
+            "8ea2b7ca516745bfeafc49904b496089");
+}
+
+// FIPS-197 Appendix B (the worked example with a different key).
+TEST(AesTest, Fips197AppendixB) {
+  auto aes = Aes::Create(MustHexDecode("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.ok());
+  const Bytes pt = MustHexDecode("3243f6a8885a308d313198a2e0370734");
+  EXPECT_EQ(HexEncode(EncryptOne(**aes, pt)),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesTest, RejectsBadKeySizes) {
+  for (size_t len : {0u, 1u, 15u, 17u, 23u, 31u, 33u, 64u}) {
+    EXPECT_FALSE(Aes::Create(Bytes(len, 0)).ok()) << len;
+  }
+}
+
+TEST(AesTest, NameReflectsKeySize) {
+  EXPECT_EQ((*Aes::Create(Bytes(16, 0)))->name(), "AES-128");
+  EXPECT_EQ((*Aes::Create(Bytes(24, 0)))->name(), "AES-192");
+  EXPECT_EQ((*Aes::Create(Bytes(32, 0)))->name(), "AES-256");
+}
+
+TEST(AesTest, InPlaceEncryptionAliasingWorks) {
+  auto aes = Aes::Create(Bytes(16, 0x42)).value();
+  Bytes buf = MustHexDecode("00112233445566778899aabbccddeeff");
+  const Bytes expected = EncryptOne(*aes, buf);
+  aes->EncryptBlock(buf.data(), buf.data());
+  EXPECT_EQ(buf, expected);
+  aes->DecryptBlock(buf.data(), buf.data());
+  EXPECT_EQ(HexEncode(buf), "00112233445566778899aabbccddeeff");
+}
+
+class AesRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AesRoundTripTest, RandomRoundTrips) {
+  DeterministicRng rng(GetParam());
+  const Bytes key = rng.RandomBytes(GetParam());
+  auto aes = Aes::Create(key).value();
+  for (int i = 0; i < 200; ++i) {
+    const Bytes pt = rng.RandomBytes(16);
+    EXPECT_EQ(DecryptOne(*aes, EncryptOne(*aes, pt)), pt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesRoundTripTest,
+                         ::testing::Values(16, 24, 32));
+
+TEST(AesTest, DifferentKeysGiveDifferentCiphertexts) {
+  auto a = Aes::Create(Bytes(16, 1)).value();
+  auto b = Aes::Create(Bytes(16, 2)).value();
+  const Bytes pt(16, 0);
+  EXPECT_NE(EncryptOne(*a, pt), EncryptOne(*b, pt));
+}
+
+TEST(AesTest, AvalancheSingleBitFlipChangesManyBits) {
+  auto aes = Aes::Create(Bytes(16, 0x5a)).value();
+  Bytes pt(16, 0);
+  const Bytes c0 = EncryptOne(*aes, pt);
+  pt[0] ^= 1;
+  const Bytes c1 = EncryptOne(*aes, pt);
+  int differing_bits = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    differing_bits += __builtin_popcount(c0[i] ^ c1[i]);
+  }
+  // Expect roughly 64 of 128 bits to flip; anything above 30 shows strong
+  // diffusion, anything below would indicate a broken round function.
+  EXPECT_GT(differing_bits, 30);
+}
+
+TEST(AesTest, PermutationHasNoObviousFixedStructure) {
+  auto aes = Aes::Create(Bytes(16, 0x77)).value();
+  // Encrypting two distinct blocks never collides (it's a permutation).
+  DeterministicRng rng(1);
+  const Bytes a = rng.RandomBytes(16);
+  Bytes b = a;
+  b[15] ^= 0x80;
+  EXPECT_NE(EncryptOne(*aes, a), EncryptOne(*aes, b));
+}
+
+}  // namespace
+}  // namespace sdbenc

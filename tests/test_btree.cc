@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "aead/factory.h"
+#include "btree/bplus_tree.h"
+#include "crypto/aes.h"
+#include "crypto/mac.h"
+#include "schemes/aead_index.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_index.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+enum class CodecKind {
+  kPlain,
+  kIndex2004,
+  kIndex2005SameKey,
+  kIndex2005SeparateKeys,
+  kAeadEax,
+  kAeadGcm,
+  kAeadSiv,
+};
+
+const char* KindName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kPlain: return "plain";
+    case CodecKind::kIndex2004: return "index2004";
+    case CodecKind::kIndex2005SameKey: return "index2005same";
+    case CodecKind::kIndex2005SeparateKeys: return "index2005sep";
+    case CodecKind::kAeadEax: return "aeadEax";
+    case CodecKind::kAeadGcm: return "aeadGcm";
+    case CodecKind::kAeadSiv: return "aeadSiv";
+  }
+  return "unknown";
+}
+
+/// Owns the whole codec stack for one kind.
+struct CodecStack {
+  std::unique_ptr<Aes> enc_cipher;
+  std::unique_ptr<Aes> mac_cipher;
+  std::unique_ptr<DeterministicEncryptor> encryptor;
+  std::unique_ptr<Cmac> mac;
+  std::unique_ptr<Aead> aead;
+  std::unique_ptr<DeterministicRng> rng;
+  std::unique_ptr<IndexEntryCodec> codec;
+};
+
+CodecStack MakeStack(CodecKind kind) {
+  CodecStack s;
+  s.rng = std::make_unique<DeterministicRng>(101);
+  s.enc_cipher = std::move(Aes::Create(Bytes(16, 0x42)).value());
+  s.encryptor = std::make_unique<DeterministicEncryptor>(
+      *s.enc_cipher, DeterministicEncryptor::Mode::kCbcZeroIv);
+  switch (kind) {
+    case CodecKind::kPlain:
+      s.codec = std::make_unique<PlainIndexEntryCodec>();
+      break;
+    case CodecKind::kIndex2004:
+      s.codec = std::make_unique<Index2004Codec>(*s.encryptor);
+      break;
+    case CodecKind::kIndex2005SameKey:
+      s.mac = std::make_unique<Cmac>(*s.enc_cipher);
+      s.codec = std::make_unique<Index2005Codec>(*s.encryptor, *s.mac,
+                                                 *s.rng);
+      break;
+    case CodecKind::kIndex2005SeparateKeys:
+      s.mac_cipher = std::move(Aes::Create(Bytes(16, 0x43)).value());
+      s.mac = std::make_unique<Cmac>(*s.mac_cipher);
+      s.codec = std::make_unique<Index2005Codec>(*s.encryptor, *s.mac,
+                                                 *s.rng);
+      break;
+    case CodecKind::kAeadEax:
+      s.aead = std::move(
+          CreateAead(AeadAlgorithm::kEax, Bytes(16, 0x44)).value());
+      s.codec = std::make_unique<AeadIndexCodec>(*s.aead, *s.rng);
+      break;
+    case CodecKind::kAeadGcm:
+      s.aead = std::move(
+          CreateAead(AeadAlgorithm::kGcm, Bytes(16, 0x44)).value());
+      s.codec = std::make_unique<AeadIndexCodec>(*s.aead, *s.rng);
+      break;
+    case CodecKind::kAeadSiv:
+      s.aead = std::move(
+          CreateAead(AeadAlgorithm::kSiv, Bytes(32, 0x44)).value());
+      s.codec = std::make_unique<AeadIndexCodec>(*s.aead, *s.rng);
+      break;
+  }
+  return s;
+}
+
+class BPlusTreeCodecTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(BPlusTreeCodecTest, SequentialInsertFindAll) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 900, 1, 0, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i), i).ok()) << i;
+  }
+  ASSERT_TRUE(tree.CheckStructure().ok());
+  EXPECT_EQ(tree.num_entries(), 200u);
+  EXPECT_GT(tree.height(), 2u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    auto rows = tree.Find(EncodeUint64Be(i));
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 1u) << i;
+    EXPECT_EQ((*rows)[0], i);
+  }
+  EXPECT_TRUE(tree.Find(EncodeUint64Be(999))->empty());
+}
+
+TEST_P(BPlusTreeCodecTest, RandomWorkloadAgainstOracle) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 901, 1, 0, 6);
+  DeterministicRng rng(55);
+  std::multimap<Bytes, uint64_t> oracle;
+  for (uint64_t i = 0; i < 300; ++i) {
+    // Narrow key space forces duplicates.
+    const Bytes key = EncodeUint64Be(rng.UniformUint64(40));
+    ASSERT_TRUE(tree.Insert(key, i).ok());
+    oracle.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.CheckStructure().ok());
+  for (uint64_t k = 0; k < 40; ++k) {
+    const Bytes key = EncodeUint64Be(k);
+    auto rows = tree.Find(key);
+    ASSERT_TRUE(rows.ok());
+    auto [lo, hi] = oracle.equal_range(key);
+    std::vector<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::vector<uint64_t> got = *rows;
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "key " << k;
+  }
+}
+
+TEST_P(BPlusTreeCodecTest, RangeQueriesMatchOracle) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 902, 1, 0, 8);
+  DeterministicRng rng(66);
+  std::multimap<uint64_t, uint64_t> oracle;
+  for (uint64_t i = 0; i < 250; ++i) {
+    const uint64_t k = rng.UniformUint64(1000);
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(k), i).ok());
+    oracle.emplace(k, i);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t lo = rng.UniformUint64(1000);
+    uint64_t hi = rng.UniformUint64(1000);
+    if (lo > hi) std::swap(lo, hi);
+    auto rows = tree.Range(EncodeUint64Be(lo), EncodeUint64Be(hi));
+    ASSERT_TRUE(rows.ok());
+    std::vector<uint64_t> expected;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      expected.push_back(it->second);
+    }
+    std::vector<uint64_t> got = *rows;
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(BPlusTreeCodecTest, RemoveThenStructureHolds) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 903, 1, 0, 4);
+  for (uint64_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i % 30), i).ok());
+  }
+  for (uint64_t i = 0; i < 120; i += 2) {
+    ASSERT_TRUE(tree.Remove(EncodeUint64Be(i % 30), i).ok()) << i;
+  }
+  EXPECT_EQ(tree.num_entries(), 60u);
+  ASSERT_TRUE(tree.CheckStructure().ok());
+  // Removed entries are gone, kept ones remain.
+  auto rows = tree.Find(EncodeUint64Be(1));
+  ASSERT_TRUE(rows.ok());
+  for (uint64_t r : *rows) EXPECT_EQ(r % 2, 1u);
+  EXPECT_FALSE(tree.Remove(EncodeUint64Be(1), 999).ok());
+}
+
+TEST_P(BPlusTreeCodecTest, VariableLengthKeys) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 904, 1, 0, 4);
+  std::vector<std::string> keys = {"a", "ab", "abc", "b", "ba", "z",
+                                   "a-very-long-key-spanning-multiple-"
+                                   "blocks-of-the-underlying-cipher....."};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (int dup = 0; dup < 5; ++dup) {
+      ASSERT_TRUE(
+          tree.Insert(BytesFromString(keys[i]), i * 10 + dup).ok());
+    }
+  }
+  ASSERT_TRUE(tree.CheckStructure().ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto rows = tree.Find(BytesFromString(keys[i]));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 5u) << keys[i];
+  }
+  // "a" must not match "ab".
+  auto rows = tree.Range(BytesFromString("a"), BytesFromString("a"));
+  EXPECT_EQ(rows->size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, BPlusTreeCodecTest,
+    ::testing::Values(CodecKind::kPlain, CodecKind::kIndex2004,
+                      CodecKind::kIndex2005SameKey,
+                      CodecKind::kIndex2005SeparateKeys, CodecKind::kAeadEax,
+                      CodecKind::kAeadGcm, CodecKind::kAeadSiv),
+    [](const ::testing::TestParamInfo<CodecKind>& info) {
+      return KindName(info.param);
+    });
+
+class BPlusTreeOrderTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BPlusTreeOrderTest, FanOutSweep) {
+  PlainIndexEntryCodec codec;
+  BPlusTree tree(&codec, 905, 1, 0, GetParam());
+  DeterministicRng rng(9);
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(rng.UniformUint64(100000)), i).ok());
+  }
+  EXPECT_TRUE(tree.CheckStructure().ok());
+  EXPECT_EQ(tree.num_entries(), 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BPlusTreeOrderTest,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+TEST(BPlusTreeTest, TamperedEntrySurfacesAsAuthFailure) {
+  CodecStack stack = MakeStack(CodecKind::kAeadEax);
+  BPlusTree tree(stack.codec.get(), 906, 1, 0, 4);
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i), i).ok());
+  }
+  // Adversary flips one byte of some stored entry.
+  auto dump = tree.DumpStoredEntries();
+  ASSERT_FALSE(dump.empty());
+  Bytes* target = tree.MutableStoredEntry(dump[dump.size() / 2].entry_ref);
+  ASSERT_NE(target, nullptr);
+  (*target)[target->size() / 2] ^= 0x01;
+  // Some operation touching that entry must fail with auth error.
+  const Status status = tree.CheckStructure();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAuthenticationFailed);
+}
+
+TEST(BPlusTreeTest, EncodeCountersExposeMaintenanceCost) {
+  // Structure-binding codecs must re-encrypt on splits; the plain codec
+  // encodes each entry exactly once per insert.
+  CodecStack plain = MakeStack(CodecKind::kPlain);
+  BPlusTree plain_tree(plain.codec.get(), 907, 1, 0, 4);
+  CodecStack aead = MakeStack(CodecKind::kAeadEax);
+  BPlusTree aead_tree(aead.codec.get(), 907, 1, 0, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(plain_tree.Insert(EncodeUint64Be(i), i).ok());
+    ASSERT_TRUE(aead_tree.Insert(EncodeUint64Be(i), i).ok());
+  }
+  // Plain codec: one encode per new entry (leaf entries + promoted
+  // separators), never re-encodes on splits.
+  EXPECT_GE(plain_tree.encode_calls(), 200u);
+  EXPECT_LT(plain_tree.encode_calls(), 420u);
+  // Structure-binding AEAD codec additionally re-encrypts entries whose
+  // Ref_I changed on every split.
+  EXPECT_GT(aead_tree.encode_calls(), plain_tree.encode_calls());
+}
+
+TEST(BPlusTreeTest, ContextOfFindsEntries) {
+  CodecStack stack = MakeStack(CodecKind::kIndex2005SameKey);
+  BPlusTree tree(&*stack.codec, 908, 3, 2, 4);
+  ASSERT_TRUE(tree.Insert(EncodeUint64Be(1), 10).ok());
+  auto dump = tree.DumpStoredEntries();
+  ASSERT_EQ(dump.size(), 1u);
+  auto ctx = tree.ContextOf(dump[0].entry_ref);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx->index_table_id, 908u);
+  EXPECT_EQ(ctx->indexed_table_id, 3u);
+  EXPECT_EQ(ctx->indexed_column, 2u);
+  EXPECT_TRUE(ctx->is_leaf);
+  EXPECT_FALSE(tree.ContextOf(424242).ok());
+}
+
+class BulkLoadTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(BulkLoadTest, EquivalentToIncrementalBuild) {
+  CodecStack bulk_stack = MakeStack(GetParam());
+  CodecStack inc_stack = MakeStack(GetParam());
+  BPlusTree bulk_tree(bulk_stack.codec.get(), 910, 1, 0, 6);
+  BPlusTree inc_tree(inc_stack.codec.get(), 910, 1, 0, 6);
+  DeterministicRng rng(77);
+  std::vector<std::pair<Bytes, uint64_t>> pairs;
+  for (uint64_t i = 0; i < 500; ++i) {
+    // Duplicates included.
+    pairs.emplace_back(EncodeUint64Be(rng.UniformUint64(120)), i);
+  }
+  for (const auto& [k, r] : pairs) {
+    ASSERT_TRUE(inc_tree.Insert(k, r).ok());
+  }
+  ASSERT_TRUE(bulk_tree.BulkLoad(pairs).ok());
+  ASSERT_TRUE(bulk_tree.CheckStructure().ok());
+  EXPECT_EQ(bulk_tree.num_entries(), 500u);
+  for (uint64_t k = 0; k < 120; ++k) {
+    auto a = bulk_tree.Find(EncodeUint64Be(k));
+    auto b = inc_tree.Find(EncodeUint64Be(k));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::vector<uint64_t> va = *a, vb = *b;
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    EXPECT_EQ(va, vb) << k;
+  }
+  // The whole point: bulk load encrypts each entry (leaf + separator)
+  // exactly once — far fewer encryptions than the incremental build, which
+  // re-encrypts on every structure-binding split.
+  EXPECT_LE(bulk_tree.encode_calls(),
+            500u + bulk_tree.num_nodes() * 6);  // entries + separators
+  EXPECT_LT(bulk_tree.encode_calls(), inc_tree.encode_calls());
+}
+
+TEST_P(BulkLoadTest, RejectsNonEmptyTreeAndAcceptsEmptyInput) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 911, 1, 0, 4);
+  EXPECT_TRUE(tree.BulkLoad({}).ok());
+  ASSERT_TRUE(tree.Insert(EncodeUint64Be(1), 1).ok());
+  std::vector<std::pair<Bytes, uint64_t>> pairs{{EncodeUint64Be(2), 2}};
+  EXPECT_FALSE(tree.BulkLoad(pairs).ok());
+}
+
+TEST_P(BulkLoadTest, MutationsAfterBulkLoadWork) {
+  CodecStack stack = MakeStack(GetParam());
+  BPlusTree tree(stack.codec.get(), 912, 1, 0, 4);
+  std::vector<std::pair<Bytes, uint64_t>> pairs;
+  for (uint64_t i = 0; i < 100; ++i) pairs.emplace_back(EncodeUint64Be(i), i);
+  ASSERT_TRUE(tree.BulkLoad(pairs).ok());
+  for (uint64_t i = 100; i < 150; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i), i).ok());
+  }
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Remove(EncodeUint64Be(i), i).ok());
+  }
+  EXPECT_TRUE(tree.CheckStructure().ok());
+  EXPECT_EQ(tree.num_entries(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, BulkLoadTest,
+    ::testing::Values(CodecKind::kPlain, CodecKind::kIndex2004,
+                      CodecKind::kIndex2005SameKey, CodecKind::kAeadEax),
+    [](const ::testing::TestParamInfo<CodecKind>& info) {
+      return KindName(info.param);
+    });
+
+TEST(BPlusTreeTest, PaperFootnote1LeafLevelIntegrityIsChecked) {
+  // Paper footnote 1: the pseudo-code of [12] "checks the integrity of the
+  // data in inner nodes during the tree-walk [but] fails to do so on the
+  // leaf-level, both for finding the right starting place for the answer,
+  // and for generating the answer from the list of right-sibling
+  // references." This tree applies the codec's authentication to *every*
+  // entry it decodes — leaf entries included, during both descent and the
+  // sibling walk — so a tampered leaf entry fails the query instead of
+  // silently corrupting the answer.
+  CodecStack stack = MakeStack(CodecKind::kIndex2005SeparateKeys);
+  BPlusTree tree(stack.codec.get(), 913, 1, 0, 4);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i), i).ok());
+  }
+  // Tamper with a LEAF entry specifically.
+  uint64_t leaf_ref = 0;
+  for (const auto& entry : tree.DumpStoredEntries()) {
+    if (entry.is_leaf) leaf_ref = entry.entry_ref;
+  }
+  ASSERT_NE(leaf_ref, 0u);
+  Bytes* stored = tree.MutableStoredEntry(leaf_ref);
+  (*stored)[stored->size() / 3] ^= 0x01;
+  // A range query that generates its answer from the sibling chain must
+  // fail with an authentication error, not return doctored rows.
+  const auto result = tree.Range(EncodeUint64Be(0), EncodeUint64Be(63));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAuthenticationFailed);
+}
+
+TEST(BPlusTreeTest, GetWalkNodeBoundsAndContents) {
+  PlainIndexEntryCodec codec;
+  BPlusTree tree(&codec, 914, 1, 0, 4);
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(tree.Insert(EncodeUint64Be(i), i).ok());
+  }
+  EXPECT_FALSE(tree.GetWalkNode(-1).ok());
+  EXPECT_FALSE(tree.GetWalkNode(1000).ok());
+  auto root = tree.GetWalkNode(tree.root_id());
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(root->leaf);
+  EXPECT_EQ(root->children.size(), root->stored.size() + 1);
+  EXPECT_EQ(root->contexts.size(), root->stored.size());
+  for (const auto& ctx : root->contexts) {
+    EXPECT_EQ(ctx.index_table_id, 914u);
+    EXPECT_FALSE(ctx.is_leaf);
+  }
+}
+
+TEST(BPlusTreeTest, EmptyTreeBehaviour) {
+  PlainIndexEntryCodec codec;
+  BPlusTree tree(&codec, 909, 1, 0, 4);
+  EXPECT_TRUE(tree.CheckStructure().ok());
+  EXPECT_TRUE(tree.Find(EncodeUint64Be(1))->empty());
+  EXPECT_TRUE(tree.Range(EncodeUint64Be(0), EncodeUint64Be(100))->empty());
+  EXPECT_FALSE(tree.Remove(EncodeUint64Be(1), 0).ok());
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+}  // namespace
+}  // namespace sdbenc

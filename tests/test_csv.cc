@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/secure_database.h"
+#include "db/csv.h"
+
+namespace sdbenc {
+namespace {
+
+Schema CsvSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true},
+                 {"score", ValueType::kFloat64, true},
+                 {"blob", ValueType::kBytes, true}});
+}
+
+TEST(CsvRecordTest, SplitsPlainFields) {
+  auto fields = SplitCsvRecord("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvRecordTest, QuotingAndEscapes) {
+  std::vector<bool> quoted;
+  auto fields =
+      SplitCsvRecord("\"a,b\",\"say \"\"hi\"\"\",plain,\"\"", &quoted);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a,b", "say \"hi\"", "plain", ""}));
+  EXPECT_EQ(quoted, (std::vector<bool>{true, true, false, true}));
+}
+
+TEST(CsvRecordTest, EmptyFields) {
+  auto fields = SplitCsvRecord(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0], "");
+}
+
+TEST(CsvRecordTest, Errors) {
+  EXPECT_FALSE(SplitCsvRecord("\"unterminated").ok());
+  EXPECT_FALSE(SplitCsvRecord("ab\"cd").ok());
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  const Schema schema = CsvSchema();
+  const std::vector<std::vector<Value>> rows = {
+      {Value::Int(1), Value::Str("plain"), Value::Real(2.5),
+       Value::Blob({0xde, 0xad})},
+      {Value::Int(-7), Value::Str("comma, quote\" and\nnewline"),
+       Value::Real(-0.125), Value::Blob({})},
+      {Value::Null(), Value::Str(""), Value::Null(), Value::Null()},
+  };
+  auto csv = WriteCsv(schema, rows);
+  ASSERT_TRUE(csv.ok());
+  auto back = ParseCsv(schema, *csv);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      EXPECT_EQ((*back)[r][c], rows[r][c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, HeaderDrivenColumnMapping) {
+  const Schema schema = CsvSchema();
+  // Columns permuted and one omitted: blob should read as NULL.
+  const std::string csv = "name,id\nalice,5\nbob,6\n";
+  auto rows = ParseCsv(schema, csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], Value::Int(5));
+  EXPECT_EQ((*rows)[0][1], Value::Str("alice"));
+  EXPECT_TRUE((*rows)[0][2].is_null());
+  EXPECT_TRUE((*rows)[0][3].is_null());
+}
+
+TEST(CsvTest, TypedParsingErrors) {
+  const Schema schema = CsvSchema();
+  EXPECT_FALSE(ParseCsv(schema, "id\nnot-a-number\n").ok());
+  EXPECT_FALSE(ParseCsv(schema, "score\n1.5x\n").ok());
+  EXPECT_FALSE(ParseCsv(schema, "blob\nzz\n").ok());
+  EXPECT_FALSE(ParseCsv(schema, "ghost\n1\n").ok());      // unknown column
+  EXPECT_FALSE(ParseCsv(schema, "id,id\n1,2\n").ok());    // duplicate
+  EXPECT_FALSE(ParseCsv(schema, "id,name\n1\n").ok());    // arity
+  EXPECT_FALSE(ParseCsv(schema, "").ok());                // no header
+}
+
+TEST(CsvTest, NullVersusEmptyString) {
+  const Schema schema = CsvSchema();
+  auto rows = ParseCsv(schema, "name\n\n\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  // Blank line tolerated; quoted empty is the empty string.
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value::Str(""));
+}
+
+TEST(CsvTest, CrLfRecordsAndQuotedNewlines) {
+  const Schema schema = CsvSchema();
+  const std::string csv = "id,name\r\n1,\"line1\nline2\"\r\n2,b\r\n";
+  auto rows = ParseCsv(schema, csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], Value::Str("line1\nline2"));
+}
+
+TEST(CsvTest, EndToEndImportIntoSecureDatabase) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x2a), 606).value();
+  SecureTableOptions options;
+  options.indexed_columns = {"id"};
+  Schema schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true}});
+  ASSERT_TRUE(db->CreateTable("people", schema, options).ok());
+
+  const std::string csv = "id,name\n1,ada\n2,grace\n3,\"O''Brien, Pat\"\n";
+  auto rows = ParseCsv(schema, csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(db->BulkInsert("people", *rows).ok());
+  EXPECT_EQ(db->SelectEquals("people", "id", Value::Int(2))->size(), 1u);
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+
+  // Export round-trip: decrypt every row and re-render.
+  std::vector<std::vector<Value>> exported;
+  for (uint64_t r = 0; r < 3; ++r) {
+    exported.push_back(*db->GetRow("people", r));
+  }
+  auto out = WriteCsv(schema, exported);
+  ASSERT_TRUE(out.ok());
+  auto back = ParseCsv(schema, *out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[2][1], Value::Str("O''Brien, Pat"));
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hash.h"
+#include "db/cell_address.h"
+#include "db/database.h"
+#include "db/domain.h"
+#include "db/mu.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "util/hex.h"
+
+namespace sdbenc {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true},
+                 {"note", ValueType::kString, false}});
+}
+
+// ----------------------------------------------------------- CellAddress
+
+TEST(CellAddressTest, EncodeIsFixedWidthAndInjective) {
+  const CellAddress a{1, 2, 3};
+  const CellAddress b{1, 2, 4};
+  const CellAddress c{1, 3, 3};
+  const CellAddress d{2, 2, 3};
+  EXPECT_EQ(a.Encode().size(), 20u);
+  EXPECT_NE(a.Encode(), b.Encode());
+  EXPECT_NE(a.Encode(), c.Encode());
+  EXPECT_NE(a.Encode(), d.Encode());
+  EXPECT_EQ(a.Encode(), (CellAddress{1, 2, 3}).Encode());
+}
+
+TEST(CellAddressTest, ToString) {
+  EXPECT_EQ((CellAddress{7, 8, 9}).ToString(), "(7,8,9)");
+}
+
+// -------------------------------------------------------------------- Mu
+
+TEST(MuTest, TruncatesToRequestedWidth) {
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+  EXPECT_EQ(mu.Compute({1, 2, 3}).size(), 16u);
+  const MuFunction mu8(HashAlgorithm::kSha1, 8);
+  EXPECT_EQ(mu8.Compute({1, 2, 3}).size(), 8u);
+}
+
+TEST(MuTest, IsTruncatedHashOfEncodedAddress) {
+  // µ(t,r,c) = h(t || r || c) truncated — the [3] suggestion §3.1 attacks.
+  const MuFunction mu(HashAlgorithm::kSha1, 16);
+  const CellAddress addr{5, 6, 7};
+  Bytes expected = ComputeHash(HashAlgorithm::kSha1, addr.Encode());
+  expected.resize(16);
+  EXPECT_EQ(mu.Compute(addr), expected);
+}
+
+TEST(MuTest, DifferentAddressesDiffer) {
+  const MuFunction mu(HashAlgorithm::kSha256, 16);
+  EXPECT_NE(mu.Compute({1, 2, 3}), mu.Compute({1, 2, 4}));
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, FindColumn) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(*schema.FindColumn("name"), 1u);
+  EXPECT_FALSE(schema.FindColumn("missing").ok());
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  const Schema schema = TestSchema();
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value::Int(1), Value::Str("x"),
+                                Value::Str("note")})
+                  .ok());
+  EXPECT_FALSE(schema.ValidateRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(schema
+                   .ValidateRow({Value::Str("not-an-int"), Value::Str("x"),
+                                 Value::Str("y")})
+                   .ok());
+  // NULL is allowed in any column.
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value::Null(), Value::Null(), Value::Null()})
+                  .ok());
+}
+
+// ------------------------------------------------------------------- Table
+
+TEST(TableTest, AppendAndAccess) {
+  Table table(1, "t", TestSchema());
+  auto row = table.AppendRow({Bytes{1}, Bytes{2}, Bytes{3}});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, 0u);
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ((*table.cell(0, 1))[0], 2);
+  EXPECT_FALSE(table.cell(1, 0).ok());
+  EXPECT_FALSE(table.cell(0, 3).ok());
+  EXPECT_FALSE(table.AppendRow({Bytes{1}}).ok());
+}
+
+TEST(TableTest, MutableCellModelsUntrustedStorage) {
+  Table table(1, "t", TestSchema());
+  ASSERT_TRUE(table.AppendRow({Bytes{1}, Bytes{2}, Bytes{3}}).ok());
+  **table.mutable_cell(0, 0) = Bytes{0xff};
+  EXPECT_EQ((*table.cell(0, 0))[0], 0xff);
+}
+
+TEST(TableTest, DeleteIsTombstoneNotRenumber) {
+  Table table(1, "t", TestSchema());
+  ASSERT_TRUE(table.AppendRow({Bytes{1}, Bytes{2}, Bytes{3}}).ok());
+  ASSERT_TRUE(table.AppendRow({Bytes{4}, Bytes{5}, Bytes{6}}).ok());
+  ASSERT_TRUE(table.DeleteRow(0).ok());
+  EXPECT_TRUE(table.IsDeleted(0));
+  EXPECT_FALSE(table.IsDeleted(1));
+  EXPECT_EQ(table.num_rows(), 2u);  // addresses stay stable
+  EXPECT_EQ((*table.cell(1, 0))[0], 4);
+  EXPECT_FALSE(table.DeleteRow(5).ok());
+}
+
+TEST(TableTest, AddressOfUsesTableId) {
+  Table table(42, "t", TestSchema());
+  const CellAddress addr = table.AddressOf(7, 2);
+  EXPECT_EQ(addr.table_id, 42u);
+  EXPECT_EQ(addr.row, 7u);
+  EXPECT_EQ(addr.column, 2u);
+}
+
+// ---------------------------------------------------------------- Database
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("a", TestSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("b", TestSchema()).ok());
+  EXPECT_FALSE(db.CreateTable("a", TestSchema()).ok());  // duplicate
+  EXPECT_EQ((*db.GetTable("a"))->name(), "a");
+  EXPECT_FALSE(db.GetTable("c").ok());
+  // Ids are distinct and non-zero (they feed authenticated addresses).
+  const uint64_t id_a = (*db.GetTable("a"))->id();
+  const uint64_t id_b = (*db.GetTable("b"))->id();
+  EXPECT_NE(id_a, id_b);
+  EXPECT_NE(id_a, 0u);
+  EXPECT_EQ((*db.GetTableById(id_b))->name(), "b");
+  EXPECT_FALSE(db.GetTableById(9999).ok());
+}
+
+// ----------------------------------------------------------------- Domains
+
+TEST(DomainTest, AsciiDomain) {
+  AsciiDomain d;
+  EXPECT_TRUE(d.Contains(BytesFromString("Hello, World! 123")));
+  EXPECT_TRUE(d.Contains(Bytes{0x00, 0x7f}));
+  EXPECT_FALSE(d.Contains(Bytes{0x80}));
+  EXPECT_FALSE(d.Contains(Bytes{'a', 0xff, 'b'}));
+}
+
+TEST(DomainTest, PrintableAsciiDomain) {
+  PrintableAsciiDomain d;
+  EXPECT_TRUE(d.Contains(BytesFromString("Hello ~")));
+  EXPECT_FALSE(d.Contains(Bytes{0x1f}));
+  EXPECT_FALSE(d.Contains(Bytes{0x7f}));
+}
+
+TEST(DomainTest, DigitsDomain) {
+  DigitsDomain d;
+  EXPECT_TRUE(d.Contains(BytesFromString("0123456789")));
+  EXPECT_FALSE(d.Contains(BytesFromString("12a")));
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "crypto/des.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+Bytes EncryptOne(const BlockCipher& c, const Bytes& pt) {
+  Bytes ct(c.block_size());
+  c.EncryptBlock(pt.data(), ct.data());
+  return ct;
+}
+
+Bytes DecryptOne(const BlockCipher& c, const Bytes& ct) {
+  Bytes pt(c.block_size());
+  c.DecryptBlock(ct.data(), pt.data());
+  return pt;
+}
+
+// The classic fully-worked DES example (Grabbe walkthrough vector).
+TEST(DesTest, ClassicKnownAnswer) {
+  auto des = Des::Create(MustHexDecode("133457799bbcdff1"));
+  ASSERT_TRUE(des.ok());
+  const Bytes pt = MustHexDecode("0123456789abcdef");
+  EXPECT_EQ(HexEncode(EncryptOne(**des, pt)), "85e813540f0ab405");
+  EXPECT_EQ(DecryptOne(**des, EncryptOne(**des, pt)), pt);
+}
+
+// A second published vector: all-zero key and plaintext.
+TEST(DesTest, ZeroKeyZeroPlaintext) {
+  auto des = Des::Create(Bytes(8, 0)).value();
+  EXPECT_EQ(HexEncode(EncryptOne(*des, Bytes(8, 0))), "8ca64de9c1b123a7");
+}
+
+TEST(DesTest, RejectsBadKeySizes) {
+  for (size_t len : {0u, 7u, 9u, 16u}) {
+    EXPECT_FALSE(Des::Create(Bytes(len, 0)).ok()) << len;
+  }
+}
+
+TEST(DesTest, ParityBitsAreIgnored) {
+  // Flipping the low (parity) bit of each key octet selects the same key.
+  Bytes key = MustHexDecode("133457799bbcdff1");
+  Bytes key_flipped = key;
+  for (auto& b : key_flipped) b ^= 0x01;
+  auto a = Des::Create(key).value();
+  auto b = Des::Create(key_flipped).value();
+  const Bytes pt = MustHexDecode("0123456789abcdef");
+  EXPECT_EQ(EncryptOne(*a, pt), EncryptOne(*b, pt));
+}
+
+TEST(DesTest, RandomRoundTrips) {
+  DeterministicRng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    auto des = Des::Create(rng.RandomBytes(8)).value();
+    const Bytes pt = rng.RandomBytes(8);
+    EXPECT_EQ(DecryptOne(*des, EncryptOne(*des, pt)), pt);
+  }
+}
+
+TEST(TripleDesTest, TwoKeyVariantDegeneratesToK1K2K1) {
+  DeterministicRng rng(3);
+  const Bytes k1 = rng.RandomBytes(8);
+  const Bytes k2 = rng.RandomBytes(8);
+  auto two_key = TripleDes::Create(Concat(k1, k2)).value();
+  auto three_key = TripleDes::Create(Concat(k1, k2, k1)).value();
+  const Bytes pt = rng.RandomBytes(8);
+  EXPECT_EQ(EncryptOne(*two_key, pt), EncryptOne(*three_key, pt));
+}
+
+TEST(TripleDesTest, AllSameKeyCollapsesToSingleDes) {
+  // EDE with K1=K2=K3 is plain DES — a classic interoperability property.
+  const Bytes k = MustHexDecode("133457799bbcdff1");
+  auto tdes = TripleDes::Create(Concat(k, k, k)).value();
+  auto des = Des::Create(k).value();
+  const Bytes pt = MustHexDecode("0123456789abcdef");
+  EXPECT_EQ(EncryptOne(*tdes, pt), EncryptOne(*des, pt));
+}
+
+TEST(TripleDesTest, RoundTripsAndRejectsBadKeys) {
+  DeterministicRng rng(17);
+  auto tdes = TripleDes::Create(rng.RandomBytes(24)).value();
+  const Bytes pt = rng.RandomBytes(8);
+  EXPECT_EQ(DecryptOne(*tdes, EncryptOne(*tdes, pt)), pt);
+  EXPECT_FALSE(TripleDes::Create(Bytes(8, 0)).ok());
+  EXPECT_FALSE(TripleDes::Create(Bytes(23, 0)).ok());
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hash.h"
+#include "util/hex.h"
+
+namespace sdbenc {
+namespace {
+
+std::string HashHex(HashAlgorithm alg, const std::string& msg) {
+  return HexEncode(ComputeHash(alg, BytesFromString(msg)));
+}
+
+// ------------------------------------------------------------------ SHA-1
+
+TEST(Sha1Test, NistVectors) {
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha1, ""),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha1, "abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha1,
+                    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  auto h = CreateHash(HashAlgorithm::kSha1);
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h->Update(chunk);
+  EXPECT_EQ(HexEncode(h->Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha256, ""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha256, "abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(HashHex(HashAlgorithm::kSha256,
+                    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  auto h = CreateHash(HashAlgorithm::kSha256);
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h->Update(chunk);
+  EXPECT_EQ(HexEncode(h->Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// --------------------------------------------------------- streaming API
+
+class HashStreamingTest : public ::testing::TestWithParam<HashAlgorithm> {};
+
+TEST_P(HashStreamingTest, ChunkingDoesNotChangeDigest) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, until the "
+      "message clearly spans multiple 64-octet compression blocks.";
+  const Bytes one_shot = ComputeHash(GetParam(), BytesFromString(msg));
+  for (size_t chunk : {1u, 3u, 7u, 63u, 64u, 65u}) {
+    auto h = CreateHash(GetParam());
+    for (size_t off = 0; off < msg.size(); off += chunk) {
+      const size_t n = std::min(chunk, msg.size() - off);
+      h->Update(BytesFromString(msg.substr(off, n)));
+    }
+    EXPECT_EQ(h->Finish(), one_shot) << "chunk=" << chunk;
+  }
+}
+
+TEST_P(HashStreamingTest, ResetAllowsReuse) {
+  auto h = CreateHash(GetParam());
+  h->Update(BytesFromString("garbage"));
+  (void)h->Finish();
+  h->Reset();
+  h->Update(BytesFromString("abc"));
+  EXPECT_EQ(h->Finish(), ComputeHash(GetParam(), BytesFromString("abc")));
+}
+
+TEST_P(HashStreamingTest, MetadataConsistent) {
+  auto h = CreateHash(GetParam());
+  EXPECT_EQ(h->digest_size(), DigestSize(GetParam()));
+  EXPECT_EQ(h->hash_block_size(), 64u);
+}
+
+TEST_P(HashStreamingTest, LengthExtensionBoundaries) {
+  // Messages straddling the 55/56/64-octet padding boundaries.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x61);
+    auto h = CreateHash(GetParam());
+    h->Update(msg);
+    const Bytes digest = h->Finish();
+    EXPECT_EQ(digest, ComputeHash(GetParam(), msg)) << len;
+    EXPECT_EQ(digest.size(), DigestSize(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, HashStreamingTest,
+                         ::testing::Values(HashAlgorithm::kSha1,
+                                           HashAlgorithm::kSha256));
+
+// ------------------------------------------------------------------ HMAC
+
+TEST(HmacTest, Rfc2202Sha1Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacCompute(HashAlgorithm::kSha1, key,
+                                  BytesFromString("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case2) {
+  EXPECT_EQ(
+      HexEncode(HmacCompute(HashAlgorithm::kSha1, BytesFromString("Jefe"),
+                            BytesFromString("what do ya want for nothing?"))),
+      "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacTest, Rfc4231Sha256Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacCompute(HashAlgorithm::kSha256, key,
+                                  BytesFromString("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Sha256Case2) {
+  EXPECT_EQ(
+      HexEncode(HmacCompute(HashAlgorithm::kSha256, BytesFromString("Jefe"),
+                            BytesFromString("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-octet key of 0xaa.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexEncode(HmacCompute(
+          HashAlgorithm::kSha256, key,
+          BytesFromString("Test Using Larger Than Block-Size Key - Hash "
+                          "Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  const Bytes msg = BytesFromString("message");
+  const Bytes a = HmacCompute(HashAlgorithm::kSha256, Bytes(16, 1), msg);
+  const Bytes b = HmacCompute(HashAlgorithm::kSha256, Bytes(16, 2), msg);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sdbenc

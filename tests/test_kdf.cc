@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "aead/nonce.h"
+#include "crypto/hkdf.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+// RFC 5869 Appendix A test vectors.
+
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = MustHexDecode("000102030405060708090a0b0c");
+  const Bytes info = MustHexDecode("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = HkdfExtract(HashAlgorithm::kSha256, salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  auto okm = HkdfExpand(HashAlgorithm::kSha256, prk, info, 42);
+  ASSERT_TRUE(okm.ok());
+  EXPECT_EQ(HexEncode(*okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltAndInfo) {
+  const Bytes ikm(22, 0x0b);
+  auto okm = Hkdf(HashAlgorithm::kSha256, ikm, Bytes(), Bytes(), 42);
+  ASSERT_TRUE(okm.ok());
+  EXPECT_EQ(HexEncode(*okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, LongOutputSpansManyBlocks) {
+  auto okm = Hkdf(HashAlgorithm::kSha256, BytesFromString("ikm"),
+                  BytesFromString("salt"), BytesFromString("info"), 100);
+  ASSERT_TRUE(okm.ok());
+  EXPECT_EQ(okm->size(), 100u);
+  // Prefix property: a shorter request is a prefix of a longer one.
+  auto shorter = Hkdf(HashAlgorithm::kSha256, BytesFromString("ikm"),
+                      BytesFromString("salt"), BytesFromString("info"), 32);
+  EXPECT_EQ(Bytes(okm->begin(), okm->begin() + 32), *shorter);
+}
+
+TEST(HkdfTest, RejectsOversizeOutput) {
+  EXPECT_FALSE(HkdfExpand(HashAlgorithm::kSha256, Bytes(32, 1), Bytes(),
+                          255 * 32 + 1)
+                   .ok());
+}
+
+TEST(HkdfTest, DistinctInfosGiveIndependentKeys) {
+  const Bytes ikm = BytesFromString("master");
+  auto a = Hkdf(HashAlgorithm::kSha256, ikm, Bytes(),
+                BytesFromString("cell/t1"), 32);
+  auto b = Hkdf(HashAlgorithm::kSha256, ikm, Bytes(),
+                BytesFromString("index/t1/c"), 32);
+  EXPECT_NE(*a, *b);
+}
+
+// --------------------------------------------------------- nonce sequence
+
+TEST(NonceSequenceTest, NoncesAreUniqueAndSized) {
+  DeterministicRng rng(1);
+  CounterNonceSequence seq(16, rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto nonce = seq.Next();
+    ASSERT_TRUE(nonce.ok());
+    EXPECT_EQ(nonce->size(), 16u);
+    EXPECT_TRUE(seen.insert(HexEncode(*nonce)).second)
+        << "duplicate nonce at " << i;
+  }
+  EXPECT_EQ(seq.issued(), 1000u);
+}
+
+TEST(NonceSequenceTest, CounterOccupiesTrailingOctets) {
+  DeterministicRng rng(2);
+  CounterNonceSequence seq(12, rng, 4);
+  const Bytes first = *seq.Next();
+  const Bytes second = *seq.Next();
+  EXPECT_EQ(Bytes(first.begin(), first.begin() + 8),
+            Bytes(second.begin(), second.begin() + 8));
+  EXPECT_EQ(first[11], 0);
+  EXPECT_EQ(second[11], 1);
+}
+
+TEST(NonceSequenceTest, ExhaustionFailsHardInsteadOfWrapping) {
+  DeterministicRng rng(3);
+  CounterNonceSequence seq(9, rng, /*counter_octets=*/1);  // 256 nonces
+  std::set<std::string> seen;
+  for (int i = 0; i < 256; ++i) {
+    auto nonce = seq.Next();
+    ASSERT_TRUE(nonce.ok()) << i;
+    EXPECT_TRUE(seen.insert(HexEncode(*nonce)).second);
+  }
+  auto exhausted = seq.Next();
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kFailedPrecondition);
+  // And it stays failed.
+  EXPECT_FALSE(seq.Next().ok());
+}
+
+TEST(NonceSequenceTest, ParallelSequencesDiverge) {
+  DeterministicRng rng(4);
+  CounterNonceSequence a(16, rng);
+  CounterNonceSequence b(16, rng);
+  EXPECT_NE(*a.Next(), *b.Next());  // random prefixes differ
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "crypto/modes.h"
+#include "crypto/padding.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+// NIST SP 800-38A test data (AES-128).
+const char* kSpKey = "2b7e151628aed2a6abf7158809cf4f3c";
+const char* kSpPlain =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+const char* kSpIv = "000102030405060708090a0b0c0d0e0f";
+
+std::unique_ptr<Aes> SpCipher() {
+  return std::move(Aes::Create(MustHexDecode(kSpKey)).value());
+}
+
+TEST(ModesTest, Sp80038aEcb) {
+  auto aes = SpCipher();
+  auto ct = EcbEncrypt(*aes, MustHexDecode(kSpPlain));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "3ad77bb40d7a3660a89ecaf32466ef97"
+            "f5d3d58503b9699de785895a96fdbaaf"
+            "43b1cd7f598ece23881b00e3ed030688"
+            "7b0c785e27e8ad3f8223207104725dd4");
+  EXPECT_EQ(HexEncode(*EcbDecrypt(*aes, *ct)), kSpPlain);
+}
+
+TEST(ModesTest, Sp80038aCbc) {
+  auto aes = SpCipher();
+  auto ct = CbcEncrypt(*aes, MustHexDecode(kSpIv), MustHexDecode(kSpPlain));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2"
+            "73bed6b8e3c1743b7116e69e22229516"
+            "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(HexEncode(*CbcDecrypt(*aes, MustHexDecode(kSpIv), *ct)),
+            kSpPlain);
+}
+
+TEST(ModesTest, Sp80038aCtr) {
+  auto aes = SpCipher();
+  const Bytes counter = MustHexDecode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  auto ct = CtrCrypt(*aes, counter, MustHexDecode(kSpPlain));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+  EXPECT_EQ(HexEncode(*CtrCrypt(*aes, counter, *ct)), kSpPlain);
+}
+
+TEST(ModesTest, Sp80038aOfb) {
+  auto aes = SpCipher();
+  auto ct = OfbCrypt(*aes, MustHexDecode(kSpIv), MustHexDecode(kSpPlain));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "3b3fd92eb72dad20333449f8e83cfb4a"
+            "7789508d16918f03f53c52dac54ed825"
+            "9740051e9c5fecf64344f7a82260edcc"
+            "304c6528f659c77866a510d9c1d6ae5e");
+}
+
+TEST(ModesTest, Sp80038aCfb128) {
+  auto aes = SpCipher();
+  auto ct = CfbEncrypt(*aes, MustHexDecode(kSpIv), MustHexDecode(kSpPlain));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(HexEncode(*ct),
+            "3b3fd92eb72dad20333449f8e83cfb4a"
+            "c8a64537a0b3a93fcde3cdad9f1ce58b"
+            "26751f67a3cbb140b1808cf187a4f4df"
+            "c04b05357c5d1c0eeac4c66f9ff7f2e6");
+  EXPECT_EQ(HexEncode(*CfbDecrypt(*aes, MustHexDecode(kSpIv), *ct)),
+            kSpPlain);
+}
+
+TEST(ModesTest, BlockAlignmentEnforcedForEcbAndCbc) {
+  auto aes = SpCipher();
+  EXPECT_FALSE(EcbEncrypt(*aes, Bytes(15, 0)).ok());
+  EXPECT_FALSE(EcbDecrypt(*aes, Bytes(17, 0)).ok());
+  EXPECT_FALSE(CbcEncrypt(*aes, Bytes(16, 0), Bytes(1, 0)).ok());
+}
+
+TEST(ModesTest, IvLengthEnforced) {
+  auto aes = SpCipher();
+  EXPECT_FALSE(CbcEncrypt(*aes, Bytes(15, 0), Bytes(16, 0)).ok());
+  EXPECT_FALSE(CtrCrypt(*aes, Bytes(12, 0), Bytes(16, 0)).ok());
+  EXPECT_FALSE(OfbCrypt(*aes, Bytes(8, 0), Bytes(16, 0)).ok());
+}
+
+TEST(ModesTest, StreamModesHandlePartialBlocks) {
+  auto aes = SpCipher();
+  DeterministicRng rng(4);
+  const Bytes iv = rng.RandomBytes(16);
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 33u, 100u}) {
+    const Bytes pt = rng.RandomBytes(len);
+    EXPECT_EQ(*CtrCrypt(*aes, iv, *CtrCrypt(*aes, iv, pt)), pt) << len;
+    EXPECT_EQ(*OfbCrypt(*aes, iv, *OfbCrypt(*aes, iv, pt)), pt) << len;
+    EXPECT_EQ(*CfbDecrypt(*aes, iv, *CfbEncrypt(*aes, iv, pt)), pt) << len;
+  }
+}
+
+TEST(ModesTest, DeterministicCbcIsDeterministicAcrossCalls) {
+  // Eq. 3 of the paper: the schemes *require* E_k(x) == E_k(y) iff x == y.
+  auto aes = SpCipher();
+  const Bytes pt = MustHexDecode(kSpPlain);
+  EXPECT_EQ(*DeterministicCbcEncrypt(*aes, pt),
+            *DeterministicCbcEncrypt(*aes, pt));
+}
+
+TEST(ModesTest, DeterministicCbcLeaksCommonPrefixes) {
+  // The core weakness §3 exploits: shared plaintext prefix -> shared
+  // ciphertext prefix under the zero IV.
+  auto aes = SpCipher();
+  Bytes a(48, 0x41);
+  Bytes b = a;
+  b[47] = 0x42;  // differ only in the last block
+  const Bytes ca = *DeterministicCbcEncrypt(*aes, a);
+  const Bytes cb = *DeterministicCbcEncrypt(*aes, b);
+  EXPECT_EQ(Bytes(ca.begin(), ca.begin() + 32), Bytes(cb.begin(), cb.begin() + 32));
+  EXPECT_NE(Bytes(ca.begin() + 32, ca.end()), Bytes(cb.begin() + 32, cb.end()));
+}
+
+TEST(ModesTest, RandomIvCbcHidesCommonPrefixes) {
+  auto aes = SpCipher();
+  DeterministicRng rng(9);
+  const Bytes pt(48, 0x41);
+  const Bytes c1 = *CbcEncrypt(*aes, rng.RandomBytes(16), pt);
+  const Bytes c2 = *CbcEncrypt(*aes, rng.RandomBytes(16), pt);
+  EXPECT_NE(Bytes(c1.begin(), c1.begin() + 16), Bytes(c2.begin(), c2.begin() + 16));
+}
+
+TEST(ModesTest, CbcErrorPropagationIsLimited) {
+  // CBC decryption of a modified block corrupts exactly that block and the
+  // next — the "well-known error propagation" (paper footnote 4) behind the
+  // §3.1 forgery.
+  auto aes = SpCipher();
+  DeterministicRng rng(2);
+  const Bytes pt = rng.RandomBytes(16 * 6);
+  Bytes ct = *DeterministicCbcEncrypt(*aes, pt);
+  ct[16 * 2] ^= 0xff;  // corrupt block 3 (index 2)
+  const Bytes out = *DeterministicCbcDecrypt(*aes, ct);
+  // Blocks 0,1 intact; 2 garbled; 3 differs in exactly the flipped bits;
+  // 4,5 intact.
+  EXPECT_EQ(Bytes(out.begin(), out.begin() + 32), Bytes(pt.begin(), pt.begin() + 32));
+  EXPECT_NE(Bytes(out.begin() + 32, out.begin() + 48), Bytes(pt.begin() + 32, pt.begin() + 48));
+  Bytes expected_b3(pt.begin() + 48, pt.begin() + 64);
+  expected_b3[0] ^= 0xff;
+  EXPECT_EQ(Bytes(out.begin() + 48, out.begin() + 64), expected_b3);
+  EXPECT_EQ(Bytes(out.begin() + 64, out.end()), Bytes(pt.begin() + 64, pt.end()));
+}
+
+TEST(ModesTest, CounterIncrementWraps) {
+  Bytes counter = MustHexDecode("00000000000000000000000000ffffff");
+  IncrementCounterBe(counter);
+  EXPECT_EQ(HexEncode(counter), "00000000000000000000000001000000");
+  Bytes all_ff(16, 0xff);
+  IncrementCounterBe(all_ff);
+  EXPECT_EQ(all_ff, Bytes(16, 0));
+}
+
+TEST(ModesTest, ModesWorkWithDesBlocks) {
+  auto des = Des::Create(MustHexDecode("133457799bbcdff1")).value();
+  DeterministicRng rng(8);
+  const Bytes iv = rng.RandomBytes(8);
+  const Bytes pt = rng.RandomBytes(24);
+  EXPECT_EQ(*CbcDecrypt(*des, iv, *CbcEncrypt(*des, iv, pt)), pt);
+  EXPECT_EQ(*CtrCrypt(*des, iv, *CtrCrypt(*des, iv, pt)), pt);
+}
+
+// ------------------------------------------------------------- Padding
+
+TEST(PaddingTest, PadsToNonZeroMultiple) {
+  for (size_t len = 0; len <= 33; ++len) {
+    const Bytes padded = Pkcs7Pad(Bytes(len, 0xaa), 16);
+    EXPECT_EQ(padded.size() % 16, 0u);
+    EXPECT_GT(padded.size(), len);
+    auto unpadded = Pkcs7Unpad(padded, 16);
+    ASSERT_TRUE(unpadded.ok()) << len;
+    EXPECT_EQ(unpadded->size(), len);
+  }
+}
+
+TEST(PaddingTest, FullBlockInputGetsWholePadBlock) {
+  const Bytes padded = Pkcs7Pad(Bytes(16, 0x11), 16);
+  EXPECT_EQ(padded.size(), 32u);
+  EXPECT_EQ(padded.back(), 16);
+}
+
+TEST(PaddingTest, RejectsCorruptPadding) {
+  Bytes padded = Pkcs7Pad(BytesFromString("hello"), 16);
+  padded.back() = 0;
+  EXPECT_FALSE(Pkcs7Unpad(padded, 16).ok());
+  padded.back() = 17;
+  EXPECT_FALSE(Pkcs7Unpad(padded, 16).ok());
+  padded.back() = 11;
+  padded[padded.size() - 2] = 0x00;  // inconsistent pad byte
+  EXPECT_FALSE(Pkcs7Unpad(padded, 16).ok());
+  EXPECT_FALSE(Pkcs7Unpad(Bytes(), 16).ok());
+  EXPECT_FALSE(Pkcs7Unpad(Bytes(15, 1), 16).ok());
+}
+
+TEST(PaddingTest, OneZeroPad) {
+  const Bytes padded = OneZeroPad(BytesFromString("ab"), 8);
+  EXPECT_EQ(HexEncode(padded), "6162800000000000");
+  EXPECT_EQ(OneZeroPad(Bytes(), 4), (Bytes{0x80, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace sdbenc

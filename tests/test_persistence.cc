@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/secure_database.h"
+#include "db/serialize.h"
+#include "util/file.h"
+
+namespace sdbenc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------- binary codec
+
+TEST(BinaryCodecTest, RoundTripsAllFieldTypes) {
+  BinaryWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutBytes(Bytes{1, 2, 3});
+  w.PutString("hello");
+  w.PutBytes(Bytes());
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetBytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetBytes(), Bytes());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryCodecTest, ReaderFailsCleanlyOnTruncation) {
+  BinaryWriter w;
+  w.PutU64(42);
+  const Bytes data = w.data();
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    BinaryReader r(BytesView(data.data(), cut));
+    EXPECT_FALSE(r.GetU64().ok()) << cut;
+  }
+  // Length field larger than the remaining input.
+  BinaryWriter w2;
+  w2.PutU64(1000);  // claims 1000 bytes follow
+  BinaryReader r2(w2.data());
+  EXPECT_FALSE(r2.GetBytes().ok());
+}
+
+// ------------------------------------------------- database image
+
+TEST(DatabaseImageTest, RoundTripPreservesEverything) {
+  Database db;
+  Schema schema({{"a", ValueType::kInt64, true},
+                 {"b", ValueType::kString, false}});
+  Table* t1 = db.CreateTable("alpha", schema).value();
+  Table* t2 = db.CreateTable("beta", schema).value();
+  ASSERT_TRUE(t1->AppendRow({Bytes{1, 2}, Bytes{3}}).ok());
+  ASSERT_TRUE(t1->AppendRow({Bytes{}, Bytes{0xff, 0x00}}).ok());
+  ASSERT_TRUE(t1->DeleteRow(0).ok());
+  ASSERT_TRUE(t2->AppendRow({Bytes{9}, Bytes{8}}).ok());
+
+  const Bytes image = SerializeDatabase(db);
+  auto restored = DeserializeDatabase(image);
+  ASSERT_TRUE(restored.ok());
+  Table* r1 = (*restored)->GetTable("alpha").value();
+  EXPECT_EQ(r1->id(), t1->id());
+  EXPECT_EQ(r1->num_rows(), 2u);
+  EXPECT_TRUE(r1->IsDeleted(0));
+  EXPECT_FALSE(r1->IsDeleted(1));
+  EXPECT_EQ(*r1->cell(1, 1), (Bytes{0xff, 0x00}));
+  EXPECT_EQ(r1->schema().column(0).type, ValueType::kInt64);
+  EXPECT_EQ(r1->schema().column(1).encrypted, false);
+  Table* r2 = (*restored)->GetTable("beta").value();
+  EXPECT_EQ(r2->id(), t2->id());
+
+  // New tables created after restore must not collide with restored ids.
+  Table* t3 = (*restored)->CreateTable("gamma", schema).value();
+  EXPECT_GT(t3->id(), r2->id());
+}
+
+TEST(DatabaseImageTest, DetectsCorruption) {
+  Database db;
+  Schema schema({{"a", ValueType::kInt64, true}});
+  Table* t = db.CreateTable("t", schema).value();
+  ASSERT_TRUE(t->AppendRow({Bytes{1}}).ok());
+  Bytes image = SerializeDatabase(db);
+
+  Bytes bad_magic = image;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(DeserializeDatabase(bad_magic).ok());
+
+  Bytes bad_payload = image;
+  bad_payload.back() ^= 1;
+  EXPECT_FALSE(DeserializeDatabase(bad_payload).ok());
+
+  Bytes truncated(image.begin(), image.end() - 3);
+  EXPECT_FALSE(DeserializeDatabase(truncated).ok());
+
+  EXPECT_FALSE(DeserializeDatabase(Bytes()).ok());
+}
+
+// ---------------------------------------------------------- file IO
+
+TEST(FileTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("sdbenc_file_test.bin");
+  const Bytes data = BytesFromString("some binary \x00 content");
+  ASSERT_TRUE(WriteFileAtomic(path, data).ok());
+  auto back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadFile(path).ok());
+}
+
+// ---------------------------------------------- SecureDatabase files
+
+Schema PersistSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true}});
+}
+
+TEST(SecureDatabaseFileTest, SaveOpenPreservesDataAndIndexes) {
+  const std::string path = TempPath("sdbenc_db_test.sdb");
+  const Bytes key(32, 0x2f);
+  {
+    auto db = SecureDatabase::Open(key, 55).value();
+    SecureTableOptions options;
+    options.aead = AeadAlgorithm::kOcbPmac;
+    options.indexed_columns = {"name"};
+    ASSERT_TRUE(db->CreateTable("people", PersistSchema(), options).ok());
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(db->Insert("people",
+                             {Value::Int(i),
+                              Value::Str("n" + std::to_string(i % 10))})
+                      .ok());
+    }
+    ASSERT_TRUE(db->Delete("people", 7).ok());
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }  // session ends; keys gone with the object
+
+  auto db = SecureDatabase::OpenFromFile(key, path, 56);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->VerifyIntegrity().ok());
+  EXPECT_TRUE((*db)->HasIndex("people", "name"));
+  auto rows = (*db)->SelectEquals("people", "name", Value::Str("n3"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+  EXPECT_FALSE((*db)->GetRow("people", 7).ok());  // tombstone survived
+  // The reopened engine keeps working for writes too.
+  ASSERT_TRUE(
+      (*db)->Insert("people", {Value::Int(100), Value::Str("n3")}).ok());
+  EXPECT_EQ((*db)->SelectEquals("people", "name", Value::Str("n3"))->size(),
+            7u);
+  std::remove(path.c_str());
+}
+
+TEST(SecureDatabaseFileTest, WrongKeyFailsToOpen) {
+  const std::string path = TempPath("sdbenc_db_wrongkey.sdb");
+  {
+    auto db = SecureDatabase::Open(Bytes(32, 0x2f), 55).value();
+    SecureTableOptions options;
+    options.indexed_columns = {"name"};
+    ASSERT_TRUE(db->CreateTable("people", PersistSchema(), options).ok());
+    ASSERT_TRUE(db->Insert("people", {Value::Int(1), Value::Str("x")}).ok());
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }
+  auto wrong = SecureDatabase::OpenFromFile(Bytes(32, 0x30), path, 56);
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kAuthenticationFailed);
+  std::remove(path.c_str());
+}
+
+TEST(SecureDatabaseFileTest, TamperedFileFailsToOpen) {
+  const std::string path = TempPath("sdbenc_db_tamper.sdb");
+  const Bytes key(32, 0x2f);
+  {
+    auto db = SecureDatabase::Open(key, 55).value();
+    SecureTableOptions options;
+    options.indexed_columns = {"name"};
+    ASSERT_TRUE(db->CreateTable("people", PersistSchema(), options).ok());
+    ASSERT_TRUE(db->Insert("people", {Value::Int(1), Value::Str("x")}).ok());
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }
+  Bytes image = *ReadFile(path);
+  image[image.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+  EXPECT_FALSE(SecureDatabase::OpenFromFile(key, path, 56).ok());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- key lifecycle
+
+TEST(KeyLifecycleTest, RotationReencryptsEverything) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x11), 77).value();
+  SecureTableOptions options;
+  options.indexed_columns = {"name"};
+  ASSERT_TRUE(db->CreateTable("people", PersistSchema(), options).ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db->Insert("people", {Value::Int(i),
+                                      Value::Str("n" + std::to_string(i % 8))})
+                    .ok());
+  }
+  // Snapshot a ciphertext before rotation.
+  Table* raw = db->storage().GetTable("people").value();
+  const Bytes before(raw->cell(3, 1)->begin(), raw->cell(3, 1)->end());
+
+  ASSERT_TRUE(db->RotateMasterKey(Bytes(32, 0x99)).ok());
+
+  // Storage bytes changed, logical content did not.
+  const Bytes after(raw->cell(3, 1)->begin(), raw->cell(3, 1)->end());
+  EXPECT_NE(before, after);
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  EXPECT_EQ(db->SelectEquals("people", "name", Value::Str("n3"))->size(),
+            5u);
+  auto row = db->GetRow("people", 3);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value::Int(3));
+
+  // A ciphertext from before the rotation no longer verifies.
+  *raw->mutable_cell(3, 1).value() = before;
+  EXPECT_FALSE(db->GetRow("people", 3).ok());
+}
+
+TEST(KeyLifecycleTest, RotationRejectsShortKey) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x11), 77).value();
+  EXPECT_FALSE(db->RotateMasterKey(Bytes(4, 0)).ok());
+}
+
+TEST(KeyLifecycleTest, CloseSessionWipesAndDisables) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x11), 77).value();
+  SecureTableOptions options;
+  ASSERT_TRUE(db->CreateTable("people", PersistSchema(), options).ok());
+  ASSERT_TRUE(db->Insert("people", {Value::Int(1), Value::Str("x")}).ok());
+  db->CloseSession();
+  EXPECT_EQ(db->Insert("people", {Value::Int(2), Value::Str("y")})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->GetRow("people", 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->VerifyIntegrity().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->SaveToFile("/tmp/never-written.sdb").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aead/factory.h"
+#include "crypto/aes.h"
+#include "crypto/mac.h"
+#include "schemes/aead_index.h"
+#include "schemes/deterministic_encryptor.h"
+#include "schemes/elovici_index.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+IndexEntryContext LeafContext(uint64_t entry_ref,
+                              uint64_t sibling_plus_one = 4) {
+  IndexEntryContext ctx;
+  ctx.index_table_id = 900;
+  ctx.indexed_table_id = 7;
+  ctx.indexed_column = 2;
+  ctx.entry_ref = entry_ref;
+  ctx.is_leaf = true;
+  ctx.ref_i = EncodeUint64Be(sibling_plus_one);
+  return ctx;
+}
+
+IndexEntryContext InnerContext(uint64_t entry_ref) {
+  IndexEntryContext ctx = LeafContext(entry_ref);
+  ctx.is_leaf = false;
+  ctx.ref_i = Concat(EncodeUint64Be(10), EncodeUint64Be(11));
+  return ctx;
+}
+
+TEST(IndexEntryContextTest, RefSEncodesAllComponents) {
+  const IndexEntryContext a = LeafContext(5);
+  IndexEntryContext b = a;
+  b.entry_ref = 6;
+  IndexEntryContext c = a;
+  c.indexed_column = 3;
+  EXPECT_EQ(a.EncodeRefS().size(), 28u);
+  EXPECT_NE(a.EncodeRefS(), b.EncodeRefS());
+  EXPECT_NE(a.EncodeRefS(), c.EncodeRefS());
+}
+
+TEST(PlainIndexEntryCodecTest, RoundTripAndLayout) {
+  PlainIndexEntryCodec codec;
+  IndexEntryPlain plain{BytesFromString("key"), 42};
+  auto stored = codec.Encode(plain, LeafContext(1));
+  ASSERT_TRUE(stored.ok());
+  auto back = codec.Decode(*stored, LeafContext(1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->key, plain.key);
+  EXPECT_EQ(back->table_row, 42u);
+  EXPECT_FALSE(codec.Decode(Bytes{1, 2}, LeafContext(1)).ok());
+  EXPECT_FALSE(codec.binds_structure());
+}
+
+// ------------------------------------------------------------- Index2004
+
+class Index2004Test : public ::testing::Test {
+ protected:
+  Index2004Test()
+      : aes_(std::move(Aes::Create(Bytes(16, 0x21)).value())),
+        encryptor_(*aes_, DeterministicEncryptor::Mode::kCbcZeroIv),
+        codec_(encryptor_) {}
+
+  std::unique_ptr<Aes> aes_;
+  DeterministicEncryptor encryptor_;
+  Index2004Codec codec_;
+};
+
+TEST_F(Index2004Test, LeafAndInnerRoundTrip) {
+  IndexEntryPlain plain{BytesFromString("attribute value"), 123};
+  auto leaf = codec_.Encode(plain, LeafContext(5));
+  ASSERT_TRUE(leaf.ok());
+  auto leaf_back = codec_.Decode(*leaf, LeafContext(5));
+  ASSERT_TRUE(leaf_back.ok());
+  EXPECT_EQ(leaf_back->key, plain.key);
+  EXPECT_EQ(leaf_back->table_row, 123u);
+
+  auto inner = codec_.Encode(plain, InnerContext(6));
+  ASSERT_TRUE(inner.ok());
+  auto inner_back = codec_.Decode(*inner, InnerContext(6));
+  ASSERT_TRUE(inner_back.ok());
+  EXPECT_EQ(inner_back->key, plain.key);
+  // Inner entries carry no Ref_T (eq. 4 vs eq. 5).
+  EXPECT_EQ(inner_back->table_row, 0u);
+}
+
+TEST_F(Index2004Test, SelfReferenceMismatchRejected) {
+  IndexEntryPlain plain{BytesFromString("v"), 1};
+  auto stored = codec_.Encode(plain, LeafContext(5)).value();
+  auto moved = codec_.Decode(stored, LeafContext(6));
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kAuthenticationFailed);
+}
+
+TEST_F(Index2004Test, DeterministicEncryptionSharesPrefixes) {
+  // The §3.2 weakness in miniature: long values sharing a prefix produce
+  // entry ciphertexts sharing a prefix.
+  Bytes long_a(64, 'P');
+  Bytes long_b = long_a;
+  long_b[63] = 'Q';
+  auto ca = codec_.Encode({long_a, 1}, LeafContext(1)).value();
+  auto cb = codec_.Encode({long_b, 2}, LeafContext(2)).value();
+  EXPECT_EQ(Bytes(ca.begin(), ca.begin() + 48),
+            Bytes(cb.begin(), cb.begin() + 48));
+}
+
+// ------------------------------------------------------------- Index2005
+
+class Index2005Test : public ::testing::Test {
+ protected:
+  Index2005Test()
+      : enc_aes_(std::move(Aes::Create(Bytes(16, 0x31)).value())),
+        mac_aes_(std::move(Aes::Create(Bytes(16, 0x32)).value())),
+        encryptor_(*enc_aes_, DeterministicEncryptor::Mode::kCbcZeroIv),
+        same_key_mac_(*enc_aes_),
+        separate_mac_(*mac_aes_),
+        rng_(5),
+        same_key_codec_(encryptor_, same_key_mac_, rng_),
+        separate_codec_(encryptor_, separate_mac_, rng_) {}
+
+  std::unique_ptr<Aes> enc_aes_;
+  std::unique_ptr<Aes> mac_aes_;
+  DeterministicEncryptor encryptor_;
+  Cmac same_key_mac_;
+  Cmac separate_mac_;
+  DeterministicRng rng_;
+  Index2005Codec same_key_codec_;
+  Index2005Codec separate_codec_;
+};
+
+TEST_F(Index2005Test, RoundTrip) {
+  IndexEntryPlain plain{BytesFromString("customer name here"), 321};
+  for (Index2005Codec* codec : {&same_key_codec_, &separate_codec_}) {
+    auto stored = codec->Encode(plain, LeafContext(9));
+    ASSERT_TRUE(stored.ok());
+    auto back = codec->Decode(*stored, LeafContext(9));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->key, plain.key);
+    EXPECT_EQ(back->table_row, 321u);
+  }
+}
+
+TEST_F(Index2005Test, RandomSuffixMakesValueCiphertextFresh) {
+  // Ẽ is non-deterministic: re-encrypting the same entry gives a different
+  // Ẽ(V) component — the improvement [12] claims...
+  IndexEntryPlain plain{BytesFromString("v"), 1};
+  auto a = same_key_codec_.Encode(plain, LeafContext(1)).value();
+  auto b = same_key_codec_.Encode(plain, LeafContext(1)).value();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(Index2005Test, ButLongValuesStillSharePrefixes) {
+  // ...which §3.3 defeats: the randomness is *appended*, so the prefix
+  // blocks of Ẽ(V) are still deterministic.
+  Bytes long_v(64, 'R');
+  auto a = same_key_codec_.Encode({long_v, 1}, LeafContext(1)).value();
+  auto b = same_key_codec_.Encode({long_v, 2}, LeafContext(2)).value();
+  // Skip the 4-octet length prefix; compare the first 4 cipher blocks of Ẽ.
+  EXPECT_EQ(Bytes(a.begin() + 4, a.begin() + 4 + 64),
+            Bytes(b.begin() + 4, b.begin() + 4 + 64));
+}
+
+TEST_F(Index2005Test, MacCoversStructureAndPosition) {
+  IndexEntryPlain plain{BytesFromString("v"), 1};
+  auto stored = separate_codec_.Encode(plain, LeafContext(9, 4)).value();
+  // Wrong r_I.
+  EXPECT_FALSE(separate_codec_.Decode(stored, LeafContext(10, 4)).ok());
+  // Wrong Ref_I (sibling changed without re-encryption).
+  EXPECT_FALSE(separate_codec_.Decode(stored, LeafContext(9, 5)).ok());
+  EXPECT_TRUE(separate_codec_.Decode(stored, LeafContext(9, 4)).ok());
+  EXPECT_TRUE(separate_codec_.binds_structure());
+}
+
+TEST_F(Index2005Test, RejectsTruncationAndLengthGames) {
+  IndexEntryPlain plain{BytesFromString("value"), 1};
+  auto stored = separate_codec_.Encode(plain, LeafContext(9)).value();
+  EXPECT_FALSE(separate_codec_.Decode(Bytes(), LeafContext(9)).ok());
+  Bytes bad_len = stored;
+  bad_len[3] ^= 0x01;  // corrupt the Ẽ length field
+  EXPECT_FALSE(separate_codec_.Decode(bad_len, LeafContext(9)).ok());
+  Bytes truncated(stored.begin(), stored.end() - 1);
+  EXPECT_FALSE(separate_codec_.Decode(truncated, LeafContext(9)).ok());
+}
+
+TEST_F(Index2005Test, MacInputLayoutIsVFirst) {
+  // The attack prerequisite, pinned as a regression: the MAC preimage
+  // starts with V itself.
+  const Bytes v = BytesFromString("leading value");
+  const Bytes input = Index2005Codec::MacInput(v, 5, LeafContext(9));
+  ASSERT_GE(input.size(), v.size());
+  EXPECT_EQ(Bytes(input.begin(), input.begin() + v.size()), v);
+}
+
+// ------------------------------------------------------------- AEAD index
+
+class AeadIndexTest : public ::testing::TestWithParam<AeadAlgorithm> {
+ protected:
+  AeadIndexTest()
+      : aead_(std::move(
+            CreateAead(GetParam(),
+                       Bytes(GetParam() == AeadAlgorithm::kSiv ||
+                                     GetParam() == AeadAlgorithm::kEtm
+                                 ? 32
+                                 : 16,
+                             0x73))
+                .value())),
+        rng_(11),
+        codec_(*aead_, rng_) {}
+
+  std::unique_ptr<Aead> aead_;
+  DeterministicRng rng_;
+  AeadIndexCodec codec_;
+};
+
+TEST_P(AeadIndexTest, RoundTripLeafAndInner) {
+  IndexEntryPlain plain{BytesFromString("indexed attribute"), 88};
+  for (const IndexEntryContext& ctx : {LeafContext(3), InnerContext(4)}) {
+    auto stored = codec_.Encode(plain, ctx);
+    ASSERT_TRUE(stored.ok());
+    auto back = codec_.Decode(*stored, ctx);
+    ASSERT_TRUE(back.ok()) << aead_->name();
+    EXPECT_EQ(back->key, plain.key);
+    EXPECT_EQ(back->table_row, 88u);
+  }
+}
+
+TEST_P(AeadIndexTest, BindsEveryReference) {
+  IndexEntryPlain plain{BytesFromString("v"), 1};
+  const IndexEntryContext ctx = LeafContext(5, 4);
+  auto stored = codec_.Encode(plain, ctx).value();
+
+  IndexEntryContext wrong_ref = ctx;
+  wrong_ref.entry_ref = 6;  // moved within the index
+  EXPECT_FALSE(codec_.Decode(stored, wrong_ref).ok());
+
+  IndexEntryContext wrong_index = ctx;
+  wrong_index.index_table_id = 901;  // entry from another index
+  EXPECT_FALSE(codec_.Decode(stored, wrong_index).ok());
+
+  IndexEntryContext wrong_column = ctx;
+  wrong_column.indexed_column = 3;  // index of another column
+  EXPECT_FALSE(codec_.Decode(stored, wrong_column).ok());
+
+  IndexEntryContext wrong_struct = ctx;
+  wrong_struct.ref_i = EncodeUint64Be(99);  // structure tampered
+  EXPECT_FALSE(codec_.Decode(stored, wrong_struct).ok());
+
+  IndexEntryContext wrong_kind = ctx;
+  wrong_kind.is_leaf = false;
+  wrong_kind.ref_i = Concat(EncodeUint64Be(4), EncodeUint64Be(5));
+  EXPECT_FALSE(codec_.Decode(stored, wrong_kind).ok());
+
+  EXPECT_TRUE(codec_.Decode(stored, ctx).ok());
+}
+
+TEST_P(AeadIndexTest, RefTIsEncryptedNotVisible) {
+  // Eq. 25 encrypts (V, Ref_T) — the table reference must not appear in the
+  // stored bytes (contrast eq. 7 where E'(Ref_T) is deterministic and equal
+  // rows collide).
+  IndexEntryPlain a{BytesFromString("v"), 0x1122334455667788ULL};
+  auto stored = codec_.Encode(a, LeafContext(1)).value();
+  const Bytes ref_t = EncodeUint64Be(a.table_row);
+  for (size_t i = 0; i + ref_t.size() <= stored.size(); ++i) {
+    EXPECT_FALSE(
+        BytesView(stored.data() + i, ref_t.size()) == BytesView(ref_t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAeads, AeadIndexTest,
+    ::testing::Values(AeadAlgorithm::kEax, AeadAlgorithm::kOcbPmac,
+                      AeadAlgorithm::kCcfb, AeadAlgorithm::kEtm,
+                      AeadAlgorithm::kGcm, AeadAlgorithm::kSiv),
+    [](const ::testing::TestParamInfo<AeadAlgorithm>& info) {
+      return AeadAlgorithmName(info.param);
+    });
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/secure_database.h"
+#include "query/engine.h"
+#include "query/sql_parser.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+/// Larger end-to-end soak: thousands of mixed operations through BOTH the
+/// typed API and the SQL layer, against one oracle, with periodic full
+/// integrity sweeps and a save/reopen cycle in the middle. Slower than the
+/// unit suites (a few seconds) but still CI-friendly.
+TEST(SoakTest, MixedApiAndSqlWorkloadWithReopen) {
+  const std::string path = ::testing::TempDir() + "/sdbenc_soak.sdb";
+  const Bytes key(32, 0x6b);
+  auto db = SecureDatabase::Open(key, 515).value();
+  SecureTableOptions options;
+  options.aead = AeadAlgorithm::kOcbPmac;
+  options.indexed_columns = {"k", "score"};
+  options.index_order = 8;
+  Schema schema({{"k", ValueType::kInt64, true},
+                 {"label", ValueType::kString, true},
+                 {"score", ValueType::kFloat64, true}});
+  ASSERT_TRUE(db->CreateTable("t", schema, options).ok());
+
+  struct OracleRow {
+    int64_t k;
+    std::string label;
+    double score;
+    bool deleted = false;
+  };
+  std::vector<OracleRow> oracle;
+  DeterministicRng rng(31415);
+  auto engine = std::make_unique<QueryEngine>(db.get());
+
+  auto check_count = [&](int64_t k) {
+    auto result = engine->Execute(
+        ParseSql("SELECT COUNT(*) FROM t WHERE k = " + std::to_string(k))
+            ->select);
+    ASSERT_TRUE(result.ok());
+    int64_t expected = 0;
+    for (const auto& row : oracle) {
+      if (!row.deleted && row.k == k) ++expected;
+    }
+    EXPECT_EQ(result->rows[0][0], Value::Int(expected)) << "k=" << k;
+  };
+
+  const int kSteps = 3000;
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t op = rng.UniformUint64(100);
+    if (op < 55 || oracle.empty()) {
+      OracleRow row;
+      row.k = static_cast<int64_t>(rng.UniformUint64(200));
+      row.label = "L" + std::to_string(rng.UniformUint64(50));
+      row.score = static_cast<double>(rng.UniformUint64(10000)) / 100.0;
+      ASSERT_TRUE(db->Insert("t", {Value::Int(row.k), Value::Str(row.label),
+                                   Value::Real(row.score)})
+                      .ok());
+      oracle.push_back(row);
+    } else if (op < 70) {
+      const size_t r = rng.UniformUint64(oracle.size());
+      if (oracle[r].deleted) continue;
+      const double new_score =
+          static_cast<double>(rng.UniformUint64(10000)) / 100.0;
+      ASSERT_TRUE(
+          db->Update("t", r, "score", Value::Real(new_score)).ok());
+      oracle[r].score = new_score;
+    } else if (op < 80) {
+      const size_t r = rng.UniformUint64(oracle.size());
+      if (oracle[r].deleted) continue;
+      ASSERT_TRUE(db->Delete("t", r).ok());
+      oracle[r].deleted = true;
+    } else if (op < 95) {
+      check_count(static_cast<int64_t>(rng.UniformUint64(200)));
+    } else if (step % 500 == 499) {
+      ASSERT_TRUE(db->VerifyIntegrity().ok()) << "step " << step;
+    }
+
+    // Mid-run persistence cycle: save, drop the engine, reopen, continue.
+    if (step == kSteps / 2) {
+      ASSERT_TRUE(db->SaveToFile(path).ok());
+      db = std::move(SecureDatabase::OpenFromFile(key, path, 516).value());
+      engine = std::make_unique<QueryEngine>(db.get());
+    }
+  }
+
+  // Final reconciliation, typed API and SQL agreeing with the oracle.
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+  for (int64_t k = 0; k < 200; k += 7) check_count(k);
+
+  auto sum = engine->Execute(ParseSql("SELECT SUM(k) FROM t")->select);
+  ASSERT_TRUE(sum.ok());
+  int64_t expected_sum = 0;
+  for (const auto& row : oracle) {
+    if (!row.deleted) expected_sum += row.k;
+  }
+  EXPECT_EQ(sum->rows[0][0], Value::Int(expected_sum));
+
+  std::remove(path.c_str());
+}
+
+/// Persistence matrix: save/reopen round-trip under every AEAD algorithm,
+/// including the deterministic one.
+class PersistenceMatrixTest : public ::testing::TestWithParam<AeadAlgorithm> {
+};
+
+TEST_P(PersistenceMatrixTest, SaveReopenQueryTamper) {
+  const std::string path = ::testing::TempDir() + "/sdbenc_matrix_" +
+                           AeadAlgorithmName(GetParam()) + ".sdb";
+  const Bytes key(32, 0x19);
+  {
+    auto db = SecureDatabase::Open(key, 99).value();
+    SecureTableOptions options;
+    options.aead = GetParam();
+    options.indexed_columns = {"v"};
+    Schema schema({{"v", ValueType::kInt64, true}});
+    ASSERT_TRUE(db->CreateTable("t", schema, options).ok());
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(db->Insert("t", {Value::Int(i % 16)}).ok());
+    }
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }
+  auto db = SecureDatabase::OpenFromFile(key, path, 100);
+  ASSERT_TRUE(db.ok()) << AeadAlgorithmName(GetParam());
+  EXPECT_EQ((*db)->SelectEquals("t", "v", Value::Int(3))->size(), 4u);
+  EXPECT_TRUE((*db)->VerifyIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAeads, PersistenceMatrixTest,
+    ::testing::Values(AeadAlgorithm::kEax, AeadAlgorithm::kOcbPmac,
+                      AeadAlgorithm::kCcfb, AeadAlgorithm::kEtm,
+                      AeadAlgorithm::kGcm, AeadAlgorithm::kSiv),
+    [](const ::testing::TestParamInfo<AeadAlgorithm>& info) {
+      return AeadAlgorithmName(info.param);
+    });
+
+}  // namespace
+}  // namespace sdbenc

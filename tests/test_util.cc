@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.h"
+#include "util/constant_time.h"
+#include "util/hex.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad key");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad key");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(InvalidArgumentError("").code());
+  codes.insert(NotFoundError("").code());
+  codes.insert(AlreadyExistsError("").code());
+  codes.insert(OutOfRangeError("").code());
+  codes.insert(FailedPreconditionError("").code());
+  codes.insert(InternalError("").code());
+  codes.insert(UnimplementedError("").code());
+  codes.insert(AuthenticationFailedError("").code());
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x"), InvalidArgumentError("x"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InvalidArgumentError("y"));
+  EXPECT_FALSE(InvalidArgumentError("x") == NotFoundError("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return NotFoundError("gone"); };
+  auto outer = [&]() -> Status {
+    SDBENC_RETURN_IF_ERROR(inner());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------------------- StatusOr
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> StatusOr<int> {
+    if (!ok) return InternalError("boom");
+    return 7;
+  };
+  auto chain = [&](bool ok) -> StatusOr<int> {
+    SDBENC_ASSIGN_OR_RETURN(int x, make(ok));
+    return x + 1;
+  };
+  EXPECT_EQ(*chain(true), 8);
+  EXPECT_EQ(chain(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 5);
+}
+
+// ------------------------------------------------------------------ Bytes
+
+TEST(BytesTest, ConcatAndAppend) {
+  Bytes a = BytesFromString("ab");
+  Bytes b = BytesFromString("cde");
+  EXPECT_EQ(StringFromBytes(Concat(a, b)), "abcde");
+  EXPECT_EQ(StringFromBytes(Concat(a, b, a)), "abcdeab");
+  EXPECT_EQ(StringFromBytes(Concat(a, b, a, b)), "abcdeabcde");
+  Bytes d = a;
+  Append(d, b);
+  EXPECT_EQ(StringFromBytes(d), "abcde");
+}
+
+TEST(BytesTest, XorEqualLengths) {
+  Bytes a = {0x0f, 0xf0};
+  Bytes b = {0xff, 0xff};
+  EXPECT_EQ(Xor(a, b), (Bytes{0xf0, 0x0f}));
+}
+
+TEST(BytesTest, XorPadsShorterWithZeros) {
+  // Paper §2 notation: the shorter operand is zero-extended.
+  Bytes a = {0xaa};
+  Bytes b = {0x55, 0x77};
+  EXPECT_EQ(Xor(a, b), (Bytes{0xff, 0x77}));
+  EXPECT_EQ(Xor(b, a), (Bytes{0xff, 0x77}));
+}
+
+TEST(BytesTest, XorIntoTruncatesToDestination) {
+  Bytes a = {0x01, 0x02};
+  XorInto(a, Bytes{0xff, 0xff, 0xff});
+  EXPECT_EQ(a, (Bytes{0xfe, 0xfd}));
+}
+
+TEST(BytesTest, Uint64BeRoundTrip) {
+  const uint64_t v = 0x0123456789abcdefULL;
+  Bytes enc = EncodeUint64Be(v);
+  EXPECT_EQ(enc.size(), 8u);
+  EXPECT_EQ(enc[0], 0x01);
+  EXPECT_EQ(enc[7], 0xef);
+  EXPECT_EQ(DecodeUint64Be(enc), v);
+}
+
+TEST(BytesTest, Uint32BeRoundTrip) {
+  uint8_t buf[4];
+  PutUint32Be(buf, 0xdeadbeef);
+  EXPECT_EQ(GetUint32Be(buf), 0xdeadbeefu);
+}
+
+TEST(BytesViewTest, SubstrClampsToSize) {
+  Bytes a = BytesFromString("hello");
+  BytesView v(a);
+  EXPECT_EQ(v.substr(1, 3).size(), 3u);
+  EXPECT_EQ(v.substr(3).size(), 2u);
+  EXPECT_EQ(v.substr(5).size(), 0u);
+  EXPECT_EQ(v.substr(2, 100).size(), 3u);
+}
+
+TEST(BytesViewTest, Equality) {
+  Bytes a = BytesFromString("abc");
+  Bytes b = BytesFromString("abc");
+  Bytes c = BytesFromString("abd");
+  EXPECT_TRUE(BytesView(a) == BytesView(b));
+  EXPECT_FALSE(BytesView(a) == BytesView(c));
+  EXPECT_FALSE(BytesView(a) == BytesView(a).substr(1));
+}
+
+// -------------------------------------------------------------------- Hex
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+  EXPECT_EQ(MustHexDecode("0001abff"), data);
+}
+
+TEST(HexTest, DecodeIgnoresWhitespaceAndCase) {
+  EXPECT_EQ(MustHexDecode("DE AD\nbe ef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeRejectsOddAndNonHex) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(HexTest, EmptyString) {
+  EXPECT_EQ(HexEncode(Bytes()), "");
+  EXPECT_EQ(MustHexDecode(""), Bytes());
+}
+
+// -------------------------------------------------------- Constant time
+
+TEST(ConstantTimeTest, EqualsBehaviour) {
+  Bytes a = BytesFromString("secret-tag");
+  Bytes b = BytesFromString("secret-tag");
+  Bytes c = BytesFromString("secret-taG");
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, BytesView(a).substr(1)));
+  EXPECT_TRUE(ConstantTimeEquals(Bytes(), Bytes()));
+}
+
+TEST(ConstantTimeTest, SecureWipeZeroisesAndClears) {
+  Bytes key = BytesFromString("very secret key material");
+  SecureWipe(key);
+  EXPECT_TRUE(key.empty());
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicRngIsReproducible) {
+  DeterministicRng a(12345);
+  DeterministicRng b(12345);
+  EXPECT_EQ(a.RandomBytes(64), b.RandomBytes(64));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  DeterministicRng a(1);
+  DeterministicRng b(2);
+  EXPECT_NE(a.RandomBytes(32), b.RandomBytes(32));
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  DeterministicRng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  DeterministicRng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformUint64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, SystemRngProducesDifferentOutput) {
+  SystemRng rng;
+  Bytes a = rng.RandomBytes(32);
+  Bytes b = rng.RandomBytes(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, FillHandlesOddLengths) {
+  DeterministicRng rng(5);
+  for (size_t len : {1u, 3u, 7u, 9u, 15u}) {
+    EXPECT_EQ(rng.RandomBytes(len).size(), len);
+  }
+}
+
+}  // namespace
+}  // namespace sdbenc

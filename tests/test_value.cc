@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "db/value.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(-5).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Int(-5).AsInt(), -5);
+  EXPECT_EQ(Value::Str("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Blob({1, 2}).type(), ValueType::kBytes);
+  EXPECT_EQ(Value::Blob({1, 2}).AsBytes(), (Bytes{1, 2}));
+}
+
+TEST(ValueTest, SerializeRoundTripsAllTypes) {
+  const Value values[] = {
+      Value::Null(),
+      Value::Int(0),
+      Value::Int(-1),
+      Value::Int(INT64_MIN),
+      Value::Int(INT64_MAX),
+      Value::Str(""),
+      Value::Str("hello world"),
+      Value::Str(std::string("embedded\0nul", 12)),
+      Value::Blob({}),
+      Value::Blob({0x00, 0xff, 0x80}),
+  };
+  for (const Value& v : values) {
+    auto back = Value::Deserialize(v.Serialize());
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(ValueTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Value::Deserialize(Bytes()).ok());
+  EXPECT_FALSE(Value::Deserialize(Bytes{99}).ok());            // bad tag
+  EXPECT_FALSE(Value::Deserialize(Bytes{1, 0, 0}).ok());       // short int
+  EXPECT_FALSE(Value::Deserialize(Bytes{0, 1}).ok());          // null+payload
+}
+
+TEST(ValueTest, CompareMatchesIntOrder) {
+  const int64_t samples[] = {INT64_MIN, -100, -1, 0, 1, 7, 100, INT64_MAX};
+  for (int64_t a : samples) {
+    for (int64_t b : samples) {
+      const int cmp = Value::Compare(Value::Int(a), Value::Int(b));
+      if (a < b) {
+        EXPECT_LT(cmp, 0) << a << " vs " << b;
+      } else if (a == b) {
+        EXPECT_EQ(cmp, 0);
+      } else {
+        EXPECT_GT(cmp, 0);
+      }
+    }
+  }
+}
+
+TEST(ValueTest, ComparableEncodingPreservesIntOrderBytewise) {
+  // The index stores SerializeComparable(); lexicographic byte order of the
+  // encodings must equal value order — the property the whole B+-tree
+  // keying rests on.
+  DeterministicRng rng(77);
+  std::vector<int64_t> xs = {INT64_MIN, INT64_MIN + 1, -1, 0, 1,
+                             INT64_MAX - 1, INT64_MAX};
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < xs.size(); ++j) {
+      const Bytes ea = Value::Int(xs[i]).SerializeComparable();
+      const Bytes eb = Value::Int(xs[j]).SerializeComparable();
+      const bool lex_less =
+          std::lexicographical_compare(ea.begin(), ea.end(), eb.begin(),
+                                       eb.end());
+      EXPECT_EQ(lex_less, xs[i] < xs[j]) << xs[i] << " vs " << xs[j];
+    }
+  }
+}
+
+TEST(ValueTest, ComparableEncodingPreservesStringPrefixOrder) {
+  const std::string strs[] = {"", "a", "ab", "abc", "b", "ba", "z"};
+  for (const auto& a : strs) {
+    for (const auto& b : strs) {
+      const int cmp = Value::Compare(Value::Str(a), Value::Str(b));
+      if (a < b) {
+        EXPECT_LT(cmp, 0);
+      } else if (a == b) {
+        EXPECT_EQ(cmp, 0);
+      } else {
+        EXPECT_GT(cmp, 0);
+      }
+    }
+  }
+}
+
+TEST(ValueTest, CrossTypeOrderingIsStableByTypeTag) {
+  // NULL < INT64 < STRING < BYTES by construction of the type tag.
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(INT64_MIN)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(INT64_MAX), Value::Str("")), 0);
+  EXPECT_LT(Value::Compare(Value::Str("zzz"), Value::Blob({0})), 0);
+}
+
+TEST(ValueTest, ToStringRenderings) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-42).ToString(), "-42");
+  EXPECT_EQ(Value::Str("bob").ToString(), "'bob'");
+  EXPECT_EQ(Value::Blob({0xde, 0xad}).ToString(), "x'dead'");
+}
+
+TEST(ValueTest, Float64SerializeRoundTrips) {
+  const double samples[] = {0.0,   -0.0,    1.5,   -1.5,
+                            1e300, -1e300,  1e-30, 3.141592653589793};
+  for (double d : samples) {
+    auto back = Value::Deserialize(Value::Real(d).Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->AsDouble(), d);
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Value::Deserialize(Value::Real(inf).Serialize())->AsDouble(),
+            inf);
+}
+
+TEST(ValueTest, Float64ComparableOrderMatchesNumericOrder) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double xs[] = {-inf, -1e300, -2.5, -1.0, -1e-300, 0.0,
+                       1e-300, 0.5,  1.0,  2.5,  1e300,   inf};
+  for (size_t i = 0; i < std::size(xs); ++i) {
+    for (size_t j = 0; j < std::size(xs); ++j) {
+      const int cmp = Value::Compare(Value::Real(xs[i]), Value::Real(xs[j]));
+      if (xs[i] < xs[j]) {
+        EXPECT_LT(cmp, 0) << xs[i] << " vs " << xs[j];
+      } else if (xs[i] == xs[j]) {
+        EXPECT_EQ(cmp, 0);
+      } else {
+        EXPECT_GT(cmp, 0);
+      }
+    }
+  }
+  // -0.0 and +0.0: numerically equal but the encoding distinguishes them
+  // (totalOrder): -0 < +0. Document-by-test.
+  EXPECT_LT(Value::Compare(Value::Real(-0.0), Value::Real(0.0)), 0);
+}
+
+TEST(ValueTest, Float64RendersReadably) {
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Real(-1e300).ToString(), "-1e+300");
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_FALSE(Value::Int(0) == Value::Null());
+  EXPECT_FALSE(Value::Str("1") == Value::Int(1));
+  EXPECT_TRUE(Value::Int(5) == Value::Int(5));
+}
+
+}  // namespace
+}  // namespace sdbenc
