@@ -1,0 +1,109 @@
+// Buffer-pool ablation over the FileStorageEngine: the same skewed page
+// workload replayed against pool sizes from "almost nothing" to "everything
+// resident", reporting the hit rate and wall time per configuration. The
+// interesting region is pool < working set, where the LRU policy has to
+// earn its keep on the hot pages; this is exactly the regime the storage
+// tests pin with hard assertions and the regime an encrypted database on a
+// constrained server would run in.
+//
+// Output: a human table plus one JSON object per line per configuration
+// (`grep '^{' | jq`).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/file_storage_engine.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+constexpr size_t kNumPages = 512;
+constexpr size_t kReads = 50000;
+
+std::string BenchPath() { return "/tmp/sdbenc_bench_pool.pages"; }
+
+// 80/20 skew: most reads land on a fifth of the pages, so a pool holding
+// just the hot set already serves most of the traffic.
+PageId SkewedPage(DeterministicRng& rng) {
+  const size_t hot = kNumPages / 5;
+  if (rng.UniformUint64(100) < 80) {
+    return rng.UniformUint64(hot);
+  }
+  return hot + rng.UniformUint64(kNumPages - hot);
+}
+
+double Ms(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main() {
+  using namespace sdbenc;
+
+  // Build the page file once.
+  {
+    auto engine = FileStorageEngine::Create(BenchPath(), kPageSize,
+                                            /*pool_pages=*/64)
+                      .value();
+    Bytes page(kPageSize);
+    for (size_t i = 0; i < kNumPages; ++i) {
+      for (size_t j = 0; j < kPageSize; ++j) {
+        page[j] = static_cast<uint8_t>(i * 31 + j);
+      }
+      (void)engine->Write(engine->Allocate().value(), page);
+    }
+    if (!engine->Flush().ok()) {
+      std::printf("flush failed\n");
+      return 1;
+    }
+  }
+
+  std::printf("== buffer-pool hit rate: %zu pages of %zu B, %zu skewed "
+              "reads ==\n",
+              kNumPages, kPageSize, kReads);
+  std::printf("%-12s %-12s %-12s %-10s %-12s %-8s\n", "pool-pages", "hits",
+              "misses", "hit-rate", "evictions", "ms");
+  for (const size_t pool : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    auto engine = FileStorageEngine::Open(BenchPath(), pool).value();
+    DeterministicRng rng(7);
+    Bytes out;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kReads; ++i) {
+      if (!engine->Read(SkewedPage(rng), &out).ok()) {
+        std::printf("read failed\n");
+        return 1;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const StorageStats& stats = engine->stats();
+    const double hit_rate =
+        static_cast<double>(stats.pool_hits) /
+        static_cast<double>(stats.pool_hits + stats.pool_misses);
+    std::printf("%-12zu %-12llu %-12llu %-10.3f %-12llu %.1f\n", pool,
+                static_cast<unsigned long long>(stats.pool_hits),
+                static_cast<unsigned long long>(stats.pool_misses), hit_rate,
+                static_cast<unsigned long long>(stats.pool_evictions),
+                Ms(t0, t1));
+    std::printf(
+        "{\"bench\":\"buffer_pool\",\"pool_pages\":%zu,\"page_size\":%zu,"
+        "\"file_pages\":%zu,\"reads\":%zu,\"pool_hits\":%llu,"
+        "\"pool_misses\":%llu,\"hit_rate\":%.4f,\"pool_evictions\":%llu,"
+        "\"ms\":%.3f}\n",
+        pool, kPageSize, kNumPages, kReads,
+        static_cast<unsigned long long>(stats.pool_hits),
+        static_cast<unsigned long long>(stats.pool_misses), hit_rate,
+        static_cast<unsigned long long>(stats.pool_evictions), Ms(t0, t1));
+  }
+  std::printf("\nshape: the hit rate climbs steeply until the pool covers\n"
+              "the hot fifth of the file, then flattens; past the full file\n"
+              "size every read after the first pass is a hit.\n");
+  std::remove(BenchPath().c_str());
+  return 0;
+}

@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "btree/bplus_tree.h"
 #include "core/secure_database.h"
@@ -131,7 +133,41 @@ void BM_VerifyIntegrity(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyIntegrity)->Arg(1000);
 
+// Machine-readable output: one JSON object per line per benchmark run, so
+// downstream tooling can `grep '^{' | jq` without parsing console tables.
+class JsonLineReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    (void)context;
+    return true;
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::printf(
+          "{\"bench\":\"secure_db\",\"name\":\"%s\",\"iterations\":%lld,"
+          "\"real_ns_per_op\":%.1f,\"cpu_ns_per_op\":%.1f",
+          run.benchmark_name().c_str(),
+          static_cast<long long>(run.iterations), run.GetAdjustedRealTime(),
+          run.GetAdjustedCPUTime());
+      // Counters are already rate/average-adjusted by the runner before
+      // reporters see them.
+      for (const auto& [counter_name, counter] : run.counters) {
+        std::printf(",\"%s\":%.3f", counter_name.c_str(), counter.value);
+      }
+      std::printf("}\n");
+    }
+  }
+};
+
 }  // namespace
 }  // namespace sdbenc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sdbenc::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

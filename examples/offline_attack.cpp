@@ -11,6 +11,7 @@
 
 #include "attacks/frequency_analysis.h"
 #include "attacks/pattern_match.h"
+#include "attacks/storage_scrape.h"
 #include "core/secure_database.h"
 #include "crypto/aes.h"
 #include "db/mu.h"
@@ -108,18 +109,19 @@ int main() {
     }
     (void)db->SaveToFile(TempPath("fixed.sdb"));
 
-    const Bytes image = ReadFile(TempPath("fixed.sdb")).value();
-    // The engine's file embeds a storage image; attack the cell bytes.
-    auto parsed = [&image]() {
-      BinaryReader reader(image);
-      Bytes storage_image = reader.GetBytes().value();
-      return DeserializeDatabase(storage_image).value();
-    }();
-    const Table* table = (*parsed).GetTable("records").value();
+    // The engine writes a page file whose structure (header, record
+    // chains, catalog) is public format: the attacker parses all of it
+    // without a key and recovers every stored cell verbatim.
+    const ScrapedImage scraped =
+        ScrapePageFile(TempPath("fixed.sdb")).value();
+    const ScrapedTable& table = scraped.tables.at(0);
+    std::printf("page file scraped without a key: table '%s', %zu rows, "
+                "%zu columns\n",
+                table.name.c_str(), table.rows.size(),
+                table.columns.size());
     std::vector<Bytes> cells;
-    for (uint64_t r = 0; r < table->num_rows(); ++r) {
-      const BytesView cell = *table->cell(r, 1);
-      cells.emplace_back(cell.begin(), cell.end());
+    for (const std::vector<Bytes>& row : table.rows) {
+      cells.push_back(row.at(1));
     }
     const auto groups = GroupByFingerprint(cells, 16, 2);
     std::printf("fixed file: %zu cells fall into %zu equality classes\n",

@@ -1,0 +1,47 @@
+#ifndef SDBENC_ATTACKS_STORAGE_SCRAPE_H_
+#define SDBENC_ATTACKS_STORAGE_SCRAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Offline attacker's view of a page file (paper §1: "anyone with physical
+/// access ... can copy or modify it"). The page-file layout — engine header,
+/// record chains, catalog — is public format, not a secret, so an attacker
+/// with only the copied file and the open-source storage code reconstructs
+/// every table's shape: names, schemas, row count, which columns are
+/// indexed. What they get for the cells is the stored bytes verbatim —
+/// AEAD ciphertext for encrypted columns. No key is used anywhere here.
+
+struct ScrapedColumn {
+  std::string name;
+  uint8_t type = 0;
+  bool encrypted = false;
+};
+
+struct ScrapedTable {
+  uint64_t id = 0;
+  std::string name;
+  std::vector<ScrapedColumn> columns;
+  /// Raw stored cell bytes, rows x columns; ciphertext where
+  /// columns[c].encrypted.
+  std::vector<std::vector<Bytes>> rows;
+  std::vector<bool> deleted;
+  std::vector<std::string> indexed_columns;
+};
+
+struct ScrapedImage {
+  std::vector<ScrapedTable> tables;
+};
+
+/// Parses `path` as an engine page file without any key material.
+StatusOr<ScrapedImage> ScrapePageFile(const std::string& path);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_ATTACKS_STORAGE_SCRAPE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "db/serialize.h"
+
 namespace sdbenc {
 
 namespace {
@@ -72,12 +74,11 @@ BPlusTree::BPlusTree(IndexEntryCodec* codec, uint64_t index_table_id,
       indexed_table_id_(indexed_table_id),
       indexed_column_(indexed_column),
       order_(order < 2 ? 2 : order) {
-  nodes_.push_back(Node{});  // root starts as an empty leaf
-  root_ = 0;
+  root_ = pager_.Alloc();  // root starts as an empty leaf
 }
 
-IndexEntryContext BPlusTree::MakeContext(int node_id, size_t slot) const {
-  const Node& node = nodes_[node_id];
+IndexEntryContext BPlusTree::MakeContext(const BTreeNode& node,
+                                         size_t slot) const {
   IndexEntryContext ctx;
   ctx.index_table_id = index_table_id_;
   ctx.indexed_table_id = indexed_table_id_;
@@ -97,18 +98,16 @@ IndexEntryContext BPlusTree::MakeContext(int node_id, size_t slot) const {
   return ctx;
 }
 
-StatusOr<IndexEntryPlain> BPlusTree::DecodeEntry(int node_id,
+StatusOr<IndexEntryPlain> BPlusTree::DecodeEntry(const BTreeNode& node,
                                                  size_t slot) const {
   ++decode_calls_;
-  return codec_->Decode(nodes_[node_id].stored[slot],
-                        MakeContext(node_id, slot));
+  return codec_->Decode(node.stored[slot], MakeContext(node, slot));
 }
 
-BPlusTree::RefISnapshot BPlusTree::SnapshotRefI(int node_id) const {
+BPlusTree::RefISnapshot BPlusTree::SnapshotRefI(const BTreeNode& node) const {
   RefISnapshot snapshot;
-  const Node& node = nodes_[node_id];
   for (size_t slot = 0; slot < node.refs.size(); ++slot) {
-    snapshot[node.refs[slot]] = MakeContext(node_id, slot).ref_i;
+    snapshot[node.refs[slot]] = MakeContext(node, slot).ref_i;
   }
   return snapshot;
 }
@@ -116,22 +115,22 @@ BPlusTree::RefISnapshot BPlusTree::SnapshotRefI(int node_id) const {
 Status BPlusTree::WriteBack(int node_id,
                             const std::vector<IndexEntryPlain>& plains,
                             const RefISnapshot& old_refi) {
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Mut(node_id));
   for (size_t slot = 0; slot < plains.size(); ++slot) {
-    Node& node = nodes_[node_id];
-    const bool placeholder = node.stored[slot].empty();
+    const bool placeholder = node->stored[slot].empty();
     bool needs_encode = placeholder;
     if (!needs_encode && codec_->binds_structure()) {
-      const IndexEntryContext ctx = MakeContext(node_id, slot);
-      auto it = old_refi.find(node.refs[slot]);
+      const IndexEntryContext ctx = MakeContext(*node, slot);
+      auto it = old_refi.find(node->refs[slot]);
       needs_encode = (it == old_refi.end()) || !(BytesView(it->second) ==
                                                  BytesView(ctx.ref_i));
     }
     if (needs_encode) {
       ++encode_calls_;
       SDBENC_ASSIGN_OR_RETURN(
-          Bytes stored, codec_->Encode(plains[slot], MakeContext(node_id,
+          Bytes stored, codec_->Encode(plains[slot], MakeContext(*node,
                                                                  slot)));
-      nodes_[node_id].stored[slot] = std::move(stored);
+      node->stored[slot] = std::move(stored);
     }
   }
   return OkStatus();
@@ -143,38 +142,38 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
   const Probe exact{key, table_row, 0};
 
   // Snapshot contexts, then decode the node once; mutation below works on
-  // plaintext and WriteBack re-encodes only what changed.
-  RefISnapshot snapshot = SnapshotRefI(node_id);
+  // plaintext and WriteBack re-encodes only what changed. Node pointers are
+  // stable across Alloc(), so holding `node` through the recursion is safe.
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Get(node_id));
+  RefISnapshot snapshot = SnapshotRefI(*node);
   std::vector<IndexEntryPlain> plains;
-  plains.reserve(nodes_[node_id].stored.size() + 1);
-  for (size_t i = 0; i < nodes_[node_id].stored.size(); ++i) {
-    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+  plains.reserve(node->stored.size() + 1);
+  for (size_t i = 0; i < node->stored.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(*node, i));
     plains.push_back(std::move(e));
   }
 
-  if (!nodes_[node_id].leaf) {
+  if (!node->leaf) {
     // Find the child covering (key, row): first separator > probe.
     size_t idx = 0;
     while (idx < plains.size() &&
            CompareSeparatorToProbe(plains[idx], exact) <= 0) {
       ++idx;
     }
-    const int child = nodes_[node_id].children[idx];
+    const int child = node->children[idx];
     SDBENC_ASSIGN_OR_RETURN(SplitResult child_split,
                             InsertRec(child, key, table_row));
     if (!child_split.split) return SplitResult{};
 
     // Insert the promoted separator and the new right child.
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Mut(node_id));
     plains.insert(plains.begin() + idx,
                   MakeSeparatorEntry(child_split.separator,
                                      child_split.separator_row));
-    {
-      Node& node = nodes_[node_id];
-      node.refs.insert(node.refs.begin() + idx, next_entry_ref_++);
-      node.stored.insert(node.stored.begin() + idx, Bytes());
-      node.children.insert(node.children.begin() + idx + 1,
-                           child_split.new_node);
-    }
+    node->refs.insert(node->refs.begin() + idx, next_entry_ref_++);
+    node->stored.insert(node->stored.begin() + idx, Bytes());
+    node->children.insert(node->children.begin() + idx + 1,
+                          child_split.new_node);
     if (plains.size() <= order_) {
       SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
       return SplitResult{};
@@ -186,20 +185,19 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
     result.split = true;
     SeparatorParts(plains[mid], &result.separator, &result.separator_row);
 
-    const int right_id = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{});
-    Node& left = nodes_[node_id];
-    Node& right = nodes_[right_id];
-    right.leaf = false;
-    right.refs.assign(left.refs.begin() + mid + 1, left.refs.end());
-    right.stored.assign(left.stored.begin() + mid + 1, left.stored.end());
-    right.children.assign(left.children.begin() + mid + 1,
-                          left.children.end());
+    const int right_id = pager_.Alloc();
+    SDBENC_ASSIGN_OR_RETURN(BTreeNode * right, pager_.Mut(right_id));
+    BTreeNode* left = node;
+    right->leaf = false;
+    right->refs.assign(left->refs.begin() + mid + 1, left->refs.end());
+    right->stored.assign(left->stored.begin() + mid + 1, left->stored.end());
+    right->children.assign(left->children.begin() + mid + 1,
+                           left->children.end());
     std::vector<IndexEntryPlain> right_plains(plains.begin() + mid + 1,
                                               plains.end());
-    left.refs.resize(mid);
-    left.stored.resize(mid);
-    left.children.resize(mid + 1);
+    left->refs.resize(mid);
+    left->stored.resize(mid);
+    left->children.resize(mid + 1);
     plains.resize(mid);
     SDBENC_RETURN_IF_ERROR(WriteBack(node_id, plains, snapshot));
     SDBENC_RETURN_IF_ERROR(WriteBack(right_id, right_plains, snapshot));
@@ -216,11 +214,9 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
   fresh.key.assign(key.begin(), key.end());
   fresh.table_row = table_row;
   plains.insert(plains.begin() + pos, std::move(fresh));
-  {
-    Node& node = nodes_[node_id];
-    node.refs.insert(node.refs.begin() + pos, next_entry_ref_++);
-    node.stored.insert(node.stored.begin() + pos, Bytes());
-  }
+  SDBENC_ASSIGN_OR_RETURN(node, pager_.Mut(node_id));
+  node->refs.insert(node->refs.begin() + pos, next_entry_ref_++);
+  node->stored.insert(node->stored.begin() + pos, Bytes());
   ++num_entries_;
 
   if (plains.size() <= order_) {
@@ -233,19 +229,18 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
   // node's sibling pointer changes, so structure-binding codecs re-encrypt
   // both halves — exactly the maintenance cost the paper's schemes imply.
   const size_t mid = plains.size() / 2;
-  const int right_id = static_cast<int>(nodes_.size());
-  nodes_.push_back(Node{});
-  Node& left = nodes_[node_id];
-  Node& right = nodes_[right_id];
-  right.leaf = true;
-  right.next = left.next;
-  left.next = right_id;
-  right.refs.assign(left.refs.begin() + mid, left.refs.end());
-  right.stored.assign(left.stored.begin() + mid, left.stored.end());
+  const int right_id = pager_.Alloc();
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode * right, pager_.Mut(right_id));
+  BTreeNode* left = node;
+  right->leaf = true;
+  right->next = left->next;
+  left->next = right_id;
+  right->refs.assign(left->refs.begin() + mid, left->refs.end());
+  right->stored.assign(left->stored.begin() + mid, left->stored.end());
   std::vector<IndexEntryPlain> right_plains(plains.begin() + mid,
                                             plains.end());
-  left.refs.resize(mid);
-  left.stored.resize(mid);
+  left->refs.resize(mid);
+  left->stored.resize(mid);
   plains.resize(mid);
 
   SplitResult result;
@@ -259,7 +254,7 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
 }
 
 Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
-  if (num_entries_ != 0 || nodes_.size() != 1) {
+  if (num_entries_ != 0 || pager_.size() != 1) {
     return FailedPreconditionError("BulkLoad requires an empty tree");
   }
   if (pairs.empty()) return OkStatus();
@@ -273,9 +268,9 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
             });
 
   // Plaintext entries per node, written back (encoded) once the structure
-  // is final. Parallel to nodes_.
+  // is final. Parallel to the pager's slots.
   std::vector<std::vector<IndexEntryPlain>> plains_by_node;
-  nodes_.clear();
+  pager_.Reset();
 
   // ---- leaf level ----
   struct LevelNode {
@@ -287,22 +282,24 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
   const size_t per_leaf = order_;
   for (size_t off = 0; off < pairs.size(); off += per_leaf) {
     const size_t n = std::min(per_leaf, pairs.size() - off);
-    Node node;
-    node.leaf = true;
+    const int id = pager_.Alloc();
+    SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Mut(id));
+    node->leaf = true;
     std::vector<IndexEntryPlain> plains;
     for (size_t i = 0; i < n; ++i) {
       IndexEntryPlain plain;
       plain.key = std::move(pairs[off + i].first);
       plain.table_row = pairs[off + i].second;
-      node.refs.push_back(next_entry_ref_++);
-      node.stored.push_back(Bytes());
+      node->refs.push_back(next_entry_ref_++);
+      node->stored.push_back(Bytes());
       plains.push_back(std::move(plain));
     }
-    const int id = static_cast<int>(nodes_.size());
-    if (!level.empty()) nodes_[level.back().id].next = id;
+    if (!level.empty()) {
+      SDBENC_ASSIGN_OR_RETURN(BTreeNode * prev, pager_.Mut(level.back().id));
+      prev->next = id;
+    }
     level.push_back(LevelNode{id, plains.front().key,
                               plains.front().table_row});
-    nodes_.push_back(std::move(node));
     plains_by_node.push_back(std::move(plains));
   }
   num_entries_ = pairs.size();
@@ -316,49 +313,48 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
       // Avoid a trailing single-child inner node: borrow one from the
       // previous group.
       if (n == 1 && !parent_level.empty()) {
-        Node& prev = nodes_[parent_level.back().id];
-        const int moved = prev.children.back();
-        prev.children.pop_back();
-        prev.refs.pop_back();
-        prev.stored.pop_back();
+        SDBENC_ASSIGN_OR_RETURN(BTreeNode * prev,
+                                pager_.Mut(parent_level.back().id));
+        const int moved = prev->children.back();
+        prev->children.pop_back();
+        prev->refs.pop_back();
+        prev->stored.pop_back();
         std::vector<IndexEntryPlain>& prev_plains =
             plains_by_node[parent_level.back().id];
         IndexEntryPlain sep = std::move(prev_plains.back());
         prev_plains.pop_back();
-        Node node;
-        node.leaf = false;
-        node.children = {moved, level[off].id};
-        node.refs = {next_entry_ref_++};
-        node.stored = {Bytes()};
+        const int id = pager_.Alloc();
+        SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Mut(id));
+        node->leaf = false;
+        node->children = {moved, level[off].id};
+        node->refs = {next_entry_ref_++};
+        node->stored = {Bytes()};
         Bytes sep_key;
         uint64_t sep_row;
         SeparatorParts(sep, &sep_key, &sep_row);
         std::vector<IndexEntryPlain> plains{
             MakeSeparatorEntry(level[off].min_key, level[off].min_row)};
-        const int id = static_cast<int>(nodes_.size());
         // The new node's minimum is the moved child's minimum = the
         // separator we took from the previous parent.
         parent_level.push_back(LevelNode{id, sep_key, sep_row});
-        nodes_.push_back(std::move(node));
         plains_by_node.push_back(std::move(plains));
         continue;
       }
-      Node node;
-      node.leaf = false;
+      const int id = pager_.Alloc();
+      SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Mut(id));
+      node->leaf = false;
       std::vector<IndexEntryPlain> plains;
       for (size_t i = 0; i < n; ++i) {
-        node.children.push_back(level[off + i].id);
+        node->children.push_back(level[off + i].id);
         if (i > 0) {
-          node.refs.push_back(next_entry_ref_++);
-          node.stored.push_back(Bytes());
+          node->refs.push_back(next_entry_ref_++);
+          node->stored.push_back(Bytes());
           plains.push_back(MakeSeparatorEntry(level[off + i].min_key,
                                               level[off + i].min_row));
         }
       }
-      const int id = static_cast<int>(nodes_.size());
       parent_level.push_back(
           LevelNode{id, level[off].min_key, level[off].min_row});
-      nodes_.push_back(std::move(node));
       plains_by_node.push_back(std::move(plains));
     }
     level = std::move(parent_level);
@@ -366,7 +362,7 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
   root_ = level.front().id;
 
   // ---- encode everything exactly once ----
-  for (size_t id = 0; id < nodes_.size(); ++id) {
+  for (size_t id = 0; id < pager_.size(); ++id) {
     SDBENC_RETURN_IF_ERROR(WriteBack(static_cast<int>(id),
                                      plains_by_node[id], RefISnapshot{}));
   }
@@ -378,13 +374,12 @@ Status BPlusTree::Insert(BytesView key, uint64_t table_row) {
   if (!split.split) return OkStatus();
 
   // Grow a new root.
-  const int new_root = static_cast<int>(nodes_.size());
-  nodes_.push_back(Node{});
-  Node& root = nodes_[new_root];
-  root.leaf = false;
-  root.children = {root_, split.new_node};
-  root.refs = {next_entry_ref_++};
-  root.stored = {Bytes()};
+  const int new_root = pager_.Alloc();
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode * root, pager_.Mut(new_root));
+  root->leaf = false;
+  root->children = {root_, split.new_node};
+  root->refs = {next_entry_ref_++};
+  root->stored = {Bytes()};
   std::vector<IndexEntryPlain> plains{
       MakeSeparatorEntry(split.separator, split.separator_row)};
   root_ = new_root;
@@ -412,25 +407,25 @@ StatusOr<std::vector<uint64_t>> BPlusTree::RangeBounded(
   // Descend to the leftmost leaf that could contain `lo` (or the leftmost
   // leaf overall when unbounded below).
   int node_id = root_;
-  while (!nodes_[node_id].leaf) {
-    const Node& node = nodes_[node_id];
+  SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, pager_.Get(node_id));
+  while (!node->leaf) {
     size_t idx = 0;
     if (lo != nullptr) {
       const Probe lo_probe{BytesView(*lo), 0, -1};
-      for (; idx < node.stored.size(); ++idx) {
-        SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep,
-                                DecodeEntry(node_id, idx));
+      for (; idx < node->stored.size(); ++idx) {
+        SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep, DecodeEntry(*node, idx));
         if (CompareSeparatorToProbe(sep, lo_probe) > 0) break;
       }
     }
-    node_id = node.children[idx];
+    node_id = node->children[idx];
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
   }
 
   // Walk the sibling chain collecting matching rows.
   while (node_id >= 0) {
-    const Node& node = nodes_[node_id];
-    for (size_t i = 0; i < node.stored.size(); ++i) {
-      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
+    for (size_t i = 0; i < node->stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(*node, i));
       if (lo != nullptr) {
         const Probe lo_probe{BytesView(*lo), 0, -1};
         if (CompareEntryToProbe(e, lo_probe) < 0) continue;
@@ -441,7 +436,7 @@ StatusOr<std::vector<uint64_t>> BPlusTree::RangeBounded(
       }
       rows.push_back(e.table_row);
     }
-    node_id = node.next;
+    node_id = node->next;
   }
   return rows;
 }
@@ -450,61 +445,64 @@ Status BPlusTree::Remove(BytesView key, uint64_t table_row) {
   const Probe exact{key, table_row, 0};
 
   int node_id = root_;
-  while (!nodes_[node_id].leaf) {
-    const Node& node = nodes_[node_id];
+  SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, pager_.Get(node_id));
+  while (!node->leaf) {
     size_t idx = 0;
-    for (; idx < node.stored.size(); ++idx) {
-      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep, DecodeEntry(node_id, idx));
+    for (; idx < node->stored.size(); ++idx) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain sep, DecodeEntry(*node, idx));
       if (CompareSeparatorToProbe(sep, exact) > 0) break;
     }
-    node_id = node.children[idx];
+    node_id = node->children[idx];
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
   }
   while (node_id >= 0) {
-    Node& node = nodes_[node_id];
-    for (size_t i = 0; i < node.stored.size(); ++i) {
-      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
+    for (size_t i = 0; i < node->stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(*node, i));
       const int cmp = CompareEntryToProbe(e, exact);
       if (cmp > 0) return NotFoundError("index entry not found");
       if (cmp == 0) {
-        node.stored.erase(node.stored.begin() + i);
-        node.refs.erase(node.refs.begin() + i);
+        SDBENC_ASSIGN_OR_RETURN(BTreeNode * mut, pager_.Mut(node_id));
+        mut->stored.erase(mut->stored.begin() + i);
+        mut->refs.erase(mut->refs.begin() + i);
         --num_entries_;
         return OkStatus();
       }
     }
-    node_id = node.next;
+    node_id = node->next;
   }
   return NotFoundError("index entry not found");
 }
 
-size_t BPlusTree::num_nodes() const { return nodes_.size(); }
+size_t BPlusTree::num_nodes() const { return pager_.size(); }
 
 size_t BPlusTree::height() const {
   size_t h = 1;
   int node_id = root_;
-  while (!nodes_[node_id].leaf) {
-    node_id = nodes_[node_id].children.front();
+  while (true) {
+    const StatusOr<BTreeNode*> node = pager_.Get(node_id);
+    if (!node.ok() || (*node)->leaf) return h;
+    node_id = (*node)->children.front();
     ++h;
   }
-  return h;
 }
 
 Status BPlusTree::CheckNode(int node_id, const Bytes* lo, const Bytes* hi,
                             size_t depth, size_t leaf_depth) const {
-  const Node& node = nodes_[node_id];
-  if (node.stored.size() != node.refs.size()) {
+  SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, pager_.Get(node_id));
+  if (node->stored.size() != node->refs.size()) {
     return InternalError("stored/ref count mismatch");
   }
   std::vector<IndexEntryPlain> plains;
-  for (size_t i = 0; i < node.stored.size(); ++i) {
-    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+  for (size_t i = 0; i < node->stored.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(*node, i));
     plains.push_back(std::move(e));
   }
   // Recover the plain key of each entry (inner entries hold the composite
   // key || row; leaves hold the key directly).
   std::vector<Bytes> keys(plains.size());
   for (size_t i = 0; i < plains.size(); ++i) {
-    if (node.leaf) {
+    if (node->leaf) {
       keys[i] = plains[i].key;
     } else {
       uint64_t row;
@@ -530,19 +528,19 @@ Status BPlusTree::CheckNode(int node_id, const Bytes* lo, const Bytes* hi,
       return InternalError("entry above parent separator");
     }
   }
-  if (node.leaf) {
+  if (node->leaf) {
     if (depth != leaf_depth) {
       return InternalError("leaves at different depths");
     }
     return OkStatus();
   }
-  if (node.children.size() != plains.size() + 1) {
+  if (node->children.size() != plains.size() + 1) {
     return InternalError("inner node child count mismatch");
   }
-  for (size_t i = 0; i < node.children.size(); ++i) {
+  for (size_t i = 0; i < node->children.size(); ++i) {
     const Bytes* child_lo = (i == 0) ? lo : &keys[i - 1];
     const Bytes* child_hi = (i == keys.size()) ? hi : &keys[i];
-    SDBENC_RETURN_IF_ERROR(CheckNode(node.children[i], child_lo, child_hi,
+    SDBENC_RETURN_IF_ERROR(CheckNode(node->children[i], child_lo, child_hi,
                                      depth + 1, leaf_depth));
   }
   return OkStatus();
@@ -552,8 +550,10 @@ Status BPlusTree::CheckStructure() const {
   // Determine leaf depth from the leftmost path, then verify globally.
   size_t leaf_depth = 1;
   int node_id = root_;
-  while (!nodes_[node_id].leaf) {
-    node_id = nodes_[node_id].children.front();
+  SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, pager_.Get(node_id));
+  while (!node->leaf) {
+    node_id = node->children.front();
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
     ++leaf_depth;
   }
   SDBENC_RETURN_IF_ERROR(CheckNode(root_, nullptr, nullptr, 1, leaf_depth));
@@ -564,9 +564,9 @@ Status BPlusTree::CheckStructure() const {
   bool have_prev = false;
   size_t seen = 0;
   while (node_id >= 0) {
-    const Node& node = nodes_[node_id];
-    for (size_t i = 0; i < node.stored.size(); ++i) {
-      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(node_id, i));
+    SDBENC_ASSIGN_OR_RETURN(node, pager_.Get(node_id));
+    for (size_t i = 0; i < node->stored.size(); ++i) {
+      SDBENC_ASSIGN_OR_RETURN(IndexEntryPlain e, DecodeEntry(*node, i));
       if (have_prev) {
         const Probe prev{prev_key, prev_row, 0};
         if (CompareEntryToProbe(e, prev) < 0) {
@@ -578,7 +578,7 @@ Status BPlusTree::CheckStructure() const {
       have_prev = true;
       ++seen;
     }
-    node_id = node.next;
+    node_id = node->next;
   }
   if (seen != num_entries_) {
     return InternalError("sibling chain entry count mismatch");
@@ -588,49 +588,112 @@ Status BPlusTree::CheckStructure() const {
 
 std::vector<BPlusTree::StoredEntry> BPlusTree::DumpStoredEntries() const {
   std::vector<StoredEntry> out;
-  for (const Node& node : nodes_) {
-    for (size_t i = 0; i < node.stored.size(); ++i) {
-      out.push_back(StoredEntry{node.refs[i], node.leaf, node.stored[i]});
+  for (size_t n = 0; n < pager_.size(); ++n) {
+    const StatusOr<BTreeNode*> node = pager_.Get(static_cast<int>(n));
+    if (!node.ok()) continue;  // unreadable node: nothing to dump
+    for (size_t i = 0; i < (*node)->stored.size(); ++i) {
+      out.push_back(
+          StoredEntry{(*node)->refs[i], (*node)->leaf, (*node)->stored[i]});
     }
   }
   return out;
 }
 
 Bytes* BPlusTree::MutableStoredEntry(uint64_t entry_ref) {
-  for (Node& node : nodes_) {
-    for (size_t i = 0; i < node.refs.size(); ++i) {
-      if (node.refs[i] == entry_ref) return &node.stored[i];
+  for (size_t n = 0; n < pager_.size(); ++n) {
+    const StatusOr<BTreeNode*> node = pager_.Get(static_cast<int>(n));
+    if (!node.ok()) continue;
+    for (size_t i = 0; i < (*node)->refs.size(); ++i) {
+      if ((*node)->refs[i] == entry_ref) {
+        // Tampering counts as a write: the adversary's modification must
+        // survive a flush, so the slot goes dirty like any other mutation.
+        const StatusOr<BTreeNode*> mut = pager_.Mut(static_cast<int>(n));
+        if (!mut.ok()) return nullptr;
+        return &(*mut)->stored[i];
+      }
     }
   }
   return nullptr;
 }
 
 StatusOr<BPlusTree::WalkNode> BPlusTree::GetWalkNode(int node_id) const {
-  if (node_id < 0 || static_cast<size_t>(node_id) >= nodes_.size()) {
-    return OutOfRangeError("no node " + std::to_string(node_id));
-  }
-  const Node& node = nodes_[node_id];
+  SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, pager_.Get(node_id));
   WalkNode walk;
-  walk.leaf = node.leaf;
-  walk.stored = node.stored;
-  for (size_t i = 0; i < node.stored.size(); ++i) {
-    walk.contexts.push_back(MakeContext(node_id, i));
+  walk.leaf = node->leaf;
+  walk.stored = node->stored;
+  for (size_t i = 0; i < node->stored.size(); ++i) {
+    walk.contexts.push_back(MakeContext(*node, i));
   }
-  if (!node.leaf) walk.children = node.children;
-  walk.next = node.next;
+  if (!node->leaf) walk.children = node->children;
+  walk.next = node->next;
   return walk;
 }
 
 StatusOr<IndexEntryContext> BPlusTree::ContextOf(uint64_t entry_ref) const {
-  for (size_t n = 0; n < nodes_.size(); ++n) {
-    const Node& node = nodes_[n];
-    for (size_t i = 0; i < node.refs.size(); ++i) {
-      if (node.refs[i] == entry_ref) {
-        return MakeContext(static_cast<int>(n), i);
+  for (size_t n = 0; n < pager_.size(); ++n) {
+    SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node,
+                            pager_.Get(static_cast<int>(n)));
+    for (size_t i = 0; i < node->refs.size(); ++i) {
+      if (node->refs[i] == entry_ref) {
+        return MakeContext(*node, i);
       }
     }
   }
   return NotFoundError("no entry with ref " + std::to_string(entry_ref));
+}
+
+Status BPlusTree::FlushDirty(RecordStore& store) {
+  return pager_.FlushDirty(store);
+}
+
+void BPlusTree::WriteMetaTo(BinaryWriter& w,
+                            const std::vector<uint64_t>& ids) const {
+  w.PutU32(static_cast<uint32_t>(root_));
+  w.PutU64(num_entries_);
+  w.PutU64(next_entry_ref_);
+  w.PutU32(static_cast<uint32_t>(ids.size()));
+  for (const uint64_t id : ids) w.PutU64(id);
+}
+
+Status BPlusTree::SaveMeta(BinaryWriter& w) const {
+  const std::vector<uint64_t> ids = pager_.record_ids();
+  for (const uint64_t id : ids) {
+    if (id == kNoRecord) {
+      return FailedPreconditionError(
+          "tree has unflushed nodes; FlushDirty before SaveMeta");
+    }
+  }
+  WriteMetaTo(w, ids);
+  return OkStatus();
+}
+
+Status BPlusTree::DumpTo(RecordStore& store, BinaryWriter* w) const {
+  std::vector<uint64_t> ids;
+  SDBENC_RETURN_IF_ERROR(pager_.DumpAllTo(store, &ids));
+  WriteMetaTo(*w, ids);
+  return OkStatus();
+}
+
+Status BPlusTree::LoadFrom(RecordStore* store, BinaryReader& r) {
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t root, r.GetU32());
+  SDBENC_ASSIGN_OR_RETURN(const uint64_t num_entries, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(const uint64_t next_ref, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t nslots, r.GetU32());
+  if (root >= nslots) return ParseError("tree root outside node directory");
+  std::vector<uint64_t> ids(nslots);
+  for (uint32_t i = 0; i < nslots; ++i) {
+    SDBENC_ASSIGN_OR_RETURN(ids[i], r.GetU64());
+    if (ids[i] == kNoRecord) return ParseError("node without backing record");
+  }
+  pager_.AttachForLoad(store, std::move(ids));
+  root_ = static_cast<int>(root);
+  num_entries_ = static_cast<size_t>(num_entries);
+  next_entry_ref_ = next_ref;
+  return OkStatus();
+}
+
+Status BPlusTree::FreeStorage(RecordStore& store) {
+  return pager_.FreeStorage(store);
 }
 
 }  // namespace sdbenc

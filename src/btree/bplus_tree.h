@@ -6,10 +6,14 @@
 #include <vector>
 
 #include "btree/entry_codec.h"
+#include "btree/node_pager.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
 
 namespace sdbenc {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// B+-tree index in the table representation the analysed paper describes
 /// (§2.3): the *structural* part — node layout, child pointers, leaf sibling
@@ -108,15 +112,31 @@ class BPlusTree {
   /// Serialises node `node_id` for the blind-navigation protocol.
   StatusOr<WalkNode> GetWalkNode(int node_id) const;
 
- private:
-  struct Node {
-    bool leaf = true;
-    std::vector<Bytes> stored;        // encoded entries (sorted by key)
-    std::vector<uint64_t> refs;       // entry_ref (r_I) per entry
-    std::vector<int> children;        // inner: stored.size() + 1 children
-    int next = -1;                    // leaf: right sibling
-  };
+  /// Persists every node changed since the last flush into `store` (new
+  /// nodes get fresh records, changed nodes are rewritten in place) and
+  /// attaches the tree to `store` for future node faults. `store` must
+  /// outlive the tree.
+  Status FlushDirty(RecordStore& store);
 
+  /// Writes the tree's metadata (root, counters, node record directory)
+  /// to `w`. All nodes must have been flushed first.
+  Status SaveMeta(BinaryWriter& w) const;
+
+  /// Writes all nodes as fresh records into `store` plus the matching
+  /// metadata into `w` — a full copy for dump-style saves to a different
+  /// engine. This tree's own backing records are not touched.
+  Status DumpTo(RecordStore& store, BinaryWriter* w) const;
+
+  /// Inverse of SaveMeta/DumpTo: reads the metadata from `r` and attaches
+  /// to `store` for *lazy* node faults. No node is read — and no entry
+  /// decrypted — until a query touches it. `store` must outlive the tree.
+  Status LoadFrom(RecordStore* store, BinaryReader& r);
+
+  /// Releases every backing node record in `store`, keeping the in-memory
+  /// working copies usable (all marked dirty again).
+  Status FreeStorage(RecordStore& store);
+
+ private:
   struct SplitResult {
     bool split = false;
     Bytes separator;            // plaintext key promoted to the parent
@@ -128,11 +148,12 @@ class BPlusTree {
   /// re-encryption of entries whose authenticated context is unchanged.
   using RefISnapshot = std::unordered_map<uint64_t, Bytes>;
 
-  IndexEntryContext MakeContext(int node_id, size_t slot) const;
-  StatusOr<IndexEntryPlain> DecodeEntry(int node_id, size_t slot) const;
-  RefISnapshot SnapshotRefI(int node_id) const;
+  IndexEntryContext MakeContext(const BTreeNode& node, size_t slot) const;
+  StatusOr<IndexEntryPlain> DecodeEntry(const BTreeNode& node,
+                                        size_t slot) const;
+  RefISnapshot SnapshotRefI(const BTreeNode& node) const;
 
-  /// Re-encodes `plains` into nodes_[node_id].stored. A slot is freshly
+  /// Re-encodes `plains` into the node's stored entries. A slot is freshly
   /// encoded if its stored bytes are a placeholder (new entry), or if the
   /// codec binds structure and the entry's Ref_I differs from the snapshot.
   Status WriteBack(int node_id, const std::vector<IndexEntryPlain>& plains,
@@ -142,13 +163,14 @@ class BPlusTree {
                                   uint64_t table_row);
   Status CheckNode(int node_id, const Bytes* lo, const Bytes* hi,
                    size_t depth, size_t leaf_depth) const;
+  void WriteMetaTo(BinaryWriter& w, const std::vector<uint64_t>& ids) const;
 
   IndexEntryCodec* codec_;
   uint64_t index_table_id_;
   uint64_t indexed_table_id_;
   uint32_t indexed_column_;
   size_t order_;
-  std::vector<Node> nodes_;
+  NodePager pager_;
   int root_;
   size_t num_entries_ = 0;
   uint64_t next_entry_ref_ = 1;

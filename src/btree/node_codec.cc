@@ -1,0 +1,80 @@
+#include "btree/node_codec.h"
+
+#include "db/serialize.h"
+
+namespace sdbenc {
+
+// Node ids and sibling links are small non-negative ints in memory; on the
+// page they travel as u64 with +1 offset so 0 can mean "none" (-1).
+namespace {
+
+uint64_t EncodeLink(int id) {
+  return id < 0 ? 0 : static_cast<uint64_t>(id) + 1;
+}
+
+StatusOr<int> DecodeLink(uint64_t raw) {
+  if (raw == 0) return -1;
+  if (raw - 1 > static_cast<uint64_t>(INT32_MAX)) {
+    return ParseError("node link out of range");
+  }
+  return static_cast<int>(raw - 1);
+}
+
+}  // namespace
+
+void EncodeNodeTo(const BTreeNode& node, BinaryWriter& w) {
+  w.PutU8(node.leaf ? 1 : 0);
+  w.PutU64(EncodeLink(node.next));
+  w.PutU32(static_cast<uint32_t>(node.stored.size()));
+  for (size_t i = 0; i < node.stored.size(); ++i) {
+    w.PutU64(node.refs[i]);
+    w.PutBytes(node.stored[i]);
+  }
+  w.PutU32(static_cast<uint32_t>(node.children.size()));
+  for (const int child : node.children) {
+    w.PutU64(EncodeLink(child));
+  }
+}
+
+Bytes EncodeNode(const BTreeNode& node) {
+  BinaryWriter w;
+  EncodeNodeTo(node, w);
+  return w.Take();
+}
+
+StatusOr<BTreeNode> DecodeNodeFrom(BinaryReader& r) {
+  BTreeNode node;
+  SDBENC_ASSIGN_OR_RETURN(const uint8_t leaf, r.GetU8());
+  node.leaf = leaf != 0;
+  SDBENC_ASSIGN_OR_RETURN(const uint64_t next_raw, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(node.next, DecodeLink(next_raw));
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t nentries, r.GetU32());
+  node.stored.reserve(nentries);
+  node.refs.reserve(nentries);
+  for (uint32_t i = 0; i < nentries; ++i) {
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t ref, r.GetU64());
+    SDBENC_ASSIGN_OR_RETURN(Bytes stored, r.GetBytes());
+    node.refs.push_back(ref);
+    node.stored.push_back(std::move(stored));
+  }
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t nchildren, r.GetU32());
+  node.children.reserve(nchildren);
+  for (uint32_t i = 0; i < nchildren; ++i) {
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t raw, r.GetU64());
+    SDBENC_ASSIGN_OR_RETURN(const int child, DecodeLink(raw));
+    node.children.push_back(child);
+  }
+  if (!node.leaf && node.children.size() != node.stored.size() + 1) {
+    return ParseError("inner node child count mismatch");
+  }
+  return node;
+}
+
+StatusOr<BTreeNode> DecodeNode(BytesView record) {
+  BinaryReader r(record);
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode node, DecodeNodeFrom(r));
+  if (!r.AtEnd()) return ParseError("trailing bytes after node encoding");
+  return node;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,42 @@
+#ifndef SDBENC_BTREE_NODE_CODEC_H_
+#define SDBENC_BTREE_NODE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// One B+-tree node as the storage layer sees it: plaintext structure
+/// (child pointers, leaf sibling link) around opaque stored entries. This
+/// is the paper's index-table row shape (§2.3) — the codec below persists
+/// exactly this, nothing more, so whatever the IndexEntryCodec encrypted
+/// stays encrypted on the page.
+struct BTreeNode {
+  bool leaf = true;
+  std::vector<Bytes> stored;   // encoded entries (sorted by key)
+  std::vector<uint64_t> refs;  // entry_ref (r_I) per entry
+  std::vector<int> children;   // inner: stored.size() + 1 children
+  int next = -1;               // leaf: right sibling
+};
+
+/// Serialises a node for page-resident storage.
+Bytes EncodeNode(const BTreeNode& node);
+
+/// Appends the node's encoding to `w` (for embedding in larger images).
+void EncodeNodeTo(const BTreeNode& node, BinaryWriter& w);
+
+/// Inverse of EncodeNode; fails with kParseError on malformed input.
+StatusOr<BTreeNode> DecodeNode(BytesView record);
+
+/// Reads one node from `r` at its current position.
+StatusOr<BTreeNode> DecodeNodeFrom(BinaryReader& r);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_BTREE_NODE_CODEC_H_

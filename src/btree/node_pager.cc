@@ -1,0 +1,106 @@
+#include "btree/node_pager.h"
+
+#include <utility>
+
+namespace sdbenc {
+
+int NodePager::Alloc() {
+  Slot slot;
+  slot.node = std::make_unique<BTreeNode>();
+  slot.dirty = true;
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size() - 1);
+}
+
+StatusOr<BTreeNode*> NodePager::Get(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= slots_.size()) {
+    return OutOfRangeError("no node " + std::to_string(id));
+  }
+  const Slot& slot = slots_[id];
+  if (slot.node == nullptr) {
+    if (store_ == nullptr || slot.record_id == kNoRecord) {
+      return InternalError("node " + std::to_string(id) +
+                           " has no working copy and no backing record");
+    }
+    SDBENC_ASSIGN_OR_RETURN(const Bytes record, store_->Get(slot.record_id));
+    SDBENC_ASSIGN_OR_RETURN(BTreeNode node, DecodeNode(record));
+    slot.node = std::make_unique<BTreeNode>(std::move(node));
+  }
+  return slot.node.get();
+}
+
+StatusOr<BTreeNode*> NodePager::Mut(int id) {
+  SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, Get(id));
+  slots_[id].dirty = true;
+  return node;
+}
+
+void NodePager::Reset() {
+  slots_.clear();
+  store_ = nullptr;
+}
+
+void NodePager::AttachForLoad(RecordStore* store,
+                              std::vector<uint64_t> record_ids) {
+  slots_.clear();
+  slots_.reserve(record_ids.size());
+  for (const uint64_t id : record_ids) {
+    Slot slot;
+    slot.record_id = id;
+    slots_.push_back(std::move(slot));
+  }
+  store_ = store;
+}
+
+Status NodePager::FlushDirty(RecordStore& store) {
+  for (Slot& slot : slots_) {
+    if (!slot.dirty || slot.node == nullptr) continue;
+    const Bytes record = EncodeNode(*slot.node);
+    if (slot.record_id == kNoRecord) {
+      SDBENC_ASSIGN_OR_RETURN(slot.record_id, store.Put(record));
+    } else {
+      SDBENC_RETURN_IF_ERROR(store.Update(slot.record_id, record));
+    }
+    slot.dirty = false;
+  }
+  store_ = &store;
+  return OkStatus();
+}
+
+Status NodePager::DumpAllTo(RecordStore& store,
+                            std::vector<uint64_t>* ids) const {
+  ids->clear();
+  ids->reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    SDBENC_ASSIGN_OR_RETURN(const BTreeNode* node, Get(static_cast<int>(i)));
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t id, store.Put(EncodeNode(*node)));
+    ids->push_back(id);
+  }
+  return OkStatus();
+}
+
+Status NodePager::FreeStorage(RecordStore& store) {
+  for (Slot& slot : slots_) {
+    if (slot.record_id == kNoRecord) continue;
+    // Keep the working copy alive: fault it in before the record goes away.
+    if (slot.node == nullptr) {
+      SDBENC_ASSIGN_OR_RETURN(const Bytes record, store.Get(slot.record_id));
+      SDBENC_ASSIGN_OR_RETURN(BTreeNode node, DecodeNode(record));
+      slot.node = std::make_unique<BTreeNode>(std::move(node));
+    }
+    SDBENC_RETURN_IF_ERROR(store.Free(slot.record_id));
+    slot.record_id = kNoRecord;
+    slot.dirty = true;
+  }
+  store_ = nullptr;
+  return OkStatus();
+}
+
+std::vector<uint64_t> NodePager::record_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(slots_.size());
+  for (const Slot& slot : slots_) ids.push_back(slot.record_id);
+  return ids;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,72 @@
+#ifndef SDBENC_BTREE_NODE_PAGER_H_
+#define SDBENC_BTREE_NODE_PAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/node_codec.h"
+#include "storage/record_store.h"
+
+namespace sdbenc {
+
+/// Node directory of a B+-tree: every node id maps to a slot holding a
+/// resident working copy, a backing record id, or both. Fresh trees are
+/// purely resident; trees loaded from storage start with record ids only
+/// and fault nodes in *on first touch* — the structure is plaintext, so
+/// faulting decodes no entry and costs no decryption. Mutations mark the
+/// slot dirty; FlushDirty() persists exactly those slots.
+///
+/// Nodes live behind unique_ptr, so BTreeNode* stays stable across
+/// Alloc() — the tree's split paths hold pointers to two nodes at once.
+class NodePager {
+ public:
+  /// Adds a fresh empty (resident, dirty) node; returns its id.
+  int Alloc();
+
+  /// The node for `id`, faulting it in from the attached store if needed.
+  StatusOr<BTreeNode*> Get(int id) const;
+
+  /// Get() plus marking the slot dirty — use for any mutation.
+  StatusOr<BTreeNode*> Mut(int id);
+
+  size_t size() const { return slots_.size(); }
+
+  /// Drops every slot (and any attachment). Frees no storage — use
+  /// FreeStorage() first if the old records must be released.
+  void Reset();
+
+  /// Points the pager at persisted nodes: one record id per slot, nodes
+  /// faulted lazily from `store` (which must outlive the pager).
+  void AttachForLoad(RecordStore* store, std::vector<uint64_t> record_ids);
+
+  /// Persists every dirty resident node into `store` (Put for new slots,
+  /// in-place Update otherwise) and clears the dirty bits. Future faults
+  /// read from `store`.
+  Status FlushDirty(RecordStore& store);
+
+  /// Writes *all* nodes as fresh records into `store` (faulting residents
+  /// in as needed) without touching this pager's own record ids.
+  Status DumpAllTo(RecordStore& store, std::vector<uint64_t>* ids) const;
+
+  /// Releases every backing record in `store` and forgets the record ids;
+  /// resident nodes stay usable (and dirty).
+  Status FreeStorage(RecordStore& store);
+
+  /// Backing record id per slot (kNoRecord where never flushed).
+  std::vector<uint64_t> record_ids() const;
+
+ private:
+  struct Slot {
+    // mutable: Get() is const but materialises the working copy on fault.
+    mutable std::unique_ptr<BTreeNode> node;
+    uint64_t record_id = kNoRecord;
+    bool dirty = false;
+  };
+
+  RecordStore* store_ = nullptr;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_BTREE_NODE_PAGER_H_

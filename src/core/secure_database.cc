@@ -1,10 +1,13 @@
 #include "core/secure_database.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "crypto/hash.h"
 #include "crypto/hkdf.h"
 #include "db/serialize.h"
+#include "storage/file_storage_engine.h"
+#include "storage/memory_storage_engine.h"
 #include "util/constant_time.h"
 #include "util/file.h"
 
@@ -23,11 +26,51 @@ SecureDatabase::SecureDatabase(Bytes master_key,
 
 StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::Open(
     BytesView master_key, std::optional<uint64_t> rng_seed) {
+  return Open(master_key, StorageOptions::Memory(), rng_seed);
+}
+
+StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::Open(
+    BytesView master_key, const StorageOptions& storage,
+    std::optional<uint64_t> rng_seed) {
+  return OpenImpl(master_key, storage, rng_seed, /*create_if_missing=*/true);
+}
+
+StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
+    BytesView master_key, const StorageOptions& storage,
+    std::optional<uint64_t> rng_seed, bool create_if_missing) {
   if (master_key.size() < 16) {
     return InvalidArgumentError("master key must be >= 16 octets");
   }
-  return std::unique_ptr<SecureDatabase>(new SecureDatabase(
+  auto db = std::unique_ptr<SecureDatabase>(new SecureDatabase(
       Bytes(master_key.begin(), master_key.end()), rng_seed));
+
+  if (storage.backend == StorageBackend::kMemory) {
+    db->engine_ = std::make_unique<MemoryStorageEngine>(storage.page_size);
+    db->records_ = std::make_unique<RecordStore>(db->engine_.get());
+    SDBENC_ASSIGN_OR_RETURN(db->keycheck_, db->MakeKeycheckToken());
+    return db;
+  }
+
+  StatusOr<std::unique_ptr<FileStorageEngine>> reopened =
+      FileStorageEngine::Open(storage.path, storage.buffer_pool_pages);
+  if (reopened.ok()) {
+    db->engine_ = std::move(reopened).value();
+    db->records_ = std::make_unique<RecordStore>(db->engine_.get());
+    SDBENC_RETURN_IF_ERROR(db->LoadCatalog());
+    return db;
+  }
+  if (!create_if_missing ||
+      reopened.status().code() != StatusCode::kNotFound) {
+    return reopened.status();
+  }
+  SDBENC_ASSIGN_OR_RETURN(
+      std::unique_ptr<FileStorageEngine> fresh,
+      FileStorageEngine::Create(storage.path, storage.page_size,
+                                storage.buffer_pool_pages));
+  db->engine_ = std::move(fresh);
+  db->records_ = std::make_unique<RecordStore>(db->engine_.get());
+  SDBENC_ASSIGN_OR_RETURN(db->keycheck_, db->MakeKeycheckToken());
+  return db;
 }
 
 Status SecureDatabase::CheckOpen() const {
@@ -59,12 +102,44 @@ StatusOr<std::unique_ptr<Aead>> MakeAead(AeadAlgorithm alg,
   return CreateAead(alg, BytesView(key32.data(), 16));
 }
 
+// The keycheck token is this constant, AEAD-encrypted under the dedicated
+// "keycheck" subkey at a reserved address. Decrypt-verifying it proves the
+// master key without touching any cell.
+constexpr char kKeycheckPlaintext[] = "sdbenc-keycheck";
+constexpr CellAddress kKeycheckAddress{0, 0, 0};
+
 }  // namespace
+
+StatusOr<Bytes> SecureDatabase::MakeKeycheckToken() const {
+  SDBENC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Aead> aead,
+      MakeAead(AeadAlgorithm::kEax, DeriveKey("keycheck")));
+  AeadCellCodec codec(*aead, *rng_);
+  return codec.Encode(BytesFromString(kKeycheckPlaintext), kKeycheckAddress);
+}
+
+Status SecureDatabase::VerifyKeycheck(BytesView token) const {
+  SDBENC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Aead> aead,
+      MakeAead(AeadAlgorithm::kEax, DeriveKey("keycheck")));
+  AeadCellCodec codec(*aead, *rng_);
+  const StatusOr<Bytes> plain = codec.Decode(token, kKeycheckAddress);
+  if (!plain.ok() || *plain != BytesFromString(kKeycheckPlaintext)) {
+    return AuthenticationFailedError(
+        "master key rejected: keycheck token failed to authenticate");
+  }
+  return OkStatus();
+}
 
 Status SecureDatabase::BuildTableState(
     const std::string& name, AeadAlgorithm alg, size_t index_order,
-    const std::vector<std::string>& indexed_columns, bool populate_indexes) {
+    const std::vector<std::string>& indexed_columns, bool populate_indexes,
+    const std::vector<uint64_t>* index_table_ids) {
   SDBENC_ASSIGN_OR_RETURN(Table * table, storage_holder_->GetTable(name));
+  if (index_table_ids != nullptr &&
+      index_table_ids->size() != indexed_columns.size()) {
+    return InternalError("index id count does not match indexed columns");
+  }
 
   auto state = std::make_unique<TableState>();
   state->name = name;
@@ -90,19 +165,25 @@ Status SecureDatabase::BuildTableState(
   state->encrypted_table =
       std::make_unique<EncryptedTable>(table, std::move(codecs));
 
-  for (const std::string& column_name : indexed_columns) {
+  for (size_t i = 0; i < indexed_columns.size(); ++i) {
+    const std::string& column_name = indexed_columns[i];
     SDBENC_ASSIGN_OR_RETURN(size_t column,
                             table->schema().FindColumn(column_name));
     TableState::IndexState index_state;
     index_state.column = static_cast<uint32_t>(column);
     index_state.column_name = column_name;
+    // A reopened index must keep its persisted table id: every stored
+    // entry authenticates a context containing it.
+    index_state.index_table_id = index_table_ids != nullptr
+                                     ? (*index_table_ids)[i]
+                                     : next_index_table_id_++;
     SDBENC_ASSIGN_OR_RETURN(
         index_state.aead,
         MakeAead(alg, DeriveKey("index/" + name + "/" + column_name)));
     index_state.codec =
         std::make_unique<AeadIndexCodec>(*index_state.aead, *rng_);
     index_state.index = std::make_unique<EncryptedIndex>(
-        index_state.codec.get(), next_index_table_id_++, table->id(),
+        index_state.codec.get(), index_state.index_table_id, table->id(),
         static_cast<uint32_t>(column), index_order);
     if (populate_indexes) {
       for (uint64_t row = 0; row < table->num_rows(); ++row) {
@@ -316,57 +397,189 @@ bool SecureDatabase::HasIndex(const std::string& table,
 
 // ------------------------------------------------------------- persistence
 
-Status SecureDatabase::SaveToFile(const std::string& path) const {
-  SDBENC_RETURN_IF_ERROR(CheckOpen());
-  BinaryWriter writer;
-  writer.PutBytes(SerializeDatabase(*storage_holder_));
-  writer.PutU32(static_cast<uint32_t>(tables_.size()));
+Status SecureDatabase::WriteCatalog(BinaryWriter& w,
+                                    RecordStore* dump_target) const {
+  w.PutU32(1);  // catalog version
+  w.PutBytes(keycheck_);
+  w.PutU64(next_index_table_id_);
+  w.PutU32(static_cast<uint32_t>(tables_.size()));
   for (const auto& state : tables_) {
-    writer.PutString(state->name);
-    writer.PutString(AeadAlgorithmName(state->aead_alg));
-    writer.PutU32(static_cast<uint32_t>(state->index_order));
-    writer.PutU32(static_cast<uint32_t>(state->indexes.size()));
+    const Table& table = state->encrypted_table->table();
+    w.PutU64(table.id());
+    w.PutString(state->name);
+    w.PutU32(static_cast<uint32_t>(table.schema().num_columns()));
+    for (const ColumnDef& col : table.schema().columns()) {
+      w.PutString(col.name);
+      w.PutU8(static_cast<uint8_t>(col.type));
+      w.PutU8(col.encrypted ? 1 : 0);
+    }
+    std::vector<uint64_t> row_ids;
+    if (dump_target != nullptr) {
+      SDBENC_RETURN_IF_ERROR(table.DumpRowsTo(*dump_target, &row_ids));
+    } else {
+      row_ids = table.row_record_ids();
+    }
+    w.PutU64(row_ids.size());
+    for (const uint64_t id : row_ids) {
+      if (id == kNoRecord) {
+        return FailedPreconditionError(
+            "table has unflushed rows; Flush() before saving the catalog");
+      }
+      w.PutU64(id);
+    }
+    w.PutString(AeadAlgorithmName(state->aead_alg));
+    w.PutU32(static_cast<uint32_t>(state->index_order));
+    w.PutU32(static_cast<uint32_t>(state->indexes.size()));
     for (const auto& index_state : state->indexes) {
-      writer.PutString(index_state.column_name);
+      w.PutString(index_state.column_name);
+      w.PutU64(index_state.index_table_id);
+      BinaryWriter meta;
+      if (dump_target != nullptr) {
+        SDBENC_RETURN_IF_ERROR(
+            index_state.index->tree().DumpTo(*dump_target, &meta));
+      } else {
+        SDBENC_RETURN_IF_ERROR(index_state.index->tree().SaveMeta(meta));
+      }
+      w.PutBytes(meta.data());
     }
   }
-  return WriteFileAtomic(path, writer.data());
+  return OkStatus();
+}
+
+Status SecureDatabase::Flush() {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  for (const auto& state : tables_) {
+    SDBENC_RETURN_IF_ERROR(
+        state->encrypted_table->mutable_table()->FlushRows(*records_));
+    for (const auto& index_state : state->indexes) {
+      SDBENC_RETURN_IF_ERROR(
+          index_state.index->tree().FlushDirty(*records_));
+    }
+  }
+  BinaryWriter catalog;
+  SDBENC_RETURN_IF_ERROR(WriteCatalog(catalog, nullptr));
+  if (catalog_record_ == kNoRecord) {
+    SDBENC_ASSIGN_OR_RETURN(catalog_record_, records_->Put(catalog.data()));
+  } else {
+    SDBENC_RETURN_IF_ERROR(records_->Update(catalog_record_,
+                                            catalog.data()));
+  }
+  engine_->set_root_record(catalog_record_);
+  return engine_->Flush();
+}
+
+Status SecureDatabase::LoadCatalog() {
+  const uint64_t root = engine_->root_record();
+  if (root == kNoRecord) {
+    return ParseError("page file has no catalog record");
+  }
+  SDBENC_ASSIGN_OR_RETURN(const Bytes image, records_->Get(root));
+  BinaryReader r(image);
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t version, r.GetU32());
+  if (version != 1) {
+    return ParseError("unsupported catalog version " +
+                      std::to_string(version));
+  }
+  SDBENC_ASSIGN_OR_RETURN(Bytes keycheck, r.GetBytes());
+  // A wrong master key dies right here, before any cell or index page is
+  // touched.
+  SDBENC_RETURN_IF_ERROR(VerifyKeycheck(keycheck));
+  keycheck_ = std::move(keycheck);
+  SDBENC_ASSIGN_OR_RETURN(const uint64_t next_index_id, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t n_tables, r.GetU32());
+  for (uint32_t t = 0; t < n_tables; ++t) {
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t table_id, r.GetU64());
+    SDBENC_ASSIGN_OR_RETURN(const std::string name, r.GetString());
+    SDBENC_ASSIGN_OR_RETURN(const uint32_t ncols, r.GetU32());
+    std::vector<ColumnDef> cols;
+    cols.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      ColumnDef col;
+      SDBENC_ASSIGN_OR_RETURN(col.name, r.GetString());
+      SDBENC_ASSIGN_OR_RETURN(const uint8_t type, r.GetU8());
+      if (type > static_cast<uint8_t>(ValueType::kFloat64)) {
+        return ParseError("unknown column type in catalog");
+      }
+      col.type = static_cast<ValueType>(type);
+      SDBENC_ASSIGN_OR_RETURN(const uint8_t encrypted, r.GetU8());
+      col.encrypted = encrypted != 0;
+      cols.push_back(std::move(col));
+    }
+    SDBENC_ASSIGN_OR_RETURN(
+        Table * table,
+        storage_holder_->RestoreTable(table_id, name,
+                                      Schema(std::move(cols))));
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t n_rows, r.GetU64());
+    std::vector<uint64_t> row_ids(n_rows);
+    for (uint64_t i = 0; i < n_rows; ++i) {
+      SDBENC_ASSIGN_OR_RETURN(row_ids[i], r.GetU64());
+    }
+    // Rows load eagerly — their pages' checksums are verified as a side
+    // effect — but nothing is decrypted: the cells stay ciphertext.
+    SDBENC_RETURN_IF_ERROR(table->LoadRows(*records_, row_ids));
+    SDBENC_ASSIGN_OR_RETURN(const std::string alg_name, r.GetString());
+    SDBENC_ASSIGN_OR_RETURN(const AeadAlgorithm alg,
+                            ParseAeadAlgorithm(alg_name));
+    SDBENC_ASSIGN_OR_RETURN(const uint32_t order, r.GetU32());
+    SDBENC_ASSIGN_OR_RETURN(const uint32_t n_indexes, r.GetU32());
+    std::vector<std::string> indexed;
+    std::vector<uint64_t> index_ids;
+    std::vector<Bytes> metas;
+    for (uint32_t i = 0; i < n_indexes; ++i) {
+      SDBENC_ASSIGN_OR_RETURN(std::string column, r.GetString());
+      SDBENC_ASSIGN_OR_RETURN(const uint64_t index_id, r.GetU64());
+      SDBENC_ASSIGN_OR_RETURN(Bytes meta, r.GetBytes());
+      indexed.push_back(std::move(column));
+      index_ids.push_back(index_id);
+      metas.push_back(std::move(meta));
+    }
+    // populate_indexes=false: the trees attach to their persisted nodes
+    // below and fault them in lazily — no decrypt-everything rebuild.
+    SDBENC_RETURN_IF_ERROR(BuildTableState(name, alg, order, indexed,
+                                           /*populate_indexes=*/false,
+                                           &index_ids));
+    TableState* state = tables_.back().get();
+    for (uint32_t i = 0; i < n_indexes; ++i) {
+      BinaryReader meta_reader(metas[i]);
+      SDBENC_RETURN_IF_ERROR(state->indexes[i].index->tree().LoadFrom(
+          records_.get(), meta_reader));
+    }
+  }
+  if (!r.AtEnd()) {
+    return ParseError("trailing garbage in catalog record");
+  }
+  next_index_table_id_ = next_index_id;
+  catalog_record_ = root;
+  return OkStatus();
+}
+
+Status SecureDatabase::SaveToFile(const std::string& path) const {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  // Build the complete image next to the target, then rename into place so
+  // a crash mid-save never clobbers an existing good file.
+  const std::string tmp = path + ".tmp";
+  SDBENC_ASSIGN_OR_RETURN(
+      std::unique_ptr<FileStorageEngine> engine,
+      FileStorageEngine::Create(tmp, engine_->page_size()));
+  RecordStore records(engine.get());
+  BinaryWriter catalog;
+  SDBENC_RETURN_IF_ERROR(WriteCatalog(catalog, &records));
+  SDBENC_ASSIGN_OR_RETURN(const uint64_t root, records.Put(catalog.data()));
+  engine->set_root_record(root);
+  SDBENC_RETURN_IF_ERROR(engine->Flush());
+  engine.reset();  // close the file before renaming
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return OkStatus();
 }
 
 StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenFromFile(
     BytesView master_key, const std::string& path,
     std::optional<uint64_t> rng_seed) {
-  SDBENC_ASSIGN_OR_RETURN(Bytes image, ReadFile(path));
-  BinaryReader reader(image);
-  SDBENC_ASSIGN_OR_RETURN(Bytes storage_image, reader.GetBytes());
-  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Database> storage,
-                          DeserializeDatabase(storage_image));
-
-  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<SecureDatabase> db,
-                          Open(master_key, rng_seed));
-  db->storage_holder_ = std::move(storage);
-
-  SDBENC_ASSIGN_OR_RETURN(uint32_t n_tables, reader.GetU32());
-  for (uint32_t t = 0; t < n_tables; ++t) {
-    SDBENC_ASSIGN_OR_RETURN(std::string name, reader.GetString());
-    SDBENC_ASSIGN_OR_RETURN(std::string alg_name, reader.GetString());
-    SDBENC_ASSIGN_OR_RETURN(AeadAlgorithm alg, ParseAeadAlgorithm(alg_name));
-    SDBENC_ASSIGN_OR_RETURN(uint32_t order, reader.GetU32());
-    SDBENC_ASSIGN_OR_RETURN(uint32_t n_indexes, reader.GetU32());
-    std::vector<std::string> indexed;
-    for (uint32_t i = 0; i < n_indexes; ++i) {
-      SDBENC_ASSIGN_OR_RETURN(std::string column, reader.GetString());
-      indexed.push_back(std::move(column));
-    }
-    // Rebuilding the indexes decrypts every indexed cell: a wrong master
-    // key or a tampered image dies right here with an auth failure.
-    SDBENC_RETURN_IF_ERROR(db->BuildTableState(name, alg, order, indexed,
-                                               /*populate_indexes=*/true));
-  }
-  if (!reader.AtEnd()) {
-    return InvalidArgumentError("trailing garbage in database file");
-  }
-  return db;
+  // Reopen only — unlike Open(File(...)), a missing file is an error.
+  return OpenImpl(master_key, StorageOptions::File(path), rng_seed,
+                  /*create_if_missing=*/false);
 }
 
 Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
@@ -422,9 +635,20 @@ Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
     }
   }
 
+  // Release the old indexes' node records: the rebuilt trees encrypt every
+  // entry afresh under the new keys and get fresh records on next Flush.
+  for (auto& state : tables_) {
+    for (auto& index_state : state->indexes) {
+      SDBENC_RETURN_IF_ERROR(
+          index_state.index->tree().FreeStorage(*records_));
+    }
+  }
+
   // Swap in the new key, drop every old state and rebuild (indexes are
-  // repopulated by decrypting the freshly rotated cells).
+  // repopulated by decrypting the freshly rotated cells). The keycheck
+  // token must follow the key, or the next open would reject it.
   master_key_.assign(new_master_key.begin(), new_master_key.end());
+  SDBENC_ASSIGN_OR_RETURN(keycheck_, MakeKeycheckToken());
   tables_.clear();
   for (const Config& config : configs) {
     SDBENC_RETURN_IF_ERROR(BuildTableState(config.name, config.alg,

@@ -12,10 +12,13 @@
 #include "db/database.h"
 #include "schemes/aead_cell.h"
 #include "schemes/aead_index.h"
+#include "storage/record_store.h"
 #include "util/rng.h"
 #include "util/statusor.h"
 
 namespace sdbenc {
+
+class BinaryWriter;
 
 /// Per-table configuration of the fixed scheme.
 struct SecureTableOptions {
@@ -43,6 +46,18 @@ class SecureDatabase {
   /// for reproducible tests/benches, or std::nullopt for OS entropy.
   static StatusOr<std::unique_ptr<SecureDatabase>> Open(
       BytesView master_key, std::optional<uint64_t> rng_seed = std::nullopt);
+
+  /// Opens a session on an explicit storage substrate. With a memory
+  /// backend this is a fresh session (the seed behaviour). With a file
+  /// backend, an existing page file is reopened *incrementally*: the
+  /// catalog and rows are read (their page checksums verified as a side
+  /// effect), a keycheck token authenticates the master key, and index
+  /// nodes stay on their pages until a query faults them in — nothing is
+  /// decrypted up front. A missing file starts a fresh session that
+  /// Flush() will persist to `storage.path`.
+  static StatusOr<std::unique_ptr<SecureDatabase>> Open(
+      BytesView master_key, const StorageOptions& storage,
+      std::optional<uint64_t> rng_seed = std::nullopt);
 
   /// Creates a table plus its encrypted indexes.
   Status CreateTable(const std::string& name, Schema schema,
@@ -84,15 +99,25 @@ class SecureDatabase {
   /// every index. Any storage tampering fails here.
   Status VerifyIntegrity() const;
 
-  /// Serializes the raw storage plus engine metadata (AEAD choice, index
-  /// definitions) to `path`. Only ciphertext and public structure touch the
-  /// disk; the master key is never written.
+  /// Incrementally persists everything changed since the last flush —
+  /// dirty rows, dirty index nodes, the catalog — into the session's
+  /// storage engine and makes it durable. Cheap when little changed; a
+  /// no-op workload flushes no pages at all.
+  Status Flush();
+
+  /// Writes a complete page-file image of the session to `path` (built
+  /// next to it, then atomically renamed). Only ciphertext and public
+  /// structure touch the disk; the master key is never written. For a
+  /// session already opened on a file backend, prefer Flush().
   Status SaveToFile(const std::string& path) const;
 
-  /// Reopens a saved engine: re-derives every subkey from `master_key` and
-  /// rebuilds all indexes by decrypting the stored cells — which doubles as
-  /// a full integrity verification of the loaded image. A wrong master key
-  /// or a tampered image fails here.
+  /// Reopens a saved page file: equivalent to Open(master_key,
+  /// StorageOptions::File(path), rng_seed). A wrong master key fails with
+  /// kAuthenticationFailed via the keycheck token *without* decrypting any
+  /// cell, and index pages are not even read until a query needs them — so
+  /// opening no longer implies full re-verification. Run VerifyIntegrity()
+  /// for the old every-cell guarantee; page-level tampering additionally
+  /// surfaces as kAuthenticationFailed on the next touch of the page.
   static StatusOr<std::unique_ptr<SecureDatabase>> OpenFromFile(
       BytesView master_key, const std::string& path,
       std::optional<uint64_t> rng_seed = std::nullopt);
@@ -129,6 +154,10 @@ class SecureDatabase {
   /// may rewrite in tamper tests.
   Database& storage() { return *storage_holder_; }
 
+  /// The page engine under this session (never null); exposes the
+  /// buffer-pool hit/miss/eviction counters for benches and tests.
+  StorageEngine* storage_engine() { return engine_.get(); }
+
   /// The per-table engine internals, exposed for benches.
   struct TableState {
     std::string name;
@@ -142,6 +171,9 @@ class SecureDatabase {
     struct IndexState {
       uint32_t column;
       std::string column_name;
+      /// Persisted with the catalog: index entries authenticate contexts
+      /// containing this id, so a reopened index must keep it.
+      uint64_t index_table_id = 0;
       std::unique_ptr<Aead> aead;
       std::unique_ptr<AeadIndexCodec> codec;
       std::unique_ptr<EncryptedIndex> index;
@@ -152,6 +184,10 @@ class SecureDatabase {
 
  private:
   explicit SecureDatabase(Bytes master_key, std::optional<uint64_t> rng_seed);
+
+  static StatusOr<std::unique_ptr<SecureDatabase>> OpenImpl(
+      BytesView master_key, const StorageOptions& storage,
+      std::optional<uint64_t> rng_seed, bool create_if_missing);
 
   /// Independent subkey for (table, purpose) pairs via HMAC extraction.
   Bytes DeriveKey(const std::string& label) const;
@@ -169,17 +205,42 @@ class SecureDatabase {
 
   /// (Re)creates the crypto stack + index objects of one table and fills
   /// the indexes from the stored cells. Used by OpenFromFile and rotation.
+  /// `index_table_ids`, when given, pins each index's persisted table id
+  /// (same order as `indexed_columns`) instead of assigning fresh ones.
   Status BuildTableState(const std::string& name, AeadAlgorithm alg,
                          size_t index_order,
                          const std::vector<std::string>& indexed_columns,
-                         bool populate_indexes);
+                         bool populate_indexes,
+                         const std::vector<uint64_t>* index_table_ids =
+                             nullptr);
 
   Status CheckOpen() const;
+
+  /// The keycheck token: a constant AEAD-encrypted under a dedicated
+  /// subkey. Verifying it on open rejects a wrong master key with
+  /// kAuthenticationFailed before any cell is touched.
+  StatusOr<Bytes> MakeKeycheckToken() const;
+  Status VerifyKeycheck(BytesView token) const;
+
+  /// Serialises the catalog — keycheck, schemas, row/node record
+  /// directories, index definitions. With `dump_target` set, rows and
+  /// nodes are first copied into that store as fresh records (full-image
+  /// saves); otherwise the catalog references this session's own records
+  /// (incremental Flush, which must have persisted them already).
+  Status WriteCatalog(BinaryWriter& w, RecordStore* dump_target) const;
+
+  /// Reads the catalog from the engine's root record and rebuilds every
+  /// table state: rows eagerly, index nodes lazily.
+  Status LoadCatalog();
 
   Bytes master_key_;
   std::unique_ptr<Rng> rng_;
   std::unique_ptr<Database> storage_holder_;
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<RecordStore> records_;
   std::vector<std::unique_ptr<TableState>> tables_;
+  Bytes keycheck_;
+  uint64_t catalog_record_ = kNoRecord;
   uint64_t next_index_table_id_ = 1000000;  // disjoint from data table ids
   bool closed_ = false;
 };

@@ -52,4 +52,11 @@ StatusOr<Table*> Database::GetTableById(uint64_t id) {
   return NotFoundError("no table with id " + std::to_string(id));
 }
 
+StatusOr<const Table*> Database::GetTableById(uint64_t id) const {
+  for (const auto& t : tables_) {
+    if (t->id() == id) return static_cast<const Table*>(t.get());
+  }
+  return NotFoundError("no table with id " + std::to_string(id));
+}
+
 }  // namespace sdbenc

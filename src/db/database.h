@@ -31,6 +31,7 @@ class Database {
   StatusOr<Table*> GetTable(const std::string& name);
   StatusOr<const Table*> GetTable(const std::string& name) const;
   StatusOr<Table*> GetTableById(uint64_t id);
+  StatusOr<const Table*> GetTableById(uint64_t id) const;
 
   size_t num_tables() const { return tables_.size(); }
   const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }

@@ -1,0 +1,55 @@
+#include "db/row_codec.h"
+
+#include "db/serialize.h"
+
+namespace sdbenc {
+
+namespace {
+constexpr uint8_t kFlagDeleted = 0x01;
+}  // namespace
+
+Bytes EncodeRow(const std::vector<Bytes>& cells, bool deleted) {
+  BinaryWriter w;
+  w.PutU8(deleted ? kFlagDeleted : 0);
+  w.PutU32(static_cast<uint32_t>(cells.size()));
+  for (const Bytes& cell : cells) {
+    w.PutU32(static_cast<uint32_t>(cell.size()));
+  }
+  Bytes out = w.Take();
+  for (const Bytes& cell : cells) {
+    Append(out, cell);
+  }
+  return out;
+}
+
+StatusOr<RowRecord> DecodeRow(BytesView record) {
+  BinaryReader r(record);
+  SDBENC_ASSIGN_OR_RETURN(const uint8_t flags, r.GetU8());
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t ncells, r.GetU32());
+  // Every slot costs at least its 4-octet directory entry; reject counts the
+  // input cannot possibly hold before reserving space for them.
+  if (static_cast<uint64_t>(ncells) * 4 > record.size()) {
+    return ParseError("row slot count exceeds record size");
+  }
+  std::vector<uint32_t> lengths(ncells);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < ncells; ++i) {
+    SDBENC_ASSIGN_OR_RETURN(lengths[i], r.GetU32());
+    total += lengths[i];
+  }
+  const size_t header = 1 + 4 + static_cast<size_t>(ncells) * 4;
+  if (header + total != record.size()) {
+    return ParseError("row payload length mismatch");
+  }
+  RowRecord row;
+  row.deleted = (flags & kFlagDeleted) != 0;
+  row.cells.reserve(ncells);
+  const uint8_t* p = record.data() + header;
+  for (uint32_t i = 0; i < ncells; ++i) {
+    row.cells.emplace_back(p, p + lengths[i]);
+    p += lengths[i];
+  }
+  return row;
+}
+
+}  // namespace sdbenc

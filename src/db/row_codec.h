@@ -1,0 +1,34 @@
+#ifndef SDBENC_DB_ROW_CODEC_H_
+#define SDBENC_DB_ROW_CODEC_H_
+
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// A decoded row record: the stored (possibly encrypted) cell bytes plus the
+/// tombstone flag.
+struct RowRecord {
+  std::vector<Bytes> cells;
+  bool deleted = false;
+};
+
+/// Slotted-row encoding of one table row for page-resident storage:
+///
+///   u8 flags (bit 0 = tombstone) | u32 ncells
+///   | u32 slot length directory (ncells entries) | cell payloads
+///
+/// The directory-first layout lets a reader locate any cell without walking
+/// the payloads; cells stay opaque octet strings, so the codec is the same
+/// for clear and encrypted columns.
+Bytes EncodeRow(const std::vector<Bytes>& cells, bool deleted);
+
+/// Inverse of EncodeRow; fails with kParseError on truncated or
+/// inconsistent input.
+StatusOr<RowRecord> DecodeRow(BytesView record);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_ROW_CODEC_H_

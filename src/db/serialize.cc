@@ -39,8 +39,8 @@ void BinaryWriter::PutString(const std::string& s) {
 // ------------------------------------------------------------ BinaryReader
 
 Status BinaryReader::Need(size_t n) const {
-  if (pos_ + n > data_.size()) {
-    return InvalidArgumentError("truncated storage image");
+  if (n > data_.size() - pos_) {  // pos_ <= size() always; no overflow
+    return ParseError("truncated storage image");
   }
   return OkStatus();
 }
@@ -66,8 +66,13 @@ StatusOr<uint64_t> BinaryReader::GetU64() {
 
 StatusOr<Bytes> BinaryReader::GetBytes() {
   SDBENC_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+  // Cap the attacker-controlled length prefix against the bytes actually
+  // remaining BEFORE allocating: a hostile image claiming a multi-GB field
+  // must die here with kParseError, not in the allocator.
   if (len > data_.size() - pos_) {
-    return InvalidArgumentError("truncated storage image (bytes field)");
+    return ParseError("length prefix exceeds remaining input (" +
+                      std::to_string(len) + " > " +
+                      std::to_string(data_.size() - pos_) + ")");
   }
   Bytes out(data_.begin() + pos_, data_.begin() + pos_ + len);
   pos_ += len;

@@ -1,5 +1,7 @@
 #include "db/table.h"
 
+#include "db/row_codec.h"
+
 namespace sdbenc {
 
 StatusOr<uint64_t> Table::AppendRow(std::vector<Bytes> cells) {
@@ -8,6 +10,8 @@ StatusOr<uint64_t> Table::AppendRow(std::vector<Bytes> cells) {
   }
   rows_.push_back(std::move(cells));
   deleted_.push_back(false);
+  row_records_.push_back(kNoRecord);
+  row_dirty_.push_back(true);
   return static_cast<uint64_t>(rows_.size() - 1);
 }
 
@@ -29,6 +33,7 @@ StatusOr<BytesView> Table::cell(uint64_t row, uint32_t column) const {
 
 StatusOr<Bytes*> Table::mutable_cell(uint64_t row, uint32_t column) {
   SDBENC_RETURN_IF_ERROR(CheckBounds(row, column));
+  row_dirty_[row] = true;
   return &rows_[row][column];
 }
 
@@ -37,11 +42,57 @@ Status Table::DeleteRow(uint64_t row) {
     return OutOfRangeError("row " + std::to_string(row) + " out of range");
   }
   deleted_[row] = true;
+  row_dirty_[row] = true;
   return OkStatus();
 }
 
 bool Table::IsDeleted(uint64_t row) const {
   return row < deleted_.size() && deleted_[row];
+}
+
+Status Table::FlushRows(RecordStore& store) {
+  for (uint64_t row = 0; row < rows_.size(); ++row) {
+    if (!row_dirty_[row]) continue;
+    const Bytes record = EncodeRow(rows_[row], deleted_[row]);
+    if (row_records_[row] == kNoRecord) {
+      SDBENC_ASSIGN_OR_RETURN(row_records_[row], store.Put(record));
+    } else {
+      SDBENC_RETURN_IF_ERROR(store.Update(row_records_[row], record));
+    }
+    row_dirty_[row] = false;
+  }
+  return OkStatus();
+}
+
+Status Table::LoadRows(RecordStore& store, const std::vector<uint64_t>& ids) {
+  rows_.clear();
+  deleted_.clear();
+  rows_.reserve(ids.size());
+  deleted_.reserve(ids.size());
+  for (const uint64_t id : ids) {
+    SDBENC_ASSIGN_OR_RETURN(const Bytes record, store.Get(id));
+    SDBENC_ASSIGN_OR_RETURN(RowRecord row, DecodeRow(record));
+    if (row.cells.size() != schema_.num_columns()) {
+      return ParseError("stored row arity does not match schema");
+    }
+    rows_.push_back(std::move(row.cells));
+    deleted_.push_back(row.deleted);
+  }
+  row_records_ = ids;
+  row_dirty_.assign(ids.size(), false);
+  return OkStatus();
+}
+
+Status Table::DumpRowsTo(RecordStore& store,
+                         std::vector<uint64_t>* ids) const {
+  ids->clear();
+  ids->reserve(rows_.size());
+  for (uint64_t row = 0; row < rows_.size(); ++row) {
+    const Bytes record = EncodeRow(rows_[row], deleted_[row]);
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t id, store.Put(record));
+    ids->push_back(id);
+  }
+  return OkStatus();
 }
 
 }  // namespace sdbenc

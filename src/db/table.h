@@ -7,6 +7,7 @@
 
 #include "db/cell_address.h"
 #include "db/schema.h"
+#include "storage/record_store.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
 
@@ -52,6 +53,25 @@ class Table {
   Status DeleteRow(uint64_t row);
   bool IsDeleted(uint64_t row) const;
 
+  /// Persists every dirty row into `store` as a slotted-row record — new
+  /// rows get fresh records, changed rows are rewritten in place — and
+  /// clears the dirty bits. Rows untouched since the last flush cost
+  /// nothing.
+  Status FlushRows(RecordStore& store);
+
+  /// Rebuilds the in-memory rows from `ids` (one record id per row, in row
+  /// order), replacing any current content. Adopts `ids` as the rows'
+  /// record directory, so a later FlushRows() updates the same records.
+  Status LoadRows(RecordStore& store, const std::vector<uint64_t>& ids);
+
+  /// Writes *all* rows as fresh records into `store` (for full-image dumps
+  /// to a different engine) without touching this table's own record
+  /// directory or dirty bits.
+  Status DumpRowsTo(RecordStore& store, std::vector<uint64_t>* ids) const;
+
+  /// Record id per row in `store` (kNoRecord for rows never flushed).
+  const std::vector<uint64_t>& row_record_ids() const { return row_records_; }
+
  private:
   Status CheckBounds(uint64_t row, uint32_t column) const;
 
@@ -60,6 +80,10 @@ class Table {
   Schema schema_;
   std::vector<std::vector<Bytes>> rows_;
   std::vector<bool> deleted_;
+  // Page-residence bookkeeping: which record holds each row, and which rows
+  // have changed since the last FlushRows().
+  std::vector<uint64_t> row_records_;
+  std::vector<bool> row_dirty_;
 };
 
 }  // namespace sdbenc

@@ -1,0 +1,58 @@
+#include "storage/memory_storage_engine.h"
+
+namespace sdbenc {
+
+Status MemoryStorageEngine::CheckId(PageId id) const {
+  if (id >= pages_.size()) {
+    return OutOfRangeError("page " + std::to_string(id) + " out of range");
+  }
+  if (free_[id]) {
+    return FailedPreconditionError("page " + std::to_string(id) +
+                                   " has been freed");
+  }
+  return OkStatus();
+}
+
+StatusOr<PageId> MemoryStorageEngine::Allocate() {
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    free_[id] = false;
+    return id;
+  }
+  pages_.push_back(Bytes(page_size_, 0));
+  free_.push_back(false);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
+  SDBENC_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.page_reads;
+  *out = pages_[id];
+  return OkStatus();
+}
+
+Status MemoryStorageEngine::Write(PageId id, BytesView data) {
+  SDBENC_RETURN_IF_ERROR(CheckId(id));
+  if (data.size() > page_size_) {
+    return InvalidArgumentError("page write larger than page size");
+  }
+  ++stats_.page_writes;
+  Bytes& page = pages_[id];
+  page.assign(data.begin(), data.end());
+  page.resize(page_size_, 0);
+  return OkStatus();
+}
+
+Status MemoryStorageEngine::Free(PageId id) {
+  SDBENC_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.pages_freed;
+  pages_[id].clear();
+  pages_[id].shrink_to_fit();
+  free_[id] = true;
+  free_list_.push_back(id);
+  return OkStatus();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,46 @@
+#ifndef SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
+#define SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
+
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace sdbenc {
+
+/// Pages in process memory — the seed engine's behaviour behind the new
+/// interface. No buffer pool (every page *is* resident), no durability;
+/// Flush() is a no-op. Used as the default session substrate and as the
+/// reference implementation the FileStorageEngine tests compare against.
+class MemoryStorageEngine : public StorageEngine {
+ public:
+  explicit MemoryStorageEngine(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size == 0 ? kDefaultPageSize : page_size) {}
+
+  size_t page_size() const override { return page_size_; }
+  uint64_t num_pages() const override { return pages_.size(); }
+
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Bytes* out) override;
+  Status Write(PageId id, BytesView data) override;
+  Status Free(PageId id) override;
+  Status Flush() override { return OkStatus(); }
+
+  void set_root_record(uint64_t record) override { root_record_ = record; }
+  uint64_t root_record() const override { return root_record_; }
+
+  const StorageStats& stats() const override { return stats_; }
+
+ private:
+  Status CheckId(PageId id) const;
+
+  size_t page_size_;
+  std::vector<Bytes> pages_;
+  std::vector<bool> free_;       // parallel to pages_
+  std::vector<PageId> free_list_;
+  uint64_t root_record_ = 0;
+  StorageStats stats_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_

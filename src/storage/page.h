@@ -1,0 +1,37 @@
+#ifndef SDBENC_STORAGE_PAGE_H_
+#define SDBENC_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdbenc {
+
+/// Identifier of a fixed-size page inside a StorageEngine. Dense, assigned
+/// by Allocate(), reusable after Free().
+using PageId = uint64_t;
+
+/// Sentinel for "no page" (end of a chain, empty free list).
+inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+
+/// Default page size. Records larger than one page span a chain of pages
+/// (see record_store.h), so this bounds I/O granularity, not record size.
+inline constexpr size_t kDefaultPageSize = 4096;
+
+/// Monotonic operation counters every engine maintains. The buffer-pool
+/// fields stay zero for engines without one (MemoryStorageEngine); the
+/// benches and the storage tests read these to prove caching/eviction
+/// actually happened.
+struct StorageStats {
+  uint64_t page_reads = 0;        ///< Read() calls served
+  uint64_t page_writes = 0;       ///< Write() calls accepted
+  uint64_t pages_allocated = 0;   ///< Allocate() calls
+  uint64_t pages_freed = 0;       ///< Free() calls
+  uint64_t pool_hits = 0;         ///< reads/writes satisfied from the pool
+  uint64_t pool_misses = 0;       ///< reads that had to touch the backing file
+  uint64_t pool_evictions = 0;    ///< frames evicted to make room
+  uint64_t dirty_writebacks = 0;  ///< evictions/flushes that wrote a page out
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_STORAGE_PAGE_H_

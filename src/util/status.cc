@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kAuthenticationFailed:
       return "AUTHENTICATION_FAILED";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
   }
   return "UNKNOWN";
 }
@@ -72,6 +74,10 @@ Status UnimplementedError(std::string message) {
 
 Status AuthenticationFailedError(std::string message) {
   return Status(StatusCode::kAuthenticationFailed, std::move(message));
+}
+
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
 }
 
 }  // namespace sdbenc

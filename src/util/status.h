@@ -21,6 +21,11 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kAuthenticationFailed,
+  /// Malformed or hostile serialized input (bad magic, impossible length
+  /// prefix, truncated structure). Distinct from kInvalidArgument so callers
+  /// can tell "you passed me garbage parameters" from "this image is not
+  /// decodable"; parsers must fail with this before any large allocation.
+  kParseError,
 };
 
 /// Returns the canonical name of `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -72,6 +77,7 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status AuthenticationFailedError(std::string message);
+Status ParseError(std::string message);
 
 }  // namespace sdbenc
 

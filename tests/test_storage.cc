@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/secure_database.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_storage_engine.h"
+#include "storage/memory_storage_engine.h"
+#include "storage/record_store.h"
+#include "util/file.h"
+
+namespace sdbenc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Bytes PatternPage(size_t page_size, uint8_t seed) {
+  Bytes page(page_size);
+  for (size_t i = 0; i < page_size; ++i) {
+    page[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return page;
+}
+
+// ------------------------------------------------------ engine contract
+
+// Both engines must satisfy the same StorageEngine contract; the file
+// engine is additionally run with a pool far smaller than the page count
+// so every pattern survives eviction and re-fault.
+void ExerciseEngineContract(StorageEngine& engine) {
+  const size_t ps = engine.page_size();
+  constexpr int kPages = 32;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kPages; ++i) {
+    auto id = engine.Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    ASSERT_TRUE(engine.Write(*id, PatternPage(ps, static_cast<uint8_t>(i)))
+                    .ok());
+  }
+  EXPECT_EQ(engine.num_pages(), static_cast<uint64_t>(kPages));
+  for (int i = 0; i < kPages; ++i) {
+    Bytes back;
+    ASSERT_TRUE(engine.Read(ids[i], &back).ok());
+    EXPECT_EQ(back, PatternPage(ps, static_cast<uint8_t>(i))) << i;
+  }
+  // Short writes are zero-padded to a full page.
+  ASSERT_TRUE(engine.Write(ids[0], Bytes{1, 2, 3}).ok());
+  Bytes back;
+  ASSERT_TRUE(engine.Read(ids[0], &back).ok());
+  ASSERT_EQ(back.size(), ps);
+  EXPECT_EQ(back[2], 3);
+  EXPECT_EQ(back[3], 0);
+  // Freed pages are recycled before the file grows.
+  ASSERT_TRUE(engine.Free(ids[5]).ok());
+  ASSERT_TRUE(engine.Free(ids[9]).ok());
+  const uint64_t before = engine.num_pages();
+  auto recycled = engine.Allocate();
+  ASSERT_TRUE(recycled.ok());
+  EXPECT_TRUE(*recycled == ids[5] || *recycled == ids[9]);
+  EXPECT_EQ(engine.num_pages(), before);
+  // Out-of-range ids are rejected, not UB.
+  EXPECT_FALSE(engine.Read(1000000, &back).ok());
+  EXPECT_FALSE(engine.Write(1000000, back).ok());
+}
+
+TEST(MemoryStorageEngineTest, SatisfiesContract) {
+  MemoryStorageEngine engine(256);
+  ExerciseEngineContract(engine);
+  EXPECT_EQ(engine.stats().pool_evictions, 0u);
+}
+
+TEST(FileStorageEngineTest, SatisfiesContractWithTinyPool) {
+  const std::string path = TempPath("sdbenc_engine_contract.pages");
+  auto engine = FileStorageEngine::Create(path, 256, /*pool_pages=*/4);
+  ASSERT_TRUE(engine.ok());
+  ExerciseEngineContract(**engine);
+  // 32 pages through 4 frames: eviction and re-faulting must have happened,
+  // and re-faults are the pool misses.
+  const StorageStats& stats = (*engine)->stats();
+  EXPECT_GT(stats.pool_evictions, 0u);
+  EXPECT_GT(stats.pool_misses, 0u);
+  EXPECT_GT(stats.pool_hits, 0u);
+  EXPECT_GT(stats.dirty_writebacks, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileStorageEngineTest, FlushReopenRoundTrip) {
+  const std::string path = TempPath("sdbenc_engine_reopen.pages");
+  constexpr int kPages = 12;
+  {
+    auto engine = FileStorageEngine::Create(path, 512, 4).value();
+    for (int i = 0; i < kPages; ++i) {
+      ASSERT_TRUE(engine->Write(engine->Allocate().value(),
+                                PatternPage(512, static_cast<uint8_t>(i)))
+                      .ok());
+    }
+    engine->set_root_record(42);
+    ASSERT_TRUE(engine->Flush().ok());
+  }  // destructor does NOT flush; only flushed state survives
+  auto reopened = FileStorageEngine::Open(path, 4);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->page_size(), 512u);
+  EXPECT_EQ((*reopened)->num_pages(), static_cast<uint64_t>(kPages));
+  EXPECT_EQ((*reopened)->root_record(), 42u);
+  for (int i = 0; i < kPages; ++i) {
+    Bytes back;
+    ASSERT_TRUE((*reopened)->Read(static_cast<PageId>(i), &back).ok());
+    EXPECT_EQ(back, PatternPage(512, static_cast<uint8_t>(i))) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileStorageEngineTest, TamperedPageFailsAuthentication) {
+  const std::string path = TempPath("sdbenc_engine_tamper.pages");
+  {
+    auto engine = FileStorageEngine::Create(path, 128, 4).value();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(engine->Write(engine->Allocate().value(),
+                                PatternPage(128, static_cast<uint8_t>(i)))
+                      .ok());
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  Bytes image = *ReadFile(path);
+  // Flip one byte inside page 1's payload: 64-byte header, then
+  // (8-byte checksum + 128-byte payload) per page.
+  image[64 + 1 * (8 + 128) + 8 + 17] ^= 0x80;
+  ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+  auto engine = FileStorageEngine::Open(path, 4);
+  ASSERT_TRUE(engine.ok());  // header is intact
+  Bytes back;
+  EXPECT_TRUE((*engine)->Read(0, &back).ok());
+  const Status tampered = (*engine)->Read(1, &back);
+  EXPECT_EQ(tampered.code(), StatusCode::kAuthenticationFailed);
+  std::remove(path.c_str());
+}
+
+TEST(FileStorageEngineTest, RejectsGarbageHeader) {
+  const std::string path = TempPath("sdbenc_engine_garbage.pages");
+  ASSERT_TRUE(WriteFileAtomic(path, BytesFromString("not a page file"))
+                  .ok());
+  EXPECT_FALSE(FileStorageEngine::Open(path, 4).ok());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- buffer pool
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsedUnpinned) {
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.Insert(1, Bytes{1}, false).ok());
+  ASSERT_TRUE(pool.Insert(2, Bytes{2}, false).ok());
+  ASSERT_NE(pool.Lookup(1), nullptr);  // promotes 1; LRU is now 2
+  BufferPool::Frame victim;
+  ASSERT_TRUE(pool.Evict(&victim).ok());
+  EXPECT_EQ(victim.id, 2u);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Lookup(2), nullptr);
+}
+
+TEST(BufferPoolTest, PinnedFramesSurviveEviction) {
+  BufferPool pool(2);
+  BufferPool::Frame* f1 = pool.Insert(1, Bytes{1}, false).value();
+  ASSERT_TRUE(pool.Insert(2, Bytes{2}, false).ok());
+  PinGuard pin(f1);
+  pool.Lookup(2);  // frame 1 is LRU but pinned
+  BufferPool::Frame victim;
+  ASSERT_TRUE(pool.Evict(&victim).ok());
+  EXPECT_EQ(victim.id, 2u);  // the unpinned one went instead
+  // With the survivor pinned too, eviction must fail, not loop.
+  BufferPool::Frame* f1_again = pool.Lookup(1);
+  ASSERT_EQ(f1_again, f1);
+  EXPECT_FALSE(pool.Evict(&victim).ok());
+}
+
+// ------------------------------------------------------- record store
+
+void ExerciseRecordStore(StorageEngine& engine) {
+  RecordStore store(&engine);
+  const size_t ps = engine.page_size();
+  // Small record, one page.
+  const RecordId small = store.Put(Bytes{9, 8, 7}).value();
+  ASSERT_NE(small, kNoRecord);
+  EXPECT_EQ(store.Get(small).value(), (Bytes{9, 8, 7}));
+  // Multi-page record.
+  const Bytes big = PatternPage(ps * 3 + 123, 0x5a);
+  const RecordId chain = store.Put(big).value();
+  EXPECT_EQ(store.Get(chain).value(), big);
+  // Update in place: grow, then shrink, id stays valid throughout.
+  const Bytes bigger = PatternPage(ps * 5, 0xa5);
+  ASSERT_TRUE(store.Update(chain, bigger).ok());
+  EXPECT_EQ(store.Get(chain).value(), bigger);
+  const uint64_t pages_at_peak = engine.num_pages();
+  ASSERT_TRUE(store.Update(chain, Bytes{1}).ok());
+  EXPECT_EQ(store.Get(chain).value(), Bytes{1});
+  EXPECT_EQ(store.Get(small).value(), (Bytes{9, 8, 7}));
+  // The shrink released its tail pages: a fresh multi-page record fits in
+  // recycled pages without growing the file.
+  const RecordId reuse = store.Put(PatternPage(ps * 2, 0x11)).value();
+  EXPECT_EQ(engine.num_pages(), pages_at_peak);
+  ASSERT_TRUE(store.Free(reuse).ok());
+  // Empty record round-trips.
+  const RecordId empty = store.Put(Bytes()).value();
+  EXPECT_EQ(store.Get(empty).value(), Bytes());
+  // kNoRecord is never handed out and never readable.
+  EXPECT_FALSE(store.Get(kNoRecord).ok());
+}
+
+TEST(RecordStoreTest, RoundTripsOnMemoryEngine) {
+  MemoryStorageEngine engine(256);
+  ExerciseRecordStore(engine);
+}
+
+TEST(RecordStoreTest, RoundTripsOnFileEngineWithTinyPool) {
+  const std::string path = TempPath("sdbenc_records.pages");
+  auto engine = FileStorageEngine::Create(path, 256, 3).value();
+  ExerciseRecordStore(*engine);
+  EXPECT_GT(engine->stats().pool_evictions, 0u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------- SecureDatabase on a file substrate
+
+Schema PeopleSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true}});
+}
+
+Status FillPeople(SecureDatabase& db, int n) {
+  SecureTableOptions options;
+  options.indexed_columns = {"name"};
+  SDBENC_RETURN_IF_ERROR(db.CreateTable("people", PeopleSchema(), options));
+  for (int i = 0; i < n; ++i) {
+    SDBENC_RETURN_IF_ERROR(
+        db.Insert("people",
+                  {Value::Int(i), Value::Str("n" + std::to_string(i % 10))})
+            .status());
+  }
+  return OkStatus();
+}
+
+// The whole engine runs unchanged on a file substrate whose pool is far
+// smaller than the working set — the acceptance bar of the refactor.
+TEST(SecureDatabaseStorageTest, WorksOnFileBackendSmallerThanWorkingSet) {
+  const std::string path = TempPath("sdbenc_db_small_pool.pages");
+  std::remove(path.c_str());
+  const Bytes key(32, 0x2f);
+  {
+    auto db =
+        SecureDatabase::Open(key, StorageOptions::File(path, 8), 55).value();
+    ASSERT_TRUE(FillPeople(*db, 80).ok());
+    ASSERT_TRUE(db->Flush().ok());
+    // A fresh session is write-back cached above the engine: filling it
+    // writes pages but never needs to read one back.
+    EXPECT_GT(db->storage_engine()->stats().pool_evictions, 0u);
+  }
+  // Reopening is where the pool earns its keep: catalog, 80 row records
+  // and the index nodes all fault through 8 frames.
+  auto db =
+      SecureDatabase::Open(key, StorageOptions::File(path, 8), 56).value();
+  auto rows = db->SelectEquals("people", "name", Value::Str("n3"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 8u);
+  auto range = db->SelectRange("people", "id", Value::Int(10),
+                               Value::Int(19));
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 10u);
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  ASSERT_TRUE(
+      db->Insert("people", {Value::Int(200), Value::Str("n3")}).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(db->SelectEquals("people", "name", Value::Str("n3"))->size(),
+            9u);
+
+  const StorageStats& stats = db->storage_engine()->stats();
+  EXPECT_GT(db->storage_engine()->num_pages(), 8u);
+  EXPECT_GT(stats.pool_evictions, 0u);
+  EXPECT_GT(stats.pool_misses, 0u);
+  EXPECT_GT(stats.pool_hits, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SecureDatabaseStorageTest, FlushReopenPreservesEverything) {
+  const std::string path = TempPath("sdbenc_db_flush_reopen.pages");
+  std::remove(path.c_str());
+  const Bytes key(32, 0x2f);
+  {
+    auto db = SecureDatabase::Open(key, StorageOptions::File(path, 8), 55)
+                  .value();
+    ASSERT_TRUE(FillPeople(*db, 40).ok());
+    ASSERT_TRUE(db->Delete("people", 7).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }  // no SaveToFile: the flushed page file IS the database
+  {
+    auto db = SecureDatabase::Open(key, StorageOptions::File(path, 8), 56)
+                  .value();
+    EXPECT_TRUE(db->HasIndex("people", "name"));
+    EXPECT_EQ(db->SelectEquals("people", "name", Value::Str("n3"))->size(),
+              4u);
+    EXPECT_FALSE(db->GetRow("people", 7).ok());  // tombstone survived
+    // Incremental writes keep working across reopen cycles.
+    ASSERT_TRUE(
+        db->Insert("people", {Value::Int(100), Value::Str("n3")}).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto db = SecureDatabase::OpenFromFile(key, path, 57).value();
+  EXPECT_EQ(db->SelectEquals("people", "name", Value::Str("n3"))->size(),
+            5u);
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+// Opening a saved file must not decrypt the indexes: the trees' decode
+// counters stay at zero until a query actually walks them.
+TEST(SecureDatabaseStorageTest, OpenDecryptsNothingUntilQueried) {
+  const std::string path = TempPath("sdbenc_db_lazy_open.sdb");
+  const Bytes key(32, 0x2f);
+  {
+    auto db = SecureDatabase::Open(key, 55).value();
+    ASSERT_TRUE(FillPeople(*db, 60).ok());
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }
+  auto db = SecureDatabase::OpenFromFile(key, path, 56).value();
+  const SecureDatabase::TableState* state =
+      db->GetTableState("people").value();
+  ASSERT_EQ(state->indexes.size(), 1u);
+  const BPlusTree& tree = state->indexes[0].index->tree();
+  EXPECT_EQ(tree.decode_calls(), 0u);
+  EXPECT_EQ(tree.encode_calls(), 0u);
+  // First index-backed query faults nodes in and starts decrypting.
+  ASSERT_TRUE(db->SelectEquals("people", "name", Value::Str("n3")).ok());
+  EXPECT_GT(tree.decode_calls(), 0u);
+  std::remove(path.c_str());
+}
+
+// The satellite tamper case: one flipped byte in a persisted *index* page
+// is invisible to the (lazy) open but must surface as
+// kAuthenticationFailed on the next touch of that index.
+TEST(SecureDatabaseStorageTest, TamperedIndexPageFailsOnNextTouch) {
+  const std::string path = TempPath("sdbenc_db_index_tamper.sdb");
+  const Bytes key(32, 0x2f);
+  {
+    auto db = SecureDatabase::Open(key, 55).value();
+    SecureTableOptions options;
+    options.indexed_columns = {"name"};
+    ASSERT_TRUE(db->CreateTable("people", PeopleSchema(), options).ok());
+    // Few enough rows that the whole index is one node: any page the open
+    // path skips must be that node's page.
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db->Insert("people", {Value::Int(i),
+                                        Value::Str("n" + std::to_string(i))})
+                      .ok());
+    }
+    ASSERT_TRUE(db->SaveToFile(path).ok());
+  }
+  const Bytes clean = *ReadFile(path);
+  const size_t page_size = kDefaultPageSize;
+  const size_t num_pages = (clean.size() - 64) / (8 + page_size);
+  bool found_lazy_page = false;
+  for (size_t p = 0; p < num_pages; ++p) {
+    Bytes image = clean;
+    image[64 + p * (8 + page_size) + 8 + 3] ^= 0x01;
+    ASSERT_TRUE(WriteFileAtomic(path, image).ok());
+    auto db = SecureDatabase::OpenFromFile(key, path, 56);
+    if (!db.ok()) continue;  // catalog or row page: caught at open
+    found_lazy_page = true;
+    auto rows = (*db)->SelectEquals("people", "name", Value::Str("n3"));
+    EXPECT_FALSE(rows.ok()) << "page " << p;
+    EXPECT_EQ(rows.status().code(), StatusCode::kAuthenticationFailed)
+        << "page " << p;
+  }
+  EXPECT_TRUE(found_lazy_page);
+  std::remove(path.c_str());
+}
+
+// Wrong master key on a file-backend open dies on the keycheck token,
+// before any cell or index page is read.
+TEST(SecureDatabaseStorageTest, WrongKeyRejectedByKeycheck) {
+  const std::string path = TempPath("sdbenc_db_keycheck.pages");
+  std::remove(path.c_str());
+  {
+    auto db = SecureDatabase::Open(Bytes(32, 0x2f),
+                                   StorageOptions::File(path, 8), 55)
+                  .value();
+    ASSERT_TRUE(FillPeople(*db, 4).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  auto wrong = SecureDatabase::Open(Bytes(32, 0x30),
+                                    StorageOptions::File(path, 8), 56);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kAuthenticationFailed);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdbenc
