@@ -7,6 +7,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "aead/factory.h"
@@ -17,6 +19,7 @@
 #include "schemes/deterministic_encryptor.h"
 #include "schemes/elovici_index.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sdbenc {
 namespace {
@@ -56,11 +59,30 @@ double Ms(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+// `--threads=1,2,4,8` overrides the default sweep.
+std::vector<size_t> ParseThreads(int argc, char** argv) {
+  std::vector<size_t> threads = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
+    threads.clear();
+    for (const char* p = argv[i] + 10; *p != '\0';) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) threads.push_back(v);
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (threads.empty()) threads = {1};
+  }
+  return threads;
+}
+
 }  // namespace
 }  // namespace sdbenc
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdbenc;
+  const std::vector<size_t> thread_sweep = ParseThreads(argc, argv);
   const size_t kN = 20000;
   const size_t kOrder = 16;
   std::printf("== index build ablation: incremental vs. bulk, %zu entries, "
@@ -115,5 +137,38 @@ int main() {
               "encryptions under incremental insert (and ~40x the wall time,\n"
               "decode work included); bulk load encrypts each entry exactly\n"
               "once for every codec.\n");
+
+  // Thread sweep: the same AEAD bulk load with the final encode pass run
+  // node-parallel. Nonces are pre-drawn serially, so every thread count
+  // produces byte-identical nodes — only the wall time moves.
+  const size_t kParN = 50000;
+  std::vector<std::pair<Bytes, uint64_t>> pairs;
+  DeterministicRng key_rng(5);
+  for (uint64_t i = 0; i < kParN; ++i) {
+    pairs.emplace_back(EncodeUint64Be(key_rng.UniformUint64(kParN * 4)), i);
+  }
+  std::printf("\n== parallel bulk load (aead-eax, %zu entries) ==\n", kParN);
+  std::printf("%-10s %-12s %-10s\n", "threads", "wall-ms", "speedup");
+  double base_ms = 0;
+  for (const size_t threads : thread_sweep) {
+    Stack s = Make("aead-eax");
+    BPlusTree tree(s.codec.get(), 1, 2, 0, kOrder);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!tree.BulkLoad(pairs, Parallelism::Exactly(threads)).ok() ||
+        !tree.CheckStructure().ok()) {
+      std::printf("%-10zu BULK LOAD FAILED\n", threads);
+      continue;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = Ms(t0, t1);
+    if (base_ms == 0) base_ms = ms;
+    const double speedup = base_ms / ms;
+    std::printf("%-10zu %-12.1f %.2fx\n", threads, ms, speedup);
+    std::printf(
+        "{\"bench\":\"bulk_load_threads\",\"codec\":\"aead-eax\","
+        "\"entries\":%zu,\"order\":%zu,\"threads\":%zu,\"wall_ms\":%.3f,"
+        "\"speedup\":%.3f}\n",
+        kParN, kOrder, threads, ms, speedup);
+  }
   return 0;
 }

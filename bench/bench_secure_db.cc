@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -160,14 +163,97 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
   }
 };
 
+// Thread sweep over the two bulk-crypto paths: BulkInsert (row-parallel
+// cell encryption + node-parallel index build) and VerifyIntegrity
+// (row-parallel decrypt-verify + concurrent index checks). Every thread
+// count produces byte-identical storage and the identical verdict; only
+// wall time moves. One JSON line per (phase, threads).
+void RunThreadSweep(const std::vector<size_t>& thread_sweep) {
+  const size_t kRows = 5000;
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i * 7 % kRows)),
+                    Value::Str("payload-" + std::to_string(i))});
+  }
+  std::printf("== thread sweep: BulkInsert + VerifyIntegrity, %zu rows ==\n",
+              kRows);
+  std::printf("%-10s %-14s %-14s %-10s %-10s\n", "threads", "insert-ms",
+              "verify-ms", "ins-spd", "ver-spd");
+  double base_insert = 0;
+  double base_verify = 0;
+  for (const size_t threads : thread_sweep) {
+    const Parallelism par = Parallelism::Exactly(threads);
+    auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
+    SecureTableOptions options;
+    options.indexed_columns = {"id"};
+    options.index_order = 16;
+    (void)db->CreateTable("t", BenchSchema(), options);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!db->BulkInsert("t", rows, par).ok()) {
+      std::printf("%-10zu BULK INSERT FAILED\n", threads);
+      continue;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!db->VerifyIntegrity(par).ok()) {
+      std::printf("%-10zu VERIFY FAILED\n", threads);
+      continue;
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double insert_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double verify_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    if (base_insert == 0) base_insert = insert_ms;
+    if (base_verify == 0) base_verify = verify_ms;
+    std::printf("%-10zu %-14.1f %-14.1f %-10.2f %-10.2f\n", threads,
+                insert_ms, verify_ms, base_insert / insert_ms,
+                base_verify / verify_ms);
+    std::printf(
+        "{\"bench\":\"secure_db_threads\",\"phase\":\"bulk_insert\","
+        "\"rows\":%zu,\"threads\":%zu,\"wall_ms\":%.3f,\"speedup\":%.3f}\n",
+        kRows, threads, insert_ms, base_insert / insert_ms);
+    std::printf(
+        "{\"bench\":\"secure_db_threads\",\"phase\":\"verify_integrity\","
+        "\"rows\":%zu,\"threads\":%zu,\"wall_ms\":%.3f,\"speedup\":%.3f}\n",
+        kRows, threads, verify_ms, base_verify / verify_ms);
+  }
+}
+
+// `--threads=1,2,4,8` overrides the default sweep; the flag is stripped
+// before google-benchmark sees the argument list.
+std::vector<size_t> ExtractThreads(int* argc, char** argv) {
+  std::vector<size_t> threads = {1, 2, 4, 8};
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    threads.clear();
+    for (const char* p = argv[i] + 10; *p != '\0';) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) threads.push_back(v);
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (threads.empty()) threads = {1};
+  }
+  *argc = out;
+  return threads;
+}
+
 }  // namespace
 }  // namespace sdbenc
 
 int main(int argc, char** argv) {
+  std::vector<size_t> thread_sweep = sdbenc::ExtractThreads(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   sdbenc::JsonLineReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  sdbenc::RunThreadSweep(thread_sweep);
   return 0;
 }

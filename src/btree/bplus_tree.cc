@@ -100,7 +100,7 @@ IndexEntryContext BPlusTree::MakeContext(const BTreeNode& node,
 
 StatusOr<IndexEntryPlain> BPlusTree::DecodeEntry(const BTreeNode& node,
                                                  size_t slot) const {
-  ++decode_calls_;
+  decode_calls_.fetch_add(1, std::memory_order_relaxed);
   return codec_->Decode(node.stored[slot], MakeContext(node, slot));
 }
 
@@ -126,7 +126,7 @@ Status BPlusTree::WriteBack(int node_id,
                                                  BytesView(ctx.ref_i));
     }
     if (needs_encode) {
-      ++encode_calls_;
+      encode_calls_.fetch_add(1, std::memory_order_relaxed);
       SDBENC_ASSIGN_OR_RETURN(
           Bytes stored, codec_->Encode(plains[slot], MakeContext(*node,
                                                                  slot)));
@@ -253,7 +253,8 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
   return result;
 }
 
-Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
+Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
+                           const Parallelism& par) {
   if (num_entries_ != 0 || pager_.size() != 1) {
     return FailedPreconditionError("BulkLoad requires an empty tree");
   }
@@ -362,6 +363,47 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs) {
   root_ = level.front().id;
 
   // ---- encode everything exactly once ----
+  if (par.Resolve() > 1 && codec_->supports_stateless_encode()) {
+    // Serial pre-pass: pin each node and draw each entry's randomness in
+    // exactly the order the serial WriteBack loop would consume it, so the
+    // stored entries are byte-identical at every thread count. Node
+    // pointers are stable across Alloc(), so the parallel pass below writes
+    // through them without touching the pager.
+    std::vector<BTreeNode*> nodes(pager_.size());
+    std::vector<std::vector<Bytes>> nonces(pager_.size());
+    size_t total_entries = 0;
+    for (size_t id = 0; id < pager_.size(); ++id) {
+      SDBENC_ASSIGN_OR_RETURN(nodes[id], pager_.Mut(static_cast<int>(id)));
+      const size_t slots = plains_by_node[id].size();
+      nonces[id].reserve(slots);
+      for (size_t slot = 0; slot < slots; ++slot) {
+        nonces[id].push_back(codec_->DrawEncodeNonce());
+      }
+      total_entries += slots;
+    }
+    // Node-parallel encode: each task owns whole nodes, so no two threads
+    // ever write the same node; the codec's EncodeWithNonce is const.
+    const IndexEntryCodec* codec = codec_;
+    SDBENC_RETURN_IF_ERROR(ParallelFor(
+        pager_.size(), /*grain=*/1, par,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t id = begin; id < end; ++id) {
+            BTreeNode* node = nodes[id];
+            const std::vector<IndexEntryPlain>& plains = plains_by_node[id];
+            for (size_t slot = 0; slot < plains.size(); ++slot) {
+              SDBENC_ASSIGN_OR_RETURN(
+                  Bytes stored,
+                  codec->EncodeWithNonce(plains[slot],
+                                         MakeContext(*node, slot),
+                                         ToView(nonces[id][slot])));
+              node->stored[slot] = std::move(stored);
+            }
+          }
+          return OkStatus();
+        }));
+    encode_calls_.fetch_add(total_entries, std::memory_order_relaxed);
+    return OkStatus();
+  }
   for (size_t id = 0; id < pager_.size(); ++id) {
     SDBENC_RETURN_IF_ERROR(WriteBack(static_cast<int>(id),
                                      plains_by_node[id], RefISnapshot{}));

@@ -1,6 +1,7 @@
 #ifndef SDBENC_BTREE_BPLUS_TREE_H_
 #define SDBENC_BTREE_BPLUS_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "btree/node_pager.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace sdbenc {
 
@@ -51,7 +53,13 @@ class BPlusTree {
   /// entry is encrypted exactly once — no split-triggered re-encryptions —
   /// which makes this the cheap path for initial loads under
   /// structure-binding codecs (the benches quantify the saving).
-  Status BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs);
+  ///
+  /// When the codec supports stateless encoding, the final encode pass runs
+  /// node-parallel at `par`: per-entry randomness is pre-drawn serially in
+  /// the exact order the serial pass would draw it, so the stored entries
+  /// are byte-identical at every thread count.
+  Status BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
+                  const Parallelism& par = Parallelism());
 
   /// Returns the table rows of all entries with exactly this key.
   StatusOr<std::vector<uint64_t>> Find(BytesView key) const;
@@ -70,8 +78,12 @@ class BPlusTree {
   size_t num_entries() const { return num_entries_; }
   size_t num_nodes() const;
   size_t height() const;
-  uint64_t encode_calls() const { return encode_calls_; }
-  uint64_t decode_calls() const { return decode_calls_; }
+  uint64_t encode_calls() const {
+    return encode_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t decode_calls() const {
+    return decode_calls_.load(std::memory_order_relaxed);
+  }
 
   /// Verifies every structural invariant (key order within nodes, separator
   /// bounds, uniform leaf depth, sibling-chain order) by decoding all
@@ -174,8 +186,10 @@ class BPlusTree {
   int root_;
   size_t num_entries_ = 0;
   uint64_t next_entry_ref_ = 1;
-  mutable uint64_t encode_calls_ = 0;
-  mutable uint64_t decode_calls_ = 0;
+  // Atomic (relaxed) so CheckStructure/scan tasks running on pool workers
+  // can count decodes without racing; they are statistics, not sync.
+  mutable std::atomic<uint64_t> encode_calls_{0};
+  mutable std::atomic<uint64_t> decode_calls_{0};
 };
 
 }  // namespace sdbenc

@@ -18,6 +18,13 @@ StatusOr<Bytes> PlainIndexEntryCodec::Encode(const IndexEntryPlain& plain,
   return out;
 }
 
+StatusOr<Bytes> PlainIndexEntryCodec::EncodeWithNonce(
+    const IndexEntryPlain& plain, const IndexEntryContext&, BytesView) const {
+  Bytes out = EncodeUint64Be(plain.table_row);
+  Append(out, plain.key);
+  return out;
+}
+
 StatusOr<IndexEntryPlain> PlainIndexEntryCodec::Decode(
     BytesView stored, const IndexEntryContext&) const {
   if (stored.size() < 8) {

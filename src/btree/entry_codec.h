@@ -63,6 +63,34 @@ class IndexEntryCodec {
   /// True if Encode output depends on the structural references, i.e. the
   /// tree must re-encode entries whose Ref_I changed.
   virtual bool binds_structure() const { return false; }
+
+  // --- Stateless encode path for parallel bulk encryption (mirrors
+  // CellCodec). Bulk callers pre-draw nonces serially in Encode order, then
+  // run EncodeWithNonce concurrently; output is byte-identical to serial
+  // Encode. Codecs without the path keep the defaults and callers fall back
+  // to serial Encode.
+
+  /// True if EncodeWithNonce is implemented and byte-compatible with Encode.
+  virtual bool supports_stateless_encode() const { return false; }
+
+  /// Octets of randomness one Encode call draws (0 for deterministic
+  /// codecs).
+  virtual size_t encode_nonce_size() const { return 0; }
+
+  /// Draws the randomness one EncodeWithNonce call will consume, from the
+  /// same source and in the same order Encode would. Not thread-safe.
+  virtual Bytes DrawEncodeNonce() { return Bytes(); }
+
+  /// Thread-safe encode with caller-supplied randomness: byte-identical to
+  /// Encode having drawn `nonce` itself.
+  virtual StatusOr<Bytes> EncodeWithNonce(const IndexEntryPlain& plain,
+                                          const IndexEntryContext& context,
+                                          BytesView nonce) const {
+    (void)plain;
+    (void)context;
+    (void)nonce;
+    return UnimplementedError(name() + " has no stateless encode path");
+  }
 };
 
 /// No-crypto baseline: stored = be64(table_row) || key.
@@ -74,6 +102,11 @@ class PlainIndexEntryCodec : public IndexEntryCodec {
                          const IndexEntryContext& context) override;
   StatusOr<IndexEntryPlain> Decode(
       BytesView stored, const IndexEntryContext& context) const override;
+
+  bool supports_stateless_encode() const override { return true; }
+  StatusOr<Bytes> EncodeWithNonce(const IndexEntryPlain& plain,
+                                  const IndexEntryContext& context,
+                                  BytesView nonce) const override;
 };
 
 }  // namespace sdbenc

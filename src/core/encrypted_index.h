@@ -32,13 +32,16 @@ class EncryptedIndex {
   }
 
   /// One-shot bottom-up build (empty index only); each entry encrypted once.
-  Status BulkLoad(const std::vector<std::pair<Value, uint64_t>>& pairs) {
+  /// The final encode pass runs node-parallel at `par` when the codec
+  /// supports it, with output byte-identical to the serial build.
+  Status BulkLoad(const std::vector<std::pair<Value, uint64_t>>& pairs,
+                  const Parallelism& par = Parallelism()) {
     std::vector<std::pair<Bytes, uint64_t>> encoded;
     encoded.reserve(pairs.size());
     for (const auto& [value, row] : pairs) {
       encoded.emplace_back(value.SerializeComparable(), row);
     }
-    return tree_.BulkLoad(std::move(encoded));
+    return tree_.BulkLoad(std::move(encoded), par);
   }
 
   Status Remove(const Value& value, uint64_t table_row) {

@@ -7,6 +7,7 @@
 #include "db/value.h"
 #include "schemes/cell_codec.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace sdbenc {
 
@@ -36,6 +37,16 @@ class EncryptedTable {
   /// Validates against the schema, encodes each cell, appends the row.
   StatusOr<uint64_t> InsertRow(const std::vector<Value>& values);
 
+  /// Bulk counterpart of InsertRow: validates every row up front, encodes
+  /// all cells (row-parallel at `par` when every encrypted column's codec
+  /// supports stateless encoding — nonces are pre-drawn serially in
+  /// row-major order, so the stored cells are byte-identical to a serial
+  /// InsertRow loop at every thread count), then appends the rows in order.
+  /// Returns the new row ids.
+  StatusOr<std::vector<uint64_t>> InsertRows(
+      const std::vector<std::vector<Value>>& rows,
+      const Parallelism& par = Parallelism());
+
   /// Decodes one cell, authenticating its position where the codec can.
   StatusOr<Value> GetCell(uint64_t row, uint32_t column) const;
 
@@ -46,8 +57,10 @@ class EncryptedTable {
   Status UpdateCell(uint64_t row, uint32_t column, const Value& value);
 
   /// Decodes every cell of every live row; the first authentication failure
-  /// aborts the sweep with its position in the message.
-  Status VerifyAll() const;
+  /// aborts the sweep with its position in the message. Rows are verified
+  /// in parallel at `par`; the reported failure is always the first failing
+  /// cell in row-major order, identical to the serial sweep's verdict.
+  Status VerifyAll(const Parallelism& par = Parallelism()) const;
 
  private:
   StatusOr<Bytes> EncodeCell(const Value& value, uint64_t row,

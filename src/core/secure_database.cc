@@ -134,7 +134,7 @@ Status SecureDatabase::VerifyKeycheck(BytesView token) const {
 Status SecureDatabase::BuildTableState(
     const std::string& name, AeadAlgorithm alg, size_t index_order,
     const std::vector<std::string>& indexed_columns, bool populate_indexes,
-    const std::vector<uint64_t>* index_table_ids) {
+    const std::vector<uint64_t>* index_table_ids, const Parallelism& par) {
   SDBENC_ASSIGN_OR_RETURN(Table * table, storage_holder_->GetTable(name));
   if (index_table_ids != nullptr &&
       index_table_ids->size() != indexed_columns.size()) {
@@ -186,13 +186,31 @@ Status SecureDatabase::BuildTableState(
         index_state.codec.get(), index_state.index_table_id, table->id(),
         static_cast<uint32_t>(column), index_order);
     if (populate_indexes) {
-      for (uint64_t row = 0; row < table->num_rows(); ++row) {
-        if (table->IsDeleted(row)) continue;
-        SDBENC_ASSIGN_OR_RETURN(
-            Value value, state->encrypted_table->GetCell(
-                             row, static_cast<uint32_t>(column)));
-        SDBENC_RETURN_IF_ERROR(index_state.index->Add(value, row));
+      // Decode the indexed column row-parallel (const reads), then build
+      // the tree bottom-up in one pass — each entry encrypted exactly once
+      // instead of the split-heavy incremental Add loop.
+      const uint64_t num_rows = table->num_rows();
+      std::vector<Value> values(num_rows);
+      std::vector<uint8_t> live(num_rows, 0);
+      const EncryptedTable* encrypted = state->encrypted_table.get();
+      SDBENC_RETURN_IF_ERROR(ParallelFor(
+          num_rows, /*grain=*/16, par,
+          [&](size_t begin, size_t end) -> Status {
+            for (uint64_t row = begin; row < end; ++row) {
+              if (table->IsDeleted(row)) continue;
+              SDBENC_ASSIGN_OR_RETURN(
+                  values[row], encrypted->GetCell(
+                                   row, static_cast<uint32_t>(column)));
+              live[row] = 1;
+            }
+            return OkStatus();
+          }));
+      std::vector<std::pair<Value, uint64_t>> pairs;
+      pairs.reserve(num_rows);
+      for (uint64_t row = 0; row < num_rows; ++row) {
+        if (live[row]) pairs.emplace_back(std::move(values[row]), row);
       }
+      SDBENC_RETURN_IF_ERROR(index_state.index->BulkLoad(pairs, par));
     }
     state->indexes.push_back(std::move(index_state));
   }
@@ -254,36 +272,50 @@ StatusOr<uint64_t> SecureDatabase::Insert(const std::string& table,
 }
 
 Status SecureDatabase::BulkInsert(
-    const std::string& table, const std::vector<std::vector<Value>>& rows) {
+    const std::string& table, const std::vector<std::vector<Value>>& rows,
+    const Parallelism& par) {
   SDBENC_ASSIGN_OR_RETURN(TableState * state, FindState(table));
   if (state->encrypted_table->table().num_rows() != 0) {
     return FailedPreconditionError("BulkInsert requires an empty table");
   }
-  for (const auto& values : rows) {
-    SDBENC_ASSIGN_OR_RETURN(uint64_t row,
-                            state->encrypted_table->InsertRow(values));
-    (void)row;
-  }
+  SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> row_ids,
+                          state->encrypted_table->InsertRows(rows, par));
+  (void)row_ids;
+  // Indexes build one after another — their codecs draw nonces from the
+  // shared rng in a fixed order — while each build encodes node-parallel.
   for (auto& index_state : state->indexes) {
     std::vector<std::pair<Value, uint64_t>> pairs;
     pairs.reserve(rows.size());
     for (uint64_t row = 0; row < rows.size(); ++row) {
       pairs.emplace_back(rows[row][index_state.column], row);
     }
-    SDBENC_RETURN_IF_ERROR(index_state.index->BulkLoad(pairs));
+    SDBENC_RETURN_IF_ERROR(index_state.index->BulkLoad(pairs, par));
   }
   return OkStatus();
 }
 
 StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
     const TableState& state, const std::vector<uint64_t>& rows) const {
+  // Decrypt the result rows in parallel into index-addressed slots, then
+  // compact in order: the output sequence matches the serial loop exactly.
+  std::vector<std::vector<Value>> decoded(rows.size());
+  std::vector<uint8_t> keep(rows.size(), 0);
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      rows.size(), /*grain=*/16, default_parallelism_,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t row = rows[i];
+          if (state.encrypted_table->table().IsDeleted(row)) continue;
+          SDBENC_ASSIGN_OR_RETURN(decoded[i],
+                                  state.encrypted_table->GetRow(row));
+          keep[i] = 1;
+        }
+        return OkStatus();
+      }));
   std::vector<std::vector<Value>> out;
   out.reserve(rows.size());
-  for (uint64_t row : rows) {
-    if (state.encrypted_table->table().IsDeleted(row)) continue;
-    SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
-                            state.encrypted_table->GetRow(row));
-    out.push_back(std::move(values));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (keep[i]) out.push_back(std::move(decoded[i]));
   }
   return out;
 }
@@ -291,16 +323,31 @@ StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
 StatusOr<std::vector<std::vector<Value>>> SecureDatabase::ScanWhere(
     const TableState& state, uint32_t column, const Value& lo,
     const Value& hi) const {
-  std::vector<std::vector<Value>> out;
+  // Full decrypt-scan, row-parallel over read-only state; matching rows are
+  // compacted in row order afterwards, so results match the serial scan.
   const Table& table = state.encrypted_table->table();
-  for (uint64_t row = 0; row < table.num_rows(); ++row) {
-    if (table.IsDeleted(row)) continue;
-    SDBENC_ASSIGN_OR_RETURN(Value v,
-                            state.encrypted_table->GetCell(row, column));
-    if (Value::Compare(v, lo) < 0 || Value::Compare(v, hi) > 0) continue;
-    SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
-                            state.encrypted_table->GetRow(row));
-    out.push_back(std::move(values));
+  const uint64_t num_rows = table.num_rows();
+  std::vector<std::vector<Value>> decoded(num_rows);
+  std::vector<uint8_t> keep(num_rows, 0);
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      num_rows, /*grain=*/16, default_parallelism_,
+      [&](size_t begin, size_t end) -> Status {
+        for (uint64_t row = begin; row < end; ++row) {
+          if (table.IsDeleted(row)) continue;
+          SDBENC_ASSIGN_OR_RETURN(
+              Value v, state.encrypted_table->GetCell(row, column));
+          if (Value::Compare(v, lo) < 0 || Value::Compare(v, hi) > 0) {
+            continue;
+          }
+          SDBENC_ASSIGN_OR_RETURN(decoded[row],
+                                  state.encrypted_table->GetRow(row));
+          keep[row] = 1;
+        }
+        return OkStatus();
+      }));
+  std::vector<std::vector<Value>> out;
+  for (uint64_t row = 0; row < num_rows; ++row) {
+    if (keep[row]) out.push_back(std::move(decoded[row]));
   }
   return out;
 }
@@ -371,13 +418,21 @@ Status SecureDatabase::Delete(const std::string& table, uint64_t row) {
   return raw->DeleteRow(row);
 }
 
-Status SecureDatabase::VerifyIntegrity() const {
+Status SecureDatabase::VerifyIntegrity(const Parallelism& par) const {
   SDBENC_RETURN_IF_ERROR(CheckOpen());
   for (const auto& state : tables_) {
-    SDBENC_RETURN_IF_ERROR(state->encrypted_table->VerifyAll());
+    SDBENC_RETURN_IF_ERROR(state->encrypted_table->VerifyAll(par));
+    // One task per index: a tree faults nodes through its own pager, so a
+    // single tree is never shared between tasks, while distinct trees only
+    // meet at the (thread-safe) storage engine. First-error-wins by task
+    // index keeps the reported failure identical to the serial loop.
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(state->indexes.size());
     for (const auto& index_state : state->indexes) {
-      SDBENC_RETURN_IF_ERROR(index_state.index->tree().CheckStructure());
+      const BPlusTree* tree = &index_state.index->tree();
+      tasks.push_back([tree] { return tree->CheckStructure(); });
     }
+    SDBENC_RETURN_IF_ERROR(ParallelInvoke(tasks, par));
   }
   return OkStatus();
 }
@@ -582,7 +637,8 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenFromFile(
                   /*create_if_missing=*/false);
 }
 
-Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
+Status SecureDatabase::RotateMasterKey(BytesView new_master_key,
+                                       const Parallelism& par) {
   SDBENC_RETURN_IF_ERROR(CheckOpen());
   if (new_master_key.size() < 16) {
     return InvalidArgumentError("master key must be >= 16 octets");
@@ -620,17 +676,38 @@ Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
       master_key_ = old_key;
 
       AeadCellCodec* old_codec = old_state->column_codecs[col].get();
-      for (uint64_t row = 0; row < raw->num_rows(); ++row) {
+      // Serial nonce pre-pass (same rng order as the serial loop), then
+      // decode + re-encode row-parallel into per-row slots; the column's
+      // cells are only swapped in once every row succeeded.
+      const uint64_t num_rows = raw->num_rows();
+      std::vector<Bytes> nonces(num_rows);
+      for (uint64_t row = 0; row < num_rows; ++row) {
         if (raw->IsDeleted(row)) continue;
-        SDBENC_ASSIGN_OR_RETURN(BytesView stored, raw->cell(row, col));
-        const CellAddress addr = raw->AddressOf(row, col);
-        SDBENC_ASSIGN_OR_RETURN(Bytes plaintext,
-                                old_codec->Decode(stored, addr));
-        SDBENC_ASSIGN_OR_RETURN(Bytes reencrypted,
-                                new_codec.Encode(plaintext, addr));
+        nonces[row] = new_codec.DrawEncodeNonce();
+      }
+      std::vector<Bytes> reencrypted(num_rows);
+      const AeadCellCodec& encode_codec = new_codec;
+      SDBENC_RETURN_IF_ERROR(ParallelFor(
+          num_rows, /*grain=*/16, par,
+          [&](size_t begin, size_t end) -> Status {
+            for (uint64_t row = begin; row < end; ++row) {
+              if (raw->IsDeleted(row)) continue;
+              SDBENC_ASSIGN_OR_RETURN(BytesView stored, raw->cell(row, col));
+              const CellAddress addr = raw->AddressOf(row, col);
+              SDBENC_ASSIGN_OR_RETURN(Bytes plaintext,
+                                      old_codec->Decode(stored, addr));
+              SDBENC_ASSIGN_OR_RETURN(
+                  reencrypted[row],
+                  encode_codec.EncodeWithNonce(ToView(plaintext), addr,
+                                               ToView(nonces[row])));
+              SecureWipe(plaintext);
+            }
+            return OkStatus();
+          }));
+      for (uint64_t row = 0; row < num_rows; ++row) {
+        if (raw->IsDeleted(row)) continue;
         SDBENC_ASSIGN_OR_RETURN(Bytes * cell, raw->mutable_cell(row, col));
-        *cell = std::move(reencrypted);
-        SecureWipe(plaintext);
+        *cell = std::move(reencrypted[row]);
       }
     }
   }
@@ -653,7 +730,8 @@ Status SecureDatabase::RotateMasterKey(BytesView new_master_key) {
   for (const Config& config : configs) {
     SDBENC_RETURN_IF_ERROR(BuildTableState(config.name, config.alg,
                                            config.order, config.indexed,
-                                           /*populate_indexes=*/true));
+                                           /*populate_indexes=*/true,
+                                           /*index_table_ids=*/nullptr, par));
   }
   return OkStatus();
 }

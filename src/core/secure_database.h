@@ -15,6 +15,7 @@
 #include "storage/record_store.h"
 #include "util/rng.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace sdbenc {
 
@@ -70,8 +71,14 @@ class SecureDatabase {
   /// Initial load fast path: appends all rows, then builds each index
   /// bottom-up with exactly one encryption per entry (no split-triggered
   /// re-encryptions). Only valid while the table is empty.
+  ///
+  /// Cell encryption runs row-parallel and each index build node-parallel
+  /// at `par` (default: one thread per hardware thread). Nonces are drawn
+  /// serially before the parallel passes, so the stored bytes are
+  /// byte-identical at every thread count.
   Status BulkInsert(const std::string& table,
-                    const std::vector<std::vector<Value>>& rows);
+                    const std::vector<std::vector<Value>>& rows,
+                    const Parallelism& par = Parallelism());
 
   /// Point query; uses the column's encrypted index when one exists,
   /// otherwise falls back to a full decrypting scan.
@@ -97,7 +104,12 @@ class SecureDatabase {
 
   /// Decrypt-verifies every live cell of every table and the structure of
   /// every index. Any storage tampering fails here.
-  Status VerifyIntegrity() const;
+  ///
+  /// Tables are checked in order; within a table, cell verification runs
+  /// row-parallel and the indexes' structure checks run concurrently (one
+  /// task per index) at `par`. The verdict — including which failure is
+  /// reported — is identical at every thread count.
+  Status VerifyIntegrity(const Parallelism& par = Parallelism()) const;
 
   /// Incrementally persists everything changed since the last flush —
   /// dirty rows, dirty index nodes, the catalog — into the session's
@@ -124,8 +136,10 @@ class SecureDatabase {
 
   /// Key rotation: decrypts and re-encrypts every cell and index entry
   /// under subkeys derived from `new_master_key`, in place. On success the
-  /// old key no longer opens anything.
-  Status RotateMasterKey(BytesView new_master_key);
+  /// old key no longer opens anything. Cell re-encryption runs row-parallel
+  /// and the index rebuilds node-parallel at `par`.
+  Status RotateMasterKey(BytesView new_master_key,
+                         const Parallelism& par = Parallelism());
 
   /// Ends the session (paper §2.1: keys are "securely removed at the end"):
   /// wipes the master key and drops every derived key. All subsequent
@@ -182,6 +196,16 @@ class SecureDatabase {
   };
   StatusOr<const TableState*> GetTableState(const std::string& table) const;
 
+  /// Degree of parallelism for the read-only query paths (index row
+  /// collection and unindexed decrypt-scans), which take no per-call option.
+  /// Defaults to one thread per hardware thread.
+  void set_default_parallelism(const Parallelism& par) {
+    default_parallelism_ = par;
+  }
+  const Parallelism& default_parallelism() const {
+    return default_parallelism_;
+  }
+
  private:
   explicit SecureDatabase(Bytes master_key, std::optional<uint64_t> rng_seed);
 
@@ -212,7 +236,8 @@ class SecureDatabase {
                          const std::vector<std::string>& indexed_columns,
                          bool populate_indexes,
                          const std::vector<uint64_t>* index_table_ids =
-                             nullptr);
+                             nullptr,
+                         const Parallelism& par = Parallelism());
 
   Status CheckOpen() const;
 
@@ -242,6 +267,7 @@ class SecureDatabase {
   Bytes keycheck_;
   uint64_t catalog_record_ = kNoRecord;
   uint64_t next_index_table_id_ = 1000000;  // disjoint from data table ids
+  Parallelism default_parallelism_;
   bool closed_ = false;
 };
 

@@ -175,6 +175,26 @@ Aes::Aes(BytesView key) {
 std::string Aes::name() const { return "AES-" + std::to_string(key_bits_); }
 
 void Aes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
+  EncryptOne(in, out);
+}
+
+void Aes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+  DecryptOne(in, out);
+}
+
+void Aes::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
+  for (size_t i = 0; i < n; ++i) {
+    EncryptOne(in + i * kBlockSize, out + i * kBlockSize);
+  }
+}
+
+void Aes::DecryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
+  for (size_t i = 0; i < n; ++i) {
+    DecryptOne(in + i * kBlockSize, out + i * kBlockSize);
+  }
+}
+
+void Aes::EncryptOne(const uint8_t* in, uint8_t* out) const {
   uint8_t s[16];
   std::memcpy(s, in, 16);
   AddRoundKey(s, round_keys_[0]);
@@ -190,7 +210,7 @@ void Aes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
   std::memcpy(out, s, 16);
 }
 
-void Aes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+void Aes::DecryptOne(const uint8_t* in, uint8_t* out) const {
   uint8_t s[16];
   std::memcpy(s, in, 16);
   AddRoundKey(s, round_keys_[rounds_]);

@@ -28,8 +28,16 @@ class Aes : public BlockCipher {
   void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
   void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
 
+  /// Batched overrides: one non-virtual round-function call per block, with
+  /// the expanded key schedule resident across the whole run.
+  void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const override;
+  void DecryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const override;
+
  private:
   explicit Aes(BytesView key);
+
+  void EncryptOne(const uint8_t* in, uint8_t* out) const;
+  void DecryptOne(const uint8_t* in, uint8_t* out) const;
 
   int rounds_;                 // 10, 12 or 14
   size_t key_bits_;            // 128, 192 or 256

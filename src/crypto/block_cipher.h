@@ -28,6 +28,27 @@ class BlockCipher {
 
   /// Decrypts one block. `in` and `out` may alias.
   virtual void DecryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+
+  /// Encrypts `n` consecutive blocks (`n * block_size()` octets). The
+  /// default loops over EncryptBlock; implementations override to skip the
+  /// per-block virtual dispatch and keep the key schedule hot. `in` and
+  /// `out` may alias exactly (same pointer), not partially overlap.
+  virtual void EncryptBlocks(const uint8_t* in, uint8_t* out,
+                             size_t n) const {
+    const size_t bs = block_size();
+    for (size_t i = 0; i < n; ++i) {
+      EncryptBlock(in + i * bs, out + i * bs);
+    }
+  }
+
+  /// Decrypts `n` consecutive blocks; aliasing rules as EncryptBlocks.
+  virtual void DecryptBlocks(const uint8_t* in, uint8_t* out,
+                             size_t n) const {
+    const size_t bs = block_size();
+    for (size_t i = 0; i < n; ++i) {
+      DecryptBlock(in + i * bs, out + i * bs);
+    }
+  }
 };
 
 }  // namespace sdbenc

@@ -1,0 +1,61 @@
+#ifndef SDBENC_CRYPTO_CIPHER_FACTORY_H_
+#define SDBENC_CRYPTO_CIPHER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "crypto/aes.h"
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Factory for per-thread block-cipher clones.
+///
+/// A BlockCipher is immutable after construction and safe to share across
+/// const callers, so most parallel code simply shares one instance. The
+/// factory exists for the cases where sharing is undesirable — e.g. an
+/// instrumented decorator whose counters would become a contention point, or
+/// future implementations with per-instance scratch state — by letting each
+/// worker construct its own keyed instance from the same material.
+class BlockCipherFactory {
+ public:
+  virtual ~BlockCipherFactory() = default;
+
+  /// Constructs a fresh, independently owned cipher keyed identically to
+  /// every other clone from this factory. Thread-safe.
+  virtual StatusOr<std::unique_ptr<BlockCipher>> Create() const = 0;
+
+  /// Name of the cipher the factory produces, e.g. "AES-128".
+  virtual std::string name() const = 0;
+};
+
+/// Produces independent Aes instances from a copied key. Each Create() call
+/// re-runs the key expansion, so clones share no state at all.
+class AesCipherFactory : public BlockCipherFactory {
+ public:
+  static StatusOr<std::unique_ptr<AesCipherFactory>> Make(BytesView key) {
+    // Validate the key once up front so Create() failures are impossible.
+    SDBENC_RETURN_IF_ERROR(Aes::Create(key).status());
+    return std::unique_ptr<AesCipherFactory>(new AesCipherFactory(key));
+  }
+
+  StatusOr<std::unique_ptr<BlockCipher>> Create() const override {
+    SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(ToView(key_)));
+    return std::unique_ptr<BlockCipher>(std::move(aes));
+  }
+
+  std::string name() const override {
+    return "AES-" + std::to_string(key_.size() * 8);
+  }
+
+ private:
+  explicit AesCipherFactory(BytesView key) : key_(key.begin(), key.end()) {}
+
+  Bytes key_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_CIPHER_FACTORY_H_

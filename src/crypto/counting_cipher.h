@@ -1,6 +1,7 @@
 #ifndef SDBENC_CRYPTO_COUNTING_CIPHER_H_
 #define SDBENC_CRYPTO_COUNTING_CIPHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,30 +25,48 @@ class CountingBlockCipher : public BlockCipher {
   std::string name() const override { return "counting(" + inner_->name() + ")"; }
 
   void EncryptBlock(const uint8_t* in, uint8_t* out) const override {
-    ++encrypt_calls_;
+    encrypt_calls_.fetch_add(1, std::memory_order_relaxed);
     inner_->EncryptBlock(in, out);
   }
 
   void DecryptBlock(const uint8_t* in, uint8_t* out) const override {
-    ++decrypt_calls_;
+    decrypt_calls_.fetch_add(1, std::memory_order_relaxed);
     inner_->DecryptBlock(in, out);
   }
 
-  uint64_t encrypt_calls() const { return encrypt_calls_; }
-  uint64_t decrypt_calls() const { return decrypt_calls_; }
-  uint64_t total_calls() const { return encrypt_calls_ + decrypt_calls_; }
+  void EncryptBlocks(const uint8_t* in, uint8_t* out,
+                     size_t n) const override {
+    encrypt_calls_.fetch_add(n, std::memory_order_relaxed);
+    inner_->EncryptBlocks(in, out, n);
+  }
+
+  void DecryptBlocks(const uint8_t* in, uint8_t* out,
+                     size_t n) const override {
+    decrypt_calls_.fetch_add(n, std::memory_order_relaxed);
+    inner_->DecryptBlocks(in, out, n);
+  }
+
+  uint64_t encrypt_calls() const {
+    return encrypt_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t decrypt_calls() const {
+    return decrypt_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_calls() const { return encrypt_calls() + decrypt_calls(); }
 
   void ResetCounters() {
-    encrypt_calls_ = 0;
-    decrypt_calls_ = 0;
+    encrypt_calls_.store(0, std::memory_order_relaxed);
+    decrypt_calls_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::unique_ptr<BlockCipher> inner_;
   // Counters are mutable because EncryptBlock/DecryptBlock are const in the
   // BlockCipher contract; instrumentation is not part of the cipher state.
-  mutable uint64_t encrypt_calls_ = 0;
-  mutable uint64_t decrypt_calls_ = 0;
+  // Atomic with relaxed ordering: batched modes call this concurrently from
+  // pool workers, and the counts are statistics, not synchronization.
+  mutable std::atomic<uint64_t> encrypt_calls_{0};
+  mutable std::atomic<uint64_t> decrypt_calls_{0};
 };
 
 }  // namespace sdbenc

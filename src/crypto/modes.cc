@@ -1,6 +1,8 @@
 #include "crypto/modes.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace sdbenc {
 
@@ -11,6 +13,26 @@ Status CheckBlockAligned(const BlockCipher& cipher, BytesView data) {
     return InvalidArgumentError("input length not a multiple of block size");
   }
   return OkStatus();
+}
+
+// The batched entry points treat ragged input as malformed stored bytes
+// (kParseError), checked before any block is processed.
+Status CheckBlockParsable(const BlockCipher& cipher, BytesView data) {
+  if (data.size() % cipher.block_size() != 0) {
+    return ParseError("batched mode input is not a whole number of " +
+                      std::to_string(cipher.block_size()) + "-octet blocks");
+  }
+  return OkStatus();
+}
+
+// Chunk grain for the batched modes: 64 blocks (1 KiB of AES) amortizes the
+// chunk-claim atomics without defeating load balancing.
+constexpr size_t kBatchGrainBlocks = 64;
+
+Parallelism EffectiveParallelism(const BatchCryptOptions& options,
+                                 size_t nblocks) {
+  if (nblocks < options.min_parallel_blocks) return Parallelism::Serial();
+  return options.parallelism;
 }
 
 Status CheckIv(const BlockCipher& cipher, BytesView iv) {
@@ -25,6 +47,14 @@ Status CheckIv(const BlockCipher& cipher, BytesView iv) {
 void IncrementCounterBe(Bytes& counter) {
   for (size_t i = counter.size(); i-- > 0;) {
     if (++counter[i] != 0) break;
+  }
+}
+
+void AddCounterBe(Bytes& counter, uint64_t delta) {
+  for (size_t i = counter.size(); i-- > 0 && delta != 0;) {
+    const uint64_t sum = static_cast<uint64_t>(counter[i]) + (delta & 0xff);
+    counter[i] = static_cast<uint8_t>(sum);
+    delta = (delta >> 8) + (sum >> 8);
   }
 }
 
@@ -136,6 +166,97 @@ StatusOr<Bytes> CfbEncrypt(const BlockCipher& cipher, BytesView iv,
     // feedback is needed.
     if (n == bs) std::memcpy(feedback.data(), out.data() + off, bs);
   }
+  return out;
+}
+
+StatusOr<Bytes> EcbEncryptBatched(const BlockCipher& cipher, BytesView data,
+                                  const BatchCryptOptions& options) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockParsable(cipher, data));
+  const size_t bs = cipher.block_size();
+  const size_t nblocks = data.size() / bs;
+  Bytes out(data.size());
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      nblocks, kBatchGrainBlocks, EffectiveParallelism(options, nblocks),
+      [&](size_t begin, size_t end) {
+        cipher.EncryptBlocks(data.data() + begin * bs, out.data() + begin * bs,
+                             end - begin);
+        return OkStatus();
+      },
+      options.pool));
+  return out;
+}
+
+StatusOr<Bytes> EcbDecryptBatched(const BlockCipher& cipher, BytesView data,
+                                  const BatchCryptOptions& options) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockParsable(cipher, data));
+  const size_t bs = cipher.block_size();
+  const size_t nblocks = data.size() / bs;
+  Bytes out(data.size());
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      nblocks, kBatchGrainBlocks, EffectiveParallelism(options, nblocks),
+      [&](size_t begin, size_t end) {
+        cipher.DecryptBlocks(data.data() + begin * bs, out.data() + begin * bs,
+                             end - begin);
+        return OkStatus();
+      },
+      options.pool));
+  return out;
+}
+
+StatusOr<Bytes> CbcDecryptBatched(const BlockCipher& cipher, BytesView iv,
+                                  BytesView data,
+                                  const BatchCryptOptions& options) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockParsable(cipher, data));
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, iv));
+  const size_t bs = cipher.block_size();
+  const size_t nblocks = data.size() / bs;
+  Bytes out(data.size());
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      nblocks, kBatchGrainBlocks, EffectiveParallelism(options, nblocks),
+      [&](size_t begin, size_t end) {
+        cipher.DecryptBlocks(data.data() + begin * bs, out.data() + begin * bs,
+                             end - begin);
+        for (size_t b = begin; b < end; ++b) {
+          // P_b = D(C_b) xor C_{b-1}, with C_{-1} = IV; every xor operand is
+          // read-only input, so chunks never touch each other's state.
+          const uint8_t* prev = b == 0 ? iv.data() : data.data() + (b - 1) * bs;
+          for (size_t i = 0; i < bs; ++i) out[b * bs + i] ^= prev[i];
+        }
+        return OkStatus();
+      },
+      options.pool));
+  return out;
+}
+
+StatusOr<Bytes> CtrCryptBatched(const BlockCipher& cipher,
+                                BytesView initial_counter, BytesView data,
+                                const BatchCryptOptions& options) {
+  SDBENC_RETURN_IF_ERROR(CheckBlockParsable(cipher, data));
+  SDBENC_RETURN_IF_ERROR(CheckIv(cipher, initial_counter));
+  const size_t bs = cipher.block_size();
+  const size_t nblocks = data.size() / bs;
+  Bytes out(data.size());
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      nblocks, kBatchGrainBlocks, EffectiveParallelism(options, nblocks),
+      [&](size_t begin, size_t end) {
+        const size_t count = end - begin;
+        // Materialize the chunk's counter blocks, encrypt them in one
+        // batched call, then XOR the keystream into the data.
+        Bytes counters(count * bs);
+        Bytes counter(initial_counter.begin(), initial_counter.end());
+        AddCounterBe(counter, begin);
+        for (size_t b = 0; b < count; ++b) {
+          std::memcpy(counters.data() + b * bs, counter.data(), bs);
+          IncrementCounterBe(counter);
+        }
+        Bytes keystream(count * bs);
+        cipher.EncryptBlocks(counters.data(), keystream.data(), count);
+        for (size_t i = 0; i < count * bs; ++i) {
+          out[begin * bs + i] = data[begin * bs + i] ^ keystream[i];
+        }
+        return OkStatus();
+      },
+      options.pool));
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include "crypto/block_cipher.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace sdbenc {
 
@@ -52,6 +53,48 @@ StatusOr<Bytes> CfbDecrypt(const BlockCipher& cipher, BytesView iv,
 
 /// Increments a block-sized big-endian counter in place (with wraparound).
 void IncrementCounterBe(Bytes& counter);
+
+/// Adds `delta` to a big-endian counter in place (with wraparound); equal to
+/// `delta` repetitions of IncrementCounterBe. Lets a CTR chunk starting at
+/// block b compute its counter directly.
+void AddCounterBe(Bytes& counter, uint64_t delta);
+
+/// Options for the batched mode entry points below.
+struct BatchCryptOptions {
+  /// Worker count for splitting across the pool; 1 = serial, 0 = hardware.
+  Parallelism parallelism;
+  /// Inputs smaller than this many blocks stay serial regardless of
+  /// `parallelism`: below it, pool hand-off costs more than it saves.
+  size_t min_parallel_blocks = 256;
+  /// Pool to run on; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+/// Batched counterparts of the modes above for bulk data. They validate that
+/// `data.size()` is a whole number of blocks up front — rejecting ragged
+/// input with kParseError (malformed stored bytes, the same class as a
+/// truncated ciphertext) before any block is touched — then process chunks
+/// through BlockCipher::EncryptBlocks/DecryptBlocks, splitting across the
+/// pool when the input exceeds `min_parallel_blocks`. Output is
+/// byte-identical to the serial mode at every thread count. CBC *encryption*
+/// has no batched form: its chaining is inherently sequential.
+StatusOr<Bytes> EcbEncryptBatched(const BlockCipher& cipher, BytesView data,
+                                  const BatchCryptOptions& options = {});
+StatusOr<Bytes> EcbDecryptBatched(const BlockCipher& cipher, BytesView data,
+                                  const BatchCryptOptions& options = {});
+
+/// CBC decryption parallelizes cleanly: P_i = D(C_i) xor C_{i-1} needs only
+/// the previous ciphertext block, which is input, not a running state.
+StatusOr<Bytes> CbcDecryptBatched(const BlockCipher& cipher, BytesView iv,
+                                  BytesView data,
+                                  const BatchCryptOptions& options = {});
+
+/// CTR keystream XOR; a chunk starting at block b seeds its own counter via
+/// AddCounterBe(counter, b). Unlike streaming CtrCrypt, the batched form
+/// requires block-aligned input (kParseError otherwise).
+StatusOr<Bytes> CtrCryptBatched(const BlockCipher& cipher,
+                                BytesView initial_counter, BytesView data,
+                                const BatchCryptOptions& options = {});
 
 }  // namespace sdbenc
 

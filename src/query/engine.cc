@@ -137,17 +137,30 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
     }
   }
 
+  // Residual filter: decrypt and evaluate candidates row-parallel into
+  // index-addressed flags, then compact in candidate order — the returned
+  // row list matches the serial filter exactly.
+  std::vector<uint8_t> keep(candidates.size(), 0);
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      candidates.size(), /*grain=*/16, parallelism_,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t row = candidates[i];
+          if (table.IsDeleted(row)) continue;
+          if (plan.residual != nullptr) {
+            SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
+                                    state.encrypted_table->GetRow(row));
+            SDBENC_ASSIGN_OR_RETURN(bool match,
+                                    plan.residual->Evaluate(schema, values));
+            if (!match) continue;
+          }
+          keep[i] = 1;
+        }
+        return OkStatus();
+      }));
   std::vector<uint64_t> rows;
-  for (uint64_t row : candidates) {
-    if (table.IsDeleted(row)) continue;
-    if (plan.residual != nullptr) {
-      SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
-                              state.encrypted_table->GetRow(row));
-      SDBENC_ASSIGN_OR_RETURN(bool keep,
-                              plan.residual->Evaluate(schema, values));
-      if (!keep) continue;
-    }
-    rows.push_back(row);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (keep[i]) rows.push_back(candidates[i]);
   }
   return rows;
 }
@@ -169,14 +182,17 @@ StatusOr<QueryResult> QueryEngine::Execute(
   SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> rows,
                           MatchingRows(*state, plan));
 
-  // Materialise the matched rows once.
-  std::vector<std::vector<Value>> full_rows;
-  full_rows.reserve(rows.size());
-  for (uint64_t row : rows) {
-    SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
-                            state->encrypted_table->GetRow(row));
-    full_rows.push_back(std::move(values));
-  }
+  // Materialise the matched rows once, row-parallel into ordered slots.
+  std::vector<std::vector<Value>> full_rows(rows.size());
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      rows.size(), /*grain=*/16, parallelism_,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          SDBENC_ASSIGN_OR_RETURN(full_rows[i],
+                                  state->encrypted_table->GetRow(rows[i]));
+        }
+        return OkStatus();
+      }));
 
   // Aggregate query: one result row.
   if (!statement.aggregates.empty()) {

@@ -63,8 +63,13 @@ struct QueryResult {
 /// surfaces as kAuthenticationFailed mid-query).
 class QueryEngine {
  public:
-  /// `db` must outlive the engine.
-  explicit QueryEngine(SecureDatabase* db) : db_(db) {}
+  /// `db` must outlive the engine. `par` sets the thread count for the
+  /// decrypting phases — full-table residual scans and result-row
+  /// materialisation — which run row-parallel over read-only state; results
+  /// are identical at every thread count (default: hardware concurrency).
+  explicit QueryEngine(SecureDatabase* db,
+                       const Parallelism& par = Parallelism())
+      : db_(db), parallelism_(par) {}
 
   StatusOr<QueryResult> Execute(const SelectStatement& statement) const;
   StatusOr<QueryResult> Execute(const InsertStatement& statement) const;
@@ -84,6 +89,7 @@ class QueryEngine {
                                const ExprPtr& where) const;
 
   SecureDatabase* db_;
+  Parallelism parallelism_;
 };
 
 }  // namespace sdbenc

@@ -4,10 +4,16 @@ namespace sdbenc {
 
 StatusOr<Bytes> AeadCellCodec::Encode(BytesView value,
                                       const CellAddress& address) {
-  const Bytes nonce = rng_.RandomBytes(aead_.nonce_size());
+  const Bytes nonce = DrawEncodeNonce();
+  return EncodeWithNonce(value, address, ToView(nonce));
+}
+
+StatusOr<Bytes> AeadCellCodec::EncodeWithNonce(BytesView value,
+                                               const CellAddress& address,
+                                               BytesView nonce) const {
   SDBENC_ASSIGN_OR_RETURN(Aead::Sealed sealed,
                           aead_.Seal(nonce, value, address.Encode()));
-  Bytes stored = nonce;
+  Bytes stored(nonce.begin(), nonce.end());
   Append(stored, sealed.ciphertext);
   Append(stored, sealed.tag);
   return stored;

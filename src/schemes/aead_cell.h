@@ -37,6 +37,16 @@ class AeadCellCodec : public CellCodec {
   StatusOr<Bytes> Decode(BytesView stored,
                          const CellAddress& address) const override;
 
+  // Stateless path: Seal is const, so once the nonce is drawn the encode is
+  // thread-safe; Encode == DrawEncodeNonce + EncodeWithNonce by definition.
+  bool supports_stateless_encode() const override { return true; }
+  size_t encode_nonce_size() const override { return aead_.nonce_size(); }
+  Bytes DrawEncodeNonce() override {
+    return rng_.RandomBytes(aead_.nonce_size());
+  }
+  StatusOr<Bytes> EncodeWithNonce(BytesView value, const CellAddress& address,
+                                  BytesView nonce) const override;
+
  private:
   const Aead& aead_;
   Rng& rng_;

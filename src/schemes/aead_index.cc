@@ -13,7 +13,13 @@ Bytes AeadIndexCodec::AssociatedData(const IndexEntryContext& context) {
 
 StatusOr<Bytes> AeadIndexCodec::Encode(const IndexEntryPlain& plain,
                                        const IndexEntryContext& context) {
-  const Bytes nonce = rng_.RandomBytes(aead_.nonce_size());
+  const Bytes nonce = DrawEncodeNonce();
+  return EncodeWithNonce(plain, context, ToView(nonce));
+}
+
+StatusOr<Bytes> AeadIndexCodec::EncodeWithNonce(
+    const IndexEntryPlain& plain, const IndexEntryContext& context,
+    BytesView nonce) const {
   // Plaintext (V, Ref_T): be64(Ref_T) || V, fixed-width field first so the
   // split-off at decode time is unambiguous for any V.
   Bytes message = EncodeUint64Be(plain.table_row);
@@ -21,7 +27,7 @@ StatusOr<Bytes> AeadIndexCodec::Encode(const IndexEntryPlain& plain,
   SDBENC_ASSIGN_OR_RETURN(Aead::Sealed sealed,
                           aead_.Seal(nonce, message,
                                      AssociatedData(context)));
-  Bytes stored = nonce;
+  Bytes stored(nonce.begin(), nonce.end());
   Append(stored, sealed.ciphertext);
   Append(stored, sealed.tag);
   return stored;

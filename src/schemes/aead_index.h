@@ -38,6 +38,17 @@ class AeadIndexCodec : public IndexEntryCodec {
   StatusOr<IndexEntryPlain> Decode(
       BytesView stored, const IndexEntryContext& context) const override;
 
+  // Stateless path: Seal is const; Encode == DrawEncodeNonce +
+  // EncodeWithNonce.
+  bool supports_stateless_encode() const override { return true; }
+  size_t encode_nonce_size() const override { return aead_.nonce_size(); }
+  Bytes DrawEncodeNonce() override {
+    return rng_.RandomBytes(aead_.nonce_size());
+  }
+  StatusOr<Bytes> EncodeWithNonce(const IndexEntryPlain& plain,
+                                  const IndexEntryContext& context,
+                                  BytesView nonce) const override;
+
  private:
   static Bytes AssociatedData(const IndexEntryContext& context);
 

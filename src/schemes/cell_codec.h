@@ -37,6 +37,39 @@ class CellCodec {
 
   virtual StatusOr<Bytes> Decode(BytesView stored,
                                  const CellAddress& address) const = 0;
+
+  // --- Stateless encode path for parallel bulk encryption. ---
+  //
+  // The only mutable state Encode touches is the shared Rng. Bulk callers
+  // that want byte-identical output at any thread count pre-draw the nonces
+  // serially — DrawEncodeNonce, called in exactly the order serial Encode
+  // would draw — and then run EncodeWithNonce concurrently. Codecs that
+  // cannot separate randomness from encryption keep the defaults
+  // (supports_stateless_encode() == false) and bulk callers fall back to
+  // serial Encode.
+
+  /// True if EncodeWithNonce is implemented and byte-compatible with Encode.
+  virtual bool supports_stateless_encode() const { return false; }
+
+  /// Octets of randomness one Encode call draws (0 for deterministic
+  /// codecs).
+  virtual size_t encode_nonce_size() const { return 0; }
+
+  /// Draws the randomness one EncodeWithNonce call will consume, from the
+  /// same source and in the same order Encode would. Not thread-safe: this
+  /// is the serial pre-pass.
+  virtual Bytes DrawEncodeNonce() { return Bytes(); }
+
+  /// Thread-safe encode with caller-supplied randomness: byte-identical to
+  /// Encode having drawn `nonce` itself.
+  virtual StatusOr<Bytes> EncodeWithNonce(BytesView value,
+                                          const CellAddress& address,
+                                          BytesView nonce) const {
+    (void)value;
+    (void)address;
+    (void)nonce;
+    return UnimplementedError(name() + " has no stateless encode path");
+  }
 };
 
 /// Identity codec for unencrypted columns.
@@ -51,6 +84,12 @@ class PlaintextCellCodec : public CellCodec {
   }
   StatusOr<Bytes> Decode(BytesView stored, const CellAddress&) const override {
     return Bytes(stored.begin(), stored.end());
+  }
+
+  bool supports_stateless_encode() const override { return true; }
+  StatusOr<Bytes> EncodeWithNonce(BytesView value, const CellAddress&,
+                                  BytesView) const override {
+    return Bytes(value.begin(), value.end());
   }
 };
 

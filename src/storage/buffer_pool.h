@@ -15,6 +15,12 @@ namespace sdbenc {
 /// must not be evicted while some caller reads/writes through it). The pool
 /// itself never touches the disk: eviction hands the victim back to the
 /// caller, which owns the writeback.
+///
+/// Not internally synchronised: the pool relies on *external* locking — the
+/// owning engine holds its pool mutex across every call AND across any use
+/// of a returned Frame* (Lookup promotes the frame in the LRU list, so even
+/// "read-only" lookups mutate shared state). Frame pointers are stable only
+/// while that lock is held; eviction invalidates them.
 class BufferPool {
  public:
   struct Frame {

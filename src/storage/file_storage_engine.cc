@@ -83,6 +83,10 @@ StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Open(
   return engine;
 }
 
+// The three disk helpers touch only file_ (plus immutable page_size_): the
+// caller serialises them with io_mu_ — except during construction, before
+// the engine is shared. WriteHeader additionally reads the metadata, so its
+// callers hold mu_ too.
 Status FileStorageEngine::WriteHeader() {
   uint8_t header[kHeaderSize];
   std::memset(header, 0, kHeaderSize);
@@ -130,39 +134,55 @@ Status FileStorageEngine::ReadPageFromDisk(PageId id, Bytes* payload) {
   return OkStatus();
 }
 
-StatusOr<BufferPool::Frame*> FileStorageEngine::FetchFrame(PageId id,
-                                                           bool from_disk) {
+StatusOr<BufferPool::Frame*> FileStorageEngine::InsertFrameLocked(
+    PageId id, Bytes payload, bool dirty) {
   if (pool_.Full()) {
     BufferPool::Frame victim;
     SDBENC_RETURN_IF_ERROR(pool_.Evict(&victim));
     ++stats_.pool_evictions;
     if (victim.dirty) {
       ++stats_.dirty_writebacks;
+      const std::lock_guard<std::mutex> io_lock(io_mu_);
       SDBENC_RETURN_IF_ERROR(WritePageToDisk(victim.id, victim.data));
     }
   }
+  return pool_.Insert(id, std::move(payload), dirty);
+}
+
+StatusOr<BufferPool::Frame*> FileStorageEngine::FetchFrameLocked(
+    PageId id, bool from_disk) {
   Bytes payload;
   if (from_disk) {
+    const std::lock_guard<std::mutex> io_lock(io_mu_);
     SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
   } else {
     payload.assign(page_size_, 0);
   }
-  return pool_.Insert(id, std::move(payload), /*dirty=*/!from_disk);
+  return InsertFrameLocked(id, std::move(payload), /*dirty=*/!from_disk);
 }
 
 StatusOr<PageId> FileStorageEngine::Allocate() {
+  const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.pages_allocated;
   if (free_head_ != kInvalidPageId) {
     const PageId id = free_head_;
-    Bytes link;
-    SDBENC_RETURN_IF_ERROR(Read(id, &link));
-    free_head_ = GetUint64Be(link.data());
+    // Follow the free-list link stored in the page's first octets.
+    ++stats_.page_reads;
+    BufferPool::Frame* frame = pool_.Lookup(id);
+    if (frame != nullptr) {
+      ++stats_.pool_hits;
+    } else {
+      ++stats_.pool_misses;
+      SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/true));
+    }
+    free_head_ = GetUint64Be(frame->data.data());
     return id;
   }
   return num_pages_++;
 }
 
 Status FileStorageEngine::Read(PageId id, Bytes* out) {
+  std::unique_lock<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
@@ -170,16 +190,33 @@ Status FileStorageEngine::Read(PageId id, Bytes* out) {
   BufferPool::Frame* frame = pool_.Lookup(id);
   if (frame != nullptr) {
     ++stats_.pool_hits;
-  } else {
-    ++stats_.pool_misses;
-    SDBENC_ASSIGN_OR_RETURN(frame, FetchFrame(id, /*from_disk=*/true));
+    *out = frame->data;
+    return OkStatus();
   }
-  const PinGuard pin(frame);
+  ++stats_.pool_misses;
+  // Miss: fault the page in with mu_ dropped, so concurrent misses on other
+  // pages overlap their disk I/O and checksum verification behind io_mu_
+  // instead of serialising the whole engine.
+  lock.unlock();
+  Bytes payload;
+  {
+    const std::lock_guard<std::mutex> io_lock(io_mu_);
+    SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
+  }
+  lock.lock();
+  // Another thread may have faulted (or rewritten) the page meanwhile; a
+  // resident frame is never staler than our disk copy, so it wins.
+  frame = pool_.Lookup(id);
+  if (frame == nullptr) {
+    SDBENC_ASSIGN_OR_RETURN(
+        frame, InsertFrameLocked(id, std::move(payload), /*dirty=*/false));
+  }
   *out = frame->data;
   return OkStatus();
 }
 
 Status FileStorageEngine::Write(PageId id, BytesView data) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
@@ -192,9 +229,8 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
     ++stats_.pool_hits;
   } else {
     // Whole-page overwrite: no need to fault the old content in from disk.
-    SDBENC_ASSIGN_OR_RETURN(frame, FetchFrame(id, /*from_disk=*/false));
+    SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/false));
   }
-  const PinGuard pin(frame);
   frame->data.assign(data.begin(), data.end());
   frame->data.resize(page_size_, 0);
   frame->dirty = true;
@@ -202,6 +238,7 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
 }
 
 Status FileStorageEngine::Free(PageId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
@@ -211,7 +248,7 @@ Status FileStorageEngine::Free(PageId id) {
   Bytes link(page_size_, 0);
   PutUint64Be(link.data(), free_head_);
   SDBENC_ASSIGN_OR_RETURN(BufferPool::Frame * frame,
-                          FetchFrame(id, /*from_disk=*/false));
+                          FetchFrameLocked(id, /*from_disk=*/false));
   frame->data = std::move(link);
   frame->dirty = true;
   free_head_ = id;
@@ -219,6 +256,8 @@ Status FileStorageEngine::Free(PageId id) {
 }
 
 Status FileStorageEngine::Flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> io_lock(io_mu_);
   for (BufferPool::Frame& frame : pool_.frames()) {
     if (!frame.dirty) continue;
     SDBENC_RETURN_IF_ERROR(WritePageToDisk(frame.id, frame.data));

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
@@ -32,6 +33,17 @@ namespace sdbenc {
 /// when the frame is evicted or on Flush(). Freed pages are chained into a
 /// free list threaded through their first payload octets and are recycled
 /// by Allocate().
+///
+/// Thread safety: every operation is safe to call concurrently. Two locks
+/// cover the engine — `mu_` guards the buffer pool, the metadata
+/// (num_pages_/free_head_/root_record_) and the counters; `io_mu_` guards
+/// the FILE* (always acquired after `mu_`, never before it). A Read miss
+/// drops `mu_` around its disk fault so concurrent misses on different
+/// pages overlap their I/O and checksum verification, then re-checks the
+/// pool before inserting. The one caveat: a Read racing a Write *to the
+/// same page* may return either the old or the new content — callers that
+/// need read-your-write ordering on a page must provide it themselves (the
+/// engine's own callers only mix writers on pages no reader touches).
 class FileStorageEngine : public StorageEngine {
  public:
   /// Creates a fresh page file at `path`, truncating any existing file.
@@ -50,7 +62,10 @@ class FileStorageEngine : public StorageEngine {
   FileStorageEngine& operator=(const FileStorageEngine&) = delete;
 
   size_t page_size() const override { return page_size_; }
-  uint64_t num_pages() const override { return num_pages_; }
+  uint64_t num_pages() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
 
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Bytes* out) override;
@@ -61,9 +76,17 @@ class FileStorageEngine : public StorageEngine {
   /// is a complete, reopenable image.
   Status Flush() override;
 
-  void set_root_record(uint64_t record) override { root_record_ = record; }
-  uint64_t root_record() const override { return root_record_; }
+  void set_root_record(uint64_t record) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    root_record_ = record;
+  }
+  uint64_t root_record() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return root_record_;
+  }
 
+  /// Counters are maintained under `mu_`; read them only while no other
+  /// thread is inside the engine (benches/tests read after joining).
   const StorageStats& stats() const override { return stats_; }
 
   size_t pool_capacity() const { return pool_.capacity(); }
@@ -72,9 +95,17 @@ class FileStorageEngine : public StorageEngine {
   FileStorageEngine(std::FILE* file, size_t page_size, size_t pool_pages)
       : file_(file), page_size_(page_size), pool_(pool_pages) {}
 
+  /// Makes room (evicting + writing back a dirty victim under `io_mu_` if
+  /// the pool is full) and inserts `payload` as the frame for `id`.
+  /// Caller holds `mu_`.
+  StatusOr<BufferPool::Frame*> InsertFrameLocked(PageId id, Bytes payload,
+                                                 bool dirty);
+
   /// Faults `id` into the pool (verifying its checksum when it comes from
-  /// disk), evicting if needed. Returns the resident frame.
-  StatusOr<BufferPool::Frame*> FetchFrame(PageId id, bool from_disk);
+  /// disk), evicting if needed. Caller holds `mu_`; the lock is kept across
+  /// the disk I/O — the metadata paths (Allocate/Free/Write) use this, while
+  /// the hot Read-miss path instead drops `mu_` around its fault.
+  StatusOr<BufferPool::Frame*> FetchFrameLocked(PageId id, bool from_disk);
 
   Status WritePageToDisk(PageId id, BytesView payload);
   Status ReadPageFromDisk(PageId id, Bytes* payload);
@@ -82,6 +113,14 @@ class FileStorageEngine : public StorageEngine {
 
   std::FILE* file_;
   size_t page_size_;
+
+  /// Guards pool_, num_pages_, free_head_, root_record_ and stats_.
+  /// Lock order: mu_ before io_mu_ (io_mu_ alone is fine; never the
+  /// reverse).
+  mutable std::mutex mu_;
+  /// Guards file_ (the stdio stream's seek position is shared state).
+  std::mutex io_mu_;
+
   BufferPool pool_;
   uint64_t num_pages_ = 0;
   PageId free_head_ = kInvalidPageId;

@@ -14,6 +14,7 @@ Status MemoryStorageEngine::CheckId(PageId id) const {
 }
 
 StatusOr<PageId> MemoryStorageEngine::Allocate() {
+  const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.pages_allocated;
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -27,6 +28,7 @@ StatusOr<PageId> MemoryStorageEngine::Allocate() {
 }
 
 Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
+  const std::lock_guard<std::mutex> lock(mu_);
   SDBENC_RETURN_IF_ERROR(CheckId(id));
   ++stats_.page_reads;
   *out = pages_[id];
@@ -34,6 +36,7 @@ Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
 }
 
 Status MemoryStorageEngine::Write(PageId id, BytesView data) {
+  const std::lock_guard<std::mutex> lock(mu_);
   SDBENC_RETURN_IF_ERROR(CheckId(id));
   if (data.size() > page_size_) {
     return InvalidArgumentError("page write larger than page size");
@@ -46,6 +49,7 @@ Status MemoryStorageEngine::Write(PageId id, BytesView data) {
 }
 
 Status MemoryStorageEngine::Free(PageId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   SDBENC_RETURN_IF_ERROR(CheckId(id));
   ++stats_.pages_freed;
   pages_[id].clear();

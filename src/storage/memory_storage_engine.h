@@ -1,6 +1,7 @@
 #ifndef SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
 #define SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
 
+#include <mutex>
 #include <vector>
 
 #include "storage/storage_engine.h"
@@ -11,13 +12,21 @@ namespace sdbenc {
 /// interface. No buffer pool (every page *is* resident), no durability;
 /// Flush() is a no-op. Used as the default session substrate and as the
 /// reference implementation the FileStorageEngine tests compare against.
+///
+/// Thread safety: all operations are serialised under one mutex (there is
+/// no I/O to overlap, so a single lock costs nothing). Like the file
+/// engine, a Read racing a Write to the *same* page returns either the old
+/// or the new content; callers needing that ordering provide it themselves.
 class MemoryStorageEngine : public StorageEngine {
  public:
   explicit MemoryStorageEngine(size_t page_size = kDefaultPageSize)
       : page_size_(page_size == 0 ? kDefaultPageSize : page_size) {}
 
   size_t page_size() const override { return page_size_; }
-  uint64_t num_pages() const override { return pages_.size(); }
+  uint64_t num_pages() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Bytes* out) override;
@@ -25,15 +34,25 @@ class MemoryStorageEngine : public StorageEngine {
   Status Free(PageId id) override;
   Status Flush() override { return OkStatus(); }
 
-  void set_root_record(uint64_t record) override { root_record_ = record; }
-  uint64_t root_record() const override { return root_record_; }
+  void set_root_record(uint64_t record) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    root_record_ = record;
+  }
+  uint64_t root_record() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return root_record_;
+  }
 
+  /// Counters are maintained under the mutex; read them only while no
+  /// other thread is inside the engine.
   const StorageStats& stats() const override { return stats_; }
 
  private:
+  /// Caller holds mu_.
   Status CheckId(PageId id) const;
 
   size_t page_size_;
+  mutable std::mutex mu_;
   std::vector<Bytes> pages_;
   std::vector<bool> free_;       // parallel to pages_
   std::vector<PageId> free_list_;

@@ -1,0 +1,165 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sdbenc {
+
+size_t Parallelism::Resolve() const {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(Parallelism::Hardware().Resolve());
+  return *pool;
+}
+
+namespace {
+
+Status RunGuarded(const std::function<Status(size_t, size_t)>& fn,
+                  size_t begin, size_t end) {
+  try {
+    return fn(begin, end);
+  } catch (const std::exception& e) {
+    return InternalError(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    return InternalError("parallel task threw a non-standard exception");
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
+                   const std::function<Status(size_t, size_t)>& fn,
+                   ThreadPool* pool) {
+  if (n == 0) return OkStatus();
+  const size_t g = std::max<size_t>(1, grain);
+  const size_t want = std::max<size_t>(1, par.Resolve());
+
+  // Chunk boundaries depend only on (n, grain, par): at most 4 chunks per
+  // executor for load balance, never smaller than the grain. Serial callers
+  // get one chunk so fn sees the whole range in a single call.
+  size_t num_chunks = want == 1 ? 1 : std::min((n + g - 1) / g, want * 4);
+  const size_t chunk_size = std::max(g, (n + num_chunks - 1) / num_chunks);
+  num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  // Shared between the caller and its pool helpers. Heap-allocated and
+  // refcounted so the call can return as soon as every CHUNK is done: a
+  // helper that was queued behind long-running unrelated pool work may fire
+  // arbitrarily late, find no chunks left, and drop its reference — it never
+  // touches caller stack state, so a fully busy pool cannot deadlock the
+  // caller (the calling thread just runs every chunk itself).
+  struct ForContext {
+    std::function<Status(size_t, size_t)> fn;
+    size_t n = 0;
+    size_t chunk_size = 0;
+    size_t num_chunks = 0;
+    std::vector<Status> results;
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t completed = 0;
+  };
+  auto ctx = std::make_shared<ForContext>();
+  ctx->fn = fn;
+  ctx->n = n;
+  ctx->chunk_size = chunk_size;
+  ctx->num_chunks = num_chunks;
+  ctx->results.resize(num_chunks);
+
+  const auto run_chunks = [](const std::shared_ptr<ForContext>& c) {
+    for (;;) {
+      const size_t i = c->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= c->num_chunks) return;
+      const size_t begin = i * c->chunk_size;
+      const size_t end = std::min(c->n, begin + c->chunk_size);
+      c->results[i] = RunGuarded(c->fn, begin, end);
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        all_done = ++c->completed == c->num_chunks;
+      }
+      if (all_done) c->cv.notify_all();
+    }
+  };
+
+  const size_t helpers = std::min(want - 1, num_chunks - 1);
+  if (helpers == 0) {
+    run_chunks(ctx);
+  } else {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
+    for (size_t i = 0; i < helpers; ++i) {
+      p.Submit([ctx, run_chunks] { run_chunks(ctx); });
+    }
+    run_chunks(ctx);
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    ctx->cv.wait(lock, [&] { return ctx->completed == ctx->num_chunks; });
+  }
+
+  // completed == num_chunks under ctx->mu orders every results[] write
+  // before these reads.
+  for (Status& status : ctx->results) {
+    if (!status.ok()) return std::move(status);
+  }
+  return OkStatus();
+}
+
+Status ParallelInvoke(const std::vector<std::function<Status()>>& tasks,
+                      const Parallelism& par, ThreadPool* pool) {
+  return ParallelFor(
+      tasks.size(), /*grain=*/1, par,
+      [&tasks](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          SDBENC_RETURN_IF_ERROR(tasks[i]());
+        }
+        return OkStatus();
+      },
+      pool);
+}
+
+}  // namespace sdbenc

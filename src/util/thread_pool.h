@@ -1,0 +1,90 @@
+#ifndef SDBENC_UTIL_THREAD_POOL_H_
+#define SDBENC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sdbenc {
+
+/// Degree-of-parallelism knob threaded through the bulk call sites
+/// (VerifyIntegrity, BulkInsert, batched cipher modes, table scans).
+/// `threads == 0` means "one software thread per hardware thread";
+/// `threads == 1` is strictly serial and never touches a pool.
+struct Parallelism {
+  size_t threads = 0;
+
+  /// The effective thread count: `threads`, or hardware_concurrency()
+  /// (at least 1) when `threads` is 0.
+  size_t Resolve() const;
+
+  static Parallelism Serial() { return Parallelism{1}; }
+  static Parallelism Hardware() { return Parallelism{0}; }
+  static Parallelism Exactly(size_t n) { return Parallelism{n}; }
+};
+
+/// Fixed-size worker pool. Tasks are plain `void()` closures; error and
+/// result plumbing is the caller's problem (ParallelFor below does both).
+/// The destructor drains the queue: every submitted task runs before the
+/// workers exit.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide pool shared by all bulk call sites, sized to
+  /// hardware_concurrency. Created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks of at least `grain` indices and runs
+/// `fn(begin, end)` for each, spreading chunks over up to `par.Resolve()`
+/// concurrent executors. The calling thread is one of the executors, so the
+/// call completes even on a pool with no idle workers, and `par == 1` runs
+/// everything inline without touching the pool. `pool == nullptr` uses
+/// ThreadPool::Shared().
+///
+/// Determinism contract: chunk boundaries depend only on (n, grain, par) —
+/// never on scheduling — and callers write results into caller-owned,
+/// index-addressed storage, so output is identical at every thread count.
+/// Error contract: first-error-wins *by chunk index*. Chunks are contiguous
+/// and each runs front to back, so the reported Status is exactly the first
+/// failure the serial loop would have hit (later chunks may run anyway;
+/// their side effects on caller storage are discarded by the caller on
+/// error). A thrown exception is converted to kInternal rather than
+/// propagated across threads.
+Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
+                   const std::function<Status(size_t, size_t)>& fn,
+                   ThreadPool* pool = nullptr);
+
+/// Runs independent whole tasks (e.g. one per index) under the same executor
+/// and first-error-wins-by-index contract as ParallelFor.
+Status ParallelInvoke(const std::vector<std::function<Status()>>& tasks,
+                      const Parallelism& par, ThreadPool* pool = nullptr);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,292 @@
+// Parallel-vs-serial equivalence: the whole point of the execution layer is
+// that parallelism changes wall time and NOTHING else. These tests pin that
+// down at three levels — batched cipher modes against their serial
+// counterparts, bulk-loaded databases byte-for-byte across thread counts,
+// and VerifyIntegrity verdicts (clean and tampered) at every thread count.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/secure_database.h"
+#include "crypto/aes.h"
+#include "crypto/cipher_factory.h"
+#include "crypto/counting_cipher.h"
+#include "crypto/modes.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+BatchCryptOptions ForceParallel(size_t threads) {
+  BatchCryptOptions options;
+  options.parallelism = Parallelism::Exactly(threads);
+  // Drop the serial-fallback threshold so even test-sized inputs actually
+  // exercise the pool split.
+  options.min_parallel_blocks = 1;
+  return options;
+}
+
+class BatchedModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    aes_ = std::move(Aes::Create(Bytes(16, 0x42)).value());
+    DeterministicRng rng(11);
+    data_ = rng.RandomBytes(16 * 333);  // odd block count on purpose
+    iv_ = rng.RandomBytes(16);
+  }
+
+  std::unique_ptr<Aes> aes_;
+  Bytes data_;
+  Bytes iv_;
+};
+
+TEST_F(BatchedModesTest, EcbEncryptMatchesSerial) {
+  const Bytes serial = EcbEncrypt(*aes_, ToView(data_)).value();
+  for (const size_t threads : kThreadSweep) {
+    const Bytes batched =
+        EcbEncryptBatched(*aes_, ToView(data_), ForceParallel(threads))
+            .value();
+    EXPECT_EQ(batched, serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchedModesTest, EcbDecryptMatchesSerial) {
+  const Bytes ct = EcbEncrypt(*aes_, ToView(data_)).value();
+  const Bytes serial = EcbDecrypt(*aes_, ToView(ct)).value();
+  EXPECT_EQ(serial, data_);
+  for (const size_t threads : kThreadSweep) {
+    const Bytes batched =
+        EcbDecryptBatched(*aes_, ToView(ct), ForceParallel(threads)).value();
+    EXPECT_EQ(batched, serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchedModesTest, CbcDecryptMatchesSerial) {
+  const Bytes ct = CbcEncrypt(*aes_, ToView(iv_), ToView(data_)).value();
+  const Bytes serial = CbcDecrypt(*aes_, ToView(iv_), ToView(ct)).value();
+  EXPECT_EQ(serial, data_);
+  for (const size_t threads : kThreadSweep) {
+    const Bytes batched =
+        CbcDecryptBatched(*aes_, ToView(iv_), ToView(ct),
+                          ForceParallel(threads))
+            .value();
+    EXPECT_EQ(batched, serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchedModesTest, CtrMatchesSerialAndRoundTrips) {
+  Bytes counter(16, 0);
+  counter[15] = 0xfe;  // a carry crosses the last octet mid-stream
+  const Bytes serial = CtrCrypt(*aes_, ToView(counter), ToView(data_)).value();
+  for (const size_t threads : kThreadSweep) {
+    const Bytes batched =
+        CtrCryptBatched(*aes_, ToView(counter), ToView(data_),
+                        ForceParallel(threads))
+            .value();
+    EXPECT_EQ(batched, serial) << "threads=" << threads;
+    // CTR is an involution: crypting again restores the plaintext.
+    const Bytes back =
+        CtrCryptBatched(*aes_, ToView(counter), ToView(batched),
+                        ForceParallel(threads))
+            .value();
+    EXPECT_EQ(back, data_) << "threads=" << threads;
+  }
+}
+
+TEST_F(BatchedModesTest, AddCounterBeMatchesRepeatedIncrement) {
+  Bytes stepped(16, 0);
+  stepped[15] = 0xf0;
+  Bytes jumped = stepped;
+  for (int i = 0; i < 1000; ++i) IncrementCounterBe(stepped);
+  AddCounterBe(jumped, 1000);
+  EXPECT_EQ(jumped, stepped);
+}
+
+TEST_F(BatchedModesTest, RaggedInputIsRejectedUpFront) {
+  // 5 stray octets past the last whole block: every batched entry point must
+  // refuse with kParseError before touching any block — including in the
+  // small-input serial fallback.
+  const Bytes ragged = DeterministicRng(3).RandomBytes(16 * 10 + 5);
+  for (const BatchCryptOptions& options :
+       {BatchCryptOptions{}, ForceParallel(4)}) {
+    EXPECT_EQ(EcbEncryptBatched(*aes_, ToView(ragged), options)
+                  .status()
+                  .code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(EcbDecryptBatched(*aes_, ToView(ragged), options)
+                  .status()
+                  .code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(CbcDecryptBatched(*aes_, ToView(iv_), ToView(ragged), options)
+                  .status()
+                  .code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(
+        CtrCryptBatched(*aes_, ToView(iv_), ToView(ragged), options)
+            .status()
+            .code(),
+        StatusCode::kParseError);
+  }
+}
+
+TEST_F(BatchedModesTest, CountingCipherCountsBatchedBlocks) {
+  CountingBlockCipher counting(
+      std::move(Aes::Create(Bytes(16, 0x42)).value()));
+  const size_t blocks = data_.size() / counting.block_size();
+  const Bytes via_counting =
+      EcbEncryptBatched(counting, ToView(data_), ForceParallel(4)).value();
+  EXPECT_EQ(counting.encrypt_calls(), blocks);
+  EXPECT_EQ(counting.decrypt_calls(), 0u);
+  EXPECT_EQ(via_counting, EcbEncrypt(*aes_, ToView(data_)).value());
+  counting.ResetCounters();
+  (void)EcbDecryptBatched(counting, ToView(via_counting), ForceParallel(4))
+      .value();
+  EXPECT_EQ(counting.decrypt_calls(), blocks);
+}
+
+TEST_F(BatchedModesTest, FactoryClonesAreIndependentAndIdentical) {
+  // Per-thread clones from one factory are keyed identically (same
+  // ciphertext) yet share no state — each worker can own one outright.
+  auto factory = AesCipherFactory::Make(Bytes(16, 0x42)).value();
+  EXPECT_EQ(factory->name(), "AES-128");
+  auto clone_a = std::move(factory->Create().value());
+  auto clone_b = std::move(factory->Create().value());
+  EXPECT_NE(clone_a.get(), clone_b.get());
+  const Bytes via_a = EcbEncrypt(*clone_a, ToView(data_)).value();
+  const Bytes via_b = EcbEncrypt(*clone_b, ToView(data_)).value();
+  EXPECT_EQ(via_a, via_b);
+  EXPECT_EQ(via_a, EcbEncrypt(*aes_, ToView(data_)).value());
+}
+
+// --- whole-database equivalence -------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true},
+                 {"note", ValueType::kString, false}});
+}
+
+std::vector<std::vector<Value>> TestRows(size_t n) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i * 13 % n)),
+                    Value::Str("name-" + std::to_string(i)),
+                    Value::Str("note-" + std::to_string(i % 7))});
+  }
+  return rows;
+}
+
+std::unique_ptr<SecureDatabase> BuildParallel(size_t threads, size_t rows) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x5a), /*rng_seed=*/1234).value();
+  SecureTableOptions options;
+  options.indexed_columns = {"id", "name"};
+  options.index_order = 8;
+  EXPECT_TRUE(db->CreateTable("t", TestSchema(), options).ok());
+  EXPECT_TRUE(
+      db->BulkInsert("t", TestRows(rows), Parallelism::Exactly(threads))
+          .ok());
+  return db;
+}
+
+/// Every stored byte an adversary could see: all raw table cells plus every
+/// stored index entry with its position metadata.
+std::vector<Bytes> StoredImage(SecureDatabase& db) {
+  std::vector<Bytes> image;
+  Table* raw = db.storage().GetTable("t").value();
+  for (uint64_t r = 0; r < raw->num_rows(); ++r) {
+    for (uint32_t c = 0; c < raw->num_columns(); ++c) {
+      const BytesView cell = raw->cell(r, c).value();
+      image.emplace_back(cell.begin(), cell.end());
+    }
+  }
+  const SecureDatabase::TableState* state = db.GetTableState("t").value();
+  for (const auto& index_state : state->indexes) {
+    for (const auto& entry : index_state.index->tree().DumpStoredEntries()) {
+      image.push_back(entry.stored);
+    }
+  }
+  return image;
+}
+
+TEST(ParallelDatabaseTest, BulkInsertIsByteIdenticalAcrossThreadCounts) {
+  const size_t kRows = 200;
+  auto reference = BuildParallel(/*threads=*/1, kRows);
+  const std::vector<Bytes> expect = StoredImage(*reference);
+  ASSERT_FALSE(expect.empty());
+  for (const size_t threads : {2u, 4u, 8u}) {
+    auto db = BuildParallel(threads, kRows);
+    EXPECT_EQ(StoredImage(*db), expect) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDatabaseTest, ParallelBuildAnswersQueriesCorrectly) {
+  auto db = BuildParallel(/*threads=*/4, 150);
+  for (int64_t probe : {0, 13, 149}) {
+    auto rows = db->SelectEquals("t", "id", Value::Int(probe % 150)).value();
+    for (const auto& row : rows) {
+      EXPECT_EQ(row[0].AsInt(), probe % 150);
+    }
+  }
+  auto range =
+      db->SelectRange("t", "id", Value::Int(10), Value::Int(20)).value();
+  for (const auto& row : range) {
+    EXPECT_GE(row[0].AsInt(), 10);
+    EXPECT_LE(row[0].AsInt(), 20);
+  }
+}
+
+TEST(ParallelDatabaseTest, VerifyIntegrityVerdictIdenticalAtEveryThreadCount) {
+  auto db = BuildParallel(/*threads=*/4, 120);
+  for (const size_t threads : kThreadSweep) {
+    EXPECT_TRUE(db->VerifyIntegrity(Parallelism::Exactly(threads)).ok())
+        << "threads=" << threads;
+  }
+
+  // Tamper with one mid-table cell: every thread count must report the SAME
+  // failure — code and message — as the serial sweep (first-error-wins).
+  Table* raw = db->storage().GetTable("t").value();
+  Bytes* cell = raw->mutable_cell(60, 1).value();
+  ASSERT_FALSE(cell->empty());
+  (*cell)[cell->size() / 2] ^= 0x01;
+
+  const Status serial = db->VerifyIntegrity(Parallelism::Serial());
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.code(), StatusCode::kAuthenticationFailed);
+  for (const size_t threads : {2u, 4u, 8u}) {
+    const Status parallel =
+        db->VerifyIntegrity(Parallelism::Exactly(threads));
+    EXPECT_EQ(parallel.code(), serial.code()) << "threads=" << threads;
+    EXPECT_EQ(parallel.message(), serial.message()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDatabaseTest, RotateMasterKeyParallelStaysConsistent) {
+  auto db = BuildParallel(/*threads=*/4, 80);
+  const Bytes new_key(32, 0x77);
+  ASSERT_TRUE(
+      db->RotateMasterKey(ToView(new_key), Parallelism::Exactly(4)).ok());
+  EXPECT_TRUE(db->VerifyIntegrity(Parallelism::Exactly(4)).ok());
+  auto rows = db->SelectEquals("t", "id", Value::Int(5)).value();
+  for (const auto& row : rows) EXPECT_EQ(row[0].AsInt(), 5);
+}
+
+TEST(ParallelDatabaseTest, SerialAndParallelQueriesAgree) {
+  auto db = BuildParallel(/*threads=*/4, 100);
+  db->set_default_parallelism(Parallelism::Serial());
+  const auto serial =
+      db->SelectRange("t", "id", Value::Int(0), Value::Int(50)).value();
+  db->set_default_parallelism(Parallelism::Exactly(8));
+  const auto parallel =
+      db->SelectRange("t", "id", Value::Int(0), Value::Int(50)).value();
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/secure_database.h"
@@ -395,6 +397,137 @@ TEST(SecureDatabaseStorageTest, WrongKeyRejectedByKeycheck) {
   ASSERT_FALSE(wrong.ok());
   EXPECT_EQ(wrong.status().code(), StatusCode::kAuthenticationFailed);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------- concurrent access
+
+// Many readers hammering ONE file engine whose pool is far smaller than the
+// page count: hits copy out under the engine mutex while misses fault pages
+// in with the mutex dropped, so this path exercises eviction, double-checked
+// insertion and checksum verification racing each other. Every read must
+// return the exact pattern written — run under TSan in CI.
+TEST(FileEngineConcurrencyTest, ParallelReadsSeeConsistentPages) {
+  const std::string path = TempPath("sdbenc_concurrent_reads.pages");
+  std::remove(path.c_str());
+  constexpr size_t kPages = 64;
+  constexpr size_t kReadsPerThread = 400;
+  {
+    auto engine = FileStorageEngine::Create(path, 256, /*pool_pages=*/8)
+                      .value();
+    for (size_t i = 0; i < kPages; ++i) {
+      const PageId id = engine->Allocate().value();
+      ASSERT_TRUE(
+          engine->Write(id, ToView(PatternPage(256, static_cast<uint8_t>(id))))
+              .ok());
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  auto engine = FileStorageEngine::Open(path, /*pool_pages=*/8).value();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 8; ++t) {
+    readers.emplace_back([&engine, &mismatches, t] {
+      Bytes out;
+      for (size_t i = 0; i < kReadsPerThread; ++i) {
+        const PageId id = (t * 13 + i * 7) % kPages;
+        if (!engine->Read(id, &out).ok() ||
+            out != PatternPage(256, static_cast<uint8_t>(id))) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Under an 8-frame pool and a 64-page working set the readers must have
+  // both hit and missed; the counters were maintained under the mutex.
+  EXPECT_GT(engine->stats().pool_misses, 0u);
+  EXPECT_GT(engine->stats().pool_hits, 0u);
+  std::remove(path.c_str());
+}
+
+// Readers and an allocating/freeing writer on DISJOINT pages share the
+// engine: the metadata paths serialise under the mutex while read misses
+// overlap their I/O. (Read/Write of the SAME page is documented as needing
+// external ordering, so the workload keeps them disjoint.)
+TEST(FileEngineConcurrencyTest, ReadersConcurrentWithAllocateAndFree) {
+  const std::string path = TempPath("sdbenc_concurrent_alloc.pages");
+  std::remove(path.c_str());
+  auto engine = FileStorageEngine::Create(path, 128, /*pool_pages=*/4)
+                    .value();
+  constexpr size_t kStable = 16;
+  for (size_t i = 0; i < kStable; ++i) {
+    const PageId id = engine->Allocate().value();
+    ASSERT_TRUE(
+        engine->Write(id, ToView(PatternPage(128, static_cast<uint8_t>(id))))
+            .ok());
+  }
+  std::atomic<int> failures{0};
+  std::thread churn([&engine, &failures] {
+    // Allocate fresh pages, write them, free them again — never touching
+    // the stable prefix the readers verify.
+    for (int round = 0; round < 60; ++round) {
+      auto id = engine->Allocate();
+      if (!id.ok() || *id < kStable) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!engine->Write(*id, ToView(PatternPage(128, 0xAA))).ok() ||
+          !engine->Free(*id).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &failures, t] {
+      Bytes out;
+      for (size_t i = 0; i < 300; ++i) {
+        const PageId id = (t + i) % kStable;
+        if (!engine->Read(id, &out).ok() ||
+            out != PatternPage(128, static_cast<uint8_t>(id))) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  churn.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(engine->Flush().ok());
+  std::remove(path.c_str());
+}
+
+// The memory engine honours the same contract under its single mutex.
+TEST(MemoryEngineConcurrencyTest, ParallelReadsSeeConsistentPages) {
+  MemoryStorageEngine engine(128);
+  constexpr size_t kPages = 32;
+  for (size_t i = 0; i < kPages; ++i) {
+    const PageId id = engine.Allocate().value();
+    ASSERT_TRUE(
+        engine.Write(id, ToView(PatternPage(128, static_cast<uint8_t>(id))))
+            .ok());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 8; ++t) {
+    readers.emplace_back([&engine, &mismatches, t] {
+      Bytes out;
+      for (size_t i = 0; i < 500; ++i) {
+        const PageId id = (t * 5 + i * 3) % kPages;
+        if (!engine.Read(id, &out).ok() ||
+            out != PatternPage(128, static_cast<uint8_t>(id))) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

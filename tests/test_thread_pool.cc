@@ -1,0 +1,224 @@
+// Thread pool + ParallelFor contract tests: lifecycle, queue draining,
+// chunk coverage at awkward sizes (n = 0, n < grain, n not a multiple of
+// grain), first-error-wins ordering, and exception containment. Everything
+// here must hold at every thread count — including on a 1-core host — so
+// the tests sweep serial, small, and oversubscribed parallelism.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sdbenc {
+namespace {
+
+TEST(Parallelism, ResolveDefaultsToHardware) {
+  EXPECT_GE(Parallelism().Resolve(), 1u);
+  EXPECT_GE(Parallelism::Hardware().Resolve(), 1u);
+  EXPECT_EQ(Parallelism::Serial().Resolve(), 1u);
+  EXPECT_EQ(Parallelism::Exactly(7).Resolve(), 7u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_threads(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue: all 100 tasks run before workers exit.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> ran{0};
+  ASSERT_GE(ThreadPool::Shared().num_threads(), 1u);
+  const Status status = ParallelFor(
+      4, 1, Parallelism::Exactly(2),
+      [&ran](size_t begin, size_t end) -> Status {
+        ran.fetch_add(static_cast<int>(end - begin));
+        return OkStatus();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(ran.load(), 4);
+}
+
+// Every index in [0, n) is visited exactly once, whatever the shape.
+void CheckCoverage(size_t n, size_t grain, size_t threads) {
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  const Status status = ParallelFor(
+      n, grain, Parallelism::Exactly(threads),
+      [&visits](size_t begin, size_t end) -> Status {
+        if (begin > end) return InternalError("inverted chunk");
+        for (size_t i = begin; i < end; ++i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return OkStatus();
+      });
+  ASSERT_TRUE(status.ok()) << status.message();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i << " n=" << n
+                                   << " grain=" << grain
+                                   << " threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, CoversExactlyOnce) {
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    CheckCoverage(0, 16, threads);     // empty range: fn never runs
+    CheckCoverage(1, 16, threads);     // n < grain: one chunk
+    CheckCoverage(15, 16, threads);    // still one chunk
+    CheckCoverage(16, 16, threads);    // exactly one grain
+    CheckCoverage(17, 16, threads);    // grain + 1 remainder
+    CheckCoverage(1000, 16, threads);  // many chunks
+    CheckCoverage(1000, 1, threads);   // minimum grain
+  }
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesFn) {
+  bool invoked = false;
+  const Status status = ParallelFor(
+      0, 1, Parallelism::Exactly(4),
+      [&invoked](size_t, size_t) -> Status {
+        invoked = true;
+        return OkStatus();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ParallelFor, SerialRunsInlineInOrder) {
+  // par == 1 must run chunks front to back on the calling thread, so a
+  // plain (unsynchronised) accumulator observes a strictly ordered sweep.
+  std::vector<size_t> order;
+  const Status status = ParallelFor(
+      100, 10, Parallelism::Serial(),
+      [&order](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) order.push_back(i);
+        return OkStatus();
+      });
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, FirstErrorWinsByChunkIndex) {
+  // Two failing indices: whichever chunking the thread count produces, the
+  // reported Status must be the failure a serial front-to-back sweep hits
+  // first — that is what makes parallel verification return the same
+  // verdict as the serial sweep.
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    const Status status = ParallelFor(
+        100, 10, Parallelism::Exactly(threads),
+        [](size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (i == 30) return InvalidArgumentError("early failure");
+            if (i == 70) return InternalError("late failure");
+          }
+          return OkStatus();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "threads=" << threads;
+    EXPECT_EQ(status.message(), "early failure");
+  }
+}
+
+TEST(ParallelFor, ExceptionBecomesInternalError) {
+  for (const size_t threads : {1u, 4u}) {
+    const Status status = ParallelFor(
+        64, 8, Parallelism::Exactly(threads),
+        [](size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (i == 32) throw std::runtime_error("boom");
+          }
+          return OkStatus();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, WorksOnBusyExternalPool) {
+  // The caller participates, so a ParallelFor pointed at a tiny pool whose
+  // workers are stuck still finishes.
+  ThreadPool tiny(1);
+  std::atomic<bool> release{false};
+  tiny.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> ran{0};
+  const Status status = ParallelFor(
+      32, 4, Parallelism::Exactly(4),
+      [&ran](size_t begin, size_t end) -> Status {
+        ran.fetch_add(static_cast<int>(end - begin));
+        return OkStatus();
+      },
+      &tiny);
+  release.store(true);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelInvoke, ReportsFirstFailingTask) {
+  // Like the serial loop it replaces, the reported Status is the first
+  // failing task's, at every thread count. (Whether later tasks run at all
+  // is scheduling-dependent and deliberately unspecified.)
+  for (const size_t threads : {1u, 2u, 4u}) {
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([i]() -> Status {
+        if (i == 3) return NotFoundError("task three");
+        if (i == 6) return InternalError("task six");
+        return OkStatus();
+      });
+    }
+    const Status status =
+        ParallelInvoke(tasks, Parallelism::Exactly(threads));
+    EXPECT_EQ(status.code(), StatusCode::kNotFound) << "threads=" << threads;
+    EXPECT_EQ(status.message(), "task three");
+  }
+}
+
+TEST(ParallelInvoke, AllTasksRunOnSuccess) {
+  for (const size_t threads : {1u, 2u, 4u}) {
+    std::atomic<int> ran{0};
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&ran]() -> Status {
+        ran.fetch_add(1);
+        return OkStatus();
+      });
+    }
+    EXPECT_TRUE(ParallelInvoke(tasks, Parallelism::Exactly(threads)).ok());
+    EXPECT_EQ(ran.load(), 8) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelInvoke, EmptyTaskListIsOk) {
+  EXPECT_TRUE(ParallelInvoke({}, Parallelism::Exactly(4)).ok());
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  // Slot-array accumulation — the pattern every parallel call site uses.
+  const size_t n = 4096;
+  std::vector<uint64_t> slots(n, 0);
+  const Status status = ParallelFor(
+      n, 64, Parallelism::Exactly(8),
+      [&slots](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) slots[i] = i * i;
+        return OkStatus();
+      });
+  ASSERT_TRUE(status.ok());
+  uint64_t expect = 0;
+  for (size_t i = 0; i < n; ++i) expect += i * i;
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), uint64_t{0}), expect);
+}
+
+}  // namespace
+}  // namespace sdbenc
