@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "storage/file_storage_engine.h"
 #include "util/rng.h"
 
@@ -45,30 +46,15 @@ double Ms(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-// `--threads=1,2,4,8` overrides the default sweep.
-std::vector<size_t> ParseThreads(int argc, char** argv) {
-  std::vector<size_t> threads = {1, 2, 4, 8};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
-    threads.clear();
-    for (const char* p = argv[i] + 10; *p != '\0';) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(p, &end, 10);
-      if (end == p) break;
-      if (v > 0) threads.push_back(v);
-      p = (*end == ',') ? end + 1 : end;
-    }
-    if (threads.empty()) threads = {1};
-  }
-  return threads;
-}
-
 }  // namespace
 }  // namespace sdbenc
 
 int main(int argc, char** argv) {
   using namespace sdbenc;
-  const std::vector<size_t> thread_sweep = ParseThreads(argc, argv);
+  const bool metrics = bench::ExtractFlag(&argc, argv, "--metrics");
+  const std::string prom_path =
+      bench::ExtractFlagValue(&argc, argv, "--metrics-prom=");
+  const std::vector<size_t> thread_sweep = bench::ParseThreads(argc, argv);
 
   // Build the page file once.
   {
@@ -114,15 +100,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.pool_misses), hit_rate,
                 static_cast<unsigned long long>(stats.pool_evictions),
                 Ms(t0, t1));
-    std::printf(
-        "{\"bench\":\"buffer_pool\",\"pool_pages\":%zu,\"page_size\":%zu,"
-        "\"file_pages\":%zu,\"reads\":%zu,\"pool_hits\":%llu,"
-        "\"pool_misses\":%llu,\"hit_rate\":%.4f,\"pool_evictions\":%llu,"
-        "\"ms\":%.3f}\n",
-        pool, kPageSize, kNumPages, kReads,
-        static_cast<unsigned long long>(stats.pool_hits),
-        static_cast<unsigned long long>(stats.pool_misses), hit_rate,
-        static_cast<unsigned long long>(stats.pool_evictions), Ms(t0, t1));
+    bench::JsonLineWriter()
+        .Str("bench", "buffer_pool")
+        .Uint("pool_pages", pool)
+        .Uint("page_size", kPageSize)
+        .Uint("file_pages", kNumPages)
+        .Uint("reads", kReads)
+        .Uint("pool_hits", stats.pool_hits)
+        .Uint("pool_misses", stats.pool_misses)
+        .Double("hit_rate", hit_rate, 4)
+        .Uint("pool_evictions", stats.pool_evictions)
+        .Double("ms", Ms(t0, t1))
+        .Emit();
   }
   std::printf("\nshape: the hit rate climbs steeply until the pool covers\n"
               "the hot fifth of the file, then flattens; past the full file\n"
@@ -165,12 +154,17 @@ int main(int argc, char** argv) {
     if (base_ms == 0) base_ms = ms;
     const double speedup = base_ms / ms;
     std::printf("%-10zu %-12.1f %.2fx\n", threads, ms, speedup);
-    std::printf(
-        "{\"bench\":\"buffer_pool_threads\",\"pool_pages\":64,"
-        "\"file_pages\":%zu,\"reads\":%zu,\"threads\":%zu,\"wall_ms\":%.3f,"
-        "\"speedup\":%.3f}\n",
-        kNumPages, per_thread * threads, threads, ms, speedup);
+    bench::JsonLineWriter()
+        .Str("bench", "buffer_pool_threads")
+        .Uint("pool_pages", 64)
+        .Uint("file_pages", kNumPages)
+        .Uint("reads", per_thread * threads)
+        .Uint("threads", threads)
+        .Double("wall_ms", ms)
+        .Double("speedup", speedup)
+        .Emit();
   }
   std::remove(BenchPath().c_str());
+  if (metrics) bench::DumpRegistrySnapshot(prom_path);
   return 0;
 }

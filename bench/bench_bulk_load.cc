@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "aead/factory.h"
+#include "bench_common.h"
 #include "btree/bplus_tree.h"
 #include "crypto/aes.h"
 #include "crypto/mac.h"
@@ -59,30 +60,15 @@ double Ms(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-// `--threads=1,2,4,8` overrides the default sweep.
-std::vector<size_t> ParseThreads(int argc, char** argv) {
-  std::vector<size_t> threads = {1, 2, 4, 8};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
-    threads.clear();
-    for (const char* p = argv[i] + 10; *p != '\0';) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(p, &end, 10);
-      if (end == p) break;
-      if (v > 0) threads.push_back(v);
-      p = (*end == ',') ? end + 1 : end;
-    }
-    if (threads.empty()) threads = {1};
-  }
-  return threads;
-}
-
 }  // namespace
 }  // namespace sdbenc
 
 int main(int argc, char** argv) {
   using namespace sdbenc;
-  const std::vector<size_t> thread_sweep = ParseThreads(argc, argv);
+  const bool metrics = bench::ExtractFlag(&argc, argv, "--metrics");
+  const std::string prom_path =
+      bench::ExtractFlagValue(&argc, argv, "--metrics-prom=");
+  const std::vector<size_t> thread_sweep = bench::ParseThreads(argc, argv);
   const size_t kN = 20000;
   const size_t kOrder = 16;
   std::printf("== index build ablation: incremental vs. bulk, %zu entries, "
@@ -123,15 +109,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(bulk_tree.encode_calls()),
                 Ms(t2, t3), saving);
     // Machine-readable twin of the table row: `grep '^{' | jq`.
-    std::printf(
-        "{\"bench\":\"bulk_load\",\"codec\":\"%s\",\"entries\":%zu,"
-        "\"order\":%zu,\"incremental_encrypts\":%llu,"
-        "\"incremental_ms\":%.3f,\"bulk_encrypts\":%llu,\"bulk_ms\":%.3f,"
-        "\"encrypt_saving\":%.3f}\n",
-        kind, kN, kOrder,
-        static_cast<unsigned long long>(inc_tree.encode_calls()), Ms(t0, t1),
-        static_cast<unsigned long long>(bulk_tree.encode_calls()), Ms(t2, t3),
-        saving);
+    bench::JsonLineWriter()
+        .Str("bench", "bulk_load")
+        .Str("codec", kind)
+        .Uint("entries", kN)
+        .Uint("order", kOrder)
+        .Uint("incremental_encrypts", inc_tree.encode_calls())
+        .Double("incremental_ms", Ms(t0, t1))
+        .Uint("bulk_encrypts", bulk_tree.encode_calls())
+        .Double("bulk_ms", Ms(t2, t3))
+        .Double("encrypt_saving", saving)
+        .Emit();
   }
   std::printf("\nshape: structure-binding codecs (2005, AEAD) pay ~1.7x the\n"
               "encryptions under incremental insert (and ~40x the wall time,\n"
@@ -164,11 +152,16 @@ int main(int argc, char** argv) {
     if (base_ms == 0) base_ms = ms;
     const double speedup = base_ms / ms;
     std::printf("%-10zu %-12.1f %.2fx\n", threads, ms, speedup);
-    std::printf(
-        "{\"bench\":\"bulk_load_threads\",\"codec\":\"aead-eax\","
-        "\"entries\":%zu,\"order\":%zu,\"threads\":%zu,\"wall_ms\":%.3f,"
-        "\"speedup\":%.3f}\n",
-        kParN, kOrder, threads, ms, speedup);
+    bench::JsonLineWriter()
+        .Str("bench", "bulk_load_threads")
+        .Str("codec", "aead-eax")
+        .Uint("entries", kParN)
+        .Uint("order", kOrder)
+        .Uint("threads", threads)
+        .Double("wall_ms", ms)
+        .Double("speedup", speedup)
+        .Emit();
   }
+  if (metrics) bench::DumpRegistrySnapshot(prom_path);
   return 0;
 }

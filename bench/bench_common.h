@@ -1,0 +1,182 @@
+#ifndef SDBENC_BENCH_BENCH_COMMON_H_
+#define SDBENC_BENCH_BENCH_COMMON_H_
+
+// Shared bench plumbing: the machine-readable JSON-line writer every bench
+// prints its results through (one self-contained object per line, so
+// downstream tooling can `grep '^{' | jq` without parsing console tables),
+// plus the common `--threads=` / `--metrics` flag handling. Header-only so
+// report binaries stay single-file.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace sdbenc {
+namespace bench {
+
+/// Builds one JSON object and prints it as a single line. Keys are emitted
+/// in call order; string values are escaped (quote, backslash, control
+/// characters), doubles print with a fixed number of decimals so output is
+/// stable across runs of the same build.
+class JsonLineWriter {
+ public:
+  JsonLineWriter& Str(std::string_view key, std::string_view value) {
+    Key(key);
+    line_.push_back('"');
+    Escape(value);
+    line_.push_back('"');
+    return *this;
+  }
+
+  JsonLineWriter& Uint(std::string_view key, unsigned long long value) {
+    Key(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonLineWriter& Int(std::string_view key, long long value) {
+    Key(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonLineWriter& Double(std::string_view key, double value,
+                         int decimals = 3) {
+    Key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    line_ += buf;
+    return *this;
+  }
+
+  /// Prints `{...}\n` to `out` and resets the writer for the next line.
+  void Emit(std::FILE* out = stdout) {
+    std::fprintf(out, "{%s}\n", line_.c_str());
+    line_.clear();
+  }
+
+ private:
+  void Key(std::string_view key) {
+    if (!line_.empty()) line_.push_back(',');
+    line_.push_back('"');
+    Escape(key);
+    line_ += "\":";
+  }
+
+  void Escape(std::string_view s) {
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          line_ += "\\\"";
+          break;
+        case '\\':
+          line_ += "\\\\";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            line_ += buf;
+          } else {
+            line_.push_back(c);
+          }
+      }
+    }
+  }
+
+  std::string line_;
+};
+
+/// Parses `--threads=1,2,4` from argv without consuming it. Defaults to the
+/// standard {1, 2, 4, 8} sweep; a malformed list degrades to {1}.
+inline std::vector<size_t> ParseThreads(int argc, char** argv) {
+  std::vector<size_t> threads = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
+    threads.clear();
+    for (const char* p = argv[i] + 10; *p != '\0';) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) threads.push_back(v);
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (threads.empty()) threads = {1};
+  }
+  return threads;
+}
+
+/// ParseThreads, but *removes* the flag from argv so a later
+/// benchmark::Initialize doesn't see it.
+inline std::vector<size_t> ExtractThreads(int* argc, char** argv) {
+  const std::vector<size_t> threads = ParseThreads(*argc, argv);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
+}
+
+/// True if `flag` (exact match, e.g. "--metrics") appears in argv; the flag
+/// is removed so later argument parsers don't trip over it.
+inline bool ExtractFlag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return found;
+}
+
+/// Extracts the value of `--name=value` (prefix match on "--name="), empty
+/// string when absent. The argument is removed from argv.
+inline std::string ExtractFlagValue(int* argc, char** argv,
+                                    const char* prefix) {
+  std::string value;
+  const size_t len = std::strlen(prefix);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      value = argv[i] + len;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+/// Standard `--metrics` epilogue: snapshots the process-wide registry once
+/// and prints it as JSON lines on stdout (each line carries a "metric" key,
+/// distinguishing it from the benches' own "bench" lines); when `prom_path`
+/// is non-empty the same snapshot is also written there in Prometheus text
+/// format, so both exports describe identical counts.
+inline void DumpRegistrySnapshot(const std::string& prom_path) {
+  const obs::MetricsSnapshot snapshot = obs::Registry().Snapshot();
+  std::fputs(obs::ExportJsonLines(snapshot).c_str(), stdout);
+  if (prom_path.empty()) return;
+  std::FILE* f = std::fopen(prom_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", prom_path.c_str());
+    return;
+  }
+  const std::string prom = obs::ExportPrometheus(snapshot);
+  std::fwrite(prom.data(), 1, prom.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace bench
+}  // namespace sdbenc
+
+#endif  // SDBENC_BENCH_BENCH_COMMON_H_

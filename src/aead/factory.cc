@@ -1,5 +1,7 @@
 #include "aead/factory.h"
 
+#include "aead/instrumented.h"
+
 #include <utility>
 
 #include "aead/ccfb.h"
@@ -46,35 +48,35 @@ StatusOr<std::unique_ptr<Aead>> CreateAead(AeadAlgorithm alg, BytesView key) {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<EaxAead> aead,
                               EaxAead::Create(std::move(aes)));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kOcbPmac: {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<OcbAead> aead,
                               OcbAead::Create(std::move(aes)));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kCcfb: {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<CcfbAead> aead,
                               CcfbAead::Create(std::move(aes)));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kEtm: {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<EtmAead> aead,
                               EtmAead::Create(key));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kGcm: {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<GcmAead> aead,
                               GcmAead::Create(std::move(aes)));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kSiv: {
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<SivAead> aead,
                               SivAead::Create(key));
-      return std::unique_ptr<Aead>(std::move(aead));
+      return WrapInstrumented(std::move(aead));
     }
   }
   return InvalidArgumentError("unknown AEAD algorithm");

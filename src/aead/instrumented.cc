@@ -1,0 +1,73 @@
+#include "aead/instrumented.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace sdbenc {
+
+namespace {
+
+struct AeadMetrics {
+  obs::Counter* seal_total;
+  obs::Counter* open_total;
+  obs::Counter* open_fail_total;
+  obs::Counter* seal_bytes_total;
+  obs::Counter* open_bytes_total;
+  obs::Histogram* msg_bytes;
+};
+
+const AeadMetrics& Metrics() {
+  static const AeadMetrics m = {
+      obs::Registry().GetCounter("sdbenc_aead_seal_total"),
+      obs::Registry().GetCounter("sdbenc_aead_open_total"),
+      obs::Registry().GetCounter("sdbenc_aead_open_fail_total"),
+      obs::Registry().GetCounter("sdbenc_aead_seal_bytes_total"),
+      obs::Registry().GetCounter("sdbenc_aead_open_bytes_total"),
+      obs::Registry().GetHistogram("sdbenc_aead_msg_bytes"),
+  };
+  return m;
+}
+
+class InstrumentedAead : public Aead {
+ public:
+  explicit InstrumentedAead(std::unique_ptr<Aead> inner)
+      : inner_(std::move(inner)) {}
+
+  size_t nonce_size() const override { return inner_->nonce_size(); }
+  size_t tag_size() const override { return inner_->tag_size(); }
+  size_t overhead() const override { return inner_->overhead(); }
+  std::string name() const override { return inner_->name(); }
+
+  StatusOr<Sealed> Seal(BytesView nonce, BytesView plaintext,
+                        BytesView associated_data) const override {
+    const AeadMetrics& m = Metrics();
+    m.seal_total->Increment();
+    m.seal_bytes_total->Add(plaintext.size());
+    m.msg_bytes->Record(plaintext.size());
+    return inner_->Seal(nonce, plaintext, associated_data);
+  }
+
+  StatusOr<Bytes> Open(BytesView nonce, BytesView ciphertext, BytesView tag,
+                       BytesView associated_data) const override {
+    const AeadMetrics& m = Metrics();
+    m.open_total->Increment();
+    m.open_bytes_total->Add(ciphertext.size());
+    StatusOr<Bytes> result =
+        inner_->Open(nonce, ciphertext, tag, associated_data);
+    if (!result.ok()) m.open_fail_total->Increment();
+    return result;
+  }
+
+ private:
+  std::unique_ptr<Aead> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aead> WrapInstrumented(std::unique_ptr<Aead> inner) {
+  if constexpr (!obs::kMetricsEnabled) return inner;
+  return std::make_unique<InstrumentedAead>(std::move(inner));
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,27 @@
+#ifndef SDBENC_AEAD_INSTRUMENTED_H_
+#define SDBENC_AEAD_INSTRUMENTED_H_
+
+#include <memory>
+
+#include "aead/aead.h"
+
+namespace sdbenc {
+
+/// Wraps an Aead so every Seal/Open feeds the metrics registry (DESIGN §8):
+///
+///   sdbenc_aead_seal_total / sdbenc_aead_open_total      invocations
+///   sdbenc_aead_seal_bytes_total / _open_bytes_total     payload octets
+///   sdbenc_aead_open_fail_total                          auth failures
+///   sdbenc_aead_msg_bytes                                size histogram
+///
+/// The wrapper is observably transparent: nonce_size/tag_size/overhead/name
+/// forward unchanged, so callers cannot tell an instrumented AEAD from the
+/// bare one. CreateAead wraps every factory-built instance; with the
+/// metrics layer compiled out (SDBENC_METRICS=0) the factory skips the
+/// wrapper entirely, so the disabled build pays not even the extra virtual
+/// hop.
+std::unique_ptr<Aead> WrapInstrumented(std::unique_ptr<Aead> inner);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_AEAD_INSTRUMENTED_H_

@@ -4,10 +4,33 @@
 #include <utility>
 
 #include "db/serialize.h"
+#include "obs/metrics.h"
 
 namespace sdbenc {
 
 namespace {
+
+// Registry mirrors of the per-tree atomic counters (DESIGN §8). The
+// per-instance atomics stay authoritative for the attack benches, which
+// compare counts across trees; the registry view aggregates all trees in
+// the process.
+obs::Counter* EntryEncodesMetric() {
+  static obs::Counter* const c =
+      obs::Registry().GetCounter("sdbenc_btree_entry_encodes_total");
+  return c;
+}
+
+obs::Counter* EntryDecodesMetric() {
+  static obs::Counter* const c =
+      obs::Registry().GetCounter("sdbenc_btree_entry_decodes_total");
+  return c;
+}
+
+obs::Counter* NodeSplitsMetric() {
+  static obs::Counter* const c =
+      obs::Registry().GetCounter("sdbenc_btree_node_splits_total");
+  return c;
+}
 
 int CompareBytes(BytesView a, BytesView b) {
   const size_t n = std::min(a.size(), b.size());
@@ -101,6 +124,7 @@ IndexEntryContext BPlusTree::MakeContext(const BTreeNode& node,
 StatusOr<IndexEntryPlain> BPlusTree::DecodeEntry(const BTreeNode& node,
                                                  size_t slot) const {
   decode_calls_.fetch_add(1, std::memory_order_relaxed);
+  EntryDecodesMetric()->Increment();
   return codec_->Decode(node.stored[slot], MakeContext(node, slot));
 }
 
@@ -127,6 +151,7 @@ Status BPlusTree::WriteBack(int node_id,
     }
     if (needs_encode) {
       encode_calls_.fetch_add(1, std::memory_order_relaxed);
+      EntryEncodesMetric()->Increment();
       SDBENC_ASSIGN_OR_RETURN(
           Bytes stored, codec_->Encode(plains[slot], MakeContext(*node,
                                                                  slot)));
@@ -180,6 +205,7 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
     }
 
     // Split the inner node: the middle separator is promoted (removed).
+    NodeSplitsMetric()->Increment();
     const size_t mid = plains.size() / 2;
     SplitResult result;
     result.split = true;
@@ -228,6 +254,7 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
   // separator is a copy of the right node's first composite key. The left
   // node's sibling pointer changes, so structure-binding codecs re-encrypt
   // both halves — exactly the maintenance cost the paper's schemes imply.
+  NodeSplitsMetric()->Increment();
   const size_t mid = plains.size() / 2;
   const int right_id = pager_.Alloc();
   SDBENC_ASSIGN_OR_RETURN(BTreeNode * right, pager_.Mut(right_id));
@@ -402,6 +429,7 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
           return OkStatus();
         }));
     encode_calls_.fetch_add(total_entries, std::memory_order_relaxed);
+    EntryEncodesMetric()->Add(total_entries);
     return OkStatus();
   }
   for (size_t id = 0; id < pager_.size(); ++id) {

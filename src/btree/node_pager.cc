@@ -2,7 +2,19 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace sdbenc {
+
+namespace {
+
+obs::Counter* NodeFaultsMetric() {
+  static obs::Counter* const c =
+      obs::Registry().GetCounter("sdbenc_btree_node_faults_total");
+  return c;
+}
+
+}  // namespace
 
 int NodePager::Alloc() {
   Slot slot;
@@ -22,6 +34,7 @@ StatusOr<BTreeNode*> NodePager::Get(int id) const {
       return InternalError("node " + std::to_string(id) +
                            " has no working copy and no backing record");
     }
+    NodeFaultsMetric()->Increment();
     SDBENC_ASSIGN_OR_RETURN(const Bytes record, store_->Get(slot.record_id));
     SDBENC_ASSIGN_OR_RETURN(BTreeNode node, DecodeNode(record));
     slot.node = std::make_unique<BTreeNode>(std::move(node));

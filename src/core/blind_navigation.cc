@@ -1,8 +1,29 @@
 #include "core/blind_navigation.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sdbenc {
 
 namespace {
+
+/// Blind-navigation instrumentation (DESIGN §8): rounds and octets mirror
+/// the per-session NavigationStats so the cross-query totals survive the
+/// session object; the histogram times whole Range walks.
+struct BlindMetrics {
+  obs::Counter* rounds_total;
+  obs::Counter* octets_to_client_total;
+  obs::Histogram* range_ns;
+};
+
+const BlindMetrics& Metrics() {
+  static const BlindMetrics m = {
+      obs::Registry().GetCounter("sdbenc_blind_rounds_total"),
+      obs::Registry().GetCounter("sdbenc_blind_octets_to_client_total"),
+      obs::Registry().GetHistogram("sdbenc_blind_range_ns"),
+  };
+  return m;
+}
 
 int CompareBytes(BytesView a, BytesView b) {
   const size_t n = std::min(a.size(), b.size());
@@ -58,9 +79,13 @@ StatusOr<BPlusTree::WalkNode> BlindQuerySession::Fetch(int node_id) {
   SDBENC_ASSIGN_OR_RETURN(BPlusTree::WalkNode node,
                           server_.FetchNode(node_id));
   ++stats_.rounds;
+  Metrics().rounds_total->Increment();
+  size_t octets = 0;
   for (const Bytes& entry : node.stored) {
-    stats_.octets_to_client += entry.size();
+    octets += entry.size();
   }
+  stats_.octets_to_client += octets;
+  Metrics().octets_to_client_total->Add(octets);
   return node;
 }
 
@@ -70,6 +95,7 @@ StatusOr<std::vector<uint64_t>> BlindQuerySession::Find(BytesView key) {
 
 StatusOr<std::vector<uint64_t>> BlindQuerySession::Range(BytesView lo,
                                                          BytesView hi) {
+  const obs::StageTimer timer(Metrics().range_ns, "blind.range");
   std::vector<uint64_t> rows;
   int node_id = server_.root();
   SDBENC_ASSIGN_OR_RETURN(BPlusTree::WalkNode node, Fetch(node_id));

@@ -6,6 +6,8 @@
 #include "crypto/hash.h"
 #include "crypto/hkdf.h"
 #include "db/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/file_storage_engine.h"
 #include "storage/memory_storage_engine.h"
 #include "util/constant_time.h"
@@ -294,8 +296,33 @@ Status SecureDatabase::BulkInsert(
   return OkStatus();
 }
 
+namespace {
+
+/// Core read-path stage instrumentation (DESIGN §8): index-backed row
+/// collection, unindexed decrypt-scans, and whole SelectRange calls.
+struct CoreQueryMetrics {
+  obs::Counter* selects_total;
+  obs::Histogram* collect_rows_ns;
+  obs::Histogram* scan_ns;
+  obs::Histogram* select_range_ns;
+};
+
+const CoreQueryMetrics& CoreMetrics() {
+  static const CoreQueryMetrics m = {
+      obs::Registry().GetCounter("sdbenc_core_selects_total"),
+      obs::Registry().GetHistogram("sdbenc_core_collect_rows_ns"),
+      obs::Registry().GetHistogram("sdbenc_core_scan_ns"),
+      obs::Registry().GetHistogram("sdbenc_core_select_range_ns"),
+  };
+  return m;
+}
+
+}  // namespace
+
 StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
     const TableState& state, const std::vector<uint64_t>& rows) const {
+  const obs::StageTimer timer(CoreMetrics().collect_rows_ns,
+                              "core.collect_rows");
   // Decrypt the result rows in parallel into index-addressed slots, then
   // compact in order: the output sequence matches the serial loop exactly.
   std::vector<std::vector<Value>> decoded(rows.size());
@@ -323,6 +350,7 @@ StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
 StatusOr<std::vector<std::vector<Value>>> SecureDatabase::ScanWhere(
     const TableState& state, uint32_t column, const Value& lo,
     const Value& hi) const {
+  const obs::StageTimer timer(CoreMetrics().scan_ns, "core.scan");
   // Full decrypt-scan, row-parallel over read-only state; matching rows are
   // compacted in row order afterwards, so results match the serial scan.
   const Table& table = state.encrypted_table->table();
@@ -361,6 +389,9 @@ StatusOr<std::vector<std::vector<Value>>> SecureDatabase::SelectEquals(
 StatusOr<std::vector<std::vector<Value>>> SecureDatabase::SelectRange(
     const std::string& table, const std::string& column, const Value& lo,
     const Value& hi) const {
+  CoreMetrics().selects_total->Increment();
+  const obs::StageTimer timer(CoreMetrics().select_range_ns,
+                              "core.select_range");
   SDBENC_ASSIGN_OR_RETURN(const TableState* state, FindState(table));
   SDBENC_ASSIGN_OR_RETURN(
       size_t col,
@@ -448,6 +479,14 @@ bool SecureDatabase::HasIndex(const std::string& table,
     if (index_state.column == *col) return true;
   }
   return false;
+}
+
+obs::MetricsSnapshot SecureDatabase::Stats() const {
+  return obs::Registry().Snapshot();
+}
+
+std::string SecureDatabase::DumpMetrics(obs::ExportFormat format) const {
+  return obs::Export(Stats(), format);
 }
 
 // ------------------------------------------------------------- persistence

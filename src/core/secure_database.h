@@ -10,6 +10,7 @@
 #include "core/restricted_reader.h"
 #include "core/encrypted_table.h"
 #include "db/database.h"
+#include "obs/export.h"
 #include "schemes/aead_cell.h"
 #include "schemes/aead_index.h"
 #include "storage/record_store.h"
@@ -163,6 +164,18 @@ class SecureDatabase {
 
   /// True if the column has an index (used by examples to explain plans).
   bool HasIndex(const std::string& table, const std::string& column) const;
+
+  /// Point-in-time snapshot of the process-wide metrics registry (DESIGN
+  /// §8): cipher and AEAD invocation counters, buffer-pool traffic, B+-tree
+  /// maintenance, per-stage query latencies, thread-pool load. Safe to call
+  /// while other threads run queries; with SDBENC_METRICS=0 every counter
+  /// reads zero.
+  obs::MetricsSnapshot Stats() const;
+
+  /// Serialises Stats() for consumption outside the process — JSON lines by
+  /// default, or Prometheus text exposition format.
+  std::string DumpMetrics(
+      obs::ExportFormat format = obs::ExportFormat::kJsonLines) const;
 
   /// Direct access to the storage substrate — what the adversary sees and
   /// may rewrite in tamper tests.

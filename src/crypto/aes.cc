@@ -2,9 +2,28 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace sdbenc {
 
 namespace {
+
+// Registry handles for the global block-cipher invocation metrics (DESIGN
+// §8). AES is the system cipher — every AEAD, mode and scheme bottoms out
+// here — so counting at the public entry points covers all hot paths
+// exactly once (EncryptBlocks adds n rather than looping through
+// EncryptBlock).
+obs::Counter& EncryptBlocksMetric() {
+  static obs::Counter& c =
+      *obs::Registry().GetCounter("sdbenc_cipher_encrypt_blocks_total");
+  return c;
+}
+
+obs::Counter& DecryptBlocksMetric() {
+  static obs::Counter& c =
+      *obs::Registry().GetCounter("sdbenc_cipher_decrypt_blocks_total");
+  return c;
+}
 
 // ---- GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
 
@@ -175,20 +194,24 @@ Aes::Aes(BytesView key) {
 std::string Aes::name() const { return "AES-" + std::to_string(key_bits_); }
 
 void Aes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
+  EncryptBlocksMetric().Increment();
   EncryptOne(in, out);
 }
 
 void Aes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
+  DecryptBlocksMetric().Increment();
   DecryptOne(in, out);
 }
 
 void Aes::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
+  EncryptBlocksMetric().Add(n);
   for (size_t i = 0; i < n; ++i) {
     EncryptOne(in + i * kBlockSize, out + i * kBlockSize);
   }
 }
 
 void Aes::DecryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
+  DecryptBlocksMetric().Add(n);
   for (size_t i = 0; i < n; ++i) {
     DecryptOne(in + i * kBlockSize, out + i * kBlockSize);
   }

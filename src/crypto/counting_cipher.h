@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "crypto/block_cipher.h"
+#include "obs/metrics.h"
 
 namespace sdbenc {
 
@@ -16,33 +17,49 @@ namespace sdbenc {
 /// in block-cipher calls — EAX needs `2n + m + 1` (+6 reusable), OCB+PMAC
 /// `n + m + 5` — and this wrapper lets the bench verify those formulas
 /// empirically for the implemented schemes.
+///
+/// Since the unified metrics layer (DESIGN §8), the *global* invocation
+/// accounting lives in the registry: every call through this wrapper also
+/// feeds `sdbenc_counting_cipher_{encrypt,decrypt}_calls_total` (named
+/// separately from the AES-layer `sdbenc_cipher_*_blocks_total` counters,
+/// which the wrapped cipher feeds itself — the two views never double
+/// count). The per-instance accessors below remain as thin compatibility
+/// views for the attack benches, which compare counts across instances.
 class CountingBlockCipher : public BlockCipher {
  public:
   explicit CountingBlockCipher(std::unique_ptr<BlockCipher> inner)
-      : inner_(std::move(inner)) {}
+      : inner_(std::move(inner)),
+        encrypt_metric_(obs::Registry().GetCounter(
+            "sdbenc_counting_cipher_encrypt_calls_total")),
+        decrypt_metric_(obs::Registry().GetCounter(
+            "sdbenc_counting_cipher_decrypt_calls_total")) {}
 
   size_t block_size() const override { return inner_->block_size(); }
   std::string name() const override { return "counting(" + inner_->name() + ")"; }
 
   void EncryptBlock(const uint8_t* in, uint8_t* out) const override {
     encrypt_calls_.fetch_add(1, std::memory_order_relaxed);
+    encrypt_metric_->Increment();
     inner_->EncryptBlock(in, out);
   }
 
   void DecryptBlock(const uint8_t* in, uint8_t* out) const override {
     decrypt_calls_.fetch_add(1, std::memory_order_relaxed);
+    decrypt_metric_->Increment();
     inner_->DecryptBlock(in, out);
   }
 
   void EncryptBlocks(const uint8_t* in, uint8_t* out,
                      size_t n) const override {
     encrypt_calls_.fetch_add(n, std::memory_order_relaxed);
+    encrypt_metric_->Add(n);
     inner_->EncryptBlocks(in, out, n);
   }
 
   void DecryptBlocks(const uint8_t* in, uint8_t* out,
                      size_t n) const override {
     decrypt_calls_.fetch_add(n, std::memory_order_relaxed);
+    decrypt_metric_->Add(n);
     inner_->DecryptBlocks(in, out, n);
   }
 
@@ -61,6 +78,8 @@ class CountingBlockCipher : public BlockCipher {
 
  private:
   std::unique_ptr<BlockCipher> inner_;
+  obs::Counter* encrypt_metric_;
+  obs::Counter* decrypt_metric_;
   // Counters are mutable because EncryptBlock/DecryptBlock are const in the
   // BlockCipher contract; instrumentation is not part of the cipher state.
   // Atomic with relaxed ordering: batched modes call this concurrently from

@@ -1,0 +1,92 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace sdbenc {
+namespace obs {
+
+namespace {
+
+std::string U64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string I64(int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& m : snapshot.metrics) {
+    switch (m.type) {
+      case MetricValue::Type::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + U64(m.counter_value) + "\n";
+        break;
+      case MetricValue::Type::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + I64(m.gauge_value) + "\n";
+        break;
+      case MetricValue::Type::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (const auto& [le, count] : m.hist_buckets) {
+          cumulative += count;
+          out += m.name + "_bucket{le=\"" + U64(le) + "\"} " +
+                 U64(cumulative) + "\n";
+        }
+        out += m.name + "_bucket{le=\"+Inf\"} " + U64(m.hist_count) + "\n";
+        out += m.name + "_sum " + U64(m.hist_sum) + "\n";
+        out += m.name + "_count " + U64(m.hist_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExportJsonLines(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& m : snapshot.metrics) {
+    // Metric names follow the sdbenc_* convention ([a-z0-9_]), so they need
+    // no JSON escaping.
+    switch (m.type) {
+      case MetricValue::Type::kCounter:
+        out += "{\"metric\":\"" + m.name + "\",\"type\":\"counter\"," +
+               "\"value\":" + U64(m.counter_value) + "}\n";
+        break;
+      case MetricValue::Type::kGauge:
+        out += "{\"metric\":\"" + m.name + "\",\"type\":\"gauge\"," +
+               "\"value\":" + I64(m.gauge_value) + "}\n";
+        break;
+      case MetricValue::Type::kHistogram: {
+        out += "{\"metric\":\"" + m.name + "\",\"type\":\"histogram\"," +
+               "\"count\":" + U64(m.hist_count) + ",\"sum\":" +
+               U64(m.hist_sum) + ",\"buckets\":[";
+        bool first = true;
+        for (const auto& [le, count] : m.hist_buckets) {
+          if (!first) out += ",";
+          first = false;
+          out += "{\"le\":" + U64(le) + ",\"count\":" + U64(count) + "}";
+        }
+        out += "]}\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Export(const MetricsSnapshot& snapshot, ExportFormat format) {
+  return format == ExportFormat::kPrometheus ? ExportPrometheus(snapshot)
+                                             : ExportJsonLines(snapshot);
+}
+
+}  // namespace obs
+}  // namespace sdbenc

@@ -1,0 +1,33 @@
+#ifndef SDBENC_OBS_EXPORT_H_
+#define SDBENC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sdbenc {
+namespace obs {
+
+enum class ExportFormat {
+  kJsonLines,   ///< one JSON object per metric per line
+  kPrometheus,  ///< Prometheus text exposition format 0.0.4
+};
+
+/// Prometheus text format: `# TYPE` comment per family; histograms expand
+/// to cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, ending in
+/// an explicit `le="+Inf"` bucket equal to `_count`.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// One self-contained JSON object per line, e.g.
+///   {"metric":"sdbenc_aead_seal_total","type":"counter","value":12}
+///   {"metric":"sdbenc_query_scan_ns","type":"histogram","count":3,
+///    "sum":4096,"buckets":[{"le":2047,"count":3}]}
+/// Bucket counts are per-bucket (not cumulative); `le` bounds are inclusive.
+std::string ExportJsonLines(const MetricsSnapshot& snapshot);
+
+std::string Export(const MetricsSnapshot& snapshot, ExportFormat format);
+
+}  // namespace obs
+}  // namespace sdbenc
+
+#endif  // SDBENC_OBS_EXPORT_H_

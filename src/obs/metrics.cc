@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sdbenc {
+namespace obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const CounterCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::ResetForTest() {
+  for (CounterCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    for (const std::atomic<uint64_t>& bucket : cell.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::ResetForTest() {
+  for (Cell& cell : cells_) {
+    for (std::atomic<uint64_t>& bucket : cell.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    cell.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const MetricValue* m = Find(name);
+  return m != nullptr && m->type == MetricValue::Type::kCounter
+             ? m->counter_value
+             : 0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(counters_.size() + gauges_.size() +
+                           histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricValue m;
+    m.name = name;
+    m.type = MetricValue::Type::kCounter;
+    m.counter_value = counter->Value();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue m;
+    m.name = name;
+    m.type = MetricValue::Type::kGauge;
+    m.gauge_value = gauge->Value();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue m;
+    m.name = name;
+    m.type = MetricValue::Type::kHistogram;
+    // Merge the shards bucket-by-bucket so count is the bucket total by
+    // construction, even while writers are active.
+    std::array<uint64_t, Histogram::kNumBuckets> merged{};
+    for (const Histogram::Cell& cell : histogram->cells_) {
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        merged[i] += cell.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (merged[i] == 0) continue;
+      m.hist_buckets.emplace_back(Histogram::BucketUpperBound(i), merged[i]);
+      m.hist_count += merged[i];
+    }
+    m.hist_sum = histogram->Sum();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace sdbenc

@@ -1,0 +1,215 @@
+#ifndef SDBENC_OBS_METRICS_H_
+#define SDBENC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Compile-time kill switch: build with -DSDBENC_METRICS=0 (the CMake option
+// SDBENC_METRICS=OFF does this globally) and every hot-path Add/Record below
+// compiles to nothing — the registry still exists and snapshots report
+// zeroes, so no call site needs an #ifdef.
+#if !defined(SDBENC_METRICS)
+#define SDBENC_METRICS 1
+#endif
+
+namespace sdbenc {
+namespace obs {
+
+inline constexpr bool kMetricsEnabled = (SDBENC_METRICS != 0);
+
+/// Number of independent cells a counter/histogram is spread over. Threads
+/// are assigned a cell round-robin on first touch, so concurrent writers
+/// (e.g. ParallelFor workers) land on different cache lines; a snapshot sums
+/// the cells.
+inline constexpr size_t kMetricShards = 16;
+
+/// Steady-clock nanoseconds; the shared timebase for histograms and spans.
+uint64_t NowNs();
+
+/// This thread's shard index in [0, kMetricShards). Stable for the thread's
+/// lifetime.
+size_t ThreadShardIndex();
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Monotonic counter. Add() is lock-free: one relaxed fetch_add on the
+/// calling thread's shard. Value()/snapshot sum the shards with relaxed
+/// loads — the result is a valid point-in-time value (never decreasing
+/// across successive reads) but may miss adds that are in flight.
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    if constexpr (kMetricsEnabled) {
+      cells_[ThreadShardIndex()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void ResetForTest();
+
+  std::string name_;
+  std::array<CounterCell, kMetricShards> cells_;
+};
+
+/// Instantaneous signed value (queue depths, resident counts). A single
+/// atomic — gauges are set/adjusted, not accumulated, so sharding has
+/// nothing to merge.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (kMetricsEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  void Add(int64_t delta) {
+    if constexpr (kMetricsEnabled) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      (void)delta;
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale histogram for latencies (ns) and sizes (bytes): bucket `i`
+/// holds values whose bit width is `i`, i.e. bucket 0 is exactly {0} and
+/// bucket i covers [2^(i-1), 2^i). 65 buckets span the full uint64 range,
+/// so Record never clamps. Count is *derived* from the buckets at snapshot
+/// time — a concurrent snapshot always sees count == sum(bucket counts),
+/// never a torn pair.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value) {
+    if constexpr (kMetricsEnabled) {
+      Cell& cell = cells_[ThreadShardIndex()];
+      cell.buckets[BucketIndex(value)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+      cell.sum.fetch_add(value, std::memory_order_relaxed);
+    } else {
+      (void)value;
+    }
+  }
+
+  /// Inclusive upper bound of bucket `i` (2^i - 1), the Prometheus `le`.
+  static uint64_t BucketUpperBound(size_t i) {
+    return i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+  }
+  static size_t BucketIndex(uint64_t value) {
+    size_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width;
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void ResetForTest();
+
+  std::string name_;
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// One exported metric at snapshot time.
+struct MetricValue {
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Type type = Type::kCounter;
+  uint64_t counter_value = 0;  // kCounter
+  int64_t gauge_value = 0;     // kGauge
+  uint64_t hist_count = 0;     // kHistogram
+  uint64_t hist_sum = 0;
+  /// Non-empty buckets only, ascending: (inclusive upper bound, count).
+  std::vector<std::pair<uint64_t, uint64_t>> hist_buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  // sorted by (name, type)
+
+  /// Convenience lookups for tests/benches; nullptr when absent.
+  const MetricValue* Find(const std::string& name) const;
+  uint64_t CounterValue(const std::string& name) const;
+};
+
+/// Process-wide metric directory. Get* registers on first use and returns
+/// the same handle forever after — handles are process-lifetime stable, so
+/// call sites cache them in function-local statics. Registration and
+/// Snapshot take a mutex; the returned handles never do.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Consistent-enough point-in-time view: each metric's value is a valid
+  /// observation (counters monotone across successive snapshots, histogram
+  /// count always equals its bucket total); values of *different* metrics
+  /// may straddle concurrent writes.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric *in place* — handles stay valid.
+  /// Meant for tests and bench phase boundaries, not concurrent use with
+  /// writers (a racing Add may land before or after the zeroing).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The default registry every instrumented layer writes into.
+MetricsRegistry& Registry();
+
+}  // namespace obs
+}  // namespace sdbenc
+
+#endif  // SDBENC_OBS_METRICS_H_

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace sdbenc {
+namespace obs {
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(const char* name, uint64_t start_ns,
+                    uint64_t duration_ns) {
+  if (!enabled()) return;  // direct callers get the same gate as TraceSpan
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.thread_index = static_cast<uint32_t>(ThreadShardIndex());
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_ % capacity_] = event;
+  }
+  ++head_;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    events = ring_;
+  } else {
+    // The slot head_ % capacity_ holds the oldest retained span.
+    for (size_t i = 0; i < capacity_; ++i) {
+      events.push_back(ring_[(head_ + i) % capacity_]);
+    }
+  }
+  return events;
+}
+
+uint64_t Tracer::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return head_ > capacity_ ? head_ - capacity_ : 0;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+std::string Tracer::ExportJsonLines() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  char line[160];
+  for (const TraceEvent& event : events) {
+    std::snprintf(line, sizeof(line),
+                  "{\"span\":\"%s\",\"start_ns\":%llu,\"duration_ns\":%llu,"
+                  "\"thread\":%u}\n",
+                  event.name,
+                  static_cast<unsigned long long>(event.start_ns),
+                  static_cast<unsigned long long>(event.duration_ns),
+                  event.thread_index);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sdbenc

@@ -1,0 +1,116 @@
+#ifndef SDBENC_OBS_TRACE_H_
+#define SDBENC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sdbenc {
+namespace obs {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the tracer) — spans store the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;     // NowNs() at span entry
+  uint64_t duration_ns = 0;  // span wall time
+  uint32_t thread_index = 0; // ThreadShardIndex() of the recording thread
+};
+
+/// Fixed-size ring of recent spans. Disabled by default: the only cost an
+/// instrumented path pays then is one relaxed bool load per span. When
+/// enabled, Record takes a mutex — tracing is a debugging tool, not a
+/// steady-state hot path, and the ring keeps memory bounded: once full,
+/// the oldest span is overwritten and `dropped()` counts the loss.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The process-wide tracer the TraceSpan/StageTimer helpers record into.
+  static Tracer& Default();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+  void Record(const char* name, uint64_t start_ns, uint64_t duration_ns);
+
+  /// Retained spans, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans ever recorded / overwritten because the ring was full.
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// One JSON object per retained span (same line-oriented convention as
+  /// the metrics exporter).
+  std::string ExportJsonLines() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // size <= capacity_
+  uint64_t head_ = 0;             // total recorded; slot = head_ % capacity_
+};
+
+/// RAII span against Tracer::Default(). Does nothing (and reads no clock)
+/// while the tracer is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) {
+    if (Tracer::Default().enabled()) start_ns_ = NowNs();
+  }
+  ~TraceSpan() {
+    if (start_ns_ != 0 && Tracer::Default().enabled()) {
+      Tracer::Default().Record(name_, start_ns_, NowNs() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+};
+
+/// RAII stage instrumentation: records the stage's wall time into a latency
+/// histogram and, when tracing is on, the same interval as a span. With the
+/// metrics layer compiled out and the tracer off this reads no clock at all.
+class StageTimer {
+ public:
+  StageTimer(Histogram* latency_ns, const char* span_name)
+      : latency_ns_(latency_ns), span_name_(span_name) {
+    if (kMetricsEnabled || Tracer::Default().enabled()) start_ns_ = NowNs();
+  }
+  ~StageTimer() {
+    if (start_ns_ == 0) return;
+    const uint64_t duration = NowNs() - start_ns_;
+    if (latency_ns_ != nullptr) latency_ns_->Record(duration);
+    if (Tracer::Default().enabled()) {
+      Tracer::Default().Record(span_name_, start_ns_, duration);
+    }
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Histogram* latency_ns_;
+  const char* span_name_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sdbenc
+
+#endif  // SDBENC_OBS_TRACE_H_

@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sdbenc {
 
 std::string Aggregate::ToString() const {
@@ -25,6 +28,28 @@ std::string Aggregate::ToString() const {
 }
 
 namespace {
+
+/// Per-stage query instrumentation (DESIGN §8). Stage boundaries follow the
+/// paper's query pipeline: encrypted index lookup, residual filter (cell
+/// decrypt + predicate), row materialisation, then the whole statement.
+struct QueryMetrics {
+  obs::Counter* queries_total;
+  obs::Histogram* index_lookup_ns;
+  obs::Histogram* filter_ns;
+  obs::Histogram* materialize_ns;
+  obs::Histogram* execute_ns;
+};
+
+const QueryMetrics& Metrics() {
+  static const QueryMetrics m = {
+      obs::Registry().GetCounter("sdbenc_query_total"),
+      obs::Registry().GetHistogram("sdbenc_query_index_lookup_ns"),
+      obs::Registry().GetHistogram("sdbenc_query_filter_ns"),
+      obs::Registry().GetHistogram("sdbenc_query_materialize_ns"),
+      obs::Registry().GetHistogram("sdbenc_query_execute_ns"),
+  };
+  return m;
+}
 
 /// Computes one aggregate over the matched rows. NULLs are skipped (SQL
 /// semantics); SUM/AVG accept INT64 and FLOAT64 and return FLOAT64 when any
@@ -129,7 +154,11 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
     }
     const Value* lo = plan.range.lo ? &*plan.range.lo : nullptr;
     const Value* hi = plan.range.hi ? &*plan.range.hi : nullptr;
-    SDBENC_ASSIGN_OR_RETURN(candidates, index->RangeBounded(lo, hi));
+    {
+      const obs::StageTimer timer(Metrics().index_lookup_ns,
+                                  "query.index_lookup");
+      SDBENC_ASSIGN_OR_RETURN(candidates, index->RangeBounded(lo, hi));
+    }
   } else {
     candidates.reserve(table.num_rows());
     for (uint64_t row = 0; row < table.num_rows(); ++row) {
@@ -140,6 +169,7 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
   // Residual filter: decrypt and evaluate candidates row-parallel into
   // index-addressed flags, then compact in candidate order — the returned
   // row list matches the serial filter exactly.
+  const obs::StageTimer filter_timer(Metrics().filter_ns, "query.filter");
   std::vector<uint8_t> keep(candidates.size(), 0);
   SDBENC_RETURN_IF_ERROR(ParallelFor(
       candidates.size(), /*grain=*/16, parallelism_,
@@ -176,6 +206,8 @@ StatusOr<QueryResult> QueryEngine::Execute(
         "cannot mix plain columns and aggregates without GROUP BY");
   }
 
+  Metrics().queries_total->Increment();
+  const obs::StageTimer execute_timer(Metrics().execute_ns, "query.execute");
   SDBENC_ASSIGN_OR_RETURN(AccessPlan plan, PlanFor(*state, statement.where));
   QueryResult result;
   result.plan = plan.ToString();
@@ -184,15 +216,19 @@ StatusOr<QueryResult> QueryEngine::Execute(
 
   // Materialise the matched rows once, row-parallel into ordered slots.
   std::vector<std::vector<Value>> full_rows(rows.size());
-  SDBENC_RETURN_IF_ERROR(ParallelFor(
-      rows.size(), /*grain=*/16, parallelism_,
-      [&](size_t begin, size_t end) -> Status {
-        for (size_t i = begin; i < end; ++i) {
-          SDBENC_ASSIGN_OR_RETURN(full_rows[i],
-                                  state->encrypted_table->GetRow(rows[i]));
-        }
-        return OkStatus();
-      }));
+  {
+    const obs::StageTimer timer(Metrics().materialize_ns,
+                                "query.materialize");
+    SDBENC_RETURN_IF_ERROR(ParallelFor(
+        rows.size(), /*grain=*/16, parallelism_,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            SDBENC_ASSIGN_OR_RETURN(full_rows[i],
+                                    state->encrypted_table->GetRow(rows[i]));
+          }
+          return OkStatus();
+        }));
+  }
 
   // Aggregate query: one result row.
   if (!statement.aggregates.empty()) {

@@ -4,11 +4,44 @@
 #include <utility>
 
 #include "crypto/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/constant_time.h"
 
 namespace sdbenc {
 
 namespace {
+
+// Registry mirrors of the per-engine StorageStats counters (DESIGN §8).
+// The struct stays — tests and benches compare engines — while the registry
+// aggregates across every engine in the process and adds the I/O byte
+// counters and the fault-latency histogram the struct never had.
+struct StorageMetrics {
+  obs::Counter* page_reads;
+  obs::Counter* page_writes;
+  obs::Counter* pool_hits;
+  obs::Counter* pool_misses;
+  obs::Counter* pool_evictions;
+  obs::Counter* dirty_writebacks;
+  obs::Counter* read_bytes;
+  obs::Counter* write_bytes;
+  obs::Histogram* fault_ns;
+};
+
+const StorageMetrics& Metrics() {
+  static const StorageMetrics m = {
+      obs::Registry().GetCounter("sdbenc_storage_page_reads_total"),
+      obs::Registry().GetCounter("sdbenc_storage_page_writes_total"),
+      obs::Registry().GetCounter("sdbenc_storage_pool_hits_total"),
+      obs::Registry().GetCounter("sdbenc_storage_pool_misses_total"),
+      obs::Registry().GetCounter("sdbenc_storage_pool_evictions_total"),
+      obs::Registry().GetCounter("sdbenc_storage_dirty_writebacks_total"),
+      obs::Registry().GetCounter("sdbenc_storage_read_bytes_total"),
+      obs::Registry().GetCounter("sdbenc_storage_write_bytes_total"),
+      obs::Registry().GetHistogram("sdbenc_storage_fault_ns"),
+  };
+  return m;
+}
 
 constexpr char kMagic[] = "SDBPAGE1";
 constexpr size_t kMagicLen = 8;
@@ -105,6 +138,7 @@ Status FileStorageEngine::WriteHeader() {
 }
 
 Status FileStorageEngine::WritePageToDisk(PageId id, BytesView payload) {
+  Metrics().write_bytes->Add(kChecksumLen + payload.size());
   const Bytes checksum = Checksum(payload);
   if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
       std::fwrite(checksum.data(), 1, kChecksumLen, file_) != kChecksumLen ||
@@ -116,6 +150,8 @@ Status FileStorageEngine::WritePageToDisk(PageId id, BytesView payload) {
 }
 
 Status FileStorageEngine::ReadPageFromDisk(PageId id, Bytes* payload) {
+  const obs::StageTimer fault_timer(Metrics().fault_ns, "storage.fault");
+  Metrics().read_bytes->Add(kChecksumLen + page_size_);
   Bytes raw(kChecksumLen + page_size_);
   if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
       std::fread(raw.data(), 1, raw.size(), file_) != raw.size()) {
@@ -140,8 +176,10 @@ StatusOr<BufferPool::Frame*> FileStorageEngine::InsertFrameLocked(
     BufferPool::Frame victim;
     SDBENC_RETURN_IF_ERROR(pool_.Evict(&victim));
     ++stats_.pool_evictions;
+    Metrics().pool_evictions->Increment();
     if (victim.dirty) {
       ++stats_.dirty_writebacks;
+      Metrics().dirty_writebacks->Increment();
       const std::lock_guard<std::mutex> io_lock(io_mu_);
       SDBENC_RETURN_IF_ERROR(WritePageToDisk(victim.id, victim.data));
     }
@@ -168,11 +206,14 @@ StatusOr<PageId> FileStorageEngine::Allocate() {
     const PageId id = free_head_;
     // Follow the free-list link stored in the page's first octets.
     ++stats_.page_reads;
+    Metrics().page_reads->Increment();
     BufferPool::Frame* frame = pool_.Lookup(id);
     if (frame != nullptr) {
       ++stats_.pool_hits;
+      Metrics().pool_hits->Increment();
     } else {
       ++stats_.pool_misses;
+      Metrics().pool_misses->Increment();
       SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/true));
     }
     free_head_ = GetUint64Be(frame->data.data());
@@ -187,13 +228,16 @@ Status FileStorageEngine::Read(PageId id, Bytes* out) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
   ++stats_.page_reads;
+  Metrics().page_reads->Increment();
   BufferPool::Frame* frame = pool_.Lookup(id);
   if (frame != nullptr) {
     ++stats_.pool_hits;
+    Metrics().pool_hits->Increment();
     *out = frame->data;
     return OkStatus();
   }
   ++stats_.pool_misses;
+  Metrics().pool_misses->Increment();
   // Miss: fault the page in with mu_ dropped, so concurrent misses on other
   // pages overlap their disk I/O and checksum verification behind io_mu_
   // instead of serialising the whole engine.
@@ -224,9 +268,11 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
     return InvalidArgumentError("page write larger than page size");
   }
   ++stats_.page_writes;
+  Metrics().page_writes->Increment();
   BufferPool::Frame* frame = pool_.Lookup(id);
   if (frame != nullptr) {
     ++stats_.pool_hits;
+    Metrics().pool_hits->Increment();
   } else {
     // Whole-page overwrite: no need to fault the old content in from disk.
     SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/false));
@@ -263,6 +309,7 @@ Status FileStorageEngine::Flush() {
     SDBENC_RETURN_IF_ERROR(WritePageToDisk(frame.id, frame.data));
     frame.dirty = false;
     ++stats_.dirty_writebacks;
+    Metrics().dirty_writebacks->Increment();
   }
   SDBENC_RETURN_IF_ERROR(WriteHeader());
   if (std::fflush(file_) != 0) {

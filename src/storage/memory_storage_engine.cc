@@ -1,6 +1,27 @@
 #include "storage/memory_storage_engine.h"
 
+#include "obs/metrics.h"
+
 namespace sdbenc {
+
+namespace {
+
+// The memory engine mirrors only its page traffic into the registry: there
+// is no pool and no disk, so the pool/byte metrics stay with the file
+// engine.
+obs::Counter& PageReadsMetric() {
+  static obs::Counter& c =
+      *obs::Registry().GetCounter("sdbenc_storage_page_reads_total");
+  return c;
+}
+
+obs::Counter& PageWritesMetric() {
+  static obs::Counter& c =
+      *obs::Registry().GetCounter("sdbenc_storage_page_writes_total");
+  return c;
+}
+
+}  // namespace
 
 Status MemoryStorageEngine::CheckId(PageId id) const {
   if (id >= pages_.size()) {
@@ -31,6 +52,7 @@ Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
   const std::lock_guard<std::mutex> lock(mu_);
   SDBENC_RETURN_IF_ERROR(CheckId(id));
   ++stats_.page_reads;
+  PageReadsMetric().Increment();
   *out = pages_[id];
   return OkStatus();
 }
@@ -42,6 +64,7 @@ Status MemoryStorageEngine::Write(PageId id, BytesView data) {
     return InvalidArgumentError("page write larger than page size");
   }
   ++stats_.page_writes;
+  PageWritesMetric().Increment();
   Bytes& page = pages_[id];
   page.assign(data.begin(), data.end());
   page.resize(page_size_, 0);

@@ -7,7 +7,33 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace sdbenc {
+
+namespace {
+
+/// Pool instrumentation handles (DESIGN §8). The queue-depth gauge tracks
+/// the shared queue length after every push/pop; the wait histogram measures
+/// Submit-to-dequeue delay, the run histogram the task body itself.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks_total;
+  obs::Histogram* task_wait_ns;
+  obs::Histogram* task_run_ns;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = {
+      obs::Registry().GetGauge("sdbenc_pool_queue_depth"),
+      obs::Registry().GetCounter("sdbenc_pool_tasks_total"),
+      obs::Registry().GetHistogram("sdbenc_pool_task_wait_ns"),
+      obs::Registry().GetHistogram("sdbenc_pool_task_run_ns"),
+  };
+  return m;
+}
+
+}  // namespace
 
 size_t Parallelism::Resolve() const {
   if (threads != 0) return threads;
@@ -33,24 +59,42 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  if constexpr (obs::kMetricsEnabled) entry.enqueue_ns = obs::NowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
+    if constexpr (obs::kMetricsEnabled) {
+      Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if constexpr (obs::kMetricsEnabled) {
+        Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
-    task();
+    if constexpr (obs::kMetricsEnabled) {
+      const PoolMetrics& m = Metrics();
+      const uint64_t start_ns = obs::NowNs();
+      m.tasks_total->Increment();
+      m.task_wait_ns->Record(start_ns - task.enqueue_ns);
+      task.fn();
+      m.task_run_ns->Record(obs::NowNs() - start_ns);
+    } else {
+      task.fn();
+    }
   }
 }
 

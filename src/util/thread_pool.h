@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -51,10 +52,18 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// Queue element: the closure plus its enqueue timestamp, so the worker
+  /// that dequeues it can report queueing delay (sdbenc_pool_task_wait_ns).
+  /// The timestamp is 0 when the metrics layer is compiled out.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
