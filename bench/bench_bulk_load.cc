@@ -12,9 +12,12 @@
 #include <memory>
 
 #include "aead/factory.h"
+#include "aead/gcm.h"
 #include "bench_common.h"
 #include "btree/bplus_tree.h"
 #include "crypto/aes.h"
+#include "crypto/accel/aes_aesni.h"
+#include "crypto/cipher_factory.h"
 #include "crypto/mac.h"
 #include "schemes/aead_index.h"
 #include "schemes/deterministic_encryptor.h"
@@ -58,6 +61,100 @@ Stack Make(const std::string& kind) {
 double Ms(std::chrono::steady_clock::time_point a,
           std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Runs `body(buffer)` repeatedly until ~0.3 s of wall time has elapsed and
+// returns throughput in MB/s over the bytes it processed.
+template <typename Body>
+double MeasureMbPerS(size_t bytes_per_iter, Body&& body) {
+  constexpr double kTargetMs = 300.0;
+  // Warm-up iteration: fault in the buffers, train the branch predictors.
+  body();
+  const auto start = std::chrono::steady_clock::now();
+  size_t iters = 0;
+  double elapsed_ms = 0;
+  do {
+    body();
+    ++iters;
+    elapsed_ms = Ms(start, std::chrono::steady_clock::now());
+  } while (elapsed_ms < kTargetMs);
+  const double bytes = static_cast<double>(bytes_per_iter) * iters;
+  return bytes / (elapsed_ms * 1e-3) / 1e6;
+}
+
+// Single-thread crypto kernel throughput, one row per (op, backend). The
+// portable/accelerated ratio is the headline number for the hardware
+// dispatch layer (DESIGN §9); the JSON rows feed scripts/bench_compare.py.
+void RunCryptoBackendSection() {
+  constexpr size_t kBufBytes = 1 << 20;  // 1 MiB, well beyond L2.
+  constexpr size_t kBlocks = kBufBytes / 16;
+  DeterministicRng rng(13);
+  const Bytes key = rng.RandomBytes(16);
+  const Bytes input = rng.RandomBytes(kBufBytes);
+  Bytes output(kBufBytes);
+  const Bytes nonce = rng.RandomBytes(12);
+
+  std::printf("\n== crypto backend throughput (single thread, %zu KiB "
+              "buffer) ==\n",
+              kBufBytes / 1024);
+  std::printf("%-22s %-10s %-12s\n", "op", "backend", "MB/s");
+
+  std::vector<CryptoBackend> backends = {CryptoBackend::kPortable};
+  if (accel::AesniUsable()) backends.push_back(CryptoBackend::kAesni);
+
+  double aes_portable = 0, aes_accel = 0;
+  for (const CryptoBackend backend : backends) {
+    auto cipher = CreateAesCipher(backend, key).value();
+    const double enc = MeasureMbPerS(kBufBytes, [&] {
+      cipher->EncryptBlocks(input.data(), output.data(), kBlocks);
+    });
+    const double dec = MeasureMbPerS(kBufBytes, [&] {
+      cipher->DecryptBlocks(input.data(), output.data(), kBlocks);
+    });
+    // GCM pairs the cipher with the matching GHASH backend: forcing
+    // SDBENC_FORCE_PORTABLE during construction pins the portable tables
+    // (GhashKey::Create consults the environment once, at key setup).
+    if (backend == CryptoBackend::kPortable) {
+      setenv("SDBENC_FORCE_PORTABLE", "1", 1);
+    }
+    auto gcm =
+        GcmAead::Create(CreateAesCipher(backend, key).value()).value();
+    if (backend == CryptoBackend::kPortable) {
+      unsetenv("SDBENC_FORCE_PORTABLE");
+    }
+    const double seal = MeasureMbPerS(kBufBytes, [&] {
+      (void)gcm->Seal(nonce, input, BytesView());
+    });
+    const char* name = CryptoBackendName(backend);
+    std::printf("%-22s %-10s %-12.1f\n", "aes_encrypt_blocks", name, enc);
+    std::printf("%-22s %-10s %-12.1f\n", "aes_decrypt_blocks", name, dec);
+    std::printf("%-22s %-10s %-12.1f\n", "gcm_seal", name, seal);
+    const std::pair<const char*, double> rows[] = {
+        {"aes_encrypt_blocks", enc},
+        {"aes_decrypt_blocks", dec},
+        {"gcm_seal", seal}};
+    for (const auto& [op, mbs] : rows) {
+      bench::JsonLineWriter()
+          .Str("bench", "crypto_backend")
+          .Str("op", op)
+          .Str("backend", name)
+          .Uint("buffer_bytes", kBufBytes)
+          .Double("mb_per_s", mbs)
+          .Emit();
+    }
+    if (backend == CryptoBackend::kPortable) aes_portable = enc;
+    if (backend == CryptoBackend::kAesni) aes_accel = enc;
+  }
+  if (aes_accel > 0) {
+    const double speedup = aes_accel / aes_portable;
+    std::printf("aes-ni speedup over portable: %.1fx\n", speedup);
+    bench::JsonLineWriter()
+        .Str("bench", "crypto_backend")
+        .Str("op", "aes_encrypt_blocks_speedup")
+        .Str("backend", "aesni")
+        .Double("speedup", speedup)
+        .Emit();
+  }
 }
 
 }  // namespace
@@ -162,6 +259,7 @@ int main(int argc, char** argv) {
         .Double("speedup", speedup)
         .Emit();
   }
+  RunCryptoBackendSection();
   if (metrics) bench::DumpRegistrySnapshot(prom_path);
   return 0;
 }

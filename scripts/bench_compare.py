@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare bench JSON-line output against a committed baseline.
+
+Benches emit one machine-readable JSON object per result row (lines starting
+with '{'); everything else on stdout is human-oriented. This script pairs
+each current row with its baseline twin and reports the delta for every
+numeric field.
+
+Usage:
+    build/bench/bench_bulk_load | scripts/bench_compare.py BENCH_baseline.json
+    scripts/bench_compare.py BENCH_baseline.json --current out.txt
+    build/bench/bench_bulk_load | scripts/bench_compare.py --update BENCH_baseline.json
+
+Rows are identified by their non-numeric fields (bench/codec/op/backend/...)
+plus the integer shape parameters (entries/order/threads/buffer_bytes), so a
+changed configuration shows up as missing/new rather than as a bogus delta.
+
+Exit status: non-zero when a baseline row is absent from the current output
+(a bench silently dropped coverage) or the input contains no JSON rows.
+Performance deltas are informational — wall-clock numbers depend on the
+machine, so regressions are reported, not enforced.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that define a row's identity rather than its measurement. Integer
+# shape parameters are identity; floating-point measurements are not.
+_IDENTITY_FIELDS = (
+    "bench",
+    "codec",
+    "op",
+    "backend",
+    "entries",
+    "order",
+    "threads",
+    "buffer_bytes",
+)
+
+
+def parse_json_lines(stream):
+    rows = []
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: unparseable JSON row skipped: {e}: {line!r}",
+                  file=sys.stderr)
+            continue
+        if isinstance(obj, dict):
+            rows.append(obj)
+    return rows
+
+
+def identity(row):
+    return tuple((k, row[k]) for k in _IDENTITY_FIELDS if k in row)
+
+
+def key_rows(rows):
+    keyed = {}
+    for row in rows:
+        k = identity(row)
+        if k in keyed:
+            print(f"warning: duplicate row identity {dict(k)}; keeping last",
+                  file=sys.stderr)
+        keyed[k] = row
+    return keyed
+
+
+def format_delta(field, base, cur):
+    if base == 0:
+        return f"{field}: {base} -> {cur}"
+    pct = (cur - base) / base * 100.0
+    return f"{field}: {base:g} -> {cur:g} ({pct:+.1f}%)"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON file")
+    ap.add_argument("--current", help="bench output file (default: stdin)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current output "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    if args.current:
+        with open(args.current) as f:
+            current = parse_json_lines(f)
+    else:
+        current = parse_json_lines(sys.stdin)
+    if not current:
+        print("error: no JSON rows found in current bench output",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            for row in current:
+                f.write(json.dumps(row) + "\n")
+        print(f"wrote {len(current)} rows to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = key_rows(parse_json_lines(f))
+    current_keyed = key_rows(current)
+
+    missing = [k for k in baseline if k not in current_keyed]
+    new = [k for k in current_keyed if k not in baseline]
+    compared = 0
+    for k, base_row in sorted(baseline.items()):
+        cur_row = current_keyed.get(k)
+        if cur_row is None:
+            continue
+        deltas = []
+        for field, base_val in base_row.items():
+            if field in _IDENTITY_FIELDS:
+                continue
+            cur_val = cur_row.get(field)
+            if isinstance(base_val, (int, float)) and isinstance(
+                    cur_val, (int, float)):
+                deltas.append(format_delta(field, base_val, cur_val))
+        compared += 1
+        label = " ".join(f"{k}={v}" for k, v in k)
+        print(f"[{label}]")
+        for d in deltas:
+            print(f"  {d}")
+
+    print(f"\ncompared {compared} rows; {len(new)} new, {len(missing)} "
+          f"missing vs baseline")
+    for k in new:
+        print(f"  new: {dict(k)}")
+    if missing:
+        for k in missing:
+            print(f"  MISSING: {dict(k)}", file=sys.stderr)
+        print("error: baseline rows absent from current output (bench "
+              "coverage shrank?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "crypto/aes.h"
+#include "crypto/cipher_factory.h"
 #include "crypto/modes.h"
 #include "util/constant_time.h"
 
@@ -19,7 +19,8 @@ StatusOr<std::unique_ptr<EtmAead>> EtmAead::Create(BytesView master_key) {
   Bytes enc_key = HmacCompute(HashAlgorithm::kSha256, master_key, enc_label);
   enc_key.resize(16);
   Bytes mac_key = HmacCompute(HashAlgorithm::kSha256, master_key, mac_label);
-  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(enc_key));
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> aes,
+                          CreateAesCipher(enc_key));
   return std::unique_ptr<EtmAead>(
       new EtmAead(std::move(aes), std::move(mac_key)));
 }

@@ -10,7 +10,7 @@
 #include "aead/gcm.h"
 #include "aead/ocb.h"
 #include "aead/siv.h"
-#include "crypto/aes.h"
+#include "crypto/cipher_factory.h"
 
 namespace sdbenc {
 
@@ -45,19 +45,22 @@ const char* AeadAlgorithmName(AeadAlgorithm alg) {
 StatusOr<std::unique_ptr<Aead>> CreateAead(AeadAlgorithm alg, BytesView key) {
   switch (alg) {
     case AeadAlgorithm::kEax: {
-      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> aes,
+                              CreateAesCipher(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<EaxAead> aead,
                               EaxAead::Create(std::move(aes)));
       return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kOcbPmac: {
-      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> aes,
+                              CreateAesCipher(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<OcbAead> aead,
                               OcbAead::Create(std::move(aes)));
       return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kCcfb: {
-      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> aes,
+                              CreateAesCipher(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<CcfbAead> aead,
                               CcfbAead::Create(std::move(aes)));
       return WrapInstrumented(std::move(aead));
@@ -68,7 +71,8 @@ StatusOr<std::unique_ptr<Aead>> CreateAead(AeadAlgorithm alg, BytesView key) {
       return WrapInstrumented(std::move(aead));
     }
     case AeadAlgorithm::kGcm: {
-      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> aes,
+                              CreateAesCipher(key));
       SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<GcmAead> aead,
                               GcmAead::Create(std::move(aes)));
       return WrapInstrumented(std::move(aead));

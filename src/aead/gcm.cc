@@ -8,34 +8,6 @@
 
 namespace sdbenc {
 
-namespace {
-
-/// GF(2^128) multiplication in the GCM bit-reflected convention: bit 0 of
-/// byte 0 is the coefficient of x^0 and the reduction polynomial is
-/// 1 + x + x^2 + x^7 + x^128 (constant 0xe1 in the leading octet).
-void GcmMultiply(const uint8_t x[16], const uint8_t y[16], uint8_t out[16]) {
-  uint8_t z[16] = {0};
-  uint8_t v[16];
-  std::memcpy(v, y, 16);
-  for (int i = 0; i < 128; ++i) {
-    const int byte = i / 8;
-    const int bit = 7 - (i % 8);  // MSB-first within each octet
-    if ((x[byte] >> bit) & 1) {
-      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
-    }
-    // v = v * x (right shift in the reflected representation).
-    const uint8_t lsb = v[15] & 1;
-    for (int j = 15; j > 0; --j) {
-      v[j] = static_cast<uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
-    }
-    v[0] >>= 1;
-    if (lsb) v[0] ^= 0xe1;
-  }
-  std::memcpy(out, z, 16);
-}
-
-}  // namespace
-
 StatusOr<std::unique_ptr<GcmAead>> GcmAead::Create(
     std::unique_ptr<BlockCipher> cipher) {
   if (cipher == nullptr) return InvalidArgumentError("cipher is null");
@@ -47,19 +19,21 @@ StatusOr<std::unique_ptr<GcmAead>> GcmAead::Create(
 
 GcmAead::GcmAead(std::unique_ptr<BlockCipher> cipher)
     : cipher_(std::move(cipher)) {
-  h_.assign(16, 0);
-  cipher_->EncryptBlock(h_.data(), h_.data());
+  uint8_t h[16] = {0};
+  cipher_->EncryptBlock(h, h);
+  ghash_ = accel::GhashKey::Create(h);
 }
 
 Bytes GcmAead::Ghash(BytesView associated_data, BytesView ciphertext) const {
   uint8_t y[16] = {0};
   auto absorb = [&](BytesView data) {
-    for (size_t off = 0; off < data.size(); off += 16) {
+    const size_t full_blocks = data.size() / 16;
+    ghash_->Update(y, data.data(), full_blocks);
+    const size_t rem = data.size() - full_blocks * 16;
+    if (rem != 0) {
       uint8_t block[16] = {0};
-      const size_t n = std::min<size_t>(16, data.size() - off);
-      std::memcpy(block, data.data() + off, n);
-      for (int j = 0; j < 16; ++j) y[j] ^= block[j];
-      GcmMultiply(y, h_.data(), y);
+      std::memcpy(block, data.data() + full_blocks * 16, rem);
+      ghash_->Update(y, block, 1);
     }
   };
   absorb(associated_data);
@@ -67,8 +41,7 @@ Bytes GcmAead::Ghash(BytesView associated_data, BytesView ciphertext) const {
   uint8_t lens[16];
   PutUint64Be(lens, static_cast<uint64_t>(associated_data.size()) * 8);
   PutUint64Be(lens + 8, static_cast<uint64_t>(ciphertext.size()) * 8);
-  for (int j = 0; j < 16; ++j) y[j] ^= lens[j];
-  GcmMultiply(y, h_.data(), y);
+  ghash_->Update(y, lens, 1);
   return Bytes(y, y + 16);
 }
 

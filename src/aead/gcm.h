@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "aead/aead.h"
+#include "crypto/accel/ghash.h"
 #include "crypto/block_cipher.h"
 
 namespace sdbenc {
@@ -38,7 +39,10 @@ class GcmAead : public Aead {
                    BytesView ciphertext) const;
 
   std::unique_ptr<BlockCipher> cipher_;
-  Bytes h_;  // hash subkey H = E_K(0^128)
+  /// Precomputed key material for H = E_K(0^128), built once here rather
+  /// than paying the table setup on every Seal/Open; backend-dispatched
+  /// (PCLMUL or Shoup-style portable tables — see DESIGN §9).
+  std::unique_ptr<accel::GhashKey> ghash_;
 };
 
 }  // namespace sdbenc

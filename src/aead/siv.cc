@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "crypto/aes.h"
+#include "crypto/cipher_factory.h"
 #include "crypto/gf.h"
 #include "crypto/modes.h"
 #include "util/constant_time.h"
@@ -13,10 +13,10 @@ StatusOr<std::unique_ptr<SivAead>> SivAead::Create(BytesView key) {
   if (key.size() != 32) {
     return InvalidArgumentError("AES-SIV key must be 32 octets");
   }
-  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> mac_aes,
-                          Aes::Create(key.substr(0, 16)));
-  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> ctr_aes,
-                          Aes::Create(key.substr(16, 16)));
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> mac_aes,
+                          CreateAesCipher(key.substr(0, 16)));
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<BlockCipher> ctr_aes,
+                          CreateAesCipher(key.substr(16, 16)));
   return std::unique_ptr<SivAead>(
       new SivAead(std::move(mac_aes), std::move(ctr_aes)));
 }

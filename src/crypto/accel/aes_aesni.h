@@ -1,0 +1,32 @@
+#ifndef SDBENC_CRYPTO_ACCEL_AES_AESNI_H_
+#define SDBENC_CRYPTO_ACCEL_AES_AESNI_H_
+
+#include <memory>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+namespace accel {
+
+/// True when this binary contains the AES-NI kernels (x86-64 build whose
+/// compiler accepted -maes) AND the CPU reports AES-NI. Answers "can it
+/// run", not "should it": ForcePortable() is the factory's concern
+/// (cipher_factory.h), so tests and benches can construct the accelerated
+/// cipher explicitly even while the override is set.
+bool AesniUsable();
+
+/// AES over the AES-NI round instructions, pipelined 8 blocks at a time in
+/// the batched EncryptBlocks/DecryptBlocks entry points. Drop-in equivalent
+/// to the portable Aes (same name(), same metrics totals, byte-identical
+/// output — pinned by tests/test_crypto_backend.cc). Constant time by
+/// construction: no key- or data-dependent loads or branches, unlike the
+/// table-based portable implementation. Fails with kFailedPrecondition when
+/// !AesniUsable(), kInvalidArgument on a bad key size.
+StatusOr<std::unique_ptr<BlockCipher>> CreateAesniCipher(BytesView key);
+
+}  // namespace accel
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_ACCEL_AES_AESNI_H_

@@ -1,0 +1,51 @@
+#include "crypto/accel/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace sdbenc {
+namespace accel {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.aes = (ecx & bit_AES) != 0;
+    f.clmul = (ecx & bit_PCLMUL) != 0;
+    f.ssse3 = (ecx & bit_SSSE3) != 0;
+  }
+#elif defined(__aarch64__) && defined(__linux__)
+  const unsigned long hwcap = getauxval(AT_HWCAP);
+#if defined(HWCAP_AES)
+  f.aes = (hwcap & HWCAP_AES) != 0;
+#endif
+#if defined(HWCAP_PMULL)
+  f.clmul = (hwcap & HWCAP_PMULL) != 0;
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& Features() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+bool ForcePortable() {
+  const char* v = std::getenv("SDBENC_FORCE_PORTABLE");
+  return v != nullptr && std::strcmp(v, "1") == 0;
+}
+
+}  // namespace accel
+}  // namespace sdbenc

@@ -1,0 +1,29 @@
+#ifndef SDBENC_CRYPTO_ACCEL_CPU_FEATURES_H_
+#define SDBENC_CRYPTO_ACCEL_CPU_FEATURES_H_
+
+namespace sdbenc {
+namespace accel {
+
+/// CPU capabilities relevant to the crypto backends, probed once per process:
+/// CPUID leaf 1 on x86-64, getauxval(AT_HWCAP) on AArch64, everything false
+/// on other targets. The probe only answers "can the silicon run it";
+/// whether a kernel is actually *compiled into* this binary is reported by
+/// the per-kernel `*Usable()` predicates (aes_aesni.h, ghash.h), and whether
+/// it *should* be used is the factory's decision (cipher_factory.h).
+struct CpuFeatures {
+  bool aes = false;    // AES-NI (x86-64) or ARMv8-A AES (aarch64)
+  bool clmul = false;  // PCLMULQDQ (x86-64) or PMULL (aarch64)
+  bool ssse3 = false;  // byte shuffles the PCLMUL GHASH kernel needs
+};
+
+const CpuFeatures& Features();
+
+/// True when SDBENC_FORCE_PORTABLE=1 is set in the environment. Read afresh
+/// on every call — backend selection happens at construction time, never in
+/// a hot path — so tests can flip the override with setenv().
+bool ForcePortable();
+
+}  // namespace accel
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_ACCEL_CPU_FEATURES_H_

@@ -1,0 +1,48 @@
+#ifndef SDBENC_CRYPTO_ACCEL_GHASH_H_
+#define SDBENC_CRYPTO_ACCEL_GHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace sdbenc {
+namespace accel {
+
+/// Precomputed GHASH key material for a fixed hash subkey H = E_K(0^128).
+/// GcmAead builds one at construction and streams 16-octet blocks through
+/// Update() on every Seal/Open — the key-dependent tables are paid for once
+/// per key instead of once per call. Both implementations compute NIST
+/// SP 800-38D GHASH bit-for-bit (cross-checked in test_crypto_backend.cc).
+class GhashKey {
+ public:
+  /// Best available implementation: PCLMULQDQ when compiled in, the CPU
+  /// supports it and SDBENC_FORCE_PORTABLE is unset; the Shoup-style table
+  /// implementation otherwise. Never fails.
+  static std::unique_ptr<GhashKey> Create(const uint8_t h[16]);
+
+  virtual ~GhashKey() = default;
+
+  /// "portable" or "pclmul".
+  virtual const char* backend() const = 0;
+
+  /// GHASH chaining update over `nblocks` full 16-octet blocks:
+  /// for each block B, y <- (y ^ B) * H in GF(2^128). Callers zero-pad
+  /// partial trailing blocks themselves (GCM's 10* padding is all-zero).
+  virtual void Update(uint8_t y[16], const uint8_t* blocks,
+                      size_t nblocks) const = 0;
+};
+
+/// Explicit-backend constructors — the test/bench seam; Create() dispatches
+/// for production callers.
+std::unique_ptr<GhashKey> CreatePortableGhashKey(const uint8_t h[16]);
+
+/// Null when the binary or the CPU lacks PCLMULQDQ+SSSE3.
+std::unique_ptr<GhashKey> CreatePclmulGhashKey(const uint8_t h[16]);
+
+/// True when CreatePclmulGhashKey would succeed.
+bool PclmulUsable();
+
+}  // namespace accel
+}  // namespace sdbenc
+
+#endif  // SDBENC_CRYPTO_ACCEL_GHASH_H_

@@ -1,0 +1,143 @@
+// Carry-less-multiply GHASH (Gueron & Kounavis, "Intel Carry-Less
+// Multiplication Instruction and its Usage for Computing the GCM Mode").
+// Compiled with -mpclmul -mssse3 on x86-64; stubs elsewhere. Constant time:
+// no secret-indexed memory access, unlike the table-based portable path.
+
+#include "crypto/accel/ghash.h"
+
+#include "crypto/accel/cpu_features.h"
+
+#if defined(SDBENC_ACCEL_X86)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sdbenc {
+namespace accel {
+
+namespace {
+
+// GCM serialises field elements with the x^0 coefficient in the MSB of byte
+// 0. Reversing the 16 bytes turns that into a fully bit-reflected 128-bit
+// integer, the form the clmul identity below wants.
+inline __m128i Bswap(__m128i x) {
+  const __m128i mask =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  return _mm_shuffle_epi8(x, mask);
+}
+
+// GF(2^128) multiply of two byte-reversed GCM elements. Schoolbook 64x64
+// carry-less products, then the one-bit left shift that compensates for the
+// reflection (rev(a)*rev(b) = rev(a*b) >> 1), then lazy reduction modulo
+// x^128 + x^7 + x^2 + x + 1. This is the whitepaper's Figure 5 sequence.
+inline __m128i Gfmul(__m128i a, __m128i b) {
+  __m128i lo = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i mid1 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i mid2 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i hi = _mm_clmulepi64_si128(a, b, 0x11);
+  mid1 = _mm_xor_si128(mid1, mid2);
+  lo = _mm_xor_si128(lo, _mm_slli_si128(mid1, 8));
+  hi = _mm_xor_si128(hi, _mm_srli_si128(mid1, 8));
+
+  // Shift the 256-bit product [hi:lo] left by one bit.
+  const __m128i carry_lo = _mm_srli_epi32(lo, 31);
+  const __m128i carry_hi = _mm_srli_epi32(hi, 31);
+  lo = _mm_slli_epi32(lo, 1);
+  hi = _mm_slli_epi32(hi, 1);
+  const __m128i cross = _mm_srli_si128(carry_lo, 12);
+  lo = _mm_or_si128(lo, _mm_slli_si128(carry_lo, 4));
+  hi = _mm_or_si128(hi, _mm_slli_si128(carry_hi, 4));
+  hi = _mm_or_si128(hi, cross);
+
+  // Reduce: fold lo (the x^128.. coefficients in this layout) into hi.
+  __m128i t = _mm_xor_si128(_mm_slli_epi32(lo, 31), _mm_slli_epi32(lo, 30));
+  t = _mm_xor_si128(t, _mm_slli_epi32(lo, 25));
+  const __m128i t_hi = _mm_srli_si128(t, 4);
+  lo = _mm_xor_si128(lo, _mm_slli_si128(t, 12));
+  __m128i r = _mm_xor_si128(_mm_srli_epi32(lo, 1), _mm_srli_epi32(lo, 2));
+  r = _mm_xor_si128(r, _mm_srli_epi32(lo, 7));
+  r = _mm_xor_si128(r, t_hi);
+  lo = _mm_xor_si128(lo, r);
+  return _mm_xor_si128(hi, lo);
+}
+
+/// H-power table cached per key: H^1..H^4 (byte-reversed) let the 4-block
+/// aggregated form Y' = (Y^B0)H^4 ^ B1 H^3 ^ B2 H^2 ^ B3 H^1 issue four
+/// independent multiplies per iteration instead of a serial chain.
+class PclmulGhashKey final : public GhashKey {
+ public:
+  explicit PclmulGhashKey(const uint8_t h[16]) {
+    const __m128i hv =
+        Bswap(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+    __m128i p = hv;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hpow_[0]), hv);
+    for (int i = 1; i < 4; ++i) {
+      p = Gfmul(p, hv);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(hpow_[i]), p);
+    }
+  }
+
+  const char* backend() const override { return "pclmul"; }
+
+  void Update(uint8_t y[16], const uint8_t* blocks,
+              size_t nblocks) const override {
+    __m128i yv = Bswap(_mm_loadu_si128(reinterpret_cast<const __m128i*>(y)));
+    const __m128i h1 = Load(0), h2 = Load(1), h3 = Load(2), h4 = Load(3);
+    size_t i = 0;
+    for (; i + 4 <= nblocks; i += 4) {
+      const __m128i b0 = _mm_xor_si128(yv, LoadBlock(blocks, i));
+      const __m128i b1 = LoadBlock(blocks, i + 1);
+      const __m128i b2 = LoadBlock(blocks, i + 2);
+      const __m128i b3 = LoadBlock(blocks, i + 3);
+      yv = _mm_xor_si128(_mm_xor_si128(Gfmul(b0, h4), Gfmul(b1, h3)),
+                         _mm_xor_si128(Gfmul(b2, h2), Gfmul(b3, h1)));
+    }
+    for (; i < nblocks; ++i) {
+      yv = Gfmul(_mm_xor_si128(yv, LoadBlock(blocks, i)), h1);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y), Bswap(yv));
+  }
+
+ private:
+  __m128i Load(int i) const {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(hpow_[i]));
+  }
+  static __m128i LoadBlock(const uint8_t* blocks, size_t i) {
+    return Bswap(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + i * 16)));
+  }
+
+  alignas(16) uint8_t hpow_[4][16];  // byte-reversed H^1..H^4
+};
+
+}  // namespace
+
+bool PclmulUsable() {
+  const CpuFeatures& f = Features();
+  return f.clmul && f.ssse3;
+}
+
+std::unique_ptr<GhashKey> CreatePclmulGhashKey(const uint8_t h[16]) {
+  if (!PclmulUsable()) return nullptr;
+  return std::make_unique<PclmulGhashKey>(h);
+}
+
+}  // namespace accel
+}  // namespace sdbenc
+
+#else  // !SDBENC_ACCEL_X86
+
+namespace sdbenc {
+namespace accel {
+
+bool PclmulUsable() { return false; }
+
+std::unique_ptr<GhashKey> CreatePclmulGhashKey(const uint8_t* /*h*/) {
+  return nullptr;
+}
+
+}  // namespace accel
+}  // namespace sdbenc
+
+#endif  // SDBENC_ACCEL_X86

@@ -25,6 +25,15 @@ obs::Counter& DecryptBlocksMetric() {
   return c;
 }
 
+// Blocks processed by this (portable) backend specifically; the AES-NI
+// backend feeds the matching sdbenc_cipher_backend_aesni_blocks_total, so
+// the two per-backend counters partition the global totals above.
+obs::Counter& PortableBlocksMetric() {
+  static obs::Counter& c = *obs::Registry().GetCounter(
+      "sdbenc_cipher_backend_portable_blocks_total");
+  return c;
+}
+
 // ---- GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
 
 uint8_t GfMul(uint8_t a, uint8_t b) {
@@ -154,14 +163,13 @@ StatusOr<std::unique_ptr<Aes>> Aes::Create(BytesView key) {
   return std::unique_ptr<Aes>(new Aes(key));
 }
 
-Aes::Aes(BytesView key) {
+int Aes::ExpandKey(BytesView key, uint8_t round_keys[15][16]) {
   const SboxTables& t = Tables();
   const int nk = static_cast<int>(key.size() / 4);  // words in key
-  rounds_ = nk + 6;
-  key_bits_ = key.size() * 8;
+  const int rounds = nk + 6;
 
   // Key expansion over words w[0 .. 4*(rounds+1)).
-  const int total_words = 4 * (rounds_ + 1);
+  const int total_words = 4 * (rounds + 1);
   uint8_t w[60][4];
   for (int i = 0; i < nk; ++i) {
     std::memcpy(w[i], key.data() + 4 * i, 4);
@@ -184,27 +192,36 @@ Aes::Aes(BytesView key) {
     }
     for (int j = 0; j < 4; ++j) w[i][j] = static_cast<uint8_t>(w[i - nk][j] ^ temp[j]);
   }
-  for (int r = 0; r <= rounds_; ++r) {
+  for (int r = 0; r <= rounds; ++r) {
     for (int c = 0; c < 4; ++c) {
-      std::memcpy(round_keys_[r] + 4 * c, w[4 * r + c], 4);
+      std::memcpy(round_keys[r] + 4 * c, w[4 * r + c], 4);
     }
   }
+  return rounds;
+}
+
+Aes::Aes(BytesView key) {
+  rounds_ = ExpandKey(key, round_keys_);
+  key_bits_ = key.size() * 8;
 }
 
 std::string Aes::name() const { return "AES-" + std::to_string(key_bits_); }
 
 void Aes::EncryptBlock(const uint8_t* in, uint8_t* out) const {
   EncryptBlocksMetric().Increment();
+  PortableBlocksMetric().Increment();
   EncryptOne(in, out);
 }
 
 void Aes::DecryptBlock(const uint8_t* in, uint8_t* out) const {
   DecryptBlocksMetric().Increment();
+  PortableBlocksMetric().Increment();
   DecryptOne(in, out);
 }
 
 void Aes::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
   EncryptBlocksMetric().Add(n);
+  PortableBlocksMetric().Add(n);
   for (size_t i = 0; i < n; ++i) {
     EncryptOne(in + i * kBlockSize, out + i * kBlockSize);
   }
@@ -212,6 +229,7 @@ void Aes::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
 
 void Aes::DecryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
   DecryptBlocksMetric().Add(n);
+  PortableBlocksMetric().Add(n);
   for (size_t i = 0; i < n; ++i) {
     DecryptOne(in + i * kBlockSize, out + i * kBlockSize);
   }

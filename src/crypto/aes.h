@@ -33,6 +33,14 @@ class Aes : public BlockCipher {
   void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const override;
   void DecryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const override;
 
+  /// FIPS-197 key expansion: fills `round_keys` (one block per round,
+  /// rounds+1 entries used) and returns the round count (10/12/14). `key`
+  /// must be 16, 24 or 32 octets — callers validate first (Create does).
+  /// Shared with the accelerated backends, which feed hardware round
+  /// instructions from this software schedule rather than duplicating the
+  /// expansion with AESKEYGENASSIST.
+  static int ExpandKey(BytesView key, uint8_t round_keys[15][16]);
+
  private:
   explicit Aes(BytesView key);
 

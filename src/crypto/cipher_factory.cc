@@ -1,0 +1,58 @@
+#include "crypto/cipher_factory.h"
+
+#include <utility>
+
+#include "crypto/accel/aes_aesni.h"
+#include "crypto/accel/cpu_features.h"
+#include "obs/metrics.h"
+
+namespace sdbenc {
+
+namespace {
+
+// 0 = portable, 1 = aesni; set on every dispatching construction (the value
+// is idempotent for a fixed environment, so last-write-wins is fine).
+obs::Gauge& BackendGauge() {
+  static obs::Gauge& g = *obs::Registry().GetGauge("sdbenc_crypto_backend");
+  return g;
+}
+
+}  // namespace
+
+const char* CryptoBackendName(CryptoBackend backend) {
+  switch (backend) {
+    case CryptoBackend::kPortable:
+      return "portable";
+    case CryptoBackend::kAesni:
+      return "aesni";
+  }
+  return "unknown";
+}
+
+CryptoBackend ActiveCryptoBackend() {
+  if (accel::AesniUsable() && !accel::ForcePortable()) {
+    return CryptoBackend::kAesni;
+  }
+  return CryptoBackend::kPortable;
+}
+
+StatusOr<std::unique_ptr<BlockCipher>> CreateAesCipher(CryptoBackend backend,
+                                                       BytesView key) {
+  switch (backend) {
+    case CryptoBackend::kAesni:
+      return accel::CreateAesniCipher(key);
+    case CryptoBackend::kPortable: {
+      SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(key));
+      return std::unique_ptr<BlockCipher>(std::move(aes));
+    }
+  }
+  return InvalidArgumentError("unknown crypto backend");
+}
+
+StatusOr<std::unique_ptr<BlockCipher>> CreateAesCipher(BytesView key) {
+  const CryptoBackend backend = ActiveCryptoBackend();
+  BackendGauge().Set(backend == CryptoBackend::kAesni ? 1 : 0);
+  return CreateAesCipher(backend, key);
+}
+
+}  // namespace sdbenc

@@ -11,6 +11,32 @@
 
 namespace sdbenc {
 
+/// The AES implementations the runtime dispatch chooses between (DESIGN §9).
+enum class CryptoBackend {
+  kPortable,  // byte-oriented software AES (aes.cc); every target
+  kAesni,     // AES-NI pipelined kernels (accel/aes_aesni.cc); x86-64 only
+};
+
+/// "portable" / "aesni".
+const char* CryptoBackendName(CryptoBackend backend);
+
+/// The backend CreateAesCipher(key) will select: kAesni when the kernels
+/// are compiled in, the CPU advertises AES-NI and SDBENC_FORCE_PORTABLE=1
+/// is not set in the environment; kPortable otherwise.
+CryptoBackend ActiveCryptoBackend();
+
+/// Constructs AES keyed with `key` (16/24/32 octets) on the active backend,
+/// and publishes the choice through the `sdbenc_crypto_backend` gauge
+/// (0 = portable, 1 = aesni). All construction paths that want hardware AES
+/// — the AEAD factory, per-thread clones, benches — funnel through here.
+StatusOr<std::unique_ptr<BlockCipher>> CreateAesCipher(BytesView key);
+
+/// Explicit-backend construction (the test/bench seam — e.g. measuring both
+/// backends in one process). kFailedPrecondition when the backend cannot
+/// run on this build/CPU.
+StatusOr<std::unique_ptr<BlockCipher>> CreateAesCipher(CryptoBackend backend,
+                                                       BytesView key);
+
 /// Factory for per-thread block-cipher clones.
 ///
 /// A BlockCipher is immutable after construction and safe to share across
@@ -31,8 +57,9 @@ class BlockCipherFactory {
   virtual std::string name() const = 0;
 };
 
-/// Produces independent Aes instances from a copied key. Each Create() call
-/// re-runs the key expansion, so clones share no state at all.
+/// Produces independent AES instances from a copied key, each on the active
+/// backend. Each Create() call re-runs the key expansion, so clones share no
+/// state at all.
 class AesCipherFactory : public BlockCipherFactory {
  public:
   static StatusOr<std::unique_ptr<AesCipherFactory>> Make(BytesView key) {
@@ -42,8 +69,7 @@ class AesCipherFactory : public BlockCipherFactory {
   }
 
   StatusOr<std::unique_ptr<BlockCipher>> Create() const override {
-    SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aes> aes, Aes::Create(ToView(key_)));
-    return std::unique_ptr<BlockCipher>(std::move(aes));
+    return CreateAesCipher(ToView(key_));
   }
 
   std::string name() const override {
