@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Runs sdbenc-lint over the library sources (default: src/).
+
+Exit status: 0 clean, 1 findings, 2 usage error. CI runs this as the
+`lint` job; locally just `python3 scripts/run_lint.py`. Pass explicit
+paths to lint a subset, `--show-suppressed` to see what the allowlist is
+absorbing.
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "tools", "lint"))
+
+import sdbenc_lint  # noqa: E402
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    if "--repo-root" not in argv:
+        argv = ["--repo-root", _REPO_ROOT] + argv
+    return sdbenc_lint.main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

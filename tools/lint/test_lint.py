@@ -1,0 +1,173 @@
+"""Unit tests for sdbenc-lint: every rule has a must-fail and a must-pass
+fixture, the legacy-directory exemption and the allowlist are pinned, and
+the repo's own src/ tree must lint clean (the CI acceptance gate).
+
+Run directly (`python3 tools/lint/test_lint.py`) or via ctest
+(`lint_rules` / `lint_src`).
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_HERE))
+_TESTDATA = os.path.join(_HERE, "testdata")
+sys.path.insert(0, _HERE)
+
+import sdbenc_lint  # noqa: E402
+
+
+def lint(rel_paths, allow=(), repo_root=_REPO_ROOT):
+    reported, suppressed = sdbenc_lint.lint_files(
+        repo_root, list(rel_paths), list(allow)
+    )
+    return reported, suppressed
+
+
+def fixture(name):
+    return os.path.relpath(os.path.join(_TESTDATA, name), _REPO_ROOT)
+
+
+class CompareRuleTest(unittest.TestCase):
+    def test_bad_compare_flags_every_comparison(self):
+        reported, _ = lint([fixture("bad_compare.cc")])
+        self.assertEqual({f.rule for f in reported}, {"SDB001"})
+        self.assertEqual(len(reported), 4)
+
+    def test_good_compare_is_clean(self):
+        reported, _ = lint([fixture("good_compare.cc")])
+        self.assertEqual(reported, [])
+
+
+class IvRuleTest(unittest.TestCase):
+    def test_bad_iv_flags_every_declaration(self):
+        reported, _ = lint([fixture("bad_iv.cc")])
+        self.assertEqual({f.rule for f in reported}, {"SDB002"})
+        self.assertEqual(len(reported), 4)
+
+    def test_good_iv_is_clean(self):
+        reported, _ = lint([fixture("good_iv.cc")])
+        self.assertEqual(reported, [])
+
+    def test_legacy_scheme_directory_is_exempt(self):
+        # The same zero-IV fixture must fail outside src/schemes/ and pass
+        # inside it: copy it into a scratch repo at both locations.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(_TESTDATA, "legacy", "schemes_zero_iv.cc")
+            legacy_dir = os.path.join(tmp, "src", "schemes")
+            other_dir = os.path.join(tmp, "src", "storage")
+            os.makedirs(legacy_dir)
+            os.makedirs(other_dir)
+            shutil.copy(src, os.path.join(legacy_dir, "zero_iv.cc"))
+            shutil.copy(src, os.path.join(other_dir, "zero_iv.cc"))
+            reported, _ = lint(
+                ["src/schemes/zero_iv.cc", "src/storage/zero_iv.cc"],
+                repo_root=tmp,
+            )
+            self.assertEqual(len(reported), 1)
+            self.assertEqual(reported[0].path, "src/storage/zero_iv.cc")
+            self.assertEqual(reported[0].rule, "SDB002")
+
+
+class RngRuleTest(unittest.TestCase):
+    def test_bad_rng_flags_each_source(self):
+        reported, _ = lint([fixture("bad_rng.cc")])
+        self.assertEqual({f.rule for f in reported}, {"SDB003"})
+        self.assertEqual(len(reported), 3)
+
+    def test_good_rng_is_clean(self):
+        reported, _ = lint([fixture("good_rng.cc")])
+        self.assertEqual(reported, [])
+
+
+class StatusRuleTest(unittest.TestCase):
+    def _paths(self, cc):
+        return [fixture("status_api.h"), fixture(cc)]
+
+    def test_bad_status_flags_every_discard(self):
+        reported, _ = lint(self._paths("bad_status.cc"))
+        reported = [f for f in reported if f.rule == "SDB004"]
+        self.assertEqual(len(reported), 3)
+        flagged = {f.snippet.split("(")[0] for f in reported}
+        self.assertEqual(
+            flagged, {"store.PutRecord", "FlushJournal", "store.GetRecord"}
+        )
+
+    def test_good_status_is_clean(self):
+        reported, _ = lint(self._paths("good_status.cc"))
+        self.assertEqual([f for f in reported if f.rule == "SDB004"], [])
+
+
+class IntrinsicsRuleTest(unittest.TestCase):
+    def test_bad_intrinsics_flags_each_line(self):
+        reported, _ = lint([fixture("bad_intrinsics.cc")])
+        self.assertEqual({f.rule for f in reported}, {"SDB005"})
+        self.assertEqual(len(reported), 4)
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_allowlist_suppresses_and_tracks_usage(self):
+        entry = sdbenc_lint.AllowEntry(
+            rule="SDB002",
+            path_prefix=fixture("bad_iv.cc"),
+            substring="zero_iv",
+            rationale="test",
+        )
+        reported, suppressed = lint([fixture("bad_iv.cc")], allow=[entry])
+        self.assertTrue(entry.used)
+        self.assertEqual(len(suppressed), 1)
+        self.assertEqual(len(reported), 3)
+
+    def test_wrong_rule_does_not_suppress(self):
+        entry = sdbenc_lint.AllowEntry(
+            rule="SDB001",
+            path_prefix=fixture("bad_iv.cc"),
+            substring="",
+            rationale="test",
+        )
+        reported, suppressed = lint([fixture("bad_iv.cc")], allow=[entry])
+        self.assertFalse(entry.used)
+        self.assertEqual(suppressed, [])
+        self.assertEqual(len(reported), 4)
+
+    def test_repo_allowlist_parses_and_every_entry_is_used(self):
+        conf = os.path.join(_HERE, "allowlist.conf")
+        entries = sdbenc_lint.parse_allowlist(conf)
+        self.assertTrue(entries)
+        self.assertTrue(all(e.rationale for e in entries))
+        rel = sdbenc_lint.collect_sources(_REPO_ROOT, ["src"])
+        sdbenc_lint.lint_files(_REPO_ROOT, rel, entries)
+        stale = [e for e in entries if not e.used]
+        self.assertEqual(stale, [], "stale allowlist entries")
+
+
+class SrcTreeTest(unittest.TestCase):
+    def test_src_lints_clean_with_repo_allowlist(self):
+        conf = os.path.join(_HERE, "allowlist.conf")
+        entries = sdbenc_lint.parse_allowlist(conf)
+        rel = sdbenc_lint.collect_sources(_REPO_ROOT, ["src"])
+        self.assertGreater(len(rel), 100)
+        reported, _ = sdbenc_lint.lint_files(_REPO_ROOT, rel, entries)
+        self.assertEqual(
+            [f.render() for f in reported], [], "src/ must lint clean"
+        )
+
+
+class PreprocessTest(unittest.TestCase):
+    def test_comments_and_strings_are_blanked(self):
+        text = (
+            '// memcmp(tag, x, 16)\n'
+            'const char* s = "memcmp(tag)";\n'
+            "/* rand() */ int x = 0;\n"
+        )
+        clean = sdbenc_lint.strip_comments_and_strings(text)
+        self.assertNotIn("memcmp", clean)
+        self.assertNotIn("rand", clean)
+        self.assertEqual(clean.count("\n"), text.count("\n"))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

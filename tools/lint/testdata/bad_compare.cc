@@ -1,0 +1,24 @@
+// Fixture: SDB001 must fire on every comparison in this file.
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+bool VerifyTagMemcmp(const Bytes& expected_tag, const Bytes& tag) {
+  return std::memcmp(expected_tag.data(), tag.data(), tag.size()) == 0;  // BAD
+}
+
+bool VerifyMacOperator(const Bytes& computed_mac, const Bytes& mac) {
+  return computed_mac == mac;  // BAD
+}
+
+bool VerifyChecksum(const Bytes& stored_checksum, const Bytes& checksum) {
+  return stored_checksum != checksum;  // BAD
+}
+
+bool VerifyKeycheck(const Bytes& keycheck, const Bytes& expected_keycheck) {
+  return keycheck == expected_keycheck;  // BAD
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,12 @@
+// Fixture: SDB005 must fire — SIMD intrinsics outside src/crypto/accel/.
+#include <wmmintrin.h>  // BAD
+
+namespace sdbenc {
+
+void LeakIsa(const unsigned char* in, unsigned char* out) {
+  __m128i block = _mm_loadu_si128(  // BAD
+      reinterpret_cast<const __m128i*>(in));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), block);  // BAD
+}
+
+}  // namespace sdbenc

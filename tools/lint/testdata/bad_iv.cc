@@ -1,0 +1,27 @@
+// Fixture: SDB002 must fire on every declaration below (this path is not
+// under src/schemes/ or src/attacks/, so no legacy exemption applies).
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+Bytes ZeroIvCbc() {
+  const Bytes zero_iv(16, 0);  // BAD: constant-filled IV
+  return zero_iv;
+}
+
+Bytes FixedNonce() {
+  Bytes nonce = {0x00, 0x01, 0x02, 0x03};  // BAD: literal nonce
+  return nonce;
+}
+
+Bytes DefaultZeroNonce() {
+  Bytes nonce(12);  // BAD: value-initialised == all-zero nonce
+  return nonce;
+}
+
+void StackIv(uint8_t* out) {
+  uint8_t iv[16] = {0};  // BAD: zero IV array
+  for (int i = 0; i < 16; ++i) out[i] = iv[i];
+}
+
+}  // namespace sdbenc

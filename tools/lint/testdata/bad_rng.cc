@@ -1,0 +1,21 @@
+// Fixture: SDB003 must fire on each use below.
+#include <cstdlib>
+#include <random>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+Bytes WeakKey() {
+  Bytes key(16);
+  for (auto& b : key) b = static_cast<uint8_t>(rand());  // BAD
+  return key;
+}
+
+uint64_t WeakSeed() {
+  std::random_device rd;  // BAD: raw random_device
+  std::mt19937 gen(rd());  // BAD: mt19937 for key material
+  return gen();
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,13 @@
+// Fixture: SDB004 must fire on each discarded Status/StatusOr below.
+#include "tools/lint/testdata/status_api.h"
+
+namespace sdbenc {
+
+void LossyShutdown(Store& store) {
+  store.PutRecord(7);  // BAD: Status discarded
+  FlushJournal();  // BAD: Status discarded
+  store.GetRecord(7);  // BAD: StatusOr discarded
+  store.Close();  // fine: void
+}
+
+}  // namespace sdbenc

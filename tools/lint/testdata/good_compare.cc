@@ -1,0 +1,22 @@
+// Fixture: no SDB001 findings. Constant-time comparison plus the public
+// metadata comparisons the rule must not confuse with secret contents.
+#include "util/bytes.h"
+#include "util/constant_time.h"
+
+namespace sdbenc {
+
+bool VerifyTag(const Bytes& expected, const Bytes& tag) {
+  if (tag.size() != expected.size()) return false;  // lengths are public
+  return ConstantTimeEquals(ToView(expected), ToView(tag));
+}
+
+bool TagSizeOk(size_t tag_size, size_t want) {
+  return tag_size == want;  // "_size" suffix is public metadata
+}
+
+enum class TokenKind { kEnd, kIdentifier };
+bool AtEnd(TokenKind kind) {
+  return kind == TokenKind::kEnd;  // "token" must not trip the rule
+}
+
+}  // namespace sdbenc

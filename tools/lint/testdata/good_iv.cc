@@ -1,0 +1,24 @@
+// Fixture: no SDB002 findings — nonces drawn from the vetted RNG, and
+// non-IV buffers that zero-init legitimately.
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+Bytes FreshNonce(Rng& rng) {
+  Bytes nonce = rng.RandomBytes(12);  // fresh per call
+  return nonce;
+}
+
+Bytes ScratchBuffer() {
+  Bytes scratch(64, 0);  // zero-init is fine for non-IV material
+  return scratch;
+}
+
+Bytes CopiedNonce(const Bytes& prefix) {
+  Bytes nonce = prefix;  // derived from caller state, not a constant
+  nonce.push_back(1);
+  return nonce;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,15 @@
+// Fixture: no SDB003 findings — randomness routed through util/rng, and
+// identifiers that merely contain "rand" as a substring.
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+Bytes GoodKey(Rng& rng) { return rng.RandomBytes(16); }
+
+// "operand" and "randomized" contain 'rand' but are not calls to rand().
+int CountOperands(int operand_count) { return operand_count; }
+
+Bytes RandomizedSuffix(Rng& rng, size_t n) { return rng.RandomBytes(n); }
+
+}  // namespace sdbenc

@@ -1,0 +1,25 @@
+// Fixture: no SDB004 findings — every fallible result is consumed (or
+// explicitly voided), including across continuation lines.
+#include "tools/lint/testdata/status_api.h"
+
+namespace sdbenc {
+
+Status CleanShutdown(Store& store) {
+  SDBENC_RETURN_IF_ERROR(store.PutRecord(7));
+  SDBENC_RETURN_IF_ERROR(
+      store.PutRecord(8));
+  SDBENC_ASSIGN_OR_RETURN(int row,
+                          store.GetRecord(7));
+  (void)row;
+  const Status s = FlushJournal();
+  if (!s.ok()) return s;
+  (void)CountRows();
+  return OkStatus();
+}
+
+// A local void Update must not be confused with a Status-returning
+// Update declared elsewhere in the tree.
+void Update(int);
+void Caller() { Update(3); }
+
+}  // namespace sdbenc

@@ -1,0 +1,13 @@
+// Fixture: exercised with a path mapped under src/schemes/ (see
+// test_lint.py) — the legacy-scheme directory exemption must absorb the
+// zero IV that would be SDB002 anywhere else.
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+Bytes LegacyDeterministicIv() {
+  const Bytes zero_iv(16, 0);  // allowed here: the broken scheme needs it
+  return zero_iv;
+}
+
+}  // namespace sdbenc

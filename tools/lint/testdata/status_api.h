@@ -1,0 +1,30 @@
+// Fixture support header: declares the Status-returning API surface the
+// SDB004 fixtures call. Harvested by the lint's declaration pass.
+#ifndef SDBENC_TOOLS_LINT_TESTDATA_STATUS_API_H_
+#define SDBENC_TOOLS_LINT_TESTDATA_STATUS_API_H_
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+Status FlushJournal();
+StatusOr<int> CountRows();
+
+class Store {
+ public:
+  Status PutRecord(int key);
+  StatusOr<int> GetRecord(int key);
+  void Close();
+};
+
+class Index {
+ public:
+  // Same name as the void Update in good_status.cc: SDB004 must only
+  // flag calls that can actually bind to this one.
+  Status Update(int key);
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_TOOLS_LINT_TESTDATA_STATUS_API_H_
