@@ -6,6 +6,7 @@
 #include "crypto/gf.h"
 #include "crypto/modes.h"
 #include "util/constant_time.h"
+#include "util/ct_taint.h"
 
 namespace sdbenc {
 
@@ -54,7 +55,12 @@ StatusOr<Aead::Sealed> SivAead::Seal(BytesView nonce, BytesView plaintext,
   if (!nonce.empty()) {
     return InvalidArgumentError("AES-SIV is deterministic; pass no nonce");
   }
-  const Bytes v = S2v(associated_data, plaintext);
+  Bytes v = S2v(associated_data, plaintext);
+  // V is about to be published as the tag, and it seeds the CTR counter
+  // whose increment carries branch on its bytes. Declassify it for the
+  // secret-taint harness (tests/ct_check) — the tag is public output by
+  // the AEAD contract, so branching on it afterwards is not a leak.
+  ct::Declassify(v.data(), v.size());
   // CTR counter = V with the two reserved bits cleared (RFC 5297 §2.6).
   Bytes counter = v;
   counter[8] &= 0x7f;

@@ -9,10 +9,12 @@ Bytes GfDouble(BytesView block) {
     out[i] = static_cast<uint8_t>((block[i] << 1) | carry);
     carry = block[i] >> 7;
   }
-  if (carry) {
-    // Reduction constant for the field polynomial.
-    out.back() ^= (block.size() == 16) ? 0x87 : 0x1b;
-  }
+  // Branch-free conditional reduction: the operand is E_K(0) (the CMAC/PMAC
+  // subkey base), so its top bit is secret — `if (carry)` would leak it.
+  // mask = 0xff when the carry is set, 0x00 otherwise.
+  const uint8_t mask = static_cast<uint8_t>(-carry);
+  out.back() ^= static_cast<uint8_t>(
+      mask & ((block.size() == 16) ? 0x87 : 0x1b));
   return out;
 }
 
@@ -23,12 +25,13 @@ Bytes GfHalve(BytesView block) {
     out[i] = static_cast<uint8_t>((block[i] >> 1) | (carry << 7));
     carry = block[i] & 1;
   }
-  if (carry) {
-    // x^{-1} = x^{n-1} + (R >> 1 folded): for n=128 the constant is
-    // 0x80...43, for n=64 it is 0x80...0d (derived from the same polys).
-    out.front() ^= 0x80;
-    out.back() ^= (block.size() == 16) ? 0x43 : 0x0d;
-  }
+  // x^{-1} = x^{n-1} + (R >> 1 folded): for n=128 the constant pair is
+  // 0x80.../0x43, for n=64 it is 0x80.../0x0d. Same branch-free masking as
+  // GfDouble — the low bit of the secret subkey must not steer a branch.
+  const uint8_t mask = static_cast<uint8_t>(-carry);
+  out.front() ^= static_cast<uint8_t>(mask & 0x80);
+  out.back() ^= static_cast<uint8_t>(
+      mask & ((block.size() == 16) ? 0x43 : 0x0d));
   return out;
 }
 

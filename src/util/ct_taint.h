@@ -1,0 +1,104 @@
+#ifndef SDBENC_UTIL_CT_TAINT_H_
+#define SDBENC_UTIL_CT_TAINT_H_
+
+#include <cstddef>
+
+/// Secret-taint instrumentation for the ctgrind-style constant-time
+/// verification harness (tests/ct_check.cc, DESIGN §11).
+///
+/// The technique (Langley's ctgrind, also used by BoringSSL): mark key
+/// material and plaintext as *uninitialised* for a memory checker, run the
+/// crypto, and let the checker's existing "branch/index on uninitialised
+/// data" detection report every secret-dependent branch and table lookup —
+/// exactly the side channels a timing attacker measures.
+///
+/// Three build modes, chosen at compile time:
+///   - MemorySanitizer (clang -fsanitize=memory): __msan_* interface.
+///   - Valgrind headers present: memcheck client requests, which compile
+///     to a few no-op cycles when the binary runs outside valgrind.
+///   - Neither: all calls are no-ops and TaintActive() is false, so the
+///     harness still runs as a functional smoke test.
+///
+/// Define SDBENC_NO_TAINT to force the no-op backend (e.g. to keep an MSan
+/// build of the whole test suite from treating poisoned buffers as errors
+/// in unrelated tests).
+
+#if !defined(SDBENC_NO_TAINT) && defined(__has_feature)
+#if __has_feature(memory_sanitizer)
+#define SDBENC_CT_TAINT_MSAN 1
+#endif
+#endif
+
+#if !defined(SDBENC_NO_TAINT) && !defined(SDBENC_CT_TAINT_MSAN) && \
+    defined(__has_include)
+#if __has_include(<valgrind/memcheck.h>)
+#define SDBENC_CT_TAINT_VALGRIND 1
+#endif
+#endif
+
+#if defined(SDBENC_CT_TAINT_MSAN)
+#include <sanitizer/msan_interface.h>
+#elif defined(SDBENC_CT_TAINT_VALGRIND)
+#include <valgrind/memcheck.h>
+#endif
+
+namespace sdbenc {
+namespace ct {
+
+/// Marks `[p, p+n)` as secret: any branch or memory index derived from it
+/// becomes a checker error until Declassify() is called on the data (or on
+/// values computed from it).
+inline void TaintSecret(void* p, size_t n) {
+#if defined(SDBENC_CT_TAINT_MSAN)
+  __msan_allocated_memory(p, n);
+#elif defined(SDBENC_CT_TAINT_VALGRIND)
+  VALGRIND_MAKE_MEM_UNDEFINED(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+/// Declares `[p, p+n)` public again. Used (a) by the harness on
+/// ciphertext/tag outputs — public by IND$ definition — before inspecting
+/// them, and (b) by ConstantTimeEquals on its one-bit result, which is the
+/// legitimately observable accept/reject outcome of a tag check.
+inline void Declassify(void* p, size_t n) {
+#if defined(SDBENC_CT_TAINT_MSAN)
+  __msan_unpoison(p, n);
+#elif defined(SDBENC_CT_TAINT_VALGRIND)
+  VALGRIND_MAKE_MEM_DEFINED(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+/// Which taint backend this binary was compiled with.
+inline const char* TaintBackendName() {
+#if defined(SDBENC_CT_TAINT_MSAN)
+  return "msan";
+#elif defined(SDBENC_CT_TAINT_VALGRIND)
+  return "valgrind";
+#else
+  return "none";
+#endif
+}
+
+/// True when taint marks actually reach a checker in *this run*: always
+/// under MSan (instrumentation is baked into the binary), only when
+/// running under valgrind for the memcheck backend, never for "none".
+inline bool TaintActive() {
+#if defined(SDBENC_CT_TAINT_MSAN)
+  return true;
+#elif defined(SDBENC_CT_TAINT_VALGRIND)
+  return RUNNING_ON_VALGRIND != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ct
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_CT_TAINT_H_

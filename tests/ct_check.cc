@@ -1,0 +1,402 @@
+// ct_check: ctgrind-style constant-time verification harness (DESIGN §11).
+//
+// Marks key-derived material and plaintext as *uninitialised* for a memory
+// checker (MSan or valgrind memcheck, see util/ct_taint.h), then drives the
+// crypto kernels that DESIGN promises are constant time. Any secret-dependent
+// branch or table index becomes a checker error:
+//
+//   - MSan build (clang -fsanitize=memory): the first leak aborts with a
+//     use-of-uninitialized-value report.
+//   - valgrind run: leaks accumulate as "conditional jump depends on
+//     uninitialised value" errors; the harness counts them per case via
+//     VALGRIND_COUNT_ERRORS, attributes them, and exits non-zero.
+//   - plain build/run: taint is inert; the harness degrades to a functional
+//     smoke test and says so (pass --require-taint to refuse to degrade).
+//
+// `--negative-controls` runs deliberately variable-time code (table-based
+// portable AES/GHASH, memcmp tag compare, PKCS#7 unpad) and — under the
+// valgrind backend — exits non-zero unless every control *is* detected,
+// proving the harness has teeth. Under MSan the first control aborts the
+// process; CI asserts the inverted exit code instead.
+//
+// Scope note (also in DESIGN §11): block-cipher keys are NOT tainted,
+// because both backends derive round keys through the table-based FIPS-197
+// ExpandKey — a known, documented gap. Taint covers plaintext, message and
+// tag paths, which is where the paper's verify-oracle threat lives.
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aead/aead.h"
+#include "aead/ccfb.h"
+#include "aead/eax.h"
+#include "aead/etm.h"
+#include "aead/gcm.h"
+#include "aead/ocb.h"
+#include "aead/siv.h"
+#include "crypto/accel/aes_aesni.h"
+#include "crypto/accel/ghash.h"
+#include "crypto/aes.h"
+#include "crypto/cipher_factory.h"
+#include "crypto/gf.h"
+#include "crypto/hash.h"
+#include "crypto/mac.h"
+#include "crypto/padding.h"
+#include "util/bytes.h"
+#include "util/constant_time.h"
+#include "util/ct_taint.h"
+#include "util/rng.h"
+
+#if defined(SDBENC_CT_TAINT_VALGRIND)
+#include <valgrind/memcheck.h>
+#endif
+
+namespace sdbenc {
+namespace {
+
+size_t CheckerErrorCount() {
+#if defined(SDBENC_CT_TAINT_VALGRIND)
+  return static_cast<size_t>(VALGRIND_COUNT_ERRORS);
+#else
+  return 0;
+#endif
+}
+
+// Fixed keys/messages: determinism keeps checker reports reproducible.
+Bytes FixedBytes(size_t n, uint8_t seed) {
+  DeterministicRng rng(0x5db0e11cULL ^ seed);
+  return rng.RandomBytes(n);
+}
+
+Bytes Tainted(size_t n, uint8_t seed) {
+  Bytes b = FixedBytes(n, seed);
+  ct::TaintSecret(b.data(), b.size());
+  return b;
+}
+
+struct Case {
+  const char* name;
+  // Empty when runnable; otherwise why the case cannot run on this
+  // build/CPU (missing ISA, forced-portable dispatch, ...).
+  std::string skip_reason;
+  std::function<void()> run;
+};
+
+// ---------------------------------------------------------------- positive
+
+std::vector<Case> MustBeConstantTimeCases() {
+  std::vector<Case> cases;
+
+  cases.push_back({"constant_time_equals", "", [] {
+    Bytes a = Tainted(32, 1);
+    Bytes b = Tainted(32, 1);
+    Bytes c = Tainted(32, 2);
+    // The returned bit is declassified inside ConstantTimeEquals; branching
+    // on it here is the sanctioned use.
+    if (!ConstantTimeEquals(a, b)) std::abort();
+    if (ConstantTimeEquals(a, c)) std::abort();
+  }});
+
+  cases.push_back({"gf_double_halve", "", [] {
+    Bytes block = Tainted(16, 3);
+    Bytes doubled = GfDouble(block);
+    Bytes halved = GfHalve(block);
+    ct::Declassify(doubled.data(), doubled.size());
+    ct::Declassify(halved.data(), halved.size());
+  }});
+
+  cases.push_back({"hmac_sha256", "", [] {
+    // HMAC is arithmetic-only: both the key and the message may be tainted.
+    Bytes key = Tainted(32, 4);
+    Bytes msg = Tainted(119, 5);
+    Bytes tag = HmacCompute(HashAlgorithm::kSha256, key, msg);
+    ct::Declassify(tag.data(), tag.size());
+  }});
+
+  const bool aesni = accel::AesniUsable();
+  const bool pclmul = accel::PclmulUsable();
+  const char* no_aesni = "AES-NI not available on this build/CPU";
+  const char* no_pclmul = "PCLMULQDQ not available on this build/CPU";
+
+  cases.push_back({"aesni_encrypt_decrypt", aesni ? "" : no_aesni, [] {
+    auto cipher = accel::CreateAesniCipher(FixedBytes(16, 6));
+    if (!cipher.ok()) std::abort();
+    Bytes data = Tainted(16 * 11, 7);  // covers the 8-block pipeline + tail
+    Bytes out(data.size());
+    (*cipher)->EncryptBlocks(data.data(), out.data(), 11);
+    (*cipher)->DecryptBlocks(out.data(), out.data(), 11);
+    ct::Declassify(out.data(), out.size());
+    if (out != FixedBytes(16 * 11, 7)) std::abort();  // roundtrip sanity
+  }});
+
+  cases.push_back({"ghash_pclmul", pclmul ? "" : no_pclmul, [] {
+    Bytes h = Tainted(16, 8);
+    auto ghash = accel::CreatePclmulGhashKey(h.data());
+    if (ghash == nullptr) std::abort();
+    uint8_t y[16] = {0};
+    Bytes data = Tainted(16 * 9, 9);  // 4-block aggregation path + tail
+    ghash->Update(y, data.data(), 9);
+    ct::Declassify(y, sizeof(y));
+  }});
+
+  cases.push_back({"cmac_pmac_subkeys", aesni ? "" : no_aesni, [] {
+    auto cipher = accel::CreateAesniCipher(FixedBytes(16, 10));
+    if (!cipher.ok()) std::abort();
+    Cmac cmac(**cipher);
+    Pmac pmac(**cipher);
+    Bytes msg = Tainted(61, 11);
+    Bytes t1 = cmac.Compute(msg);
+    Bytes t2 = pmac.Compute(msg);
+    ct::Declassify(t1.data(), t1.size());
+    ct::Declassify(t2.data(), t2.size());
+  }});
+
+  // AEAD seal/open: taint the plaintext on Seal and the ciphertext+tag on
+  // Open (the verify oracle must not leak *where* a forged tag differs).
+  // Ciphertext and tag are public outputs by IND$; declassify them between
+  // the two halves.
+  struct AeadSpec {
+    const char* name;
+    std::string skip;
+    std::function<StatusOr<std::unique_ptr<Aead>>()> make;
+    bool taint_tag_on_open;
+  };
+  const bool dispatch_aesni =
+      ActiveCryptoBackend() == CryptoBackend::kAesni;
+  const char* no_dispatch =
+      "runtime dispatch resolves to the table-based portable AES";
+  // NOTE: the make lambdas must not capture locals — the Case outlives this
+  // function and runs from the driver loop.
+  std::vector<AeadSpec> specs;
+  specs.push_back({"aead_gcm",
+                   !aesni ? no_aesni : (!pclmul ? no_pclmul : ""),
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto c, accel::CreateAesniCipher(FixedBytes(16, 20)));
+                     SDBENC_ASSIGN_OR_RETURN(auto a,
+                                             GcmAead::Create(std::move(c)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   true});
+  specs.push_back({"aead_eax", aesni ? "" : no_aesni,
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto c, accel::CreateAesniCipher(FixedBytes(16, 21)));
+                     SDBENC_ASSIGN_OR_RETURN(auto a,
+                                             EaxAead::Create(std::move(c)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   true});
+  specs.push_back({"aead_ocb", aesni ? "" : no_aesni,
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto c, accel::CreateAesniCipher(FixedBytes(16, 22)));
+                     SDBENC_ASSIGN_OR_RETURN(auto a,
+                                             OcbAead::Create(std::move(c)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   true});
+  specs.push_back({"aead_ccfb", aesni ? "" : no_aesni,
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto c, accel::CreateAesniCipher(FixedBytes(16, 23)));
+                     SDBENC_ASSIGN_OR_RETURN(auto a,
+                                             CcfbAead::Create(std::move(c)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   true});
+  specs.push_back({"aead_etm", dispatch_aesni ? "" : no_dispatch,
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto a, EtmAead::Create(FixedBytes(32, 24)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   true});
+  // SIV's tag is also its CTR IV: the counter-increment branch on input-tag
+  // bytes in Open is branch-on-public (the attacker supplied the tag), so
+  // the tag stays untainted there; Seal declassifies V at the publish point.
+  specs.push_back({"aead_siv", dispatch_aesni ? "" : no_dispatch,
+                   []() -> StatusOr<std::unique_ptr<Aead>> {
+                     SDBENC_ASSIGN_OR_RETURN(
+                         auto a, SivAead::Create(FixedBytes(32, 25)));
+                     return StatusOr<std::unique_ptr<Aead>>(std::move(a));
+                   },
+                   false});
+
+  for (auto& spec : specs) {
+    cases.push_back({spec.name, spec.skip,
+                     [make = spec.make, taint_tag = spec.taint_tag_on_open] {
+      auto aead_or = make();
+      if (!aead_or.ok()) std::abort();
+      const std::unique_ptr<Aead>& aead = *aead_or;
+      const Bytes nonce = FixedBytes(aead->nonce_size(), 30);  // public
+      const Bytes ad = FixedBytes(24, 31);                     // public
+      Bytes plaintext = Tainted(100, 32);
+
+      auto sealed = aead->Seal(nonce, plaintext, ad);
+      if (!sealed.ok()) std::abort();
+      ct::Declassify(sealed->ciphertext.data(), sealed->ciphertext.size());
+      ct::Declassify(sealed->tag.data(), sealed->tag.size());
+
+      Bytes ct_in = sealed->ciphertext;
+      Bytes tag_in = sealed->tag;
+      ct::TaintSecret(ct_in.data(), ct_in.size());
+      if (taint_tag) ct::TaintSecret(tag_in.data(), tag_in.size());
+      auto opened = aead->Open(nonce, ct_in, tag_in, ad);
+      // Accept/reject is the sanctioned public outcome (declassified inside
+      // ConstantTimeEquals); with untampered inputs it must accept.
+      if (!opened.ok()) std::abort();
+      ct::Declassify(opened->data(), opened->size());
+
+      // And a forgery must reject without leaking the differing offset.
+      Bytes forged_tag = sealed->tag;
+      forged_tag[0] ^= 1;
+      if (taint_tag) ct::TaintSecret(forged_tag.data(), forged_tag.size());
+      auto rejected = aead->Open(nonce, sealed->ciphertext, forged_tag, ad);
+      if (rejected.ok()) std::abort();
+    }});
+  }
+
+  return cases;
+}
+
+// ---------------------------------------------------------------- negative
+
+std::vector<Case> NegativeControlCases() {
+  std::vector<Case> cases;
+
+  cases.push_back({"neg_memcmp_tag_compare", "", [] {
+    Bytes tag = Tainted(16, 40);
+    Bytes expected = FixedBytes(16, 41);
+    // The classic bug: early-exit compare on secret tag bytes.
+    volatile int leak =
+        std::memcmp(expected.data(), tag.data(), tag.size());
+    (void)leak;
+  }});
+
+  cases.push_back({"neg_portable_aes_sbox", "", [] {
+    auto cipher = Aes::Create(FixedBytes(16, 42));
+    if (!cipher.ok()) std::abort();
+    Bytes block = Tainted(16, 43);
+    Bytes out(16);
+    (*cipher)->EncryptBlock(block.data(), out.data());
+    ct::Declassify(out.data(), out.size());
+  }});
+
+  cases.push_back({"neg_portable_ghash_tables", "", [] {
+    Bytes h = FixedBytes(16, 44);
+    auto ghash = accel::CreatePortableGhashKey(h.data());
+    uint8_t y[16] = {0};
+    Bytes data = Tainted(32, 45);
+    ghash->Update(y, data.data(), 2);
+    ct::Declassify(y, sizeof(y));
+  }});
+
+  cases.push_back({"neg_pkcs7_unpad", "", [] {
+    // Padding-oracle shape: Unpad branches on decrypted (secret) bytes.
+    Bytes padded = Pkcs7Pad(FixedBytes(30, 46), 16);
+    ct::TaintSecret(padded.data(), padded.size());
+    auto out = Pkcs7Unpad(padded, 16);
+    if (out.ok()) ct::Declassify(out->data(), out->size());
+  }});
+
+  return cases;
+}
+
+// ------------------------------------------------------------------ driver
+
+int RunCases(const std::vector<Case>& cases, bool expect_leaks) {
+  int ran = 0;
+  int skipped = 0;
+  int undetected = 0;
+  for (const auto& c : cases) {
+    if (!c.skip_reason.empty()) {
+      std::printf("SKIP %-28s (%s)\n", c.name, c.skip_reason.c_str());
+      ++skipped;
+      continue;
+    }
+    const size_t errors_before = CheckerErrorCount();
+    c.run();
+    const size_t errors_after = CheckerErrorCount();
+    const size_t delta = errors_after - errors_before;
+    ++ran;
+    if (expect_leaks) {
+      // Only meaningful with the valgrind error counter; under MSan the
+      // first leak already aborted the process (the expected outcome).
+      if (ct::TaintActive() && delta == 0) {
+        std::printf("FAIL %-28s expected the checker to flag this "
+                    "deliberately variable-time code, but it did not\n",
+                    c.name);
+        ++undetected;
+      } else {
+        std::printf("ok   %-28s (%zu checker error(s), as intended)\n",
+                    c.name, delta);
+      }
+    } else if (delta != 0) {
+      std::printf("FAIL %-28s %zu secret-dependent branch/index "
+                  "report(s)\n", c.name, delta);
+      ++undetected;  // reuse the counter: any delta here is a failure
+    } else {
+      std::printf("ok   %-28s\n", c.name);
+    }
+  }
+  std::printf("%d ran, %d skipped, backend=%s, taint %s\n", ran, skipped,
+              ct::TaintBackendName(),
+              ct::TaintActive() ? "ACTIVE" : "inactive");
+  return undetected == 0 ? 0 : 1;
+}
+
+int CtCheckMain(int argc, char** argv) {
+  bool require_taint = false;
+  bool negative = false;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-taint") {
+      require_taint = true;
+    } else if (arg == "--negative-controls") {
+      negative = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: ct_check [--require-taint] [--negative-controls] "
+                   "[--list]\n");
+      return 2;
+    }
+  }
+
+  auto cases = negative ? NegativeControlCases() : MustBeConstantTimeCases();
+  if (list_only) {
+    for (const auto& c : cases) {
+      std::printf("%s%s%s\n", c.name, c.skip_reason.empty() ? "" : " SKIP: ",
+                  c.skip_reason.c_str());
+    }
+    return 0;
+  }
+
+  if (require_taint && !ct::TaintActive()) {
+    std::fprintf(
+        stderr,
+        "ct_check: taint backend '%s' is not active in this run "
+        "(build with clang -fsanitize=memory, or run under valgrind with "
+        "the valgrind headers compiled in); refusing --require-taint\n",
+        ct::TaintBackendName());
+    return 2;
+  }
+  if (!ct::TaintActive()) {
+    std::printf(
+        "ct_check: no active taint backend — running as a functional "
+        "smoke test only\n");
+  }
+  return RunCases(cases, negative);
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main(int argc, char** argv) { return sdbenc::CtCheckMain(argc, argv); }

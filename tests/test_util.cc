@@ -191,6 +191,44 @@ TEST(ConstantTimeTest, EqualsBehaviour) {
   EXPECT_TRUE(ConstantTimeEquals(Bytes(), Bytes()));
 }
 
+TEST(ConstantTimeTest, EqualsEmptyAgainstNonEmpty) {
+  const Bytes tag = BytesFromString("tag");
+  EXPECT_FALSE(ConstantTimeEquals(Bytes(), tag));
+  EXPECT_FALSE(ConstantTimeEquals(tag, Bytes()));
+  // Zero-length views over distinct non-null storage are still equal.
+  EXPECT_TRUE(ConstantTimeEquals(BytesView(tag).substr(0, 0),
+                                 BytesView(tag).substr(3)));
+}
+
+TEST(ConstantTimeTest, EqualsLengthMismatchAlwaysDiffers) {
+  // A shorter buffer whose bytes are a prefix (or zero-extension) of the
+  // longer one must still compare unequal — the length delta alone decides.
+  const Bytes full(16, 0xab);
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(ConstantTimeEquals(BytesView(full).substr(0, len), full))
+        << "prefix length " << len;
+  }
+  // Zero padding the short side internally must not fabricate equality
+  // with trailing zero bytes on the long side.
+  const Bytes zeros(16, 0);
+  EXPECT_FALSE(ConstantTimeEquals(BytesView(zeros).substr(0, 8), zeros));
+}
+
+TEST(ConstantTimeTest, EqualsSingleByteDifferenceAtEveryOffset) {
+  // Flipping one bit at each offset must flip the verdict: guards against
+  // an implementation that drops, masks or wraps part of the accumulator.
+  const Bytes base(32, 0x5c);
+  for (size_t i = 0; i < base.size(); ++i) {
+    for (uint8_t bit = 1; bit != 0; bit = static_cast<uint8_t>(bit << 1)) {
+      Bytes tweaked = base;
+      tweaked[i] ^= bit;
+      EXPECT_FALSE(ConstantTimeEquals(base, tweaked))
+          << "offset " << i << " bit " << static_cast<int>(bit);
+    }
+  }
+  EXPECT_TRUE(ConstantTimeEquals(base, Bytes(base)));
+}
+
 TEST(ConstantTimeTest, SecureWipeZeroisesAndClears) {
   Bytes key = BytesFromString("very secret key material");
   SecureWipe(key);
