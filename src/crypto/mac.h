@@ -21,8 +21,10 @@ class MessageAuthenticator {
   virtual std::string name() const = 0;
   virtual Bytes Compute(BytesView message) const = 0;
 
-  /// Constant-time tag verification.
-  bool Verify(BytesView message, BytesView tag) const;
+  /// Constant-time tag verification. [[nodiscard]]: ignoring the verdict
+  /// of a tag check is exactly the forgery-acceptance bug the paper's §3
+  /// verify-oracle attacks exploit.
+  [[nodiscard]] bool Verify(BytesView message, BytesView tag) const;
 };
 
 /// Textbook CBC-MAC with zero IV and *no* domain separation: tag = last CBC

@@ -9,7 +9,8 @@ namespace sdbenc {
 /// byte of both inputs; returns false on length mismatch. Use this — never
 /// operator== — for authentication-tag and checksum verification, so that a
 /// verification oracle does not leak the position of the first mismatch.
-bool ConstantTimeEquals(BytesView a, BytesView b);
+/// [[nodiscard]]: a dropped verdict means a tag check that cannot fail.
+[[nodiscard]] bool ConstantTimeEquals(BytesView a, BytesView b);
 
 /// Best-effort zeroisation of key material that should not linger in memory
 /// (paper threat model: keys are handed to the server for the session and

@@ -35,7 +35,11 @@ const char* StatusCodeToString(StatusCode code);
 /// exceptions (the database-domain style guides for this project forbid
 /// them). A `Status` is either OK or holds a code plus a human-readable
 /// message describing what failed.
-class Status {
+///
+/// [[nodiscard]] is part of the error contract (DESIGN §11): a dropped
+/// Status is a swallowed failure, so every producer's result must be
+/// consumed — returned, tested, or explicitly voided with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

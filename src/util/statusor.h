@@ -12,8 +12,11 @@ namespace sdbenc {
 /// Holds either a value of type `T` or a non-OK `Status` explaining why the
 /// value is absent. Accessing `value()` on an error-state object aborts;
 /// callers must check `ok()` first (or use SDBENC_ASSIGN_OR_RETURN).
+///
+/// [[nodiscard]] as on Status: discarding a StatusOr discards both the
+/// value and the error explaining its absence.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Constructing from an OK status is a
   /// programming error and aborts.
