@@ -16,9 +16,16 @@ plus the integer shape parameters (entries/order/threads/buffer_bytes), so a
 changed configuration shows up as missing/new rather than as a bogus delta.
 
 Exit status: non-zero when a baseline row is absent from the current output
-(a bench silently dropped coverage) or the input contains no JSON rows.
-Performance deltas are informational — wall-clock numbers depend on the
-machine, so regressions are reported, not enforced.
+(a bench silently dropped coverage), when the input contains no JSON rows,
+or when a parallel-scaling row regresses (see below). Other performance
+deltas are informational — wall-clock numbers depend on the machine, so
+they are reported, not enforced.
+
+Scaling enforcement: `bulk_load_threads` rows at 8 threads carry a
+`speedup` field measuring how much the group-commit WAL buys over the
+single-thread durable load. Absolute times move with the machine, but the
+*ratio* is a property of the design (N commits sharing one fsync window),
+so an 8-thread speedup below --min-speedup8 (default 3.0) fails the run.
 """
 
 import argparse
@@ -78,6 +85,30 @@ def format_delta(field, base, cur):
     return f"{field}: {base:g} -> {cur:g} ({pct:+.1f}%)"
 
 
+def check_scaling(rows, min_speedup8):
+    """Returns True (= failure) when an 8-thread bulk_load_threads row
+    scales worse than min_speedup8, or its page-file image differs from the
+    single-thread one (image_identical emitted by the bench)."""
+    failed = False
+    for row in rows:
+        if row.get("bench") != "bulk_load_threads":
+            continue
+        if row.get("image_identical") == 0:
+            print(f"error: page-file image differs across thread counts: "
+                  f"{row}", file=sys.stderr)
+            failed = True
+        if row.get("threads") != 8:
+            continue
+        speedup = row.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            continue
+        if min_speedup8 > 0 and speedup < min_speedup8:
+            print(f"error: 8-thread durable bulk load speedup regressed: "
+                  f"{speedup:.2f}x < {min_speedup8:.1f}x", file=sys.stderr)
+            failed = True
+    return failed
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON file")
@@ -85,6 +116,9 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current output "
                          "instead of comparing")
+    ap.add_argument("--min-speedup8", type=float, default=3.0,
+                    help="minimum acceptable bulk_load_threads speedup at "
+                         "8 threads (0 disables the check)")
     args = ap.parse_args()
 
     if args.current:
@@ -133,13 +167,17 @@ def main():
           f"missing vs baseline")
     for k in new:
         print(f"  new: {dict(k)}")
+
+    failed = False
     if missing:
         for k in missing:
             print(f"  MISSING: {dict(k)}", file=sys.stderr)
         print("error: baseline rows absent from current output (bench "
               "coverage shrank?)", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+
+    failed |= check_scaling(current, args.min_speedup8)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

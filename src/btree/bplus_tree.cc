@@ -1,6 +1,7 @@
 #include "btree/bplus_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "db/serialize.h"
@@ -281,58 +282,120 @@ StatusOr<BPlusTree::SplitResult> BPlusTree::InsertRec(int node_id,
 }
 
 Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
-                           const Parallelism& par) {
+                           const Parallelism& par,
+                           BulkLoadTimings* timings) {
   if (num_entries_ != 0 || pager_.size() != 1) {
     return FailedPreconditionError("BulkLoad requires an empty tree");
   }
   if (pairs.empty()) return OkStatus();
 
-  std::sort(pairs.begin(), pairs.end(),
-            [](const std::pair<Bytes, uint64_t>& a,
-               const std::pair<Bytes, uint64_t>& b) {
-              const int c = CompareBytes(a.first, b.first);
-              if (c != 0) return c < 0;
-              return a.second < b.second;
-            });
+  const auto ms_between = [](std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  const auto sort_start = std::chrono::steady_clock::now();
+
+  const auto less = [](const std::pair<Bytes, uint64_t>& a,
+                       const std::pair<Bytes, uint64_t>& b) {
+    const int c = CompareBytes(a.first, b.first);
+    if (c != 0) return c < 0;
+    return a.second < b.second;
+  };
+  const size_t workers = par.Resolve();
+  if (workers > 1 && pairs.size() > 4096) {
+    // Chunked parallel sort + serial pairwise merge. The comparator is a
+    // total order over distinct elements (equal elements are bitwise
+    // identical pairs), so the sorted sequence — and therefore the whole
+    // tree — is the same at every thread count.
+    const size_t chunk = (pairs.size() + workers - 1) / workers;
+    SDBENC_RETURN_IF_ERROR(ParallelFor(
+        workers, /*grain=*/1, par,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t w = begin; w < end; ++w) {
+            const size_t lo = w * chunk;
+            if (lo >= pairs.size()) continue;
+            const size_t hi = std::min(lo + chunk, pairs.size());
+            std::sort(pairs.begin() + lo, pairs.begin() + hi, less);
+          }
+          return OkStatus();
+        }));
+    for (size_t width = chunk; width < pairs.size(); width *= 2) {
+      for (size_t lo = 0; lo + width < pairs.size(); lo += 2 * width) {
+        const size_t hi = std::min(lo + 2 * width, pairs.size());
+        std::inplace_merge(pairs.begin() + lo, pairs.begin() + width + lo,
+                           pairs.begin() + hi, less);
+      }
+    }
+  } else {
+    std::sort(pairs.begin(), pairs.end(), less);
+  }
+
+  const auto build_start = std::chrono::steady_clock::now();
+  if (timings != nullptr) {
+    timings->sort_ms = ms_between(sort_start, build_start);
+  }
 
   // Plaintext entries per node, written back (encoded) once the structure
   // is final. Parallel to the pager's slots.
   std::vector<std::vector<IndexEntryPlain>> plains_by_node;
   pager_.Reset();
 
-  // ---- leaf level ----
+  // ---- leaf level: parallel runs ----
+  // The leaf partition is pure arithmetic over the sorted input — leaf i
+  // holds entries [i*order, ...) with entry refs assigned contiguously
+  // from the partition — so after a serial id/pointer pre-pass each run is
+  // built independently. The serial path falls out of ParallelFor at 1.
   struct LevelNode {
     int id;
-    Bytes min_key;      // composite minimum of the subtree
+    Bytes min_key;  // composite minimum of the subtree
     uint64_t min_row;
   };
   std::vector<LevelNode> level;
   const size_t per_leaf = order_;
-  for (size_t off = 0; off < pairs.size(); off += per_leaf) {
-    const size_t n = std::min(per_leaf, pairs.size() - off);
-    const int id = pager_.Alloc();
-    SDBENC_ASSIGN_OR_RETURN(BTreeNode * node, pager_.Mut(id));
-    node->leaf = true;
-    std::vector<IndexEntryPlain> plains;
-    for (size_t i = 0; i < n; ++i) {
-      IndexEntryPlain plain;
-      plain.key = std::move(pairs[off + i].first);
-      plain.table_row = pairs[off + i].second;
-      node->refs.push_back(next_entry_ref_++);
-      node->stored.push_back(Bytes());
-      plains.push_back(std::move(plain));
-    }
-    if (!level.empty()) {
-      SDBENC_ASSIGN_OR_RETURN(BTreeNode * prev, pager_.Mut(level.back().id));
-      prev->next = id;
-    }
-    level.push_back(LevelNode{id, plains.front().key,
-                              plains.front().table_row});
-    plains_by_node.push_back(std::move(plains));
+  const size_t leaf_count = (pairs.size() + per_leaf - 1) / per_leaf;
+  std::vector<int> leaf_ids(leaf_count);
+  std::vector<BTreeNode*> leaf_nodes(leaf_count);
+  for (size_t i = 0; i < leaf_count; ++i) {
+    leaf_ids[i] = pager_.Alloc();
+    SDBENC_ASSIGN_OR_RETURN(leaf_nodes[i], pager_.Mut(leaf_ids[i]));
+  }
+  plains_by_node.resize(leaf_count);
+  const uint64_t ref_base = next_entry_ref_;
+  SDBENC_RETURN_IF_ERROR(ParallelFor(
+      leaf_count, /*grain=*/1, par,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t li = begin; li < end; ++li) {
+          const size_t off = li * per_leaf;
+          const size_t n = std::min(per_leaf, pairs.size() - off);
+          BTreeNode* node = leaf_nodes[li];
+          node->leaf = true;
+          node->next = li + 1 < leaf_count ? leaf_ids[li + 1] : -1;
+          std::vector<IndexEntryPlain>& plains = plains_by_node[li];
+          node->refs.reserve(n);
+          node->stored.resize(n);
+          plains.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            IndexEntryPlain plain;
+            plain.key = std::move(pairs[off + i].first);
+            plain.table_row = pairs[off + i].second;
+            node->refs.push_back(ref_base + off + i);
+            plains.push_back(std::move(plain));
+          }
+        }
+        return OkStatus();
+      }));
+  next_entry_ref_ = ref_base + pairs.size();
+  level.reserve(leaf_count);
+  for (size_t i = 0; i < leaf_count; ++i) {
+    level.push_back(LevelNode{leaf_ids[i], plains_by_node[i].front().key,
+                              plains_by_node[i].front().table_row});
   }
   num_entries_ = pairs.size();
 
-  // ---- inner levels ----
+  // ---- inner levels: serial stitch ----
+  // Each level is a 1/order fraction of the one below, so the stitch is
+  // cheap; keeping it serial keeps the borrow-one fixup (below) and the
+  // separator ref assignment trivially deterministic.
   while (level.size() > 1) {
     std::vector<LevelNode> parent_level;
     const size_t per_inner = order_ + 1;  // children per inner node
@@ -390,6 +453,16 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
   root_ = level.front().id;
 
   // ---- encode everything exactly once ----
+  const auto encode_start = std::chrono::steady_clock::now();
+  if (timings != nullptr) {
+    timings->build_ms = ms_between(build_start, encode_start);
+  }
+  const auto record_encode_ms = [&] {
+    if (timings != nullptr) {
+      timings->encode_ms =
+          ms_between(encode_start, std::chrono::steady_clock::now());
+    }
+  };
   if (par.Resolve() > 1 && codec_->supports_stateless_encode()) {
     // Serial pre-pass: pin each node and draw each entry's randomness in
     // exactly the order the serial WriteBack loop would consume it, so the
@@ -430,12 +503,14 @@ Status BPlusTree::BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
         }));
     encode_calls_.fetch_add(total_entries, std::memory_order_relaxed);
     EntryEncodesMetric()->Add(total_entries);
+    record_encode_ms();
     return OkStatus();
   }
   for (size_t id = 0; id < pager_.size(); ++id) {
     SDBENC_RETURN_IF_ERROR(WriteBack(static_cast<int>(id),
                                      plains_by_node[id], RefISnapshot{}));
   }
+  record_encode_ms();
   return OkStatus();
 }
 

@@ -48,18 +48,32 @@ class BPlusTree {
   /// Inserts a (key, table_row) pair.
   Status Insert(BytesView key, uint64_t table_row);
 
+  /// Per-phase wall time of one BulkLoad, for benches attributing where a
+  /// load spends its time (crypto vs. structure).
+  struct BulkLoadTimings {
+    double sort_ms = 0.0;    ///< chunked sort + merge of the input pairs
+    double build_ms = 0.0;   ///< leaf runs + inner-level stitch
+    double encode_ms = 0.0;  ///< AEAD encode of every entry
+  };
+
   /// Builds the whole tree bottom-up from (key, table_row) pairs in one
   /// pass. Requires an empty tree; the input is sorted internally. Every
   /// entry is encrypted exactly once — no split-triggered re-encryptions —
   /// which makes this the cheap path for initial loads under
   /// structure-binding codecs (the benches quantify the saving).
   ///
-  /// When the codec supports stateless encoding, the final encode pass runs
-  /// node-parallel at `par`: per-entry randomness is pre-drawn serially in
-  /// the exact order the serial pass would draw it, so the stored entries
-  /// are byte-identical at every thread count.
+  /// The load parallelises at `par` in three places while staying
+  /// byte-identical at every thread count: the input sort (deterministic
+  /// chunking + serial merge — the comparator is a total order, so the
+  /// sorted sequence is unique), the leaf-run construction (entry refs are
+  /// assigned arithmetically from the partition, so each leaf is
+  /// independent), and — when the codec supports stateless encoding — the
+  /// final encode pass (per-entry randomness pre-drawn serially in the
+  /// exact order the serial pass would draw it). Internal levels are
+  /// stitched serially; they are a 1/order fraction of the work.
   Status BulkLoad(std::vector<std::pair<Bytes, uint64_t>> pairs,
-                  const Parallelism& par = Parallelism());
+                  const Parallelism& par = Parallelism(),
+                  BulkLoadTimings* timings = nullptr);
 
   /// Returns the table rows of all entries with exactly this key.
   StatusOr<std::vector<uint64_t>> Find(BytesView key) const;

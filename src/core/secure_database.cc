@@ -53,8 +53,18 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
     return db;
   }
 
+  // The WAL key sits under the master-key hierarchy like every other
+  // subkey, so the log leaks no more than the pages it shadows.
+  FileStorageEngine::Options engine_options;
+  engine_options.page_size = storage.page_size;
+  engine_options.pool_pages = storage.buffer_pool_pages;
+  engine_options.stripes = storage.stripes;
+  engine_options.enable_wal = storage.enable_wal;
+  engine_options.group_commit_window_us = storage.group_commit_window_us;
+  if (storage.enable_wal) engine_options.wal_key = db->DeriveKey("wal");
+
   StatusOr<std::unique_ptr<FileStorageEngine>> reopened =
-      FileStorageEngine::Open(storage.path, storage.buffer_pool_pages);
+      FileStorageEngine::Open(storage.path, engine_options);
   if (reopened.ok()) {
     db->engine_ = std::move(reopened).value();
     db->records_ = std::make_unique<RecordStore>(db->engine_.get());
@@ -65,10 +75,9 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
       reopened.status().code() != StatusCode::kNotFound) {
     return reopened.status();
   }
-  SDBENC_ASSIGN_OR_RETURN(
-      std::unique_ptr<FileStorageEngine> fresh,
-      FileStorageEngine::Create(storage.path, storage.page_size,
-                                storage.buffer_pool_pages));
+  SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<FileStorageEngine> fresh,
+                          FileStorageEngine::Create(storage.path,
+                                                    engine_options));
   db->engine_ = std::move(fresh);
   db->records_ = std::make_unique<RecordStore>(db->engine_.get());
   SDBENC_ASSIGN_OR_RETURN(db->keycheck_, db->MakeKeycheckToken());
@@ -540,7 +549,11 @@ Status SecureDatabase::WriteCatalog(BinaryWriter& w,
   return OkStatus();
 }
 
-Status SecureDatabase::Flush() {
+// Pushes everything changed since the last flush — dirty rows, dirty index
+// nodes, the catalog — into the engine's pages (and, on a WAL-backed
+// engine, into the log). Durability is the caller's next step: Flush()
+// checkpoints, CommitDurable() group-commits.
+Status SecureDatabase::FlushToEngine() {
   SDBENC_RETURN_IF_ERROR(CheckOpen());
   for (const auto& state : tables_) {
     SDBENC_RETURN_IF_ERROR(
@@ -559,7 +572,17 @@ Status SecureDatabase::Flush() {
                                             catalog.data()));
   }
   engine_->set_root_record(catalog_record_);
+  return OkStatus();
+}
+
+Status SecureDatabase::Flush() {
+  SDBENC_RETURN_IF_ERROR(FlushToEngine());
   return engine_->Flush();
+}
+
+Status SecureDatabase::CommitDurable() {
+  SDBENC_RETURN_IF_ERROR(FlushToEngine());
+  return engine_->CommitBatch();
 }
 
 Status SecureDatabase::LoadCatalog() {

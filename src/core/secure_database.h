@@ -118,6 +118,14 @@ class SecureDatabase {
   /// no-op workload flushes no pages at all.
   Status Flush();
 
+  /// Group-commit variant of Flush(): pushes the same dirty state into the
+  /// engine's pages but makes it durable through the engine's write-ahead
+  /// log (one fsync shared by every thread committing in the same window)
+  /// instead of a full checkpoint. On engines without a WAL this degrades
+  /// to Flush(). The cheap way to make each batch of a long load
+  /// crash-safe; call Flush() once at the end to checkpoint.
+  Status CommitDurable();
+
   /// Writes a complete page-file image of the session to `path` (built
   /// next to it, then atomically renamed). Only ciphertext and public
   /// structure touch the disk; the master key is never written. For a
@@ -253,6 +261,11 @@ class SecureDatabase {
                          const Parallelism& par = Parallelism());
 
   Status CheckOpen() const;
+
+  /// Shared body of Flush()/CommitDurable(): persists dirty rows, dirty
+  /// index nodes and the catalog into the engine's pages, leaving the
+  /// durability step (checkpoint vs. group commit) to the caller.
+  Status FlushToEngine();
 
   /// The keycheck token: a constant AEAD-encrypted under a dedicated
   /// subkey. Verifying it on open rejects a wrong master key with

@@ -28,6 +28,10 @@ class BufferPool {
     Bytes data;
     bool dirty = false;
     uint32_t pins = 0;
+    /// LSN of the last WAL record describing this frame's content; the
+    /// engine forces the log durable past it before writing the frame back
+    /// (write-ahead rule). 0 = no pending log record.
+    uint64_t wal_lsn = 0;
   };
 
   explicit BufferPool(size_t capacity)

@@ -1,5 +1,9 @@
 #include "storage/file_storage_engine.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -15,7 +19,7 @@ namespace {
 // Registry mirrors of the per-engine StorageStats counters (DESIGN §8).
 // The struct stays — tests and benches compare engines — while the registry
 // aggregates across every engine in the process and adds the I/O byte
-// counters and the fault-latency histogram the struct never had.
+// counters and the latency histograms the struct never had.
 struct StorageMetrics {
   obs::Counter* page_reads;
   obs::Counter* page_writes;
@@ -26,6 +30,7 @@ struct StorageMetrics {
   obs::Counter* read_bytes;
   obs::Counter* write_bytes;
   obs::Histogram* fault_ns;
+  obs::Histogram* stripe_wait_ns;
 };
 
 const StorageMetrics& Metrics() {
@@ -39,6 +44,7 @@ const StorageMetrics& Metrics() {
       obs::Registry().GetCounter("sdbenc_storage_read_bytes_total"),
       obs::Registry().GetCounter("sdbenc_storage_write_bytes_total"),
       obs::Registry().GetHistogram("sdbenc_storage_fault_ns"),
+      obs::Registry().GetHistogram("sdbenc_storage_stripe_wait_ns"),
   };
   return m;
 }
@@ -56,107 +62,241 @@ Bytes Checksum(BytesView data) {
   return digest;
 }
 
-long PageOffset(PageId id, size_t page_size) {
-  return static_cast<long>(kHeaderSize +
-                           id * (kChecksumLen + page_size));
+uint64_t PageOffset(PageId id, size_t page_size) {
+  return kHeaderSize + id * (kChecksumLen + page_size);
+}
+
+size_t AutoStripes(size_t pool_pages) {
+  // One stripe per 8 pool pages, capped: tiny pools (the eviction-stress
+  // configurations in the tests) collapse to a single stripe so their
+  // hit/eviction sequences match the unsharded engine exactly.
+  const size_t stripes = pool_pages / 8;
+  if (stripes <= 1) return 1;
+  return stripes > 64 ? 64 : stripes;
+}
+
+Status FullPread(int fd, uint8_t* data, size_t len, uint64_t offset,
+                 const char* what) {
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, data, len, static_cast<off_t>(offset));
+    if (n <= 0) {
+      return InternalError(std::string(what) + " failed" +
+                           (n < 0 ? std::string(": ") + std::strerror(errno)
+                                  : std::string(": short read")));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FullPwrite(int fd, const uint8_t* data, size_t len, uint64_t offset,
+                  const char* what) {
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, data, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      return InternalError(std::string(what) + " failed: " +
+                           std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return OkStatus();
 }
 
 }  // namespace
 
+FileStorageEngine::FileStorageEngine(int fd, const std::string& path,
+                                     const Options& options)
+    : fd_(fd), path_(path), page_size_(options.page_size) {
+  const size_t pool_pages =
+      options.pool_pages == 0 ? 1 : options.pool_pages;
+  const size_t stripe_count =
+      options.stripes == 0 ? AutoStripes(pool_pages) : options.stripes;
+  pool_capacity_ = 0;
+  stripes_.reserve(stripe_count);
+  for (size_t i = 0; i < stripe_count; ++i) {
+    size_t capacity = pool_pages / stripe_count +
+                      (i < pool_pages % stripe_count ? 1 : 0);
+    if (capacity == 0) capacity = 1;
+    pool_capacity_ += capacity;
+    stripes_.push_back(std::make_unique<Stripe>(capacity));
+  }
+}
+
 FileStorageEngine::~FileStorageEngine() {
-  if (file_ != nullptr) std::fclose(file_);
+  wal_.reset();  // joins the committer before the fd goes away
+  if (fd_ >= 0) ::close(fd_);
 }
 
 StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Create(
     const std::string& path, size_t page_size, size_t pool_pages) {
-  if (page_size < 64 || page_size > (1u << 24)) {
+  Options options;
+  options.page_size = page_size;
+  options.pool_pages = pool_pages;
+  return Create(path, options);
+}
+
+StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Create(
+    const std::string& path, const Options& options) {
+  if (options.page_size < 64 || options.page_size > (1u << 24)) {
     return InvalidArgumentError("unreasonable page size");
   }
-  std::FILE* file = std::fopen(path.c_str(), "wb+");
-  if (file == nullptr) {
+  const int fd = ::open(path.c_str(),
+                        O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
     return InternalError("cannot create page file '" + path + "'");
   }
   auto engine = std::unique_ptr<FileStorageEngine>(
-      new FileStorageEngine(file, page_size, pool_pages));
+      new FileStorageEngine(fd, path, options));
   SDBENC_RETURN_IF_ERROR(engine->WriteHeader());
+  if (options.enable_wal) {
+    WalOptions wal_options;
+    wal_options.key = options.wal_key;
+    wal_options.aead = options.wal_aead;
+    wal_options.group_commit_window_us = options.group_commit_window_us;
+    SDBENC_ASSIGN_OR_RETURN(
+        engine->wal_, WriteAheadLog::Create(path + ".wal",
+                                            options.page_size, wal_options));
+  }
   return engine;
 }
 
 StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Open(
     const std::string& path, size_t pool_pages) {
-  std::FILE* file = std::fopen(path.c_str(), "rb+");
-  if (file == nullptr) {
+  Options options;
+  options.pool_pages = pool_pages;
+  return OpenImpl(path, options);
+}
+
+StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Open(
+    const std::string& path, const Options& options) {
+  return OpenImpl(path, options);
+}
+
+StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::OpenImpl(
+    const std::string& path, const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
     return NotFoundError("cannot open page file '" + path + "'");
   }
   uint8_t header[kHeaderSize];
-  if (std::fread(header, 1, kHeaderSize, file) != kHeaderSize) {
-    std::fclose(file);
+  const ssize_t got = ::pread(fd, header, kHeaderSize, 0);
+  if (got != static_cast<ssize_t>(kHeaderSize)) {
+    ::close(fd);
     return ParseError("page file shorter than its header");
   }
   if (std::memcmp(header, kMagic, kMagicLen) != 0) {
-    std::fclose(file);
+    ::close(fd);
     return ParseError("bad page file magic");
   }
   const Bytes expected = Checksum(BytesView(header, kHeaderBodyLen));
   if (!ConstantTimeEquals(BytesView(header + kHeaderBodyLen, kChecksumLen),
                           expected)) {
-    std::fclose(file);
+    ::close(fd);
     return AuthenticationFailedError("page file header checksum mismatch");
   }
   const uint32_t page_size = GetUint32Be(header + 8);
   if (page_size < 64 || page_size > (1u << 24)) {
-    std::fclose(file);
+    ::close(fd);
     return ParseError("unreasonable page size in page file header");
   }
+  Options resolved = options;
+  resolved.page_size = page_size;
   auto engine = std::unique_ptr<FileStorageEngine>(
-      new FileStorageEngine(file, page_size, pool_pages));
-  engine->num_pages_ = GetUint64Be(header + 16);
+      new FileStorageEngine(fd, path, resolved));
+  engine->num_pages_.store(GetUint64Be(header + 16),
+                           std::memory_order_relaxed);
   engine->free_head_ = GetUint64Be(header + 24);
-  engine->root_record_ = GetUint64Be(header + 32);
+  engine->root_record_.store(GetUint64Be(header + 32),
+                             std::memory_order_relaxed);
+  if (options.enable_wal) {
+    WalOptions wal_options;
+    wal_options.key = options.wal_key;
+    wal_options.aead = options.wal_aead;
+    wal_options.group_commit_window_us = options.group_commit_window_us;
+    // If a crash left a log behind, the file image may be behind it:
+    // replay before anything reads a page.
+    SDBENC_ASSIGN_OR_RETURN(
+        const WalRecoveredState recovered,
+        WriteAheadLog::Replay(path + ".wal", page_size, wal_options));
+    SDBENC_RETURN_IF_ERROR(engine->ApplyRecovery(recovered));
+    SDBENC_ASSIGN_OR_RETURN(
+        engine->wal_,
+        WriteAheadLog::Create(path + ".wal", page_size, wal_options));
+    engine->checkpoint_pages_ =
+        engine->num_pages_.load(std::memory_order_relaxed);
+  }
   return engine;
 }
 
-// The three disk helpers touch only file_ (plus immutable page_size_): the
-// caller serialises them with io_mu_ — except during construction, before
-// the engine is shared. WriteHeader additionally reads the metadata, so its
-// callers hold mu_ too.
+// Single-threaded (called from OpenImpl before the engine is shared). The
+// recovered afterimages/restores are written straight to the file, then
+// the header is brought up to the committed metadata and the whole image
+// fsynced — only after that does the caller truncate the log, so a crash
+// during recovery just replays again.
+Status FileStorageEngine::ApplyRecovery(const WalRecoveredState& recovered) {
+  if (!recovered.has_commit && recovered.pages.empty() &&
+      recovered.restores.empty()) {
+    return OkStatus();
+  }
+  for (const auto& [id, image] : recovered.restores) {
+    SDBENC_RETURN_IF_ERROR(WritePageToDisk(id, image));
+  }
+  for (const auto& [id, image] : recovered.pages) {
+    SDBENC_RETURN_IF_ERROR(WritePageToDisk(id, image));
+  }
+  if (recovered.has_commit) {
+    num_pages_.store(recovered.meta.num_pages, std::memory_order_relaxed);
+    free_head_ = recovered.meta.free_head;
+    root_record_.store(recovered.meta.root_record,
+                       std::memory_order_relaxed);
+  }
+  SDBENC_RETURN_IF_ERROR(WriteHeader());
+  if (::fsync(fd_) != 0) {
+    return InternalError("page file fsync failed after WAL replay");
+  }
+  return OkStatus();
+}
+
+// The disk helpers are positional (pread/pwrite) and touch no shared
+// state beyond the fd itself, so they need no lock. WriteHeader
+// additionally reads free_head_, so its callers hold meta_mu_ (or run
+// single-threaded during open/create/recovery).
 Status FileStorageEngine::WriteHeader() {
   uint8_t header[kHeaderSize];
   std::memset(header, 0, kHeaderSize);
   std::memcpy(header, kMagic, kMagicLen);
   PutUint32Be(header + 8, static_cast<uint32_t>(page_size_));
-  PutUint64Be(header + 16, num_pages_);
+  PutUint64Be(header + 16, num_pages_.load(std::memory_order_acquire));
   PutUint64Be(header + 24, free_head_);
-  PutUint64Be(header + 32, root_record_);
+  PutUint64Be(header + 32, root_record_.load(std::memory_order_acquire));
   const Bytes checksum = Checksum(BytesView(header, kHeaderBodyLen));
   std::memcpy(header + kHeaderBodyLen, checksum.data(), kChecksumLen);
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
-    return InternalError("page file header write failed");
-  }
-  return OkStatus();
+  return FullPwrite(fd_, header, kHeaderSize, 0, "page file header write");
 }
 
 Status FileStorageEngine::WritePageToDisk(PageId id, BytesView payload) {
   Metrics().write_bytes->Add(kChecksumLen + payload.size());
   const Bytes checksum = Checksum(payload);
-  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
-      std::fwrite(checksum.data(), 1, kChecksumLen, file_) != kChecksumLen ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size()) {
-    return InternalError("page write failed for page " + std::to_string(id));
-  }
-  return OkStatus();
+  uint8_t sum[kChecksumLen];
+  std::memcpy(sum, checksum.data(), kChecksumLen);
+  const uint64_t offset = PageOffset(id, page_size_);
+  SDBENC_RETURN_IF_ERROR(
+      FullPwrite(fd_, sum, kChecksumLen, offset, "page checksum write"));
+  return FullPwrite(fd_, payload.data(), payload.size(),
+                    offset + kChecksumLen,
+                    "page write");
 }
 
 Status FileStorageEngine::ReadPageFromDisk(PageId id, Bytes* payload) {
   const obs::StageTimer fault_timer(Metrics().fault_ns, "storage.fault");
   Metrics().read_bytes->Add(kChecksumLen + page_size_);
   Bytes raw(kChecksumLen + page_size_);
-  if (std::fseek(file_, PageOffset(id, page_size_), SEEK_SET) != 0 ||
-      std::fread(raw.data(), 1, raw.size(), file_) != raw.size()) {
-    return InternalError("page read failed for page " + std::to_string(id));
-  }
+  SDBENC_RETURN_IF_ERROR(FullPread(fd_, raw.data(), raw.size(),
+                                   PageOffset(id, page_size_), "page read"));
   const BytesView stored_sum(raw.data(), kChecksumLen);
   const BytesView body(raw.data() + kChecksumLen, page_size_);
   if (!ConstantTimeEquals(stored_sum, Checksum(body))) {
@@ -170,66 +310,120 @@ Status FileStorageEngine::ReadPageFromDisk(PageId id, Bytes* payload) {
   return OkStatus();
 }
 
+std::unique_lock<std::mutex> FileStorageEngine::LockStripe(Stripe& stripe) {
+  std::unique_lock<std::mutex> lock(stripe.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const obs::StageTimer wait_timer(Metrics().stripe_wait_ns,
+                                     "storage.stripe_wait");
+    lock.lock();
+  }
+  return lock;
+}
+
 StatusOr<BufferPool::Frame*> FileStorageEngine::InsertFrameLocked(
-    PageId id, Bytes payload, bool dirty) {
-  if (pool_.Full()) {
+    Stripe& stripe, PageId id, Bytes payload, bool dirty) {
+  if (stripe.pool.Full()) {
     BufferPool::Frame victim;
-    SDBENC_RETURN_IF_ERROR(pool_.Evict(&victim));
+    SDBENC_RETURN_IF_ERROR(stripe.pool.Evict(&victim));
     ++stats_.pool_evictions;
     Metrics().pool_evictions->Increment();
     if (victim.dirty) {
       ++stats_.dirty_writebacks;
       Metrics().dirty_writebacks->Increment();
-      const std::lock_guard<std::mutex> io_lock(io_mu_);
+      if (wal_ != nullptr && victim.wal_lsn != 0) {
+        // Write-ahead rule: the log must hold this frame's records
+        // durably before its (possibly uncommitted) bytes land over the
+        // committed image. LRU victims carry old LSNs, so this normally
+        // returns without waiting.
+        SDBENC_RETURN_IF_ERROR(wal_->WaitDurable(victim.wal_lsn));
+      }
+      // Written back while the stripe is still locked: if a concurrent
+      // miss on this page faulted from disk first, it would read bytes
+      // older than the frame it just lost the race to.
       SDBENC_RETURN_IF_ERROR(WritePageToDisk(victim.id, victim.data));
     }
   }
-  return pool_.Insert(id, std::move(payload), dirty);
+  return stripe.pool.Insert(id, std::move(payload), dirty);
 }
 
 StatusOr<BufferPool::Frame*> FileStorageEngine::FetchFrameLocked(
-    PageId id, bool from_disk) {
+    Stripe& stripe, PageId id, bool from_disk) {
   Bytes payload;
   if (from_disk) {
-    const std::lock_guard<std::mutex> io_lock(io_mu_);
     SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
   } else {
     payload.assign(page_size_, 0);
   }
-  return InsertFrameLocked(id, std::move(payload), /*dirty=*/!from_disk);
+  return InsertFrameLocked(stripe, id, std::move(payload),
+                           /*dirty=*/!from_disk);
+}
+
+StatusOr<uint64_t> FileStorageEngine::LogPageWrite(
+    PageId id, const BufferPool::Frame* frame, BytesView after) {
+  bool need_before = false;
+  {
+    const std::lock_guard<std::mutex> lock(wal_mu_);
+    if (id < checkpoint_pages_ && imaged_.insert(id).second) {
+      need_before = true;
+    }
+  }
+  if (need_before) {
+    // First post-checkpoint touch of a checkpointed page: log its
+    // committed content so an uncommitted eviction can be undone. A clean
+    // frame matches disk; a dirty frame cannot occur here (its first
+    // write already imaged the page); otherwise the committed bytes are
+    // on disk. An unreadable disk page means nothing committed lives
+    // there (allocated but never written) — no before-image needed.
+    Bytes before;
+    bool have_before = false;
+    if (frame != nullptr && !frame->dirty) {
+      before = frame->data;
+      have_before = true;
+    } else if (frame == nullptr) {
+      have_before = ReadPageFromDisk(id, &before).ok();
+    }
+    if (have_before) {
+      SDBENC_RETURN_IF_ERROR(wal_->AppendBeforeImage(id, before).status());
+    }
+  }
+  return wal_->AppendPageImage(id, after);
 }
 
 StatusOr<PageId> FileStorageEngine::Allocate() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
   ++stats_.pages_allocated;
   if (free_head_ != kInvalidPageId) {
     const PageId id = free_head_;
     // Follow the free-list link stored in the page's first octets.
     ++stats_.page_reads;
     Metrics().page_reads->Increment();
-    BufferPool::Frame* frame = pool_.Lookup(id);
+    Stripe& stripe = StripeFor(id);
+    const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+    BufferPool::Frame* frame = stripe.pool.Lookup(id);
     if (frame != nullptr) {
       ++stats_.pool_hits;
       Metrics().pool_hits->Increment();
     } else {
       ++stats_.pool_misses;
       Metrics().pool_misses->Increment();
-      SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/true));
+      SDBENC_ASSIGN_OR_RETURN(
+          frame, FetchFrameLocked(stripe, id, /*from_disk=*/true));
     }
     free_head_ = GetUint64Be(frame->data.data());
     return id;
   }
-  return num_pages_++;
+  return num_pages_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status FileStorageEngine::Read(PageId id, Bytes* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
   ++stats_.page_reads;
   Metrics().page_reads->Increment();
-  BufferPool::Frame* frame = pool_.Lookup(id);
+  Stripe& stripe = StripeFor(id);
+  std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  BufferPool::Frame* frame = stripe.pool.Lookup(id);
   if (frame != nullptr) {
     ++stats_.pool_hits;
     Metrics().pool_hits->Increment();
@@ -238,30 +432,27 @@ Status FileStorageEngine::Read(PageId id, Bytes* out) {
   }
   ++stats_.pool_misses;
   Metrics().pool_misses->Increment();
-  // Miss: fault the page in with mu_ dropped, so concurrent misses on other
-  // pages overlap their disk I/O and checksum verification behind io_mu_
-  // instead of serialising the whole engine.
+  // Miss: fault the page in with the stripe unlocked, so concurrent
+  // misses — even inside one stripe — overlap their disk I/O and checksum
+  // verification instead of serialising the stripe.
   lock.unlock();
   Bytes payload;
-  {
-    const std::lock_guard<std::mutex> io_lock(io_mu_);
-    SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
-  }
+  SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
   lock.lock();
   // Another thread may have faulted (or rewritten) the page meanwhile; a
   // resident frame is never staler than our disk copy, so it wins.
-  frame = pool_.Lookup(id);
+  frame = stripe.pool.Lookup(id);
   if (frame == nullptr) {
-    SDBENC_ASSIGN_OR_RETURN(
-        frame, InsertFrameLocked(id, std::move(payload), /*dirty=*/false));
+    SDBENC_ASSIGN_OR_RETURN(frame, InsertFrameLocked(stripe, id,
+                                                     std::move(payload),
+                                                     /*dirty=*/false));
   }
   *out = frame->data;
   return OkStatus();
 }
 
 Status FileStorageEngine::Write(PageId id, BytesView data) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
   if (data.size() > page_size_) {
@@ -269,51 +460,106 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
   }
   ++stats_.page_writes;
   Metrics().page_writes->Increment();
-  BufferPool::Frame* frame = pool_.Lookup(id);
+  Bytes payload(data.begin(), data.end());
+  payload.resize(page_size_, 0);
+  Stripe& stripe = StripeFor(id);
+  const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  BufferPool::Frame* frame = stripe.pool.Lookup(id);
+  uint64_t lsn = 0;
+  if (wal_ != nullptr) {
+    SDBENC_ASSIGN_OR_RETURN(lsn, LogPageWrite(id, frame, payload));
+  }
   if (frame != nullptr) {
     ++stats_.pool_hits;
     Metrics().pool_hits->Increment();
+    frame->data = std::move(payload);
   } else {
     // Whole-page overwrite: no need to fault the old content in from disk.
-    SDBENC_ASSIGN_OR_RETURN(frame, FetchFrameLocked(id, /*from_disk=*/false));
+    SDBENC_ASSIGN_OR_RETURN(
+        frame, InsertFrameLocked(stripe, id, std::move(payload),
+                                 /*dirty=*/true));
   }
-  frame->data.assign(data.begin(), data.end());
-  frame->data.resize(page_size_, 0);
   frame->dirty = true;
+  frame->wal_lsn = lsn;
   return OkStatus();
 }
 
 Status FileStorageEngine::Free(PageId id) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (id >= num_pages_) {
+  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
   ++stats_.pages_freed;
   // Whatever the page held is dead; it becomes a free-list link node.
-  pool_.Drop(id);
   Bytes link(page_size_, 0);
   PutUint64Be(link.data(), free_head_);
-  SDBENC_ASSIGN_OR_RETURN(BufferPool::Frame * frame,
-                          FetchFrameLocked(id, /*from_disk=*/false));
-  frame->data = std::move(link);
+  Stripe& stripe = StripeFor(id);
+  const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  BufferPool::Frame* frame = stripe.pool.Lookup(id);
+  uint64_t lsn = 0;
+  if (wal_ != nullptr) {
+    SDBENC_ASSIGN_OR_RETURN(lsn, LogPageWrite(id, frame, link));
+  }
+  if (frame != nullptr) {
+    frame->data = std::move(link);
+  } else {
+    SDBENC_ASSIGN_OR_RETURN(
+        frame, InsertFrameLocked(stripe, id, std::move(link),
+                                 /*dirty=*/true));
+  }
   frame->dirty = true;
+  frame->wal_lsn = lsn;
   free_head_ = id;
   return OkStatus();
 }
 
-Status FileStorageEngine::Flush() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const std::lock_guard<std::mutex> io_lock(io_mu_);
-  for (BufferPool::Frame& frame : pool_.frames()) {
-    if (!frame.dirty) continue;
-    SDBENC_RETURN_IF_ERROR(WritePageToDisk(frame.id, frame.data));
-    frame.dirty = false;
-    ++stats_.dirty_writebacks;
-    Metrics().dirty_writebacks->Increment();
+Status FileStorageEngine::CommitBatch() {
+  if (wal_ == nullptr) return Flush();
+  WalCommitMeta meta;
+  {
+    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    meta.num_pages = num_pages_.load(std::memory_order_acquire);
+    meta.free_head = free_head_;
+    meta.root_record = root_record_.load(std::memory_order_acquire);
   }
-  SDBENC_RETURN_IF_ERROR(WriteHeader());
-  if (std::fflush(file_) != 0) {
-    return InternalError("page file flush failed");
+  return wal_->Commit(meta);
+}
+
+Status FileStorageEngine::Flush() {
+  // Checkpoint sequence (WAL case): commit the log, write the full image,
+  // fsync it, and only then truncate the log — a crash anywhere in
+  // between replays an idempotent redo. Flush assumes no concurrent
+  // writers when its recovery guarantee matters (SecureDatabase calls it
+  // from its single-threaded control path); racing writers keep the image
+  // consistent but may straddle the checkpoint.
+  if (wal_ != nullptr) {
+    SDBENC_RETURN_IF_ERROR(CommitBatch());
+  }
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    const std::unique_lock<std::mutex> lock = LockStripe(*stripe);
+    for (BufferPool::Frame& frame : stripe->pool.frames()) {
+      if (!frame.dirty) continue;
+      SDBENC_RETURN_IF_ERROR(WritePageToDisk(frame.id, frame.data));
+      frame.dirty = false;
+      frame.wal_lsn = 0;
+      ++stats_.dirty_writebacks;
+      Metrics().dirty_writebacks->Increment();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    SDBENC_RETURN_IF_ERROR(WriteHeader());
+  }
+  if (::fsync(fd_) != 0) {
+    return InternalError("page file fsync failed");
+  }
+  if (wal_ != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(wal_mu_);
+      imaged_.clear();
+      checkpoint_pages_ = num_pages_.load(std::memory_order_acquire);
+    }
+    SDBENC_RETURN_IF_ERROR(wal_->Checkpoint());
   }
   return OkStatus();
 }

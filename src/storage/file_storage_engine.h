@@ -1,19 +1,25 @@
 #ifndef SDBENC_STORAGE_FILE_STORAGE_ENGINE_H_
 #define SDBENC_STORAGE_FILE_STORAGE_ENGINE_H_
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
+#include "aead/factory.h"
 #include "storage/buffer_pool.h"
 #include "storage/storage_engine.h"
+#include "storage/wal/wal.h"
 
 namespace sdbenc {
 
-/// Durable page file behind an LRU buffer pool.
+/// Durable page file behind a striped LRU buffer pool, with an optional
+/// AEAD-sealed write-ahead log for crash recovery.
 ///
-/// On-disk layout:
+/// On-disk layout (unchanged since the unsharded engine — images are
+/// byte-compatible both ways):
 ///
 ///   header (64 octets):
 ///     "SDBPAGE1" | u32 page_size | u32 reserved | u64 num_pages
@@ -29,30 +35,60 @@ namespace sdbenc {
 /// checksum gains nothing: content integrity still rests on the AEAD tags
 /// inside the payload.)
 ///
-/// Writes land in the buffer pool and are marked dirty; they reach the disk
-/// when the frame is evicted or on Flush(). Freed pages are chained into a
-/// free list threaded through their first payload octets and are recycled
-/// by Allocate().
+/// Concurrency: the page table is sharded into N latch stripes keyed by
+/// `PageId % N`, each owning its slice of the buffer pool under its own
+/// mutex; operations on pages in different stripes never contend. All file
+/// I/O is positional (pread/pwrite against one shared fd), so there is no
+/// seek state to serialise — a Read miss faults its page in with the
+/// stripe lock *dropped* and re-checks the pool before inserting (a
+/// resident frame is never staler than disk, so it wins). Engine metadata
+/// (free list head, header writes) lives under a separate `meta_mu_`;
+/// `num_pages_`/`root_record_` are atomics so bounds checks stay
+/// lock-free. Lock order: meta_mu_ -> stripe mutex -> WAL internals;
+/// never the reverse. The one caveat carried over: a Read racing a Write
+/// *to the same page* may return either the old or the new content.
 ///
-/// Thread safety: every operation is safe to call concurrently. Two locks
-/// cover the engine — `mu_` guards the buffer pool, the metadata
-/// (num_pages_/free_head_/root_record_) and the counters; `io_mu_` guards
-/// the FILE* (always acquired after `mu_`, never before it). A Read miss
-/// drops `mu_` around its disk fault so concurrent misses on different
-/// pages overlap their I/O and checksum verification, then re-checks the
-/// pool before inserting. The one caveat: a Read racing a Write *to the
-/// same page* may return either the old or the new content — callers that
-/// need read-your-write ordering on a page must provide it themselves (the
-/// engine's own callers only mix writers on pages no reader touches).
+/// Durability: without a WAL, pages reach disk on eviction and Flush()
+/// (which now also fsyncs). With `Options::enable_wal`, every page write
+/// is first sealed into `path + ".wal"`; CommitBatch() group-commits the
+/// log (one fsync amortised over all concurrent writers) instead of
+/// checkpointing the image, Flush() checkpoints (pages + header + fsync,
+/// then truncates the log), and Open() replays the log when the crash left
+/// the image behind it. Dirty evictions respect the write-ahead rule
+/// (force the log past the frame's last record before writeback) and log a
+/// before-image the first time a checkpointed page is overwritten, so an
+/// uncommitted eviction can never destroy committed content.
 class FileStorageEngine : public StorageEngine {
  public:
-  /// Creates a fresh page file at `path`, truncating any existing file.
+  struct Options {
+    size_t page_size = kDefaultPageSize;
+    size_t pool_pages = 256;
+    /// Latch stripe count; 0 = auto (one stripe per 8 pool pages, capped
+    /// at 64 — tiny pools collapse to a single stripe so their eviction
+    /// behaviour matches the unsharded engine exactly).
+    size_t stripes = 0;
+    /// Write-ahead log at `path + ".wal"`; requires `wal_key`.
+    bool enable_wal = false;
+    Bytes wal_key;
+    AeadAlgorithm wal_aead = AeadAlgorithm::kGcm;
+    uint32_t group_commit_window_us = 0;
+  };
+
+  /// Creates a fresh page file at `path`, truncating any existing file
+  /// (and any leftover log).
+  static StatusOr<std::unique_ptr<FileStorageEngine>> Create(
+      const std::string& path, const Options& options);
   static StatusOr<std::unique_ptr<FileStorageEngine>> Create(
       const std::string& path, size_t page_size = kDefaultPageSize,
       size_t pool_pages = 256);
 
   /// Opens an existing page file; fails with kParseError on a bad header
-  /// and kAuthenticationFailed on a header checksum mismatch.
+  /// and kAuthenticationFailed on a header checksum mismatch. With a WAL
+  /// enabled, first replays any log the last crash left behind: committed
+  /// afterimages are applied, orphaned before-images restored, and the
+  /// log reset.
+  static StatusOr<std::unique_ptr<FileStorageEngine>> Open(
+      const std::string& path, const Options& options);
   static StatusOr<std::unique_ptr<FileStorageEngine>> Open(
       const std::string& path, size_t pool_pages = 256);
 
@@ -63,8 +99,7 @@ class FileStorageEngine : public StorageEngine {
 
   size_t page_size() const override { return page_size_; }
   uint64_t num_pages() const override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return num_pages_;
+    return num_pages_.load(std::memory_order_acquire);
   }
 
   StatusOr<PageId> Allocate() override;
@@ -72,60 +107,100 @@ class FileStorageEngine : public StorageEngine {
   Status Write(PageId id, BytesView data) override;
   Status Free(PageId id) override;
 
-  /// Writes back every dirty frame plus the header. After Flush() the file
-  /// is a complete, reopenable image.
+  /// Checkpoint: writes back every dirty frame plus the header, fsyncs,
+  /// and (with a WAL) truncates the log. After Flush() the file is a
+  /// complete, reopenable image that no longer needs the log.
   Status Flush() override;
 
+  /// Durability point: with a WAL, appends a commit record carrying the
+  /// metadata snapshot and group-commits the log — everything written so
+  /// far survives a crash without the full checkpoint. Without a WAL,
+  /// falls back to Flush().
+  Status CommitBatch() override;
+
   void set_root_record(uint64_t record) override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    root_record_ = record;
+    root_record_.store(record, std::memory_order_release);
   }
   uint64_t root_record() const override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return root_record_;
+    return root_record_.load(std::memory_order_acquire);
   }
 
-  /// Counters are maintained under `mu_`; read them only while no other
-  /// thread is inside the engine (benches/tests read after joining).
+  /// Counter fields are relaxed atomics; cross-field consistency only when
+  /// no other thread is inside the engine.
   const StorageStats& stats() const override { return stats_; }
 
-  size_t pool_capacity() const { return pool_.capacity(); }
+  size_t pool_capacity() const { return pool_capacity_; }
+  size_t stripe_count() const { return stripes_.size(); }
+  bool wal_enabled() const { return wal_ != nullptr; }
 
  private:
-  FileStorageEngine(std::FILE* file, size_t page_size, size_t pool_pages)
-      : file_(file), page_size_(page_size), pool_(pool_pages) {}
+  struct Stripe {
+    mutable std::mutex mu;
+    BufferPool pool;
+    explicit Stripe(size_t capacity) : pool(capacity) {}
+  };
 
-  /// Makes room (evicting + writing back a dirty victim under `io_mu_` if
-  /// the pool is full) and inserts `payload` as the frame for `id`.
-  /// Caller holds `mu_`.
-  StatusOr<BufferPool::Frame*> InsertFrameLocked(PageId id, Bytes payload,
-                                                 bool dirty);
+  FileStorageEngine(int fd, const std::string& path, const Options& options);
 
-  /// Faults `id` into the pool (verifying its checksum when it comes from
-  /// disk), evicting if needed. Caller holds `mu_`; the lock is kept across
-  /// the disk I/O — the metadata paths (Allocate/Free/Write) use this, while
-  /// the hot Read-miss path instead drops `mu_` around its fault.
-  StatusOr<BufferPool::Frame*> FetchFrameLocked(PageId id, bool from_disk);
+  static StatusOr<std::unique_ptr<FileStorageEngine>> OpenImpl(
+      const std::string& path, const Options& options);
+  /// Applies a recovered WAL state to the page file (called from OpenImpl
+  /// before any stripe exists, single-threaded).
+  Status ApplyRecovery(const WalRecoveredState& recovered);
+
+  Stripe& StripeFor(PageId id) { return *stripes_[id % stripes_.size()]; }
+  /// Locks a stripe, recording contended waits in the stripe-wait
+  /// histogram (uncontended acquisitions stay clock-free).
+  std::unique_lock<std::mutex> LockStripe(Stripe& stripe);
+
+  /// Makes room in `stripe` (evicting + writing back a dirty victim —
+  /// under the stripe lock, so a concurrent miss on the victim cannot
+  /// fault stale bytes from disk) and inserts `payload` as the frame for
+  /// `id`. Caller holds the stripe lock.
+  StatusOr<BufferPool::Frame*> InsertFrameLocked(Stripe& stripe, PageId id,
+                                                 Bytes payload, bool dirty);
+
+  /// Faults `id` into `stripe` (verifying its checksum when it comes from
+  /// disk), evicting if needed. Caller holds the stripe lock, which is
+  /// kept across the disk I/O — the metadata paths (Allocate/Free/Write)
+  /// use this, while the hot Read-miss path drops the lock around its
+  /// fault instead.
+  StatusOr<BufferPool::Frame*> FetchFrameLocked(Stripe& stripe, PageId id,
+                                                bool from_disk);
+
+  /// WAL hook for a full-page update `id` := `after`, called with the
+  /// stripe lock held. Logs a before-image on the first post-checkpoint
+  /// touch of a checkpointed page (`frame` is the page's current frame or
+  /// nullptr) and the afterimage; returns the afterimage's LSN.
+  StatusOr<uint64_t> LogPageWrite(PageId id, const BufferPool::Frame* frame,
+                                  BytesView after);
 
   Status WritePageToDisk(PageId id, BytesView payload);
   Status ReadPageFromDisk(PageId id, Bytes* payload);
+  /// Caller holds meta_mu_ (or is single-threaded during open/create).
   Status WriteHeader();
 
-  std::FILE* file_;
+  int fd_;
+  std::string path_;
   size_t page_size_;
+  size_t pool_capacity_;
 
-  /// Guards pool_, num_pages_, free_head_, root_record_ and stats_.
-  /// Lock order: mu_ before io_mu_ (io_mu_ alone is fine; never the
-  /// reverse).
-  mutable std::mutex mu_;
-  /// Guards file_ (the stdio stream's seek position is shared state).
-  std::mutex io_mu_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
-  BufferPool pool_;
-  uint64_t num_pages_ = 0;
+  /// Guards free_head_, header writes and WAL checkpoint bookkeeping.
+  /// Lock order: meta_mu_ before any stripe mutex.
+  mutable std::mutex meta_mu_;
+  std::atomic<uint64_t> num_pages_{0};
   PageId free_head_ = kInvalidPageId;
-  uint64_t root_record_ = 0;
+  std::atomic<uint64_t> root_record_{0};
   StorageStats stats_;
+
+  std::unique_ptr<WriteAheadLog> wal_;
+  /// Pages whose checkpoint-time content is already in the log this epoch
+  /// (guarded by wal_mu_, which nests inside stripe locks).
+  std::mutex wal_mu_;
+  std::unordered_set<PageId> imaged_;
+  uint64_t checkpoint_pages_ = 0;
 };
 
 }  // namespace sdbenc

@@ -1,5 +1,7 @@
 #include "storage/memory_storage_engine.h"
 
+#include <utility>
+
 #include "obs/metrics.h"
 
 namespace sdbenc {
@@ -23,11 +25,12 @@ obs::Counter& PageWritesMetric() {
 
 }  // namespace
 
-Status MemoryStorageEngine::CheckId(PageId id) const {
-  if (id >= pages_.size()) {
+Status MemoryStorageEngine::CheckId(const Stripe& stripe, PageId id) const {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
-  if (free_[id]) {
+  const size_t slot = id / kStripes;
+  if (slot >= stripe.pages.size() || stripe.freed[slot] != 0) {
     return FailedPreconditionError("page " + std::to_string(id) +
                                    " has been freed");
   }
@@ -35,49 +38,71 @@ Status MemoryStorageEngine::CheckId(PageId id) const {
 }
 
 StatusOr<PageId> MemoryStorageEngine::Allocate() {
-  const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.pages_allocated;
-  if (!free_list_.empty()) {
-    const PageId id = free_list_.back();
-    free_list_.pop_back();
-    free_[id] = false;
-    return id;
+  PageId id;
+  {
+    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      Stripe& stripe = StripeFor(id);
+      const std::lock_guard<std::mutex> lock(stripe.mu);
+      const size_t slot = id / kStripes;
+      stripe.freed[slot] = 0;
+      stripe.pages[slot].assign(page_size_, 0);
+      return id;
+    }
+    id = num_pages_.load(std::memory_order_relaxed);
+    Stripe& stripe = StripeFor(id);
+    {
+      const std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.pages.emplace_back(page_size_, 0);
+      stripe.freed.push_back(0);
+    }
+    // Published only after the stripe slot exists, so a concurrent reader
+    // that passes the range check always finds its slot.
+    num_pages_.store(id + 1, std::memory_order_release);
   }
-  pages_.push_back(Bytes(page_size_, 0));
-  free_.push_back(false);
-  return static_cast<PageId>(pages_.size() - 1);
+  return id;
 }
 
 Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  SDBENC_RETURN_IF_ERROR(CheckId(id));
+  Stripe& stripe = StripeFor(id);
+  const std::lock_guard<std::mutex> lock(stripe.mu);
+  SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
   ++stats_.page_reads;
   PageReadsMetric().Increment();
-  *out = pages_[id];
+  *out = stripe.pages[id / kStripes];
   return OkStatus();
 }
 
 Status MemoryStorageEngine::Write(PageId id, BytesView data) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  SDBENC_RETURN_IF_ERROR(CheckId(id));
   if (data.size() > page_size_) {
     return InvalidArgumentError("page write larger than page size");
   }
+  Stripe& stripe = StripeFor(id);
+  const std::lock_guard<std::mutex> lock(stripe.mu);
+  SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
   ++stats_.page_writes;
   PageWritesMetric().Increment();
-  Bytes& page = pages_[id];
+  Bytes& page = stripe.pages[id / kStripes];
   page.assign(data.begin(), data.end());
   page.resize(page_size_, 0);
   return OkStatus();
 }
 
 Status MemoryStorageEngine::Free(PageId id) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  SDBENC_RETURN_IF_ERROR(CheckId(id));
-  ++stats_.pages_freed;
-  pages_[id].clear();
-  pages_[id].shrink_to_fit();
-  free_[id] = true;
+  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+  Stripe& stripe = StripeFor(id);
+  {
+    const std::lock_guard<std::mutex> lock(stripe.mu);
+    SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
+    ++stats_.pages_freed;
+    const size_t slot = id / kStripes;
+    stripe.pages[slot].clear();
+    stripe.pages[slot].shrink_to_fit();
+    stripe.freed[slot] = 1;
+  }
   free_list_.push_back(id);
   return OkStatus();
 }

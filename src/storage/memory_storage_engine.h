@@ -1,6 +1,8 @@
 #ifndef SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
 #define SDBENC_STORAGE_MEMORY_STORAGE_ENGINE_H_
 
+#include <array>
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -10,13 +12,15 @@ namespace sdbenc {
 
 /// Pages in process memory — the seed engine's behaviour behind the new
 /// interface. No buffer pool (every page *is* resident), no durability;
-/// Flush() is a no-op. Used as the default session substrate and as the
-/// reference implementation the FileStorageEngine tests compare against.
+/// Flush() is a no-op and CommitBatch() inherits it.
 ///
-/// Thread safety: all operations are serialised under one mutex (there is
-/// no I/O to overlap, so a single lock costs nothing). Like the file
-/// engine, a Read racing a Write to the *same* page returns either the old
-/// or the new content; callers needing that ordering provide it themselves.
+/// Thread safety: pages are sharded over a fixed set of latch stripes
+/// (`id % kStripes`, each stripe owning the vector slice `id / kStripes`),
+/// so reads/writes on different stripes never contend; only the free list
+/// is behind a shared metadata mutex (lock order: meta before stripe).
+/// Like the file engine, a Read racing a Write to the *same* page returns
+/// either the old or the new content; callers needing that ordering
+/// provide it themselves.
 class MemoryStorageEngine : public StorageEngine {
  public:
   explicit MemoryStorageEngine(size_t page_size = kDefaultPageSize)
@@ -24,8 +28,7 @@ class MemoryStorageEngine : public StorageEngine {
 
   size_t page_size() const override { return page_size_; }
   uint64_t num_pages() const override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return pages_.size();
+    return num_pages_.load(std::memory_order_acquire);
   }
 
   StatusOr<PageId> Allocate() override;
@@ -35,28 +38,40 @@ class MemoryStorageEngine : public StorageEngine {
   Status Flush() override { return OkStatus(); }
 
   void set_root_record(uint64_t record) override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    root_record_ = record;
+    root_record_.store(record, std::memory_order_release);
   }
   uint64_t root_record() const override {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return root_record_;
+    return root_record_.load(std::memory_order_acquire);
   }
 
-  /// Counters are maintained under the mutex; read them only while no
-  /// other thread is inside the engine.
+  /// Counter fields are relaxed atomics; cross-field consistency only when
+  /// no other thread is inside the engine.
   const StorageStats& stats() const override { return stats_; }
 
  private:
-  /// Caller holds mu_.
-  Status CheckId(PageId id) const;
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<Bytes> pages;     // slot i holds page i * kStripes + index
+    std::vector<uint8_t> freed;   // parallel to pages
+  };
+
+  Stripe& StripeFor(PageId id) { return stripes_[id % kStripes]; }
+  const Stripe& StripeFor(PageId id) const { return stripes_[id % kStripes]; }
+
+  /// Caller holds the stripe's mutex; checks the id against the allocated
+  /// range and the stripe's freed flags.
+  Status CheckId(const Stripe& stripe, PageId id) const;
 
   size_t page_size_;
-  mutable std::mutex mu_;
-  std::vector<Bytes> pages_;
-  std::vector<bool> free_;       // parallel to pages_
+  std::array<Stripe, kStripes> stripes_;
+
+  /// Guards free_list_. Lock order: meta_mu_ before any stripe mutex.
+  mutable std::mutex meta_mu_;
   std::vector<PageId> free_list_;
-  uint64_t root_record_ = 0;
+  std::atomic<uint64_t> num_pages_{0};
+  std::atomic<uint64_t> root_record_{0};
   StorageStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef SDBENC_STORAGE_PAGE_H_
 #define SDBENC_STORAGE_PAGE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -21,15 +22,20 @@ inline constexpr size_t kDefaultPageSize = 4096;
 /// fields stay zero for engines without one (MemoryStorageEngine); the
 /// benches and the storage tests read these to prove caching/eviction
 /// actually happened.
+///
+/// Fields are relaxed atomics so the striped engines can bump them from
+/// any stripe without a shared lock; cross-field consistency is only
+/// guaranteed when no thread is inside the engine (benches/tests read
+/// after joining).
 struct StorageStats {
-  uint64_t page_reads = 0;        ///< Read() calls served
-  uint64_t page_writes = 0;       ///< Write() calls accepted
-  uint64_t pages_allocated = 0;   ///< Allocate() calls
-  uint64_t pages_freed = 0;       ///< Free() calls
-  uint64_t pool_hits = 0;         ///< reads/writes satisfied from the pool
-  uint64_t pool_misses = 0;       ///< reads that had to touch the backing file
-  uint64_t pool_evictions = 0;    ///< frames evicted to make room
-  uint64_t dirty_writebacks = 0;  ///< evictions/flushes that wrote a page out
+  std::atomic<uint64_t> page_reads{0};        ///< Read() calls served
+  std::atomic<uint64_t> page_writes{0};       ///< Write() calls accepted
+  std::atomic<uint64_t> pages_allocated{0};   ///< Allocate() calls
+  std::atomic<uint64_t> pages_freed{0};       ///< Free() calls
+  std::atomic<uint64_t> pool_hits{0};    ///< reads/writes served by the pool
+  std::atomic<uint64_t> pool_misses{0};  ///< reads that touched the file
+  std::atomic<uint64_t> pool_evictions{0};  ///< frames evicted to make room
+  std::atomic<uint64_t> dirty_writebacks{0};  ///< pages written back out
 };
 
 }  // namespace sdbenc

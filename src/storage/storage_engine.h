@@ -28,6 +28,17 @@ struct StorageOptions {
   /// Buffer-pool capacity in pages (kFile only). Sizing it below the
   /// working set exercises eviction; the stats counters expose the hit rate.
   size_t buffer_pool_pages = 256;
+  /// Number of latch stripes the page table is sharded over (kFile only).
+  /// 0 = auto (scaled from the pool size; tiny pools collapse to one
+  /// stripe so their eviction behaviour matches the unsharded engine).
+  size_t stripes = 0;
+  /// Write-ahead logging for kFile sessions (ignored for kMemory). When
+  /// on, SecureDatabase derives the log key from the master key and
+  /// Open() replays any log left behind by a crash.
+  bool enable_wal = true;
+  /// How long the WAL committer lingers collecting a group-commit batch
+  /// before its fsync, in microseconds. 0 = natural batching only.
+  uint32_t group_commit_window_us = 0;
 
   static StorageOptions Memory() { return StorageOptions{}; }
   static StorageOptions File(std::string file_path,
@@ -54,6 +65,10 @@ struct StorageOptions {
 ///    page_size); Read() returns exactly page_size octets.
 ///  - Free() recycles the page; reading a freed page is undefined.
 ///  - Flush() makes every accepted Write() durable (no-op in memory).
+///  - CommitBatch() is the cheap durability point: engines with a WAL make
+///    everything written so far recoverable (one group-committed fsync of
+///    the log) without checkpointing the page image; engines without one
+///    fall back to Flush().
 ///  - set_root_record()/root_record() persist one u64 bootstrap pointer so
 ///    a reopened file can find its catalog without scanning.
 class StorageEngine {
@@ -68,6 +83,7 @@ class StorageEngine {
   virtual Status Write(PageId id, BytesView data) = 0;
   virtual Status Free(PageId id) = 0;
   virtual Status Flush() = 0;
+  virtual Status CommitBatch() { return Flush(); }
 
   virtual void set_root_record(uint64_t record) = 0;
   virtual uint64_t root_record() const = 0;

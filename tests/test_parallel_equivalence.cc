@@ -4,6 +4,7 @@
 // counterparts, bulk-loaded databases byte-for-byte across thread counts,
 // and VerifyIntegrity verdicts (clean and tampered) at every thread count.
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -223,6 +224,52 @@ TEST(ParallelDatabaseTest, BulkInsertIsByteIdenticalAcrossThreadCounts) {
   for (const size_t threads : {2u, 4u, 8u}) {
     auto db = BuildParallel(threads, kRows);
     EXPECT_EQ(StoredImage(*db), expect) << "threads=" << threads;
+  }
+}
+
+// The strongest form of the guarantee: a *file-backed* session bulk-loaded
+// at N threads and flushed must leave the exact same bytes on disk for
+// every N — pages, header, checksums, everything. Nonce pre-draw plus the
+// deterministic sort/leaf partition make this hold even though each run
+// sealed its entries on a different number of workers.
+TEST(ParallelDatabaseTest, FlushedPageFileIsByteIdenticalAcrossThreadCounts) {
+  const size_t kRows = 160;
+  Bytes reference_image;
+  for (const size_t threads : kThreadSweep) {
+    const std::string path = ::testing::TempDir() +
+                             "/sdbenc_par_equiv_t" +
+                             std::to_string(threads) + ".sdb";
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    {
+      StorageOptions storage = StorageOptions::File(path);
+      auto db =
+          SecureDatabase::Open(Bytes(32, 0x5a), storage, /*rng_seed=*/1234)
+              .value();
+      SecureTableOptions options;
+      options.indexed_columns = {"id", "name"};
+      options.index_order = 8;
+      ASSERT_TRUE(db->CreateTable("t", TestSchema(), options).ok());
+      ASSERT_TRUE(
+          db->BulkInsert("t", TestRows(kRows), Parallelism::Exactly(threads))
+              .ok());
+      ASSERT_TRUE(db->Flush().ok());
+    }
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << "threads=" << threads;
+    std::fseek(f, 0, SEEK_END);
+    Bytes image(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(image.data(), 1, image.size(), f), image.size());
+    std::fclose(f);
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    ASSERT_FALSE(image.empty());
+    if (threads == 1) {
+      reference_image = std::move(image);
+    } else {
+      EXPECT_EQ(image, reference_image) << "threads=" << threads;
+    }
   }
 }
 

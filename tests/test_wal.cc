@@ -1,0 +1,456 @@
+// Write-ahead log: replay correctness (round trip, torn tails, tampering),
+// group-commit concurrency, engine-level recovery, and a fork-based
+// kill-and-reopen harness that crashes a SecureDatabase session at a
+// random point during a committed bulk load and proves no acknowledged
+// batch is ever lost.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/secure_database.h"
+#include "storage/file_storage_engine.h"
+#include "storage/wal/wal.h"
+#include "util/file.h"
+#include "util/rng.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDBENC_TSAN 1
+#endif
+#endif
+
+namespace sdbenc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+WalOptions TestWalOptions() {
+  WalOptions o;
+  o.key = Bytes(16, 0x33);
+  return o;
+}
+
+Bytes PatternPage(size_t page_size, uint8_t seed) {
+  Bytes page(page_size);
+  for (size_t i = 0; i < page_size; ++i) {
+    page[i] = static_cast<uint8_t>(seed + i * 11);
+  }
+  return page;
+}
+
+// Same polynomial as the WAL's frame CRC; the tamper test needs it to
+// forge a CRC-valid frame whose AEAD tag no longer verifies.
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+constexpr size_t kWalHeaderSize = 64;
+constexpr size_t kPs = 256;
+
+TEST(WalReplayTest, MissingFileRecoversEmpty) {
+  auto state = WriteAheadLog::Replay(TempPath("sdbenc_wal_missing.wal"),
+                                     kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->has_commit);
+  EXPECT_TRUE(state->pages.empty());
+  EXPECT_EQ(state->records_scanned, 0u);
+}
+
+TEST(WalReplayTest, RoundTripRestoresCommittedState) {
+  const std::string path = TempPath("sdbenc_wal_roundtrip.wal");
+  {
+    auto wal = WriteAheadLog::Create(path, kPs, TestWalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PatternPage(kPs, 1)).ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(7, PatternPage(kPs, 2)).ok());
+    ASSERT_TRUE((*wal)->AppendNote(Bytes{0xAA, 0xBB}).ok());
+    WalCommitMeta meta;
+    meta.num_pages = 8;
+    meta.root_record = 42;
+    ASSERT_TRUE((*wal)->Commit(meta).ok());
+    // Overwrite page 0 *after* the commit and commit again: replay must
+    // surface the newest committed image.
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PatternPage(kPs, 3)).ok());
+    meta.root_record = 43;
+    ASSERT_TRUE((*wal)->Commit(meta).ok());
+  }
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->has_commit);
+  EXPECT_EQ(state->meta.num_pages, 8u);
+  EXPECT_EQ(state->meta.root_record, 43u);
+  ASSERT_EQ(state->pages.size(), 2u);
+  EXPECT_EQ(state->pages.at(0), PatternPage(kPs, 3));
+  EXPECT_EQ(state->pages.at(7), PatternPage(kPs, 2));
+  ASSERT_EQ(state->notes.size(), 1u);
+  EXPECT_EQ(state->notes[0], (Bytes{0xAA, 0xBB}));
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayTest, UncommittedTailIsNotReplayed) {
+  const std::string path = TempPath("sdbenc_wal_uncommitted.wal");
+  {
+    auto wal = WriteAheadLog::Create(path, kPs, TestWalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(1, PatternPage(kPs, 1)).ok());
+    WalCommitMeta meta;
+    meta.num_pages = 2;
+    ASSERT_TRUE((*wal)->Commit(meta).ok());
+    // Durable but never committed: replay must ignore it.
+    auto lsn = (*wal)->AppendPageImage(1, PatternPage(kPs, 9));
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE((*wal)->WaitDurable(*lsn).ok());
+  }
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->has_commit);
+  EXPECT_EQ(state->pages.at(1), PatternPage(kPs, 1));
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayTest, TornTailStopsSilently) {
+  const std::string path = TempPath("sdbenc_wal_torn.wal");
+  {
+    auto wal = WriteAheadLog::Create(path, kPs, TestWalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(3, PatternPage(kPs, 5)).ok());
+    WalCommitMeta meta;
+    meta.num_pages = 4;
+    ASSERT_TRUE((*wal)->Commit(meta).ok());
+  }
+  // Simulate a crash mid-append: a frame prefix promising more bytes than
+  // the file holds.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t torn[10] = {0, 0, 1, 0, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  EXPECT_TRUE(state->has_commit);
+  EXPECT_EQ(state->pages.at(3), PatternPage(kPs, 5));
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayTest, TamperedFrameFailsLoudly) {
+  const std::string path = TempPath("sdbenc_wal_tamper.wal");
+  {
+    auto wal = WriteAheadLog::Create(path, kPs, TestWalOptions());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PatternPage(kPs, 1)).ok());
+    WalCommitMeta meta;
+    meta.num_pages = 1;
+    ASSERT_TRUE((*wal)->Commit(meta).ok());
+  }
+  // Flip one ciphertext byte of the first frame and re-forge the CRC so
+  // the frame still *parses* — only the AEAD can catch this, and it must
+  // do so loudly (tampering, not a torn tail).
+  auto file = ReadFile(path);
+  ASSERT_TRUE(file.ok());
+  Bytes bytes = std::move(file).value();
+  ASSERT_GT(bytes.size(), kWalHeaderSize + 8);
+  uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len = (body_len << 8) | bytes[kWalHeaderSize + i];
+  }
+  ASSERT_GE(bytes.size(), kWalHeaderSize + 8 + body_len);
+  uint8_t* body = bytes.data() + kWalHeaderSize + 8;
+  body[body_len / 2] ^= 0x01;
+  const uint32_t crc = Crc32(body, body_len);
+  for (int i = 0; i < 4; ++i) {
+    bytes[kWalHeaderSize + 4 + i] =
+        static_cast<uint8_t>(crc >> (24 - 8 * i));
+  }
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kAuthenticationFailed);
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayTest, CheckpointTruncatesAndLogStaysUsable) {
+  const std::string path = TempPath("sdbenc_wal_checkpoint.wal");
+  auto wal = WriteAheadLog::Create(path, kPs, TestWalOptions());
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PatternPage(kPs, 1)).ok());
+  WalCommitMeta meta;
+  meta.num_pages = 1;
+  ASSERT_TRUE((*wal)->Commit(meta).ok());
+  ASSERT_TRUE((*wal)->Checkpoint().ok());
+  // Post-checkpoint appends land in the truncated log and replay alone.
+  ASSERT_TRUE((*wal)->AppendPageImage(5, PatternPage(kPs, 7)).ok());
+  meta.num_pages = 6;
+  ASSERT_TRUE((*wal)->Commit(meta).ok());
+  wal->reset();
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->has_commit);
+  EXPECT_EQ(state->meta.num_pages, 6u);
+  ASSERT_EQ(state->pages.size(), 1u);
+  EXPECT_EQ(state->pages.at(5), PatternPage(kPs, 7));
+  ::unlink(path.c_str());
+}
+
+TEST(WalGroupCommitTest, ConcurrentProducersAllSurviveReplay) {
+  const std::string path = TempPath("sdbenc_wal_group.wal");
+  constexpr size_t kThreads = 8;
+  constexpr size_t kCommitsPerThread = 16;
+  {
+    WalOptions options = TestWalOptions();
+    options.group_commit_window_us = 100;
+    auto wal = WriteAheadLog::Create(path, kPs, options);
+    ASSERT_TRUE(wal.ok());
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = 0; i < kCommitsPerThread && !failed.load(); ++i) {
+          const PageId id = t * kCommitsPerThread + i;
+          if (!(*wal)
+                   ->AppendPageImage(
+                       id, PatternPage(kPs, static_cast<uint8_t>(id)))
+                   .ok()) {
+            failed.store(true);
+            return;
+          }
+          WalCommitMeta meta;
+          meta.num_pages = kThreads * kCommitsPerThread;
+          if (!(*wal)->Commit(meta).ok()) failed.store(true);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_FALSE(failed.load());
+  }
+  auto state = WriteAheadLog::Replay(path, kPs, TestWalOptions());
+  ASSERT_TRUE(state.ok()) << state.status().message();
+  ASSERT_TRUE(state->has_commit);
+  ASSERT_EQ(state->pages.size(), kThreads * kCommitsPerThread);
+  for (const auto& [id, payload] : state->pages) {
+    EXPECT_EQ(payload, PatternPage(kPs, static_cast<uint8_t>(id))) << id;
+  }
+  ::unlink(path.c_str());
+}
+
+// ------------------------------------------------- engine-level recovery
+
+FileStorageEngine::Options WalEngineOptions() {
+  FileStorageEngine::Options o;
+  o.page_size = kPs;
+  o.pool_pages = 8;  // small pool: recovery must survive evictions too
+  o.enable_wal = true;
+  o.wal_key = Bytes(16, 0x44);
+  return o;
+}
+
+TEST(FileEngineRecoveryTest, CommitBatchSurvivesCrashWithoutFlush) {
+  const std::string path = TempPath("sdbenc_engine_recover.pages");
+  constexpr int kPages = 24;
+  {
+    auto engine = FileStorageEngine::Create(path, WalEngineOptions());
+    ASSERT_TRUE(engine.ok());
+    for (int i = 0; i < kPages; ++i) {
+      auto id = (*engine)->Allocate();
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(
+          (*engine)
+              ->Write(*id, PatternPage(kPs, static_cast<uint8_t>(i)))
+              .ok());
+    }
+    (*engine)->set_root_record(99);
+    ASSERT_TRUE((*engine)->CommitBatch().ok());
+    // Engine destroyed with dirty frames and no Flush(): the page file
+    // header still says zero pages. Only the WAL knows the truth.
+  }
+  auto reopened = FileStorageEngine::Open(path, WalEngineOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->num_pages(), static_cast<uint64_t>(kPages));
+  EXPECT_EQ((*reopened)->root_record(), 99u);
+  for (int i = 0; i < kPages; ++i) {
+    Bytes back;
+    ASSERT_TRUE((*reopened)->Read(i, &back).ok());
+    EXPECT_EQ(back, PatternPage(kPs, static_cast<uint8_t>(i))) << i;
+  }
+  reopened->reset();
+  ::unlink(path.c_str());
+  ::unlink((path + ".wal").c_str());
+}
+
+TEST(FileEngineRecoveryTest, UncommittedWritesRollBackToLastCommit) {
+  const std::string path = TempPath("sdbenc_engine_rollback.pages");
+  {
+    auto engine = FileStorageEngine::Create(path, WalEngineOptions());
+    ASSERT_TRUE(engine.ok());
+    auto id = (*engine)->Allocate();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*engine)->Write(*id, PatternPage(kPs, 1)).ok());
+    ASSERT_TRUE((*engine)->CommitBatch().ok());
+    // Overwritten but never committed: must roll back on reopen.
+    ASSERT_TRUE((*engine)->Write(*id, PatternPage(kPs, 2)).ok());
+  }
+  auto reopened = FileStorageEngine::Open(path, WalEngineOptions());
+  ASSERT_TRUE(reopened.ok());
+  Bytes back;
+  ASSERT_TRUE((*reopened)->Read(0, &back).ok());
+  EXPECT_EQ(back, PatternPage(kPs, 1));
+  reopened->reset();
+  ::unlink(path.c_str());
+  ::unlink((path + ".wal").c_str());
+}
+
+// -------------------------------------------- kill-and-reopen crash test
+
+// The child loads rows batch by batch, making each batch durable with
+// CommitDurable() and then recording it in a progress side-file (fsynced),
+// while a watchdog thread `_exit`s the process at a random instant. The
+// parent replays the WAL on reopen and asserts that every batch the child
+// recorded as committed is fully present and the database verifies clean.
+// Exit codes: 2 = killed by watchdog, 3 = ran to completion, anything
+// else = child-side setup failure.
+constexpr int kBatches = 12;
+constexpr int kRowsPerBatch = 8;
+
+void CrashChild(const std::string& db_path, const std::string& progress_path,
+                uint64_t seed) {
+  DeterministicRng rng(seed);
+  // Kill window sized to the load: most children die mid-load, a few
+  // complete. The watchdog starts before the first commit so even table
+  // creation can be interrupted.
+  const uint64_t kill_after_us = rng.UniformUint64(120000);
+  std::thread watchdog([kill_after_us] {
+    std::this_thread::sleep_for(std::chrono::microseconds(kill_after_us));
+    ::_exit(2);
+  });
+  watchdog.detach();
+
+  StorageOptions storage = StorageOptions::File(db_path);
+  storage.page_size = 512;
+  storage.enable_wal = true;
+  auto db = SecureDatabase::Open(Bytes(16, 0x66), storage, /*rng_seed=*/7);
+  if (!db.ok()) ::_exit(10);
+  SecureTableOptions topt;
+  topt.indexed_columns = {"k"};
+  const Schema schema({{"k", ValueType::kInt64, true},
+                       {"v", ValueType::kString, true}});
+  if (!(*db)->CreateTable("t", schema, topt).ok()) ::_exit(11);
+  if (!(*db)->CommitDurable().ok()) ::_exit(12);
+
+  const int progress_fd =
+      ::open(progress_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (progress_fd < 0) ::_exit(13);
+  for (int b = 0; b < kBatches; ++b) {
+    for (int r = 0; r < kRowsPerBatch; ++r) {
+      const int64_t key = b * kRowsPerBatch + r;
+      if (!(*db)
+               ->Insert("t", {Value::Int(key),
+                              Value::Str("row-" + std::to_string(key))})
+               .ok()) {
+        ::_exit(14);
+      }
+    }
+    if (!(*db)->CommitDurable().ok()) ::_exit(15);
+    // Record the committed batch; fsync so the parent's view of "what was
+    // acknowledged" survives the kill exactly like the data must.
+    char line[16];
+    const int n = std::snprintf(line, sizeof(line), "%d\n", b);
+    if (::write(progress_fd, line, n) != n) ::_exit(16);
+    if (::fsync(progress_fd) != 0) ::_exit(17);
+  }
+  ::close(progress_fd);
+  ::_exit(3);
+}
+
+int CountCommittedBatches(const std::string& progress_path) {
+  std::FILE* f = std::fopen(progress_path.c_str(), "r");
+  if (f == nullptr) return 0;
+  int batches = 0, value = 0;
+  while (std::fscanf(f, "%d", &value) == 1) batches = value + 1;
+  std::fclose(f);
+  return batches;
+}
+
+TEST(CrashRecoveryTest, KilledLoadLosesNoCommittedBatch) {
+#ifdef SDBENC_TSAN
+  GTEST_SKIP() << "fork-based crash harness is not TSan-compatible";
+#endif
+  constexpr int kIterations = 5;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const std::string db_path =
+        TempPath("sdbenc_crash_" + std::to_string(iter) + ".sdb");
+    const std::string progress_path = db_path + ".progress";
+    ::unlink(db_path.c_str());
+    ::unlink((db_path + ".wal").c_str());
+    ::unlink(progress_path.c_str());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Vary the kill point across iterations *and* runs: CI repeats this
+      // test with fresh pids.
+      CrashChild(db_path, progress_path,
+                 static_cast<uint64_t>(iter) * 7919u +
+                     static_cast<uint64_t>(::getpid()));
+      ::_exit(99);  // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+    const int code = WEXITSTATUS(status);
+    ASSERT_TRUE(code == 2 || code == 3)
+        << "child setup failed with exit code " << code;
+
+    const int committed = CountCommittedBatches(progress_path);
+    SCOPED_TRACE("iteration " + std::to_string(iter) + ", killed=" +
+                 std::to_string(code == 2) + ", committed batches=" +
+                 std::to_string(committed));
+
+    if (committed == 0) {
+      // Killed before the first durable batch: nothing to verify beyond
+      // "reopen either finds an empty/fresh session or a clean one".
+      continue;
+    }
+    StorageOptions storage = StorageOptions::File(db_path);
+    storage.page_size = 512;
+    storage.enable_wal = true;
+    auto db = SecureDatabase::Open(Bytes(16, 0x66), storage);
+    ASSERT_TRUE(db.ok()) << db.status().message();
+    ASSERT_TRUE((*db)->VerifyIntegrity().ok());
+    for (int b = 0; b < committed; ++b) {
+      for (int r = 0; r < kRowsPerBatch; ++r) {
+        const int64_t key = b * kRowsPerBatch + r;
+        auto rows = (*db)->SelectEquals("t", "k", Value::Int(key));
+        ASSERT_TRUE(rows.ok()) << "batch " << b << " key " << key;
+        ASSERT_EQ(rows->size(), 1u) << "batch " << b << " key " << key;
+        EXPECT_EQ((*rows)[0][1].AsString(),
+                  "row-" + std::to_string(key));
+      }
+    }
+    db->reset();
+    ::unlink(db_path.c_str());
+    ::unlink((db_path + ".wal").c_str());
+    ::unlink(progress_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sdbenc

@@ -23,6 +23,13 @@ This pass enforces the repo invariants mechanically:
                                   _mm_*/_mm256_*, __m128i/__m256i) outside
                                   the per-file-flag TUs in
                                   src/crypto/accel/.
+  SDB006  fsync-outside-wal       raw fsync/fdatasync outside the WAL
+                                  subsystem (src/storage/wal/). Durability
+                                  points must route through the group
+                                  committer so one fsync serves a whole
+                                  batch; scattered syncs silently undo
+                                  that amortisation (and can land before
+                                  the write-ahead rule allows).
 
 Intentional violations (the legacy schemes exist to be broken) are
 suppressed via an allowlist file; see allowlist.conf for the format and
@@ -498,12 +505,41 @@ def check_intrinsics(src: SourceFile) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# SDB006 — raw durability syscalls outside the WAL subsystem
+
+_FSYNC_CALL = re.compile(r"\b(?:::\s*)?(fsync|fdatasync)\s*\(")
+
+
+def check_fsync_outside_wal(src: SourceFile, exempt: bool) -> list[Finding]:
+    if exempt:
+        return []
+    findings = []
+    for i, line in enumerate(src.clean_lines, start=1):
+        for m in _FSYNC_CALL.finditer(line):
+            findings.append(
+                Finding(
+                    src.path,
+                    i,
+                    "SDB006",
+                    f"'{m.group(1)}' outside src/storage/wal/; durability "
+                    "must route through the group committer (or be "
+                    "allowlisted as a checkpoint/recovery sync point)",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 # Directories whose whole purpose is to reproduce the broken legacy
 # constructions (paper §2–§3). SDB002 does not apply there by design;
 # everything else still does.
 _LEGACY_DIR_PREFIXES = ("src/schemes/", "src/attacks/")
+
+# The one place raw fsync/fdatasync is policy rather than a smell: the WAL
+# committer, whose whole job is issuing the shared group-commit sync.
+_WAL_DIR_PREFIXES = ("src/storage/wal/",)
 
 
 def lint_files(
@@ -524,6 +560,9 @@ def lint_files(
         findings += check_nonvetted_rng(src)
         findings += check_unchecked_status(src, status_fns)
         findings += check_intrinsics(src)
+        findings += check_fsync_outside_wal(
+            src, exempt=src.path.startswith(_WAL_DIR_PREFIXES)
+        )
         for f in findings:
             line_text = (
                 src.raw_lines[f.line - 1]

@@ -108,6 +108,38 @@ class IntrinsicsRuleTest(unittest.TestCase):
         self.assertEqual(len(reported), 4)
 
 
+class FsyncRuleTest(unittest.TestCase):
+    def test_bad_fsync_flags_each_call(self):
+        reported, _ = lint([fixture("bad_fsync.cc")])
+        self.assertEqual({f.rule for f in reported}, {"SDB006"})
+        self.assertEqual(len(reported), 2)
+
+    def test_good_fsync_is_clean(self):
+        reported, _ = lint([fixture("good_fsync.cc")])
+        self.assertEqual(reported, [])
+
+    def test_wal_directory_is_exempt(self):
+        # The same raw-fsync fixture must fail outside src/storage/wal/ and
+        # pass inside it.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(_TESTDATA, "bad_fsync.cc")
+            wal_dir = os.path.join(tmp, "src", "storage", "wal")
+            other_dir = os.path.join(tmp, "src", "core")
+            os.makedirs(wal_dir)
+            os.makedirs(other_dir)
+            shutil.copy(src, os.path.join(wal_dir, "sync.cc"))
+            shutil.copy(src, os.path.join(other_dir, "sync.cc"))
+            reported, _ = lint(
+                ["src/storage/wal/sync.cc", "src/core/sync.cc"],
+                repo_root=tmp,
+            )
+            self.assertEqual(len(reported), 2)
+            self.assertTrue(
+                all(f.path == "src/core/sync.cc" for f in reported)
+            )
+            self.assertEqual({f.rule for f in reported}, {"SDB006"})
+
+
 class AllowlistTest(unittest.TestCase):
     def test_allowlist_suppresses_and_tracks_usage(self):
         entry = sdbenc_lint.AllowEntry(

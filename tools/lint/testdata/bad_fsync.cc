@@ -1,0 +1,10 @@
+// SDB006 must-fail fixture: raw durability syscalls outside the WAL.
+#include <unistd.h>
+
+void CommitNow(int fd) {
+  fsync(fd);  // per-operation sync defeats group commit
+}
+
+void CommitMetadata(int fd) {
+  ::fdatasync(fd);  // qualified spelling is caught too
+}

@@ -1,0 +1,7 @@
+// SDB006 must-pass fixture: durability routed through the engine, whose
+// WAL committer owns the actual fsync.
+struct Engine {
+  void CommitBatchNow();
+};
+
+void Checkpoint(Engine* engine) { engine->CommitBatchNow(); }
