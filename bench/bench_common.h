@@ -7,7 +7,9 @@
 // plus the common `--threads=` / `--metrics` flag handling. Header-only so
 // report binaries stay single-file.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <string_view>
@@ -17,6 +19,24 @@
 
 namespace sdbenc {
 namespace bench {
+
+/// Median of a sample set (0.0 when empty); even sizes average the middle
+/// pair. The hand-rolled timing loops report medians of N repeats — robust
+/// against the one run that caught a page-cache flush or a CI neighbour.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+/// `--repeat=N` / `--warmup=N`: N measured repetitions reported as their
+/// median, after `warmup` unrecorded runs. See ExtractRepeatSpec below.
+struct RepeatSpec {
+  size_t repeat = 1;
+  size_t warmup = 0;
+};
 
 /// Builds one JSON object and prints it as a single line. Keys are emitted
 /// in call order; string values are escaped (quote, backslash, control
@@ -155,6 +175,22 @@ inline std::string ExtractFlagValue(int* argc, char** argv,
   }
   *argc = out;
   return value;
+}
+
+/// Parses and removes `--repeat=N` and `--warmup=N` from argv. Zero or
+/// malformed values fall back to the defaults (1 repeat, 0 warmups).
+inline RepeatSpec ExtractRepeatSpec(int* argc, char** argv) {
+  RepeatSpec spec;
+  const std::string repeat = ExtractFlagValue(argc, argv, "--repeat=");
+  const std::string warmup = ExtractFlagValue(argc, argv, "--warmup=");
+  if (!repeat.empty()) {
+    const unsigned long v = std::strtoul(repeat.c_str(), nullptr, 10);
+    if (v > 0) spec.repeat = v;
+  }
+  if (!warmup.empty()) {
+    spec.warmup = std::strtoul(warmup.c_str(), nullptr, 10);
+  }
+  return spec;
 }
 
 /// Standard `--metrics` epilogue: snapshots the process-wide registry once

@@ -1,0 +1,261 @@
+// Adaptive query processing (DESIGN §13): prices the cost-based planner
+// against both static plan choices on a mixed workload (point lookups,
+// selective ranges, near-full-table ranges), per AEAD codec, and measures
+// what the decrypted-block cache buys a cache-hot point query over a
+// cache-cold one. Emits JSON lines gated in CI by scripts/bench_compare.py:
+// the adaptive mode must beat every static mode on the mixed workload, and
+// the hot/cold p50 ratio must stay above the configured floor.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/secure_database.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+struct CodecUnderTest {
+  AeadAlgorithm alg;
+  const char* name;
+};
+
+constexpr CodecUnderTest kCodecs[] = {
+    {AeadAlgorithm::kEax, "eax"},
+    {AeadAlgorithm::kGcm, "gcm"},
+};
+
+constexpr const char* ModeName(PlannerMode mode) {
+  switch (mode) {
+    case PlannerMode::kAdaptive:
+      return "adaptive";
+    case PlannerMode::kForceIndex:
+      return "force_index";
+    case PlannerMode::kForceScan:
+      return "force_scan";
+  }
+  return "?";
+}
+
+std::unique_ptr<SecureDatabase> BuildDb(AeadAlgorithm alg, size_t entries) {
+  auto db = SecureDatabase::Open(Bytes(32, 0x6b), 2024).value();
+  SecureTableOptions options;
+  options.aead = alg;
+  options.indexed_columns = {"id"};
+  options.index_order = 16;
+  Schema schema({{"id", ValueType::kInt64, true},
+                 {"grp", ValueType::kInt64, true},
+                 {"payload", ValueType::kString, true}});
+  if (!db->CreateTable("t", schema, options).ok()) {
+    std::fprintf(stderr, "create table failed\n");
+    std::exit(1);
+  }
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(entries);
+  const std::string filler(480, 'x');
+  for (size_t i = 0; i < entries; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Int(static_cast<int64_t>(i % 97)),
+                    Value::Str(filler + std::to_string(i))});
+  }
+  if (!db->BulkInsert("t", rows).ok()) {
+    std::fprintf(stderr, "bulk insert failed\n");
+    std::exit(1);
+  }
+  return db;
+}
+
+SelectStatement Range(int64_t lo, int64_t hi) {
+  SelectStatement s;
+  s.table = "t";
+  s.where = Expr::And(
+      Expr::Compare(CompareOp::kGe, Expr::Column("id"),
+                    Expr::Literal(Value::Int(lo))),
+      Expr::Compare(CompareOp::kLe, Expr::Column("id"),
+                    Expr::Literal(Value::Int(hi))));
+  return s;
+}
+
+SelectStatement Point(int64_t id) {
+  SelectStatement s;
+  s.table = "t";
+  s.where = Expr::Compare(CompareOp::kEq, Expr::Column("id"),
+                          Expr::Literal(Value::Int(id)));
+  return s;
+}
+
+/// A wide id range with an unindexed grp conjunct: both paths keep a
+/// residual and pay the filter-then-materialise double touch, so the
+/// index's extra per-candidate entry decode makes the scan the cheaper
+/// path.
+SelectStatement WideFiltered(int64_t lo, int64_t hi) {
+  SelectStatement s = Range(lo, hi);
+  s.where = Expr::And(s.where,
+                      Expr::Compare(CompareOp::kGe, Expr::Column("grp"),
+                                    Expr::Literal(Value::Int(1))));
+  return s;
+}
+
+/// The mixed workload every mode runs verbatim: many cheap point lookups
+/// (the index must win), a few selective ranges (index again), and a few
+/// filtered ranges covering ~95% of the table where the full scan is the
+/// cheaper path. A static choice is wrong for one of the classes; only a
+/// cost-based pick is right for all.
+std::vector<SelectStatement> BuildWorkload(size_t entries) {
+  std::vector<SelectStatement> queries;
+  DeterministicRng rng(0xadaf71e);
+  const int64_t n = static_cast<int64_t>(entries);
+  for (int i = 0; i < 60; ++i) {
+    queries.push_back(
+        Point(static_cast<int64_t>(rng.UniformUint64(entries))));
+  }
+  const int64_t medium = n / 50;  // 2% of the table
+  for (int i = 0; i < 10; ++i) {
+    const int64_t lo =
+        static_cast<int64_t>(rng.UniformUint64(entries - medium));
+    queries.push_back(Range(lo, lo + medium));
+  }
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(WideFiltered(n / 20, n));  // 95% of the table
+  }
+  return queries;
+}
+
+uint64_t RunWorkload(const QueryEngine& engine,
+                     const std::vector<SelectStatement>& queries) {
+  uint64_t produced = 0;
+  for (const SelectStatement& q : queries) {
+    auto result = engine.Execute(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    produced += result->rows.size();
+  }
+  return produced;
+}
+
+void RunCodec(const CodecUnderTest& codec, size_t entries,
+              const bench::RepeatSpec& repeats) {
+  auto db = BuildDb(codec.alg, entries);
+  QueryEngine engine(db.get());
+  const std::vector<SelectStatement> workload = BuildWorkload(entries);
+
+  // --- mixed workload per planner mode -----------------------------------
+  constexpr PlannerMode kModes[] = {PlannerMode::kAdaptive,
+                                    PlannerMode::kForceIndex,
+                                    PlannerMode::kForceScan};
+  double mode_ms[3] = {0, 0, 0};
+  uint64_t produced_check = 0;
+  for (size_t m = 0; m < 3; ++m) {
+    engine.set_planner_mode(kModes[m]);
+    std::vector<double> samples;
+    for (size_t rep = 0; rep < repeats.warmup + repeats.repeat; ++rep) {
+      // Every timed run starts cache-cold so no mode profits from a
+      // predecessor's working set.
+      db->decrypted_cache()->WipeAll();
+      const auto t0 = std::chrono::steady_clock::now();
+      const uint64_t produced = RunWorkload(engine, workload);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (produced_check == 0) produced_check = produced;
+      if (produced != produced_check) {
+        std::fprintf(stderr, "modes disagree on result rows: %llu vs %llu\n",
+                     static_cast<unsigned long long>(produced),
+                     static_cast<unsigned long long>(produced_check));
+        std::exit(1);
+      }
+      if (rep < repeats.warmup) continue;
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    mode_ms[m] = bench::Median(std::move(samples));
+    bench::JsonLineWriter()
+        .Str("bench", "query_adaptive")
+        .Str("codec", codec.name)
+        .Str("mode", ModeName(kModes[m]))
+        .Uint("entries", entries)
+        .Uint("queries", workload.size())
+        .Double("wall_ms", mode_ms[m])
+        .Uint("repeats", repeats.repeat)
+        .Emit();
+  }
+  const double best_static = std::min(mode_ms[1], mode_ms[2]);
+  bench::JsonLineWriter()
+      .Str("bench", "query_adaptive")
+      .Str("op", "adaptive_margin")
+      .Str("codec", codec.name)
+      .Uint("entries", entries)
+      .Double("adaptive_ms", mode_ms[0])
+      .Double("best_static_ms", best_static)
+      .Int("win", mode_ms[0] < best_static ? 1 : 0)
+      .Emit();
+
+  // --- cache-cold vs cache-hot point queries -----------------------------
+  engine.set_planner_mode(PlannerMode::kAdaptive);
+  DeterministicRng rng(0xca57e);
+  std::vector<int64_t> working_set;
+  for (int i = 0; i < 200; ++i) {
+    working_set.push_back(static_cast<int64_t>(rng.UniformUint64(entries)));
+  }
+  std::vector<double> cold_ns;
+  std::vector<double> hot_ns;
+  for (size_t rep = 0; rep < repeats.warmup + repeats.repeat; ++rep) {
+    db->decrypted_cache()->WipeAll();
+    const bool measured = rep >= repeats.warmup;
+    for (int pass = 0; pass < 2; ++pass) {
+      // Pass 0 decrypts tree entries and rows; pass 1 reruns the identical
+      // queries against the now-resident postings and row plaintexts.
+      std::vector<double>* sink = pass == 0 ? &cold_ns : &hot_ns;
+      for (const int64_t id : working_set) {
+        const uint64_t t0 = obs::NowNs();
+        auto result = engine.Execute(Point(id));
+        const uint64_t t1 = obs::NowNs();
+        if (!result.ok() || result->rows.size() != 1) {
+          std::fprintf(stderr, "point query failed for id %lld\n",
+                       static_cast<long long>(id));
+          std::exit(1);
+        }
+        if (measured) sink->push_back(static_cast<double>(t1 - t0));
+      }
+    }
+  }
+  const double cold_p50 = bench::Median(std::move(cold_ns));
+  const double hot_p50 = bench::Median(std::move(hot_ns));
+  bench::JsonLineWriter()
+      .Str("bench", "query_adaptive")
+      .Str("op", "point_p50")
+      .Str("codec", codec.name)
+      .Uint("entries", entries)
+      .Double("cold_ns", cold_p50, 0)
+      .Double("hot_ns", hot_p50, 0)
+      .Double("speedup", hot_p50 > 0 ? cold_p50 / hot_p50 : 0.0, 2)
+      .Emit();
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main(int argc, char** argv) {
+  const std::string entries_arg =
+      sdbenc::bench::ExtractFlagValue(&argc, argv, "--entries=");
+  const size_t entries =
+      entries_arg.empty() ? 8000
+                          : std::strtoul(entries_arg.c_str(), nullptr, 10);
+  const sdbenc::bench::RepeatSpec repeats =
+      sdbenc::bench::ExtractRepeatSpec(&argc, argv);
+  std::printf("== adaptive query bench: %zu rows, median of %zu "
+              "(+%zu warmup) ==\n",
+              entries, repeats.repeat, repeats.warmup);
+  for (const auto& codec : sdbenc::kCodecs) {
+    sdbenc::RunCodec(codec, entries, repeats);
+  }
+  return 0;
+}

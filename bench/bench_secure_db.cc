@@ -169,7 +169,8 @@ class JsonLineReporter : public benchmark::BenchmarkReporter {
 // (row-parallel decrypt-verify + concurrent index checks). Every thread
 // count produces byte-identical storage and the identical verdict; only
 // wall time moves. One JSON line per (phase, threads).
-void RunThreadSweep(const std::vector<size_t>& thread_sweep) {
+void RunThreadSweep(const std::vector<size_t>& thread_sweep,
+                    const bench::RepeatSpec& repeats) {
   const size_t kRows = 5000;
   std::vector<std::vector<Value>> rows;
   rows.reserve(kRows);
@@ -177,34 +178,50 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep) {
     rows.push_back({Value::Int(static_cast<int64_t>(i * 7 % kRows)),
                     Value::Str("payload-" + std::to_string(i))});
   }
-  std::printf("== thread sweep: BulkInsert + VerifyIntegrity, %zu rows ==\n",
-              kRows);
+  std::printf(
+      "== thread sweep: BulkInsert + VerifyIntegrity, %zu rows, "
+      "median of %zu (+%zu warmup) ==\n",
+      kRows, repeats.repeat, repeats.warmup);
   std::printf("%-10s %-14s %-14s %-10s %-10s\n", "threads", "insert-ms",
               "verify-ms", "ins-spd", "ver-spd");
   double base_insert = 0;
   double base_verify = 0;
   for (const size_t threads : thread_sweep) {
     const Parallelism par = Parallelism::Exactly(threads);
-    auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
-    SecureTableOptions options;
-    options.indexed_columns = {"id"};
-    options.index_order = 16;
-    (void)db->CreateTable("t", BenchSchema(), options);
-    const auto t0 = std::chrono::steady_clock::now();
-    if (!db->BulkInsert("t", rows, par).ok()) {
-      std::printf("%-10zu BULK INSERT FAILED\n", threads);
-      continue;
+    // Each repetition rebuilds the database from scratch: BulkInsert is
+    // only valid on an empty table, and a shared instance would let later
+    // runs profit from earlier runs' warmed allocator state.
+    std::vector<double> insert_samples;
+    std::vector<double> verify_samples;
+    bool failed = false;
+    for (size_t rep = 0; rep < repeats.warmup + repeats.repeat; ++rep) {
+      auto db = SecureDatabase::Open(Bytes(32, 0x5a), 99).value();
+      SecureTableOptions options;
+      options.indexed_columns = {"id"};
+      options.index_order = 16;
+      (void)db->CreateTable("t", BenchSchema(), options);
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!db->BulkInsert("t", rows, par).ok()) {
+        std::printf("%-10zu BULK INSERT FAILED\n", threads);
+        failed = true;
+        break;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!db->VerifyIntegrity(par).ok()) {
+        std::printf("%-10zu VERIFY FAILED\n", threads);
+        failed = true;
+        break;
+      }
+      const auto t2 = std::chrono::steady_clock::now();
+      if (rep < repeats.warmup) continue;
+      insert_samples.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      verify_samples.push_back(
+          std::chrono::duration<double, std::milli>(t2 - t1).count());
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    if (!db->VerifyIntegrity(par).ok()) {
-      std::printf("%-10zu VERIFY FAILED\n", threads);
-      continue;
-    }
-    const auto t2 = std::chrono::steady_clock::now();
-    const double insert_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    const double verify_ms =
-        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    if (failed) continue;
+    const double insert_ms = bench::Median(std::move(insert_samples));
+    const double verify_ms = bench::Median(std::move(verify_samples));
     if (base_insert == 0) base_insert = insert_ms;
     if (base_verify == 0) base_verify = verify_ms;
     std::printf("%-10zu %-14.1f %-14.1f %-10.2f %-10.2f\n", threads,
@@ -217,6 +234,7 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep) {
         .Uint("threads", threads)
         .Double("wall_ms", insert_ms)
         .Double("speedup", base_insert / insert_ms)
+        .Uint("repeats", repeats.repeat)
         .Emit();
     bench::JsonLineWriter()
         .Str("bench", "secure_db_threads")
@@ -225,6 +243,7 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep) {
         .Uint("threads", threads)
         .Double("wall_ms", verify_ms)
         .Double("speedup", base_verify / verify_ms)
+        .Uint("repeats", repeats.repeat)
         .Emit();
   }
 }
@@ -328,6 +347,8 @@ int main(int argc, char** argv) {
   const size_t metrics_rows =
       rows_arg.empty() ? 200 : std::strtoul(rows_arg.c_str(), nullptr, 10);
   std::vector<size_t> thread_sweep = sdbenc::bench::ExtractThreads(&argc, argv);
+  const sdbenc::bench::RepeatSpec repeats =
+      sdbenc::bench::ExtractRepeatSpec(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   sdbenc::JsonLineReporter reporter;
@@ -343,6 +364,6 @@ int main(int argc, char** argv) {
     sdbenc::bench::DumpRegistrySnapshot(prom_path);
     return 0;
   }
-  sdbenc::RunThreadSweep(thread_sweep);
+  sdbenc::RunThreadSweep(thread_sweep, repeats);
   return 0;
 }

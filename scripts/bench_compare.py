@@ -17,9 +17,15 @@ changed configuration shows up as missing/new rather than as a bogus delta.
 
 Exit status: non-zero when a baseline row is absent from the current output
 (a bench silently dropped coverage), when the input contains no JSON rows,
-or when a parallel-scaling row regresses (see below). Other performance
-deltas are informational — wall-clock numbers depend on the machine, so
-they are reported, not enforced.
+or when a parallel-scaling or adaptive-query row regresses (see below).
+Other performance deltas are informational — wall-clock numbers depend on
+the machine, so they are reported, not enforced.
+
+Missing-row enforcement is scoped to the bench families ("bench" field)
+that appear in the current output: comparing one binary's output against a
+multi-bench baseline warns about the families that were not run instead of
+failing. Rows or keys that are new relative to the baseline never fail —
+they are listed so a future --update can adopt them.
 
 Scaling enforcement: `bulk_load_threads` rows at 8 threads carry a
 `speedup` field measuring how much the group-commit WAL buys over the
@@ -38,6 +44,7 @@ _IDENTITY_FIELDS = (
     "bench",
     "codec",
     "op",
+    "mode",
     "backend",
     "entries",
     "order",
@@ -109,6 +116,32 @@ def check_scaling(rows, min_speedup8):
     return failed
 
 
+def check_adaptive(rows, min_cache_speedup):
+    """Returns True (= failure) when a query_adaptive summary row shows the
+    adaptive planner losing to a static plan choice (win != 1) or the
+    cache-hot point-query p50 speedup below the floor. Both are properties
+    of the design (cost-model correctness, cache effectiveness), not of the
+    machine, so they are enforced."""
+    failed = False
+    for row in rows:
+        if row.get("bench") != "query_adaptive":
+            continue
+        op = row.get("op")
+        if op == "adaptive_margin" and row.get("win") != 1:
+            print(f"error: adaptive plan lost to a static choice: {row}",
+                  file=sys.stderr)
+            failed = True
+        if op == "point_p50":
+            speedup = row.get("speedup")
+            if isinstance(speedup, (int, float)) and \
+                    min_cache_speedup > 0 and speedup < min_cache_speedup:
+                print(f"error: cache-hot point-query speedup regressed: "
+                      f"{speedup:.2f}x < {min_cache_speedup:.1f}x "
+                      f"(codec {row.get('codec')})", file=sys.stderr)
+                failed = True
+    return failed
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON file")
@@ -119,6 +152,9 @@ def main():
     ap.add_argument("--min-speedup8", type=float, default=3.0,
                     help="minimum acceptable bulk_load_threads speedup at "
                          "8 threads (0 disables the check)")
+    ap.add_argument("--min-cache-speedup", type=float, default=5.0,
+                    help="minimum acceptable cache-hot vs cache-cold point "
+                         "query p50 speedup (0 disables the check)")
     args = ap.parse_args()
 
     if args.current:
@@ -168,15 +204,30 @@ def main():
     for k in new:
         print(f"  new: {dict(k)}")
 
+    # Missing rows only fail for bench families the current run actually
+    # produced: a single binary compared against the full baseline should
+    # not fail for the benches it never claimed to run, and a baseline that
+    # already knows rows of a not-yet-built bench must not block CI.
+    families_run = {row.get("bench") for row in current}
+    missing_run = [k for k in missing
+                   if dict(k).get("bench") in families_run]
+    missing_not_run = [k for k in missing if k not in missing_run]
+    if missing_not_run:
+        skipped_families = sorted({str(dict(k).get("bench"))
+                                   for k in missing_not_run})
+        print(f"warning: baseline families not exercised by this run "
+              f"(ignored): {', '.join(skipped_families)}", file=sys.stderr)
+
     failed = False
-    if missing:
-        for k in missing:
+    if missing_run:
+        for k in missing_run:
             print(f"  MISSING: {dict(k)}", file=sys.stderr)
         print("error: baseline rows absent from current output (bench "
               "coverage shrank?)", file=sys.stderr)
         failed = True
 
     failed |= check_scaling(current, args.min_speedup8)
+    failed |= check_adaptive(current, args.min_cache_speedup)
     return 1 if failed else 0
 
 

@@ -27,7 +27,7 @@ StatusOr<ScrapedImage> ScrapePageFile(const std::string& path) {
   // ciphertext.
   BinaryReader r(catalog);
   SDBENC_ASSIGN_OR_RETURN(const uint32_t version, r.GetU32());
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return ParseError("unsupported catalog version");
   }
   SDBENC_ASSIGN_OR_RETURN(const Bytes keycheck, r.GetBytes());
@@ -73,6 +73,12 @@ StatusOr<ScrapedImage> ScrapePageFile(const std::string& path) {
       SDBENC_ASSIGN_OR_RETURN(const Bytes meta, r.GetBytes());
       (void)meta;  // node record ids; the nodes hold AEAD entries only
       table.indexed_columns.push_back(std::move(column));
+    }
+    if (version >= 2) {
+      // Version 2 appends per-table statistics — AEAD-sealed precisely so
+      // a scraper like this one learns nothing from them.
+      SDBENC_ASSIGN_OR_RETURN(const Bytes sealed_stats, r.GetBytes());
+      (void)sealed_stats;
     }
     image.tables.push_back(std::move(table));
   }

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "db/serialize.h"
 #include "db/value.h"
+#include "storage/decrypted_cache.h"
 #include "util/statusor.h"
 
 namespace sdbenc {
@@ -20,15 +22,28 @@ class EncryptedIndex {
                  uint64_t indexed_table_id, uint32_t indexed_column,
                  size_t order = 8)
       : column_(indexed_column),
+        index_table_id_(index_table_id),
         tree_(codec, index_table_id, indexed_table_id, indexed_column,
               order) {}
+
+  /// Attaches a shared decrypted-block cache for point-lookup results:
+  /// Lookup() memoises its row list keyed by a 128-bit hash of the search
+  /// key, and Add/Remove drop exactly that key's entry, so cached postings
+  /// are never stale. Range walks stay uncached (their per-entry decrypts
+  /// are priced by the cost model instead).
+  void AttachResultCache(DecryptedBlockCache* cache, uint8_t codec_tag) {
+    cache_ = cache;
+    cache_codec_tag_ = codec_tag;
+  }
 
   uint32_t column() const { return column_; }
   BPlusTree& tree() { return tree_; }
   const BPlusTree& tree() const { return tree_; }
 
   Status Add(const Value& value, uint64_t table_row) {
-    return tree_.Insert(value.SerializeComparable(), table_row);
+    const Bytes key = value.SerializeComparable();
+    InvalidateLookup(key);
+    return tree_.Insert(key, table_row);
   }
 
   /// One-shot bottom-up build (empty index only); each entry encrypted once.
@@ -45,11 +60,26 @@ class EncryptedIndex {
   }
 
   Status Remove(const Value& value, uint64_t table_row) {
-    return tree_.Remove(value.SerializeComparable(), table_row);
+    const Bytes key = value.SerializeComparable();
+    InvalidateLookup(key);
+    return tree_.Remove(key, table_row);
   }
 
   StatusOr<std::vector<uint64_t>> Lookup(const Value& value) const {
-    return tree_.Find(value.SerializeComparable());
+    const Bytes key = value.SerializeComparable();
+    if (cache_ == nullptr) return tree_.Find(key);
+    const DecryptedBlockCache::Key cache_key = LookupCacheKey(key);
+    if (std::optional<Bytes> blob = cache_->Lookup(cache_key)) {
+      StatusOr<std::vector<uint64_t>> rows = DecodePostings(ToView(*blob));
+      if (rows.ok()) return rows;
+      cache_->Erase(cache_key);
+    }
+    SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, tree_.Find(key));
+    BinaryWriter w;
+    w.PutU64(rows.size());
+    for (const uint64_t row : rows) w.PutU64(row);
+    cache_->Insert(cache_key, ToView(w.data()));
+    return rows;
   }
 
   /// Inclusive range [lo, hi] in value order.
@@ -70,8 +100,41 @@ class EncryptedIndex {
   }
 
  private:
+  /// 128 bits of FNV-1a under two seeds: `block`/`version` together make
+  /// accidental collisions (the only way a wrong posting list could be
+  /// returned) negligible, and mutated keys are erased exactly.
+  DecryptedBlockCache::Key LookupCacheKey(BytesView key) const {
+    DecryptedBlockCache::Key cache_key;
+    cache_key.space = index_table_id_;
+    cache_key.block = Fnv1a64(key, 0);
+    cache_key.version = Fnv1a64(key, 0x9e3779b97f4a7c15ull);
+    cache_key.sub = 1;  // postings, not row blobs
+    cache_key.epoch = cache_->epoch();
+    cache_key.codec = cache_codec_tag_;
+    return cache_key;
+  }
+
+  void InvalidateLookup(BytesView key) const {
+    if (cache_ != nullptr) cache_->Erase(LookupCacheKey(key));
+  }
+
+  static StatusOr<std::vector<uint64_t>> DecodePostings(BytesView blob) {
+    BinaryReader r(blob);
+    SDBENC_ASSIGN_OR_RETURN(const uint64_t n, r.GetU64());
+    std::vector<uint64_t> rows;
+    rows.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      SDBENC_ASSIGN_OR_RETURN(const uint64_t row, r.GetU64());
+      rows.push_back(row);
+    }
+    return rows;
+  }
+
   uint32_t column_;
+  uint64_t index_table_id_ = 0;
   BPlusTree tree_;
+  DecryptedBlockCache* cache_ = nullptr;  // not owned; null = no caching
+  uint8_t cache_codec_tag_ = 0;
 };
 
 }  // namespace sdbenc

@@ -1,6 +1,51 @@
 #include "core/encrypted_table.h"
 
+#include "db/serialize.h"
+
 namespace sdbenc {
+
+namespace {
+
+/// Cached row blob: column count, then each cell's self-describing Value
+/// serialisation (length-prefixed). Purely in-memory — never persisted.
+Bytes SerializeRowBlob(const std::vector<Value>& values) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(values.size()));
+  for (const Value& v : values) w.PutBytes(v.Serialize());
+  return w.Take();
+}
+
+StatusOr<std::vector<Value>> DeserializeRowBlob(BytesView blob) {
+  BinaryReader r(blob);
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t ncols, r.GetU32());
+  std::vector<Value> values;
+  values.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    SDBENC_ASSIGN_OR_RETURN(const Bytes encoded, r.GetBytes());
+    SDBENC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(encoded));
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+}  // namespace
+
+DecryptedBlockCache::Key EncryptedTable::RowCacheKey(uint64_t row) const {
+  DecryptedBlockCache::Key key;
+  key.space = table_->id();
+  key.block = row;
+  // The row's storage-write version: any rewrite of the stored bytes —
+  // legitimate update or tampering — moves the key, so a stale cached
+  // decrypt can never answer for bytes that changed underneath it.
+  key.version = table_->row_version(row);
+  key.epoch = cache_->epoch();
+  key.codec = cache_codec_tag_;
+  return key;
+}
+
+void EncryptedTable::InvalidateCachedRow(uint64_t row) const {
+  if (cache_ != nullptr) cache_->Erase(RowCacheKey(row));
+}
 
 StatusOr<CellCodec*> EncryptedTable::CodecFor(uint32_t column) const {
   if (column >= codecs_.size() || codecs_[column] == nullptr) {
@@ -118,10 +163,31 @@ StatusOr<std::vector<Value>> EncryptedTable::GetRow(uint64_t row) const {
   std::vector<Value> values;
   values.reserve(table_->num_columns());
   for (uint32_t c = 0; c < table_->num_columns(); ++c) {
-    SDBENC_ASSIGN_OR_RETURN(Value v, GetCell(row, c));
-    values.push_back(std::move(v));
+    StatusOr<Value> v = GetCell(row, c);
+    if (!v.ok()) {
+      // A failed authenticated read means any cached plaintext for this
+      // row describes bytes that are no longer there.
+      InvalidateCachedRow(row);
+      return v.status();
+    }
+    values.push_back(std::move(v).value());
+  }
+  if (cache_ != nullptr) {
+    cache_->Insert(RowCacheKey(row), ToView(SerializeRowBlob(values)));
   }
   return values;
+}
+
+StatusOr<std::vector<Value>> EncryptedTable::GetRowCached(uint64_t row) const {
+  if (cache_ != nullptr) {
+    if (std::optional<Bytes> blob = cache_->Lookup(RowCacheKey(row))) {
+      StatusOr<std::vector<Value>> values = DeserializeRowBlob(ToView(*blob));
+      if (values.ok()) return values;
+      // Corrupt blob (cannot happen short of a bug): drop and re-decrypt.
+      InvalidateCachedRow(row);
+    }
+  }
+  return GetRow(row);
 }
 
 Status EncryptedTable::UpdateCell(uint64_t row, uint32_t column,
@@ -133,6 +199,7 @@ Status EncryptedTable::UpdateCell(uint64_t row, uint32_t column,
   SDBENC_ASSIGN_OR_RETURN(Bytes encoded, EncodeCell(value, row, column));
   SDBENC_ASSIGN_OR_RETURN(Bytes * cell, table_->mutable_cell(row, column));
   *cell = std::move(encoded);
+  InvalidateCachedRow(row);
   return OkStatus();
 }
 

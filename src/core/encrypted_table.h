@@ -6,6 +6,7 @@
 #include "db/table.h"
 #include "db/value.h"
 #include "schemes/cell_codec.h"
+#include "storage/decrypted_cache.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
@@ -47,11 +48,33 @@ class EncryptedTable {
       const std::vector<std::vector<Value>>& rows,
       const Parallelism& par = Parallelism());
 
+  /// Attaches a shared decrypted-block cache (owned by the caller;
+  /// `codec_tag` distinguishes AEAD algorithms in cache keys). GetRow then
+  /// *refreshes* the cache with every row it decrypts, and GetRowCached
+  /// serves repeat reads from it.
+  void AttachBlockCache(DecryptedBlockCache* cache, uint8_t codec_tag) {
+    cache_ = cache;
+    cache_codec_tag_ = codec_tag;
+  }
+
+  /// Drops this row's cached plaintext, if any. Mutators that bypass
+  /// UpdateCell (e.g. tombstoning) must call this.
+  void InvalidateCachedRow(uint64_t row) const;
+
   /// Decodes one cell, authenticating its position where the codec can.
   StatusOr<Value> GetCell(uint64_t row, uint32_t column) const;
 
-  /// Decodes a whole row.
+  /// Decodes a whole row — always from storage, so tampering is caught
+  /// regardless of cache state. On success the row's plaintext is
+  /// (re)cached; on failure any cached copy is dropped.
   StatusOr<std::vector<Value>> GetRow(uint64_t row) const;
+
+  /// GetRow through the decrypted-block cache: a hit deserialises the
+  /// cached plaintext without touching storage; a miss decrypts via
+  /// GetRow. The hot path for query execution — callers that need a
+  /// storage-truthful read (integrity checks, direct point reads after
+  /// external mutation) use GetRow instead.
+  StatusOr<std::vector<Value>> GetRowCached(uint64_t row) const;
 
   /// Re-encodes one cell in place (fresh nonce under probabilistic codecs).
   Status UpdateCell(uint64_t row, uint32_t column, const Value& value);
@@ -66,9 +89,12 @@ class EncryptedTable {
   StatusOr<Bytes> EncodeCell(const Value& value, uint64_t row,
                              uint32_t column);
   StatusOr<CellCodec*> CodecFor(uint32_t column) const;
+  DecryptedBlockCache::Key RowCacheKey(uint64_t row) const;
 
   Table* table_;
   std::vector<CellCodec*> codecs_;
+  DecryptedBlockCache* cache_ = nullptr;  // not owned; null = no caching
+  uint8_t cache_codec_tag_ = 0;
 };
 
 }  // namespace sdbenc

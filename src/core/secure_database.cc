@@ -18,7 +18,8 @@ namespace sdbenc {
 SecureDatabase::SecureDatabase(Bytes master_key,
                                std::optional<uint64_t> rng_seed)
     : master_key_(std::move(master_key)),
-      storage_holder_(std::make_unique<Database>()) {
+      storage_holder_(std::make_unique<Database>()),
+      dcache_(std::make_unique<DecryptedBlockCache>()) {
   if (rng_seed.has_value()) {
     rng_ = std::make_unique<DeterministicRng>(*rng_seed);
   } else {
@@ -119,6 +120,12 @@ StatusOr<std::unique_ptr<Aead>> MakeAead(AeadAlgorithm alg,
 constexpr char kKeycheckPlaintext[] = "sdbenc-keycheck";
 constexpr CellAddress kKeycheckAddress{0, 0, 0};
 
+// Sealed table statistics live at this reserved per-table address — no real
+// cell can collide with it (rows are dense from 0).
+constexpr CellAddress StatsAddress(uint64_t table_id) {
+  return CellAddress{table_id, UINT64_MAX, UINT32_MAX};
+}
+
 }  // namespace
 
 StatusOr<Bytes> SecureDatabase::MakeKeycheckToken() const {
@@ -127,6 +134,17 @@ StatusOr<Bytes> SecureDatabase::MakeKeycheckToken() const {
       MakeAead(AeadAlgorithm::kEax, DeriveKey("keycheck")));
   AeadCellCodec codec(*aead, *rng_);
   return codec.Encode(BytesFromString(kKeycheckPlaintext), kKeycheckAddress);
+}
+
+StatusOr<Bytes> SecureDatabase::SealStats(const TableState& state) const {
+  BinaryWriter plain;
+  state.stats.Serialize(plain);
+  SDBENC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Aead> aead,
+      MakeAead(AeadAlgorithm::kEax, DeriveKey("stats/" + state.name)));
+  AeadCellCodec codec(*aead, *rng_);
+  return codec.Encode(ToView(plain.data()),
+                      StatsAddress(state.encrypted_table->table().id()));
 }
 
 Status SecureDatabase::VerifyKeycheck(BytesView token) const {
@@ -175,6 +193,17 @@ Status SecureDatabase::BuildTableState(
   }
   state->encrypted_table =
       std::make_unique<EncryptedTable>(table, std::move(codecs));
+  state->encrypted_table->AttachBlockCache(dcache_.get(),
+                                           static_cast<uint8_t>(alg));
+  // Fresh states start with the row count only (LoadCatalog overwrites
+  // this with unsealed persisted stats; rotation carries the live ones
+  // over); the planner falls back to syntactic defaults until then.
+  state->stats = TableStatistics(table->schema().num_columns());
+  uint64_t live_rows = 0;
+  for (uint64_t row = 0; row < table->num_rows(); ++row) {
+    if (!table->IsDeleted(row)) ++live_rows;
+  }
+  state->stats.SeedRowCountOnly(live_rows);
 
   for (size_t i = 0; i < indexed_columns.size(); ++i) {
     const std::string& column_name = indexed_columns[i];
@@ -196,6 +225,8 @@ Status SecureDatabase::BuildTableState(
     index_state.index = std::make_unique<EncryptedIndex>(
         index_state.codec.get(), index_state.index_table_id, table->id(),
         static_cast<uint32_t>(column), index_order);
+    index_state.index->AttachResultCache(dcache_.get(),
+                                         static_cast<uint8_t>(alg));
     if (populate_indexes) {
       // Decode the indexed column row-parallel (const reads), then build
       // the tree bottom-up in one pass — each entry encrypted exactly once
@@ -279,6 +310,7 @@ StatusOr<uint64_t> SecureDatabase::Insert(const std::string& table,
     SDBENC_RETURN_IF_ERROR(
         index_state.index->Add(values[index_state.column], row));
   }
+  state->stats.ObserveInsert(values);
   return row;
 }
 
@@ -301,6 +333,9 @@ Status SecureDatabase::BulkInsert(
       pairs.emplace_back(rows[row][index_state.column], row);
     }
     SDBENC_RETURN_IF_ERROR(index_state.index->BulkLoad(pairs, par));
+  }
+  for (const std::vector<Value>& row : rows) {
+    state->stats.ObserveInsert(row);
   }
   return OkStatus();
 }
@@ -343,7 +378,7 @@ StatusOr<std::vector<std::vector<Value>>> SecureDatabase::CollectRows(
           const uint64_t row = rows[i];
           if (state.encrypted_table->table().IsDeleted(row)) continue;
           SDBENC_ASSIGN_OR_RETURN(decoded[i],
-                                  state.encrypted_table->GetRow(row));
+                                  state.encrypted_table->GetRowCached(row));
           keep[i] = 1;
         }
         return OkStatus();
@@ -377,7 +412,7 @@ StatusOr<std::vector<std::vector<Value>>> SecureDatabase::ScanWhere(
             continue;
           }
           SDBENC_ASSIGN_OR_RETURN(decoded[row],
-                                  state.encrypted_table->GetRow(row));
+                                  state.encrypted_table->GetRowCached(row));
           keep[row] = 1;
         }
         return OkStatus();
@@ -439,10 +474,14 @@ Status SecureDatabase::Update(const std::string& table, uint64_t row,
     SDBENC_RETURN_IF_ERROR(index_state.index->Remove(old_value, row));
     SDBENC_RETURN_IF_ERROR(state->encrypted_table->UpdateCell(
         row, static_cast<uint32_t>(col), value));
-    return index_state.index->Add(value, row);
+    SDBENC_RETURN_IF_ERROR(index_state.index->Add(value, row));
+    state->stats.ObserveValue(col, value);
+    return OkStatus();
   }
-  return state->encrypted_table->UpdateCell(row, static_cast<uint32_t>(col),
-                                            value);
+  SDBENC_RETURN_IF_ERROR(state->encrypted_table->UpdateCell(
+      row, static_cast<uint32_t>(col), value));
+  state->stats.ObserveValue(col, value);
+  return OkStatus();
 }
 
 Status SecureDatabase::Delete(const std::string& table, uint64_t row) {
@@ -455,7 +494,10 @@ Status SecureDatabase::Delete(const std::string& table, uint64_t row) {
                                          row, index_state.column));
     SDBENC_RETURN_IF_ERROR(index_state.index->Remove(v, row));
   }
-  return raw->DeleteRow(row);
+  SDBENC_RETURN_IF_ERROR(raw->DeleteRow(row));
+  state->encrypted_table->InvalidateCachedRow(row);
+  state->stats.ObserveDelete();
+  return OkStatus();
 }
 
 Status SecureDatabase::VerifyIntegrity(const Parallelism& par) const {
@@ -502,7 +544,10 @@ std::string SecureDatabase::DumpMetrics(obs::ExportFormat format) const {
 
 Status SecureDatabase::WriteCatalog(BinaryWriter& w,
                                     RecordStore* dump_target) const {
-  w.PutU32(1);  // catalog version
+  // Version 2 appends AEAD-sealed per-table statistics after each table's
+  // index metadata; version-1 files still load (stats reseed from the row
+  // count).
+  w.PutU32(2);  // catalog version
   w.PutBytes(keycheck_);
   w.PutU64(next_index_table_id_);
   w.PutU32(static_cast<uint32_t>(tables_.size()));
@@ -545,6 +590,8 @@ Status SecureDatabase::WriteCatalog(BinaryWriter& w,
       }
       w.PutBytes(meta.data());
     }
+    SDBENC_ASSIGN_OR_RETURN(const Bytes sealed_stats, SealStats(*state));
+    w.PutBytes(sealed_stats);
   }
   return OkStatus();
 }
@@ -593,7 +640,7 @@ Status SecureDatabase::LoadCatalog() {
   SDBENC_ASSIGN_OR_RETURN(const Bytes image, records_->Get(root));
   BinaryReader r(image);
   SDBENC_ASSIGN_OR_RETURN(const uint32_t version, r.GetU32());
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return ParseError("unsupported catalog version " +
                       std::to_string(version));
   }
@@ -650,6 +697,10 @@ Status SecureDatabase::LoadCatalog() {
       index_ids.push_back(index_id);
       metas.push_back(std::move(meta));
     }
+    Bytes sealed_stats;
+    if (version >= 2) {
+      SDBENC_ASSIGN_OR_RETURN(sealed_stats, r.GetBytes());
+    }
     // populate_indexes=false: the trees attach to their persisted nodes
     // below and fault them in lazily — no decrypt-everything rebuild.
     SDBENC_RETURN_IF_ERROR(BuildTableState(name, alg, order, indexed,
@@ -660,6 +711,21 @@ Status SecureDatabase::LoadCatalog() {
       BinaryReader meta_reader(metas[i]);
       SDBENC_RETURN_IF_ERROR(state->indexes[i].index->tree().LoadFrom(
           records_.get(), meta_reader));
+    }
+    if (version >= 2) {
+      // Unseal the statistics; a forged or replayed blob fails AEAD
+      // authentication and aborts the open. Version-1 files keep the
+      // row-count-only seed from BuildTableState.
+      SDBENC_ASSIGN_OR_RETURN(
+          std::unique_ptr<Aead> aead,
+          MakeAead(AeadAlgorithm::kEax, DeriveKey("stats/" + name)));
+      AeadCellCodec codec(*aead, *rng_);
+      SDBENC_ASSIGN_OR_RETURN(const Bytes plain,
+                              codec.Decode(ToView(sealed_stats),
+                                           StatsAddress(table_id)));
+      BinaryReader stats_reader(plain);
+      SDBENC_ASSIGN_OR_RETURN(state->stats,
+                              TableStatistics::Deserialize(stats_reader));
     }
   }
   if (!r.AtEnd()) {
@@ -788,12 +854,22 @@ Status SecureDatabase::RotateMasterKey(BytesView new_master_key,
   // token must follow the key, or the next open would reject it.
   master_key_.assign(new_master_key.begin(), new_master_key.end());
   SDBENC_ASSIGN_OR_RETURN(keycheck_, MakeKeycheckToken());
+  // Every cached plaintext belongs to the old key epoch: bump (making all
+  // of it unreachable at once) and wipe the frames.
+  dcache_->BumpEpoch();
+  // Statistics describe plaintext, which rotation does not change — carry
+  // them across the state rebuild.
+  std::vector<TableStatistics> carried;
+  carried.reserve(tables_.size());
+  for (const auto& state : tables_) carried.push_back(state->stats);
   tables_.clear();
-  for (const Config& config : configs) {
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const Config& config = configs[i];
     SDBENC_RETURN_IF_ERROR(BuildTableState(config.name, config.alg,
                                            config.order, config.indexed,
                                            /*populate_indexes=*/true,
                                            /*index_table_ids=*/nullptr, par));
+    tables_.back()->stats = std::move(carried[i]);
   }
   return OkStatus();
 }
@@ -845,7 +921,8 @@ StatusOr<KeyGrant> SecureDatabase::GrantIndex(const std::string& table,
 
 void SecureDatabase::CloseSession() {
   SecureWipe(master_key_);
-  tables_.clear();  // drops every derived-key object
+  dcache_->WipeAll();  // no decrypted plaintext survives the session
+  tables_.clear();     // drops every derived-key object
   closed_ = true;
 }
 

@@ -9,6 +9,7 @@
 #include "core/encrypted_index.h"
 #include "core/restricted_reader.h"
 #include "core/encrypted_table.h"
+#include "db/column_stats.h"
 #include "db/database.h"
 #include "obs/export.h"
 #include "schemes/aead_cell.h"
@@ -203,6 +204,10 @@ class SecureDatabase {
     std::vector<std::unique_ptr<Aead>> column_aeads;
     std::vector<std::unique_ptr<AeadCellCodec>> column_codecs;
     std::unique_ptr<EncryptedTable> encrypted_table;
+    /// Plaintext summaries (row count, per-column HLL distinct sketch,
+    /// min/max) maintained on every write and fed to the cost-based
+    /// planner. Persisted AEAD-sealed in the version-2 catalog.
+    TableStatistics stats;
     struct IndexState {
       uint32_t column;
       std::string column_name;
@@ -216,6 +221,13 @@ class SecureDatabase {
     std::vector<IndexState> indexes;
   };
   StatusOr<const TableState*> GetTableState(const std::string& table) const;
+
+  /// The session's decrypted-block cache (never null while the session
+  /// lives): row plaintexts and index point-lookup results, sharded-LRU,
+  /// secure-wiped on eviction, epoch-invalidated by RotateMasterKey and
+  /// emptied by CloseSession. Exposed for benches/tests (stats, WipeAll
+  /// between cold/hot runs) and for the query engine's cost model.
+  DecryptedBlockCache* decrypted_cache() const { return dcache_.get(); }
 
   /// Degree of parallelism for the read-only query paths (index row
   /// collection and unindexed decrypt-scans), which take no per-call option.
@@ -267,6 +279,12 @@ class SecureDatabase {
   /// durability step (checkpoint vs. group commit) to the caller.
   Status FlushToEngine();
 
+  /// Serialises a table's statistics and seals them under the dedicated
+  /// "stats/<table>" subkey at a reserved address: the summaries describe
+  /// plaintext (row count, value ranges, distinct counts) and must not
+  /// reach untrusted storage in clear.
+  StatusOr<Bytes> SealStats(const TableState& state) const;
+
   /// The keycheck token: a constant AEAD-encrypted under a dedicated
   /// subkey. Verifying it on open rejects a wrong master key with
   /// kAuthenticationFailed before any cell is touched.
@@ -289,6 +307,7 @@ class SecureDatabase {
   std::unique_ptr<Database> storage_holder_;
   std::unique_ptr<StorageEngine> engine_;
   std::unique_ptr<RecordStore> records_;
+  std::unique_ptr<DecryptedBlockCache> dcache_;
   std::vector<std::unique_ptr<TableState>> tables_;
   Bytes keycheck_;
   uint64_t catalog_record_ = kNoRecord;

@@ -1,0 +1,193 @@
+#include "db/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "db/serialize.h"
+
+namespace sdbenc {
+
+namespace {
+
+/// FNV-1a 64 over the order-preserving encoding: a fast mixing hash for the
+/// HLL sketch (cardinality estimation needs dispersion, not unforgeability).
+uint64_t HashValue(const Value& v) {
+  const Bytes encoded = v.SerializeComparable();
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const uint8_t b : encoded) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  // FNV-1a's high bits barely avalanche for inputs that differ only in
+  // their trailing bytes (sequential integers all land in one register
+  // without this). Murmur3's finaliser gives every input bit a ~50%
+  // influence on every output bit, which HLL's register index needs.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Leading-zero rank of the 58 low-order hash bits, as HLL wants it.
+uint8_t Rank(uint64_t hash_low_bits) {
+  uint8_t rank = 1;
+  uint64_t w = hash_low_bits << 6;  // drop the 6 register-index bits
+  while (rank <= 58 && (w & 0x8000000000000000ull) == 0) {
+    ++rank;
+    w <<= 1;
+  }
+  return rank;
+}
+
+bool NumericType(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kFloat64;
+}
+
+double AsOrderedDouble(const Value& v) {
+  return v.type() == ValueType::kInt64 ? static_cast<double>(v.AsInt())
+                                       : v.AsDouble();
+}
+
+}  // namespace
+
+void ColumnStats::Observe(const Value& v) {
+  if (v.is_null()) return;
+  ++non_null_;
+  const uint64_t h = HashValue(v);
+  const size_t idx = static_cast<size_t>(h >> 58);  // top 6 bits
+  registers_[idx] = std::max(registers_[idx], Rank(h));
+  if (NumericType(v.type())) {
+    if (!min_ || Value::Compare(v, *min_) < 0) min_ = v;
+    if (!max_ || Value::Compare(v, *max_) > 0) max_ = v;
+  }
+}
+
+double ColumnStats::EstimateDistinct() const {
+  if (non_null_ == 0) return 0.0;
+  constexpr double kM = static_cast<double>(kRegisters);
+  constexpr double kAlpha = 0.709;  // alpha_64 = 0.7213 / (1 + 1.079/64)
+  double inv_sum = 0.0;
+  size_t zeros = 0;
+  for (const uint8_t reg : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double estimate = kAlpha * kM * kM / inv_sum;
+  if (estimate <= 2.5 * kM && zeros > 0) {
+    estimate = kM * std::log(kM / static_cast<double>(zeros));
+  }
+  // Can never exceed the number of observed values.
+  return std::min(estimate, static_cast<double>(non_null_));
+}
+
+void ColumnStats::Serialize(BinaryWriter& w) const {
+  w.PutU64(non_null_);
+  w.PutBytes(BytesView(registers_.data(), registers_.size()));
+  w.PutU8(min_ ? 1 : 0);
+  if (min_) w.PutBytes(min_->Serialize());
+  w.PutU8(max_ ? 1 : 0);
+  if (max_) w.PutBytes(max_->Serialize());
+}
+
+StatusOr<ColumnStats> ColumnStats::Deserialize(BinaryReader& r) {
+  ColumnStats stats;
+  SDBENC_ASSIGN_OR_RETURN(stats.non_null_, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(const Bytes regs, r.GetBytes());
+  if (regs.size() != kRegisters) {
+    return ParseError("column stats sketch has wrong register count");
+  }
+  std::copy(regs.begin(), regs.end(), stats.registers_.begin());
+  SDBENC_ASSIGN_OR_RETURN(const uint8_t has_min, r.GetU8());
+  if (has_min != 0) {
+    SDBENC_ASSIGN_OR_RETURN(const Bytes encoded, r.GetBytes());
+    SDBENC_ASSIGN_OR_RETURN(stats.min_, Value::Deserialize(encoded));
+  }
+  SDBENC_ASSIGN_OR_RETURN(const uint8_t has_max, r.GetU8());
+  if (has_max != 0) {
+    SDBENC_ASSIGN_OR_RETURN(const Bytes encoded, r.GetBytes());
+    SDBENC_ASSIGN_OR_RETURN(stats.max_, Value::Deserialize(encoded));
+  }
+  return stats;
+}
+
+double TableStatistics::avg_row_bytes() const {
+  if (row_count_ == 0) return 0.0;
+  return static_cast<double>(total_value_bytes_) /
+         static_cast<double>(row_count_);
+}
+
+void TableStatistics::ObserveInsert(const std::vector<Value>& row) {
+  ++row_count_;
+  for (size_t c = 0; c < row.size() && c < columns_.size(); ++c) {
+    columns_[c].Observe(row[c]);
+    total_value_bytes_ += row[c].Serialize().size();
+  }
+}
+
+void TableStatistics::ObserveValue(size_t column, const Value& v) {
+  if (column < columns_.size()) columns_[column].Observe(v);
+}
+
+void TableStatistics::ObserveDelete() {
+  if (row_count_ > 0) --row_count_;
+}
+
+double TableStatistics::EstimateEqualityFraction(size_t column,
+                                                 double fallback) const {
+  if (row_count_ == 0 || column >= columns_.size()) return fallback;
+  const double distinct = columns_[column].EstimateDistinct();
+  if (distinct <= 0.0) return fallback;
+  const double fraction = 1.0 / distinct;
+  return std::clamp(fraction, 1.0 / static_cast<double>(row_count_), 1.0);
+}
+
+double TableStatistics::EstimateRangeFraction(size_t column, const Value* lo,
+                                              const Value* hi,
+                                              double fallback) const {
+  if (row_count_ == 0 || column >= columns_.size()) return fallback;
+  const ColumnStats& stats = columns_[column];
+  if (!stats.min() || !stats.max()) return fallback;
+  const double col_min = AsOrderedDouble(*stats.min());
+  const double col_max = AsOrderedDouble(*stats.max());
+  const double width = col_max - col_min;
+  if (!(width > 0.0)) {
+    // Single-valued (or degenerate) column: a bounded range either covers
+    // it or misses it; be conservative and assume it covers.
+    return 1.0;
+  }
+  double lo_d = col_min;
+  double hi_d = col_max;
+  if (lo != nullptr && NumericType(lo->type())) {
+    lo_d = std::max(col_min, AsOrderedDouble(*lo));
+  }
+  if (hi != nullptr && NumericType(hi->type())) {
+    hi_d = std::min(col_max, AsOrderedDouble(*hi));
+  }
+  if (hi_d < lo_d) return 0.0;
+  return std::clamp((hi_d - lo_d) / width, 0.0, 1.0);
+}
+
+void TableStatistics::Serialize(BinaryWriter& w) const {
+  w.PutU64(row_count_);
+  w.PutU64(total_value_bytes_);
+  w.PutU32(static_cast<uint32_t>(columns_.size()));
+  for (const ColumnStats& col : columns_) col.Serialize(w);
+}
+
+StatusOr<TableStatistics> TableStatistics::Deserialize(BinaryReader& r) {
+  TableStatistics stats;
+  SDBENC_ASSIGN_OR_RETURN(stats.row_count_, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(stats.total_value_bytes_, r.GetU64());
+  SDBENC_ASSIGN_OR_RETURN(const uint32_t ncols, r.GetU32());
+  if (ncols > 4096) return ParseError("implausible stats column count");
+  stats.columns_.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    SDBENC_ASSIGN_OR_RETURN(ColumnStats col, ColumnStats::Deserialize(r));
+    stats.columns_.push_back(std::move(col));
+  }
+  return stats;
+}
+
+}  // namespace sdbenc

@@ -1,0 +1,98 @@
+#ifndef SDBENC_DB_COLUMN_STATS_H_
+#define SDBENC_DB_COLUMN_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "db/value.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+class BinaryReader;
+class BinaryWriter;
+
+/// Per-column summary maintained incrementally on the write path and fed to
+/// the cost-based planner: non-null count, a 64-register HLL-style sketch
+/// estimating the number of distinct values, and min/max for the ordered
+/// types. The sketch hashes Value::SerializeComparable(), so equal values
+/// always land on the same register regardless of type-specific encoding.
+///
+/// Everything here describes *plaintext* — the stats must never reach
+/// untrusted storage in clear (SecureDatabase seals them into the catalog
+/// under a dedicated subkey; DESIGN §13).
+class ColumnStats {
+ public:
+  static constexpr size_t kRegisters = 64;
+
+  void Observe(const Value& v);
+
+  uint64_t non_null() const { return non_null_; }
+  const std::optional<Value>& min() const { return min_; }
+  const std::optional<Value>& max() const { return max_; }
+
+  /// HLL estimate of the number of distinct observed values (>= 0; 0 when
+  /// nothing was observed). Small counts use linear counting.
+  double EstimateDistinct() const;
+
+  void Serialize(BinaryWriter& w) const;
+  static StatusOr<ColumnStats> Deserialize(BinaryReader& r);
+
+ private:
+  uint64_t non_null_ = 0;
+  std::array<uint8_t, kRegisters> registers_{};
+  std::optional<Value> min_;
+  std::optional<Value> max_;
+};
+
+/// Whole-table statistics: live row count, average row payload size, one
+/// ColumnStats per column. Deletions decrement the live count but leave the
+/// per-column summaries alone (sketches and min/max cannot forget), so
+/// long-lived churny tables drift conservative — estimates err toward more
+/// distinct values and wider ranges, never toward silently tiny ones.
+class TableStatistics {
+ public:
+  TableStatistics() = default;
+  explicit TableStatistics(size_t num_columns) : columns_(num_columns) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t row_count() const { return row_count_; }
+  double avg_row_bytes() const;
+  const ColumnStats& column(size_t c) const { return columns_[c]; }
+
+  void ObserveInsert(const std::vector<Value>& row);
+  /// Update path: widens the column summary with the new value. The old
+  /// value is not retracted (see class comment).
+  void ObserveValue(size_t column, const Value& v);
+  void ObserveDelete();
+
+  /// Used when reopening a version-1 catalog that carries no stats: the row
+  /// count is recoverable from the storage directory, the rest stays
+  /// unknown and the planner falls back to its syntactic defaults.
+  void SeedRowCountOnly(uint64_t live_rows) { row_count_ = live_rows; }
+
+  /// Selectivity of `col = literal`: 1/distinct, clamped to [1/rows, 1].
+  /// Falls back to `fallback` when nothing was observed.
+  double EstimateEqualityFraction(size_t column, double fallback) const;
+
+  /// Selectivity of an inclusive range on an Int64/Float64 column by linear
+  /// interpolation against the observed [min, max]; nullptr = unbounded on
+  /// that side. Falls back to `fallback` for non-numeric or unobserved
+  /// columns.
+  double EstimateRangeFraction(size_t column, const Value* lo,
+                               const Value* hi, double fallback) const;
+
+  void Serialize(BinaryWriter& w) const;
+  static StatusOr<TableStatistics> Deserialize(BinaryReader& r);
+
+ private:
+  uint64_t row_count_ = 0;
+  uint64_t total_value_bytes_ = 0;
+  std::vector<ColumnStats> columns_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_DB_COLUMN_STATS_H_

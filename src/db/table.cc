@@ -10,6 +10,7 @@ StatusOr<uint64_t> Table::AppendRow(std::vector<Bytes> cells) {
   }
   rows_.push_back(std::move(cells));
   deleted_.push_back(false);
+  row_versions_.push_back(0);
   row_records_.push_back(kNoRecord);
   row_dirty_.push_back(true);
   return static_cast<uint64_t>(rows_.size() - 1);
@@ -34,6 +35,7 @@ StatusOr<BytesView> Table::cell(uint64_t row, uint32_t column) const {
 StatusOr<Bytes*> Table::mutable_cell(uint64_t row, uint32_t column) {
   SDBENC_RETURN_IF_ERROR(CheckBounds(row, column));
   row_dirty_[row] = true;
+  ++row_versions_[row];
   return &rows_[row][column];
 }
 
@@ -80,6 +82,7 @@ Status Table::LoadRows(RecordStore& store, const std::vector<uint64_t>& ids) {
   }
   row_records_ = ids;
   row_dirty_.assign(ids.size(), false);
+  row_versions_.assign(ids.size(), 0);
   return OkStatus();
 }
 

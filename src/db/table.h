@@ -39,8 +39,19 @@ class Table {
   StatusOr<BytesView> cell(uint64_t row, uint32_t column) const;
 
   /// Write access — legitimate updates and adversarial tampering both go
-  /// through here, as both are just writes to untrusted storage.
+  /// through here, as both are just writes to untrusted storage. Every
+  /// access bumps the row's stored-bytes version.
   StatusOr<Bytes*> mutable_cell(uint64_t row, uint32_t column);
+
+  /// Monotonic counter of writes to this row's stored bytes (via
+  /// mutable_cell or LoadRows replacing content). Layers that cache
+  /// *derived* state — notably decrypted plaintext — key it by this
+  /// version, so anything recomputed after a storage write sees the new
+  /// bytes: a rewritten cell can never be masked by a stale cached
+  /// decrypt.
+  uint64_t row_version(uint64_t row) const {
+    return row < row_versions_.size() ? row_versions_[row] : 0;
+  }
 
   /// The address triple for a cell of this table.
   CellAddress AddressOf(uint64_t row, uint32_t column) const {
@@ -80,6 +91,7 @@ class Table {
   Schema schema_;
   std::vector<std::vector<Bytes>> rows_;
   std::vector<bool> deleted_;
+  std::vector<uint64_t> row_versions_;
   // Page-residence bookkeeping: which record holds each row, and which rows
   // have changed since the last FlushRows().
   std::vector<uint64_t> row_records_;

@@ -52,6 +52,12 @@ uint64_t Histogram::Sum() const {
   return total;
 }
 
+double Histogram::Mean() const {
+  const uint64_t count = Count();
+  if (count == 0) return 0.0;
+  return static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
 void Histogram::ResetForTest() {
   for (Cell& cell : cells_) {
     for (std::atomic<uint64_t>& bucket : cell.buckets) {

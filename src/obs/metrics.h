@@ -136,6 +136,9 @@ class Histogram {
 
   uint64_t Count() const;
   uint64_t Sum() const;
+  /// Sum/Count, or 0.0 when nothing was recorded — the cost model's way of
+  /// reading "typical observed latency" off a live histogram.
+  double Mean() const;
   const std::string& name() const { return name_; }
 
  private:

@@ -1,0 +1,139 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "schemes/aead_cell.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+
+namespace {
+
+struct DecryptCalibration {
+  double fixed_ns = 2000.0;
+  double per_byte_ns = 2.0;
+};
+
+/// Times the real cell codec at two payload sizes and solves for the fixed
+/// and per-byte components. Runs once per algorithm per process (the result
+/// is workload-independent); a calibration failure — e.g. an algorithm the
+/// build lacks — keeps the conservative defaults.
+DecryptCalibration MeasureDecrypt(AeadAlgorithm alg) {
+  DecryptCalibration cal;
+  DeterministicRng rng(0x5dbc0572);  // fixed: calibration must be repeatable
+  const Bytes key = rng.RandomBytes(32);
+  const bool wide_key =
+      alg == AeadAlgorithm::kSiv || alg == AeadAlgorithm::kEtm;
+  const BytesView key_view =
+      wide_key ? ToView(key) : BytesView(key.data(), 16);
+  StatusOr<std::unique_ptr<Aead>> aead = CreateAead(alg, key_view);
+  if (!aead.ok()) return cal;
+  AeadCellCodec codec(**aead, rng);
+  const CellAddress addr{/*table_id=*/0, /*row=*/0, /*column=*/0};
+
+  constexpr size_t kSmall = 64;
+  constexpr size_t kLarge = 4096;
+  double mean_ns[2] = {0.0, 0.0};
+  const size_t sizes[2] = {kSmall, kLarge};
+  for (int s = 0; s < 2; ++s) {
+    const Bytes plaintext = rng.RandomBytes(sizes[s]);
+    StatusOr<Bytes> stored = codec.Encode(ToView(plaintext), addr);
+    if (!stored.ok()) return cal;
+    // Warm once, then time a batch big enough to swamp the clock.
+    if (!codec.Decode(ToView(*stored), addr).ok()) return cal;
+    constexpr int kIters = 32;
+    const uint64_t begin = obs::NowNs();
+    for (int i = 0; i < kIters; ++i) {
+      if (!codec.Decode(ToView(*stored), addr).ok()) return cal;
+    }
+    mean_ns[s] = static_cast<double>(obs::NowNs() - begin) / kIters;
+  }
+  const double per_byte =
+      (mean_ns[1] - mean_ns[0]) / static_cast<double>(kLarge - kSmall);
+  cal.per_byte_ns = std::max(per_byte, 0.05);
+  cal.fixed_ns =
+      std::max(mean_ns[0] - cal.per_byte_ns * static_cast<double>(kSmall),
+               100.0);
+  return cal;
+}
+
+const DecryptCalibration& CalibratedDecrypt(AeadAlgorithm alg) {
+  static std::mutex mu;
+  static std::map<AeadAlgorithm, DecryptCalibration>* cache =
+      new std::map<AeadAlgorithm, DecryptCalibration>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(alg);
+  if (it == cache->end()) {
+    it = cache->emplace(alg, MeasureDecrypt(alg)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+double CostModelParams::RowFetchNs(double row_bytes,
+                                   size_t num_columns) const {
+  const double cols = static_cast<double>(std::max<size_t>(num_columns, 1));
+  const double decrypt_ns =
+      cols * decrypt_fixed_ns + row_bytes * decrypt_per_byte_ns;
+  const double hit_ns = cols * deserialize_ns;
+  const double fault = (1.0 - pool_hit_rate) * fault_ns;
+  return cache_hit_rate * hit_ns + (1.0 - cache_hit_rate) * decrypt_ns +
+         fault;
+}
+
+double CostModelParams::IndexEntryNs() const {
+  // Tree entries are small (key + refs); the fixed AEAD term dominates.
+  return decrypt_fixed_ns + 32.0 * decrypt_per_byte_ns;
+}
+
+double CostModelParams::RowReuseNs(size_t num_columns) const {
+  return static_cast<double>(std::max<size_t>(num_columns, 1)) *
+         deserialize_ns;
+}
+
+double CostModelParams::EffectiveParallelism(double items) const {
+  // The parallel phases split at grain 16, so fewer than ~16 rows per
+  // worker cannot use every thread.
+  return std::max(1.0, std::min(threads, items / 16.0));
+}
+
+CostModelParams GatherCostParams(AeadAlgorithm alg,
+                                 const DecryptedBlockCache* cache,
+                                 const Parallelism& par) {
+  CostModelParams params;
+  const DecryptCalibration& cal = CalibratedDecrypt(alg);
+  params.decrypt_fixed_ns = cal.fixed_ns;
+  params.decrypt_per_byte_ns = cal.per_byte_ns;
+
+  if (cache != nullptr) {
+    const DecryptedBlockCache::Stats stats = cache->GetStats();
+    const double lookups =
+        static_cast<double>(stats.hits) + static_cast<double>(stats.misses);
+    if (lookups > 0.0) {
+      params.cache_hit_rate = static_cast<double>(stats.hits) / lookups;
+    }
+  }
+
+  // Buffer-pool behaviour from the live registry: sessions on the memory
+  // engine never touch these counters and keep the resident defaults.
+  const double pool_hits = static_cast<double>(
+      obs::Registry().GetCounter("sdbenc_storage_pool_hits_total")->Value());
+  const double pool_misses = static_cast<double>(
+      obs::Registry()
+          .GetCounter("sdbenc_storage_pool_misses_total")
+          ->Value());
+  if (pool_hits + pool_misses > 0.0) {
+    params.pool_hit_rate = pool_hits / (pool_hits + pool_misses);
+    params.fault_ns =
+        obs::Registry().GetHistogram("sdbenc_storage_fault_ns")->Mean();
+  }
+
+  params.threads = static_cast<double>(std::max<size_t>(par.Resolve(), 1));
+  return params;
+}
+
+}  // namespace sdbenc

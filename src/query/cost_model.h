@@ -1,0 +1,68 @@
+#ifndef SDBENC_QUERY_COST_MODEL_H_
+#define SDBENC_QUERY_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "aead/factory.h"
+#include "storage/decrypted_cache.h"
+#include "util/thread_pool.h"
+
+namespace sdbenc {
+
+/// Inputs the cost-based planner prices access paths with. Everything is in
+/// nanoseconds of estimated work; the absolute scale is irrelevant — only
+/// the ratio between the index path and the scan path drives the decision
+/// (with hysteresis, see planner.h).
+///
+/// The crypto terms come from a one-off per-process calibration of the
+/// actual AEAD codec (measured, not assumed: a SIV decrypt prices very
+/// differently from EAX), the cache/pool terms from the live obs counters —
+/// so the same query can plan differently on a cache-hot session than on a
+/// cold one, which is the point of being adaptive.
+struct CostModelParams {
+  /// Fixed per-cell AEAD decode overhead (key schedule, tag check) and the
+  /// marginal cost per ciphertext byte.
+  double decrypt_fixed_ns = 2000.0;
+  double decrypt_per_byte_ns = 2.0;
+  /// Deserialising one already-decrypted cached cell.
+  double deserialize_ns = 300.0;
+  /// Decrypted-block cache hit rate observed so far (0 = always miss).
+  double cache_hit_rate = 0.0;
+  /// Buffer-pool hit rate (1 = fully resident, the memory-engine case).
+  double pool_hit_rate = 1.0;
+  /// Mean page-fault latency when the pool misses.
+  double fault_ns = 0.0;
+  /// Worker threads available to the row-parallel phases.
+  double threads = 1.0;
+
+  /// Expected cost of materialising one row of `row_bytes` payload across
+  /// `num_columns` cells, given the current cache and pool hit rates.
+  double RowFetchNs(double row_bytes, size_t num_columns) const;
+
+  /// Cost of decoding one encrypted B+-tree entry during a tree walk.
+  double IndexEntryNs() const;
+
+  /// Cost of re-materialising a row the same statement just fetched: the
+  /// filter pass left its plaintext in the decrypted-block cache, so the
+  /// second touch pays deserialisation only. Prices the two-pass shape of
+  /// residual-carrying plans (filter all candidates, then materialise the
+  /// matches).
+  double RowReuseNs(size_t num_columns) const;
+
+  /// Effective parallel speedup over `items` units of work: capped by the
+  /// thread count and by the grain (tiny row sets do not fan out).
+  double EffectiveParallelism(double items) const;
+};
+
+/// Snapshot of the live system: calibrated decrypt throughput for `alg`
+/// (measured once per algorithm per process), decrypted-cache hit rate,
+/// buffer-pool hit rate and fault latency from the obs registry, and the
+/// resolved thread count of `par`. `cache` may be null (hit rate 0).
+CostModelParams GatherCostParams(AeadAlgorithm alg,
+                                 const DecryptedBlockCache* cache,
+                                 const Parallelism& par);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_QUERY_COST_MODEL_H_

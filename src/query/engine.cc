@@ -133,7 +133,25 @@ StatusOr<AccessPlan> QueryEngine::PlanFor(
     }
     return false;
   };
-  return PlanAccess(where, has_index);
+  PlannerContext ctx;
+  ctx.stats = &state.stats;
+  ctx.schema = &state.encrypted_table->table().schema();
+  ctx.index_order = state.index_order;
+  ctx.params = CostParamsFor(state.aead_alg);
+  ctx.mode = planner_mode_;
+  return PlanAccessCosted(where, has_index, ctx);
+}
+
+CostModelParams QueryEngine::CostParamsFor(AeadAlgorithm alg) const {
+  std::lock_guard<std::mutex> lock(params_mu_);
+  if (cached_params_uses_left_ == 0 || cached_params_alg_ != alg) {
+    cached_params_ =
+        GatherCostParams(alg, db_->decrypted_cache(), parallelism_);
+    cached_params_alg_ = alg;
+    cached_params_uses_left_ = kParamRefreshStatements;
+  }
+  --cached_params_uses_left_;
+  return cached_params_;
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
@@ -157,7 +175,14 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
     {
       const obs::StageTimer timer(Metrics().index_lookup_ns,
                                   "query.index_lookup");
-      SDBENC_ASSIGN_OR_RETURN(candidates, index->RangeBounded(lo, hi));
+      if (plan.range.is_point) {
+        // The point path goes through Lookup, whose result list is
+        // memoised in the decrypted-block cache — a repeated point query
+        // skips the tree walk (and its per-node entry decrypts) entirely.
+        SDBENC_ASSIGN_OR_RETURN(candidates, index->Lookup(*lo));
+      } else {
+        SDBENC_ASSIGN_OR_RETURN(candidates, index->RangeBounded(lo, hi));
+      }
     }
   } else {
     candidates.reserve(table.num_rows());
@@ -179,7 +204,7 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
           if (table.IsDeleted(row)) continue;
           if (plan.residual != nullptr) {
             SDBENC_ASSIGN_OR_RETURN(std::vector<Value> values,
-                                    state.encrypted_table->GetRow(row));
+                                    state.encrypted_table->GetRowCached(row));
             SDBENC_ASSIGN_OR_RETURN(bool match,
                                     plan.residual->Evaluate(schema, values));
             if (!match) continue;
@@ -223,8 +248,8 @@ StatusOr<QueryResult> QueryEngine::Execute(
         rows.size(), /*grain=*/16, parallelism_,
         [&](size_t begin, size_t end) -> Status {
           for (size_t i = begin; i < end; ++i) {
-            SDBENC_ASSIGN_OR_RETURN(full_rows[i],
-                                    state->encrypted_table->GetRow(rows[i]));
+            SDBENC_ASSIGN_OR_RETURN(
+                full_rows[i], state->encrypted_table->GetRowCached(rows[i]));
           }
           return OkStatus();
         }));

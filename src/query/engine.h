@@ -1,11 +1,13 @@
 #ifndef SDBENC_QUERY_ENGINE_H_
 #define SDBENC_QUERY_ENGINE_H_
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/secure_database.h"
+#include "query/cost_model.h"
 #include "query/expr.h"
 #include "query/planner.h"
 
@@ -71,6 +73,13 @@ class QueryEngine {
                        const Parallelism& par = Parallelism())
       : db_(db), parallelism_(par) {}
 
+  /// Access-path selection policy. kAdaptive (the default) prices the
+  /// index path against a full scan with live statistics and system
+  /// measurements; the forced modes pin one path for benches and tests.
+  /// Results are identical in every mode — only the cost changes.
+  void set_planner_mode(PlannerMode mode) { planner_mode_ = mode; }
+  PlannerMode planner_mode() const { return planner_mode_; }
+
   StatusOr<QueryResult> Execute(const SelectStatement& statement) const;
   StatusOr<QueryResult> Execute(const InsertStatement& statement) const;
   StatusOr<QueryResult> Execute(const UpdateStatement& statement) const;
@@ -88,8 +97,22 @@ class QueryEngine {
   StatusOr<AccessPlan> PlanFor(const SecureDatabase::TableState& state,
                                const ExprPtr& where) const;
 
+  /// Current cost-model inputs for `alg`, refreshed from the live system
+  /// every kParamRefreshStatements statements. Hit rates drift slowly, and
+  /// gathering them fresh (three registry lookups plus a sweep over every
+  /// cache shard) would otherwise dominate cache-hot point queries.
+  CostModelParams CostParamsFor(AeadAlgorithm alg) const;
+
+  static constexpr uint64_t kParamRefreshStatements = 32;
+
   SecureDatabase* db_;
   Parallelism parallelism_;
+  PlannerMode planner_mode_ = PlannerMode::kAdaptive;
+
+  mutable std::mutex params_mu_;
+  mutable CostModelParams cached_params_;
+  mutable std::optional<AeadAlgorithm> cached_params_alg_;
+  mutable uint64_t cached_params_uses_left_ = 0;
 };
 
 }  // namespace sdbenc

@@ -5,6 +5,9 @@
 #include <optional>
 #include <string>
 
+#include "db/column_stats.h"
+#include "db/table.h"
+#include "query/cost_model.h"
 #include "query/expr.h"
 
 namespace sdbenc {
@@ -27,7 +30,28 @@ struct AccessPlan {
   Kind kind = Kind::kFullScan;
   ColumnRange range;   // meaningful for kIndexRange
   ExprPtr residual;    // remaining predicate to apply per row (may be null)
+  /// Filled by the cost-based path (PlanAccessCosted): the priced cost of
+  /// the chosen plan in model-nanoseconds and the estimated result rows.
+  /// Not part of ToString() — the plan text is a stable test surface.
+  double cost = 0.0;
+  double est_rows = 0.0;
   std::string ToString() const;
+};
+
+/// How PlanAccessCosted chooses between the syntactic index plan and a full
+/// scan. kAdaptive prices both; the forced modes exist for benches and for
+/// regression-pinning a path.
+enum class PlannerMode { kAdaptive, kForceIndex, kForceScan };
+
+/// Everything the cost-based planner knows about the target table and the
+/// live system. All pointers are borrowed and may be null — a null stats or
+/// schema degrades to the purely syntactic PlanAccess decision.
+struct PlannerContext {
+  const TableStatistics* stats = nullptr;
+  const Schema* schema = nullptr;
+  size_t index_order = 8;
+  CostModelParams params;
+  PlannerMode mode = PlannerMode::kAdaptive;
 };
 
 /// Plans a predicate against the available indexes: walks the top-level AND
@@ -42,6 +66,18 @@ struct AccessPlan {
 AccessPlan PlanAccess(
     const ExprPtr& predicate,
     const std::function<bool(const std::string&)>& has_index);
+
+/// Cost-based wrapper over PlanAccess: prices the syntactic index plan
+/// against a full scan using live statistics (selectivity from the HLL
+/// sketch and min/max interpolation) and the measured system parameters,
+/// and keeps the cheaper path. Index plans are only demoted when the scan
+/// is at least 2x cheaper (hysteresis: near-ties keep the index, whose
+/// result-size behaviour is more predictable). Forced modes skip the
+/// comparison. The returned plan carries its cost/est_rows either way.
+AccessPlan PlanAccessCosted(
+    const ExprPtr& predicate,
+    const std::function<bool(const std::string&)>& has_index,
+    const PlannerContext& ctx);
 
 }  // namespace sdbenc
 

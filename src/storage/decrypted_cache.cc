@@ -1,0 +1,193 @@
+#include "storage/decrypted_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/constant_time.h"
+#include "util/ct_taint.h"
+
+namespace sdbenc {
+
+namespace {
+
+/// Registry handles are process-lifetime stable; cache instances share them
+/// (the per-instance Stats() atomics keep sessions separable).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Counter* wipes;
+  obs::Gauge* resident_bytes;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = {
+      obs::Registry().GetCounter("sdbenc_dcache_hits_total"),
+      obs::Registry().GetCounter("sdbenc_dcache_misses_total"),
+      obs::Registry().GetCounter("sdbenc_dcache_insertions_total"),
+      obs::Registry().GetCounter("sdbenc_dcache_evictions_total"),
+      obs::Registry().GetCounter("sdbenc_dcache_wipes_total"),
+      obs::Registry().GetGauge("sdbenc_dcache_resident_bytes"),
+  };
+  return m;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(BytesView data, uint64_t seed) {
+  // FNV-1a with the seed folded into the offset basis.
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (const uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+size_t DecryptedBlockCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(k.space);
+  mix(k.block);
+  mix((uint64_t{k.sub} << 8) | k.codec);
+  mix(k.version);
+  mix(k.epoch);
+  return static_cast<size_t>(h);
+}
+
+DecryptedBlockCache::DecryptedBlockCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes == 0 ? 1 : capacity_bytes),
+      shard_capacity_((capacity_bytes_ + kShards - 1) / kShards) {}
+
+DecryptedBlockCache::~DecryptedBlockCache() { WipeAll(); }
+
+DecryptedBlockCache::Shard& DecryptedBlockCache::ShardFor(const Key& key) {
+  return shards_[KeyHash{}(key) % kShards];
+}
+
+void DecryptedBlockCache::WipeFrameLocked(Shard& shard,
+                                          std::list<Frame>::iterator it,
+                                          bool count_as_eviction) {
+  Bytes& buf = it->plaintext;
+  shard.bytes -= buf.size();
+  Metrics().resident_bytes->Add(-static_cast<int64_t>(buf.size()));
+  shard.map.erase(it->key);
+  // Zeroise in place (volatile, so the store survives optimisation) while
+  // the buffer keeps its size — the test observer below asserts on the
+  // wiped frame. The zeroed buffer is public by construction; the
+  // declassify seam closes the taint span for MSan/valgrind tracking.
+  volatile uint8_t* p = buf.data();
+  for (size_t i = 0; i < buf.size(); ++i) p[i] = 0;
+  if (!buf.empty()) ct::Declassify(buf.data(), buf.size());
+  wipes_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().wipes->Increment();
+  if (count_as_eviction) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().evictions->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    if (wipe_observer_) wipe_observer_(buf);
+  }
+  SecureWipe(buf);
+  shard.lru.erase(it);
+}
+
+std::optional<Bytes> DecryptedBlockCache::Lookup(const Key& key) {
+  if (key.epoch != epoch()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().misses->Increment();
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().misses->Increment();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().hits->Increment();
+  return it->second->plaintext;
+}
+
+void DecryptedBlockCache::Insert(const Key& key, BytesView plaintext) {
+  if (key.epoch != epoch()) return;  // raced with a rotation: drop
+  if (plaintext.size() > shard_capacity_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    WipeFrameLocked(shard, it->second, /*count_as_eviction=*/false);
+  }
+  while (shard.bytes + plaintext.size() > shard_capacity_ &&
+         !shard.lru.empty()) {
+    WipeFrameLocked(shard, std::prev(shard.lru.end()),
+                    /*count_as_eviction=*/true);
+  }
+  shard.lru.push_front(
+      Frame{key, Bytes(plaintext.begin(), plaintext.end())});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += plaintext.size();
+  Metrics().resident_bytes->Add(static_cast<int64_t>(plaintext.size()));
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().insertions->Increment();
+}
+
+void DecryptedBlockCache::Erase(const Key& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return;
+  WipeFrameLocked(shard, it->second, /*count_as_eviction=*/false);
+}
+
+void DecryptedBlockCache::WipeAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (!shard.lru.empty()) {
+      WipeFrameLocked(shard, shard.lru.begin(), /*count_as_eviction=*/false);
+    }
+  }
+}
+
+uint64_t DecryptedBlockCache::BumpEpoch() {
+  // Bump first: concurrent readers stop hitting old-epoch entries before
+  // the sweep even starts, and concurrent inserts under the old epoch are
+  // dropped at the door.
+  const uint64_t next =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  WipeAll();
+  return next;
+}
+
+DecryptedBlockCache::Stats DecryptedBlockCache::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.wipes = wipes_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.resident_frames += shard.lru.size();
+    s.resident_bytes += shard.bytes;
+  }
+  return s;
+}
+
+void DecryptedBlockCache::SetWipeObserverForTest(
+    std::function<void(const Bytes&)> observer) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  wipe_observer_ = std::move(observer);
+}
+
+}  // namespace sdbenc

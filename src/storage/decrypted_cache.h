@@ -1,0 +1,156 @@
+#ifndef SDBENC_STORAGE_DECRYPTED_CACHE_H_
+#define SDBENC_STORAGE_DECRYPTED_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace sdbenc {
+
+/// Sharded LRU cache of *decrypted* blocks, sitting between the AEAD codecs
+/// and their callers so the hot read path pays one decrypt per block instead
+/// of one per touch. Entries are keyed by
+///
+///   (space, block, sub, version, key_epoch, codec)
+///
+/// where `space` is a table / index-table id, `block`/`sub` address the unit
+/// inside it (a row, or a hashed lookup key), `version` disambiguates
+/// content generations, `key_epoch` is the session's key generation
+/// (bumped by RotateMasterKey, which unreachable-izes every older entry in
+/// one step), and `codec` tags the AEAD algorithm that produced the
+/// plaintext. Consumers that mutate cached state must Erase the exact key.
+///
+/// Security contract (DESIGN §13): every frame that leaves the cache — by
+/// eviction, Erase, WipeAll, epoch bump or destruction — is zeroised first
+/// (SecureWipe), so plaintext lingers in process memory no longer than its
+/// cache residency. The cache holds decrypted data by design: it narrows
+/// the paper's storage-adversary surface not at all (nothing here is ever
+/// written out) but does widen what a *memory-scraping* attacker sees from
+/// "rows in flight" to "recently touched working set".
+///
+/// All operations are thread-safe; shards keep lock hold times short on the
+/// parallel scan paths.
+class DecryptedBlockCache {
+ public:
+  struct Key {
+    uint64_t space = 0;
+    uint64_t block = 0;
+    uint32_t sub = 0;
+    uint64_t version = 0;
+    uint64_t epoch = 0;
+    uint8_t codec = 0;
+
+    bool operator==(const Key& o) const {
+      return space == o.space && block == o.block && sub == o.sub &&
+             version == o.version && epoch == o.epoch && codec == o.codec;
+    }
+  };
+
+  /// Point-in-time counters (monotonic except the resident_* pair).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t wipes = 0;
+    uint64_t resident_frames = 0;
+    uint64_t resident_bytes = 0;
+  };
+
+  static constexpr size_t kDefaultCapacityBytes = 32u << 20;  // 32 MiB
+
+  explicit DecryptedBlockCache(size_t capacity_bytes = kDefaultCapacityBytes);
+  ~DecryptedBlockCache();
+
+  DecryptedBlockCache(const DecryptedBlockCache&) = delete;
+  DecryptedBlockCache& operator=(const DecryptedBlockCache&) = delete;
+
+  /// Returns a copy of the cached plaintext, or nullopt (and counts a miss).
+  /// Keys whose epoch differs from the current one never hit.
+  std::optional<Bytes> Lookup(const Key& key);
+
+  /// Inserts (or replaces) the plaintext for `key`, evicting LRU frames
+  /// until the shard fits its capacity share. Blocks larger than a shard's
+  /// capacity are not cached. Entries under a stale epoch are dropped.
+  void Insert(const Key& key, BytesView plaintext);
+
+  /// Wipes and removes the exact entry, if present. Callers that mutate the
+  /// underlying ciphertext must call this (or carry a fresh version/epoch).
+  void Erase(const Key& key);
+
+  /// Wipes and drops every frame; the epoch is unchanged.
+  void WipeAll();
+
+  /// WipeAll plus a key-epoch bump: entries cached under any earlier epoch
+  /// can never be returned again, even had the wipe been skipped. Returns
+  /// the new epoch. Call on RotateMasterKey.
+  uint64_t BumpEpoch();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  Stats GetStats() const;
+
+  /// Test hook: invoked with each frame's buffer immediately *after* it was
+  /// wiped (so a test can assert zeroisation) and before it is freed.
+  /// Not for production use; the callback runs under the shard lock.
+  void SetWipeObserverForTest(std::function<void(const Bytes&)> observer);
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  struct Frame {
+    Key key;
+    Bytes plaintext;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Frame> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+  /// Wipes one frame and removes it from the shard. Caller holds shard.mu.
+  void WipeFrameLocked(Shard& shard, std::list<Frame>::iterator it,
+                       bool count_as_eviction);
+
+  const size_t capacity_bytes_;
+  const size_t shard_capacity_;
+  std::atomic<uint64_t> epoch_{1};
+  std::array<Shard, kShards> shards_;
+
+  std::mutex observer_mu_;
+  std::function<void(const Bytes&)> wipe_observer_;
+
+  // Local counters mirror the obs registry so per-instance stats stay
+  // meaningful when several sessions share the process.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> wipes_{0};
+};
+
+/// FNV-1a over a byte string, seedable so two passes give 128 independent
+/// bits for content-addressed cache keys (a hash, not a MAC: collisions
+/// only risk returning the wrong *cached* plaintext, and 2^-128 is beyond
+/// accidental).
+uint64_t Fnv1a64(BytesView data, uint64_t seed);
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_STORAGE_DECRYPTED_CACHE_H_

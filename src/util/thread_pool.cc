@@ -37,7 +37,10 @@ const PoolMetrics& Metrics() {
 
 size_t Parallelism::Resolve() const {
   if (threads != 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
+  // hardware_concurrency() is a syscall on some kernels (~2us observed),
+  // and Resolve() sits on every ParallelFor — cache it; the machine's
+  // core count does not change under a running process.
+  static const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
@@ -124,6 +127,12 @@ Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
   if (n == 0) return OkStatus();
   const size_t g = std::max<size_t>(1, grain);
   const size_t want = std::max<size_t>(1, par.Resolve());
+
+  // Serial fast path: a single executor (or a range that fits one grain)
+  // would run everything in one chunk anyway — do it inline, skipping the
+  // shared-context allocation and pool handshake. Point queries take this
+  // path on every fetch, so it must stay cheap.
+  if (want == 1 || n <= g) return RunGuarded(fn, 0, n);
 
   // Chunk boundaries depend only on (n, grain, par): at most 4 chunks per
   // executor for load balance, never smaller than the grain. Serial callers

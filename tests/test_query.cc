@@ -372,6 +372,60 @@ TEST_F(QueryEngineTest, StrictBoundCorrectness) {
   EXPECT_EQ(lt->rows.size(), 12u);  // i%10 in {0,1}
 }
 
+TEST_F(QueryEngineTest, CrossColumnComparisonStaysResidual) {
+  // Column-vs-column predicates have no literal bound, so neither side's
+  // index may serve them; the whole predicate must run as a scan filter.
+  auto result = Run("SELECT id FROM emp WHERE id = salary");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.find("index-range"), std::string::npos)
+      << result->plan;
+  // id = 1000*(id%10) only at id 0; a wrongly-sargable plan would return
+  // the id=<garbage> point instead.
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Int(0));
+}
+
+TEST_F(QueryEngineTest, NotEqualsNeverDropsRows) {
+  // != is not sargable on its own ...
+  auto alone = Run("SELECT id FROM emp WHERE id != 3");
+  ASSERT_TRUE(alone.ok());
+  EXPECT_EQ(alone->plan.find("index-range"), std::string::npos);
+  EXPECT_EQ(alone->rows.size(), 59u);
+  for (const auto& row : alone->rows) EXPECT_NE(row[0], Value::Int(3));
+
+  // ... and stays a residual filter when ANDed with a sargable range.
+  auto mixed = Run("SELECT id FROM emp WHERE id >= 50 AND id != 55");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_NE(mixed->plan.find("index-range(id"), std::string::npos);
+  EXPECT_NE(mixed->plan.find("filter"), std::string::npos);
+  EXPECT_EQ(mixed->rows.size(), 9u);
+  for (const auto& row : mixed->rows) {
+    EXPECT_GE(row[0].AsInt(), 50);
+    EXPECT_NE(row[0], Value::Int(55));
+  }
+}
+
+TEST_F(QueryEngineTest, OrUnderAndStaysResidualWithoutDroppingRows) {
+  // The salary bound drives the index; the OR disjunct must survive as a
+  // residual filter — pushing only one OR branch would drop rows.
+  auto result = Run(
+      "SELECT id FROM emp WHERE salary >= 3000 AND "
+      "(dept = 'eng' OR id <= 10)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan.find("index-range(salary >= 3000"),
+            std::string::npos)
+      << result->plan;
+  EXPECT_NE(result->plan.find("OR"), std::string::npos) << result->plan;
+  // salary >= 3000 <=> i%10 >= 3 (42 rows); of those, odd ids are 'eng'
+  // (24 rows) and the even survivors need id <= 10: ids 4, 6, 8.
+  EXPECT_EQ(result->rows.size(), 27u);
+  for (const auto& row : result->rows) {
+    const int64_t id = row[0].AsInt();
+    EXPECT_GE((id % 10 + 10) % 10, 3);
+    EXPECT_TRUE(id % 2 == 1 || id <= 10) << id;
+  }
+}
+
 TEST_F(QueryEngineTest, UpdateAndDeleteThroughSql) {
   auto update = Run("UPDATE emp SET salary = 99999 WHERE id = 5");
   ASSERT_TRUE(update.ok());
