@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/trace.h"
 
 namespace sdbenc {
 namespace bench {
@@ -191,6 +192,49 @@ inline RepeatSpec ExtractRepeatSpec(int* argc, char** argv) {
     spec.warmup = std::strtoul(warmup.c_str(), nullptr, 10);
   }
   return spec;
+}
+
+/// Parsed `--trace` / `--slow-query-us=N` tracing flags.
+struct TraceSpec {
+  bool trace = false;          ///< --trace given
+  int64_t slow_query_us = -1;  ///< threshold; < 0 = slow-query log disarmed
+};
+
+/// Parses and removes the standard tracing flags, applying them to the
+/// process-wide observability knobs: `--trace` enables the flat span ring
+/// and per-query tracing (every QueryResult then carries a trace id and
+/// leakage profile); `--slow-query-us=N` arms the slow-query log at N
+/// microseconds (0 records every statement as a JSON line with its plan,
+/// leakage and span tree).
+inline TraceSpec ExtractTraceSpec(int* argc, char** argv) {
+  TraceSpec spec;
+  spec.trace = ExtractFlag(argc, argv, "--trace");
+  const std::string us = ExtractFlagValue(argc, argv, "--slow-query-us=");
+  if (!us.empty()) {
+    spec.slow_query_us = std::strtoll(us.c_str(), nullptr, 10);
+  }
+  if (spec.trace) {
+    obs::Tracer::Default().set_enabled(true);
+    obs::SetPerQueryTracing(true);
+  }
+  obs::SlowQueryLog::Default().set_threshold_us(spec.slow_query_us);
+  return spec;
+}
+
+/// `--trace` epilogue: prints the retained span ring as JSON lines (each
+/// carries a "span" key) and, when `chrome_path` is non-empty, writes the
+/// same spans as one Chrome trace_event document loadable in Perfetto.
+inline void DumpTraceSnapshot(const std::string& chrome_path) {
+  std::fputs(obs::Tracer::Default().ExportJsonLines().c_str(), stdout);
+  if (chrome_path.empty()) return;
+  std::FILE* f = std::fopen(chrome_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
+    return;
+  }
+  const std::string doc = obs::Tracer::Default().ExportChromeTrace();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
 }
 
 /// Standard `--metrics` epilogue: snapshots the process-wide registry once

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""End-to-end audit-chain smoke (DESIGN section 14).
+
+Drives tools/sdbenc_stat through the full evidence lifecycle and fails on
+any chain or schema violation:
+
+1. ``--demo=DIR`` builds an audited store, runs traced queries, rotates the
+   master key (resealing the chain) and closes the session; every printed
+   property line must carry ``"pass":true``.
+2. ``--verify-audit`` under the post-rotation key must verify the chain,
+   and the decrypted events must satisfy the schema: dense sequence
+   numbers from 0, known event types, and the session lifecycle
+   (session_open, key_rotation, session_close) actually present.
+3. A single flipped byte anywhere in the log must make verification fail
+   (tried at several offsets: header, first record, last record).
+
+Usage:
+  audit_smoke.py --stat build/tools/sdbenc_stat [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# The demo rotates to this key; the verifier must use the post-rotation
+# subkey hierarchy (tools/sdbenc_stat.cc keeps these in sync).
+POST_ROTATION_KEY_HEX = "77" * 32
+
+KNOWN_TYPES = {
+    "session_open", "session_close", "key_rotation", "auth_failure",
+    "tamper_detected", "wal_recovery", "cache_epoch_bump",
+}
+
+REQUIRED_TYPES = {"session_open", "key_rotation", "session_close"}
+
+
+def fail(msg):
+    print(f"audit_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def json_lines(stdout):
+    lines = []
+    for line in stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            lines.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"unparseable JSON line {line!r}: {e}")
+    return lines
+
+
+def check_demo(stat, workdir):
+    code, out = run([stat, f"--demo={workdir}"])
+    lines = json_lines(out)
+    demos = [obj for obj in lines if "demo" in obj]
+    if code != 0:
+        fail(f"--demo exited {code}:\n{out}")
+    if len(demos) < 3:
+        fail(f"--demo printed {len(demos)} property lines, expected >= 3")
+    for obj in demos:
+        if obj.get("pass") is not True:
+            fail(f"demo property failed: {obj}")
+    print(f"audit_smoke: demo OK ({len(demos)} properties)")
+
+
+def check_verify_clean(stat, audit_path):
+    code, out = run([stat, f"--verify-audit={audit_path}",
+                     f"--master-key-hex={POST_ROTATION_KEY_HEX}"])
+    if code != 0:
+        fail(f"clean chain failed verification (exit {code}):\n{out}")
+    lines = json_lines(out)
+    verdicts = [obj for obj in lines if "audit_verify" in obj]
+    if len(verdicts) != 1 or verdicts[0]["audit_verify"] != "OK":
+        fail(f"expected one OK verdict, got {verdicts}")
+    if not verdicts[0].get("final_link"):
+        fail("verdict is missing the final chain link")
+    events = [obj for obj in lines if "audit_event" in obj]
+    if not events:
+        fail("verifier printed no events")
+    seqs = [obj["audit_event"] for obj in events]
+    if seqs != list(range(len(events))):
+        fail(f"sequence numbers not dense from 0: {seqs}")
+    types = [obj.get("type") for obj in events]
+    unknown = set(types) - KNOWN_TYPES
+    if unknown:
+        fail(f"unknown event types: {sorted(unknown)}")
+    missing = REQUIRED_TYPES - set(types)
+    if missing:
+        fail(f"lifecycle events missing from chain: {sorted(missing)}")
+    print(f"audit_smoke: clean verify OK ({len(events)} events, "
+          f"final link {verdicts[0]['final_link'][:16]}...)")
+    return verdicts[0]["final_link"]
+
+
+def check_tamper(stat, audit_path, workdir):
+    size = os.path.getsize(audit_path)
+    # Header checksum region, first record body, and final record tail.
+    offsets = [16, 80, size - 4]
+    for offset in offsets:
+        tampered = os.path.join(workdir, "tampered.audit")
+        shutil.copyfile(audit_path, tampered)
+        with open(tampered, "r+b") as f:
+            f.seek(offset)
+            byte = f.read(1)
+            f.seek(offset)
+            f.write(bytes([byte[0] ^ 0x01]))
+        code, out = run([stat, f"--verify-audit={tampered}",
+                         f"--master-key-hex={POST_ROTATION_KEY_HEX}"])
+        if code == 0:
+            fail(f"flipping byte at offset {offset} went undetected:\n{out}")
+        verdicts = [obj for obj in json_lines(out) if "audit_verify" in obj]
+        if not verdicts or verdicts[0]["audit_verify"] != "FAIL":
+            fail(f"tampered chain at offset {offset} did not report FAIL")
+    print(f"audit_smoke: tamper detection OK "
+          f"({len(offsets)} single-byte flips all caught)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stat", required=True,
+                        help="path to the sdbenc_stat binary")
+    parser.add_argument("--workdir",
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="audit_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+
+    check_demo(args.stat, workdir)
+    audit_path = os.path.join(workdir, "demo.audit")
+    if not os.path.exists(audit_path):
+        fail(f"demo left no audit log at {audit_path}")
+    check_verify_clean(args.stat, audit_path)
+    check_tamper(args.stat, audit_path, workdir)
+    print("audit_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

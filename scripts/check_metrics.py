@@ -11,6 +11,10 @@ JSON-lines and Prometheus exports of the same snapshot agree byte-for-value:
 * the Prometheus file parses as text exposition format 0.0.4 with one
   ``# TYPE`` per family, cumulative buckets ending in ``+Inf`` == count,
 * both exports contain exactly the same metric families with equal values,
+* every family follows the naming convention (``sdbenc_`` prefix; counters
+  end in ``_total``; histograms in a unit suffix ``_ns``/``_bytes``/
+  ``_count``; gauges in ``_bytes``/``_depth``/``_ns``/``_count`` unless
+  allowlisted as an enum-valued gauge),
 * a required set of families is present and non-zero — the acceptance
   criterion that an instrumented end-to-end run actually recorded cipher
   invocations, buffer-pool traffic and per-stage query latencies.
@@ -23,6 +27,21 @@ import argparse
 import json
 import re
 import sys
+
+# Gauges whose value is an enum, not a measurement, and therefore carry no
+# unit suffix.
+DEFAULT_NAMING_ALLOWLIST = [
+    "sdbenc_crypto_backend",
+]
+
+# Unit suffixes per metric type. Counters are cumulative event counts
+# (Prometheus convention: ``_total``); histograms and gauges name what they
+# measure.
+TYPE_SUFFIXES = {
+    "counter": ("_total",),
+    "histogram": ("_ns", "_bytes", "_count"),
+    "gauge": ("_bytes", "_depth", "_ns", "_count"),
+}
 
 DEFAULT_REQUIRED_NONZERO = [
     "sdbenc_cipher_encrypt_blocks_total",
@@ -183,6 +202,20 @@ def cross_check(json_metrics, prom_families):
                          f"{fam['series'].get(key)} != {running}")
 
 
+def check_naming(json_metrics, allowlist):
+    allowed = set(allowlist)
+    for name, obj in json_metrics.items():
+        if name in allowed:
+            continue
+        if not re.match(r"^sdbenc_[a-z0-9_]+$", name):
+            fail(f"{name}: metric names must be lower_snake with the "
+                 f"sdbenc_ prefix")
+        suffixes = TYPE_SUFFIXES[obj["type"]]
+        if not name.endswith(suffixes):
+            fail(f"{name}: {obj['type']} must end in one of "
+                 f"{'/'.join(suffixes)} (or be allowlisted)")
+
+
 def check_required(json_metrics, required):
     for name in required:
         obj = json_metrics.get(name)
@@ -205,11 +238,16 @@ def main():
                         default=DEFAULT_REQUIRED_NONZERO,
                         help="metric families that must be present with a "
                              "non-zero value/count")
+    parser.add_argument("--naming-allowlist", nargs="*",
+                        default=DEFAULT_NAMING_ALLOWLIST,
+                        help="metric families exempt from the unit-suffix "
+                             "naming convention")
     args = parser.parse_args()
 
     json_metrics = parse_json_lines(args.json)
     prom_families = parse_prometheus(args.prom)
     cross_check(json_metrics, prom_families)
+    check_naming(json_metrics, args.naming_allowlist)
     check_required(json_metrics, args.require_nonzero)
     print(f"check_metrics: OK: {len(json_metrics)} families consistent "
           f"across both exports")

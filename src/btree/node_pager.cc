@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace sdbenc {
 
@@ -28,6 +29,9 @@ StatusOr<BTreeNode*> NodePager::Get(int id) const {
   if (id < 0 || static_cast<size_t>(id) >= slots_.size()) {
     return OutOfRangeError("no node " + std::to_string(id));
   }
+  // Every node access — resident or faulted — is one step of tree
+  // navigation the storage adversary observes.
+  obs::CountLeak(obs::LeakKind::kIndexNodesTouched);
   const Slot& slot = slots_[id];
   if (slot.node == nullptr) {
     if (store_ == nullptr || slot.record_id == kNoRecord) {

@@ -7,6 +7,7 @@
 #include "btree/bplus_tree.h"
 #include "db/serialize.h"
 #include "db/value.h"
+#include "obs/trace.h"
 #include "storage/decrypted_cache.h"
 #include "util/statusor.h"
 
@@ -67,13 +68,19 @@ class EncryptedIndex {
 
   StatusOr<std::vector<uint64_t>> Lookup(const Value& value) const {
     const Bytes key = value.SerializeComparable();
-    if (cache_ == nullptr) return tree_.Find(key);
+    if (cache_ == nullptr) {
+      const obs::TraceSpan walk("index.tree_walk");
+      return tree_.Find(key);
+    }
     const DecryptedBlockCache::Key cache_key = LookupCacheKey(key);
     if (std::optional<Bytes> blob = cache_->Lookup(cache_key)) {
       StatusOr<std::vector<uint64_t>> rows = DecodePostings(ToView(*blob));
       if (rows.ok()) return rows;
       cache_->Erase(cache_key);
     }
+    // A span only when the tree is actually descended: cache hits answer
+    // without touching a node, and their trace shows exactly that.
+    const obs::TraceSpan walk("index.tree_walk");
     SDBENC_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, tree_.Find(key));
     BinaryWriter w;
     w.PutU64(rows.size());
@@ -95,6 +102,7 @@ class EncryptedIndex {
     Bytes lo_key, hi_key;
     if (lo != nullptr) lo_key = lo->SerializeComparable();
     if (hi != nullptr) hi_key = hi->SerializeComparable();
+    const obs::TraceSpan walk("index.tree_walk");
     return tree_.RangeBounded(lo != nullptr ? &lo_key : nullptr,
                               hi != nullptr ? &hi_key : nullptr);
   }

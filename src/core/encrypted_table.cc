@@ -1,6 +1,7 @@
 #include "core/encrypted_table.h"
 
 #include "db/serialize.h"
+#include "obs/trace_context.h"
 
 namespace sdbenc {
 
@@ -156,6 +157,8 @@ StatusOr<Value> EncryptedTable::GetCell(uint64_t row, uint32_t column) const {
   SDBENC_ASSIGN_OR_RETURN(CellCodec * codec, CodecFor(column));
   SDBENC_ASSIGN_OR_RETURN(
       Bytes serialized, codec->Decode(stored, table_->AddressOf(row, column)));
+  // One AEAD Open of one ciphertext cell: the unit of decryption leakage.
+  obs::CountLeak(obs::LeakKind::kCellsDecrypted);
   return Value::Deserialize(serialized);
 }
 
@@ -173,7 +176,9 @@ StatusOr<std::vector<Value>> EncryptedTable::GetRow(uint64_t row) const {
     values.push_back(std::move(v).value());
   }
   if (cache_ != nullptr) {
-    cache_->Insert(RowCacheKey(row), ToView(SerializeRowBlob(values)));
+    const Bytes blob = SerializeRowBlob(values);
+    obs::CountLeak(obs::LeakKind::kPlaintextBytes, blob.size());
+    cache_->Insert(RowCacheKey(row), ToView(blob));
   }
   return values;
 }
@@ -181,6 +186,7 @@ StatusOr<std::vector<Value>> EncryptedTable::GetRow(uint64_t row) const {
 StatusOr<std::vector<Value>> EncryptedTable::GetRowCached(uint64_t row) const {
   if (cache_ != nullptr) {
     if (std::optional<Bytes> blob = cache_->Lookup(RowCacheKey(row))) {
+      obs::CountLeak(obs::LeakKind::kPlaintextBytes, blob->size());
       StatusOr<std::vector<Value>> values = DeserializeRowBlob(ToView(*blob));
       if (values.ok()) return values;
       // Corrupt blob (cannot happen short of a bug): drop and re-decrypt.

@@ -51,6 +51,7 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
     db->engine_ = std::make_unique<MemoryStorageEngine>(storage.page_size);
     db->records_ = std::make_unique<RecordStore>(db->engine_.get());
     SDBENC_ASSIGN_OR_RETURN(db->keycheck_, db->MakeKeycheckToken());
+    SDBENC_RETURN_IF_ERROR(db->InitAudit(storage));
     return db;
   }
 
@@ -67,9 +68,23 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
   StatusOr<std::unique_ptr<FileStorageEngine>> reopened =
       FileStorageEngine::Open(storage.path, engine_options);
   if (reopened.ok()) {
+    const FileStorageEngine::RecoveryInfo recovery =
+        (*reopened)->recovery_info();
     db->engine_ = std::move(reopened).value();
     db->records_ = std::make_unique<RecordStore>(db->engine_.get());
     SDBENC_RETURN_IF_ERROR(db->LoadCatalog());
+    // The audit log opens only after LoadCatalog authenticated the master
+    // key (keycheck) — a wrong key must never create or reseal evidence.
+    SDBENC_RETURN_IF_ERROR(db->InitAudit(storage));
+    if (recovery.applied) {
+      db->NoteSecurityEvent(
+          AuditEventType::kWalRecovery,
+          "WAL replay rolled the page image forward: " +
+              std::to_string(recovery.pages_applied) + " afterimage(s), " +
+              std::to_string(recovery.restores_applied) + " restore(s), " +
+              (recovery.had_commit ? "commit metadata applied"
+                                   : "no commit record"));
+    }
     return db;
   }
   if (!create_if_missing ||
@@ -82,6 +97,7 @@ StatusOr<std::unique_ptr<SecureDatabase>> SecureDatabase::OpenImpl(
   db->engine_ = std::move(fresh);
   db->records_ = std::make_unique<RecordStore>(db->engine_.get());
   SDBENC_ASSIGN_OR_RETURN(db->keycheck_, db->MakeKeycheckToken());
+  SDBENC_RETURN_IF_ERROR(db->InitAudit(storage));
   return db;
 }
 
@@ -92,15 +108,57 @@ Status SecureDatabase::CheckOpen() const {
   return OkStatus();
 }
 
-Bytes SecureDatabase::DeriveKey(const std::string& label) const {
+Bytes SecureDatabase::DeriveSubkey(BytesView master_key,
+                                   const std::string& label) {
   // HKDF (RFC 5869) with the label as info; 32 octets so every AEAD
   // (including two-key SIV) can be keyed. Independent labels give
   // cryptographically independent subkeys — exactly the separation whose
   // absence the paper's Sect. 3.3 attack exploits.
-  auto okm = Hkdf(HashAlgorithm::kSha256, master_key_,
+  auto okm = Hkdf(HashAlgorithm::kSha256,
+                  Bytes(master_key.begin(), master_key.end()),
                   BytesFromString("sdbenc-subkey-v1"), BytesFromString(label),
                   32);
   return std::move(okm).value();  // length is static and valid
+}
+
+Bytes SecureDatabase::DeriveKey(const std::string& label) const {
+  return DeriveSubkey(ToView(master_key_), label);
+}
+
+Status SecureDatabase::InitAudit(const StorageOptions& storage) {
+  if (storage.audit_path.empty()) return OkStatus();
+  AuditLogOptions options;
+  options.key = DeriveKey("audit");
+  SDBENC_ASSIGN_OR_RETURN(audit_,
+                          AuditLog::Open(storage.audit_path, options));
+  const char* backend =
+      storage.backend == StorageBackend::kMemory ? "memory" : "file";
+  NoteSecurityEvent(AuditEventType::kSessionOpen,
+                    std::string("session opened (") + backend + " backend)");
+  return OkStatus();
+}
+
+void SecureDatabase::NoteSecurityEvent(AuditEventType type,
+                                       const std::string& detail) const {
+  if (audit_ == nullptr) return;
+  const Status appended = audit_->AppendEvent(type, detail);
+  if (!appended.ok()) {
+    // Evidence loss is itself worth counting, but an audit I/O error must
+    // not fail the operation that triggered the event.
+    static obs::Counter* const dropped =
+        obs::Registry().GetCounter("sdbenc_audit_append_failures_total");
+    dropped->Increment();
+  }
+}
+
+StatusOr<AuditChain> SecureDatabase::VerifyAuditChain() const {
+  SDBENC_RETURN_IF_ERROR(CheckOpen());
+  if (audit_ == nullptr) {
+    return FailedPreconditionError("session has no audit log configured");
+  }
+  AuditLogOptions options;
+  options.key = DeriveKey("audit");
+  return AuditLog::VerifyChain(audit_->path(), options);
 }
 
 namespace {
@@ -502,21 +560,29 @@ Status SecureDatabase::Delete(const std::string& table, uint64_t row) {
 
 Status SecureDatabase::VerifyIntegrity(const Parallelism& par) const {
   SDBENC_RETURN_IF_ERROR(CheckOpen());
-  for (const auto& state : tables_) {
-    SDBENC_RETURN_IF_ERROR(state->encrypted_table->VerifyAll(par));
-    // One task per index: a tree faults nodes through its own pager, so a
-    // single tree is never shared between tasks, while distinct trees only
-    // meet at the (thread-safe) storage engine. First-error-wins by task
-    // index keeps the reported failure identical to the serial loop.
-    std::vector<std::function<Status()>> tasks;
-    tasks.reserve(state->indexes.size());
-    for (const auto& index_state : state->indexes) {
-      const BPlusTree* tree = &index_state.index->tree();
-      tasks.push_back([tree] { return tree->CheckStructure(); });
+  const Status verdict = [&]() -> Status {
+    for (const auto& state : tables_) {
+      SDBENC_RETURN_IF_ERROR(state->encrypted_table->VerifyAll(par));
+      // One task per index: a tree faults nodes through its own pager, so a
+      // single tree is never shared between tasks, while distinct trees only
+      // meet at the (thread-safe) storage engine. First-error-wins by task
+      // index keeps the reported failure identical to the serial loop.
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(state->indexes.size());
+      for (const auto& index_state : state->indexes) {
+        const BPlusTree* tree = &index_state.index->tree();
+        tasks.push_back([tree] { return tree->CheckStructure(); });
+      }
+      SDBENC_RETURN_IF_ERROR(ParallelInvoke(tasks, par));
     }
-    SDBENC_RETURN_IF_ERROR(ParallelInvoke(tasks, par));
+    return OkStatus();
+  }();
+  if (verdict.code() == StatusCode::kAuthenticationFailed) {
+    NoteSecurityEvent(AuditEventType::kTamperDetected,
+                      "integrity verification failed: " +
+                          std::string(verdict.message()));
   }
-  return OkStatus();
+  return verdict;
 }
 
 bool SecureDatabase::HasIndex(const std::string& table,
@@ -854,9 +920,24 @@ Status SecureDatabase::RotateMasterKey(BytesView new_master_key,
   // token must follow the key, or the next open would reject it.
   master_key_.assign(new_master_key.begin(), new_master_key.end());
   SDBENC_ASSIGN_OR_RETURN(keycheck_, MakeKeycheckToken());
+  // The audit chain must follow the key hierarchy: reseal every existing
+  // record under the new "audit" subkey (same sequence numbers, fresh
+  // salt), then record the rotation itself as the first event of the new
+  // key's reign.
+  if (audit_ != nullptr) {
+    AuditLogOptions audit_options;
+    audit_options.key = DeriveKey("audit");
+    SDBENC_RETURN_IF_ERROR(audit_->Reseal(audit_options));
+    NoteSecurityEvent(AuditEventType::kKeyRotation,
+                      "master key rotated; every cell and index entry "
+                      "re-encrypted, audit chain resealed");
+  }
   // Every cached plaintext belongs to the old key epoch: bump (making all
   // of it unreachable at once) and wipe the frames.
   dcache_->BumpEpoch();
+  NoteSecurityEvent(AuditEventType::kCacheEpochBump,
+                    "decrypted-block cache epoch bumped by key rotation; "
+                    "all resident plaintext wiped");
   // Statistics describe plaintext, which rotation does not change — carry
   // them across the state rebuild.
   std::vector<TableStatistics> carried;
@@ -920,6 +1001,11 @@ StatusOr<KeyGrant> SecureDatabase::GrantIndex(const std::string& table,
 }
 
 void SecureDatabase::CloseSession() {
+  // The close event goes in first — the audit log's own subkey is one of
+  // the derived keys this wipe removes.
+  NoteSecurityEvent(AuditEventType::kSessionClose,
+                    "session closed; master key and derived keys wiped");
+  audit_.reset();
   SecureWipe(master_key_);
   dcache_->WipeAll();  // no decrypted plaintext survives the session
   tables_.clear();     // drops every derived-key object

@@ -14,6 +14,7 @@
 #include "obs/export.h"
 #include "schemes/aead_cell.h"
 #include "schemes/aead_index.h"
+#include "storage/audit/audit_log.h"
 #include "storage/record_store.h"
 #include "util/rng.h"
 #include "util/statusor.h"
@@ -186,6 +187,25 @@ class SecureDatabase {
   std::string DumpMetrics(
       obs::ExportFormat format = obs::ExportFormat::kJsonLines) const;
 
+  /// Appends one event to the session's tamper-evident audit log
+  /// (StorageOptions::audit_path). A no-op when no audit log is configured;
+  /// best-effort otherwise — an append failure must not turn a read-only
+  /// query into an error, so it is counted, not propagated.
+  void NoteSecurityEvent(AuditEventType type, const std::string& detail) const;
+
+  /// Strict end-to-end verification of the session's audit log: every
+  /// record must parse, authenticate and chain. kFailedPrecondition when
+  /// the session has no audit log.
+  StatusOr<AuditChain> VerifyAuditChain() const;
+
+  /// The session's audit log, or nullptr when none is configured.
+  AuditLog* audit_log() const { return audit_.get(); }
+
+  /// The subkey hierarchy, exposed for out-of-process auditors: an operator
+  /// holding the master key can derive the "audit" subkey and run
+  /// AuditLog::VerifyChain without opening a session (tools/sdbenc_stat).
+  static Bytes DeriveSubkey(BytesView master_key, const std::string& label);
+
   /// Direct access to the storage substrate — what the adversary sees and
   /// may rewrite in tamper tests.
   Database& storage() { return *storage_holder_; }
@@ -249,6 +269,11 @@ class SecureDatabase {
   /// Independent subkey for (table, purpose) pairs via HMAC extraction.
   Bytes DeriveKey(const std::string& label) const;
 
+  /// Opens the audit log named by `storage.audit_path` (if any) under the
+  /// "audit" subkey and records the session-open event. Called at the end
+  /// of OpenImpl, after the master key has been authenticated.
+  Status InitAudit(const StorageOptions& storage);
+
   StatusOr<TableState*> FindState(const std::string& table);
   StatusOr<const TableState*> FindState(const std::string& table) const;
 
@@ -309,6 +334,7 @@ class SecureDatabase {
   std::unique_ptr<RecordStore> records_;
   std::unique_ptr<DecryptedBlockCache> dcache_;
   std::vector<std::unique_ptr<TableState>> tables_;
+  std::unique_ptr<AuditLog> audit_;
   Bytes keycheck_;
   uint64_t catalog_record_ = kNoRecord;
   uint64_t next_index_table_id_ = 1000000;  // disjoint from data table ids

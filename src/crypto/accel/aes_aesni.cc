@@ -152,7 +152,10 @@ class AesniCipher final : public BlockCipher {
 
  private:
   void LoadKeys(const uint8_t keys[15][16], __m128i rk[15]) const {
-    for (int r = 0; r <= rounds_; ++r) {
+    // All 15 slots unconditionally (not just rounds_ + 1): the source array
+    // is always 15 entries, and a fully-initialised rk keeps GCC's
+    // flow analysis from flagging the callers' rk[rounds_] reads.
+    for (int r = 0; r < 15; ++r) {
       rk[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys[r]));
     }
   }

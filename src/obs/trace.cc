@@ -1,9 +1,81 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace sdbenc {
 namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{1};
+
+/// JSON string escaping for plan text (quotes, backslashes, control
+/// characters); span names are literals and never need it.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendSpanJson(std::string* out, const TraceEvent& event) {
+  char line[224];
+  std::snprintf(line, sizeof(line),
+                "{\"span\":\"%s\",\"trace_id\":%llu,\"span_id\":%llu,"
+                "\"parent_span_id\":%llu,\"start_ns\":%llu,"
+                "\"duration_ns\":%llu,\"thread\":%u}",
+                event.name == nullptr ? "" : event.name,
+                static_cast<unsigned long long>(event.trace_id),
+                static_cast<unsigned long long>(event.span_id),
+                static_cast<unsigned long long>(event.parent_span_id),
+                static_cast<unsigned long long>(event.start_ns),
+                static_cast<unsigned long long>(event.duration_ns),
+                event.thread_index);
+  *out += line;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char line[288];
+  for (const TraceEvent& event : events) {
+    std::snprintf(
+        line, sizeof(line),
+        "%s{\"name\":\"%s\",\"cat\":\"sdbenc\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+        "\"parent_span_id\":%llu}}",
+        first ? "" : ",", event.name == nullptr ? "" : event.name,
+        static_cast<double>(event.start_ns) / 1000.0,
+        static_cast<double>(event.duration_ns) / 1000.0, event.thread_index,
+        static_cast<unsigned long long>(event.trace_id),
+        static_cast<unsigned long long>(event.span_id),
+        static_cast<unsigned long long>(event.parent_span_id));
+    out += line;
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
 
 Tracer& Tracer::Default() {
   static Tracer* tracer = new Tracer();
@@ -12,67 +84,201 @@ Tracer& Tracer::Default() {
 
 void Tracer::Record(const char* name, uint64_t start_ns,
                     uint64_t duration_ns) {
-  if (!enabled()) return;  // direct callers get the same gate as TraceSpan
   TraceEvent event;
   event.name = name;
   event.start_ns = start_ns;
   event.duration_ns = duration_ns;
   event.thread_index = static_cast<uint32_t>(ThreadShardIndex());
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(event);
+  Record(event);
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  if (!enabled()) return;  // direct callers get the same gate as TraceSpan
+  Shard& shard = shards_[ThreadShardIndex()];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < capacity_) {
+    shard.ring.push_back(event);
   } else {
-    ring_[head_ % capacity_] = event;
+    shard.ring[shard.head % capacity_] = event;
   }
-  ++head_;
+  ++shard.head;
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> events;
-  events.reserve(ring_.size());
-  if (ring_.size() < capacity_) {
-    events = ring_;
-  } else {
-    // The slot head_ % capacity_ holds the oldest retained span.
-    for (size_t i = 0; i < capacity_; ++i) {
-      events.push_back(ring_[(head_ + i) % capacity_]);
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ring.size() < capacity_) {
+      events.insert(events.end(), shard.ring.begin(), shard.ring.end());
+    } else {
+      // The slot head % capacity_ holds the shard's oldest retained span.
+      for (size_t i = 0; i < capacity_; ++i) {
+        events.push_back(shard.ring[(shard.head + i) % capacity_]);
+      }
     }
   }
+  // Oldest first across shards; stable so a single shard keeps its
+  // record order even when the clock ties.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
   return events;
 }
 
 uint64_t Tracer::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return head_;
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.head;
+  }
+  return total;
 }
 
 uint64_t Tracer::dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return head_ > capacity_ ? head_ - capacity_ : 0;
+  uint64_t dropped = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.head > capacity_) dropped += shard.head - capacity_;
+  }
+  return dropped;
 }
 
 void Tracer::Clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
-  head_ = 0;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring.clear();
+    shard.head = 0;
+  }
 }
 
 std::string Tracer::ExportJsonLines() const {
   const std::vector<TraceEvent> events = Snapshot();
   std::string out;
-  char line[160];
   for (const TraceEvent& event : events) {
-    std::snprintf(line, sizeof(line),
-                  "{\"span\":\"%s\",\"start_ns\":%llu,\"duration_ns\":%llu,"
-                  "\"thread\":%u}\n",
-                  event.name,
-                  static_cast<unsigned long long>(event.start_ns),
-                  static_cast<unsigned long long>(event.duration_ns),
-                  event.thread_index);
-    out += line;
+    AppendSpanJson(&out, event);
+    out.push_back('\n');
   }
   return out;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  return obs::ExportChromeTrace(Snapshot());
+}
+
+std::string SlowQueryRecord::ToJson() const {
+  std::string out = "{\"slow_query\":{";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"trace_id\":%llu,\"duration_ns\":%llu,",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<unsigned long long>(duration_ns));
+  out += buf;
+  out += "\"plan\":\"";
+  AppendEscaped(&out, plan);
+  out += "\",\"leakage\":";
+  out += leakage.ToJson();
+  std::snprintf(buf, sizeof(buf), ",\"spans_dropped\":%llu,\"spans\":[",
+                static_cast<unsigned long long>(spans_dropped));
+  out += buf;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendSpanJson(&out, spans[i]);
+  }
+  out += "]}}";
+  return out;
+}
+
+SlowQueryLog& SlowQueryLog::Default() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+void SlowQueryLog::set_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+}
+
+void SlowQueryLog::AddRecord(SlowQueryRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (!path_.empty()) {
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f != nullptr) {
+      const std::string line = record.ToJson();
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+  recent_.push_back(std::move(record));
+  while (recent_.size() > kMaxRecent) recent_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(recent_.begin(), recent_.end());
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+void SlowQueryLog::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  recent_.clear();
+  total_.store(0, std::memory_order_relaxed);
+}
+
+QueryTraceScope::QueryTraceScope(const char* root_name)
+    : root_name_(root_name) {
+  // A statement already tracing (nested Execute) keeps contributing to the
+  // outer trace instead of starting its own.
+  if (MutableTraceBinding().trace != nullptr) return;
+  if (!Tracer::Default().enabled() && !PerQueryTracingEnabled() &&
+      !SlowQueryLog::Default().armed()) {
+    return;
+  }
+  trace_.emplace(g_next_trace_id.fetch_add(1, std::memory_order_relaxed));
+  saved_ = MutableTraceBinding();
+  MutableTraceBinding() = TraceBinding{&*trace_, /*span_id=*/1};
+  start_ns_ = NowNs();
+}
+
+QueryTraceScope::~QueryTraceScope() {
+  if (!finished_) Finish("");
+}
+
+void QueryTraceScope::Finish(const std::string& plan) {
+  if (finished_) return;
+  finished_ = true;
+  if (!trace_) return;
+  duration_ns_ = NowNs() - start_ns_;
+
+  TraceEvent root;
+  root.name = root_name_;
+  root.trace_id = trace_->trace_id();
+  root.span_id = 1;
+  root.parent_span_id = 0;
+  root.start_ns = start_ns_;
+  root.duration_ns = duration_ns_;
+  root.thread_index = static_cast<uint32_t>(ThreadShardIndex());
+  trace_->AddSpan(root);
+  if (Tracer::Default().enabled()) Tracer::Default().Record(root);
+
+  MutableTraceBinding() = saved_;
+
+  SlowQueryLog& log = SlowQueryLog::Default();
+  if (log.armed() &&
+      duration_ns_ >= static_cast<uint64_t>(log.threshold_us()) * 1000) {
+    SlowQueryRecord record;
+    record.trace_id = trace_->trace_id();
+    record.duration_ns = duration_ns_;
+    record.plan = plan;
+    record.leakage = trace_->Leakage();
+    record.spans = trace_->Spans();
+    record.spans_dropped = trace_->spans_dropped();
+    log.AddRecord(std::move(record));
+  }
 }
 
 }  // namespace obs

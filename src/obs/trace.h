@@ -1,35 +1,42 @@
 #ifndef SDBENC_OBS_TRACE_H_
 #define SDBENC_OBS_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace sdbenc {
 namespace obs {
 
-/// One completed span. `name` must be a string literal (or otherwise
-/// outlive the tracer) — spans store the pointer, never a copy.
-struct TraceEvent {
-  const char* name = nullptr;
-  uint64_t start_ns = 0;     // NowNs() at span entry
-  uint64_t duration_ns = 0;  // span wall time
-  uint32_t thread_index = 0; // ThreadShardIndex() of the recording thread
-};
+/// Renders spans in Chrome's `trace_event` format (one complete-event per
+/// span, `ts`/`dur` in microseconds), loadable in chrome://tracing and
+/// Perfetto. Span ids ride in `args` so the statement tree survives the
+/// round trip.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
 
-/// Fixed-size ring of recent spans. Disabled by default: the only cost an
-/// instrumented path pays then is one relaxed bool load per span. When
-/// enabled, Record takes a mutex — tracing is a debugging tool, not a
-/// steady-state hot path, and the ring keeps memory bounded: once full,
-/// the oldest span is overwritten and `dropped()` counts the loss.
+/// Ring of recent spans. Disabled by default: the only cost an instrumented
+/// path pays then is one relaxed bool load per span. When enabled, Record
+/// appends to the calling thread's shard (same round-robin assignment as
+/// the metric counters), so tracing no longer serialises ParallelFor
+/// workers behind one mutex; a shard's mutex is only contended when two
+/// threads share a shard or a snapshot drains it. Each shard retains up to
+/// `capacity` spans — once full, the oldest in that shard is overwritten
+/// and `dropped()` counts the loss, exactly as the old global ring did for
+/// single-threaded recorders.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 4096)
       : capacity_(capacity == 0 ? 1 : capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   /// The process-wide tracer the TraceSpan/StageTimer helpers record into.
   static Tracer& Default();
@@ -41,12 +48,15 @@ class Tracer {
 
   size_t capacity() const { return capacity_; }
 
+  /// Flat record (no trace/span ids); kept for direct callers.
   void Record(const char* name, uint64_t start_ns, uint64_t duration_ns);
+  /// Causal record; `event.thread_index` is taken as given.
+  void Record(const TraceEvent& event);
 
-  /// Retained spans, oldest first.
+  /// Retained spans merged across shards, oldest first (by start_ns).
   std::vector<TraceEvent> Snapshot() const;
 
-  /// Spans ever recorded / overwritten because the ring was full.
+  /// Spans ever recorded / overwritten because a shard's ring was full.
   uint64_t total_recorded() const;
   uint64_t dropped() const;
 
@@ -55,51 +65,187 @@ class Tracer {
   /// One JSON object per retained span (same line-oriented convention as
   /// the metrics exporter).
   std::string ExportJsonLines() const;
+  /// The retained spans as one Chrome trace_event document.
+  std::string ExportChromeTrace() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  // size <= capacity_
+    uint64_t head = 0;             // total recorded; slot = head % capacity_
+  };
+
   std::atomic<bool> enabled_{false};
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // size <= capacity_
-  uint64_t head_ = 0;             // total recorded; slot = head_ % capacity_
+  mutable std::array<Shard, kMetricShards> shards_;
 };
 
-/// RAII span against Tracer::Default(). Does nothing (and reads no clock)
-/// while the tracer is disabled.
+/// One completed statement's slow-query record: the plan it ran, how long
+/// it took, what it leaked, and its span tree.
+struct SlowQueryRecord {
+  uint64_t trace_id = 0;
+  uint64_t duration_ns = 0;
+  std::string plan;
+  LeakageProfile leakage;
+  std::vector<TraceEvent> spans;
+  uint64_t spans_dropped = 0;
+
+  /// One JSON object (single line): trace id, duration, plan, leakage and
+  /// the span tree.
+  std::string ToJson() const;
+};
+
+/// Threshold-gated log of slow statements. Disarmed by default
+/// (threshold < 0); when armed, every QueryTraceScope whose wall time
+/// reaches the threshold deposits its record here — into a bounded
+/// in-memory ring (for tests and Stats) and, when a path is set, appended
+/// as a JSON line to that file.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Default();
+
+  /// Microsecond threshold; 0 records every statement, < 0 disarms.
+  void set_threshold_us(int64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+  bool armed() const { return threshold_us() >= 0; }
+
+  /// JSON-lines sink; empty disables file output. Opened per append.
+  void set_path(std::string path);
+
+  void AddRecord(SlowQueryRecord record);
+  std::vector<SlowQueryRecord> Recent() const;
+  uint64_t total_recorded() const;
+  void Clear();
+
+ private:
+  static constexpr size_t kMaxRecent = 64;
+
+  std::atomic<int64_t> threshold_us_{-1};
+  std::atomic<uint64_t> total_{0};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::deque<SlowQueryRecord> recent_;
+};
+
+/// RAII root of one statement trace. Arms itself when any consumer is
+/// listening (the flat tracer, the per-query knob, or the slow-query log);
+/// unarmed construction costs three relaxed loads and touches no clock.
+/// While armed it owns the statement's ActiveTrace and installs the
+/// thread-local binding (root span id 1) that TraceSpan/StageTimer nest
+/// under and ParallelFor propagates to workers. Finish() closes the root
+/// span, restores the binding, and hands the record to the slow-query log
+/// when the statement was slow enough.
+class QueryTraceScope {
+ public:
+  explicit QueryTraceScope(const char* root_name);
+  ~QueryTraceScope();
+  QueryTraceScope(const QueryTraceScope&) = delete;
+  QueryTraceScope& operator=(const QueryTraceScope&) = delete;
+
+  /// Idempotent; the destructor calls Finish("") if the caller did not.
+  void Finish(const std::string& plan);
+
+  bool armed() const { return trace_.has_value(); }
+  uint64_t trace_id() const { return trace_ ? trace_->trace_id() : 0; }
+  uint64_t duration_ns() const { return duration_ns_; }
+  LeakageProfile Leakage() const {
+    return trace_ ? trace_->Leakage() : LeakageProfile{};
+  }
+  std::vector<TraceEvent> Spans() const {
+    return trace_ ? trace_->Spans() : std::vector<TraceEvent>{};
+  }
+
+ private:
+  const char* root_name_;
+  std::optional<ActiveTrace> trace_;
+  TraceBinding saved_;
+  uint64_t start_ns_ = 0;
+  uint64_t duration_ns_ = 0;
+  bool finished_ = false;
+};
+
+/// RAII span. Arms when the thread is bound to a statement trace or the
+/// flat tracer is enabled; otherwise does nothing and reads no clock.
+/// Armed spans allocate a span id, become the thread's innermost open span
+/// for their lifetime, and on destruction record into the bound
+/// ActiveTrace and (if enabled) Tracer::Default().
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) : name_(name) {
-    if (Tracer::Default().enabled()) start_ns_ = NowNs();
+    TraceBinding& binding = MutableTraceBinding();
+    if (binding.trace == nullptr && !Tracer::Default().enabled()) return;
+    trace_ = binding.trace;
+    parent_span_id_ = binding.span_id;
+    span_id_ = trace_ != nullptr ? trace_->NextSpanId() : NextGlobalSpanId();
+    binding.span_id = span_id_;
+    start_ns_ = NowNs();
   }
   ~TraceSpan() {
-    if (start_ns_ != 0 && Tracer::Default().enabled()) {
-      Tracer::Default().Record(name_, start_ns_, NowNs() - start_ns_);
-    }
+    if (start_ns_ == 0) return;
+    const uint64_t duration = NowNs() - start_ns_;
+    MutableTraceBinding().span_id = parent_span_id_;
+    TraceEvent event;
+    event.name = name_;
+    event.trace_id = trace_ != nullptr ? trace_->trace_id() : 0;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
+    event.start_ns = start_ns_;
+    event.duration_ns = duration;
+    event.thread_index = static_cast<uint32_t>(ThreadShardIndex());
+    if (trace_ != nullptr) trace_->AddSpan(event);
+    if (Tracer::Default().enabled()) Tracer::Default().Record(event);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
   const char* name_;
+  ActiveTrace* trace_ = nullptr;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   uint64_t start_ns_ = 0;
 };
 
 /// RAII stage instrumentation: records the stage's wall time into a latency
-/// histogram and, when tracing is on, the same interval as a span. With the
-/// metrics layer compiled out and the tracer off this reads no clock at all.
+/// histogram and, when a statement trace is bound or tracing is on, the
+/// same interval as a causal span. With the metrics layer compiled out and
+/// no span consumer this reads no clock at all.
 class StageTimer {
  public:
   StageTimer(Histogram* latency_ns, const char* span_name)
       : latency_ns_(latency_ns), span_name_(span_name) {
-    if (kMetricsEnabled || Tracer::Default().enabled()) start_ns_ = NowNs();
+    TraceBinding& binding = MutableTraceBinding();
+    const bool span_armed =
+        binding.trace != nullptr || Tracer::Default().enabled();
+    if (!kMetricsEnabled && !span_armed) return;
+    if (span_armed) {
+      trace_ = binding.trace;
+      parent_span_id_ = binding.span_id;
+      span_id_ = trace_ != nullptr ? trace_->NextSpanId() : NextGlobalSpanId();
+      binding.span_id = span_id_;
+    }
+    start_ns_ = NowNs();
   }
   ~StageTimer() {
     if (start_ns_ == 0) return;
     const uint64_t duration = NowNs() - start_ns_;
     if (latency_ns_ != nullptr) latency_ns_->Record(duration);
-    if (Tracer::Default().enabled()) {
-      Tracer::Default().Record(span_name_, start_ns_, duration);
-    }
+    if (span_id_ == 0) return;
+    MutableTraceBinding().span_id = parent_span_id_;
+    TraceEvent event;
+    event.name = span_name_;
+    event.trace_id = trace_ != nullptr ? trace_->trace_id() : 0;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
+    event.start_ns = start_ns_;
+    event.duration_ns = duration;
+    event.thread_index = static_cast<uint32_t>(ThreadShardIndex());
+    if (trace_ != nullptr) trace_->AddSpan(event);
+    if (Tracer::Default().enabled()) Tracer::Default().Record(event);
   }
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
@@ -107,6 +253,9 @@ class StageTimer {
  private:
   Histogram* latency_ns_;
   const char* span_name_;
+  ActiveTrace* trace_ = nullptr;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   uint64_t start_ns_ = 0;
 };
 

@@ -1,0 +1,115 @@
+#include "obs/trace_context.h"
+
+#include <cstdio>
+
+namespace sdbenc {
+namespace obs {
+
+namespace {
+
+/// Trivially-constructible, so the TLS access is a plain segment load with
+/// no guard variable on the hot path.
+thread_local TraceBinding t_binding;
+
+std::atomic<bool> g_per_query_tracing{false};
+std::atomic<uint64_t> g_next_global_span_id{1};
+
+/// Global registry handles for the leakage counters; same family the
+/// per-trace tallies draw from, so Stats() always shows process totals
+/// even when no statement trace is active.
+struct LeakMetrics {
+  std::array<Counter*, kNumLeakKinds> counters;
+};
+
+const LeakMetrics& Metrics() {
+  static const LeakMetrics m = {{
+      Registry().GetCounter("sdbenc_leak_cells_decrypted_total"),
+      Registry().GetCounter("sdbenc_leak_index_nodes_touched_total"),
+      Registry().GetCounter("sdbenc_leak_cache_hits_total"),
+      Registry().GetCounter("sdbenc_leak_cache_misses_total"),
+      Registry().GetCounter("sdbenc_leak_residual_refetches_total"),
+      Registry().GetCounter("sdbenc_leak_plaintext_bytes_total"),
+  }};
+  return m;
+}
+
+}  // namespace
+
+std::string LeakageProfile::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cells_decrypted\":%llu,\"index_nodes_touched\":%llu,"
+                "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                "\"residual_refetches\":%llu,\"plaintext_bytes\":%llu}",
+                static_cast<unsigned long long>(cells_decrypted),
+                static_cast<unsigned long long>(index_nodes_touched),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(residual_refetches),
+                static_cast<unsigned long long>(plaintext_bytes));
+  return buf;
+}
+
+void ActiveTrace::AddSpan(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() < max_spans_) {
+    spans_.push_back(event);
+  } else {
+    ++spans_dropped_;
+  }
+}
+
+std::vector<TraceEvent> ActiveTrace::Spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t ActiveTrace::spans_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_dropped_;
+}
+
+LeakageProfile ActiveTrace::Leakage() const {
+  LeakageProfile p;
+  p.cells_decrypted =
+      leaks_[static_cast<size_t>(LeakKind::kCellsDecrypted)].load(
+          std::memory_order_relaxed);
+  p.index_nodes_touched =
+      leaks_[static_cast<size_t>(LeakKind::kIndexNodesTouched)].load(
+          std::memory_order_relaxed);
+  p.cache_hits = leaks_[static_cast<size_t>(LeakKind::kCacheHits)].load(
+      std::memory_order_relaxed);
+  p.cache_misses = leaks_[static_cast<size_t>(LeakKind::kCacheMisses)].load(
+      std::memory_order_relaxed);
+  p.residual_refetches =
+      leaks_[static_cast<size_t>(LeakKind::kResidualRefetches)].load(
+          std::memory_order_relaxed);
+  p.plaintext_bytes =
+      leaks_[static_cast<size_t>(LeakKind::kPlaintextBytes)].load(
+          std::memory_order_relaxed);
+  return p;
+}
+
+TraceBinding CurrentTraceBinding() { return t_binding; }
+
+TraceBinding& MutableTraceBinding() { return t_binding; }
+
+void SetPerQueryTracing(bool on) {
+  g_per_query_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool PerQueryTracingEnabled() {
+  return g_per_query_tracing.load(std::memory_order_relaxed);
+}
+
+uint64_t NextGlobalSpanId() {
+  return g_next_global_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AddLeakSlow(LeakKind kind, uint64_t n) {
+  Metrics().counters[static_cast<size_t>(kind)]->Add(n);
+  if (t_binding.trace != nullptr) t_binding.trace->AddLeak(kind, n);
+}
+
+}  // namespace obs
+}  // namespace sdbenc

@@ -1,0 +1,157 @@
+#ifndef SDBENC_OBS_TRACE_CONTEXT_H_
+#define SDBENC_OBS_TRACE_CONTEXT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sdbenc {
+namespace obs {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the tracer) — spans store the pointer, never a copy.
+///
+/// Since PR 8 spans are causal: a span belongs to a trace (one statement
+/// through QueryEngine/SecureDatabase) and points at its parent span, so a
+/// flat event list reassembles into the statement's stage tree. Spans
+/// recorded outside any statement keep trace_id == 0 and parent links that
+/// are only meaningful within one thread.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t trace_id = 0;        // 0 = not tied to a statement trace
+  uint64_t span_id = 0;         // 0 = flat record (3-arg Tracer::Record)
+  uint64_t parent_span_id = 0;  // 0 = root of its trace
+  uint64_t start_ns = 0;        // NowNs() at span entry
+  uint64_t duration_ns = 0;     // span wall time
+  uint32_t thread_index = 0;    // ThreadShardIndex() of the recording thread
+};
+
+/// The access-pattern quantities the paper's adversary observes (and that
+/// src/attacks/ exploits). Counted per statement when a trace is active and
+/// always into the global `sdbenc_leak_*` counters.
+enum class LeakKind : size_t {
+  kCellsDecrypted = 0,    // ciphertext cells opened (one AEAD Open each)
+  kIndexNodesTouched,     // B+-tree nodes navigated via the node pager
+  kCacheHits,             // decrypted-block cache hits (no new decryption)
+  kCacheMisses,           // decrypted-block cache misses
+  kResidualRefetches,     // rows fetched again by the residual second pass
+  kPlaintextBytes,        // bytes of row plaintext materialised
+};
+inline constexpr size_t kNumLeakKinds = 6;
+
+/// Per-statement leakage tally; attached to QueryResult, the slow-query
+/// log, and (summed) SecureDatabase::Stats().
+struct LeakageProfile {
+  uint64_t cells_decrypted = 0;
+  uint64_t index_nodes_touched = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t residual_refetches = 0;
+  uint64_t plaintext_bytes = 0;
+
+  /// One JSON object, e.g. {"cells_decrypted":3,...}.
+  std::string ToJson() const;
+};
+
+/// Mutable state of one in-flight statement trace. Span ids are allocated
+/// here (the root is always span 1); leak counts are lock-free atomics so
+/// ParallelFor workers can tally concurrently; completed spans are kept in
+/// a bounded vector (overflow is counted, not grown).
+class ActiveTrace {
+ public:
+  explicit ActiveTrace(uint64_t trace_id, size_t max_spans = 4096)
+      : trace_id_(trace_id), max_spans_(max_spans == 0 ? 1 : max_spans) {}
+  ActiveTrace(const ActiveTrace&) = delete;
+  ActiveTrace& operator=(const ActiveTrace&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void AddSpan(const TraceEvent& event);
+  std::vector<TraceEvent> Spans() const;
+  uint64_t spans_dropped() const;
+
+  void AddLeak(LeakKind kind, uint64_t n) {
+    leaks_[static_cast<size_t>(kind)].fetch_add(n, std::memory_order_relaxed);
+  }
+  LeakageProfile Leakage() const;
+
+ private:
+  const uint64_t trace_id_;
+  const size_t max_spans_;
+  std::atomic<uint64_t> next_span_id_{2};  // span 1 is the root
+  std::array<std::atomic<uint64_t>, kNumLeakKinds> leaks_{};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> spans_;
+  uint64_t spans_dropped_ = 0;
+};
+
+/// What the calling thread is currently doing: the statement trace it
+/// contributes to (nullptr outside any statement) and the innermost open
+/// span (the parent of whatever starts next). ParallelFor captures the
+/// caller's binding and installs it on its pool helpers, so spans opened
+/// and leaks counted on a worker attribute to the statement that spawned
+/// the parallel region.
+struct TraceBinding {
+  ActiveTrace* trace = nullptr;
+  uint64_t span_id = 0;
+};
+
+/// Copy of this thread's binding, for hand-off to another thread.
+TraceBinding CurrentTraceBinding();
+/// This thread's binding itself (span scopes push/pop through it).
+TraceBinding& MutableTraceBinding();
+
+/// RAII install-and-restore of a captured binding on the current thread —
+/// the worker-side half of ParallelFor's context propagation.
+class ScopedTraceBinding {
+ public:
+  explicit ScopedTraceBinding(const TraceBinding& binding)
+      : saved_(MutableTraceBinding()) {
+    MutableTraceBinding() = binding;
+  }
+  ~ScopedTraceBinding() { MutableTraceBinding() = saved_; }
+  ScopedTraceBinding(const ScopedTraceBinding&) = delete;
+  ScopedTraceBinding& operator=(const ScopedTraceBinding&) = delete;
+
+ private:
+  TraceBinding saved_;
+};
+
+/// Process-wide knob: when on, every statement arms a QueryTraceScope even
+/// with the flat tracer and slow-query log off, so QueryResult carries a
+/// trace id and leakage profile.
+void SetPerQueryTracing(bool on);
+bool PerQueryTracingEnabled();
+
+/// Span-id source for causal spans recorded outside any ActiveTrace.
+uint64_t NextGlobalSpanId();
+
+/// Out-of-line slow path of CountLeak: bumps the global sdbenc_leak_*
+/// counter and, when the thread is bound to a statement trace, that
+/// trace's tally.
+void AddLeakSlow(LeakKind kind, uint64_t n);
+
+/// Leakage hook for instrumented layers. With the metrics layer compiled
+/// out (SDBENC_METRICS=0) this compiles to nothing.
+inline void CountLeak(LeakKind kind, uint64_t n = 1) {
+  if constexpr (kMetricsEnabled) {
+    AddLeakSlow(kind, n);
+  } else {
+    (void)kind;
+    (void)n;
+  }
+}
+
+}  // namespace obs
+}  // namespace sdbenc
+
+#endif  // SDBENC_OBS_TRACE_CONTEXT_H_

@@ -34,6 +34,7 @@ namespace {
 /// decrypt + predicate), row materialisation, then the whole statement.
 struct QueryMetrics {
   obs::Counter* queries_total;
+  obs::Histogram* plan_ns;
   obs::Histogram* index_lookup_ns;
   obs::Histogram* filter_ns;
   obs::Histogram* materialize_ns;
@@ -43,6 +44,7 @@ struct QueryMetrics {
 const QueryMetrics& Metrics() {
   static const QueryMetrics m = {
       obs::Registry().GetCounter("sdbenc_query_total"),
+      obs::Registry().GetHistogram("sdbenc_query_plan_ns"),
       obs::Registry().GetHistogram("sdbenc_query_index_lookup_ns"),
       obs::Registry().GetHistogram("sdbenc_query_filter_ns"),
       obs::Registry().GetHistogram("sdbenc_query_materialize_ns"),
@@ -120,6 +122,7 @@ StatusOr<Value> ComputeAggregate(
 
 StatusOr<AccessPlan> QueryEngine::PlanFor(
     const SecureDatabase::TableState& state, const ExprPtr& where) const {
+  const obs::StageTimer plan_timer(Metrics().plan_ns, "query.plan");
   if (where != nullptr) {
     SDBENC_RETURN_IF_ERROR(
         where->Validate(state.encrypted_table->table().schema()));
@@ -220,7 +223,53 @@ StatusOr<std::vector<uint64_t>> QueryEngine::MatchingRows(
   return rows;
 }
 
+StatusOr<QueryResult> QueryEngine::FinishStatement(
+    obs::QueryTraceScope& trace, const std::string& table, const char* verb,
+    StatusOr<QueryResult> result) const {
+  if (result.ok()) {
+    trace.Finish(result->plan);
+    result->trace_id = trace.trace_id();
+    result->leakage = trace.Leakage();
+  } else if (result.status().code() == StatusCode::kAuthenticationFailed) {
+    // A ciphertext failed to open mid-statement: either the store was
+    // altered or the key is wrong. Worth a durable security event either
+    // way; the statement still fails with the original status.
+    db_->NoteSecurityEvent(AuditEventType::kAuthFailure,
+                           std::string(verb) + " on '" + table +
+                               "': " + result.status().message());
+  }
+  return result;
+}
+
 StatusOr<QueryResult> QueryEngine::Execute(
+    const SelectStatement& statement) const {
+  obs::QueryTraceScope trace("query.statement");
+  return FinishStatement(trace, statement.table, "select",
+                         ExecuteSelect(statement));
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(
+    const InsertStatement& statement) const {
+  obs::QueryTraceScope trace("query.statement");
+  return FinishStatement(trace, statement.table, "insert",
+                         ExecuteInsert(statement));
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(
+    const UpdateStatement& statement) const {
+  obs::QueryTraceScope trace("query.statement");
+  return FinishStatement(trace, statement.table, "update",
+                         ExecuteUpdate(statement));
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(
+    const DeleteStatement& statement) const {
+  obs::QueryTraceScope trace("query.statement");
+  return FinishStatement(trace, statement.table, "delete",
+                         ExecuteDelete(statement));
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteSelect(
     const SelectStatement& statement) const {
   SDBENC_ASSIGN_OR_RETURN(const SecureDatabase::TableState* state,
                           db_->GetTableState(statement.table));
@@ -244,6 +293,11 @@ StatusOr<QueryResult> QueryEngine::Execute(
   {
     const obs::StageTimer timer(Metrics().materialize_ns,
                                 "query.materialize");
+    if (plan.residual != nullptr) {
+      // The residual filter already decrypted these rows once; this second
+      // pass fetches each survivor again (usually from the block cache).
+      obs::CountLeak(obs::LeakKind::kResidualRefetches, rows.size());
+    }
     SDBENC_RETURN_IF_ERROR(ParallelFor(
         rows.size(), /*grain=*/16, parallelism_,
         [&](size_t begin, size_t end) -> Status {
@@ -310,7 +364,7 @@ StatusOr<QueryResult> QueryEngine::Execute(
   return result;
 }
 
-StatusOr<QueryResult> QueryEngine::Execute(
+StatusOr<QueryResult> QueryEngine::ExecuteInsert(
     const InsertStatement& statement) const {
   SDBENC_ASSIGN_OR_RETURN(uint64_t row,
                           db_->Insert(statement.table, statement.values));
@@ -321,7 +375,7 @@ StatusOr<QueryResult> QueryEngine::Execute(
   return result;
 }
 
-StatusOr<QueryResult> QueryEngine::Execute(
+StatusOr<QueryResult> QueryEngine::ExecuteUpdate(
     const UpdateStatement& statement) const {
   SDBENC_ASSIGN_OR_RETURN(const SecureDatabase::TableState* state,
                           db_->GetTableState(statement.table));
@@ -338,7 +392,7 @@ StatusOr<QueryResult> QueryEngine::Execute(
   return result;
 }
 
-StatusOr<QueryResult> QueryEngine::Execute(
+StatusOr<QueryResult> QueryEngine::ExecuteDelete(
     const DeleteStatement& statement) const {
   SDBENC_ASSIGN_OR_RETURN(const SecureDatabase::TableState* state,
                           db_->GetTableState(statement.table));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/secure_database.h"
+#include "obs/trace.h"
 #include "query/cost_model.h"
 #include "query/expr.h"
 #include "query/planner.h"
@@ -56,6 +57,12 @@ struct QueryResult {
   std::vector<std::vector<Value>> rows;
   std::string plan;  // human-readable access path, for EXPLAIN-style output
   uint64_t affected = 0;  // rows touched by INSERT/UPDATE/DELETE
+  /// Statement trace id (0 when per-query tracing is off — see
+  /// obs::SetPerQueryTracing and the slow-query log).
+  uint64_t trace_id = 0;
+  /// What executing this statement revealed to the storage adversary;
+  /// all-zero when tracing is off.
+  obs::LeakageProfile leakage;
 };
 
 /// Executes typed statements against a SecureDatabase, planning predicates
@@ -89,6 +96,20 @@ class QueryEngine {
   StatusOr<std::string> Explain(const SelectStatement& statement) const;
 
  private:
+  StatusOr<QueryResult> ExecuteSelect(const SelectStatement& statement) const;
+  StatusOr<QueryResult> ExecuteInsert(const InsertStatement& statement) const;
+  StatusOr<QueryResult> ExecuteUpdate(const UpdateStatement& statement) const;
+  StatusOr<QueryResult> ExecuteDelete(const DeleteStatement& statement) const;
+
+  /// Statement epilogue shared by the public Execute overloads: closes the
+  /// root span (feeding the slow-query log), attaches the trace id and
+  /// leakage profile to a successful result, and turns an authentication
+  /// failure into an audit event.
+  StatusOr<QueryResult> FinishStatement(obs::QueryTraceScope& trace,
+                                        const std::string& table,
+                                        const char* verb,
+                                        StatusOr<QueryResult> result) const;
+
   /// Row numbers of live rows matching the plan (index range or scan),
   /// with the residual predicate applied.
   StatusOr<std::vector<uint64_t>> MatchingRows(

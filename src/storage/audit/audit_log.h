@@ -1,0 +1,141 @@
+#ifndef SDBENC_STORAGE_AUDIT_AUDIT_LOG_H_
+#define SDBENC_STORAGE_AUDIT_AUDIT_LOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aead/factory.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+
+/// Security events worth a durable, tamper-evident record. The octet
+/// values are on-disk format; never renumber.
+enum class AuditEventType : uint8_t {
+  kSessionOpen = 1,     // a SecureDatabase session opened this store
+  kSessionClose = 2,    // orderly close (keys wiped)
+  kKeyRotation = 3,     // master key rotated; log resealed under new key
+  kAuthFailure = 4,     // an AEAD rejected a ciphertext during a query
+  kTamperDetected = 5,  // VerifyIntegrity found altered or missing cells
+  kWalRecovery = 6,     // crash recovery replayed WAL state on open
+  kCacheEpochBump = 7,  // decrypted-block cache invalidated wholesale
+};
+
+/// Stable lower-snake name for exports ("key_rotation"); "unknown" for
+/// values outside the enum.
+const char* AuditEventTypeName(AuditEventType type);
+
+/// One decrypted audit record. `wall_ms` is the appender's wall clock
+/// (documentation for the reader; ordering and integrity come from the
+/// sequence numbers and the chain, never from timestamps).
+struct AuditEvent {
+  uint64_t seq = 0;
+  AuditEventType type = AuditEventType::kSessionOpen;
+  uint64_t wall_ms = 0;
+  std::string detail;
+};
+
+/// A verified chain: every record decrypted, plus the final chain link
+/// (hex of the last record's AEAD tag). Anchoring that link outside the
+/// store — a printout, a different machine — is the only defence against
+/// whole-tail truncation, which a backward-linked chain cannot detect on
+/// its own.
+struct AuditChain {
+  std::vector<AuditEvent> events;
+  std::string final_link_hex;
+};
+
+/// Sealing configuration; the key is a subkey of the session master key
+/// (SecureDatabase derives it as HKDF("audit"), next to HKDF("wal")).
+struct AuditLogOptions {
+  /// AEAD key, >= 16 octets.
+  Bytes key;
+  /// Must have a nonce of >= 8 octets (nonces are sequence-derived).
+  AeadAlgorithm aead = AeadAlgorithm::kGcm;
+};
+
+/// Append-only, AEAD-sealed, hash-chained audit log.
+///
+/// On-disk layout (same framing conventions as the WAL):
+///
+///   header (64 octets):
+///     "SDBAUD01" | u32 aead_alg | u8[4] zero | u8[16] salt
+///     | 28 zero octets | u8[8] checksum (truncated SHA-256)
+///   record frame, append-only after the header:
+///     u32 body_len | u32 crc32(body) | body
+///   body:
+///     u64 seq | u8 type | ciphertext | tag
+///   plaintext:
+///     u64 wall_ms | detail octets
+///
+/// The chain: record `seq`'s associated data is
+/// `"SDBAUD" || be64(seq) || type || prev_link`, where `prev_link` is the
+/// previous record's AEAD tag (for seq 0, the header's checksum — binding
+/// the chain to this file's salt). Altering, deleting or reordering any
+/// record breaks every later record's AAD, so VerifyChain fails loudly;
+/// only truncating the tail at a frame boundary is silent (see AuditChain).
+///
+/// Durability: Append seals, writes and fsyncs one record at a time —
+/// audit events are rare (session lifecycle, rotations, detections), so
+/// the write path optimises for evidence quality, not throughput.
+///
+/// Crash repair vs. verification: Open() truncates a torn final frame
+/// (crash mid-append) and continues the chain; VerifyChain() is strict —
+/// every octet from header to EOF must parse, authenticate and chain, so
+/// a single flipped bit anywhere fails verification.
+class AuditLog {
+ public:
+  /// Opens (creating if missing) the log at `path`, verifying the existing
+  /// chain and positioning at its end. A torn final frame is truncated; any
+  /// other inconsistency fails with kAuthenticationFailed.
+  static StatusOr<std::unique_ptr<AuditLog>> Open(
+      const std::string& path, const AuditLogOptions& options);
+
+  /// Strict auditor's check: decrypts and verifies the whole file. Any
+  /// parse, CRC, authentication, sequence or trailing-octet anomaly fails.
+  static StatusOr<AuditChain> VerifyChain(const std::string& path,
+                                          const AuditLogOptions& options);
+
+  ~AuditLog();
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Seals and durably appends one event. Thread-safe.
+  Status AppendEvent(AuditEventType type, const std::string& detail);
+
+  /// Key rotation: re-encrypts every record under `new_options` (fresh
+  /// salt, same sequence numbers and plaintexts) via write-to-temp +
+  /// rename, then continues appending under the new key.
+  Status Reseal(const AuditLogOptions& new_options);
+
+  const std::string& path() const { return path_; }
+  uint64_t next_seq() const;
+  /// Hex of the current final chain link, for external anchoring.
+  std::string last_link_hex() const;
+
+ private:
+  AuditLog(std::string path, AuditLogOptions options,
+           std::unique_ptr<Aead> aead, int fd);
+
+  Status WriteHeaderLocked();
+  Status AppendLocked(AuditEventType type, uint64_t wall_ms,
+                      const std::string& detail);
+
+  std::string path_;
+  AuditLogOptions options_;
+  std::unique_ptr<Aead> aead_;
+  int fd_;
+
+  mutable std::mutex mu_;
+  Bytes salt_;
+  Bytes prev_link_;  // previous record's tag; header checksum before any
+  uint64_t next_seq_ = 0;
+  uint64_t file_size_ = 0;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_STORAGE_AUDIT_AUDIT_LOG_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/constant_time.h"
 #include "util/ct_taint.h"
 
@@ -103,6 +104,7 @@ std::optional<Bytes> DecryptedBlockCache::Lookup(const Key& key) {
   if (key.epoch != epoch()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     Metrics().misses->Increment();
+    obs::CountLeak(obs::LeakKind::kCacheMisses);
     return std::nullopt;
   }
   Shard& shard = ShardFor(key);
@@ -111,11 +113,13 @@ std::optional<Bytes> DecryptedBlockCache::Lookup(const Key& key) {
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     Metrics().misses->Increment();
+    obs::CountLeak(obs::LeakKind::kCacheMisses);
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
   Metrics().hits->Increment();
+  obs::CountLeak(obs::LeakKind::kCacheHits);
   return it->second->plaintext;
 }
 

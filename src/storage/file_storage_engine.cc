@@ -242,6 +242,10 @@ Status FileStorageEngine::ApplyRecovery(const WalRecoveredState& recovered) {
       recovered.restores.empty()) {
     return OkStatus();
   }
+  recovery_.applied = true;
+  recovery_.pages_applied = recovered.pages.size();
+  recovery_.restores_applied = recovered.restores.size();
+  recovery_.had_commit = recovered.has_commit;
   for (const auto& [id, image] : recovered.restores) {
     SDBENC_RETURN_IF_ERROR(WritePageToDisk(id, image));
   }

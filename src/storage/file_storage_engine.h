@@ -133,6 +133,17 @@ class FileStorageEngine : public StorageEngine {
   size_t stripe_count() const { return stripes_.size(); }
   bool wal_enabled() const { return wal_ != nullptr; }
 
+  /// What WAL replay did when this engine was opened. `applied` means the
+  /// image was behind the log and pages were rolled forward — the event a
+  /// session wants in its audit trail.
+  struct RecoveryInfo {
+    bool applied = false;
+    uint64_t pages_applied = 0;
+    uint64_t restores_applied = 0;
+    bool had_commit = false;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
  private:
   struct Stripe {
     mutable std::mutex mu;
@@ -201,6 +212,7 @@ class FileStorageEngine : public StorageEngine {
   std::mutex wal_mu_;
   std::unordered_set<PageId> imaged_;
   uint64_t checkpoint_pages_ = 0;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace sdbenc

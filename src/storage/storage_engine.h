@@ -39,6 +39,11 @@ struct StorageOptions {
   /// How long the WAL committer lingers collecting a group-commit batch
   /// before its fsync, in microseconds. 0 = natural batching only.
   uint32_t group_commit_window_us = 0;
+  /// Tamper-evident audit log path (both backends; empty = no audit log).
+  /// SecureDatabase derives the sealing key from the master key and logs
+  /// security events — session lifecycle, key rotation, auth failures,
+  /// tamper detections, WAL recovery — as a hash-chained AEAD stream.
+  std::string audit_path;
 
   static StorageOptions Memory() { return StorageOptions{}; }
   static StorageOptions File(std::string file_path,

@@ -34,7 +34,7 @@ const WalMetrics& Metrics() {
       obs::Registry().GetCounter("sdbenc_wal_records_total"),
       obs::Registry().GetCounter("sdbenc_wal_commits_total"),
       obs::Registry().GetCounter("sdbenc_wal_fsyncs_total"),
-      obs::Registry().GetHistogram("sdbenc_wal_batch_records"),
+      obs::Registry().GetHistogram("sdbenc_wal_batch_record_count"),
       obs::Registry().GetHistogram("sdbenc_wal_fsync_ns"),
   };
   return m;

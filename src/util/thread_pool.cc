@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace sdbenc {
 
@@ -186,8 +187,17 @@ Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
     run_chunks(ctx);
   } else {
     ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Shared();
+    // Hand the caller's statement-trace binding to every helper: spans
+    // opened and leaks counted on a worker attribute to the statement that
+    // spawned this parallel region, not to whatever the pool thread last
+    // ran. The binding is two words; capture is free even when no trace is
+    // active.
+    const obs::TraceBinding binding = obs::CurrentTraceBinding();
     for (size_t i = 0; i < helpers; ++i) {
-      p.Submit([ctx, run_chunks] { run_chunks(ctx); });
+      p.Submit([ctx, run_chunks, binding] {
+        const obs::ScopedTraceBinding scoped(binding);
+        run_chunks(ctx);
+      });
     }
     run_chunks(ctx);
     std::unique_lock<std::mutex> lock(ctx->mu);

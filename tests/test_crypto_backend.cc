@@ -303,8 +303,11 @@ TEST(CryptoBackendTest, ForcePortableOverridesDispatch) {
     EXPECT_EQ(ActiveCryptoBackend(), CryptoBackend::kPortable);
     auto cipher = CreateAesCipher(Bytes(16, 0x42));
     ASSERT_TRUE(cipher.ok());
-    // The gauge tracks the forced choice.
-    EXPECT_EQ(obs::Registry().GetGauge("sdbenc_crypto_backend")->Value(), 0);
+    // The gauge tracks the forced choice (unless compiled out).
+    if (obs::kMetricsEnabled) {
+      EXPECT_EQ(obs::Registry().GetGauge("sdbenc_crypto_backend")->Value(),
+                0);
+    }
   }
   {
     ScopedForcePortable guard(false);
@@ -314,12 +317,15 @@ TEST(CryptoBackendTest, ForcePortableOverridesDispatch) {
     EXPECT_EQ(ActiveCryptoBackend(), expected);
     auto cipher = CreateAesCipher(Bytes(16, 0x42));
     ASSERT_TRUE(cipher.ok());
-    EXPECT_EQ(obs::Registry().GetGauge("sdbenc_crypto_backend")->Value(),
-              expected == CryptoBackend::kAesni ? 1 : 0);
+    if (obs::kMetricsEnabled) {
+      EXPECT_EQ(obs::Registry().GetGauge("sdbenc_crypto_backend")->Value(),
+                expected == CryptoBackend::kAesni ? 1 : 0);
+    }
   }
 }
 
 TEST(CryptoBackendTest, PerBackendBlockCountersPartitionTotals) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
   obs::Counter* total =
       obs::Registry().GetCounter("sdbenc_cipher_encrypt_blocks_total");
   obs::Counter* portable = obs::Registry().GetCounter(

@@ -1,0 +1,235 @@
+// sdbenc_stat: operator CLI for the observability subsystem (DESIGN §14).
+//
+// Modes:
+//
+//   sdbenc_stat --verify-audit=PATH --master-key-hex=HEX [--aead=gcm|eax|...]
+//     Out-of-process auditor: derives the "audit" subkey from the master
+//     key, strictly verifies the hash-chained AEAD log at PATH and prints
+//     every event plus the final chain link (anchor it somewhere the
+//     storage adversary cannot reach). Exit 0 on a clean chain, 1 on any
+//     parse/authentication/sequence anomaly.
+//
+//   sdbenc_stat --demo=DIR
+//     End-to-end smoke of the tracing + leakage + audit pillars: opens an
+//     audited session under DIR, runs a mixed workload with per-query
+//     tracing and a zero-threshold slow-query log, prints one JSON line
+//     per demonstrated property (span-tree depth, per-plan leakage,
+//     audit-chain verification before and after a key rotation), and
+//     exits non-zero if any property fails to hold.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/secure_database.h"
+#include "obs/trace.h"
+#include "query/engine.h"
+#include "storage/audit/audit_log.h"
+#include "util/hex.h"
+
+namespace sdbenc {
+namespace {
+
+std::string ExtractValue(int* argc, char** argv, const char* prefix) {
+  std::string value;
+  const size_t len = std::strlen(prefix);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      value = argv[i] + len;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+StatusOr<AeadAlgorithm> ParseAead(const std::string& name) {
+  if (name.empty() || name == "gcm") return AeadAlgorithm::kGcm;
+  if (name == "eax") return AeadAlgorithm::kEax;
+  if (name == "siv") return AeadAlgorithm::kSiv;
+  if (name == "etm") return AeadAlgorithm::kEtm;
+  return InvalidArgumentError("unknown AEAD '" + name + "'");
+}
+
+// ---------------------------------------------------------- --verify-audit
+
+int VerifyAudit(const std::string& path, const std::string& key_hex,
+                const std::string& aead_name) {
+  StatusOr<Bytes> master = HexDecode(key_hex);
+  if (!master.ok() || master->size() < 16) {
+    std::fprintf(stderr, "sdbenc_stat: --master-key-hex must decode to >= 16 "
+                         "octets\n");
+    return 2;
+  }
+  StatusOr<AeadAlgorithm> aead = ParseAead(aead_name);
+  if (!aead.ok()) {
+    std::fprintf(stderr, "sdbenc_stat: %s\n",
+                 aead.status().ToString().c_str());
+    return 2;
+  }
+  AuditLogOptions options;
+  options.key = SecureDatabase::DeriveSubkey(ToView(*master), "audit");
+  options.aead = *aead;
+  StatusOr<AuditChain> chain = AuditLog::VerifyChain(path, options);
+  if (!chain.ok()) {
+    std::printf("{\"audit_verify\":\"FAIL\",\"path\":\"%s\",\"error\":\"%s\"}\n",
+                path.c_str(), chain.status().ToString().c_str());
+    return 1;
+  }
+  for (const AuditEvent& event : chain->events) {
+    std::printf("{\"audit_event\":%llu,\"type\":\"%s\",\"wall_ms\":%llu,"
+                "\"detail\":\"%s\"}\n",
+                static_cast<unsigned long long>(event.seq),
+                AuditEventTypeName(event.type),
+                static_cast<unsigned long long>(event.wall_ms),
+                event.detail.c_str());
+  }
+  std::printf("{\"audit_verify\":\"OK\",\"path\":\"%s\",\"records\":%zu,"
+              "\"final_link\":\"%s\"}\n",
+              path.c_str(), chain->events.size(),
+              chain->final_link_hex.c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------------ --demo
+
+/// Depth of the span tree (root = 1); 0 when there are no spans.
+size_t TreeDepth(const std::vector<obs::TraceEvent>& spans) {
+  std::map<uint64_t, uint64_t> parent;
+  for (const obs::TraceEvent& s : spans) parent[s.span_id] = s.parent_span_id;
+  size_t depth = 0;
+  for (const obs::TraceEvent& s : spans) {
+    size_t d = 1;
+    uint64_t at = s.span_id;
+    while (parent.count(at) != 0 && parent[at] != 0) {
+      at = parent[at];
+      ++d;
+    }
+    if (d > depth) depth = d;
+  }
+  return depth;
+}
+
+SelectStatement PointQuery(int64_t id) {
+  SelectStatement s;
+  s.table = "t";
+  s.where = Expr::Compare(CompareOp::kEq, Expr::Column("id"),
+                          Expr::Literal(Value::Int(id)));
+  return s;
+}
+
+int Demo(const std::string& dir) {
+  const Bytes master(32, 0x5d);
+  StorageOptions storage = StorageOptions::File(dir + "/demo.db");
+  storage.audit_path = dir + "/demo.audit";
+
+  obs::SetPerQueryTracing(true);
+  obs::SlowQueryLog::Default().set_threshold_us(0);
+
+  auto opened = SecureDatabase::Open(ToView(master), storage, 7);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<SecureDatabase> db = std::move(opened).value();
+
+  SecureTableOptions options;
+  options.indexed_columns = {"id"};
+  Schema schema({{"id", ValueType::kInt64, true},
+                 {"name", ValueType::kString, true},
+                 {"score", ValueType::kInt64, true}});
+  if (!db->CreateTable("t", schema, options).ok()) return 1;
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 256; ++i) {
+    rows.push_back({Value::Int(i), Value::Str("row" + std::to_string(i)),
+                    Value::Int(i * 3)});
+  }
+  if (!db->BulkInsert("t", rows).ok()) return 1;
+
+  QueryEngine engine(db.get());
+  int failures = 0;
+
+  // Pillar 1: a statement produces a parent-child span tree >= 4 deep.
+  obs::SlowQueryLog::Default().Clear();
+  auto traced = engine.Execute(PointQuery(42));
+  if (!traced.ok()) return 1;
+  const auto recent = obs::SlowQueryLog::Default().Recent();
+  const size_t depth = recent.empty() ? 0 : TreeDepth(recent.back().spans);
+  const size_t spans = recent.empty() ? 0 : recent.back().spans.size();
+  const bool tree_ok = depth >= 4;
+  std::printf("{\"demo\":\"trace_tree\",\"trace_id\":%llu,\"spans\":%zu,"
+              "\"depth\":%zu,\"pass\":%s}\n",
+              static_cast<unsigned long long>(traced->trace_id), spans,
+              depth, tree_ok ? "true" : "false");
+  if (!tree_ok && obs::kMetricsEnabled) ++failures;
+
+  // Pillar 2: leakage differs between the index path and the forced scan.
+  db->decrypted_cache()->WipeAll();
+  engine.set_planner_mode(PlannerMode::kForceIndex);
+  auto via_index = engine.Execute(PointQuery(100));
+  db->decrypted_cache()->WipeAll();
+  engine.set_planner_mode(PlannerMode::kForceScan);
+  auto via_scan = engine.Execute(PointQuery(100));
+  engine.set_planner_mode(PlannerMode::kAdaptive);
+  if (!via_index.ok() || !via_scan.ok()) return 1;
+  const bool leak_ok = !obs::kMetricsEnabled ||
+                       via_index->leakage.cells_decrypted <
+                           via_scan->leakage.cells_decrypted;
+  std::printf("{\"demo\":\"leakage\",\"index\":%s,\"scan\":%s,\"pass\":%s}\n",
+              via_index->leakage.ToJson().c_str(),
+              via_scan->leakage.ToJson().c_str(),
+              leak_ok ? "true" : "false");
+  if (!leak_ok) ++failures;
+
+  // Pillar 3: the audit chain verifies, survives a key rotation (reseal),
+  // and still verifies under the new key.
+  auto chain_before = db->VerifyAuditChain();
+  const Bytes new_master(32, 0x77);
+  const bool rotated = db->RotateMasterKey(ToView(new_master)).ok();
+  auto chain_after = db->VerifyAuditChain();
+  const bool audit_ok =
+      chain_before.ok() && rotated && chain_after.ok() &&
+      chain_after->events.size() > chain_before->events.size();
+  std::printf("{\"demo\":\"audit_chain\",\"records_before\":%zu,"
+              "\"records_after\":%zu,\"final_link\":\"%s\",\"pass\":%s}\n",
+              chain_before.ok() ? chain_before->events.size() : 0,
+              chain_after.ok() ? chain_after->events.size() : 0,
+              chain_after.ok() ? chain_after->final_link_hex.c_str() : "",
+              audit_ok ? "true" : "false");
+  if (!audit_ok) ++failures;
+
+  if (!db->Flush().ok()) return 1;
+  db->CloseSession();
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main(int argc, char** argv) {
+  const std::string verify_path =
+      sdbenc::ExtractValue(&argc, argv, "--verify-audit=");
+  const std::string key_hex =
+      sdbenc::ExtractValue(&argc, argv, "--master-key-hex=");
+  const std::string aead_name = sdbenc::ExtractValue(&argc, argv, "--aead=");
+  const std::string demo_dir = sdbenc::ExtractValue(&argc, argv, "--demo=");
+
+  if (!verify_path.empty()) {
+    return sdbenc::VerifyAudit(verify_path, key_hex, aead_name);
+  }
+  if (!demo_dir.empty()) {
+    return sdbenc::Demo(demo_dir);
+  }
+  std::fprintf(stderr,
+               "usage: sdbenc_stat --verify-audit=PATH --master-key-hex=HEX "
+               "[--aead=gcm]\n"
+               "       sdbenc_stat --demo=DIR\n");
+  return 2;
+}
