@@ -21,15 +21,54 @@
 namespace sdbenc {
 namespace bench {
 
-/// Median of a sample set (0.0 when empty); even sizes average the middle
-/// pair. The hand-rolled timing loops report medians of N repeats — robust
-/// against the one run that caught a page-cache flush or a CI neighbour.
-inline double Median(std::vector<double> samples) {
-  if (samples.empty()) return 0.0;
+/// Percentile over an already-sorted sample set (0.0 when empty), with
+/// linear interpolation between the two bracketing ranks — the same
+/// definition numpy's default `percentile` uses, so bench output matches
+/// what offline analysis of the raw samples would report.
+inline double SortedPercentile(const std::vector<double>& sorted,
+                               double pct) {
+  if (sorted.empty()) return 0.0;
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  const double rank = (pct / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Percentile of an unsorted sample set (takes the vector by value and
+/// sorts the copy). Prefer LatencySummary below when several percentiles
+/// of the same samples are needed — it sorts once.
+inline double Percentile(std::vector<double> samples, double pct) {
   std::sort(samples.begin(), samples.end());
-  const size_t mid = samples.size() / 2;
-  if (samples.size() % 2 == 1) return samples[mid];
-  return (samples[mid - 1] + samples[mid]) / 2.0;
+  return SortedPercentile(samples, pct);
+}
+
+/// Median of a sample set (0.0 when empty); even sizes average the middle
+/// pair (interpolated p50 reduces to exactly that). The hand-rolled timing
+/// loops report medians of N repeats — robust against the one run that
+/// caught a page-cache flush or a CI neighbour.
+inline double Median(std::vector<double> samples) {
+  return Percentile(std::move(samples), 50.0);
+}
+
+/// The p50/p95/p99 triple every latency-reporting bench prints. One sort,
+/// three interpolated percentiles.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+inline LatencySummary Summarize(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.p50 = SortedPercentile(samples, 50.0);
+  summary.p95 = SortedPercentile(samples, 95.0);
+  summary.p99 = SortedPercentile(samples, 99.0);
+  return summary;
 }
 
 /// `--repeat=N` / `--warmup=N`: N measured repetitions reported as their

@@ -267,16 +267,18 @@ void RunCodec(const CodecUnderTest& codec, size_t entries,
       }
     }
   }
-  const double cold_p50 = bench::Median(std::move(cold_ns));
-  const double hot_p50 = bench::Median(std::move(hot_ns));
+  const bench::LatencySummary cold = bench::Summarize(std::move(cold_ns));
+  const bench::LatencySummary hot = bench::Summarize(std::move(hot_ns));
   bench::JsonLineWriter()
       .Str("bench", "query_adaptive")
       .Str("op", "point_p50")
       .Str("codec", codec.name)
       .Uint("entries", entries)
-      .Double("cold_ns", cold_p50, 0)
-      .Double("hot_ns", hot_p50, 0)
-      .Double("speedup", hot_p50 > 0 ? cold_p50 / hot_p50 : 0.0, 2)
+      .Double("cold_ns", cold.p50, 0)
+      .Double("hot_ns", hot.p50, 0)
+      .Double("cold_p99_ns", cold.p99, 0)
+      .Double("hot_p99_ns", hot.p99, 0)
+      .Double("speedup", hot.p50 > 0 ? cold.p50 / hot.p50 : 0.0, 2)
       .Emit();
 }
 

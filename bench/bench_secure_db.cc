@@ -220,8 +220,12 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep,
           std::chrono::duration<double, std::milli>(t2 - t1).count());
     }
     if (failed) continue;
-    const double insert_ms = bench::Median(std::move(insert_samples));
-    const double verify_ms = bench::Median(std::move(verify_samples));
+    const bench::LatencySummary insert_summary =
+        bench::Summarize(std::move(insert_samples));
+    const bench::LatencySummary verify_summary =
+        bench::Summarize(std::move(verify_samples));
+    const double insert_ms = insert_summary.p50;
+    const double verify_ms = verify_summary.p50;
     if (base_insert == 0) base_insert = insert_ms;
     if (base_verify == 0) base_verify = verify_ms;
     std::printf("%-10zu %-14.1f %-14.1f %-10.2f %-10.2f\n", threads,
@@ -233,6 +237,7 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep,
         .Uint("rows", kRows)
         .Uint("threads", threads)
         .Double("wall_ms", insert_ms)
+        .Double("p95_ms", insert_summary.p95)
         .Double("speedup", base_insert / insert_ms)
         .Uint("repeats", repeats.repeat)
         .Emit();
@@ -242,6 +247,7 @@ void RunThreadSweep(const std::vector<size_t>& thread_sweep,
         .Uint("rows", kRows)
         .Uint("threads", threads)
         .Double("wall_ms", verify_ms)
+        .Double("p95_ms", verify_summary.p95)
         .Double("speedup", base_verify / verify_ms)
         .Uint("repeats", repeats.repeat)
         .Emit();

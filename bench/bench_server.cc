@@ -1,0 +1,342 @@
+// Loopback throughput bench for the network front end (src/net).
+//
+// Starts an in-process Server with T tenants (distinct master keys, memory
+// storage, `rows` preloaded rows each), then drives it with C client
+// connections over 127.0.0.1, sweeping the pipelining depth: each
+// connection keeps `depth` QUERY frames in flight and issues small
+// encrypted point lookups (`SELECT val FROM kv WHERE id = K`). Output is
+// JSON lines:
+//
+//   {"bench":"server","op":"point_qps","connections":C,"depth":D,
+//    "tenants":T,"rows":R,"qps":...,"p50_us":...,"p95_us":...,"p99_us":...}
+//   {"bench":"server","op":"tenant_qps","tenant":"t0","depth":D,...}
+//   {"bench":"server","op":"batch_qps","connections":C,"batch":B,...}
+//
+// `point_qps` latencies are per-request wall times measured at the client
+// (send timestamp to response timestamp), so at depth D they include the
+// queueing delay of the D-1 requests ahead — throughput is the headline,
+// p50/p99 show what pipelining costs in latency. `tenant_qps` rows come
+// from the server's own per-tenant counters, which doubles as an
+// attribution check: every tenant must account for > 0 queries.
+//
+// Flags: --connections=N --depths=1,8,32 --tenants=N --rows=N
+//        --requests=N (per connection per depth) --metrics
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace sdbenc {
+namespace {
+
+Status Bootstrap(SecureDatabase* db, size_t rows) {
+  SecureTableOptions options;
+  options.indexed_columns = {"id"};
+  options.index_order = 16;
+  Schema schema({{"id", ValueType::kInt64, true},
+                 {"val", ValueType::kString, true}});
+  SDBENC_RETURN_IF_ERROR(db->CreateTable("kv", schema, options));
+  std::vector<std::vector<Value>> preload;
+  preload.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    preload.push_back({Value::Int(static_cast<int64_t>(i)),
+                       Value::Str("value-" + std::to_string(i))});
+  }
+  return db->BulkInsert("kv", preload);
+}
+
+Bytes TenantKey(size_t index) {
+  return Bytes(32, static_cast<uint8_t>(0xa0 + index));
+}
+
+std::string PointSql(uint64_t id) {
+  return "SELECT val FROM kv WHERE id = " + std::to_string(id);
+}
+
+/// Reads the current value of the per-tenant query counter from the
+/// registry snapshot (0 when the tenant has not executed anything yet).
+double TenantQueriesTotal(const std::string& tenant) {
+  return static_cast<double>(obs::Registry().Snapshot().CounterValue(
+      "sdbenc_server_tenant_" + net::TenantMetricFragment(tenant) +
+      "_queries_total"));
+}
+
+struct ConnStats {
+  size_t completed = 0;
+  std::vector<double> latencies_us;
+  bool failed = false;
+};
+
+/// One connection's worth of pipelined point queries: bursts of `depth`
+/// frames go out in one send() (the on-wire shape of a deeply-pipelined
+/// client), then the burst's responses are read back. Per-request latency
+/// runs from the burst's send to that response's arrival, so it includes
+/// the queueing delay pipelining buys throughput with.
+ConnStats DriveConnection(uint16_t port, const std::string& tenant,
+                          const Bytes& key, size_t requests, size_t depth,
+                          size_t rows, uint64_t seed) {
+  ConnStats stats;
+  auto client_or = net::Client::Connect("127.0.0.1", port);
+  if (!client_or.ok()) {
+    stats.failed = true;
+    return stats;
+  }
+  std::unique_ptr<net::Client> client = std::move(*client_or);
+  if (!client->Hello(tenant, key).ok()) {
+    stats.failed = true;
+    return stats;
+  }
+  DeterministicRng rng(seed);
+  stats.latencies_us.reserve(requests);
+  size_t done = 0;
+  std::vector<std::string> burst;
+  while (done < requests) {
+    const size_t n = std::min(depth, requests - done);
+    burst.clear();
+    for (size_t i = 0; i < n; ++i) {
+      burst.push_back(PointSql(rng.UniformUint64(rows)));
+    }
+    const uint64_t t0 = obs::NowNs();
+    StatusOr<std::vector<uint32_t>> ids = client->SendQueries(burst);
+    if (!ids.ok()) {
+      stats.failed = true;
+      return stats;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<net::Response> response = client->ReadResponse();
+      const uint64_t t1 = obs::NowNs();
+      if (!response.ok() || !response->ok() ||
+          response->result.rows.size() != 1) {
+        stats.failed = true;
+        return stats;
+      }
+      stats.latencies_us.push_back(static_cast<double>(t1 - t0) / 1000.0);
+      ++done;
+    }
+  }
+  stats.completed = done;
+  (void)client->Bye();
+  return stats;
+}
+
+int Run(size_t connections, const std::vector<size_t>& depths,
+        size_t tenants, size_t rows, size_t requests) {
+  net::ServerOptions options;
+  for (size_t i = 0; i < tenants; ++i) {
+    net::TenantConfig tenant;
+    tenant.name = "t" + std::to_string(i);
+    tenant.master_key = TenantKey(i);
+    tenant.bootstrap = [rows](SecureDatabase* db) {
+      return Bootstrap(db, rows);
+    };
+    tenant.rng_seed = 1000 + i;
+    options.tenants.push_back(std::move(tenant));
+  }
+  auto server_or = net::Server::Start(std::move(options));
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(*server_or);
+  const uint16_t port = server->port();
+
+  // Warm every tenant: open it (first HELLO triggers the lazy bootstrap)
+  // and touch all rows once so measured runs hit the decrypted cache.
+  for (size_t i = 0; i < tenants; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok() || !(*client)->Hello(name, TenantKey(i)).ok()) {
+      std::fprintf(stderr, "bench_server: warmup HELLO failed\n");
+      return 1;
+    }
+    std::vector<std::string> batch;
+    for (size_t id = 0; id < rows; ++id) {
+      batch.push_back(PointSql(id));
+      if (batch.size() == 512 || id + 1 == rows) {
+        if (!(*client)->Batch(batch).ok()) {
+          std::fprintf(stderr, "bench_server: warmup batch failed\n");
+          return 1;
+        }
+        batch.clear();
+      }
+    }
+    (void)(*client)->Bye();
+  }
+
+  for (const size_t depth : depths) {
+    std::vector<double> before(tenants);
+    for (size_t i = 0; i < tenants; ++i) {
+      before[i] = TenantQueriesTotal("t" + std::to_string(i));
+    }
+    std::vector<ConnStats> per_conn(connections);
+    const uint64_t t0 = obs::NowNs();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(connections);
+      for (size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c]() {
+          const std::string tenant = "t" + std::to_string(c % tenants);
+          per_conn[c] =
+              DriveConnection(port, tenant, TenantKey(c % tenants),
+                              requests, depth, rows, 0x9e3779b9u + c);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    const uint64_t t1 = obs::NowNs();
+    size_t total = 0;
+    std::vector<double> latencies;
+    for (const ConnStats& s : per_conn) {
+      if (s.failed) {
+        std::fprintf(stderr, "bench_server: a connection failed\n");
+        return 1;
+      }
+      total += s.completed;
+      latencies.insert(latencies.end(), s.latencies_us.begin(),
+                       s.latencies_us.end());
+    }
+    const double wall_s = static_cast<double>(t1 - t0) / 1e9;
+    const double qps = wall_s > 0 ? static_cast<double>(total) / wall_s : 0;
+    const bench::LatencySummary lat = bench::Summarize(std::move(latencies));
+    bench::JsonLineWriter()
+        .Str("bench", "server")
+        .Str("op", "point_qps")
+        .Uint("connections", connections)
+        .Uint("depth", depth)
+        .Uint("tenants", tenants)
+        .Uint("rows", rows)
+        .Double("qps", qps, 0)
+        .Double("p50_us", lat.p50, 1)
+        .Double("p95_us", lat.p95, 1)
+        .Double("p99_us", lat.p99, 1)
+        .Emit();
+    for (size_t i = 0; i < tenants; ++i) {
+      const std::string name = "t" + std::to_string(i);
+      const double tenant_queries = TenantQueriesTotal(name) - before[i];
+      bench::JsonLineWriter()
+          .Str("bench", "server")
+          .Str("op", "tenant_qps")
+          .Str("tenant", name)
+          .Uint("connections", connections)
+          .Uint("depth", depth)
+          .Uint("tenants", tenants)
+          .Double("qps", wall_s > 0 ? tenant_queries / wall_s : 0, 0)
+          .Emit();
+      // A tenant only sees traffic when some connection maps to it
+      // (connections are dealt round-robin across tenants).
+      if (tenant_queries <= 0 && i < connections) {
+        std::fprintf(stderr,
+                     "bench_server: tenant %s executed no queries — "
+                     "per-tenant attribution is broken\n",
+                     name.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // One BATCH configuration: 64 statements per frame, depth 4. Shows what
+  // amortising the per-frame dispatch buys over single-query pipelining.
+  {
+    const size_t kBatch = 64;
+    const size_t batches = requests / kBatch + 1;
+    std::atomic<size_t> total{0};
+    const uint64_t t0 = obs::NowNs();
+    {
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c]() {
+          const std::string tenant = "t" + std::to_string(c % tenants);
+          auto client = net::Client::Connect("127.0.0.1", port);
+          if (!client.ok() ||
+              !(*client)->Hello(tenant, TenantKey(c % tenants)).ok()) {
+            return;
+          }
+          DeterministicRng rng(0xb47c4 + c);
+          for (size_t b = 0; b < batches; ++b) {
+            std::vector<std::string> statements;
+            statements.reserve(kBatch);
+            for (size_t i = 0; i < kBatch; ++i) {
+              statements.push_back(PointSql(rng.UniformUint64(rows)));
+            }
+            auto items = (*client)->Batch(statements);
+            if (!items.ok()) return;
+            total.fetch_add(items->size(), std::memory_order_relaxed);
+          }
+          (void)(*client)->Bye();
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    const uint64_t t1 = obs::NowNs();
+    const double wall_s = static_cast<double>(t1 - t0) / 1e9;
+    bench::JsonLineWriter()
+        .Str("bench", "server")
+        .Str("op", "batch_qps")
+        .Uint("connections", connections)
+        .Uint("batch", kBatch)
+        .Uint("tenants", tenants)
+        .Double("qps", wall_s > 0 ? static_cast<double>(total.load()) /
+                                        wall_s
+                                  : 0,
+                0)
+        .Emit();
+  }
+  server->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main(int argc, char** argv) {
+  using sdbenc::bench::ExtractFlagValue;
+  const bool metrics = sdbenc::bench::ExtractFlag(&argc, argv, "--metrics");
+  const std::string conn_arg =
+      ExtractFlagValue(&argc, argv, "--connections=");
+  const std::string depths_arg = ExtractFlagValue(&argc, argv, "--depths=");
+  const std::string tenants_arg =
+      ExtractFlagValue(&argc, argv, "--tenants=");
+  const std::string rows_arg = ExtractFlagValue(&argc, argv, "--rows=");
+  const std::string requests_arg =
+      ExtractFlagValue(&argc, argv, "--requests=");
+  const size_t connections =
+      conn_arg.empty() ? 4 : std::strtoul(conn_arg.c_str(), nullptr, 10);
+  const size_t tenants =
+      tenants_arg.empty() ? 2 : std::strtoul(tenants_arg.c_str(), nullptr, 10);
+  const size_t rows =
+      rows_arg.empty() ? 8000 : std::strtoul(rows_arg.c_str(), nullptr, 10);
+  const size_t requests = requests_arg.empty()
+                              ? 20000
+                              : std::strtoul(requests_arg.c_str(), nullptr,
+                                             10);
+  std::vector<size_t> depths;
+  {
+    std::string spec = depths_arg.empty() ? "1,8,32" : depths_arg;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      depths.push_back(
+          std::strtoul(spec.substr(pos, comma - pos).c_str(), nullptr, 10));
+      pos = comma + 1;
+    }
+  }
+  const int rc =
+      sdbenc::Run(connections, depths, tenants, rows, requests);
+  if (rc == 0 && metrics) {
+    sdbenc::bench::DumpRegistrySnapshot("bench_server");
+  }
+  return rc;
+}

@@ -46,10 +46,16 @@ _IDENTITY_FIELDS = (
     "op",
     "mode",
     "backend",
+    "tenant",
     "entries",
     "order",
     "threads",
     "buffer_bytes",
+    "connections",
+    "depth",
+    "tenants",
+    "rows",
+    "batch",
 )
 
 
@@ -142,6 +148,51 @@ def check_adaptive(rows, min_cache_speedup):
     return failed
 
 
+def check_server(rows, min_pipeline_speedup, min_server_qps):
+    """Returns True (= failure) when the network server's pipelining gain
+    or absolute throughput regresses. The depth=max vs depth=1 throughput
+    *ratio* is a property of the design (batched frame dispatch amortising
+    per-request costs), so it is enforced everywhere; the absolute QPS
+    floor is machine-dependent and only enforced when --min-server-qps is
+    set. Per-tenant attribution rows must exist and be non-zero for every
+    tenant the run covered."""
+    failed = False
+    point = [r for r in rows
+             if r.get("bench") == "server" and r.get("op") == "point_qps"]
+    if not point:
+        return False
+    by_depth = {r.get("depth"): r.get("qps") for r in point
+                if isinstance(r.get("qps"), (int, float))}
+    if len(by_depth) >= 2:
+        base_qps = by_depth[min(by_depth)]
+        best_qps = max(by_depth.values())
+        speedup = best_qps / base_qps if base_qps > 0 else 0.0
+        if min_pipeline_speedup > 0 and speedup < min_pipeline_speedup:
+            print(f"error: pipelining speedup regressed: best "
+                  f"{best_qps:.0f} qps / depth-1 {base_qps:.0f} qps = "
+                  f"{speedup:.2f}x < {min_pipeline_speedup:.1f}x",
+                  file=sys.stderr)
+            failed = True
+    peak = max(by_depth.values()) if by_depth else 0
+    if min_server_qps > 0 and peak < min_server_qps:
+        print(f"error: peak server throughput {peak:.0f} qps below the "
+              f"floor {min_server_qps:.0f}", file=sys.stderr)
+        failed = True
+    tenant_rows = [r for r in rows
+                   if r.get("bench") == "server"
+                   and r.get("op") == "tenant_qps"]
+    if not tenant_rows:
+        print("error: server run emitted no per-tenant qps rows "
+              "(attribution coverage lost)", file=sys.stderr)
+        failed = True
+    elif not any(isinstance(r.get("qps"), (int, float)) and r["qps"] > 0
+                 for r in tenant_rows):
+        print("error: every per-tenant qps row is zero (per-tenant "
+              "metric attribution broken)", file=sys.stderr)
+        failed = True
+    return failed
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="committed baseline JSON file")
@@ -155,6 +206,15 @@ def main():
     ap.add_argument("--min-cache-speedup", type=float, default=5.0,
                     help="minimum acceptable cache-hot vs cache-cold point "
                          "query p50 speedup (0 disables the check)")
+    ap.add_argument("--min-pipeline-speedup", type=float, default=1.5,
+                    help="minimum acceptable bench_server throughput ratio "
+                         "of the best pipelining depth over depth 1 "
+                         "(0 disables the check)")
+    ap.add_argument("--min-server-qps", type=float, default=0.0,
+                    help="absolute floor on bench_server peak point-query "
+                         "throughput (0 disables; machine-dependent, so "
+                         "only CI environments with known hardware should "
+                         "set it)")
     args = ap.parse_args()
 
     if args.current:
@@ -228,6 +288,8 @@ def main():
 
     failed |= check_scaling(current, args.min_speedup8)
     failed |= check_adaptive(current, args.min_cache_speedup)
+    failed |= check_server(current, args.min_pipeline_speedup,
+                           args.min_server_qps)
     return 1 if failed else 0
 
 

@@ -13,7 +13,8 @@ JSON-lines and Prometheus exports of the same snapshot agree byte-for-value:
 * both exports contain exactly the same metric families with equal values,
 * every family follows the naming convention (``sdbenc_`` prefix; counters
   end in ``_total``; histograms in a unit suffix ``_ns``/``_bytes``/
-  ``_count``; gauges in ``_bytes``/``_depth``/``_ns``/``_count`` unless
+  ``_count``; gauges in ``_bytes``/``_depth``/``_ns``/``_count`` or one of
+  the live-population suffixes ``_inflight``/``_connections`` unless
   allowlisted as an enum-valued gauge),
 * a required set of families is present and non-zero — the acceptance
   criterion that an instrumented end-to-end run actually recorded cipher
@@ -36,11 +37,13 @@ DEFAULT_NAMING_ALLOWLIST = [
 
 # Unit suffixes per metric type. Counters are cumulative event counts
 # (Prometheus convention: ``_total``); histograms and gauges name what they
-# measure.
+# measure. ``_inflight``/``_connections`` are the network server's
+# live-population gauges (sdbenc_server_inflight, sdbenc_server_connections).
 TYPE_SUFFIXES = {
     "counter": ("_total",),
     "histogram": ("_ns", "_bytes", "_count"),
-    "gauge": ("_bytes", "_depth", "_ns", "_count"),
+    "gauge": ("_bytes", "_depth", "_ns", "_count", "_inflight",
+              "_connections"),
 }
 
 DEFAULT_REQUIRED_NONZERO = [

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""End-to-end network-server smoke (DESIGN section 16).
+
+Starts the sdbenc_serve daemon on an ephemeral port and drives one
+scripted session over a raw TCP socket, speaking the length-prefixed
+binary protocol directly (an independent reimplementation, so a C++
+client bug cannot mask a C++ server bug):
+
+1. HELLO with the tenant's master key must be acknowledged.
+2. An INSERT and a point SELECT must round-trip (the row comes back with
+   the inserted value).
+3. STATS must return a JSON-lines snapshot whose
+   ``sdbenc_server_queries_total`` counter is > 0.
+4. A second connection presenting a *wrong* key must be rejected with
+   the ``auth_failed`` protocol error.
+5. BYE must be acknowledged and the server must close the connection.
+6. SIGTERM must shut the daemon down cleanly (exit code 0).
+7. ``sdbenc_stat --verify-audit`` must verify the tenant's audit chain
+   and the decrypted events must include the network session lifecycle:
+   session_open, the auth_failure from step 4, and session_close.
+
+Usage:
+  server_smoke.py --serve build/tools/sdbenc_serve \
+                  --stat build/tools/sdbenc_stat [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+
+MAGIC = b"SDBN"
+VERSION = 1
+
+OP_HELLO = 1
+OP_QUERY = 2
+OP_STATS = 4
+OP_BYE = 5
+OP_OK = 0x80
+OP_ROWS = 0x81
+OP_ERROR = 0x82
+OP_STATS_TEXT = 0x84
+
+ERR_AUTH_FAILED = 5
+
+TENANT = "acme"
+KEY_HEX = "a7" * 32
+WRONG_KEY_HEX = "5c" * 32
+
+
+def fail(msg):
+    print(f"server_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def frame(opcode, request_id, payload=b""):
+    return (MAGIC + struct.pack(">BBII", VERSION, opcode, request_id,
+                                len(payload)) + payload)
+
+
+def lp(data):
+    """BinaryWriter's length-prefixed encoding: u64 BE length + octets."""
+    return struct.pack(">Q", len(data)) + data
+
+
+def read_exactly(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            fail(f"connection closed mid-read ({len(buf)}/{n} octets)")
+        buf += chunk
+    return buf
+
+
+def read_frame(sock):
+    header = read_exactly(sock, 14)
+    if header[:4] != MAGIC:
+        fail(f"bad magic in response: {header[:4]!r}")
+    version, opcode, request_id, payload_len = struct.unpack(
+        ">BBII", header[4:])
+    if version != VERSION:
+        fail(f"unexpected protocol version {version}")
+    payload = read_exactly(sock, payload_len) if payload_len else b""
+    return opcode, request_id, payload
+
+
+def request(sock, opcode, request_id, payload=b""):
+    sock.sendall(frame(opcode, request_id, payload))
+    return read_frame(sock)
+
+
+def decode_error(payload):
+    code = payload[0]
+    (msg_len,) = struct.unpack(">Q", payload[1:9])
+    return code, payload[9:9 + msg_len].decode()
+
+
+def scripted_session(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    try:
+        hello = lp(TENANT.encode()) + lp(bytes.fromhex(KEY_HEX))
+        opcode, rid, payload = request(sock, OP_HELLO, 1, hello)
+        if opcode != OP_OK or rid != 1:
+            fail(f"HELLO not acknowledged: opcode={opcode:#x} "
+                 f"({decode_error(payload) if opcode == OP_ERROR else ''})")
+        print("server_smoke: HELLO ok")
+
+        opcode, rid, payload = request(
+            sock, OP_QUERY, 2, b"INSERT INTO kv VALUES (4242, 'smoke')")
+        if opcode != OP_ROWS or rid != 2:
+            fail(f"INSERT failed: opcode={opcode:#x}")
+        opcode, rid, payload = request(
+            sock, OP_QUERY, 3, b"SELECT val FROM kv WHERE id = 4242")
+        if opcode != OP_ROWS or rid != 3:
+            fail(f"SELECT failed: opcode={opcode:#x}")
+        if b"smoke" not in payload:
+            fail("SELECT response does not contain the inserted value")
+        print("server_smoke: INSERT/SELECT round-trip ok")
+
+        opcode, rid, payload = request(sock, OP_STATS, 4)
+        if opcode != OP_STATS_TEXT or rid != 4:
+            fail(f"STATS failed: opcode={opcode:#x}")
+        queries_total = None
+        for line in payload.decode().splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            obj = json.loads(line)
+            if obj.get("metric") == "sdbenc_server_queries_total":
+                queries_total = obj.get("value")
+        if not isinstance(queries_total, int) or queries_total <= 0:
+            fail(f"sdbenc_server_queries_total not positive in STATS: "
+                 f"{queries_total!r}")
+        print(f"server_smoke: STATS ok (queries_total={queries_total})")
+
+        opcode, rid, _ = request(sock, OP_BYE, 5)
+        if opcode != OP_OK or rid != 5:
+            fail(f"BYE not acknowledged: opcode={opcode:#x}")
+        # After BYE the server closes: the next read must see EOF.
+        if sock.recv(1):
+            fail("server kept the connection open after BYE")
+        print("server_smoke: BYE ok, server closed the connection")
+    finally:
+        sock.close()
+
+
+def failed_auth(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    try:
+        hello = lp(TENANT.encode()) + lp(bytes.fromhex(WRONG_KEY_HEX))
+        opcode, rid, payload = request(sock, OP_HELLO, 1, hello)
+        if opcode != OP_ERROR:
+            fail("HELLO with the wrong key was not rejected")
+        code, message = decode_error(payload)
+        if code != ERR_AUTH_FAILED:
+            fail(f"wrong-key HELLO got error code {code}, wanted "
+                 f"{ERR_AUTH_FAILED} (auth_failed): {message}")
+        print(f"server_smoke: wrong-key HELLO rejected ({message!r})")
+    finally:
+        sock.close()
+
+
+def verify_audit(stat, audit_path):
+    proc = subprocess.run(
+        [stat, f"--verify-audit={audit_path}",
+         f"--master-key-hex={KEY_HEX}"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"--verify-audit failed:\n{proc.stdout}{proc.stderr}")
+    types = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        obj = json.loads(line)
+        if "type" in obj:
+            types.append(obj["type"])
+    for required in ("session_open", "auth_failure", "session_close"):
+        if required not in types:
+            fail(f"audit chain lacks a {required} event: {types}")
+    print(f"server_smoke: audit chain verified ({len(types)} events, "
+          f"lifecycle + auth_failure present)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--serve", required=True,
+                    help="path to the sdbenc_serve binary")
+    ap.add_argument("--stat", required=True,
+                    help="path to the sdbenc_stat binary")
+    ap.add_argument("--workdir", help="scratch directory (default: temp)")
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="sdbenc_server_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    audit_path = os.path.join(workdir, f"{TENANT}.audit")
+
+    daemon = subprocess.Popen(
+        [args.serve, f"--tenant={TENANT}:{KEY_HEX}", "--port=0",
+         f"--data-dir={workdir}", "--bootstrap-demo", "--demo-rows=64"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        banner = daemon.stdout.readline().strip()
+        try:
+            port = json.loads(banner)["server_listening"]
+        except (json.JSONDecodeError, KeyError):
+            fail(f"unparseable daemon banner: {banner!r}")
+        print(f"server_smoke: daemon listening on port {port}")
+
+        scripted_session(port)
+        failed_auth(port)
+
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=60)
+        if rc != 0:
+            fail(f"daemon exited with {rc} on SIGTERM")
+        print("server_smoke: daemon shut down cleanly")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    if not os.path.exists(audit_path):
+        fail(f"tenant audit log missing at {audit_path}")
+    verify_audit(args.stat, audit_path)
+
+    if not args.workdir:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("server_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

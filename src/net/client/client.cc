@@ -1,0 +1,243 @@
+#include "net/client/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace sdbenc {
+namespace net {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  uint16_t port,
+                                                  ClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("cannot parse host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return InternalError("connect(" + host + ":" + std::to_string(port) +
+                         ") failed: " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, options));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(BytesView octets) {
+  size_t sent = 0;
+  while (sent < octets.size()) {
+    const ssize_t n = ::send(fd_, octets.data() + sent, octets.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("send failed: ") +
+                           std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Client::SendFrame(Opcode opcode, uint32_t request_id,
+                         BytesView payload) {
+  if (payload.size() > options_.max_frame_bytes) {
+    return OutOfRangeError("payload exceeds the frame limit");
+  }
+  Bytes frame;
+  AppendFrame(frame, opcode, request_id, payload);
+  return SendRaw(frame);
+}
+
+Status Client::ReadExactly(uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    if (rd_pos_ < rdbuf_.size()) {
+      const size_t take = std::min(n - got, rdbuf_.size() - rd_pos_);
+      std::memcpy(out + got, rdbuf_.data() + rd_pos_, take);
+      rd_pos_ += take;
+      got += take;
+      continue;
+    }
+    constexpr size_t kRecvChunk = 64 * 1024;
+    rdbuf_.resize(kRecvChunk);
+    rd_pos_ = 0;
+    const ssize_t r = ::recv(fd_, rdbuf_.data(), rdbuf_.size(), 0);
+    if (r == 0) {
+      rdbuf_.clear();
+      return InternalError("connection closed by server");
+    }
+    if (r < 0) {
+      rdbuf_.clear();
+      if (errno == EINTR) continue;
+      return InternalError(std::string("recv failed: ") +
+                           std::strerror(errno));
+    }
+    rdbuf_.resize(static_cast<size_t>(r));
+  }
+  return OkStatus();
+}
+
+StatusOr<Response> Client::ReadResponse() {
+  uint8_t header_octets[kFrameHeaderSize];
+  SDBENC_RETURN_IF_ERROR(ReadExactly(header_octets, kFrameHeaderSize));
+  SDBENC_ASSIGN_OR_RETURN(
+      std::optional<FrameHeader> header,
+      ParseFrameHeader(BytesView(header_octets, kFrameHeaderSize),
+                       options_.max_frame_bytes));
+  // ParseFrameHeader returns nullopt only for short buffers, and this one
+  // is exactly kFrameHeaderSize octets.
+  const FrameHeader h = *header;
+  Bytes payload(h.payload_len);
+  if (h.payload_len > 0) {
+    SDBENC_RETURN_IF_ERROR(ReadExactly(payload.data(), payload.size()));
+  }
+  Response response;
+  response.request_id = h.request_id;
+  response.opcode = h.opcode;
+  switch (h.opcode) {
+    case Opcode::kOk:
+      break;
+    case Opcode::kRows: {
+      SDBENC_ASSIGN_OR_RETURN(response.result, DecodeResult(payload));
+      break;
+    }
+    case Opcode::kBatchRows: {
+      SDBENC_ASSIGN_OR_RETURN(
+          response.items,
+          DecodeBatchResult(payload, /*max_statements=*/1u << 20));
+      break;
+    }
+    case Opcode::kError: {
+      SDBENC_ASSIGN_OR_RETURN(response.error, DecodeError(payload));
+      break;
+    }
+    case Opcode::kStatsText:
+      response.stats_json.assign(
+          reinterpret_cast<const char*>(payload.data()), payload.size());
+      break;
+    default:
+      return ParseError("unexpected response opcode");
+  }
+  return response;
+}
+
+StatusOr<Response> Client::RoundTrip(Opcode opcode, BytesView payload) {
+  const uint32_t id = next_request_id_++;
+  SDBENC_RETURN_IF_ERROR(SendFrame(opcode, id, payload));
+  SDBENC_ASSIGN_OR_RETURN(Response response, ReadResponse());
+  if (response.request_id != id) {
+    return InternalError("response answers request " +
+                         std::to_string(response.request_id) + ", not " +
+                         std::to_string(id) +
+                         " (mixing RoundTrip with pipelined sends?)");
+  }
+  return response;
+}
+
+Status Client::Hello(const std::string& tenant, BytesView key) {
+  SDBENC_ASSIGN_OR_RETURN(Response response,
+                          RoundTrip(Opcode::kHello, EncodeHello(tenant, key)));
+  if (response.ok()) return OkStatus();
+  if (response.error.code == ErrorCode::kAuthFailed) {
+    return AuthenticationFailedError(response.error.message);
+  }
+  return InternalError("HELLO rejected: " + response.error.message);
+}
+
+StatusOr<WireResult> Client::Query(const std::string& sql) {
+  SDBENC_ASSIGN_OR_RETURN(
+      Response response,
+      RoundTrip(Opcode::kQuery,
+                BytesView(reinterpret_cast<const uint8_t*>(sql.data()),
+                          sql.size())));
+  if (!response.ok()) {
+    return InternalError(std::string(ErrorCodeName(response.error.code)) +
+                         ": " + response.error.message);
+  }
+  return std::move(response.result);
+}
+
+StatusOr<std::vector<BatchItem>> Client::Batch(
+    const std::vector<std::string>& statements) {
+  SDBENC_ASSIGN_OR_RETURN(
+      Response response,
+      RoundTrip(Opcode::kBatch, EncodeBatch(statements)));
+  if (!response.ok()) {
+    return InternalError(std::string(ErrorCodeName(response.error.code)) +
+                         ": " + response.error.message);
+  }
+  return std::move(response.items);
+}
+
+StatusOr<std::string> Client::Stats() {
+  SDBENC_ASSIGN_OR_RETURN(Response response,
+                          RoundTrip(Opcode::kStats, BytesView()));
+  if (!response.ok()) {
+    return InternalError("STATS rejected: " + response.error.message);
+  }
+  return std::move(response.stats_json);
+}
+
+Status Client::Bye() {
+  SDBENC_ASSIGN_OR_RETURN(Response response,
+                          RoundTrip(Opcode::kBye, BytesView()));
+  if (!response.ok()) {
+    return InternalError("BYE rejected: " + response.error.message);
+  }
+  return OkStatus();
+}
+
+StatusOr<uint32_t> Client::SendQuery(const std::string& sql) {
+  const uint32_t id = next_request_id_++;
+  SDBENC_RETURN_IF_ERROR(
+      SendFrame(Opcode::kQuery, id,
+                BytesView(reinterpret_cast<const uint8_t*>(sql.data()),
+                          sql.size())));
+  return id;
+}
+
+StatusOr<std::vector<uint32_t>> Client::SendQueries(
+    const std::vector<std::string>& sqls) {
+  Bytes frames;
+  std::vector<uint32_t> ids;
+  ids.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    if (sql.size() > options_.max_frame_bytes) {
+      return OutOfRangeError("payload exceeds the frame limit");
+    }
+    const uint32_t id = next_request_id_++;
+    AppendFrame(frames, Opcode::kQuery, id,
+                BytesView(reinterpret_cast<const uint8_t*>(sql.data()),
+                          sql.size()));
+    ids.push_back(id);
+  }
+  SDBENC_RETURN_IF_ERROR(SendRaw(frames));
+  return ids;
+}
+
+StatusOr<uint32_t> Client::SendBatch(
+    const std::vector<std::string>& statements) {
+  const uint32_t id = next_request_id_++;
+  SDBENC_RETURN_IF_ERROR(
+      SendFrame(Opcode::kBatch, id, EncodeBatch(statements)));
+  return id;
+}
+
+}  // namespace net
+}  // namespace sdbenc

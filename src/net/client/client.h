@@ -1,0 +1,111 @@
+#ifndef SDBENC_NET_CLIENT_CLIENT_H_
+#define SDBENC_NET_CLIENT_CLIENT_H_
+
+// Small blocking client for the sdbenc network protocol (net/protocol.h).
+//
+// Two usage styles:
+//  * request/response: Hello(), Query(), Batch(), Stats(), Bye() each send
+//    one frame and wait for its response;
+//  * pipelined: SendQuery() enqueues a frame without waiting and returns
+//    its request id; ReadResponse() returns the *next* response off the
+//    wire, whichever request it answers. bench_server drives thousands of
+//    in-flight point queries per connection this way.
+//
+// The client enforces the same frame-size ceiling as the server: a response
+// header announcing more than `max_frame_bytes` fails cleanly instead of
+// allocating what the peer asked for.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+namespace net {
+
+struct ClientOptions {
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One decoded response frame.
+struct Response {
+  uint32_t request_id = 0;
+  Opcode opcode = Opcode::kOk;
+  WireResult result;              // kRows
+  std::vector<BatchItem> items;   // kBatchRows
+  ErrorPayload error;             // kError
+  std::string stats_json;         // kStatsText
+
+  bool ok() const { return opcode != Opcode::kError; }
+};
+
+class Client {
+ public:
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// HELLO/AUTH: presents the tenant's master key. Any kError response is
+  /// surfaced as a non-OK Status (kAuthenticationFailed for kAuthFailed).
+  Status Hello(const std::string& tenant, BytesView key);
+
+  /// One SQL statement, synchronous.
+  StatusOr<WireResult> Query(const std::string& sql);
+
+  /// Many SQL statements in one BATCH frame, synchronous.
+  StatusOr<std::vector<BatchItem>> Batch(
+      const std::vector<std::string>& statements);
+
+  /// Server metrics snapshot as JSON lines.
+  StatusOr<std::string> Stats();
+
+  /// Orderly goodbye; the server closes after acknowledging.
+  Status Bye();
+
+  // --------------------------------------------------------- pipelining
+
+  /// Enqueues one QUERY frame and returns its request id without waiting.
+  StatusOr<uint32_t> SendQuery(const std::string& sql);
+  /// Enqueues many QUERY frames with ONE send() syscall and returns their
+  /// request ids. On the wire this looks like a deeply-pipelined client;
+  /// the server coalesces the burst into one worker task per connection.
+  StatusOr<std::vector<uint32_t>> SendQueries(
+      const std::vector<std::string>& sqls);
+  /// Enqueues one BATCH frame and returns its request id without waiting.
+  StatusOr<uint32_t> SendBatch(const std::vector<std::string>& statements);
+  /// Blocks for the next response frame, in server completion order.
+  StatusOr<Response> ReadResponse();
+
+  // ------------------------------------------------- testing back doors
+
+  /// Writes raw octets to the socket — tests use this to send torn frames,
+  /// garbage magic and oversize headers.
+  Status SendRaw(BytesView octets);
+
+ private:
+  Client(int fd, ClientOptions options) : fd_(fd), options_(options) {}
+
+  Status SendFrame(Opcode opcode, uint32_t request_id, BytesView payload);
+  StatusOr<Response> RoundTrip(Opcode opcode, BytesView payload);
+  /// Buffered read: serves from rdbuf_, refilling with large recv() calls
+  /// so a burst of pipelined responses costs one syscall, not two per
+  /// frame.
+  Status ReadExactly(uint8_t* out, size_t n);
+
+  int fd_;
+  ClientOptions options_;
+  uint32_t next_request_id_ = 1;
+  Bytes rdbuf_;
+  size_t rd_pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace sdbenc
+
+#endif  // SDBENC_NET_CLIENT_CLIENT_H_

@@ -1,0 +1,247 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "db/serialize.h"
+
+namespace sdbenc {
+namespace net {
+
+namespace {
+
+void PutU32Be(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t GetU32Be(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kProtocolError:
+      return "protocol_error";
+    case ErrorCode::kVersionMismatch:
+      return "version_mismatch";
+    case ErrorCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ErrorCode::kAuthRequired:
+      return "auth_required";
+    case ErrorCode::kAuthFailed:
+      return "auth_failed";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kQueryError:
+      return "query_error";
+  }
+  return "unknown";
+}
+
+void AppendFrame(Bytes& out, Opcode opcode, uint32_t request_id,
+                 BytesView payload) {
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<uint8_t>(opcode));
+  PutU32Be(out, request_id);
+  PutU32Be(out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+StatusOr<std::optional<FrameHeader>> ParseFrameHeader(BytesView buf,
+                                                      size_t max_payload) {
+  if (buf.size() < kFrameHeaderSize) return std::optional<FrameHeader>();
+  if (std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return ParseError("bad frame magic");
+  }
+  FrameHeader h;
+  h.version = buf[4];
+  h.opcode = static_cast<Opcode>(buf[5]);
+  h.request_id = GetU32Be(buf.data() + 6);
+  h.payload_len = GetU32Be(buf.data() + 10);
+  // The length is attacker-controlled: bound it before anyone sizes a
+  // buffer from it. Oversize is unrecoverable (we cannot skip what we
+  // refuse to buffer), so the caller closes the connection.
+  if (h.payload_len > max_payload) {
+    return OutOfRangeError("frame payload of " +
+                           std::to_string(h.payload_len) +
+                           " octets exceeds the configured maximum of " +
+                           std::to_string(max_payload));
+  }
+  return std::optional<FrameHeader>(h);
+}
+
+Bytes EncodeHello(const std::string& tenant, BytesView key) {
+  BinaryWriter w;
+  w.PutString(tenant);
+  w.PutBytes(key);
+  return w.Take();
+}
+
+StatusOr<HelloPayload> DecodeHello(BytesView payload) {
+  BinaryReader r(payload);
+  HelloPayload hello;
+  auto tenant = r.GetString();
+  if (!tenant.ok()) return tenant.status();
+  hello.tenant = std::move(*tenant);
+  auto key = r.GetBytes();
+  if (!key.ok()) return key.status();
+  hello.key = std::move(*key);
+  if (!r.AtEnd()) return ParseError("trailing octets in HELLO payload");
+  return hello;
+}
+
+Bytes EncodeError(ErrorCode code, const std::string& message) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(code));
+  w.PutString(message);
+  return w.Take();
+}
+
+StatusOr<ErrorPayload> DecodeError(BytesView payload) {
+  BinaryReader r(payload);
+  ErrorPayload error;
+  auto code = r.GetU8();
+  if (!code.ok()) return code.status();
+  error.code = static_cast<ErrorCode>(*code);
+  auto message = r.GetString();
+  if (!message.ok()) return message.status();
+  error.message = std::move(*message);
+  return error;
+}
+
+Bytes EncodeResult(const WireResult& result) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) w.PutString(c);
+  w.PutU64(result.rows.size());
+  for (const std::vector<Value>& row : result.rows) {
+    w.PutU32(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) w.PutBytes(v.Serialize());
+  }
+  w.PutString(result.plan);
+  w.PutU64(result.affected);
+  return w.Take();
+}
+
+StatusOr<WireResult> DecodeResult(BytesView payload) {
+  BinaryReader r(payload);
+  WireResult result;
+  auto ncols = r.GetU32();
+  if (!ncols.ok()) return ncols.status();
+  result.columns.reserve(*ncols);
+  for (uint32_t i = 0; i < *ncols; ++i) {
+    auto c = r.GetString();
+    if (!c.ok()) return c.status();
+    result.columns.push_back(std::move(*c));
+  }
+  auto nrows = r.GetU64();
+  if (!nrows.ok()) return nrows.status();
+  for (uint64_t i = 0; i < *nrows; ++i) {
+    auto rowcols = r.GetU32();
+    if (!rowcols.ok()) return rowcols.status();
+    std::vector<Value> row;
+    row.reserve(*rowcols);
+    for (uint32_t j = 0; j < *rowcols; ++j) {
+      auto blob = r.GetBytes();
+      if (!blob.ok()) return blob.status();
+      auto v = Value::Deserialize(*blob);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(*v));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  auto plan = r.GetString();
+  if (!plan.ok()) return plan.status();
+  result.plan = std::move(*plan);
+  auto affected = r.GetU64();
+  if (!affected.ok()) return affected.status();
+  result.affected = *affected;
+  if (!r.AtEnd()) return ParseError("trailing octets in result payload");
+  return result;
+}
+
+Bytes EncodeBatch(const std::vector<std::string>& statements) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(statements.size()));
+  for (const std::string& s : statements) w.PutString(s);
+  return w.Take();
+}
+
+StatusOr<std::vector<std::string>> DecodeBatch(BytesView payload,
+                                               size_t max_statements) {
+  BinaryReader r(payload);
+  auto count = r.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count == 0) return InvalidArgumentError("empty BATCH");
+  if (*count > max_statements) {
+    return OutOfRangeError("BATCH of " + std::to_string(*count) +
+                           " statements exceeds the configured maximum of " +
+                           std::to_string(max_statements));
+  }
+  std::vector<std::string> statements;
+  statements.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto s = r.GetString();
+    if (!s.ok()) return s.status();
+    statements.push_back(std::move(*s));
+  }
+  if (!r.AtEnd()) return ParseError("trailing octets in BATCH payload");
+  return statements;
+}
+
+Bytes EncodeBatchResult(const std::vector<BatchItem>& items) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const BatchItem& item : items) {
+    w.PutU8(item.ok ? 1 : 0);
+    if (item.ok) {
+      w.PutBytes(EncodeResult(item.result));
+    } else {
+      w.PutBytes(EncodeError(item.error.code, item.error.message));
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<std::vector<BatchItem>> DecodeBatchResult(BytesView payload,
+                                                   size_t max_statements) {
+  BinaryReader r(payload);
+  auto count = r.GetU32();
+  if (!count.ok()) return count.status();
+  if (*count > max_statements) {
+    return OutOfRangeError("batch result count exceeds maximum");
+  }
+  std::vector<BatchItem> items;
+  items.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto ok = r.GetU8();
+    if (!ok.ok()) return ok.status();
+    auto blob = r.GetBytes();
+    if (!blob.ok()) return blob.status();
+    BatchItem item;
+    item.ok = (*ok != 0);
+    if (item.ok) {
+      auto result = DecodeResult(*blob);
+      if (!result.ok()) return result.status();
+      item.result = std::move(*result);
+    } else {
+      auto error = DecodeError(*blob);
+      if (!error.ok()) return error.status();
+      item.error = std::move(*error);
+    }
+    items.push_back(std::move(item));
+  }
+  if (!r.AtEnd()) return ParseError("trailing octets in batch result");
+  return items;
+}
+
+}  // namespace net
+}  // namespace sdbenc

@@ -1,0 +1,144 @@
+#ifndef SDBENC_NET_PROTOCOL_H_
+#define SDBENC_NET_PROTOCOL_H_
+
+// Wire protocol of the multi-tenant network front end (DESIGN §16).
+//
+// Every message is one length-prefixed binary frame:
+//
+//   u8[4] magic "SDBN" | u8 version | u8 opcode
+//   | u32 request_id | u32 payload_len | payload
+//
+// (integers big-endian, matching the storage image conventions in
+// db/serialize.h). `request_id` is chosen by the client and echoed verbatim
+// in the response, which is what makes pipelining work: a client may keep
+// many frames in flight and responses may return in any order.
+//
+// Hardening at the boundary: `payload_len` is attacker-controlled, so the
+// parser rejects frames above the configured maximum (default 16 MiB)
+// *before* allocating anything, and batch frames reject zero or oversized
+// statement counts the same way. A frame that fails these checks draws a
+// clean kError response and a connection close — never an allocation sized
+// by the attacker.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+#include "util/bytes.h"
+#include "util/statusor.h"
+
+namespace sdbenc {
+namespace net {
+
+inline constexpr uint8_t kMagic[4] = {'S', 'D', 'B', 'N'};
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 14;
+/// Default ceiling on one frame's payload; ServerOptions/ClientOptions can
+/// lower or raise it. 16 MiB comfortably holds any sane result set while
+/// bounding what a malicious peer can make us buffer.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+/// Default ceiling on statements per BATCH frame.
+inline constexpr size_t kDefaultMaxBatchStatements = 1024;
+
+/// Request opcodes (client -> server) and response opcodes (server ->
+/// client). Response opcodes have the high bit set.
+enum class Opcode : uint8_t {
+  // Requests.
+  kHello = 1,  ///< tenant name + master key: HELLO and AUTH in one frame
+  kQuery = 2,  ///< one SQL statement
+  kBatch = 3,  ///< u32 count + count length-prefixed SQL statements
+  kStats = 4,  ///< empty payload; response carries the metrics JSON
+  kBye = 5,    ///< orderly goodbye; server flushes the OK and closes
+  // Responses.
+  kOk = 0x80,         ///< empty payload (HELLO, BYE)
+  kRows = 0x81,       ///< one encoded query result
+  kError = 0x82,      ///< u8 error code + message string
+  kBatchRows = 0x83,  ///< u32 count + per-statement (ok? result : error)
+  kStatsText = 0x84,  ///< metrics snapshot as JSON lines
+};
+
+/// Stable error codes carried inside kError frames.
+enum class ErrorCode : uint8_t {
+  kProtocolError = 1,    ///< malformed frame/payload; connection closes
+  kVersionMismatch = 2,  ///< unsupported protocol version
+  kFrameTooLarge = 3,    ///< frame or result above the configured maximum
+  kAuthRequired = 4,     ///< QUERY/BATCH before a successful HELLO
+  kAuthFailed = 5,       ///< unknown tenant or wrong master key
+  kOverloaded = 6,       ///< per-tenant admission control rejected the frame
+  kQueryError = 7,       ///< parse/execution error (connection stays open)
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kOk;
+  uint32_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Serialises one frame (header + payload) onto `out`.
+void AppendFrame(Bytes& out, Opcode opcode, uint32_t request_id,
+                 BytesView payload);
+
+/// Parses a frame header from the front of `buf`. Returns nullopt when
+/// fewer than kFrameHeaderSize octets are available (read more), a header
+/// when one parses, and an error on garbage magic or a payload length above
+/// `max_payload` — the two cases where the stream cannot be resynchronised
+/// and the connection must close.
+StatusOr<std::optional<FrameHeader>> ParseFrameHeader(BytesView buf,
+                                                      size_t max_payload);
+
+// ------------------------------------------------------------ payloads
+
+struct HelloPayload {
+  std::string tenant;
+  Bytes key;
+};
+
+Bytes EncodeHello(const std::string& tenant, BytesView key);
+StatusOr<HelloPayload> DecodeHello(BytesView payload);
+
+Bytes EncodeError(ErrorCode code, const std::string& message);
+struct ErrorPayload {
+  ErrorCode code = ErrorCode::kProtocolError;
+  std::string message;
+};
+StatusOr<ErrorPayload> DecodeError(BytesView payload);
+
+/// One executed statement's result on the wire: the projected column names,
+/// the plaintext rows, the plan string (EXPLAIN-style) and the affected-row
+/// count for writes.
+struct WireResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  std::string plan;
+  uint64_t affected = 0;
+};
+
+Bytes EncodeResult(const WireResult& result);
+StatusOr<WireResult> DecodeResult(BytesView payload);
+
+/// BATCH request payload. `DecodeBatch` enforces the statement-count bounds
+/// (1 .. max_statements) before touching the statement bytes.
+Bytes EncodeBatch(const std::vector<std::string>& statements);
+StatusOr<std::vector<std::string>> DecodeBatch(BytesView payload,
+                                               size_t max_statements);
+
+/// One statement's outcome inside a kBatchRows response.
+struct BatchItem {
+  bool ok = false;
+  WireResult result;        // when ok
+  ErrorPayload error;       // when !ok
+};
+
+Bytes EncodeBatchResult(const std::vector<BatchItem>& items);
+StatusOr<std::vector<BatchItem>> DecodeBatchResult(BytesView payload,
+                                                   size_t max_statements);
+
+}  // namespace net
+}  // namespace sdbenc
+
+#endif  // SDBENC_NET_PROTOCOL_H_

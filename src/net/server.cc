@@ -1,0 +1,833 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "query/sql_parser.h"
+#include "storage/audit/audit_log.h"
+#include "util/constant_time.h"
+#include "util/thread_pool.h"
+
+namespace sdbenc {
+namespace net {
+
+namespace {
+
+/// Reads drained per epoll wake; sized to pick up many pipelined frames in
+/// one syscall.
+constexpr size_t kReadChunk = 64 * 1024;
+/// Max QUERY frames coalesced into one pool task (see Server::QueryGroup).
+constexpr size_t kMaxGroupedQueries = 128;
+
+obs::Counter* TenantCounter(const std::string& fragment, const char* what) {
+  return obs::Registry().GetCounter("sdbenc_server_tenant_" + fragment +
+                                    "_" + what);
+}
+
+}  // namespace
+
+std::string TenantMetricFragment(const std::string& tenant) {
+  std::string fragment;
+  fragment.reserve(tenant.size());
+  for (char c : tenant) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    fragment.push_back(keep ? c : '_');
+  }
+  if (fragment.empty()) fragment = "_";
+  return fragment;
+}
+
+/// Per-socket state. The IO thread owns `inbuf` and the epoll registration;
+/// `outbuf` and the flags below are shared with worker threads under
+/// `out_mu`. The fd is closed by the destructor, which runs only after the
+/// last holder (IO thread map or in-flight worker task) lets go — a worker
+/// can therefore never write into a recycled descriptor.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+
+  // IO-thread-only.
+  Bytes inbuf;
+  bool reject_input = false;  // a fatal protocol error stops parsing
+  bool epollout_armed = false;
+
+  // Shared with workers.
+  std::mutex out_mu;
+  Bytes outbuf;
+  size_t out_pos = 0;
+  bool closed = false;            // epoll deregistered; drop further writes
+  bool dead = false;              // socket error seen by a writer
+  bool close_after_flush = false;
+
+  // Written by the IO thread during HELLO; read by workers afterwards (the
+  // pool's task handoff orders the accesses).
+  TenantState* tenant = nullptr;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One tenant: registered key material, the lazily opened session and its
+/// admission/metric state. Key isolation is structural — each tenant's
+/// SecureDatabase derives every subkey from its own master key, and nothing
+/// here is shared across tenants.
+struct Server::TenantState {
+  TenantConfig config;
+  std::string fragment;
+  uint64_t key_epoch = 1;
+
+  /// Guards statement execution: writes exclusive, reads shared. Lifetime
+  /// is not its problem — the session outlives every worker task (Stop()
+  /// drains the pool before teardown).
+  std::shared_mutex db_mu;
+  /// Serialises the lazy open against transient audit appends, so the two
+  /// AuditLog handles on one file never interleave.
+  std::mutex audit_mu;
+  std::unique_ptr<SecureDatabase> db;
+  std::unique_ptr<QueryEngine> engine;
+  std::atomic<bool> opened{false};
+  std::atomic<size_t> inflight{0};
+
+  obs::Counter* queries_total = nullptr;
+  obs::Counter* rejected_total = nullptr;
+  obs::Counter* auth_fail_total = nullptr;
+  obs::Histogram* query_ns = nullptr;
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  obs::MetricsRegistry& reg = obs::Registry();
+  connections_gauge_ = reg.GetGauge("sdbenc_server_connections");
+  inflight_gauge_ = reg.GetGauge("sdbenc_server_inflight");
+  frames_total_ = reg.GetCounter("sdbenc_server_frames_total");
+  queries_total_ = reg.GetCounter("sdbenc_server_queries_total");
+  batches_total_ = reg.GetCounter("sdbenc_server_batches_total");
+  rejected_total_ = reg.GetCounter("sdbenc_server_rejected_total");
+  auth_fail_total_ = reg.GetCounter("sdbenc_server_auth_fail_total");
+  protocol_errors_total_ =
+      reg.GetCounter("sdbenc_server_protocol_errors_total");
+  rx_bytes_total_ = reg.GetCounter("sdbenc_server_rx_bytes_total");
+  tx_bytes_total_ = reg.GetCounter("sdbenc_server_tx_bytes_total");
+  query_ns_ = reg.GetHistogram("sdbenc_server_query_ns");
+  frame_bytes_ = reg.GetHistogram("sdbenc_server_frame_bytes");
+
+  for (const TenantConfig& config : options_.tenants) {
+    auto state = std::make_unique<TenantState>();
+    state->config = config;
+    state->fragment = TenantMetricFragment(config.name);
+    state->queries_total = TenantCounter(state->fragment, "queries_total");
+    state->rejected_total = TenantCounter(state->fragment, "rejected_total");
+    state->auth_fail_total =
+        TenantCounter(state->fragment, "auth_fail_total");
+    state->query_ns = reg.GetHistogram("sdbenc_server_tenant_" +
+                                       state->fragment + "_query_ns");
+    tenants_.push_back(std::move(state));
+  }
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  for (const TenantConfig& tenant : options.tenants) {
+    if (tenant.master_key.size() < 16) {
+      return InvalidArgumentError("tenant '" + tenant.name +
+                                  "': master key must be >= 16 octets");
+    }
+  }
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  SDBENC_RETURN_IF_ERROR(server->Listen());
+  server->io_thread_ = std::thread([raw = server.get()] { raw->IoLoop(); });
+  return server;
+}
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return InternalError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("cannot parse host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return InternalError("bind(" + options_.host + ":" +
+                         std::to_string(options_.port) +
+                         ") failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 256) != 0) return InternalError("listen() failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return InternalError("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) return InternalError("epoll/eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  return OkStatus();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    // Every admitted frame either finished or is finishing against a
+    // closed connection; tenants must stay alive until the last one does.
+    std::unique_lock<std::mutex> lk(pending_mu_);
+    pending_cv_.wait(lk, [this] { return pending_tasks_ == 0; });
+  }
+  for (auto& tenant : tenants_) {
+    std::unique_lock<std::shared_mutex> lk(tenant->db_mu);
+    if (tenant->db != nullptr) {
+      tenant->db->CloseSession();  // audit kSessionClose + key wipe
+      tenant->engine.reset();
+      tenant->db.reset();
+    }
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+bool Server::TenantOpened(const std::string& tenant) const {
+  for (const auto& state : tenants_) {
+    if (state->config.name == tenant) {
+      return state->opened.load(std::memory_order_acquire);
+    }
+  }
+  return false;
+}
+
+void Server::IoLoop() {
+  uint64_t next_conn_id = 1;
+  std::array<epoll_event, 128> events;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout_ms=*/500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          int one = 1;
+          ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          auto conn = std::make_shared<Connection>();
+          conn->fd = cfd;
+          conn->id = next_conn_id++;
+          connections_[cfd] = conn;
+          connections_gauge_->Add(1);
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+        }
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<int> stuck;
+        {
+          std::lock_guard<std::mutex> lk(stuck_mu_);
+          stuck.swap(stuck_fds_);
+        }
+        for (int sfd : stuck) {
+          auto it = connections_.find(sfd);
+          if (it == connections_.end()) continue;
+          const std::shared_ptr<Connection>& conn = it->second;
+          bool close_now = false;
+          bool want_out = false;
+          {
+            std::lock_guard<std::mutex> lk(conn->out_mu);
+            if (conn->dead ||
+                (conn->close_after_flush &&
+                 conn->out_pos == conn->outbuf.size())) {
+              close_now = true;
+            } else if (conn->out_pos < conn->outbuf.size()) {
+              want_out = true;
+            }
+          }
+          if (close_now) {
+            CloseConnection(conn);
+          } else if (want_out && !conn->epollout_armed) {
+            conn->epollout_armed = true;
+            epoll_event ev{};
+            ev.events = EPOLLIN | EPOLLOUT;
+            ev.data.fd = sfd;
+            ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, sfd, &ev);
+          }
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+      if (connections_.count(fd) == 0) continue;  // writable path closed it
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+    }
+  }
+  // Orderly teardown of every connection (emits net-session close events
+  // for the authenticated ones).
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (auto& conn : remaining) CloseConnection(conn);
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  bool eof = false;
+  for (;;) {
+    const size_t old_size = conn->inbuf.size();
+    conn->inbuf.resize(old_size + kReadChunk);
+    const ssize_t got =
+        ::recv(conn->fd, conn->inbuf.data() + old_size, kReadChunk, 0);
+    if (got > 0) {
+      conn->inbuf.resize(old_size + static_cast<size_t>(got));
+      rx_bytes_total_->Add(static_cast<uint64_t>(got));
+      if (static_cast<size_t>(got) < kReadChunk) break;
+      continue;
+    }
+    conn->inbuf.resize(old_size);
+    if (got == 0) {
+      eof = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // drained
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      eof = true;
+    }
+    break;
+  }
+  DrainInput(conn);
+  if (eof && connections_.count(conn->fd) != 0) CloseConnection(conn);
+}
+
+void Server::DrainInput(const std::shared_ptr<Connection>& conn) {
+  size_t pos = 0;
+  QueryGroup group;
+  while (!conn->reject_input) {
+    const BytesView rest(conn->inbuf.data() + pos, conn->inbuf.size() - pos);
+    auto header = ParseFrameHeader(rest, options_.max_frame_bytes);
+    if (!header.ok()) {
+      // Garbage magic or an oversize length: the stream cannot be
+      // resynchronised, so answer with one clean error and close — the
+      // attacker-chosen length is never allocated.
+      protocol_errors_total_->Increment();
+      const ErrorCode code =
+          header.status().code() == StatusCode::kOutOfRange
+              ? ErrorCode::kFrameTooLarge
+              : ErrorCode::kProtocolError;
+      SendError(conn, 0, code, header.status().message(),
+                /*close_after=*/true);
+      conn->reject_input = true;
+      break;
+    }
+    if (!header->has_value()) break;  // need more octets for the header
+    const FrameHeader& h = **header;
+    if (rest.size() < kFrameHeaderSize + h.payload_len) break;  // partial
+    pos += kFrameHeaderSize + h.payload_len;
+    HandleFrame(conn, h, rest.substr(kFrameHeaderSize, h.payload_len),
+                &group);
+    // Bound a single task's share of the pool so one deeply-pipelined
+    // connection cannot monopolise a worker.
+    if (group.size() >= kMaxGroupedQueries) {
+      SubmitQueryGroup(conn, std::move(group));
+      group = QueryGroup();
+    }
+  }
+  if (!group.empty()) SubmitQueryGroup(conn, std::move(group));
+  if (pos == conn->inbuf.size()) {
+    conn->inbuf.clear();
+  } else if (pos > 0) {
+    conn->inbuf.erase(conn->inbuf.begin(),
+                      conn->inbuf.begin() + static_cast<ptrdiff_t>(pos));
+  }
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         const FrameHeader& header, BytesView payload,
+                         QueryGroup* group) {
+  frames_total_->Increment();
+  frame_bytes_->Record(header.payload_len);
+  if (header.version != kProtocolVersion) {
+    protocol_errors_total_->Increment();
+    SendError(conn, header.request_id, ErrorCode::kVersionMismatch,
+              "server speaks protocol version " +
+                  std::to_string(kProtocolVersion),
+              /*close_after=*/true);
+    conn->reject_input = true;
+    return;
+  }
+  // Anything that is not a QUERY flushes the pending group first, so
+  // responses keep the coarse order a client would expect from a stream.
+  if (header.opcode != Opcode::kQuery && group != nullptr &&
+      !group->empty()) {
+    SubmitQueryGroup(conn, std::move(*group));
+    *group = QueryGroup();
+  }
+  switch (header.opcode) {
+    case Opcode::kHello:
+      HandleHello(conn, header, payload);
+      return;
+    case Opcode::kStats: {
+      const std::string text =
+          obs::ExportJsonLines(obs::Registry().Snapshot());
+      SendFrame(conn, Opcode::kStatsText, header.request_id,
+                BytesView(reinterpret_cast<const uint8_t*>(text.data()),
+                          text.size()));
+      return;
+    }
+    case Opcode::kBye:
+      SendFrame(conn, Opcode::kOk, header.request_id, BytesView());
+      {
+        std::lock_guard<std::mutex> lk(conn->out_mu);
+        conn->close_after_flush = true;
+      }
+      NudgeIo(conn);
+      conn->reject_input = true;
+      return;
+    case Opcode::kQuery:
+    case Opcode::kBatch:
+      break;  // handled below
+    default:
+      protocol_errors_total_->Increment();
+      SendError(conn, header.request_id, ErrorCode::kProtocolError,
+                "unknown opcode", /*close_after=*/true);
+      conn->reject_input = true;
+      return;
+  }
+
+  TenantState* tenant = conn->tenant;
+  if (tenant == nullptr) {
+    SendError(conn, header.request_id, ErrorCode::kAuthRequired,
+              "HELLO first", /*close_after=*/false);
+    return;
+  }
+  // Admission control: one frame = one unit of the tenant's budget. The
+  // increment is optimistic; over-budget frames are bounced before they
+  // ever touch the pool, which is what keeps a flooding tenant from
+  // queueing unbounded work (or starving its neighbours' workers).
+  if (options_.max_inflight_per_tenant > 0) {
+    const size_t admitted =
+        tenant->inflight.fetch_add(1, std::memory_order_acq_rel);
+    if (admitted >= options_.max_inflight_per_tenant) {
+      tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_total_->Increment();
+      tenant->rejected_total->Increment();
+      SendError(conn, header.request_id, ErrorCode::kOverloaded,
+                "tenant in-flight budget exhausted",
+                /*close_after=*/false);
+      return;
+    }
+  } else {
+    tenant->inflight.fetch_add(1, std::memory_order_acq_rel);
+  }
+  inflight_gauge_->Add(1);
+
+  if (header.opcode == Opcode::kQuery) {
+    queries_total_->Increment();
+    group->emplace_back(header.request_id,
+                        Bytes(payload.begin(), payload.end()));
+    return;
+  }
+
+  batches_total_->Increment();
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    ++pending_tasks_;
+  }
+  Bytes body(payload.begin(), payload.end());
+  const uint32_t request_id = header.request_id;
+  ThreadPool::Shared().Submit([this, conn, tenant, request_id,
+                               body = std::move(body)] {
+    StatusOr<std::vector<std::string>> statements =
+        DecodeBatch(body, options_.max_batch_statements);
+    Bytes out;
+    if (!statements.ok()) {
+      AppendFrame(out, Opcode::kError, request_id,
+                  EncodeError(ErrorCode::kProtocolError,
+                              std::string(statements.status().message())));
+    } else {
+      std::vector<BatchItem> items;
+      items.reserve(statements->size());
+      for (const std::string& sql : *statements) {
+        items.push_back(ExecuteStatement(*tenant, sql));
+      }
+      const Bytes encoded = EncodeBatchResult(items);
+      if (encoded.size() > options_.max_frame_bytes) {
+        AppendFrame(out, Opcode::kError, request_id,
+                    EncodeError(ErrorCode::kFrameTooLarge,
+                                "batch result exceeds the frame limit"));
+      } else {
+        AppendFrame(out, Opcode::kBatchRows, request_id, encoded);
+      }
+    }
+    // Release the admission budget before the response leaves: a client
+    // that has read the reply must be admissible again immediately.
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_gauge_->Add(-1);
+    SendEncoded(conn, out);
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      --pending_tasks_;
+    }
+    pending_cv_.notify_all();
+  });
+}
+
+void Server::SubmitQueryGroup(const std::shared_ptr<Connection>& conn,
+                              QueryGroup group) {
+  if (group.empty()) return;
+  TenantState* tenant = conn->tenant;  // set before any frame is admitted
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    ++pending_tasks_;
+  }
+  ThreadPool::Shared().Submit([this, conn, tenant,
+                               group = std::move(group)] {
+    Bytes out;
+    for (const auto& [request_id, sql_octets] : group) {
+      const std::string sql(
+          reinterpret_cast<const char*>(sql_octets.data()),
+          sql_octets.size());
+      BatchItem item = ExecuteStatement(*tenant, sql);
+      if (!item.ok) {
+        AppendFrame(out, Opcode::kError, request_id,
+                    EncodeError(item.error.code, item.error.message));
+        continue;
+      }
+      const Bytes encoded = EncodeResult(item.result);
+      if (encoded.size() > options_.max_frame_bytes) {
+        AppendFrame(out, Opcode::kError, request_id,
+                    EncodeError(ErrorCode::kFrameTooLarge,
+                                "result exceeds the frame limit"));
+      } else {
+        AppendFrame(out, Opcode::kRows, request_id, encoded);
+      }
+    }
+    // Budget first, then flush: by the time the client sees the last
+    // response of the group its next burst must be admissible.
+    tenant->inflight.fetch_sub(group.size(), std::memory_order_acq_rel);
+    inflight_gauge_->Add(-static_cast<int64_t>(group.size()));
+    SendEncoded(conn, out);
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      --pending_tasks_;
+    }
+    pending_cv_.notify_all();
+  });
+}
+
+void Server::HandleHello(const std::shared_ptr<Connection>& conn,
+                         const FrameHeader& header, BytesView payload) {
+  StatusOr<HelloPayload> hello = DecodeHello(payload);
+  if (!hello.ok()) {
+    protocol_errors_total_->Increment();
+    SendError(conn, header.request_id, ErrorCode::kProtocolError,
+              hello.status().message(), /*close_after=*/true);
+    conn->reject_input = true;
+    return;
+  }
+  TenantState* tenant = nullptr;
+  for (auto& state : tenants_) {
+    if (state->config.name == hello->tenant) {
+      tenant = state.get();
+      break;
+    }
+  }
+  const bool key_ok =
+      tenant != nullptr &&
+      ConstantTimeEquals(hello->key, tenant->config.master_key);
+  if (!key_ok) {
+    auth_fail_total_->Increment();
+    if (tenant != nullptr) {
+      tenant->auth_fail_total->Increment();
+      // The failed key never opens anything; the *registered* key seals
+      // the evidence (through the open session when there is one,
+      // transiently otherwise).
+      TenantAuditEvent(*tenant, AuditEventType::kAuthFailure,
+                       "net auth failure conn=" + std::to_string(conn->id));
+    }
+    SendError(conn, header.request_id, ErrorCode::kAuthFailed,
+              "unknown tenant or wrong master key", /*close_after=*/false);
+    return;
+  }
+  conn->tenant = tenant;
+  TenantAuditEvent(*tenant, AuditEventType::kSessionOpen,
+                   "net session open conn=" + std::to_string(conn->id));
+  SendFrame(conn, Opcode::kOk, header.request_id, BytesView());
+}
+
+Status Server::EnsureTenantOpen(TenantState& tenant) {
+  if (tenant.opened.load(std::memory_order_acquire)) return OkStatus();
+  std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+  if (tenant.db != nullptr) return OkStatus();
+  std::lock_guard<std::mutex> audit_lk(tenant.audit_mu);
+  StatusOr<std::unique_ptr<SecureDatabase>> db =
+      SecureDatabase::Open(tenant.config.master_key, tenant.config.storage,
+                           tenant.config.rng_seed);
+  if (!db.ok()) return db.status();
+  if (tenant.config.bootstrap) {
+    const Status boot = tenant.config.bootstrap(db->get());
+    if (!boot.ok()) return boot;
+  }
+  tenant.db = std::move(*db);
+  tenant.engine = std::make_unique<QueryEngine>(tenant.db.get());
+  tenant.opened.store(true, std::memory_order_release);
+  return OkStatus();
+}
+
+BatchItem Server::ExecuteStatement(TenantState& tenant,
+                                   const std::string& sql) {
+  BatchItem item;
+  const Status open = EnsureTenantOpen(tenant);
+  if (!open.ok()) {
+    item.error = {ErrorCode::kQueryError,
+                  "tenant open failed: " + open.ToString()};
+    return item;
+  }
+  StatusOr<ParsedStatement> parsed = ParseSql(sql);
+  if (!parsed.ok()) {
+    item.error = {ErrorCode::kQueryError, parsed.status().ToString()};
+    return item;
+  }
+  const uint64_t start_ns = obs::NowNs();
+  StatusOr<QueryResult> result = InternalError("unreachable");
+  switch (parsed->kind) {
+    case ParsedStatement::Kind::kSelect: {
+      std::shared_lock<std::shared_mutex> lk(tenant.db_mu);
+      result = tenant.engine->Execute(parsed->select);
+      break;
+    }
+    case ParsedStatement::Kind::kExplain: {
+      std::shared_lock<std::shared_mutex> lk(tenant.db_mu);
+      StatusOr<std::string> plan = tenant.engine->Explain(parsed->select);
+      if (plan.ok()) {
+        QueryResult r;
+        r.plan = std::move(*plan);
+        result = std::move(r);
+      } else {
+        result = plan.status();
+      }
+      break;
+    }
+    case ParsedStatement::Kind::kInsert: {
+      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      result = tenant.engine->Execute(parsed->insert);
+      break;
+    }
+    case ParsedStatement::Kind::kUpdate: {
+      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      result = tenant.engine->Execute(parsed->update);
+      break;
+    }
+    case ParsedStatement::Kind::kDelete: {
+      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      result = tenant.engine->Execute(parsed->del);
+      break;
+    }
+  }
+  const uint64_t elapsed_ns = obs::NowNs() - start_ns;
+  query_ns_->Record(elapsed_ns);
+  tenant.query_ns->Record(elapsed_ns);
+  tenant.queries_total->Increment();
+  if (!result.ok()) {
+    item.error = {ErrorCode::kQueryError, result.status().ToString()};
+    return item;
+  }
+  item.ok = true;
+  item.result.columns = std::move(result->columns);
+  item.result.rows = std::move(result->rows);
+  item.result.plan = std::move(result->plan);
+  item.result.affected = result->affected;
+  return item;
+}
+
+void Server::SendFrame(const std::shared_ptr<Connection>& conn, Opcode opcode,
+                       uint32_t request_id, BytesView payload) {
+  bool nudge = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    if (conn->closed || conn->dead) return;
+    AppendFrame(conn->outbuf, opcode, request_id, payload);
+    if (!FlushLocked(*conn)) {
+      conn->dead = true;
+      nudge = true;
+    } else if (conn->out_pos < conn->outbuf.size()) {
+      nudge = true;  // short write: the IO thread must arm EPOLLOUT
+    } else if (conn->close_after_flush) {
+      nudge = true;
+    }
+  }
+  if (nudge) NudgeIo(conn);
+}
+
+void Server::SendEncoded(const std::shared_ptr<Connection>& conn,
+                         BytesView frames) {
+  if (frames.empty()) return;
+  bool nudge = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    if (conn->closed || conn->dead) return;
+    conn->outbuf.insert(conn->outbuf.end(), frames.begin(), frames.end());
+    if (!FlushLocked(*conn)) {
+      conn->dead = true;
+      nudge = true;
+    } else if (conn->out_pos < conn->outbuf.size()) {
+      nudge = true;
+    } else if (conn->close_after_flush) {
+      nudge = true;
+    }
+  }
+  if (nudge) NudgeIo(conn);
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn,
+                       uint32_t request_id, ErrorCode code,
+                       const std::string& message, bool close_after) {
+  if (close_after) {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    conn->close_after_flush = true;
+  }
+  SendFrame(conn, Opcode::kError, request_id, EncodeError(code, message));
+}
+
+bool Server::FlushLocked(Connection& conn) {
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t sent =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_pos,
+               conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_pos += static_cast<size_t>(sent);
+      tx_bytes_total_->Add(static_cast<uint64_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  conn.outbuf.clear();
+  conn.out_pos = 0;
+  return true;
+}
+
+void Server::NudgeIo(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(stuck_mu_);
+    stuck_fds_.push_back(conn->fd);
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    if (!FlushLocked(*conn)) {
+      conn->dead = true;
+      close_now = true;
+    } else if (conn->out_pos == conn->outbuf.size()) {
+      drained = true;
+      close_now = conn->close_after_flush;
+    }
+  }
+  if (close_now) {
+    CloseConnection(conn);
+    return;
+  }
+  if (drained && conn->epollout_armed) {
+    conn->epollout_armed = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    if (conn->closed) return;
+    // One last courtesy flush (the BYE acknowledgement usually fits).
+    if (!conn->dead) (void)FlushLocked(*conn);
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  connections_.erase(conn->fd);
+  connections_gauge_->Add(-1);
+  if (conn->tenant != nullptr) {
+    TenantAuditEvent(*conn->tenant, AuditEventType::kSessionClose,
+                     "net session close conn=" + std::to_string(conn->id));
+  }
+}
+
+void Server::TenantAuditEvent(TenantState& tenant, AuditEventType type,
+                              const std::string& detail) {
+  if (tenant.opened.load(std::memory_order_acquire)) {
+    tenant.db->NoteSecurityEvent(type, detail);
+    return;
+  }
+  if (tenant.config.storage.audit_path.empty()) return;
+  std::lock_guard<std::mutex> lk(tenant.audit_mu);
+  if (tenant.opened.load(std::memory_order_acquire)) {
+    tenant.db->NoteSecurityEvent(type, detail);
+    return;
+  }
+  // The tenant session is closed: seal the event through a transient
+  // handle under the registered key's audit subkey, exactly the chain the
+  // session itself appends to. Best effort, like NoteSecurityEvent.
+  AuditLogOptions options;
+  options.key =
+      SecureDatabase::DeriveSubkey(tenant.config.master_key, "audit");
+  StatusOr<std::unique_ptr<AuditLog>> log =
+      AuditLog::Open(tenant.config.storage.audit_path, options);
+  if (!log.ok()) return;
+  const Status appended = (*log)->AppendEvent(type, detail);
+  (void)appended;
+}
+
+}  // namespace net
+}  // namespace sdbenc

@@ -1,0 +1,187 @@
+// sdbenc_serve: the multi-tenant encrypted-DB network daemon (DESIGN §16).
+//
+// Usage:
+//
+//   sdbenc_serve --tenant=NAME:KEYHEX [--tenant=...] [--port=N]
+//                [--data-dir=DIR] [--bootstrap-demo] [--demo-rows=N]
+//                [--max-inflight=N] [--max-frame-bytes=N]
+//
+// Each --tenant registers one tenant with its master key (hex, >= 16
+// octets decoded). With --data-dir, tenant NAME persists to DIR/NAME.sdb
+// and seals its audit chain to DIR/NAME.audit (verify offline with
+// `sdbenc_stat --verify-audit=DIR/NAME.audit --master-key-hex=KEYHEX`);
+// without it, tenants run on fresh in-memory storage.
+//
+// --bootstrap-demo creates a demo table per tenant on first open:
+//   kv(id INTEGER indexed, val TEXT), preloaded with --demo-rows rows —
+// which gives a scripted client something to query without a DDL opcode.
+//
+// On startup the daemon prints one JSON line:
+//   {"server_listening":PORT,"tenants":N}
+// and serves until SIGINT/SIGTERM, then shuts down gracefully (drains
+// in-flight queries, closes tenant sessions so every audit chain ends with
+// a session-close event) and exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "util/hex.h"
+
+namespace sdbenc {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+std::vector<std::string> ExtractAll(int* argc, char** argv,
+                                    const char* prefix) {
+  std::vector<std::string> values;
+  const size_t len = std::strlen(prefix);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      values.emplace_back(argv[i] + len);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return values;
+}
+
+std::string ExtractOne(int* argc, char** argv, const char* prefix) {
+  std::vector<std::string> all = ExtractAll(argc, argv, prefix);
+  return all.empty() ? std::string() : all.back();
+}
+
+Status BootstrapDemo(SecureDatabase* db, size_t rows) {
+  if (db->GetTableState("kv").ok()) return OkStatus();  // reopened store
+  SecureTableOptions options;
+  options.indexed_columns = {"id"};
+  options.index_order = 16;
+  Schema schema({{"id", ValueType::kInt64, true},
+                 {"val", ValueType::kString, true}});
+  SDBENC_RETURN_IF_ERROR(db->CreateTable("kv", schema, options));
+  std::vector<std::vector<Value>> preload;
+  preload.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    preload.push_back({Value::Int(static_cast<int64_t>(i)),
+                       Value::Str("v" + std::to_string(i))});
+  }
+  if (!preload.empty()) {
+    SDBENC_RETURN_IF_ERROR(db->BulkInsert("kv", preload));
+  }
+  return OkStatus();
+}
+
+int Main(int argc, char** argv) {
+  const std::vector<std::string> tenant_args =
+      ExtractAll(&argc, argv, "--tenant=");
+  const std::string port_arg = ExtractOne(&argc, argv, "--port=");
+  const std::string data_dir = ExtractOne(&argc, argv, "--data-dir=");
+  const std::string inflight_arg =
+      ExtractOne(&argc, argv, "--max-inflight=");
+  const std::string frame_arg =
+      ExtractOne(&argc, argv, "--max-frame-bytes=");
+  const std::string demo_rows_arg =
+      ExtractOne(&argc, argv, "--demo-rows=");
+  bool demo = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--bootstrap-demo") == 0) {
+        demo = true;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+  }
+  if (tenant_args.empty()) {
+    std::fprintf(stderr,
+                 "usage: sdbenc_serve --tenant=NAME:KEYHEX [--tenant=...]\n"
+                 "  [--port=N] [--data-dir=DIR] [--bootstrap-demo]\n"
+                 "  [--demo-rows=N] [--max-inflight=N] "
+                 "[--max-frame-bytes=N]\n");
+    return 2;
+  }
+
+  net::ServerOptions options;
+  if (!port_arg.empty()) {
+    options.port = static_cast<uint16_t>(std::strtoul(port_arg.c_str(),
+                                                      nullptr, 10));
+  }
+  if (!inflight_arg.empty()) {
+    options.max_inflight_per_tenant =
+        std::strtoul(inflight_arg.c_str(), nullptr, 10);
+  }
+  if (!frame_arg.empty()) {
+    options.max_frame_bytes = std::strtoul(frame_arg.c_str(), nullptr, 10);
+  }
+  size_t demo_rows = 1000;
+  if (!demo_rows_arg.empty()) {
+    demo_rows = std::strtoul(demo_rows_arg.c_str(), nullptr, 10);
+  }
+
+  for (const std::string& spec : tenant_args) {
+    const size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "sdbenc_serve: --tenant wants NAME:KEYHEX\n");
+      return 2;
+    }
+    net::TenantConfig tenant;
+    tenant.name = spec.substr(0, colon);
+    StatusOr<Bytes> key = HexDecode(spec.substr(colon + 1));
+    if (!key.ok() || key->size() < 16) {
+      std::fprintf(stderr,
+                   "sdbenc_serve: tenant '%s': KEYHEX must decode to >= 16 "
+                   "octets\n",
+                   tenant.name.c_str());
+      return 2;
+    }
+    tenant.master_key = std::move(*key);
+    if (!data_dir.empty()) {
+      tenant.storage = StorageOptions::File(data_dir + "/" + tenant.name +
+                                            ".sdb");
+      tenant.storage.audit_path = data_dir + "/" + tenant.name + ".audit";
+    }
+    if (demo) {
+      tenant.bootstrap = [demo_rows](SecureDatabase* db) {
+        return BootstrapDemo(db, demo_rows);
+      };
+    }
+    options.tenants.push_back(std::move(tenant));
+  }
+
+  const size_t tenant_count = options.tenants.size();
+  StatusOr<std::unique_ptr<net::Server>> server =
+      net::Server::Start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "sdbenc_serve: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("{\"server_listening\":%u,\"tenants\":%zu}\n",
+              static_cast<unsigned>((*server)->port()), tenant_count);
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  std::printf("{\"server_stopped\":true}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdbenc
+
+int main(int argc, char** argv) { return sdbenc::Main(argc, argv); }
