@@ -38,6 +38,9 @@ class BinaryReader {
   StatusOr<Bytes> GetBytes();
   StatusOr<std::string> GetString();
   bool AtEnd() const { return pos_ == data_.size(); }
+  /// Octets not yet consumed — lets decoders sanity-bound an element
+  /// count against the space it would need before reserving for it.
+  size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   Status Need(size_t n) const;

@@ -136,6 +136,14 @@ StatusOr<WireResult> DecodeResult(BytesView payload) {
   WireResult result;
   auto ncols = r.GetU32();
   if (!ncols.ok()) return ncols.status();
+  // The counts are peer-controlled: bound each one by the space its
+  // elements would occupy in the remaining payload (a string or value
+  // blob carries at least a u64 length prefix, a row at least a u32
+  // count) before reserving, so a hostile count dies here instead of in
+  // the allocator.
+  if (*ncols > r.Remaining() / 8) {
+    return ParseError("column count exceeds the payload");
+  }
   result.columns.reserve(*ncols);
   for (uint32_t i = 0; i < *ncols; ++i) {
     auto c = r.GetString();
@@ -144,10 +152,16 @@ StatusOr<WireResult> DecodeResult(BytesView payload) {
   }
   auto nrows = r.GetU64();
   if (!nrows.ok()) return nrows.status();
+  if (*nrows > r.Remaining() / 4) {
+    return ParseError("row count exceeds the payload");
+  }
   for (uint64_t i = 0; i < *nrows; ++i) {
     auto rowcols = r.GetU32();
     if (!rowcols.ok()) return rowcols.status();
     std::vector<Value> row;
+    if (*rowcols > r.Remaining() / 8) {
+      return ParseError("row value count exceeds the payload");
+    }
     row.reserve(*rowcols);
     for (uint32_t j = 0; j < *rowcols; ++j) {
       auto blob = r.GetBytes();
@@ -218,6 +232,10 @@ StatusOr<std::vector<BatchItem>> DecodeBatchResult(BytesView payload,
   if (!count.ok()) return count.status();
   if (*count > max_statements) {
     return OutOfRangeError("batch result count exceeds maximum");
+  }
+  // Each item occupies at least an ok octet plus a length prefix.
+  if (*count > r.Remaining() / 9) {
+    return ParseError("batch result count exceeds the payload");
   }
   std::vector<BatchItem> items;
   items.reserve(*count);

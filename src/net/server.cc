@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -61,6 +62,7 @@ struct Server::Connection {
   Bytes inbuf;
   bool reject_input = false;  // a fatal protocol error stops parsing
   bool epollout_armed = false;
+  bool reads_paused = false;  // backlog over the cap; EPOLLIN dropped
 
   // Shared with workers.
   std::mutex out_mu;
@@ -69,6 +71,7 @@ struct Server::Connection {
   bool closed = false;            // epoll deregistered; drop further writes
   bool dead = false;              // socket error seen by a writer
   bool close_after_flush = false;
+  size_t inflight_tasks = 0;      // pool tasks yet to write their responses
 
   // Written by the IO thread during HELLO; read by workers afterwards (the
   // pool's task handoff orders the accesses).
@@ -268,13 +271,17 @@ void Server::IoLoop() {
         for (int sfd : stuck) {
           auto it = connections_.find(sfd);
           if (it == connections_.end()) continue;
-          const std::shared_ptr<Connection>& conn = it->second;
+          // A copy, not a reference into the map: CloseConnection erases
+          // the map entry and would destroy the referent under us.
+          const std::shared_ptr<Connection> conn = it->second;
           bool close_now = false;
           bool want_out = false;
           {
             std::lock_guard<std::mutex> lk(conn->out_mu);
+            // A deferred close waits for every in-flight task: responses
+            // to frames received before the BYE must still be flushed.
             if (conn->dead ||
-                (conn->close_after_flush &&
+                (conn->close_after_flush && conn->inflight_tasks == 0 &&
                  conn->out_pos == conn->outbuf.size())) {
               close_now = true;
             } else if (conn->out_pos < conn->outbuf.size()) {
@@ -286,7 +293,8 @@ void Server::IoLoop() {
           } else if (want_out && !conn->epollout_armed) {
             conn->epollout_armed = true;
             epoll_event ev{};
-            ev.events = EPOLLIN | EPOLLOUT;
+            ev.events = conn->reads_paused ? EPOLLOUT
+                                           : (EPOLLIN | EPOLLOUT);
             ev.data.fd = sfd;
             ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, sfd, &ev);
           }
@@ -314,6 +322,15 @@ void Server::IoLoop() {
 }
 
 void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  // Backpressure for a client that writes but never reads: past the
+  // backlog cap the socket stays unread (its octets queue in the kernel
+  // buffer and TCP flow control stalls the sender), so outbuf is bounded
+  // by the cap plus the responses of already-admitted frames.
+  if (options_.max_conn_backlog_bytes > 0 &&
+      BacklogBytes(conn) > options_.max_conn_backlog_bytes) {
+    PauseReads(conn);
+    return;
+  }
   bool eof = false;
   for (;;) {
     const size_t old_size = conn->inbuf.size();
@@ -339,7 +356,15 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     break;
   }
   DrainInput(conn);
-  if (eof && connections_.count(conn->fd) != 0) CloseConnection(conn);
+  if (eof && connections_.count(conn->fd) != 0) {
+    CloseConnection(conn);
+    return;
+  }
+  if (connections_.count(conn->fd) != 0 &&
+      options_.max_conn_backlog_bytes > 0 &&
+      BacklogBytes(conn) > options_.max_conn_backlog_bytes) {
+    PauseReads(conn);
+  }
 }
 
 void Server::DrainInput(const std::shared_ptr<Connection>& conn) {
@@ -410,8 +435,27 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       HandleHello(conn, header, payload);
       return;
     case Opcode::kStats: {
-      const std::string text =
-          obs::ExportJsonLines(obs::Registry().Snapshot());
+      // Metrics are served only to authenticated sessions, and scoped:
+      // per-tenant families of *other* tenants (their name fragments,
+      // query and auth-failure counters) are not yours to see.
+      if (conn->tenant == nullptr) {
+        SendError(conn, header.request_id, ErrorCode::kAuthRequired,
+                  "HELLO first", /*close_after=*/false);
+        return;
+      }
+      obs::MetricsSnapshot snapshot = obs::Registry().Snapshot();
+      const std::string own_prefix =
+          "sdbenc_server_tenant_" + conn->tenant->fragment + "_";
+      constexpr const char kTenantPrefix[] = "sdbenc_server_tenant_";
+      auto& metrics = snapshot.metrics;
+      metrics.erase(
+          std::remove_if(metrics.begin(), metrics.end(),
+                         [&](const obs::MetricValue& metric) {
+                           return metric.name.rfind(kTenantPrefix, 0) == 0 &&
+                                  metric.name.rfind(own_prefix, 0) != 0;
+                         }),
+          metrics.end());
+      const std::string text = obs::ExportJsonLines(snapshot);
       SendFrame(conn, Opcode::kStatsText, header.request_id,
                 BytesView(reinterpret_cast<const uint8_t*>(text.data()),
                           text.size()));
@@ -476,6 +520,10 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lk(pending_mu_);
     ++pending_tasks_;
   }
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    ++conn->inflight_tasks;
+  }
   Bytes body(payload.begin(), payload.end());
   const uint32_t request_id = header.request_id;
   ThreadPool::Shared().Submit([this, conn, tenant, request_id,
@@ -503,15 +551,12 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       }
     }
     // Release the admission budget before the response leaves: a client
-    // that has read the reply must be admissible again immediately.
+    // that has read the reply must be admissible again immediately. (The
+    // per-connection backlog cap, not this budget, is what bounds outbuf.)
     tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
     inflight_gauge_->Add(-1);
     SendEncoded(conn, out);
-    {
-      std::lock_guard<std::mutex> lk(pending_mu_);
-      --pending_tasks_;
-    }
-    pending_cv_.notify_all();
+    FinishConnTask(conn);
   });
 }
 
@@ -522,6 +567,10 @@ void Server::SubmitQueryGroup(const std::shared_ptr<Connection>& conn,
   {
     std::lock_guard<std::mutex> lk(pending_mu_);
     ++pending_tasks_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    ++conn->inflight_tasks;
   }
   ThreadPool::Shared().Submit([this, conn, tenant,
                                group = std::move(group)] {
@@ -550,12 +599,26 @@ void Server::SubmitQueryGroup(const std::shared_ptr<Connection>& conn,
     tenant->inflight.fetch_sub(group.size(), std::memory_order_acq_rel);
     inflight_gauge_->Add(-static_cast<int64_t>(group.size()));
     SendEncoded(conn, out);
-    {
-      std::lock_guard<std::mutex> lk(pending_mu_);
-      --pending_tasks_;
-    }
-    pending_cv_.notify_all();
+    FinishConnTask(conn);
   });
+}
+
+void Server::FinishConnTask(const std::shared_ptr<Connection>& conn) {
+  bool nudge = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    --conn->inflight_tasks;
+    // Last task out after a BYE: the IO thread may now close as soon as
+    // outbuf drains.
+    if (conn->inflight_tasks == 0 && conn->close_after_flush) nudge = true;
+  }
+  if (nudge) NudgeIo(conn);
+  // Retired last, and the notify stays under the lock: Stop() cannot see
+  // pending_tasks_ == 0 (and free this Server) until this task has
+  // released pending_mu_, after its final touch of any member.
+  std::lock_guard<std::mutex> lk(pending_mu_);
+  --pending_tasks_;
+  pending_cv_.notify_all();
 }
 
 void Server::HandleHello(const std::shared_ptr<Connection>& conn,
@@ -751,6 +814,21 @@ bool Server::FlushLocked(Connection& conn) {
   return true;
 }
 
+size_t Server::BacklogBytes(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lk(conn->out_mu);
+  return conn->outbuf.size() - conn->out_pos;
+}
+
+void Server::PauseReads(const std::shared_ptr<Connection>& conn) {
+  if (conn->reads_paused) return;
+  conn->reads_paused = true;
+  conn->epollout_armed = true;  // the drain is what un-pauses
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
 void Server::NudgeIo(const std::shared_ptr<Connection>& conn) {
   {
     std::lock_guard<std::mutex> lk(stuck_mu_);
@@ -770,15 +848,16 @@ void Server::HandleWritable(const std::shared_ptr<Connection>& conn) {
       close_now = true;
     } else if (conn->out_pos == conn->outbuf.size()) {
       drained = true;
-      close_now = conn->close_after_flush;
+      close_now = conn->close_after_flush && conn->inflight_tasks == 0;
     }
   }
   if (close_now) {
     CloseConnection(conn);
     return;
   }
-  if (drained && conn->epollout_armed) {
+  if (drained && (conn->epollout_armed || conn->reads_paused)) {
     conn->epollout_armed = false;
+    conn->reads_paused = false;  // backlog gone: the client may talk again
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = conn->fd;

@@ -16,7 +16,10 @@
 // Admission control: each tenant has a bounded in-flight budget. A frame
 // arriving above the budget is answered immediately with kOverloaded and
 // never reaches the pool — backpressure is explicit and cheap, and the
-// `sdbenc_server_inflight` gauge exposes the live total.
+// `sdbenc_server_inflight` gauge exposes the live total. A connection
+// whose unflushed response backlog passes `max_conn_backlog_bytes` stops
+// being read until it drains, so a client that pipelines requests without
+// ever reading responses cannot grow the outbuf without bound.
 
 #include <array>
 #include <atomic>
@@ -77,6 +80,13 @@ struct ServerOptions {
   /// Per-tenant admission budget: frames admitted to execution but not yet
   /// answered. 0 disables admission control.
   size_t max_inflight_per_tenant = 256;
+  /// Ceiling on one connection's unflushed response backlog. A client that
+  /// keeps pipelining requests but never reads its responses stops being
+  /// *read* once its backlog passes this mark (TCP backpressure does the
+  /// rest), so per-connection memory stays bounded by roughly this value
+  /// plus the frames already in flight. Reading resumes when the backlog
+  /// drains. 0 disables the cap.
+  size_t max_conn_backlog_bytes = 64u << 20;
   /// Tenants served by this daemon.
   std::vector<TenantConfig> tenants;
 };
@@ -155,6 +165,14 @@ class Server {
   /// Hands the connection to the IO thread (arm EPOLLOUT / finish a
   /// deferred close). Safe from any thread.
   void NudgeIo(const std::shared_ptr<Connection>& conn);
+  /// The connection's unflushed response octets (takes conn->out_mu).
+  size_t BacklogBytes(const std::shared_ptr<Connection>& conn);
+  /// Drops read interest until the response backlog drains (IO thread).
+  void PauseReads(const std::shared_ptr<Connection>& conn);
+  /// Worker-task epilogue: retires the task against its connection (so a
+  /// deferred BYE close waits for it) and against the server-wide pending
+  /// count that gates ~Server.
+  void FinishConnTask(const std::shared_ptr<Connection>& conn);
 
   void CloseConnection(const std::shared_ptr<Connection>& conn);
   /// Records an audit event for a tenant whose DB may not be open: routes

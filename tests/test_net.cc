@@ -9,11 +9,13 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/secure_database.h"
+#include "db/serialize.h"
 #include "net/client/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -116,6 +118,29 @@ TEST(NetProtocolTest, BatchCodecRejectsEmptyAndOversize) {
   EXPECT_EQ(decoded->size(), 5u);
 }
 
+TEST(NetProtocolTest, ResultCodecBoundsHostileCounts) {
+  // Counts in a result are peer-controlled; each must fail by inspection
+  // against the remaining payload, never by a multi-gigabyte reserve.
+  BinaryWriter cols;
+  cols.PutU32(0xffffffffu);  // claims 4G column names in 4 octets
+  EXPECT_FALSE(DecodeResult(cols.data()).ok());
+
+  BinaryWriter rows;
+  rows.PutU32(0);
+  rows.PutU64(0xffffffffffffull);  // absurd row count
+  EXPECT_FALSE(DecodeResult(rows.data()).ok());
+
+  BinaryWriter rowvals;
+  rowvals.PutU32(0);
+  rowvals.PutU64(1);
+  rowvals.PutU32(0xffffffffu);  // absurd per-row value count
+  EXPECT_FALSE(DecodeResult(rowvals.data()).ok());
+
+  BinaryWriter batch;
+  batch.PutU32(0x10000000u);  // absurd batch result count
+  EXPECT_FALSE(DecodeBatchResult(batch.data(), 1u << 30).ok());
+}
+
 TEST(NetProtocolTest, HelloAndErrorCodecsRoundTrip) {
   const Bytes key(16, 0x77);
   auto hello = DecodeHello(EncodeHello("alpha", key));
@@ -184,6 +209,73 @@ TEST(NetServerTest, PipelinedResponsesInterleaveByRequestId) {
     expect.erase(it);
   }
   EXPECT_TRUE(expect.empty());
+  server->Stop();
+}
+
+TEST(NetServerTest, StatsRequireHelloAndAreTenantScoped) {
+  auto server = Server::Start(TwoTenantOptions()).value();
+  auto client = Client::Connect("127.0.0.1", server->port()).value();
+
+  // Unauthenticated STATS is a disclosure channel (other tenants' name
+  // fragments and counters) — it must bounce like any other opcode.
+  auto denied = client->Stats();
+  ASSERT_FALSE(denied.ok());
+  EXPECT_NE(denied.status().message().find("HELLO first"),
+            std::string::npos);
+
+  ASSERT_TRUE(client->Hello("alpha", KeyA()).ok());
+  ASSERT_TRUE(client->Query("SELECT val FROM kv WHERE id = 1").ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  // Global families and alpha's own are visible; beta's are not.
+  EXPECT_NE(stats->find("sdbenc_server_queries_total"), std::string::npos);
+  EXPECT_NE(stats->find("sdbenc_server_tenant_alpha_queries_total"),
+            std::string::npos);
+  EXPECT_EQ(stats->find("sdbenc_server_tenant_beta_"), std::string::npos);
+  server->Stop();
+}
+
+TEST(NetServerTest, PipelinedQueriesBeforeByeAllAnswered) {
+  // A burst of QUERY frames followed immediately by BYE: the close must
+  // wait for every in-flight execution, so no response to a frame sent
+  // before the BYE is ever dropped. Several rounds to give the race (a
+  // worker still executing when the outbuf drains) a chance to bite.
+  auto server = Server::Start(TwoTenantOptions()).value();
+  for (int round = 0; round < 4; ++round) {
+    auto client = Client::Connect("127.0.0.1", server->port()).value();
+    ASSERT_TRUE(client->Hello("alpha", KeyA()).ok());
+    constexpr uint32_t kQueries = 32;
+    Bytes burst;
+    for (uint32_t i = 0; i < kQueries; ++i) {
+      const std::string sql =
+          "SELECT val FROM kv WHERE id = " + std::to_string(i % 32);
+      AppendFrame(burst, Opcode::kQuery, 1000 + i,
+                  BytesView(reinterpret_cast<const uint8_t*>(sql.data()),
+                            sql.size()));
+    }
+    AppendFrame(burst, Opcode::kBye, 9999, BytesView());
+    ASSERT_TRUE(client->SendRaw(burst).ok());
+
+    std::set<uint32_t> answered;
+    bool bye_acked = false;
+    for (uint32_t i = 0; i < kQueries + 1; ++i) {
+      auto response = client->ReadResponse();
+      ASSERT_TRUE(response.ok())
+          << "round " << round << ": response " << i << " lost: "
+          << response.status().ToString();
+      if (response->request_id == 9999) {
+        EXPECT_EQ(response->opcode, Opcode::kOk);
+        bye_acked = true;
+        continue;
+      }
+      ASSERT_TRUE(response->ok());
+      answered.insert(response->request_id);
+    }
+    EXPECT_TRUE(bye_acked);
+    EXPECT_EQ(answered.size(), kQueries);
+    // Only after the last response does the server hang up.
+    EXPECT_FALSE(client->ReadResponse().ok());
+  }
   server->Stop();
 }
 
