@@ -64,14 +64,18 @@ struct Server::Connection {
   bool epollout_armed = false;
   bool reads_paused = false;  // backlog over the cap; EPOLLIN dropped
 
-  // Shared with workers.
-  std::mutex out_mu;
-  Bytes outbuf;
-  size_t out_pos = 0;
-  bool closed = false;            // epoll deregistered; drop further writes
-  bool dead = false;              // socket error seen by a writer
-  bool close_after_flush = false;
-  size_t inflight_tasks = 0;      // pool tasks yet to write their responses
+  // Shared with workers. Lowest rank in the hierarchy: a writer holds
+  // out_mu only around buffer appends and non-blocking socket flushes,
+  // never while taking another lock.
+  Mutex out_mu{lockrank::kServerConnOut, "net.conn.out"};
+  Bytes outbuf SDB_GUARDED_BY(out_mu);
+  size_t out_pos SDB_GUARDED_BY(out_mu) = 0;
+  // closed: epoll deregistered, drop further writes. dead: socket error
+  // seen by a writer. inflight_tasks: pool tasks yet to write responses.
+  bool closed SDB_GUARDED_BY(out_mu) = false;
+  bool dead SDB_GUARDED_BY(out_mu) = false;
+  bool close_after_flush SDB_GUARDED_BY(out_mu) = false;
+  size_t inflight_tasks SDB_GUARDED_BY(out_mu) = 0;
 
   // Written by the IO thread during HELLO; read by workers afterwards (the
   // pool's task handoff orders the accesses).
@@ -94,10 +98,14 @@ struct Server::TenantState {
   /// Guards statement execution: writes exclusive, reads shared. Lifetime
   /// is not its problem — the session outlives every worker task (Stop()
   /// drains the pool before teardown).
-  std::shared_mutex db_mu;
+  SharedMutex db_mu{lockrank::kServerTenantDb, "net.tenant.db"};
   /// Serialises the lazy open against transient audit appends, so the two
   /// AuditLog handles on one file never interleave.
-  std::mutex audit_mu;
+  Mutex audit_mu{lockrank::kServerTenantAudit, "net.tenant.audit"};
+  // db/engine are published by the `opened` release-store below (set once
+  // under exclusive db_mu, then immutable until Stop()); readers that
+  // checked `opened` may touch them without db_mu, so they carry no
+  // GUARDED_BY.
   std::unique_ptr<SecureDatabase> db;
   std::unique_ptr<QueryEngine> engine;
   std::atomic<bool> opened{false};
@@ -201,11 +209,11 @@ void Server::Stop() {
   {
     // Every admitted frame either finished or is finishing against a
     // closed connection; tenants must stay alive until the last one does.
-    std::unique_lock<std::mutex> lk(pending_mu_);
-    pending_cv_.wait(lk, [this] { return pending_tasks_ == 0; });
+    const MutexLock lk(pending_mu_);
+    while (pending_tasks_ != 0) pending_cv_.Wait(pending_mu_);
   }
   for (auto& tenant : tenants_) {
-    std::unique_lock<std::shared_mutex> lk(tenant->db_mu);
+    const WriterMutexLock lk(tenant->db_mu);
     if (tenant->db != nullptr) {
       tenant->db->CloseSession();  // audit kSessionClose + key wipe
       tenant->engine.reset();
@@ -265,7 +273,7 @@ void Server::IoLoop() {
         }
         std::vector<int> stuck;
         {
-          std::lock_guard<std::mutex> lk(stuck_mu_);
+          const MutexLock lk(stuck_mu_);
           stuck.swap(stuck_fds_);
         }
         for (int sfd : stuck) {
@@ -277,7 +285,7 @@ void Server::IoLoop() {
           bool close_now = false;
           bool want_out = false;
           {
-            std::lock_guard<std::mutex> lk(conn->out_mu);
+            const MutexLock lk(conn->out_mu);
             // A deferred close waits for every in-flight task: responses
             // to frames received before the BYE must still be flushed.
             if (conn->dead ||
@@ -464,7 +472,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kBye:
       SendFrame(conn, Opcode::kOk, header.request_id, BytesView());
       {
-        std::lock_guard<std::mutex> lk(conn->out_mu);
+        const MutexLock lk(conn->out_mu);
         conn->close_after_flush = true;
       }
       NudgeIo(conn);
@@ -517,11 +525,11 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 
   batches_total_->Increment();
   {
-    std::lock_guard<std::mutex> lk(pending_mu_);
+    const MutexLock lk(pending_mu_);
     ++pending_tasks_;
   }
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     ++conn->inflight_tasks;
   }
   Bytes body(payload.begin(), payload.end());
@@ -565,11 +573,11 @@ void Server::SubmitQueryGroup(const std::shared_ptr<Connection>& conn,
   if (group.empty()) return;
   TenantState* tenant = conn->tenant;  // set before any frame is admitted
   {
-    std::lock_guard<std::mutex> lk(pending_mu_);
+    const MutexLock lk(pending_mu_);
     ++pending_tasks_;
   }
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     ++conn->inflight_tasks;
   }
   ThreadPool::Shared().Submit([this, conn, tenant,
@@ -606,7 +614,7 @@ void Server::SubmitQueryGroup(const std::shared_ptr<Connection>& conn,
 void Server::FinishConnTask(const std::shared_ptr<Connection>& conn) {
   bool nudge = false;
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     --conn->inflight_tasks;
     // Last task out after a BYE: the IO thread may now close as soon as
     // outbuf drains.
@@ -616,9 +624,9 @@ void Server::FinishConnTask(const std::shared_ptr<Connection>& conn) {
   // Retired last, and the notify stays under the lock: Stop() cannot see
   // pending_tasks_ == 0 (and free this Server) until this task has
   // released pending_mu_, after its final touch of any member.
-  std::lock_guard<std::mutex> lk(pending_mu_);
+  const MutexLock lk(pending_mu_);
   --pending_tasks_;
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
 }
 
 void Server::HandleHello(const std::shared_ptr<Connection>& conn,
@@ -663,9 +671,9 @@ void Server::HandleHello(const std::shared_ptr<Connection>& conn,
 
 Status Server::EnsureTenantOpen(TenantState& tenant) {
   if (tenant.opened.load(std::memory_order_acquire)) return OkStatus();
-  std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+  const WriterMutexLock lk(tenant.db_mu);
   if (tenant.db != nullptr) return OkStatus();
-  std::lock_guard<std::mutex> audit_lk(tenant.audit_mu);
+  const MutexLock audit_lk(tenant.audit_mu);
   StatusOr<std::unique_ptr<SecureDatabase>> db =
       SecureDatabase::Open(tenant.config.master_key, tenant.config.storage,
                            tenant.config.rng_seed);
@@ -698,12 +706,12 @@ BatchItem Server::ExecuteStatement(TenantState& tenant,
   StatusOr<QueryResult> result = InternalError("unreachable");
   switch (parsed->kind) {
     case ParsedStatement::Kind::kSelect: {
-      std::shared_lock<std::shared_mutex> lk(tenant.db_mu);
+      const ReaderMutexLock lk(tenant.db_mu);
       result = tenant.engine->Execute(parsed->select);
       break;
     }
     case ParsedStatement::Kind::kExplain: {
-      std::shared_lock<std::shared_mutex> lk(tenant.db_mu);
+      const ReaderMutexLock lk(tenant.db_mu);
       StatusOr<std::string> plan = tenant.engine->Explain(parsed->select);
       if (plan.ok()) {
         QueryResult r;
@@ -715,17 +723,17 @@ BatchItem Server::ExecuteStatement(TenantState& tenant,
       break;
     }
     case ParsedStatement::Kind::kInsert: {
-      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      const WriterMutexLock lk(tenant.db_mu);
       result = tenant.engine->Execute(parsed->insert);
       break;
     }
     case ParsedStatement::Kind::kUpdate: {
-      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      const WriterMutexLock lk(tenant.db_mu);
       result = tenant.engine->Execute(parsed->update);
       break;
     }
     case ParsedStatement::Kind::kDelete: {
-      std::unique_lock<std::shared_mutex> lk(tenant.db_mu);
+      const WriterMutexLock lk(tenant.db_mu);
       result = tenant.engine->Execute(parsed->del);
       break;
     }
@@ -750,7 +758,7 @@ void Server::SendFrame(const std::shared_ptr<Connection>& conn, Opcode opcode,
                        uint32_t request_id, BytesView payload) {
   bool nudge = false;
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     if (conn->closed || conn->dead) return;
     AppendFrame(conn->outbuf, opcode, request_id, payload);
     if (!FlushLocked(*conn)) {
@@ -770,7 +778,7 @@ void Server::SendEncoded(const std::shared_ptr<Connection>& conn,
   if (frames.empty()) return;
   bool nudge = false;
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     if (conn->closed || conn->dead) return;
     conn->outbuf.insert(conn->outbuf.end(), frames.begin(), frames.end());
     if (!FlushLocked(*conn)) {
@@ -789,7 +797,7 @@ void Server::SendError(const std::shared_ptr<Connection>& conn,
                        uint32_t request_id, ErrorCode code,
                        const std::string& message, bool close_after) {
   if (close_after) {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     conn->close_after_flush = true;
   }
   SendFrame(conn, Opcode::kError, request_id, EncodeError(code, message));
@@ -815,7 +823,7 @@ bool Server::FlushLocked(Connection& conn) {
 }
 
 size_t Server::BacklogBytes(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lk(conn->out_mu);
+  const MutexLock lk(conn->out_mu);
   return conn->outbuf.size() - conn->out_pos;
 }
 
@@ -831,7 +839,7 @@ void Server::PauseReads(const std::shared_ptr<Connection>& conn) {
 
 void Server::NudgeIo(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lk(stuck_mu_);
+    const MutexLock lk(stuck_mu_);
     stuck_fds_.push_back(conn->fd);
   }
   uint64_t one = 1;
@@ -842,7 +850,7 @@ void Server::HandleWritable(const std::shared_ptr<Connection>& conn) {
   bool close_now = false;
   bool drained = false;
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     if (!FlushLocked(*conn)) {
       conn->dead = true;
       close_now = true;
@@ -867,7 +875,7 @@ void Server::HandleWritable(const std::shared_ptr<Connection>& conn) {
 
 void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
   {
-    std::lock_guard<std::mutex> lk(conn->out_mu);
+    const MutexLock lk(conn->out_mu);
     if (conn->closed) return;
     // One last courtesy flush (the BYE acknowledgement usually fits).
     if (!conn->dead) (void)FlushLocked(*conn);
@@ -890,7 +898,7 @@ void Server::TenantAuditEvent(TenantState& tenant, AuditEventType type,
     return;
   }
   if (tenant.config.storage.audit_path.empty()) return;
-  std::lock_guard<std::mutex> lk(tenant.audit_mu);
+  const MutexLock lk(tenant.audit_mu);
   if (tenant.opened.load(std::memory_order_acquire)) {
     tenant.db->NoteSecurityEvent(type, detail);
     return;

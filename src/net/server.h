@@ -23,14 +23,11 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +37,7 @@
 #include "obs/metrics.h"
 #include "query/engine.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 namespace net {
@@ -159,9 +157,8 @@ class Server {
   void SendError(const std::shared_ptr<Connection>& conn, uint32_t request_id,
                  ErrorCode code, const std::string& message,
                  bool close_after);
-  /// Flushes conn->outbuf (caller holds conn->out_mu). Returns false when
-  /// the socket died.
-  bool FlushLocked(Connection& conn);
+  /// Flushes conn->outbuf. Returns false when the socket died.
+  bool FlushLocked(Connection& conn) SDB_REQUIRES(conn.out_mu);
   /// Hands the connection to the IO thread (arm EPOLLOUT / finish a
   /// deferred close). Safe from any thread.
   void NudgeIo(const std::shared_ptr<Connection>& conn);
@@ -193,16 +190,16 @@ class Server {
   /// IO-thread-owned connection table (fd -> connection).
   std::map<int, std::shared_ptr<Connection>> connections_;
   /// Connections whose workers hit a short write and need EPOLLOUT armed.
-  std::mutex stuck_mu_;
-  std::vector<int> stuck_fds_;
+  Mutex stuck_mu_{lockrank::kServerStuck, "net.server.stuck"};
+  std::vector<int> stuck_fds_ SDB_GUARDED_BY(stuck_mu_);
 
   std::vector<std::unique_ptr<TenantState>> tenants_;
 
   /// Tasks handed to the thread pool but not yet finished; Stop() waits
   /// for this to reach zero before tearing tenants down.
-  std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  size_t pending_tasks_ = 0;
+  Mutex pending_mu_{lockrank::kServerPending, "net.server.pending"};
+  CondVar pending_cv_;
+  size_t pending_tasks_ SDB_GUARDED_BY(pending_mu_) = 0;
 
   // Process-wide metric handles (registered once).
   obs::Gauge* connections_gauge_;

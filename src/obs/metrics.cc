@@ -82,7 +82,7 @@ uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
@@ -92,7 +92,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
@@ -101,7 +101,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -112,7 +112,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.metrics.reserve(counters_.size() + gauges_.size() +
                            histograms_.size());
@@ -158,7 +158,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->ResetForTest();
   for (auto& [name, gauge] : gauges_) gauge->Set(0);
   for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
@@ -168,6 +168,21 @@ MetricsRegistry& Registry() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+}  // namespace obs
+
+// Out-of-line on purpose (declared in util/thread_annotations.h): the Mutex
+// wrapper cannot depend on the metrics types, and this only runs on the
+// already-contended slow path. The registry's own mu_ never reaches here
+// (record_wait=false), so the handle fetch below cannot recurse.
+void RecordLockWait(obs::Histogram* extra, uint64_t wait_ns) {
+  static obs::Histogram* all_locks =
+      obs::Registry().GetHistogram("sdbenc_lock_wait_ns");
+  all_locks->Record(wait_ns);
+  if (extra != nullptr) extra->Record(wait_ns);
+}
+
+namespace obs {
 
 }  // namespace obs
 }  // namespace sdbenc

@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 // Compile-time kill switch: build with -DSDBENC_METRICS=0 (the CMake option
 // SDBENC_METRICS=OFF does this globally) and every hot-path Add/Record below
@@ -203,10 +204,17 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Highest rank in the lock hierarchy: metric handles are fetched from
+  // function-local statics whose first execution can run under any other
+  // lock in the process. record_wait=false because recording this lock's
+  // own contention would re-enter GetHistogram under mu_.
+  mutable Mutex mu_{lockrank::kMetricsRegistry, "obs.metrics.registry",
+                    /*record_wait=*/false};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SDB_GUARDED_BY(mu_);
 };
 
 /// The default registry every instrumented layer writes into.

@@ -95,7 +95,7 @@ void Tracer::Record(const char* name, uint64_t start_ns,
 void Tracer::Record(const TraceEvent& event) {
   if (!enabled()) return;  // direct callers get the same gate as TraceSpan
   Shard& shard = shards_[ThreadShardIndex()];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   if (shard.ring.size() < capacity_) {
     shard.ring.push_back(event);
   } else {
@@ -107,7 +107,7 @@ void Tracer::Record(const TraceEvent& event) {
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> events;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     if (shard.ring.size() < capacity_) {
       events.insert(events.end(), shard.ring.begin(), shard.ring.end());
     } else {
@@ -129,7 +129,7 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 uint64_t Tracer::total_recorded() const {
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     total += shard.head;
   }
   return total;
@@ -138,7 +138,7 @@ uint64_t Tracer::total_recorded() const {
 uint64_t Tracer::dropped() const {
   uint64_t dropped = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     if (shard.head > capacity_) dropped += shard.head - capacity_;
   }
   return dropped;
@@ -146,7 +146,7 @@ uint64_t Tracer::dropped() const {
 
 void Tracer::Clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     shard.ring.clear();
     shard.head = 0;
   }
@@ -194,12 +194,12 @@ SlowQueryLog& SlowQueryLog::Default() {
 }
 
 void SlowQueryLog::set_path(std::string path) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   path_ = std::move(path);
 }
 
 void SlowQueryLog::AddRecord(SlowQueryRecord record) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   total_.fetch_add(1, std::memory_order_relaxed);
   if (!path_.empty()) {
     std::FILE* f = std::fopen(path_.c_str(), "a");
@@ -215,7 +215,7 @@ void SlowQueryLog::AddRecord(SlowQueryRecord record) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Recent() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return std::vector<SlowQueryRecord>(recent_.begin(), recent_.end());
 }
 
@@ -224,7 +224,7 @@ uint64_t SlowQueryLog::total_recorded() const {
 }
 
 void SlowQueryLog::Clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   recent_.clear();
   total_.store(0, std::memory_order_relaxed);
 }

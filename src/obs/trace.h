@@ -5,13 +5,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace_context.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 namespace obs {
@@ -70,9 +70,11 @@ class Tracer {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> ring;  // size <= capacity_
-    uint64_t head = 0;             // total recorded; slot = head % capacity_
+    mutable Mutex mu{lockrank::kTraceShard, "obs.trace.shard"};
+    // Ring holds at most capacity_ spans; head counts total recorded, the
+    // live slot for a new span is head % capacity_.
+    std::vector<TraceEvent> ring SDB_GUARDED_BY(mu);
+    uint64_t head SDB_GUARDED_BY(mu) = 0;
   };
 
   std::atomic<bool> enabled_{false};
@@ -126,9 +128,9 @@ class SlowQueryLog {
 
   std::atomic<int64_t> threshold_us_{-1};
   std::atomic<uint64_t> total_{0};
-  mutable std::mutex mu_;
-  std::string path_;
-  std::deque<SlowQueryRecord> recent_;
+  mutable Mutex mu_{lockrank::kSlowQueryLog, "obs.slowlog"};
+  std::string path_ SDB_GUARDED_BY(mu_);
+  std::deque<SlowQueryRecord> recent_ SDB_GUARDED_BY(mu_);
 };
 
 /// RAII root of one statement trace. Arms itself when any consumer is

@@ -51,7 +51,7 @@ std::string LeakageProfile::ToJson() const {
 }
 
 void ActiveTrace::AddSpan(const TraceEvent& event) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (spans_.size() < max_spans_) {
     spans_.push_back(event);
   } else {
@@ -60,12 +60,12 @@ void ActiveTrace::AddSpan(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> ActiveTrace::Spans() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return spans_;
 }
 
 uint64_t ActiveTrace::spans_dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return spans_dropped_;
 }
 

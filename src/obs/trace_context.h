@@ -4,11 +4,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 namespace obs {
@@ -89,9 +89,9 @@ class ActiveTrace {
   const size_t max_spans_;
   std::atomic<uint64_t> next_span_id_{2};  // span 1 is the root
   std::array<std::atomic<uint64_t>, kNumLeakKinds> leaks_{};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> spans_;
-  uint64_t spans_dropped_ = 0;
+  mutable Mutex mu_{lockrank::kTraceActive, "obs.trace.active"};
+  std::vector<TraceEvent> spans_ SDB_GUARDED_BY(mu_);
+  uint64_t spans_dropped_ SDB_GUARDED_BY(mu_) = 0;
 };
 
 /// What the calling thread is currently doing: the statement trace it

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "obs/metrics.h"
 #include "schemes/aead_cell.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -61,10 +61,10 @@ DecryptCalibration MeasureDecrypt(AeadAlgorithm alg) {
 }
 
 const DecryptCalibration& CalibratedDecrypt(AeadAlgorithm alg) {
-  static std::mutex mu;
+  static Mutex mu{lockrank::kCostCalibration, "query.cost_calibration"};
   static std::map<AeadAlgorithm, DecryptCalibration>* cache =
       new std::map<AeadAlgorithm, DecryptCalibration>();
-  std::lock_guard<std::mutex> lock(mu);
+  const MutexLock lock(mu);
   auto it = cache->find(alg);
   if (it == cache->end()) {
     it = cache->emplace(alg, MeasureDecrypt(alg)).first;

@@ -146,7 +146,7 @@ StatusOr<AccessPlan> QueryEngine::PlanFor(
 }
 
 CostModelParams QueryEngine::CostParamsFor(AeadAlgorithm alg) const {
-  std::lock_guard<std::mutex> lock(params_mu_);
+  const MutexLock lock(params_mu_);
   if (cached_params_uses_left_ == 0 || cached_params_alg_ != alg) {
     cached_params_ =
         GatherCostParams(alg, db_->decrypted_cache(), parallelism_);

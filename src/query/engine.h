@@ -1,7 +1,6 @@
 #ifndef SDBENC_QUERY_ENGINE_H_
 #define SDBENC_QUERY_ENGINE_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "query/cost_model.h"
 #include "query/expr.h"
 #include "query/planner.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -130,10 +130,14 @@ class QueryEngine {
   Parallelism parallelism_;
   PlannerMode planner_mode_ = PlannerMode::kAdaptive;
 
-  mutable std::mutex params_mu_;
-  mutable CostModelParams cached_params_;
-  mutable std::optional<AeadAlgorithm> cached_params_alg_;
-  mutable uint64_t cached_params_uses_left_ = 0;
+  // Held across GatherCostParams, which sweeps the cache shards and the
+  // metrics registry — hence ranked below both (kQueryParams < kCacheShard
+  // < kMetricsRegistry).
+  mutable Mutex params_mu_{lockrank::kQueryParams, "query.params"};
+  mutable CostModelParams cached_params_ SDB_GUARDED_BY(params_mu_);
+  mutable std::optional<AeadAlgorithm> cached_params_alg_
+      SDB_GUARDED_BY(params_mu_);
+  mutable uint64_t cached_params_uses_left_ SDB_GUARDED_BY(params_mu_) = 0;
 };
 
 }  // namespace sdbenc

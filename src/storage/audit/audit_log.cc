@@ -341,7 +341,7 @@ StatusOr<std::unique_ptr<AuditLog>> AuditLog::Open(
       new AuditLog(path, options, std::move(aead), fd));
 
   const off_t size = ::lseek(fd, 0, SEEK_END);
-  const std::lock_guard<std::mutex> lock(log->mu_);
+  const MutexLock lock(log->mu_);
   if (size <= 0) {
     SystemRng rng;
     log->salt_ = rng.RandomBytes(kSaltLen);
@@ -420,14 +420,14 @@ Status AuditLog::AppendEvent(AuditEventType type,
   if (detail.size() > kMaxDetailLen) {
     return InvalidArgumentError("audit detail too long");
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return AppendLocked(type, WallClockMs(), detail);
 }
 
 Status AuditLog::Reseal(const AuditLogOptions& new_options) {
   SDBENC_ASSIGN_OR_RETURN(std::unique_ptr<Aead> new_aead,
                           MakeAuditAead(new_options));
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
 
   // Re-read our own file under the current key; the in-memory chain state
   // only covers the tail, and Reseal must carry the whole history.
@@ -493,12 +493,12 @@ Status AuditLog::Reseal(const AuditLogOptions& new_options) {
 }
 
 uint64_t AuditLog::next_seq() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return next_seq_;
 }
 
 std::string AuditLog::last_link_hex() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return HexEncode(ToView(prev_link_));
 }
 

@@ -2,13 +2,13 @@
 #define SDBENC_STORAGE_AUDIT_AUDIT_LOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "aead/factory.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -120,20 +120,23 @@ class AuditLog {
   AuditLog(std::string path, AuditLogOptions options,
            std::unique_ptr<Aead> aead, int fd);
 
-  Status WriteHeaderLocked();
+  Status WriteHeaderLocked() SDB_REQUIRES(mu_);
   Status AppendLocked(AuditEventType type, uint64_t wall_ms,
-                      const std::string& detail);
+                      const std::string& detail) SDB_REQUIRES(mu_);
 
   std::string path_;
   AuditLogOptions options_;
   std::unique_ptr<Aead> aead_;
   int fd_;
 
-  mutable std::mutex mu_;
-  Bytes salt_;
-  Bytes prev_link_;  // previous record's tag; header checksum before any
-  uint64_t next_seq_ = 0;
-  uint64_t file_size_ = 0;
+  // Ranked above the WAL (kAuditLog > kWal): audit appends may run while
+  // storage-side locks are held, never the reverse.
+  mutable Mutex mu_{lockrank::kAuditLog, "storage.audit"};
+  Bytes salt_ SDB_GUARDED_BY(mu_);
+  // Previous record's tag; header checksum before any record exists.
+  Bytes prev_link_ SDB_GUARDED_BY(mu_);
+  uint64_t next_seq_ SDB_GUARDED_BY(mu_) = 0;
+  uint64_t file_size_ SDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sdbenc

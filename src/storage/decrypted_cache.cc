@@ -93,7 +93,7 @@ void DecryptedBlockCache::WipeFrameLocked(Shard& shard,
     Metrics().evictions->Increment();
   }
   {
-    std::lock_guard<std::mutex> lock(observer_mu_);
+    const MutexLock lock(observer_mu_);
     if (wipe_observer_) wipe_observer_(buf);
   }
   SecureWipe(buf);
@@ -108,7 +108,7 @@ std::optional<Bytes> DecryptedBlockCache::Lookup(const Key& key) {
     return std::nullopt;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -127,7 +127,7 @@ void DecryptedBlockCache::Insert(const Key& key, BytesView plaintext) {
   if (key.epoch != epoch()) return;  // raced with a rotation: drop
   if (plaintext.size() > shard_capacity_) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     WipeFrameLocked(shard, it->second, /*count_as_eviction=*/false);
@@ -148,7 +148,7 @@ void DecryptedBlockCache::Insert(const Key& key, BytesView plaintext) {
 
 void DecryptedBlockCache::Erase(const Key& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return;
   WipeFrameLocked(shard, it->second, /*count_as_eviction=*/false);
@@ -156,7 +156,7 @@ void DecryptedBlockCache::Erase(const Key& key) {
 
 void DecryptedBlockCache::WipeAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     while (!shard.lru.empty()) {
       WipeFrameLocked(shard, shard.lru.begin(), /*count_as_eviction=*/false);
     }
@@ -181,7 +181,7 @@ DecryptedBlockCache::Stats DecryptedBlockCache::GetStats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.wipes = wipes_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const MutexLock lock(shard.mu);
     s.resident_frames += shard.lru.size();
     s.resident_bytes += shard.bytes;
   }
@@ -190,7 +190,7 @@ DecryptedBlockCache::Stats DecryptedBlockCache::GetStats() const {
 
 void DecryptedBlockCache::SetWipeObserverForTest(
     std::function<void(const Bytes&)> observer) {
-  std::lock_guard<std::mutex> lock(observer_mu_);
+  const MutexLock lock(observer_mu_);
   wipe_observer_ = std::move(observer);
 }
 

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -117,24 +117,28 @@ class DecryptedBlockCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Frame> lru;  // front = most recently used
-    std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map;
-    size_t bytes = 0;
+    mutable Mutex mu{lockrank::kCacheShard, "cache.shard"};
+    std::list<Frame> lru SDB_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, std::list<Frame>::iterator, KeyHash> map
+        SDB_GUARDED_BY(mu);
+    size_t bytes SDB_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key);
-  /// Wipes one frame and removes it from the shard. Caller holds shard.mu.
+  /// Wipes one frame and removes it from the shard. Caller holds shard.mu;
+  /// takes observer_mu_ nested inside it (kCacheShard < kCacheObserver).
   void WipeFrameLocked(Shard& shard, std::list<Frame>::iterator it,
-                       bool count_as_eviction);
+                       bool count_as_eviction) SDB_REQUIRES(shard.mu)
+      SDB_EXCLUDES(observer_mu_);
 
   const size_t capacity_bytes_;
   const size_t shard_capacity_;
   std::atomic<uint64_t> epoch_{1};
   std::array<Shard, kShards> shards_;
 
-  std::mutex observer_mu_;
-  std::function<void(const Bytes&)> wipe_observer_;
+  Mutex observer_mu_{lockrank::kCacheObserver, "cache.observer"};
+  std::function<void(const Bytes&)> wipe_observer_
+      SDB_GUARDED_BY(observer_mu_);
 
   // Local counters mirror the obs registry so per-instance stats stay
   // meaningful when several sessions share the process.

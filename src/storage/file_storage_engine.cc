@@ -123,6 +123,9 @@ FileStorageEngine::FileStorageEngine(int fd, const std::string& path,
     if (capacity == 0) capacity = 1;
     pool_capacity_ += capacity;
     stripes_.push_back(std::make_unique<Stripe>(capacity));
+    // Contended stripe waits keep their dedicated histogram on top of the
+    // global sdbenc_lock_wait_ns.
+    stripes_.back()->mu.set_wait_histogram(Metrics().stripe_wait_ns);
   }
 }
 
@@ -151,7 +154,10 @@ StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::Create(
   }
   auto engine = std::unique_ptr<FileStorageEngine>(
       new FileStorageEngine(fd, path, options));
-  SDBENC_RETURN_IF_ERROR(engine->WriteHeader());
+  {
+    const MutexLock meta_lock(engine->meta_mu_);
+    SDBENC_RETURN_IF_ERROR(engine->WriteHeader());
+  }
   if (options.enable_wal) {
     WalOptions wal_options;
     wal_options.key = options.wal_key;
@@ -209,7 +215,10 @@ StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::OpenImpl(
       new FileStorageEngine(fd, path, resolved));
   engine->num_pages_.store(GetUint64Be(header + 16),
                            std::memory_order_relaxed);
-  engine->free_head_ = GetUint64Be(header + 24);
+  {
+    const MutexLock meta_lock(engine->meta_mu_);
+    engine->free_head_ = GetUint64Be(header + 24);
+  }
   engine->root_record_.store(GetUint64Be(header + 32),
                              std::memory_order_relaxed);
   if (options.enable_wal) {
@@ -226,8 +235,11 @@ StatusOr<std::unique_ptr<FileStorageEngine>> FileStorageEngine::OpenImpl(
     SDBENC_ASSIGN_OR_RETURN(
         engine->wal_,
         WriteAheadLog::Create(path + ".wal", page_size, wal_options));
-    engine->checkpoint_pages_ =
-        engine->num_pages_.load(std::memory_order_relaxed);
+    {
+      const MutexLock wal_lock(engine->wal_mu_);
+      engine->checkpoint_pages_ =
+          engine->num_pages_.load(std::memory_order_relaxed);
+    }
   }
   return engine;
 }
@@ -252,6 +264,7 @@ Status FileStorageEngine::ApplyRecovery(const WalRecoveredState& recovered) {
   for (const auto& [id, image] : recovered.pages) {
     SDBENC_RETURN_IF_ERROR(WritePageToDisk(id, image));
   }
+  const MutexLock meta_lock(meta_mu_);
   if (recovered.has_commit) {
     num_pages_.store(recovered.meta.num_pages, std::memory_order_relaxed);
     free_head_ = recovered.meta.free_head;
@@ -267,8 +280,9 @@ Status FileStorageEngine::ApplyRecovery(const WalRecoveredState& recovered) {
 
 // The disk helpers are positional (pread/pwrite) and touch no shared
 // state beyond the fd itself, so they need no lock. WriteHeader
-// additionally reads free_head_, so its callers hold meta_mu_ (or run
-// single-threaded during open/create/recovery).
+// additionally reads free_head_, so it requires meta_mu_ — the
+// single-threaded open/create/recovery paths take it too, purely to keep
+// one annotated contract.
 Status FileStorageEngine::WriteHeader() {
   uint8_t header[kHeaderSize];
   std::memset(header, 0, kHeaderSize);
@@ -314,16 +328,6 @@ Status FileStorageEngine::ReadPageFromDisk(PageId id, Bytes* payload) {
   return OkStatus();
 }
 
-std::unique_lock<std::mutex> FileStorageEngine::LockStripe(Stripe& stripe) {
-  std::unique_lock<std::mutex> lock(stripe.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    const obs::StageTimer wait_timer(Metrics().stripe_wait_ns,
-                                     "storage.stripe_wait");
-    lock.lock();
-  }
-  return lock;
-}
-
 StatusOr<BufferPool::Frame*> FileStorageEngine::InsertFrameLocked(
     Stripe& stripe, PageId id, Bytes payload, bool dirty) {
   if (stripe.pool.Full()) {
@@ -366,7 +370,7 @@ StatusOr<uint64_t> FileStorageEngine::LogPageWrite(
     PageId id, const BufferPool::Frame* frame, BytesView after) {
   bool need_before = false;
   {
-    const std::lock_guard<std::mutex> lock(wal_mu_);
+    const MutexLock lock(wal_mu_);
     if (id < checkpoint_pages_ && imaged_.insert(id).second) {
       need_before = true;
     }
@@ -394,7 +398,7 @@ StatusOr<uint64_t> FileStorageEngine::LogPageWrite(
 }
 
 StatusOr<PageId> FileStorageEngine::Allocate() {
-  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+  const MutexLock meta_lock(meta_mu_);
   ++stats_.pages_allocated;
   if (free_head_ != kInvalidPageId) {
     const PageId id = free_head_;
@@ -402,7 +406,7 @@ StatusOr<PageId> FileStorageEngine::Allocate() {
     ++stats_.page_reads;
     Metrics().page_reads->Increment();
     Stripe& stripe = StripeFor(id);
-    const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+    const MutexLock lock(stripe.mu);
     BufferPool::Frame* frame = stripe.pool.Lookup(id);
     if (frame != nullptr) {
       ++stats_.pool_hits;
@@ -426,7 +430,7 @@ Status FileStorageEngine::Read(PageId id, Bytes* out) {
   ++stats_.page_reads;
   Metrics().page_reads->Increment();
   Stripe& stripe = StripeFor(id);
-  std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  MutexLock lock(stripe.mu);
   BufferPool::Frame* frame = stripe.pool.Lookup(id);
   if (frame != nullptr) {
     ++stats_.pool_hits;
@@ -439,10 +443,10 @@ Status FileStorageEngine::Read(PageId id, Bytes* out) {
   // Miss: fault the page in with the stripe unlocked, so concurrent
   // misses — even inside one stripe — overlap their disk I/O and checksum
   // verification instead of serialising the stripe.
-  lock.unlock();
+  lock.Unlock();
   Bytes payload;
   SDBENC_RETURN_IF_ERROR(ReadPageFromDisk(id, &payload));
-  lock.lock();
+  lock.Lock();
   // Another thread may have faulted (or rewritten) the page meanwhile; a
   // resident frame is never staler than our disk copy, so it wins.
   frame = stripe.pool.Lookup(id);
@@ -467,7 +471,7 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
   Bytes payload(data.begin(), data.end());
   payload.resize(page_size_, 0);
   Stripe& stripe = StripeFor(id);
-  const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  const MutexLock lock(stripe.mu);
   BufferPool::Frame* frame = stripe.pool.Lookup(id);
   uint64_t lsn = 0;
   if (wal_ != nullptr) {
@@ -489,7 +493,7 @@ Status FileStorageEngine::Write(PageId id, BytesView data) {
 }
 
 Status FileStorageEngine::Free(PageId id) {
-  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+  const MutexLock meta_lock(meta_mu_);
   if (id >= num_pages_.load(std::memory_order_acquire)) {
     return OutOfRangeError("page " + std::to_string(id) + " out of range");
   }
@@ -498,7 +502,7 @@ Status FileStorageEngine::Free(PageId id) {
   Bytes link(page_size_, 0);
   PutUint64Be(link.data(), free_head_);
   Stripe& stripe = StripeFor(id);
-  const std::unique_lock<std::mutex> lock = LockStripe(stripe);
+  const MutexLock lock(stripe.mu);
   BufferPool::Frame* frame = stripe.pool.Lookup(id);
   uint64_t lsn = 0;
   if (wal_ != nullptr) {
@@ -521,7 +525,7 @@ Status FileStorageEngine::CommitBatch() {
   if (wal_ == nullptr) return Flush();
   WalCommitMeta meta;
   {
-    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    const MutexLock meta_lock(meta_mu_);
     meta.num_pages = num_pages_.load(std::memory_order_acquire);
     meta.free_head = free_head_;
     meta.root_record = root_record_.load(std::memory_order_acquire);
@@ -540,7 +544,7 @@ Status FileStorageEngine::Flush() {
     SDBENC_RETURN_IF_ERROR(CommitBatch());
   }
   for (const std::unique_ptr<Stripe>& stripe : stripes_) {
-    const std::unique_lock<std::mutex> lock = LockStripe(*stripe);
+    const MutexLock lock(stripe->mu);
     for (BufferPool::Frame& frame : stripe->pool.frames()) {
       if (!frame.dirty) continue;
       SDBENC_RETURN_IF_ERROR(WritePageToDisk(frame.id, frame.data));
@@ -551,7 +555,7 @@ Status FileStorageEngine::Flush() {
     }
   }
   {
-    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    const MutexLock meta_lock(meta_mu_);
     SDBENC_RETURN_IF_ERROR(WriteHeader());
   }
   if (::fsync(fd_) != 0) {
@@ -559,7 +563,7 @@ Status FileStorageEngine::Flush() {
   }
   if (wal_ != nullptr) {
     {
-      const std::lock_guard<std::mutex> lock(wal_mu_);
+      const MutexLock lock(wal_mu_);
       imaged_.clear();
       checkpoint_pages_ = num_pages_.load(std::memory_order_acquire);
     }

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/storage_engine.h"
 #include "storage/wal/wal.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -146,8 +146,12 @@ class FileStorageEngine : public StorageEngine {
 
  private:
   struct Stripe {
-    mutable std::mutex mu;
-    BufferPool pool;
+    /// All stripes share one rank: two stripe latches must never nest
+    /// (Flush locks them strictly one at a time). Contended waits land on
+    /// sdbenc_storage_stripe_wait_ns (attached in the constructor) as well
+    /// as the global lock-wait histogram.
+    mutable Mutex mu{lockrank::kStorageStripe, "storage.stripe"};
+    BufferPool pool SDB_GUARDED_BY(mu);
     explicit Stripe(size_t capacity) : pool(capacity) {}
   };
 
@@ -160,16 +164,14 @@ class FileStorageEngine : public StorageEngine {
   Status ApplyRecovery(const WalRecoveredState& recovered);
 
   Stripe& StripeFor(PageId id) { return *stripes_[id % stripes_.size()]; }
-  /// Locks a stripe, recording contended waits in the stripe-wait
-  /// histogram (uncontended acquisitions stay clock-free).
-  std::unique_lock<std::mutex> LockStripe(Stripe& stripe);
 
   /// Makes room in `stripe` (evicting + writing back a dirty victim —
   /// under the stripe lock, so a concurrent miss on the victim cannot
   /// fault stale bytes from disk) and inserts `payload` as the frame for
   /// `id`. Caller holds the stripe lock.
   StatusOr<BufferPool::Frame*> InsertFrameLocked(Stripe& stripe, PageId id,
-                                                 Bytes payload, bool dirty);
+                                                 Bytes payload, bool dirty)
+      SDB_REQUIRES(stripe.mu);
 
   /// Faults `id` into `stripe` (verifying its checksum when it comes from
   /// disk), evicting if needed. Caller holds the stripe lock, which is
@@ -177,7 +179,8 @@ class FileStorageEngine : public StorageEngine {
   /// use this, while the hot Read-miss path drops the lock around its
   /// fault instead.
   StatusOr<BufferPool::Frame*> FetchFrameLocked(Stripe& stripe, PageId id,
-                                                bool from_disk);
+                                                bool from_disk)
+      SDB_REQUIRES(stripe.mu);
 
   /// WAL hook for a full-page update `id` := `after`, called with the
   /// stripe lock held. Logs a before-image on the first post-checkpoint
@@ -188,8 +191,7 @@ class FileStorageEngine : public StorageEngine {
 
   Status WritePageToDisk(PageId id, BytesView payload);
   Status ReadPageFromDisk(PageId id, Bytes* payload);
-  /// Caller holds meta_mu_ (or is single-threaded during open/create).
-  Status WriteHeader();
+  Status WriteHeader() SDB_REQUIRES(meta_mu_);
 
   int fd_;
   std::string path_;
@@ -198,20 +200,21 @@ class FileStorageEngine : public StorageEngine {
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
 
-  /// Guards free_head_, header writes and WAL checkpoint bookkeeping.
-  /// Lock order: meta_mu_ before any stripe mutex.
-  mutable std::mutex meta_mu_;
+  /// Guards free_head_ and header writes. Lock order: meta_mu_ before any
+  /// stripe mutex (Allocate/Free walk the free list through the pool).
+  mutable Mutex meta_mu_{lockrank::kStorageMeta, "storage.meta"};
   std::atomic<uint64_t> num_pages_{0};
-  PageId free_head_ = kInvalidPageId;
+  PageId free_head_ SDB_GUARDED_BY(meta_mu_) = kInvalidPageId;
   std::atomic<uint64_t> root_record_{0};
   StorageStats stats_;
 
   std::unique_ptr<WriteAheadLog> wal_;
-  /// Pages whose checkpoint-time content is already in the log this epoch
-  /// (guarded by wal_mu_, which nests inside stripe locks).
-  std::mutex wal_mu_;
-  std::unordered_set<PageId> imaged_;
-  uint64_t checkpoint_pages_ = 0;
+  /// Checkpoint bookkeeping; wal_mu_ nests inside stripe locks
+  /// (LogPageWrite runs under the page's stripe latch).
+  Mutex wal_mu_{lockrank::kStorageCheckpoint, "storage.checkpoint"};
+  /// Pages whose checkpoint-time content is already in the log this epoch.
+  std::unordered_set<PageId> imaged_ SDB_GUARDED_BY(wal_mu_);
+  uint64_t checkpoint_pages_ SDB_GUARDED_BY(wal_mu_) = 0;
   RecoveryInfo recovery_;
 };
 

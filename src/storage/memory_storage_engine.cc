@@ -41,12 +41,12 @@ StatusOr<PageId> MemoryStorageEngine::Allocate() {
   ++stats_.pages_allocated;
   PageId id;
   {
-    const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+    const MutexLock meta_lock(meta_mu_);
     if (!free_list_.empty()) {
       id = free_list_.back();
       free_list_.pop_back();
       Stripe& stripe = StripeFor(id);
-      const std::lock_guard<std::mutex> lock(stripe.mu);
+      const MutexLock lock(stripe.mu);
       const size_t slot = id / kStripes;
       stripe.freed[slot] = 0;
       stripe.pages[slot].assign(page_size_, 0);
@@ -55,7 +55,7 @@ StatusOr<PageId> MemoryStorageEngine::Allocate() {
     id = num_pages_.load(std::memory_order_relaxed);
     Stripe& stripe = StripeFor(id);
     {
-      const std::lock_guard<std::mutex> lock(stripe.mu);
+      const MutexLock lock(stripe.mu);
       stripe.pages.emplace_back(page_size_, 0);
       stripe.freed.push_back(0);
     }
@@ -68,7 +68,7 @@ StatusOr<PageId> MemoryStorageEngine::Allocate() {
 
 Status MemoryStorageEngine::Read(PageId id, Bytes* out) {
   Stripe& stripe = StripeFor(id);
-  const std::lock_guard<std::mutex> lock(stripe.mu);
+  const MutexLock lock(stripe.mu);
   SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
   ++stats_.page_reads;
   PageReadsMetric().Increment();
@@ -81,7 +81,7 @@ Status MemoryStorageEngine::Write(PageId id, BytesView data) {
     return InvalidArgumentError("page write larger than page size");
   }
   Stripe& stripe = StripeFor(id);
-  const std::lock_guard<std::mutex> lock(stripe.mu);
+  const MutexLock lock(stripe.mu);
   SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
   ++stats_.page_writes;
   PageWritesMetric().Increment();
@@ -92,10 +92,10 @@ Status MemoryStorageEngine::Write(PageId id, BytesView data) {
 }
 
 Status MemoryStorageEngine::Free(PageId id) {
-  const std::lock_guard<std::mutex> meta_lock(meta_mu_);
+  const MutexLock meta_lock(meta_mu_);
   Stripe& stripe = StripeFor(id);
   {
-    const std::lock_guard<std::mutex> lock(stripe.mu);
+    const MutexLock lock(stripe.mu);
     SDBENC_RETURN_IF_ERROR(CheckId(stripe, id));
     ++stats_.pages_freed;
     const size_t slot = id / kStripes;

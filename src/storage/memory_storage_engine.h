@@ -3,10 +3,10 @@
 
 #include <array>
 #include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "storage/storage_engine.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -52,9 +52,11 @@ class MemoryStorageEngine : public StorageEngine {
   static constexpr size_t kStripes = 16;
 
   struct Stripe {
-    mutable std::mutex mu;
-    std::vector<Bytes> pages;     // slot i holds page i * kStripes + index
-    std::vector<uint8_t> freed;   // parallel to pages
+    // Same rank + name as the file engine's stripes: one lock class.
+    mutable Mutex mu{lockrank::kStorageStripe, "storage.stripe"};
+    // Slot i holds page i * kStripes + index; freed is parallel to pages.
+    std::vector<Bytes> pages SDB_GUARDED_BY(mu);
+    std::vector<uint8_t> freed SDB_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(PageId id) { return stripes_[id % kStripes]; }
@@ -62,14 +64,16 @@ class MemoryStorageEngine : public StorageEngine {
 
   /// Caller holds the stripe's mutex; checks the id against the allocated
   /// range and the stripe's freed flags.
-  Status CheckId(const Stripe& stripe, PageId id) const;
+  Status CheckId(const Stripe& stripe, PageId id) const
+      SDB_REQUIRES(stripe.mu);
 
   size_t page_size_;
   std::array<Stripe, kStripes> stripes_;
 
-  /// Guards free_list_. Lock order: meta_mu_ before any stripe mutex.
-  mutable std::mutex meta_mu_;
-  std::vector<PageId> free_list_;
+  /// Guards free_list_. Lock order: meta_mu_ before any stripe mutex
+  /// (lockrank::kStorageMeta < kStorageStripe).
+  mutable Mutex meta_mu_{lockrank::kStorageMeta, "storage.meta"};
+  std::vector<PageId> free_list_ SDB_GUARDED_BY(meta_mu_);
   std::atomic<uint64_t> num_pages_{0};
   std::atomic<uint64_t> root_record_{0};
   StorageStats stats_;

@@ -147,10 +147,10 @@ WriteAheadLog::WriteAheadLog(std::string path, size_t page_size,
 
 WriteAheadLog::~WriteAheadLog() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   if (committer_.joinable()) committer_.join();
   if (fd_ >= 0) ::close(fd_);
 }
@@ -180,9 +180,9 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
   auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(
       path, page_size, options, std::move(aead), fd));
   SystemRng rng;
-  wal->salt_ = rng.RandomBytes(kSaltLen);
   {
-    const std::lock_guard<std::mutex> lock(wal->mu_);
+    const MutexLock lock(wal->mu_);
+    wal->salt_ = rng.RandomBytes(kSaltLen);
     SDBENC_RETURN_IF_ERROR(wal->WriteHeaderLocked());
   }
   wal->committer_ = std::thread(&WriteAheadLog::CommitterLoop, wal.get());
@@ -322,7 +322,7 @@ StatusOr<uint64_t> WriteAheadLog::AppendRecord(uint8_t type, BytesView body) {
   // Sealing happens under mu_ so frames land in pending_ in LSN order —
   // replay depends on it. The serial cost is one AEAD over a page (~µs with
   // AES-NI), dwarfed by the fsync this lock exists to amortize.
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!io_error_.ok()) return io_error_;
   const uint64_t lsn = next_lsn_++;
   const Bytes nonce = MakeNonce(salt_, aead_->nonce_size(), lsn);
@@ -346,8 +346,8 @@ StatusOr<uint64_t> WriteAheadLog::AppendRecord(uint8_t type, BytesView body) {
   ++pending_records_;
   Metrics().records->Increment();
   Metrics().bytes->Add(kFramePrefixLen + body_len);
-  lock.unlock();
-  work_cv_.notify_one();
+  lock.Unlock();
+  work_cv_.NotifyOne();
   return lsn;
 }
 
@@ -383,9 +383,8 @@ StatusOr<uint64_t> WriteAheadLog::AppendCommit(const WalCommitMeta& meta) {
 }
 
 Status WriteAheadLog::WaitDurable(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock,
-                   [&] { return durable_lsn_ >= lsn || !io_error_.ok(); });
+  const MutexLock lock(mu_);
+  while (durable_lsn_ < lsn && io_error_.ok()) durable_cv_.Wait(mu_);
   return io_error_;
 }
 
@@ -395,13 +394,13 @@ Status WriteAheadLog::Commit(const WalCommitMeta& meta) {
 }
 
 Status WriteAheadLog::Checkpoint() {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   // Drain: never truncate records a producer was promised an LSN for while
   // their frames are still in flight (an evicted dirty frame may hold that
   // LSN and later WaitDurable on it).
-  durable_cv_.wait(lock, [&] {
-    return (pending_.empty() && !writing_) || !io_error_.ok();
-  });
+  while ((!pending_.empty() || writing_) && io_error_.ok()) {
+    durable_cv_.Wait(mu_);
+  }
   SDBENC_RETURN_IF_ERROR(io_error_);
   if (::ftruncate(fd_, 0) != 0) {
     return InternalError("WAL truncate failed");
@@ -417,7 +416,7 @@ Status WriteAheadLog::Checkpoint() {
 }
 
 uint64_t WriteAheadLog::durable_lsn() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return durable_lsn_;
 }
 
@@ -434,9 +433,9 @@ Status WriteAheadLog::WriteAndSync(const Bytes& batch) {
 }
 
 void WriteAheadLog::CommitterLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    while (!stop_ && pending_.empty()) work_cv_.Wait(mu_);
     if (pending_.empty()) {
       if (stop_) return;
       continue;
@@ -444,10 +443,16 @@ void WriteAheadLog::CommitterLoop() {
     if (options_.group_commit_window_us > 0 && !stop_) {
       // Linger briefly so producers racing toward Commit() can join this
       // batch; natural batching (appends landing during the previous
-      // fsync) already gives most of the win.
-      work_cv_.wait_for(
-          lock, std::chrono::microseconds(options_.group_commit_window_us),
-          [&] { return stop_; });
+      // fsync) already gives most of the win. Deadline loop: a spurious or
+      // unrelated wakeup goes back to sleep for the remaining window.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.group_commit_window_us);
+      while (!stop_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        work_cv_.WaitFor(mu_, deadline - now);
+      }
     }
     const Bytes batch = std::move(pending_);
     pending_ = Bytes();
@@ -455,10 +460,10 @@ void WriteAheadLog::CommitterLoop() {
     pending_records_ = 0;
     const uint64_t batch_last = appended_lsn_;
     writing_ = true;
-    lock.unlock();
+    lock.Unlock();
     Metrics().batch_records->Record(batch_records);
     const Status status = WriteAndSync(batch);
-    lock.lock();
+    lock.Lock();
     writing_ = false;
     if (status.ok()) {
       file_size_ += batch.size();
@@ -466,7 +471,7 @@ void WriteAheadLog::CommitterLoop() {
     } else if (io_error_.ok()) {
       io_error_ = status;
     }
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
   }
 }
 

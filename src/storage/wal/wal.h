@@ -1,10 +1,8 @@
 #ifndef SDBENC_STORAGE_WAL_WAL_H_
 #define SDBENC_STORAGE_WAL_WAL_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "storage/page.h"
 #include "util/bytes.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -145,8 +144,10 @@ class WriteAheadLog {
                 std::unique_ptr<Aead> aead, int fd);
 
   StatusOr<uint64_t> AppendRecord(uint8_t type, BytesView body);
-  Status WriteHeaderLocked();
+  Status WriteHeaderLocked() SDB_REQUIRES(mu_);
   void CommitterLoop();
+  // Runs outside mu_ (the committer drops the lock around the write+fsync);
+  // touches fd_ and reads nothing mu_ guards.
   Status WriteAndSync(const Bytes& batch);
 
   const std::string path_;
@@ -155,19 +156,24 @@ class WriteAheadLog {
   const std::unique_ptr<Aead> aead_;
   int fd_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;     // producer -> committer
-  std::condition_variable durable_cv_;  // committer -> waiters
-  Bytes salt_;
-  Bytes pending_;  // serialized frames awaiting the committer
-  size_t pending_records_ = 0;
-  uint64_t next_lsn_ = 1;
-  uint64_t appended_lsn_ = 0;  // last LSN serialized into pending_
-  uint64_t durable_lsn_ = 0;
-  uint64_t file_size_ = 0;  // committer's append offset
-  bool writing_ = false;    // committer is mid write+fsync outside mu_
-  bool stop_ = false;
-  Status io_error_;  // sticky first failure
+  mutable Mutex mu_{lockrank::kWal, "storage.wal"};
+  CondVar work_cv_;     // producer -> committer
+  CondVar durable_cv_;  // committer -> waiters
+  Bytes salt_ SDB_GUARDED_BY(mu_);
+  // Serialized frames awaiting the committer.
+  Bytes pending_ SDB_GUARDED_BY(mu_);
+  size_t pending_records_ SDB_GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ SDB_GUARDED_BY(mu_) = 1;
+  // Last LSN serialized into pending_.
+  uint64_t appended_lsn_ SDB_GUARDED_BY(mu_) = 0;
+  uint64_t durable_lsn_ SDB_GUARDED_BY(mu_) = 0;
+  // Committer's append offset.
+  uint64_t file_size_ SDB_GUARDED_BY(mu_) = 0;
+  // Committer is mid write+fsync outside mu_.
+  bool writing_ SDB_GUARDED_BY(mu_) = false;
+  bool stop_ SDB_GUARDED_BY(mu_) = false;
+  // Sticky first failure.
+  Status io_error_ SDB_GUARDED_BY(mu_);
 
   std::thread committer_;
 };

@@ -1,0 +1,148 @@
+#include "util/lock_order.h"
+
+#if SDBENC_LOCK_ORDER
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>  // registry guard only; everything else uses sdbenc::Mutex
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace sdbenc {
+namespace lock_order {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Name -> rank registry. A handful of entries (one per lock *class*, not per
+// lock object), linear scan, guarded by a raw std::mutex: the validator
+// cannot use sdbenc::Mutex without validating itself recursively.
+
+constexpr int kMaxRegistered = 64;
+
+struct Registered {
+  const char* name;
+  uint32_t rank;
+};
+
+Registered g_registry[kMaxRegistered];
+int g_registered = 0;
+
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread held-lock stack. Fixed depth: the repo's deepest legal chain
+// (db -> params -> cache shard -> registry, or db -> meta -> stripe -> wal
+// -> trace) is 6; 16 leaves generous headroom and overflow is itself a
+// hierarchy smell worth aborting on.
+
+constexpr int kMaxHeld = 16;
+
+struct Held {
+  const void* mu;
+  uint32_t rank;
+  const char* name;
+};
+
+thread_local Held t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+void DumpHeldStack() {
+  std::fprintf(stderr, "  held by this thread (oldest first):\n");
+  for (int i = 0; i < t_depth; ++i) {
+    std::fprintf(stderr, "    [%d] %-28s rank %u  (%p)\n", i, t_held[i].name,
+                 t_held[i].rank, t_held[i].mu);
+  }
+#if defined(__GLIBC__)
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  std::fprintf(stderr, "  acquiring thread backtrace:\n");
+  backtrace_symbols_fd(frames, n, 2);
+#endif
+}
+
+[[noreturn]] void Die(const char* what, const void* mu, uint32_t rank,
+                      const char* name, const Held& against) {
+  std::fprintf(stderr,
+               "sdbenc lock-order violation: %s\n"
+               "  acquiring: %-28s rank %u  (%p)\n"
+               "  conflicts: %-28s rank %u  (%p)\n",
+               what, name, rank, mu, against.name, against.rank, against.mu);
+  DumpHeldStack();
+  std::abort();
+}
+
+void Push(const void* mu, uint32_t rank, const char* name) {
+  if (t_depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "sdbenc lock-order violation: held-lock stack overflow "
+                 "acquiring %s (rank %u)\n",
+                 name, rank);
+    DumpHeldStack();
+    std::abort();
+  }
+  t_held[t_depth++] = Held{mu, rank, name};
+}
+
+}  // namespace
+
+void Register(uint32_t rank, const char* name) {
+  const std::lock_guard<std::mutex> guard(RegistryMu());
+  for (int i = 0; i < g_registered; ++i) {
+    if (std::strcmp(g_registry[i].name, name) != 0) continue;
+    if (g_registry[i].rank == rank) return;  // idempotent re-registration
+    std::fprintf(stderr,
+                 "sdbenc lock-order violation: lock name '%s' registered at "
+                 "rank %u and again at rank %u; one name, one position in "
+                 "the hierarchy\n",
+                 name, g_registry[i].rank, rank);
+    std::abort();
+  }
+  if (g_registered < kMaxRegistered) {
+    g_registry[g_registered++] = Registered{name, rank};
+  }
+}
+
+void OnAcquire(const void* mu, uint32_t rank, const char* name) {
+  if (rank == lockrank::kUnranked) return;
+  for (int i = t_depth - 1; i >= 0; --i) {
+    const Held& h = t_held[i];
+    if (rank < h.rank) {
+      Die("rank inversion (would deadlock against the documented order)", mu,
+          rank, name, h);
+    }
+    if (rank == h.rank) {
+      Die(h.mu == mu ? "recursive acquisition of a held lock"
+                     : "same-rank cycle (two locks of one class nested)",
+          mu, rank, name, h);
+    }
+  }
+  Push(mu, rank, name);
+}
+
+void OnTryAcquired(const void* mu, uint32_t rank, const char* name) {
+  if (rank == lockrank::kUnranked) return;
+  Push(mu, rank, name);
+}
+
+void OnRelease(const void* mu) {
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].mu != mu) continue;
+    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+    --t_depth;
+    return;
+  }
+  // Unranked locks are never pushed; nothing to pop.
+}
+
+int HeldDepth() { return t_depth; }
+
+}  // namespace lock_order
+}  // namespace sdbenc
+
+#endif  // SDBENC_LOCK_ORDER

@@ -1,0 +1,315 @@
+#ifndef SDBENC_UTIL_THREAD_ANNOTATIONS_H_
+#define SDBENC_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis macros and the capability-annotated lock
+// vocabulary the whole repo uses (DESIGN §17).
+//
+// Under clang the SDB_* macros expand to the [[clang::...]] capability
+// attributes, so `clang++ -Wthread-safety -Werror` proves at compile time
+// that every SDB_GUARDED_BY member is only touched under its lock and
+// every SDB_REQUIRES contract is met at each call site. Under GCC (the
+// container toolchain) they expand to nothing and the wrappers compile
+// down to the std primitives they hold — zero semantic difference, the
+// annotations are a second compiler's proof, not a runtime mechanism.
+// The CI `thread-safety` job is the enforcing build.
+//
+// Why wrappers instead of annotating std::mutex directly: the analysis
+// needs the capability attribute on the lock *type*, std types cannot be
+// annotated retroactively, and the wrapper is also where the two runtime
+// facilities hook in — the debug lock-order validator (util/lock_order.h)
+// and the `sdbenc_lock_wait_ns` contention histogram (metrics builds;
+// uncontended acquisitions stay a bare try_lock and read no clock).
+//
+// CondVar deliberately has no predicate-lambda overload: the analysis
+// checks a lambda's operator() as a separate function, so a predicate
+// touching guarded members would need its own annotations and silently
+// erode the GUARDED_BY proofs. Callers write the loop the predicate
+// overload expands to anyway:
+//
+//   while (!ready_) cv_.Wait(mu_);          // spurious-wakeup safe
+//
+// which sdbenc-lint SDB008 pins in place (a predicate-less wait on a raw
+// std::condition_variable is a finding; raw std sync members outside this
+// header are SDB007).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lock_order.h"
+
+// Mirrors the metrics compile-out switch (obs/metrics.h): with
+// -DSDBENC_METRICS=0 the contended-wait timing below compiles to a plain
+// blocking lock.
+#if !defined(SDBENC_METRICS)
+#define SDBENC_METRICS 1
+#endif
+
+#if defined(__clang__)
+#define SDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SDB_THREAD_ANNOTATION(x)  // GCC: annotations vanish
+#endif
+
+// Type/member annotations.
+#define SDB_CAPABILITY(x) SDB_THREAD_ANNOTATION(capability(x))
+#define SDB_SCOPED_CAPABILITY SDB_THREAD_ANNOTATION(scoped_lockable)
+#define SDB_GUARDED_BY(x) SDB_THREAD_ANNOTATION(guarded_by(x))
+#define SDB_PT_GUARDED_BY(x) SDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function contracts.
+#define SDB_REQUIRES(...) \
+  SDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SDB_REQUIRES_SHARED(...) \
+  SDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SDB_ACQUIRE(...) \
+  SDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SDB_ACQUIRE_SHARED(...) \
+  SDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SDB_RELEASE(...) \
+  SDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SDB_RELEASE_SHARED(...) \
+  SDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SDB_TRY_ACQUIRE(...) \
+  SDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SDB_EXCLUDES(...) SDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SDB_ASSERT_CAPABILITY(x) \
+  SDB_THREAD_ANNOTATION(assert_capability(x))
+#define SDB_RETURN_CAPABILITY(x) SDB_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Policy (DESIGN §17): function-scoped only, always with a
+// written rationale on the line above; a blanket suppression fails review.
+#define SDB_NO_THREAD_SAFETY_ANALYSIS \
+  SDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sdbenc {
+
+namespace obs {
+class Histogram;
+}  // namespace obs
+
+/// Records one contended lock acquisition on the process-wide
+/// `sdbenc_lock_wait_ns` histogram, plus `extra` when the mutex carries a
+/// per-lock histogram (e.g. `sdbenc_storage_stripe_wait_ns`). Defined in
+/// obs/metrics.cc; out-of-line on purpose — this header must not depend
+/// on the metrics types, and the call sits on the already-slow contended
+/// path.
+void RecordLockWait(obs::Histogram* extra, uint64_t wait_ns);
+
+/// The repo's mutex. Ranked construction opts into the debug lock-order
+/// validator; the default constructor is for locks with no global
+/// position (short-lived, purely local). `record_wait = false` exists for
+/// the metrics registry's own lock, which must not re-enter the registry
+/// to record its contention.
+class SDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(uint32_t rank, const char* name, bool record_wait = true)
+      : rank_(rank), name_(name), record_wait_(record_wait) {
+    lock_order::Register(rank, name);
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SDB_ACQUIRE() {
+    lock_order::OnAcquire(this, rank_, name_);
+    if (mu_.try_lock()) return;  // uncontended: no clock read
+#if SDBENC_METRICS
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    if (record_wait_) {
+      const auto waited = std::chrono::steady_clock::now() - start;
+      RecordLockWait(
+          wait_histogram_,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count()));
+    }
+#else
+    mu_.lock();
+#endif
+  }
+
+  bool TryLock() SDB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_order::OnTryAcquired(this, rank_, name_);
+    return true;
+  }
+
+  void Unlock() SDB_RELEASE() {
+    lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+
+  /// The wrapped primitive, for CondVar's adopt_lock dance only.
+  std::mutex& native() { return mu_; }
+
+  /// Attaches a per-lock contention histogram (name must end in `_ns`);
+  /// recorded in addition to the global `sdbenc_lock_wait_ns`. Call once,
+  /// before the lock is contended.
+  void set_wait_histogram(obs::Histogram* h) { wait_histogram_ = h; }
+
+ private:
+  std::mutex mu_;
+  uint32_t rank_ = lockrank::kUnranked;
+  const char* name_ = "<unranked>";
+  bool record_wait_ = true;
+  obs::Histogram* wait_histogram_ = nullptr;
+};
+
+/// Reader/writer lock with the same validator + metrics hooks. Shared
+/// acquisitions obey the same rank discipline as exclusive ones: a reader
+/// still blocks behind a writer, so a shared acquire can complete a
+/// deadlock cycle just as well.
+class SDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(uint32_t rank, const char* name) : rank_(rank), name_(name) {
+    lock_order::Register(rank, name);
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SDB_ACQUIRE() {
+    lock_order::OnAcquire(this, rank_, name_);
+    if (mu_.try_lock()) return;
+#if SDBENC_METRICS
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto waited = std::chrono::steady_clock::now() - start;
+    RecordLockWait(
+        nullptr,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()));
+#else
+    mu_.lock();
+#endif
+  }
+
+  void Unlock() SDB_RELEASE() {
+    lock_order::OnRelease(this);
+    mu_.unlock();
+  }
+
+  void LockShared() SDB_ACQUIRE_SHARED() {
+    lock_order::OnAcquire(this, rank_, name_);
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() SDB_RELEASE_SHARED() {
+    lock_order::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  uint32_t rank_ = lockrank::kUnranked;
+  const char* name_ = "<unranked>";
+};
+
+/// Scoped exclusive lock. Relockable: Unlock()/Lock() support the
+/// drop-the-latch-around-IO pattern (file engine reads) without losing
+/// the scoped-release guarantee or the static proof — the analysis tracks
+/// the manual transitions.
+class SDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SDB_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() SDB_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() SDB_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  void Lock() SDB_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Scoped exclusive lock on a SharedMutex.
+class SDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SDB_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class SDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() SDB_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable for sdbenc::Mutex. No predicate overloads — see the
+/// header comment; write the while-loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is re-held on return.
+  /// Spurious wakeups happen: always call in a condition loop.
+  void Wait(Mutex& mu) SDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.native(), std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // caller still logically holds mu
+  }
+
+  /// Wait with a timeout. Returns false on timeout (the caller's loop
+  /// re-tests its condition either way). Call in a condition loop.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      SDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.native(), std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(inner, timeout) == std::cv_status::no_timeout;
+    inner.release();
+    return notified;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sdbenc
+
+#endif  // SDBENC_UTIL_THREAD_ANNOTATIONS_H_

@@ -55,10 +55,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -67,21 +67,21 @@ void ThreadPool::Submit(std::function<void()> task) {
   entry.fn = std::move(task);
   if constexpr (obs::kMetricsEnabled) entry.enqueue_ns = obs::NowNs();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(entry));
     if constexpr (obs::kMetricsEnabled) {
       Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -155,9 +155,11 @@ Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
     size_t num_chunks = 0;
     std::vector<Status> results;
     std::atomic<size_t> next_chunk{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t completed = 0;
+    // Unranked on purpose: one join context per ParallelFor call, held for
+    // a counter bump, never nested with another lock.
+    Mutex mu;
+    CondVar cv;
+    size_t completed SDB_GUARDED_BY(mu) = 0;
   };
   auto ctx = std::make_shared<ForContext>();
   ctx->fn = fn;
@@ -175,10 +177,10 @@ Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
       c->results[i] = RunGuarded(c->fn, begin, end);
       bool all_done = false;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        const MutexLock lock(c->mu);
         all_done = ++c->completed == c->num_chunks;
       }
-      if (all_done) c->cv.notify_all();
+      if (all_done) c->cv.NotifyAll();
     }
   };
 
@@ -200,8 +202,8 @@ Status ParallelFor(size_t n, size_t grain, const Parallelism& par,
       });
     }
     run_chunks(ctx);
-    std::unique_lock<std::mutex> lock(ctx->mu);
-    ctx->cv.wait(lock, [&] { return ctx->completed == ctx->num_chunks; });
+    const MutexLock lock(ctx->mu);
+    while (ctx->completed != ctx->num_chunks) ctx->cv.Wait(ctx->mu);
   }
 
   // completed == num_chunks under ctx->mu orders every results[] write

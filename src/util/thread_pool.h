@@ -1,16 +1,15 @@
 #ifndef SDBENC_UTIL_THREAD_POOL_H_
 #define SDBENC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sdbenc {
 
@@ -63,10 +62,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_{lockrank::kPoolQueue, "util.pool.queue"};
+  std::deque<Task> queue_ SDB_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ SDB_GUARDED_BY(mu_) = false;
 };
 
 /// Splits [0, n) into contiguous chunks of at least `grain` indices and runs

@@ -1,0 +1,224 @@
+// Tests for the runtime lock-order validator (util/lock_order.h, DESIGN
+// §17): clean descending-rank nesting passes, a rank inversion aborts with
+// both lock names in the report, same-rank nesting of two distinct locks
+// aborts, TryLock records without checking, unranked locks are invisible,
+// and name registration is idempotent per (name, rank) but fatal when one
+// name claims two ranks.
+//
+// Violations call std::abort(), so every must-die case runs in a gtest
+// death test (a forked child). With the validator compiled out
+// (SDBENC_LOCK_ORDER=0, e.g. a plain Release configure) the death cases
+// are skipped and the pass-cases assert the no-op stubs stay no-ops.
+
+#include "util/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/thread_annotations.h"
+
+namespace sdbenc {
+namespace {
+
+// Fixture ranks live far above the production table (lock_order.h tops
+// out at kMetricsRegistry = 132) so these tests never poison the name
+// registry for suites that run in the same process.
+constexpr uint32_t kLow = 1000;
+constexpr uint32_t kMid = 1010;
+constexpr uint32_t kHigh = 1020;
+
+TEST(LockOrderTest, CleanNestingInRankOrderPasses) {
+  Mutex low(kLow, "test.order.low");
+  Mutex mid(kMid, "test.order.mid");
+  Mutex high(kHigh, "test.order.high");
+  {
+    const MutexLock a(low);
+    const MutexLock b(mid);
+    const MutexLock c(high);
+#if SDBENC_LOCK_ORDER
+    EXPECT_EQ(lock_order::HeldDepth(), 3);
+#else
+    EXPECT_EQ(lock_order::HeldDepth(), 0);
+#endif
+  }
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, ReacquireAfterReleaseIsNotRecursive) {
+  Mutex low(kLow, "test.order.low");
+  for (int i = 0; i < 3; ++i) {
+    const MutexLock lock(low);
+  }
+  // The relockable scoped lock's Unlock/Lock cycle must pop and re-push.
+  MutexLock lock(low);
+  lock.Unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+  lock.Lock();
+}
+
+TEST(LockOrderTest, OutOfLifoReleaseIsLegal) {
+  Mutex low(kLow, "test.order.low");
+  Mutex mid(kMid, "test.order.mid");
+  low.Lock();
+  mid.Lock();
+  low.Unlock();  // released out of acquisition order on purpose
+#if SDBENC_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+#endif
+  mid.Unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, UnrankedLocksAreInvisible) {
+  Mutex plain;  // default ctor = kUnranked: no global position
+  Mutex low(kLow, "test.order.low");
+  const MutexLock a(plain);
+  const MutexLock b(low);
+  // Unranked-after-ranked must also stay silent, in both orders.
+  Mutex plain2;
+  const MutexLock c(plain2);
+#if SDBENC_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldDepth(), 1);  // only `low` is tracked
+#endif
+}
+
+TEST(LockOrderTest, SharedMutexParticipates) {
+  SharedMutex low(kLow, "test.order.shared_low");
+  Mutex mid(kMid, "test.order.mid");
+  const ReaderMutexLock a(low);
+  const MutexLock b(mid);
+#if SDBENC_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldDepth(), 2);
+#endif
+}
+
+TEST(LockOrderTest, TryLockRecordsTheHeldEntry) {
+  Mutex low(kLow, "test.order.low");
+  ASSERT_TRUE(low.TryLock());
+#if SDBENC_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+#endif
+  low.Unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, RegistrationIsIdempotentPerNameAndRank) {
+  // Every stripe latch registers the same (name, rank) pair; constructing
+  // many must neither abort nor grow the hierarchy.
+  for (int i = 0; i < 100; ++i) {
+    Mutex stripe(kMid, "test.order.stripe");
+    const MutexLock lock(stripe);
+  }
+}
+
+#if SDBENC_LOCK_ORDER
+
+TEST(LockOrderDeathTest, RankInversionAbortsNamingBothLocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(kLow, "test.order.low");
+  Mutex high(kHigh, "test.order.high");
+  EXPECT_DEATH(
+      {
+        const MutexLock a(high);
+        const MutexLock b(low);  // rank 1000 under held rank 1020
+      },
+      "rank inversion.*"
+      "acquiring: test\\.order\\.low.*"
+      "conflicts: test\\.order\\.high");
+}
+
+TEST(LockOrderDeathTest, DeepStackInversionReportsTheConflict) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The conflicting lock need not be the innermost held one.
+  Mutex low(kLow, "test.order.low");
+  Mutex mid(kMid, "test.order.mid");
+  Mutex high(kHigh, "test.order.high");
+  EXPECT_DEATH(
+      {
+        const MutexLock a(mid);
+        const MutexLock b(high);
+        const MutexLock c(low);  // inverts against both held locks
+      },
+      "rank inversion.*test\\.order\\.low");
+}
+
+TEST(LockOrderDeathTest, SameRankCycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two distinct locks of one class (two stripes, two shards) nested on
+  // one thread is the two-thread ABBA deadlock waiting for its schedule.
+  Mutex stripe_a(kMid, "test.order.stripe");
+  Mutex stripe_b(kMid, "test.order.stripe");
+  EXPECT_DEATH(
+      {
+        const MutexLock a(stripe_a);
+        const MutexLock b(stripe_b);
+      },
+      "same-rank cycle");
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(kLow, "test.order.low");
+  EXPECT_DEATH(
+      {
+        low.Lock();
+        low.Lock();  // self-deadlock; the validator reports instead
+      },
+      "recursive acquisition");
+}
+
+TEST(LockOrderDeathTest, OneNameTwoRanksAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex first(kLow, "test.order.conflicted");
+        Mutex second(kHigh, "test.order.conflicted");
+      },
+      "one name, one position");
+}
+
+TEST(LockOrderDeathTest, TryLockHeldEntryStillConstrainsBlockingAcquires) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low(kLow, "test.order.low");
+  Mutex high(kHigh, "test.order.high");
+  EXPECT_DEATH(
+      {
+        ASSERT_TRUE(high.TryLock());  // pushed without checking...
+        low.Lock();  // ...but the blocking acquire below it must die
+      },
+      "rank inversion");
+}
+
+TEST(LockOrderDeathTest, ValidatorIsPerThread) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A lock held on another thread constrains nothing here — the validator
+  // checks each thread's own nesting, not cross-thread interleavings
+  // (that part is TSan's job).
+  Mutex low(kLow, "test.order.low");
+  Mutex high(kHigh, "test.order.high");
+  const MutexLock held_elsewhere(high);
+  std::thread worker([&low] {
+    const MutexLock lock(low);  // fine: this thread holds nothing
+  });
+  worker.join();
+  // On *this* thread the inversion still dies.
+  EXPECT_DEATH({ const MutexLock lock(low); }, "rank inversion");
+}
+
+#else  // !SDBENC_LOCK_ORDER
+
+TEST(LockOrderTest, CompiledOutValidatorInvertsSilently) {
+  // Release builds: the wrappers still lock, the validator costs nothing
+  // and detects nothing.
+  Mutex low(kLow, "test.order.low");
+  Mutex high(kHigh, "test.order.high");
+  const MutexLock a(high);
+  const MutexLock b(low);
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+#endif  // SDBENC_LOCK_ORDER
+
+}  // namespace
+}  // namespace sdbenc

@@ -1,0 +1,34 @@
+// Positive control for the negative-compile fixture next door: the same
+// shape with correct locking MUST compile under clang -Wthread-safety
+// -Werror. If this one fails, the try_compile harness (include paths,
+// flags) is broken — not the annotations — and the negative result from
+// tsa_violation.cc proves nothing.
+
+#include "util/thread_annotations.h"
+
+namespace sdbenc {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    const MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  long Balance() const {
+    const MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable Mutex mu_{1, "fixture.account"};
+  long balance_ SDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sdbenc
+
+int main() {
+  sdbenc::Account account;
+  account.Deposit(1);
+  return account.Balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative-compile fixture for the thread-safety annotations: under
+// clang -Wthread-safety -Werror this translation unit MUST fail to
+// compile (tests/CMakeLists.txt try_compile asserts it does). If it ever
+// starts compiling, the SDB_* macros have silently stopped expanding to
+// real attributes and the whole annotation rollout is decorative.
+
+#include "util/thread_annotations.h"
+
+namespace sdbenc {
+
+class Account {
+ public:
+  // Violation: writes a guarded member without holding its mutex.
+  void UnsafeDeposit(long amount) { balance_ += amount; }
+
+ private:
+  Mutex mu_{1, "fixture.account"};
+  long balance_ SDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sdbenc
+
+int main() {
+  sdbenc::Account account;
+  account.UnsafeDeposit(1);
+  return 0;
+}

@@ -30,10 +30,34 @@ This pass enforces the repo invariants mechanically:
                                   batch; scattered syncs silently undo
                                   that amortisation (and can land before
                                   the write-ahead rule allows).
+  SDB007  raw-sync-primitive      std::mutex / std::shared_mutex /
+                                  std::condition_variable (or their
+                                  headers) outside util/thread_annotations
+                                  and util/lock_order; locking must use
+                                  the capability-annotated wrappers so the
+                                  Clang TSA build and the lock-order
+                                  validator see it. Also flags a wrapped
+                                  `*_mu_` member with no SDB_GUARDED_BY
+                                  naming it anywhere in the file — a lock
+                                  that guards nothing is either dead or
+                                  (worse) guarding members it never
+                                  declared.
+  SDB008  predicate-less-cv-wait  condition_variable wait/wait_for/
+                                  wait_until called without a predicate.
+                                  Spurious wakeups are allowed by the
+                                  standard; a bare wait is a latent hang
+                                  or a lost-wakeup bug. (The sdbenc
+                                  CondVar wrapper has no predicate
+                                  overload by design — callers write the
+                                  while-loop, which this rule cannot
+                                  mis-flag because the wrapper methods are
+                                  capitalised.)
 
 Intentional violations (the legacy schemes exist to be broken) are
 suppressed via an allowlist file; see allowlist.conf for the format and
-the rationale for each entry.
+the rationale for each entry. A stale allowlist entry (one that no longer
+suppresses anything) is a hard failure: dead exemptions hide the next
+real finding at the same path.
 
 Stdlib-only on purpose: the container bakes in no clang python bindings,
 and a tokenizer-level scan is enough for the rules above because the repo
@@ -530,6 +554,122 @@ def check_fsync_outside_wal(src: SourceFile, exempt: bool) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# SDB007 — raw std sync primitives outside the annotated wrappers
+
+_RAW_SYNC = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|recursive_timed_mutex|condition_variable(?:_any)?)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+# A wrapped mutex member following the `*_mu_` naming convention. Plain
+# `mu` struct fields (stripe/shard latches) are covered by their guards
+# but not by this declaration check — the trailing underscore is what
+# marks the repo's member-guard convention.
+_WRAPPED_MU_DECL = re.compile(
+    r"\b(?:Mutex|SharedMutex)\s+(?P<name>[A-Za-z_]\w*mu_)\b"
+)
+
+
+def check_raw_sync_primitive(src: SourceFile, exempt: bool) -> list[Finding]:
+    if exempt:
+        return []
+    findings = []
+    for i, line in enumerate(src.clean_lines, start=1):
+        for m in _RAW_SYNC.finditer(line):
+            what = m.group(1) or f"<{m.group(2)}>"
+            findings.append(
+                Finding(
+                    src.path,
+                    i,
+                    "SDB007",
+                    f"raw std sync primitive '{what}'; use the "
+                    "capability-annotated wrappers in "
+                    "util/thread_annotations.h so the Clang TSA build and "
+                    "the lock-order validator cover it",
+                )
+            )
+    seen_guards = set(
+        re.findall(r"SDB_GUARDED_BY\s*\(([^)]*)\)", src.clean)
+    )
+    for i, line in enumerate(src.clean_lines, start=1):
+        for m in _WRAPPED_MU_DECL.finditer(line):
+            name = m.group("name")
+            if any(
+                re.search(rf"\b{re.escape(name)}\b", g) for g in seen_guards
+            ):
+                continue
+            findings.append(
+                Finding(
+                    src.path,
+                    i,
+                    "SDB007",
+                    f"mutex member '{name}' has no SDB_GUARDED_BY({name}) "
+                    "in this file; annotate what it guards (or drop the "
+                    "lock if it guards nothing)",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# SDB008 — condition-variable wait without a predicate
+
+_CV_WAIT = re.compile(r"\.\s*(wait|wait_for|wait_until)\s*\(")
+
+
+def _count_top_level_args(clean: str, open_paren: int) -> int | None:
+    """Number of comma-separated arguments of the call whose '(' is at
+    `open_paren`; None when the call never closes (unparseable)."""
+    depth = 0
+    commas = 0
+    saw_token = False
+    for idx in range(open_paren, len(clean)):
+        ch = clean[idx]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                if not saw_token and commas == 0:
+                    return 0
+                return commas + 1
+        elif ch == "," and depth == 1:
+            commas += 1
+        elif depth == 1 and not ch.isspace():
+            saw_token = True
+    return None
+
+
+def check_cv_wait_predicate(src: SourceFile, exempt: bool) -> list[Finding]:
+    if exempt:
+        return []
+    findings = []
+    for m in _CV_WAIT.finditer(src.clean):
+        method = m.group(1)
+        nargs = _count_top_level_args(src.clean, m.end() - 1)
+        if nargs is None:
+            continue
+        # wait(lock) / wait_for(lock, dur) / wait_until(lock, tp) lack the
+        # predicate argument that absorbs spurious wakeups.
+        required = 2 if method == "wait" else 3
+        if nargs >= required:
+            continue
+        line = src.clean.count("\n", 0, m.start()) + 1
+        findings.append(
+            Finding(
+                src.path,
+                line,
+                "SDB008",
+                f"'{method}' without a predicate: spurious wakeups make "
+                "this a latent hang; pass a predicate (or loop on the "
+                "condition)",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 
 # Directories whose whole purpose is to reproduce the broken legacy
@@ -540,6 +680,16 @@ _LEGACY_DIR_PREFIXES = ("src/schemes/", "src/attacks/")
 # The one place raw fsync/fdatasync is policy rather than a smell: the WAL
 # committer, whose whole job is issuing the shared group-commit sync.
 _WAL_DIR_PREFIXES = ("src/storage/wal/",)
+
+# The wrappers themselves (and the validator they call into) are the only
+# TUs allowed to hold raw std sync primitives — everything else goes
+# through them. CondVar::Wait's internal adopt-lock dance is also why
+# these files are exempt from SDB008.
+_SYNC_WRAPPER_FILES = (
+    "src/util/thread_annotations.h",
+    "src/util/lock_order.h",
+    "src/util/lock_order.cc",
+)
 
 
 def lint_files(
@@ -554,6 +704,7 @@ def lint_files(
     suppressed: list[Finding] = []
     for src in sources:
         legacy = src.path.startswith(_LEGACY_DIR_PREFIXES)
+        wrapper = src.path in _SYNC_WRAPPER_FILES
         findings = []
         findings += check_variable_time_compare(src)
         findings += check_fixed_iv(src, exempt=legacy)
@@ -563,6 +714,8 @@ def lint_files(
         findings += check_fsync_outside_wal(
             src, exempt=src.path.startswith(_WAL_DIR_PREFIXES)
         )
+        findings += check_raw_sync_primitive(src, exempt=wrapper)
+        findings += check_cv_wait_predicate(src, exempt=wrapper)
         for f in findings:
             line_text = (
                 src.raw_lines[f.line - 1]
@@ -646,19 +799,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.show_suppressed:
         for f in suppressed:
             print(f"suppressed: {f.render()}")
+    # A stale entry is a hard failure, not a warning: a dead exemption
+    # silently covers the next real finding introduced at the same path.
     stale = [e for e in allow if not e.used]
     for e in stale:
         print(
-            "sdbenc-lint: warning: unused allowlist entry "
-            f"'{e.rule} {e.path_prefix}'",
+            "sdbenc-lint: error: stale allowlist entry "
+            f"'{e.rule} {e.path_prefix}' suppresses nothing; remove it",
             file=sys.stderr,
         )
 
     print(
         f"sdbenc-lint: {len(rel_paths)} files, {len(reported)} finding(s), "
-        f"{len(suppressed)} suppressed"
+        f"{len(suppressed)} suppressed, {len(stale)} stale allowlist "
+        "entr(y/ies)"
     )
-    return 1 if reported else 0
+    return 1 if reported or stale else 0
 
 
 if __name__ == "__main__":

@@ -140,6 +140,55 @@ class FsyncRuleTest(unittest.TestCase):
             self.assertEqual({f.rule for f in reported}, {"SDB006"})
 
 
+class RawSyncRuleTest(unittest.TestCase):
+    def test_bad_mutex_flags_raw_primitives_and_unguarded_member(self):
+        reported, _ = lint([fixture("bad_mutex.cc")])
+        reported = [f for f in reported if f.rule == "SDB007"]
+        self.assertEqual(len(reported), 6)
+        self.assertTrue(
+            any("state_mu_" in f.message for f in reported),
+            "the unguarded wrapped member must be flagged",
+        )
+
+    def test_good_mutex_is_clean(self):
+        reported, _ = lint([fixture("good_mutex.cc")])
+        self.assertEqual(reported, [])
+
+    def test_wrapper_files_are_exempt(self):
+        # The same raw-primitive fixture must fail anywhere in src/ but
+        # pass at the wrapper paths, which hold the std types by design.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(_TESTDATA, "bad_mutex.cc")
+            util_dir = os.path.join(tmp, "src", "util")
+            other_dir = os.path.join(tmp, "src", "core")
+            os.makedirs(util_dir)
+            os.makedirs(other_dir)
+            shutil.copy(src, os.path.join(util_dir, "thread_annotations.h"))
+            shutil.copy(src, os.path.join(other_dir, "queue.cc"))
+            reported, _ = lint(
+                ["src/util/thread_annotations.h", "src/core/queue.cc"],
+                repo_root=tmp,
+            )
+            sdb007 = [f for f in reported if f.rule == "SDB007"]
+            self.assertTrue(sdb007)
+            self.assertTrue(
+                all(f.path == "src/core/queue.cc" for f in sdb007)
+            )
+
+
+class CvWaitRuleTest(unittest.TestCase):
+    def test_bad_cv_wait_flags_each_predicate_less_wait(self):
+        reported, _ = lint([fixture("bad_cv_wait.cc")])
+        reported = [f for f in reported if f.rule == "SDB008"]
+        self.assertEqual(len(reported), 3)
+        flagged = {f.message.split("'")[1] for f in reported}
+        self.assertEqual(flagged, {"wait", "wait_for", "wait_until"})
+
+    def test_good_cv_wait_is_clean(self):
+        reported, _ = lint([fixture("good_cv_wait.cc")])
+        self.assertEqual([f for f in reported if f.rule == "SDB008"], [])
+
+
 class AllowlistTest(unittest.TestCase):
     def test_allowlist_suppresses_and_tracks_usage(self):
         entry = sdbenc_lint.AllowEntry(
@@ -174,6 +223,24 @@ class AllowlistTest(unittest.TestCase):
         sdbenc_lint.lint_files(_REPO_ROOT, rel, entries)
         stale = [e for e in entries if not e.used]
         self.assertEqual(stale, [], "stale allowlist entries")
+
+    def test_stale_entry_is_a_hard_failure(self):
+        # main() must exit non-zero when an allowlist entry suppresses
+        # nothing, even with zero findings reported.
+        with tempfile.TemporaryDirectory() as tmp:
+            src_dir = os.path.join(tmp, "src")
+            os.makedirs(src_dir)
+            shutil.copy(
+                os.path.join(_TESTDATA, "good_compare.cc"),
+                os.path.join(src_dir, "clean.cc"),
+            )
+            conf = os.path.join(tmp, "allow.conf")
+            with open(conf, "w", encoding="utf-8") as fh:
+                fh.write("SDB002 src/gone.cc -- file was deleted\n")
+            rc = sdbenc_lint.main(
+                ["--repo-root", tmp, "--allowlist", conf, "src"]
+            )
+            self.assertEqual(rc, 1)
 
 
 class SrcTreeTest(unittest.TestCase):

@@ -1,0 +1,36 @@
+// SDB008 must-fail fixture: predicate-less condition_variable waits (the
+// raw std types here also trip SDB007 — test_lint.py filters by rule).
+// Never compiled; scanned by test_lint.py.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Latch {
+ public:
+  void AwaitForever() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);  // finding 1: bare wait, spurious wakeup = lost signal
+  }
+
+  bool AwaitBriefly() {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, std::chrono::milliseconds(5)) ==
+           std::cv_status::no_timeout;  // finding 2: no predicate
+  }
+
+  bool AwaitDeadline(std::chrono::steady_clock::time_point tp) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_until(lk, tp) ==
+           std::cv_status::no_timeout;  // finding 3: no predicate
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// SDB007 must-fail fixture: raw std sync primitives outside the
+// thread_annotations wrappers, plus a wrapped mutex member that guards
+// nothing. Never compiled; scanned by test_lint.py.
+
+#include <mutex>               // finding 1: raw <mutex> include
+#include <condition_variable>  // finding 2: raw <condition_variable>
+
+#include "util/thread_annotations.h"
+
+namespace sdbenc {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);  // finding 3: std::mutex
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;               // finding 4: std::mutex member
+  std::condition_variable cv_;  // finding 5: std::condition_variable
+  int value_ = 0;
+};
+
+class UnguardedMember {
+ private:
+  // finding 6: a wrapped *_mu_ member with no SDB_GUARDED_BY(state_mu_)
+  // anywhere in the file.
+  Mutex state_mu_{1, "fixture.state"};
+  int state_ = 0;
+};
+
+}  // namespace sdbenc

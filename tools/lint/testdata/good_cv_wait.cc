@@ -1,0 +1,52 @@
+// SDB008 must-pass fixture: predicate overloads on raw std types (the
+// std types themselves still trip SDB007 — test_lint.py filters by rule)
+// and the sdbenc CondVar while-loop idiom, which SDB008 never matches
+// because the wrapper methods are capitalised.
+// Never compiled; scanned by test_lint.py.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Latch {
+ public:
+  void Await() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return ready_; });
+  }
+
+  bool AwaitBriefly() {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, std::chrono::milliseconds(5),
+                        [this] { return ready_; });
+  }
+
+  bool AwaitDeadline(std::chrono::steady_clock::time_point tp) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_until(lk, tp, [this] { return ready_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};
+
+class WrapperLatch {
+ public:
+  void Await() {
+    const sdbenc::MutexLock lock(mu_);
+    while (!ready_) cv_.Wait(mu_);
+  }
+
+ private:
+  sdbenc::Mutex mu_{3, "fixture.latch"};
+  sdbenc::CondVar cv_;
+  bool ready_ SDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace fixture

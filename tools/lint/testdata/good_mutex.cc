@@ -1,0 +1,37 @@
+// SDB007 must-pass fixture: the annotated-wrapper idiom. Never compiled;
+// scanned by test_lint.py.
+
+#include "util/thread_annotations.h"
+
+namespace sdbenc {
+
+class GoodQueue {
+ public:
+  void Push(int v) {
+    const MutexLock lock(mu_);
+    value_ = v;
+    cv_.NotifyOne();
+  }
+
+  int BlockingPop() {
+    const MutexLock lock(mu_);
+    while (value_ == 0) cv_.Wait(mu_);
+    const int v = value_;
+    value_ = 0;
+    return v;
+  }
+
+ private:
+  Mutex mu_{1, "fixture.queue"};
+  CondVar cv_;
+  int value_ SDB_GUARDED_BY(mu_) = 0;
+};
+
+struct Striped {
+  // A plain `mu` field (no trailing underscore) follows the stripe-latch
+  // convention and is checked through its guards, not the member rule.
+  Mutex mu{2, "fixture.stripe"};
+  int pages SDB_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace sdbenc
